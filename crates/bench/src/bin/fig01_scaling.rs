@@ -1,0 +1,38 @@
+//! Fig. 1(a): SRAM density vs tape-out cost across technology nodes, and
+//! where the 28 nm ROM-CiM design point sits.
+
+use yoloc_bench::{fmt, fmt_x, print_table};
+use yoloc_cim::technology::{node, node_matching_density, ROM_CIM_28NM_DENSITY_MB_MM2, TECH_NODES};
+
+fn main() {
+    let rows: Vec<Vec<String>> = TECH_NODES
+        .iter()
+        .map(|n| {
+            vec![
+                format!("{} nm", n.node_nm),
+                fmt(n.sram_density_mb_mm2, 2),
+                fmt(n.tapeout_cost_norm, 1),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 1(a): SRAM density and normalized tape-out cost vs process node",
+        &["Node", "SRAM density (Mb/mm2)", "Tape-out cost (norm.)"],
+        &rows,
+    );
+
+    let n28 = node(28).expect("28 nm in table");
+    println!(
+        "\nROM-CiM (this work) at 28 nm: {ROM_CIM_28NM_DENSITY_MB_MM2:.1} Mb/mm2 of \
+         compute-capable memory = {} the plain 28 nm SRAM density.",
+        fmt_x(ROM_CIM_28NM_DENSITY_MB_MM2 / n28.sram_density_mb_mm2)
+    );
+    if let Some(m) = node_matching_density(ROM_CIM_28NM_DENSITY_MB_MM2) {
+        println!(
+            "Matching that density with plain SRAM requires the {} nm node, whose \
+             tape-out cost is {} the 28 nm cost — the scaling argument of Fig. 1(a).",
+            m.node_nm,
+            fmt_x(m.tapeout_cost_norm / n28.tapeout_cost_norm)
+        );
+    }
+}

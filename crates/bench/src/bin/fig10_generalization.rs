@@ -1,0 +1,107 @@
+//! Fig. 10: ReBranch generalization analysis — accuracy on four transfer
+//! targets and normalized memory area, for VGG-8-style and
+//! ResNet-18-style models under All-SRAM / All-ROM / Deep-Conv / ReBranch
+//! (plus ROSL and SPWD, the other two Fig. 6 options).
+
+use yoloc_bench::{fmt, pct, print_table, run_parallel};
+use yoloc_core::rebranch::ReBranchRatios;
+use yoloc_core::strategies::{evaluate_strategy, pretrain_base, Strategy, TrainConfig};
+use yoloc_core::tiny_models::{default_channels, Family};
+use yoloc_data::classification::TransferSuite;
+
+fn main() {
+    let seed = 7;
+    let suite = TransferSuite::new(seed);
+    let strategies = [
+        Strategy::AllSram,
+        Strategy::AllRom,
+        Strategy::Atl { trainable_tail: 1 }, // "Deep Conv"
+        Strategy::ReBranch(ReBranchRatios::paper_default()),
+        Strategy::Spwd { bits: 2 },
+        Strategy::Rosl { shots: 10 },
+    ];
+
+    for family in [Family::Vgg, Family::ResNet] {
+        println!(
+            "\n=== {family:?}-style model (paper: {}) ===",
+            match family {
+                Family::Vgg => "VGG-8",
+                Family::ResNet => "ResNet-18",
+            }
+        );
+        println!("Pretraining on {} ...", suite.pretrain.name);
+        let base = pretrain_base(
+            family,
+            &default_channels(),
+            &suite.pretrain,
+            TrainConfig::pretrain(),
+            seed,
+        );
+        // Fig. 10(b): accuracy per target per strategy, evaluated on all
+        // cores in parallel (results are deterministic per (strategy,
+        // target) seed regardless of scheduling).
+        let base_ref = &base;
+        let jobs: Vec<_> = strategies
+            .iter()
+            .enumerate()
+            .flat_map(|(si, &strategy)| {
+                suite.targets().into_iter().map(move |target| {
+                    move || {
+                        evaluate_strategy(
+                            base_ref,
+                            target,
+                            strategy,
+                            TrainConfig::transfer(),
+                            seed + si as u64,
+                        )
+                    }
+                })
+            })
+            .collect();
+        let results = run_parallel(jobs);
+        let n_targets = suite.targets().len();
+        let mut acc_rows = Vec::new();
+        let mut area_rows = Vec::new();
+        let mut all_sram_area = None;
+        for (si, &strategy) in strategies.iter().enumerate() {
+            let mut row = vec![strategy.label()];
+            let mut sample_area = 0.0;
+            for ti in 0..n_targets {
+                let r = &results[si * n_targets + ti];
+                row.push(pct(r.accuracy as f64));
+                sample_area = r.area_mm2;
+            }
+            if matches!(strategy, Strategy::AllSram) {
+                all_sram_area = Some(sample_area);
+            }
+            let norm = sample_area / all_sram_area.unwrap_or(sample_area);
+            area_rows.push(vec![
+                strategy.label(),
+                fmt(sample_area, 4),
+                fmt(norm, 3),
+            ]);
+            acc_rows.push(row);
+        }
+        print_table(
+            &format!("Fig. 10(b) accuracy, {family:?} (pretrain -> target)"),
+            &[
+                "Strategy",
+                suite.cifar10_like.name.as_str(),
+                suite.mnist_like.name.as_str(),
+                suite.fashion_like.name.as_str(),
+                suite.caltech_like.name.as_str(),
+            ],
+            &acc_rows,
+        );
+        print_table(
+            &format!("Fig. 10(a) memory area, {family:?}"),
+            &["Strategy", "CiM memory area (mm2)", "Normalized to All-SRAM"],
+            &area_rows,
+        );
+    }
+    println!(
+        "\nPaper (Fig. 10): ReBranch saves ~10x memory area vs all-SRAM-CiM with \
+         <0.4% accuracy loss; All-ROM collapses on the far-domain target \
+         (Caltech101: 56.1% vs 66.8% all-SRAM)."
+    );
+}

@@ -1,0 +1,84 @@
+//! Fig. 11: ReBranch hyper-parameter analysis.
+//!
+//! (a) accuracy and ROM/SRAM area vs overall branch compression D*U
+//!     (4, 16, 64);
+//! (b) accuracy vs the split of a fixed 16x budget between compression D
+//!     and decompression U (1-16, 2-8, 4-4, 8-2, 16-1).
+
+use yoloc_bench::{fmt, pct, print_table};
+use yoloc_core::rebranch::ReBranchRatios;
+use yoloc_core::strategies::{evaluate_strategy, pretrain_base, Strategy, TrainConfig};
+use yoloc_core::tiny_models::{default_channels, Family};
+use yoloc_data::classification::TransferSuite;
+
+fn main() {
+    let seed = 21;
+    let suite = TransferSuite::new(seed);
+    let target = &suite.fashion_like;
+
+    for family in [Family::Vgg, Family::ResNet] {
+        println!("\n=== {family:?}-style model ===");
+        let base = pretrain_base(
+            family,
+            &default_channels(),
+            &suite.pretrain,
+            TrainConfig::pretrain(),
+            seed,
+        );
+
+        // (a) D*U sweep with D == U.
+        let mut rows = Vec::new();
+        for (d, u) in [(2usize, 2usize), (4, 4), (8, 8)] {
+            let r = evaluate_strategy(
+                &base,
+                target,
+                Strategy::ReBranch(ReBranchRatios { d, u }),
+                TrainConfig::transfer(),
+                seed + (d * 10 + u) as u64,
+            );
+            rows.push(vec![
+                format!("{}", d * u),
+                format!("{d}-{u}"),
+                pct(r.accuracy as f64),
+                fmt(r.rom_bits as f64 / 8.0 / 1e6, 3),
+                fmt(r.sram_bits as f64 / 8.0 / 1e6, 3),
+                fmt(r.area_mm2, 4),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 11(a): branch compression sweep ({})", target.name),
+            &[
+                "D*U",
+                "D-U",
+                "Accuracy",
+                "ROM weights (M)",
+                "SRAM weights (M)",
+                "Area (mm2)",
+            ],
+            &rows,
+        );
+
+        // (b) split sweep at fixed D*U = 16.
+        let mut rows = Vec::new();
+        for (d, u) in [(1usize, 16usize), (2, 8), (4, 4), (8, 2), (16, 1)] {
+            let r = evaluate_strategy(
+                &base,
+                target,
+                Strategy::ReBranch(ReBranchRatios { d, u }),
+                TrainConfig::transfer(),
+                seed + (d * 100 + u) as u64,
+            );
+            rows.push(vec![format!("{d}-{u}"), pct(r.accuracy as f64)]);
+        }
+        print_table(
+            &format!("Fig. 11(b): D-U split at 16x ({})", target.name),
+            &["Compression-Decompression", "Accuracy"],
+            &rows,
+        );
+    }
+    println!(
+        "\nPaper: D=U=4 maximizes accuracy (93.1% ResNet-18, 90.2% VGG-8); 16x \
+         total compression balances area saving against model flexibility — \
+         smaller D*U makes SRAM the area bottleneck, larger D*U loses accuracy."
+    );
+}

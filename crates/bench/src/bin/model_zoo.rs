@@ -1,0 +1,46 @@
+//! Prints the model zoo's parameter and MAC budgets — the quantitative
+//! basis of the paper's motivation ("Tiny-YOLO and YOLO have 11.3 M and
+//! 46 M weights") and of every capacity argument downstream.
+
+use yoloc_bench::{fmt, print_table};
+use yoloc_models::summary::summary_markdown;
+use yoloc_models::zoo;
+
+fn main() {
+    let models = [
+        zoo::vgg8(100),
+        zoo::resnet18(1000),
+        zoo::darknet19(1000),
+        zoo::tiny_yolo(20, 5),
+        zoo::yolo_v2(20, 5),
+    ];
+    let mut rows = Vec::new();
+    for net in &models {
+        let macs = net.macs().expect("consistent");
+        rows.push(vec![
+            net.name.clone(),
+            format!("{}x{}x{}", net.input.0, net.input.1, net.input.2),
+            fmt(net.param_count() as f64 / 1e6, 2),
+            fmt(net.cim_param_count() as f64 / 1e6, 2),
+            fmt(macs as f64 / 1e9, 2),
+            fmt(net.weight_bits(8) as f64 / 8.0 / 1e6 / 1.048_576 / 1.048_576 * 1.048_576, 1),
+        ]);
+    }
+    print_table(
+        "Model zoo",
+        &[
+            "Model",
+            "Input",
+            "Params (M)",
+            "CiM params (M)",
+            "GMACs/inference",
+            "8-bit weight storage (MB)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper: Tiny-YOLO 11.3 M and YOLO 46 M weights (we build the standard \
+         v2 architectures: 15.9 M and 50.6 M; see EXPERIMENTS.md)."
+    );
+    println!("\n{}", summary_markdown(&zoo::yolo_v2(20, 5)).expect("consistent"));
+}

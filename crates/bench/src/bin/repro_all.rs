@@ -1,0 +1,42 @@
+//! Runs every *analytic* reproduction artifact in one go (Table I,
+//! Fig. 1/4, the Fig. 14 system comparison, ablations, sweeps and the
+//! model zoo). The training-based figures (6b, 10, 11, 12) and the
+//! deployment accuracy check take minutes each and have their own
+//! binaries — this runner prints the commands for them at the end.
+
+use std::process::Command;
+
+fn run(bin: &str) {
+    println!("\n==================== {bin} ====================");
+    let status = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => eprintln!("{bin} exited with {s}"),
+        Err(e) => eprintln!("failed to launch {bin}: {e} (build with --release -p yoloc-bench first)"),
+    }
+}
+
+fn main() {
+    for bin in [
+        "table1_macro",
+        "fig01_scaling",
+        "fig04_cells",
+        "model_zoo",
+        "fig14_system",
+        "ablation_mapping",
+        "ablation_adc",
+        "sweep_sensitivity",
+        "sweep_chiplets",
+        "onchip_training",
+    ] {
+        run(bin);
+    }
+    println!(
+        "\nTraining-based artifacts (minutes each):\n  cargo run --release -p \
+         yoloc-bench --bin fig06_atl\n  cargo run --release -p yoloc-bench --bin \
+         fig10_generalization\n  cargo run --release -p yoloc-bench --bin \
+         fig11_compression\n  cargo run --release -p yoloc-bench --bin \
+         fig12_detection\n  cargo run --release -p yoloc-bench --bin accuracy_on_cim"
+    );
+}

@@ -1,0 +1,98 @@
+//! Table I: the ROM-CiM macro specification summary, computed from the
+//! circuit-level parameters (not hard-coded), next to the paper's values
+//! and the SRAM-CiM counterpart.
+
+use yoloc_bench::{fmt, fmt_x, print_table};
+use yoloc_cim::MacroParams;
+
+fn main() {
+    let rom = MacroParams::rom_paper().spec();
+    let sram = MacroParams::sram_paper().spec();
+    let rows = vec![
+        vec!["Process".into(), rom.process.clone(), "28nm CMOS".into()],
+        vec![
+            "Macro size".into(),
+            format!("{} Mb", fmt(rom.macro_size_mb, 2)),
+            "1.2 Mb".into(),
+        ],
+        vec![
+            "Macro area".into(),
+            format!("{} mm2", fmt(rom.macro_area_mm2, 3)),
+            "0.24 mm2".into(),
+        ],
+        vec![
+            "Macro density".into(),
+            format!("{} Mb/mm2", fmt(rom.density_mb_per_mm2, 2)),
+            "5 Mb/mm2 (25.6x)".into(),
+        ],
+        vec![
+            "Cell area".into(),
+            format!("{} um2", fmt(rom.cell_area_um2, 3)),
+            "0.014 um2".into(),
+        ],
+        vec![
+            "Input x weight".into(),
+            format!("{}-bit x {}-bit", rom.act_bits, rom.weight_bits),
+            "8-bit x 8-bit".into(),
+        ],
+        vec![
+            "Inference time".into(),
+            format!("{} ns", fmt(rom.inference_time_ns, 1)),
+            "8.9 ns".into(),
+        ],
+        vec![
+            "Operation number".into(),
+            rom.operation_number.to_string(),
+            "256".into(),
+        ],
+        vec![
+            "Throughput".into(),
+            format!("{} GOPS", fmt(rom.throughput_gops, 1)),
+            "28.8 GOPS".into(),
+        ],
+        vec![
+            "Macro area efficiency".into(),
+            format!("{} GOPS/mm2", fmt(rom.area_efficiency_gops_mm2, 1)),
+            "119.4 GOPS/mm2".into(),
+        ],
+        vec![
+            "MAC energy efficiency".into(),
+            format!("{} TOPS/W", fmt(rom.energy_efficiency_tops_w, 1)),
+            "11.5 TOPS/W".into(),
+        ],
+        vec![
+            "Standby power".into(),
+            format!("{} W (non-volatile)", fmt(rom.standby_power_w, 3)),
+            "0 (non-volatile)".into(),
+        ],
+    ];
+    print_table(
+        "Table I: ROM-CiM macro specification (computed vs paper)",
+        &["Item", "This reproduction", "Paper"],
+        &rows,
+    );
+
+    print_table(
+        "SRAM-CiM counterpart (ISSCC'21 [3]-class macro)",
+        &["Item", "Value"],
+        &[
+            vec![
+                "Macro size".into(),
+                format!("{} Mb", fmt(sram.macro_size_mb, 3)),
+            ],
+            vec![
+                "Macro density".into(),
+                format!("{} Mb/mm2", fmt(sram.density_mb_per_mm2, 3)),
+            ],
+            vec![
+                "ROM/SRAM macro density ratio".into(),
+                fmt_x(rom.density_mb_per_mm2 / sram.density_mb_per_mm2),
+            ],
+            vec![
+                "Standby power".into(),
+                format!("{:.2e} W (volatile)", sram.standby_power_w),
+            ],
+        ],
+    );
+    println!("\nPaper: ROM-CiM density is 19x the SRAM-CiM macro in the same process.");
+}

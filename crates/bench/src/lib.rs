@@ -1,0 +1,110 @@
+//! # yoloc-bench
+//!
+//! Reproduction harness for every table and figure in the YOLoC paper's
+//! evaluation (DAC 2022). Each binary under `src/bin/` regenerates one
+//! artifact:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig01_scaling` | Fig. 1(a) technology-scaling argument |
+//! | `fig04_cells` | Fig. 4 CiM cell comparison |
+//! | `fig06_atl` | Fig. 6(b) transferability decay |
+//! | `fig10_generalization` | Fig. 10 ReBranch generalization |
+//! | `fig11_compression` | Fig. 11 D/U compression sweep |
+//! | `fig12_detection` | Fig. 12 detection mAP and chip area |
+//! | `fig14_system` | Fig. 14 system-level comparison |
+//! | `table1_macro` | Table I macro specification |
+//!
+//! Run e.g. `cargo run --release -p yoloc-bench --bin fig14_system`.
+//! Criterion micro-benchmarks of the underlying kernels live under
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Runs independent jobs on worker threads (one per available core, at
+/// most `jobs.len()`), preserving input order in the output. Used by the
+/// training-heavy figure binaries to sweep strategies in parallel.
+pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let results: Vec<parking_lot::Mutex<Option<T>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let queue = crossbeam::queue::SegQueue::new();
+    for (i, j) in jobs.into_iter().enumerate() {
+        queue.push((i, j));
+    }
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| {
+                while let Some((i, job)) = queue.pop() {
+                    *results[i].lock() = Some(job());
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("job completed"))
+        .collect()
+}
+
+/// Prints a GitHub-markdown table to stdout.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fmt(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats a ratio as `N.Nx`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{v:.1}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt_x(14.81), "14.8x");
+        assert_eq!(pct(0.125), "12.5%");
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..32)
+            .map(|i: usize| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = run_parallel(jobs);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_empty() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = Vec::new();
+        assert!(run_parallel(jobs).is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! # yoloc-cim
+//!
+//! Behavioural circuit models for the YOLoC (DAC 2022) reproduction: the
+//! proposed 1T/cell ROM-CiM bit cell and macro (Fig. 4a, Fig. 5), the
+//! SRAM-CiM cell zoo it is compared against (Fig. 4b–f), an analog
+//! bit-line/ADC evaluation model, technology-scaling data (Fig. 1a), and
+//! the computed Table I macro specification.
+//!
+//! These models replace the 28 nm parasitic-extraction + SPICE layer of the
+//! paper: every datapath step (precharge, unary word-line pulses,
+//! charge-share discharge counting, ADC digitization, shift-&-add) is
+//! modelled explicitly, and with an ideal ADC the macro output is
+//! bit-exact against the integer reference — the same functional
+//! equivalence SPICE verifies for the real macro.
+//!
+//! # Examples
+//!
+//! ```
+//! use yoloc_cim::macro_model::MacroParams;
+//!
+//! let spec = MacroParams::rom_paper().spec();
+//! assert_eq!(spec.operation_number, 256);
+//! assert!((spec.inference_time_ns - 8.9).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analog;
+pub mod cells;
+pub mod macro_model;
+pub mod rom_image;
+pub mod tcam;
+pub mod technology;
+
+pub use analog::{AdcModel, AnalogArray, AnalogConfig};
+pub use cells::{CellKind, RomCell};
+pub use macro_model::{MacroParams, MacroSpec, MvmStats, RomMvm};
+pub use rom_image::RomImage;
+pub use tcam::{TcamMacro, TcamParams};

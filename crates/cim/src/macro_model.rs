@@ -1,0 +1,593 @@
+//! The ROM-CiM macro of Fig. 5 and its SRAM-CiM counterpart.
+//!
+//! A macro is a stack of 128x256 subarrays with 16 column-shared ADCs per
+//! subarray, input serial-bit drivers, prechargers and a shift-&-add unit.
+//! This module provides
+//!
+//! * [`MacroParams`] — the circuit-level parameters (geometry, per-event
+//!   energies, peripheral areas) from which every Table I figure is
+//!   *computed*, not hard-coded;
+//! * [`MacroSpec`] — the computed Table I specification summary;
+//! * [`RomMvm`] — a functional matrix-vector engine that programs quantized
+//!   weights into analog subarrays and executes the bit-serial datapath,
+//!   with energy/latency statistics.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::analog::{AdcModel, AnalogArray, AnalogConfig};
+use crate::cells::CellKind;
+use yoloc_quant::bitplane::{signed_bitplanes, signed_plane_weight, unsigned_chunks};
+
+/// Circuit-level parameters of a CiM macro.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacroParams {
+    /// Bit-cell implementation.
+    pub cell: CellKind,
+    /// Word lines per subarray.
+    pub rows: usize,
+    /// Bit lines per subarray.
+    pub cols: usize,
+    /// Column-shared ADCs per subarray (16 in Fig. 5: 256 / 16 columns per
+    /// ADC).
+    pub adcs_per_subarray: usize,
+    /// Subarrays in the macro.
+    pub subarrays: usize,
+    /// Rows activated simultaneously per analog evaluation.
+    pub rows_per_activation: usize,
+    /// ADC resolution in bits.
+    pub adc_bits: u8,
+    /// Weight precision in bits.
+    pub weight_bits: u8,
+    /// Activation precision in bits.
+    pub act_bits: u8,
+    /// Activation digit width driven per cycle (2 -> 0..=3 unary pulses).
+    pub chunk_bits: u8,
+    /// Gaussian bit-line noise sigma in discharge-count units.
+    pub noise_sigma: f32,
+    /// Time for one macro MAC inference (Table I: 8.9 ns).
+    pub t_inference_ns: f64,
+    /// Energy per ADC conversion, pJ.
+    pub e_adc_pj: f64,
+    /// Energy per word-line pulse, pJ.
+    pub e_wl_pulse_pj: f64,
+    /// Energy per bit-line precharge (per column per evaluation), pJ.
+    pub e_precharge_pj: f64,
+    /// Shift-&-add + control energy per inference, pJ.
+    pub e_shift_add_pj: f64,
+    /// SRAM-CiM only: energy to write one weight bit into the array, pJ.
+    /// Zero for ROM (mask-programmed).
+    pub e_write_per_bit_pj: f64,
+    /// ADC area, µm² each.
+    pub a_adc_um2: f64,
+    /// Word-line driver area, µm² per row.
+    pub a_driver_um2: f64,
+    /// Control + shift-&-add + (for SRAM) R/W interface area per subarray, µm².
+    pub a_ctrl_um2: f64,
+    /// Standby leakage per cell, pW (0 for ROM).
+    pub standby_pw_per_cell: f64,
+}
+
+impl MacroParams {
+    /// The proposed 28 nm ROM-CiM macro, calibrated so that [`MacroSpec`]
+    /// reproduces Table I (1.2 Mb, 0.24 mm², 5 Mb/mm², 8.9 ns, 28.8 GOPS,
+    /// 119.4 GOPS/mm², 11.5 TOPS/W).
+    pub fn rom_paper() -> Self {
+        MacroParams {
+            cell: CellKind::Rom1T,
+            rows: 128,
+            cols: 256,
+            adcs_per_subarray: 16,
+            subarrays: 38,
+            rows_per_activation: 10,
+            adc_bits: 5,
+            weight_bits: 8,
+            act_bits: 8,
+            chunk_bits: 2,
+            noise_sigma: 0.0,
+            t_inference_ns: 8.9,
+            e_adc_pj: 0.045,
+            e_wl_pulse_pj: 0.005,
+            e_precharge_pj: 0.0015,
+            e_shift_add_pj: 0.35,
+            e_write_per_bit_pj: 0.0,
+            a_adc_um2: 280.0,
+            a_driver_um2: 8.0,
+            a_ctrl_um2: 353.0,
+            standby_pw_per_cell: 0.0,
+        }
+    }
+
+    /// The iso-process SRAM-CiM macro modelled on the ISSCC'21 [3] 6T
+    /// macro: same sensing datapath, 18.5x larger cells, an R/W interface
+    /// (extra control area + per-bit write energy), and cell leakage.
+    pub fn sram_paper() -> Self {
+        MacroParams {
+            cell: CellKind::Sram6TCim,
+            subarrays: 12, // 384 kb macro as in [3]
+            e_write_per_bit_pj: 0.35,
+            // 6T cells load word/bit lines ~18x harder than the 1T ROM
+            // cell; drive and precharge energy scale accordingly, putting
+            // the SRAM-CiM macro ~10% below the ROM macro in TOPS/W.
+            e_wl_pulse_pj: 0.0085,
+            e_precharge_pj: 0.0026,
+            // Calibrated so the SRAM-CiM macro density is 19x below the
+            // ROM-CiM macro (paper 4.3.1); SRAM-CiM at 8-bit precision is
+            // peripheral-dominated (R/W interface, per-column logic).
+            a_ctrl_um2: 105_200.0,
+            a_driver_um2: 14.0,
+            standby_pw_per_cell: CellKind::Sram6TCim.standby_leakage_pw(),
+            ..Self::rom_paper()
+        }
+    }
+
+    /// An eDRAM-CiM macro (paper §2.3 related work): denser than SRAM-CiM
+    /// (1T1C-class cells, ~3x the 6T-CiM density) but volatile with a
+    /// refresh burden and tighter compute-accuracy margins. Included so
+    /// the density/flexibility spectrum ROM < eDRAM < SRAM can be swept.
+    pub fn edram_paper() -> Self {
+        MacroParams {
+            cell: CellKind::Sram6TCim, // area overridden via a_ctrl below
+            subarrays: 24,
+            // 1T1C cell ~6.2x the ROM cell (vs 18.5x for 6T-CiM).
+            // Modelled by shrinking the peripheral budget proportionally.
+            a_ctrl_um2: 32_000.0,
+            a_driver_um2: 10.0,
+            e_write_per_bit_pj: 0.15,
+            // Refresh shows up as standby burn.
+            standby_pw_per_cell: 4.0,
+            ..Self::rom_paper()
+        }
+    }
+
+    /// Capacity of one subarray in bits.
+    pub fn subarray_bits(&self) -> u64 {
+        (self.rows * self.cols) as u64
+    }
+
+    /// Total macro capacity in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.subarray_bits() * self.subarrays as u64
+    }
+
+    /// Macro area in mm²: cells plus per-subarray peripherals.
+    pub fn area_mm2(&self) -> f64 {
+        let cell_area = self.capacity_bits() as f64 * self.cell.area_um2();
+        let per_sub = self.adcs_per_subarray as f64 * self.a_adc_um2
+            + self.rows as f64 * self.a_driver_um2
+            + self.a_ctrl_um2;
+        (cell_area + per_sub * self.subarrays as f64) / 1e6
+    }
+
+    /// MAC operations (multiply + add) per macro inference: one
+    /// `rows_per_activation`-deep dot product at full precision counts
+    /// 2 ops per input row, matching Table I's "operation number 256".
+    pub fn ops_per_inference(&self) -> u64 {
+        2 * self.rows as u64
+    }
+
+    /// Energy per macro inference in pJ.
+    ///
+    /// One inference is a full-precision MAC over all `rows` inputs for one
+    /// output: `chunks x groups` analog evaluations, each digitizing the
+    /// output's `weight_bits` bit-plane columns. The per-event constants
+    /// are calibrated so the ROM macro lands on Table I's 11.5 TOPS/W.
+    pub fn energy_per_inference_pj(&self) -> f64 {
+        let chunks = self.act_bits.div_ceil(self.chunk_bits) as f64;
+        let groups = self.rows.div_ceil(self.rows_per_activation) as f64;
+        let evals = chunks * groups;
+        let conversions = evals * self.weight_bits as f64;
+        conversions * self.e_adc_pj
+            + self.rows as f64 * chunks * self.e_wl_pulse_pj
+            + evals * self.weight_bits as f64 * self.e_precharge_pj
+            + self.e_shift_add_pj
+    }
+
+    /// The analog configuration of one subarray under these parameters.
+    pub fn analog_config(&self) -> AnalogConfig {
+        let max_pulses = (1u8 << self.chunk_bits) - 1;
+        AnalogConfig {
+            rows: self.rows,
+            cols: self.cols,
+            rows_per_activation: self.rows_per_activation,
+            noise_sigma: self.noise_sigma,
+            max_pulses,
+            adc: if self.adc_bits >= 16 {
+                AdcModel::Ideal
+            } else {
+                AdcModel::Sar {
+                    bits: self.adc_bits,
+                    full_scale: (self.rows_per_activation as u32) * max_pulses as u32,
+                }
+            },
+        }
+    }
+
+    /// Computes the Table I style specification summary.
+    pub fn spec(&self) -> MacroSpec {
+        let ops = self.ops_per_inference();
+        let throughput_gops = ops as f64 / self.t_inference_ns;
+        let area = self.area_mm2();
+        let e_inf_pj = self.energy_per_inference_pj();
+        MacroSpec {
+            process: "28nm CMOS".to_string(),
+            macro_size_mb: self.capacity_bits() as f64 / 1_048_576.0,
+            macro_area_mm2: area,
+            density_mb_per_mm2: self.capacity_bits() as f64 / 1_048_576.0 / area,
+            cell_area_um2: self.cell.area_um2(),
+            weight_bits: self.weight_bits,
+            act_bits: self.act_bits,
+            inference_time_ns: self.t_inference_ns,
+            operation_number: ops,
+            throughput_gops,
+            area_efficiency_gops_mm2: throughput_gops / area,
+            energy_efficiency_tops_w: ops as f64 / e_inf_pj,
+            standby_power_w: self.capacity_bits() as f64 * self.standby_pw_per_cell * 1e-12,
+        }
+    }
+}
+
+/// The Table I specification summary, computed from [`MacroParams`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MacroSpec {
+    /// Process description.
+    pub process: String,
+    /// Macro capacity in Mb (binary).
+    pub macro_size_mb: f64,
+    /// Macro area in mm².
+    pub macro_area_mm2: f64,
+    /// Storage density in Mb/mm².
+    pub density_mb_per_mm2: f64,
+    /// Bit-cell area in µm².
+    pub cell_area_um2: f64,
+    /// Weight precision.
+    pub weight_bits: u8,
+    /// Activation precision.
+    pub act_bits: u8,
+    /// Time per macro MAC inference in ns.
+    pub inference_time_ns: f64,
+    /// Operations per inference.
+    pub operation_number: u64,
+    /// Throughput in GOPS.
+    pub throughput_gops: f64,
+    /// Area efficiency in GOPS/mm².
+    pub area_efficiency_gops_mm2: f64,
+    /// MAC energy efficiency in TOPS/W.
+    pub energy_efficiency_tops_w: f64,
+    /// Standby power in watts (0 for non-volatile ROM).
+    pub standby_power_w: f64,
+}
+
+/// Runtime statistics of a functional MVM execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MvmStats {
+    /// Analog group evaluations performed.
+    pub analog_evaluations: u64,
+    /// ADC conversions performed.
+    pub adc_conversions: u64,
+    /// Word-line pulses driven.
+    pub wl_pulses: u64,
+    /// Total energy in pJ under the macro's energy model.
+    pub energy_pj: f64,
+    /// Latency in ns assuming subarrays evaluate serially per row-tile and
+    /// chunk (conservative; parallel activation divides this).
+    pub latency_ns: f64,
+}
+
+/// A quantized weight matrix programmed into ROM-CiM subarrays, executing
+/// MVMs through the analog datapath.
+///
+/// Logical layout: a `(outs, ins)` signed weight matrix. Physically, input
+/// dimension maps to word lines (tiled by `rows`), and each output occupies
+/// `weight_bits` adjacent bit lines (one per bit-plane), tiled across
+/// subarrays of `cols` bit lines.
+pub struct RomMvm {
+    params: MacroParams,
+    /// `tiles[row_tile][col_tile]` of programmed subarrays.
+    tiles: Vec<Vec<AnalogArray>>,
+    ins: usize,
+    outs: usize,
+    outs_per_array: usize,
+}
+
+impl RomMvm {
+    /// Programs a signed quantized weight matrix (`outs x ins`, row-major
+    /// codes in the signed `weight_bits` range) into subarrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != outs * ins` or any code is out of range.
+    pub fn program(params: MacroParams, codes: &[i32], outs: usize, ins: usize) -> Self {
+        assert_eq!(codes.len(), outs * ins, "weight matrix size mismatch");
+        let outs_per_array = params.cols / params.weight_bits as usize;
+        assert!(outs_per_array > 0, "cols must fit one output");
+        let row_tiles = ins.div_ceil(params.rows);
+        let col_tiles = outs.div_ceil(outs_per_array);
+        let cfg = params.analog_config();
+        let mut tiles = Vec::with_capacity(row_tiles);
+        for rt in 0..row_tiles {
+            let mut row = Vec::with_capacity(col_tiles);
+            for ct in 0..col_tiles {
+                // Build the bit matrix for this subarray.
+                let mut bits = vec![false; params.rows * params.cols];
+                for r in 0..params.rows {
+                    let in_idx = rt * params.rows + r;
+                    if in_idx >= ins {
+                        break;
+                    }
+                    for o in 0..outs_per_array {
+                        let out_idx = ct * outs_per_array + o;
+                        if out_idx >= outs {
+                            break;
+                        }
+                        let code = codes[out_idx * ins + in_idx];
+                        let planes = signed_bitplanes(&[code], params.weight_bits);
+                        for (j, plane) in planes.iter().enumerate() {
+                            let col = o * params.weight_bits as usize + j;
+                            bits[r * params.cols + col] = plane[0] == 1;
+                        }
+                    }
+                }
+                row.push(AnalogArray::from_bits(cfg, &bits));
+            }
+            tiles.push(row);
+        }
+        RomMvm {
+            params,
+            tiles,
+            ins,
+            outs,
+            outs_per_array,
+        }
+    }
+
+    /// Logical dimensions `(outs, ins)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.outs, self.ins)
+    }
+
+    /// Total subarrays used.
+    pub fn subarrays_used(&self) -> usize {
+        self.tiles.iter().map(|r| r.len()).sum()
+    }
+
+    /// Exports the mask bit image the fab would receive for this
+    /// programmed matrix (see [`crate::rom_image`]).
+    pub fn rom_image(&self) -> crate::rom_image::RomImage {
+        let mut img = crate::rom_image::RomImage::new(self.params.rows, self.params.cols);
+        for row in &self.tiles {
+            for array in row {
+                let mut bits = Vec::with_capacity(self.params.rows * self.params.cols);
+                for r in 0..self.params.rows {
+                    for c in 0..self.params.cols {
+                        bits.push(array.bit(r, c));
+                    }
+                }
+                img.push_subarray(bits);
+            }
+        }
+        img
+    }
+
+    /// Executes `y = W x` on unsigned activation codes (`0..2^act_bits`),
+    /// returning the integer results and execution statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts.len() != ins` or any code is out of range.
+    pub fn mvm<R: Rng + ?Sized>(&self, acts: &[i32], rng: &mut R) -> (Vec<i64>, MvmStats) {
+        assert_eq!(acts.len(), self.ins, "activation length mismatch");
+        let p = &self.params;
+        let chunks = unsigned_chunks(acts, p.act_bits, p.chunk_bits);
+        let wb = p.weight_bits as usize;
+        let mut out = vec![0i64; self.outs];
+        let mut stats = MvmStats::default();
+        for (rt, tile_row) in self.tiles.iter().enumerate() {
+            let row_lo = rt * p.rows;
+            let row_hi = ((rt + 1) * p.rows).min(self.ins);
+            for (c_idx, chunk) in chunks.iter().enumerate() {
+                // Build the pulse vector for this row tile and digit.
+                let mut pulses = vec![0u8; p.rows];
+                pulses[..row_hi - row_lo].copy_from_slice(&chunk[row_lo..row_hi]);
+                let total_pulses: u64 = pulses.iter().map(|&v| v as u64).sum();
+                if total_pulses == 0 {
+                    continue;
+                }
+                let act_weight = 1i64 << (c_idx as u8 * p.chunk_bits);
+                for (ct, array) in tile_row.iter().enumerate() {
+                    let (counts, evals) = array.evaluate(&pulses, rng);
+                    stats.analog_evaluations += evals as u64;
+                    stats.adc_conversions += (evals * p.cols) as u64;
+                    stats.wl_pulses += total_pulses;
+                    for o in 0..self.outs_per_array {
+                        let out_idx = ct * self.outs_per_array + o;
+                        if out_idx >= self.outs {
+                            break;
+                        }
+                        for j in 0..wb {
+                            let count = counts[o * wb + j];
+                            out[out_idx] +=
+                                act_weight * signed_plane_weight(j, p.weight_bits) * count;
+                        }
+                    }
+                }
+            }
+        }
+        // Energy: one e_adc per column conversion, e_wl per actual pulse,
+        // per-evaluation bit-line precharge, and shift-&-add/control
+        // overhead per active subarray.
+        stats.energy_pj = stats.adc_conversions as f64 * p.e_adc_pj
+            + stats.wl_pulses as f64 * p.e_wl_pulse_pj
+            + stats.analog_evaluations as f64 * p.cols as f64 * p.e_precharge_pj
+            + self.subarrays_used() as f64 * p.e_shift_add_pj;
+        // Latency: one analog evaluation takes t_inference / (chunks x
+        // groups) — a full 8-bit MAC over `rows` inputs takes
+        // t_inference_ns. Column tiles run in parallel on distinct
+        // subarrays, so divide by the column-tile count.
+        let groups_per_tile = p.rows.div_ceil(p.rows_per_activation) as f64;
+        let chunk_count = p.act_bits.div_ceil(p.chunk_bits) as f64;
+        let t_eval = p.t_inference_ns / (chunk_count * groups_per_tile);
+        stats.latency_ns = stats.analog_evaluations as f64 * t_eval
+            / self.tiles.first().map_or(1.0, |r| r.len() as f64).max(1.0);
+        (out, stats)
+    }
+}
+
+/// Reference integer MVM for cross-checking [`RomMvm`]: `y = W x` with the
+/// same `(outs, ins)` layout.
+pub fn reference_mvm(codes: &[i32], outs: usize, ins: usize, acts: &[i32]) -> Vec<i64> {
+    let mut y = vec![0i64; outs];
+    for (o, yo) in y.iter_mut().enumerate() {
+        *yo = codes[o * ins..(o + 1) * ins]
+            .iter()
+            .zip(acts)
+            .map(|(&w, &a)| w as i64 * a as i64)
+            .sum();
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table1_spec_matches_paper() {
+        let spec = MacroParams::rom_paper().spec();
+        // Table I targets.
+        assert!((spec.macro_size_mb - 1.2).abs() < 0.1, "size {}", spec.macro_size_mb);
+        assert!((spec.macro_area_mm2 - 0.24).abs() < 0.01, "area {}", spec.macro_area_mm2);
+        assert!((spec.density_mb_per_mm2 - 5.0).abs() < 0.3, "density {}", spec.density_mb_per_mm2);
+        assert!((spec.cell_area_um2 - 0.014).abs() < 1e-9);
+        assert_eq!(spec.operation_number, 256);
+        assert!((spec.inference_time_ns - 8.9).abs() < 1e-9);
+        assert!((spec.throughput_gops - 28.8).abs() < 0.2, "gops {}", spec.throughput_gops);
+        assert!((spec.area_efficiency_gops_mm2 - 119.4).abs() < 3.0, "ae {}", spec.area_efficiency_gops_mm2);
+        assert!((spec.energy_efficiency_tops_w - 11.5).abs() < 0.2, "ee {}", spec.energy_efficiency_tops_w);
+        assert_eq!(spec.standby_power_w, 0.0);
+    }
+
+    #[test]
+    fn edram_sits_between_sram_and_rom() {
+        let rom = MacroParams::rom_paper().spec();
+        let sram = MacroParams::sram_paper().spec();
+        let edram = MacroParams::edram_paper().spec();
+        assert!(edram.density_mb_per_mm2 > sram.density_mb_per_mm2);
+        assert!(edram.density_mb_per_mm2 < rom.density_mb_per_mm2);
+        // Volatile and refresh-hungry.
+        assert!(edram.standby_power_w > sram.standby_power_w);
+    }
+
+    #[test]
+    fn rom_vs_sram_density_ratio() {
+        let rom = MacroParams::rom_paper().spec();
+        let sram = MacroParams::sram_paper().spec();
+        let ratio = rom.density_mb_per_mm2 / sram.density_mb_per_mm2;
+        // Paper: ROM-CiM macro density 19-25.6x the SRAM-CiM counterpart.
+        assert!((15.0..=30.0).contains(&ratio), "density ratio {ratio}");
+        assert!(sram.standby_power_w > 0.0);
+    }
+
+    #[test]
+    fn mvm_ideal_adc_is_exact() {
+        let mut params = MacroParams::rom_paper();
+        params.adc_bits = 16; // ideal
+        params.subarrays = 4;
+        let mut rng = StdRng::seed_from_u64(1);
+        let (outs, ins) = (5, 200);
+        let codes: Vec<i32> = (0..outs * ins).map(|i| ((i * 37) % 255) as i32 - 127).collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 13) % 256) as i32).collect();
+        let engine = RomMvm::program(params, &codes, outs, ins);
+        let (y, stats) = engine.mvm(&acts, &mut rng);
+        assert_eq!(y, reference_mvm(&codes, outs, ins, &acts));
+        assert!(stats.analog_evaluations > 0);
+        assert!(stats.energy_pj > 0.0);
+        assert!(stats.latency_ns > 0.0);
+    }
+
+    #[test]
+    fn mvm_5bit_adc_paper_design_point_is_exact() {
+        // 10 active rows x 3 pulses = 30 events fits the 31-level 5-bit
+        // ADC, so the noiseless datapath is bit-exact — the macro-level
+        // basis for the paper's "almost no accuracy loss".
+        let params = MacroParams::rom_paper(); // 5-bit ADC, 10 rows/activation
+        let mut rng = StdRng::seed_from_u64(2);
+        let (outs, ins) = (4, 128);
+        let codes: Vec<i32> = (0..outs * ins).map(|i| ((i * 7) % 200) as i32 - 100).collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 11) % 128) as i32).collect();
+        let engine = RomMvm::program(params, &codes, outs, ins);
+        let (y, _) = engine.mvm(&acts, &mut rng);
+        assert_eq!(y, reference_mvm(&codes, outs, ins, &acts));
+    }
+
+    #[test]
+    fn mvm_overdriven_rows_has_bounded_error() {
+        // Driving more simultaneous rows than the ADC can resolve trades
+        // accuracy for parallelism (paper 4.3.1 trade-off): the result is
+        // no longer exact but the error is bounded by the per-evaluation
+        // quantization error times the bit significance weights.
+        let mut params = MacroParams::rom_paper();
+        params.rows_per_activation = 32; // full scale 96 >> 31 levels
+        let mut rng = StdRng::seed_from_u64(5);
+        let (outs, ins) = (4, 128);
+        let codes: Vec<i32> = (0..outs * ins).map(|i| ((i * 13) % 250) as i32 - 125).collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 17) % 256) as i32).collect();
+        let engine = RomMvm::program(params, &codes, outs, ins);
+        let (y, _) = engine.mvm(&acts, &mut rng);
+        let exact = reference_mvm(&codes, outs, ins, &acts);
+        let per_eval = params.analog_config().adc.max_quantization_error() as f64;
+        let groups = (128f64 / 32.0).ceil();
+        let sum_act_w = (0..4).map(|c| (1u64 << (2 * c)) as f64).sum::<f64>();
+        let sum_plane_w = (0..8).map(|j| (1u64 << j) as f64).sum::<f64>();
+        let bound = groups * sum_act_w * sum_plane_w * per_eval;
+        let mut any_err = false;
+        for (a, b) in y.iter().zip(&exact) {
+            assert!(((a - b).abs() as f64) <= bound, "{a} vs {b} bound {bound}");
+            any_err |= a != b;
+        }
+        assert!(any_err, "overdriven readout should show quantization error");
+    }
+
+    #[test]
+    fn tiling_covers_large_matrices() {
+        let mut params = MacroParams::rom_paper();
+        params.adc_bits = 16;
+        let (outs, ins) = (70, 300); // forces 3 row tiles x 3 col tiles
+        let codes = vec![1i32; outs * ins];
+        let engine = RomMvm::program(params, &codes, outs, ins);
+        assert_eq!(engine.subarrays_used(), 3 * 3);
+        let acts = vec![1i32; ins];
+        let mut rng = StdRng::seed_from_u64(3);
+        let (y, _) = engine.mvm(&acts, &mut rng);
+        assert!(y.iter().all(|&v| v == ins as i64));
+    }
+
+    #[test]
+    fn rom_image_roundtrip_preserves_programming() {
+        let mut params = MacroParams::rom_paper();
+        params.adc_bits = 16;
+        let (outs, ins) = (10, 64);
+        let codes: Vec<i32> = (0..outs * ins).map(|i| ((i * 29) % 255) as i32 - 127).collect();
+        let engine = RomMvm::program(params, &codes, outs, ins);
+        let img = engine.rom_image();
+        assert_eq!(img.len(), engine.subarrays_used());
+        let back = crate::rom_image::RomImage::from_bytes(img.to_bytes()).unwrap();
+        assert_eq!(img, back);
+        // The image is mostly sparse: only strapped '1' cells.
+        assert!(img.fill_ratio() > 0.0 && img.fill_ratio() < 0.8);
+    }
+
+    #[test]
+    fn zero_activations_cost_nothing() {
+        let mut params = MacroParams::rom_paper();
+        params.adc_bits = 16;
+        let engine = RomMvm::program(params, &vec![3i32; 64 * 10], 10, 64);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (y, stats) = engine.mvm(&vec![0i32; 64], &mut rng);
+        assert!(y.iter().all(|&v| v == 0));
+        assert_eq!(stats.analog_evaluations, 0);
+        assert_eq!(stats.wl_pulses, 0);
+    }
+}

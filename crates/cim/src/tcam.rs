@@ -1,0 +1,279 @@
+//! SRAM-TCAM distance calculator for the ROSL option (Fig. 6a).
+//!
+//! Option I replaces the trainable classifier with an in-memory distance
+//! comparison: class prototypes are stored in a ternary CAM, query
+//! features are binarized, and the match line analogically counts
+//! mismatching bits (a Hamming distance), selecting the nearest
+//! prototype. This module provides a behavioural model of that macro —
+//! binarization, prototype storage with don't-care support, match-line
+//! Hamming evaluation with optional analog noise, and an area/energy
+//! model consistent with the rest of the CiM stack.
+
+use rand::Rng;
+
+use yoloc_tensor::Tensor;
+
+/// A ternary stored symbol: match 0, match 1, or always-match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trit {
+    /// Matches a 0 query bit.
+    Zero,
+    /// Matches a 1 query bit.
+    One,
+    /// Don't care: matches either.
+    DontCare,
+}
+
+impl Trit {
+    fn mismatches(self, bit: bool) -> bool {
+        match self {
+            Trit::Zero => bit,
+            Trit::One => !bit,
+            Trit::DontCare => false,
+        }
+    }
+}
+
+/// Binarizes a feature vector around its median: the top half of features
+/// map to 1. Median thresholding keeps the code balanced, which maximizes
+/// Hamming separability.
+pub fn binarize_features(features: &[f32]) -> Vec<bool> {
+    let mut sorted: Vec<f32> = features.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = sorted[sorted.len() / 2];
+    features.iter().map(|&v| v > median).collect()
+}
+
+/// Parameters of the TCAM macro model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcamParams {
+    /// Bits per stored word (feature code length).
+    pub word_bits: usize,
+    /// 16T TCAM cell area at 28 nm, µm²/bit.
+    pub cell_area_um2: f64,
+    /// Energy per search per bit, pJ (match-line + search-line toggling).
+    pub e_search_pj_per_bit: f64,
+    /// Search latency, ns.
+    pub t_search_ns: f64,
+    /// Gaussian noise on the analog mismatch count.
+    pub noise_sigma: f32,
+}
+
+impl TcamParams {
+    /// 28 nm defaults: a 16T ternary cell is ~2.7x the 6T SRAM cell.
+    pub fn paper_28nm(word_bits: usize) -> Self {
+        TcamParams {
+            word_bits,
+            cell_area_um2: 0.6,
+            e_search_pj_per_bit: 0.18,
+            t_search_ns: 1.2,
+            noise_sigma: 0.0,
+        }
+    }
+}
+
+/// One search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcamMatch {
+    /// Index of the best-matching stored word.
+    pub index: usize,
+    /// Its Hamming distance to the query.
+    pub distance: u32,
+    /// Energy of the search, pJ.
+    pub energy_pj: f64,
+}
+
+/// A behavioural ternary CAM storing one word per class prototype.
+#[derive(Debug, Clone)]
+pub struct TcamMacro {
+    params: TcamParams,
+    words: Vec<Vec<Trit>>,
+}
+
+impl TcamMacro {
+    /// Creates an empty TCAM.
+    pub fn new(params: TcamParams) -> Self {
+        TcamMacro {
+            params,
+            words: Vec::new(),
+        }
+    }
+
+    /// Stores a binary prototype (no don't-cares).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the code length differs from `word_bits`.
+    pub fn store(&mut self, code: &[bool]) -> usize {
+        assert_eq!(code.len(), self.params.word_bits, "word length mismatch");
+        self.words.push(
+            code.iter()
+                .map(|&b| if b { Trit::One } else { Trit::Zero })
+                .collect(),
+        );
+        self.words.len() - 1
+    }
+
+    /// Stores a ternary word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word length differs from `word_bits`.
+    pub fn store_ternary(&mut self, word: Vec<Trit>) -> usize {
+        assert_eq!(word.len(), self.params.word_bits, "word length mismatch");
+        self.words.push(word);
+        self.words.len() - 1
+    }
+
+    /// Number of stored words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether no words are stored.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Macro area in mm² (cells only; peripheral is small for CAM rows).
+    pub fn area_mm2(&self) -> f64 {
+        self.words.len() as f64 * self.params.word_bits as f64 * self.params.cell_area_um2 / 1e6
+    }
+
+    /// Searches for the stored word with minimum (noisy) Hamming distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TCAM is empty or the query length differs.
+    pub fn search<R: Rng + ?Sized>(&self, query: &[bool], rng: &mut R) -> TcamMatch {
+        assert!(!self.words.is_empty(), "search on empty TCAM");
+        assert_eq!(query.len(), self.params.word_bits, "query length mismatch");
+        let mut best = (0usize, f32::INFINITY, 0u32);
+        for (i, word) in self.words.iter().enumerate() {
+            let distance = word
+                .iter()
+                .zip(query)
+                .filter(|(t, &b)| t.mismatches(b))
+                .count() as u32;
+            let noisy = distance as f32
+                + if self.params.noise_sigma > 0.0 {
+                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                    let u2: f32 = rng.gen_range(0.0..1.0);
+                    (-2.0 * u1.ln()).sqrt()
+                        * (2.0 * std::f32::consts::PI * u2).cos()
+                        * self.params.noise_sigma
+                } else {
+                    0.0
+                };
+            if noisy < best.1 {
+                best = (i, noisy, distance);
+            }
+        }
+        TcamMatch {
+            index: best.0,
+            distance: best.2,
+            energy_pj: self.words.len() as f64
+                * self.params.word_bits as f64
+                * self.params.e_search_pj_per_bit,
+        }
+    }
+}
+
+/// Builds a TCAM prototype classifier from per-class mean features,
+/// returning the macro and a closure-friendly classify function input
+/// (the binarized prototypes are stored in class order).
+pub fn prototype_tcam(prototypes: &[Tensor], params: TcamParams) -> TcamMacro {
+    let mut tcam = TcamMacro::new(params);
+    for p in prototypes {
+        tcam.store(&binarize_features(p.data()));
+    }
+    tcam
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binarize_is_balanced() {
+        let f: Vec<f32> = (0..64).map(|v| v as f32).collect();
+        let code = binarize_features(&f);
+        let ones = code.iter().filter(|&&b| b).count();
+        assert!((24..=40).contains(&ones), "ones {ones}");
+    }
+
+    #[test]
+    fn exact_match_has_zero_distance() {
+        let params = TcamParams::paper_28nm(16);
+        let mut tcam = TcamMacro::new(params);
+        let code: Vec<bool> = (0..16).map(|i| i % 3 == 0).collect();
+        let idx = tcam.store(&code);
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = tcam.search(&code, &mut rng);
+        assert_eq!(m.index, idx);
+        assert_eq!(m.distance, 0);
+        assert!(m.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn nearest_word_wins() {
+        let params = TcamParams::paper_28nm(8);
+        let mut tcam = TcamMacro::new(params);
+        tcam.store(&[true; 8]);
+        tcam.store(&[false; 8]);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Query with 6 ones: closer to all-ones.
+        let q = [true, true, true, true, true, true, false, false];
+        assert_eq!(tcam.search(&q, &mut rng).index, 0);
+        // Query with 2 ones: closer to all-zeros.
+        let q = [true, true, false, false, false, false, false, false];
+        assert_eq!(tcam.search(&q, &mut rng).index, 1);
+    }
+
+    #[test]
+    fn dont_care_always_matches() {
+        let params = TcamParams::paper_28nm(4);
+        let mut tcam = TcamMacro::new(params);
+        tcam.store_ternary(vec![Trit::DontCare; 4]);
+        tcam.store(&[true, false, true, false]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = tcam.search(&[false, true, false, true], &mut rng);
+        // All-don't-care word has distance 0 to anything.
+        assert_eq!(m.index, 0);
+        assert_eq!(m.distance, 0);
+    }
+
+    #[test]
+    fn area_scales_with_contents() {
+        let params = TcamParams::paper_28nm(128);
+        let mut tcam = TcamMacro::new(params);
+        assert_eq!(tcam.area_mm2(), 0.0);
+        for _ in 0..10 {
+            tcam.store(&[true; 128]);
+        }
+        let a = tcam.area_mm2();
+        assert!((a - 10.0 * 128.0 * 0.6 / 1e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prototype_classifier_separates_classes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Two well-separated prototype directions.
+        let p0 = Tensor::randn(&[64], 0.0, 1.0, &mut rng);
+        let p1 = Tensor::randn(&[64], 0.0, 1.0, &mut rng);
+        let tcam = prototype_tcam(&[p0.clone(), p1.clone()], TcamParams::paper_28nm(64));
+        // Noisy versions of each prototype classify correctly.
+        let mut correct = 0;
+        for trial in 0..40 {
+            let (proto, label) = if trial % 2 == 0 { (&p0, 0) } else { (&p1, 1) };
+            let noisy = proto.add(&Tensor::randn(&[64], 0.0, 0.3, &mut rng));
+            let q = binarize_features(noisy.data());
+            if tcam.search(&q, &mut rng).index == label {
+                correct += 1;
+            }
+        }
+        assert!(correct >= 34, "correct {correct}/40");
+    }
+}

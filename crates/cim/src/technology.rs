@@ -1,0 +1,93 @@
+//! Process-technology scaling data behind Fig. 1(a).
+//!
+//! The paper motivates ROM-CiM by observing that SRAM density grows with
+//! technology scaling but tape-out cost soars even faster, so "buy density
+//! with a smaller node" is uneconomical. This module carries a table of
+//! published-ballpark density and normalized mask-set cost per node, plus
+//! the ROM-CiM point that sits far above the SRAM scaling curve at 28 nm.
+
+/// One technology node's SRAM density and tape-out cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Feature size in nanometres.
+    pub node_nm: u32,
+    /// Typical high-density 6T SRAM macro density in Mb/mm².
+    pub sram_density_mb_mm2: f64,
+    /// Mask-set/tape-out cost normalized to the 130 nm node.
+    pub tapeout_cost_norm: f64,
+}
+
+/// Published-ballpark scaling table (ITRS/industry figures; the trend, not
+/// the absolute values, is what Fig. 1(a) uses).
+pub const TECH_NODES: &[TechNode] = &[
+    TechNode { node_nm: 130, sram_density_mb_mm2: 0.16, tapeout_cost_norm: 1.0 },
+    TechNode { node_nm: 90, sram_density_mb_mm2: 0.33, tapeout_cost_norm: 1.8 },
+    TechNode { node_nm: 65, sram_density_mb_mm2: 0.62, tapeout_cost_norm: 3.3 },
+    TechNode { node_nm: 45, sram_density_mb_mm2: 1.20, tapeout_cost_norm: 6.0 },
+    TechNode { node_nm: 40, sram_density_mb_mm2: 1.45, tapeout_cost_norm: 7.5 },
+    TechNode { node_nm: 28, sram_density_mb_mm2: 2.60, tapeout_cost_norm: 12.0 },
+    TechNode { node_nm: 20, sram_density_mb_mm2: 3.70, tapeout_cost_norm: 25.0 },
+    TechNode { node_nm: 16, sram_density_mb_mm2: 5.10, tapeout_cost_norm: 45.0 },
+    TechNode { node_nm: 10, sram_density_mb_mm2: 8.60, tapeout_cost_norm: 90.0 },
+    TechNode { node_nm: 7, sram_density_mb_mm2: 12.50, tapeout_cost_norm: 180.0 },
+    TechNode { node_nm: 5, sram_density_mb_mm2: 18.60, tapeout_cost_norm: 400.0 },
+];
+
+/// The ROM-CiM design point of this work: 5 Mb/mm² of *compute-capable*
+/// memory at the cheap 28 nm node (Table I).
+pub const ROM_CIM_28NM_DENSITY_MB_MM2: f64 = 5.0;
+
+/// Looks up a node by feature size.
+pub fn node(node_nm: u32) -> Option<&'static TechNode> {
+    TECH_NODES.iter().find(|n| n.node_nm == node_nm)
+}
+
+/// The smallest node whose plain-SRAM density reaches `density` Mb/mm²,
+/// i.e. the node a pure-SRAM design would have to pay for to match ROM-CiM.
+pub fn node_matching_density(density: f64) -> Option<&'static TechNode> {
+    TECH_NODES
+        .iter()
+        .filter(|n| n.sram_density_mb_mm2 >= density)
+        .max_by_key(|n| n.node_nm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_monotonic() {
+        for w in TECH_NODES.windows(2) {
+            assert!(w[0].node_nm > w[1].node_nm, "nodes must shrink");
+            assert!(
+                w[0].sram_density_mb_mm2 < w[1].sram_density_mb_mm2,
+                "density must grow as node shrinks"
+            );
+            assert!(
+                w[0].tapeout_cost_norm < w[1].tapeout_cost_norm,
+                "cost must grow as node shrinks"
+            );
+        }
+    }
+
+    #[test]
+    fn rom_cim_beats_28nm_sram_density() {
+        let n28 = node(28).unwrap();
+        assert!(ROM_CIM_28NM_DENSITY_MB_MM2 / n28.sram_density_mb_mm2 > 1.9);
+    }
+
+    #[test]
+    fn matching_density_needs_advanced_node() {
+        // Reaching ROM-CiM's 5 Mb/mm² with plain SRAM requires ~16 nm,
+        // which costs >3x the 28 nm tape-out. This is Fig. 1(a)'s argument.
+        let m = node_matching_density(ROM_CIM_28NM_DENSITY_MB_MM2).unwrap();
+        assert!(m.node_nm <= 16);
+        let n28 = node(28).unwrap();
+        assert!(m.tapeout_cost_norm / n28.tapeout_cost_norm > 3.0);
+    }
+
+    #[test]
+    fn lookup_missing_node() {
+        assert!(node(3).is_none());
+    }
+}

@@ -1,0 +1,512 @@
+//! A trainable YOLO-style single-scale detector (Fig. 12 experiments).
+//!
+//! The paper evaluates YOLoC on object detection by transferring a
+//! COCO-pretrained YOLO to PASCAL-VOC-like target tasks under the same
+//! four strategies as classification. This module provides the reduced
+//! scale equivalent: a conv backbone (plain / ReBranch / frozen) plus a
+//! 1x1 prediction head emitting one box per grid cell
+//! `(objectness, tx, ty, tw, th, class logits...)`, trained with a
+//! YOLOv1-style loss and evaluated with the VOC mAP protocol from
+//! `yoloc-data`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::rebranch::{ReBranchConv, ReBranchRatios};
+use crate::tiny_models::{ConvBlock, ConvUnit};
+use yoloc_data::detection::{
+    mean_average_precision, BBox, Detection, DetectionTask, GtObject, DET_C, DET_H,
+};
+#[cfg(test)]
+use yoloc_data::detection::DET_W;
+use yoloc_tensor::layers::Conv2d;
+use yoloc_tensor::{Layer, LayerExt, Tensor};
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+/// Transfer strategy for the detector backbone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectorStrategy {
+    /// All layers trainable (SRAM-CiM baseline).
+    AllSram,
+    /// Backbone frozen; only the prediction head trains ("Only Prediction
+    /// Trainable", Option II in the Fig. 12 table).
+    PredictionOnly,
+    /// ReBranch backbone + trainable head (proposed).
+    ReBranch {
+        /// Channel compression ratio D.
+        d: usize,
+        /// Channel decompression ratio U.
+        u: usize,
+    },
+}
+
+/// A small single-scale detector.
+pub struct TinyYoloDetector {
+    backbone: Vec<ConvBlock>,
+    head: Conv2d,
+    grid: usize,
+    classes: usize,
+    channels: Vec<usize>,
+}
+
+impl TinyYoloDetector {
+    /// Builds an all-trainable detector with the given backbone widths.
+    /// Each stage pools 2x, so the output grid is
+    /// `DET_H / 2^stages`.
+    pub fn new<R: Rng + ?Sized>(channels: &[usize], classes: usize, rng: &mut R) -> Self {
+        let mut blocks = Vec::new();
+        let mut prev = DET_C;
+        for (i, &c) in channels.iter().enumerate() {
+            let conv = Conv2d::new(&format!("bb{i}"), prev, c, 3, 1, 1, false, rng);
+            blocks.push(ConvBlock::bare(ConvUnit::Plain(conv), true, false));
+            prev = c;
+        }
+        let grid = DET_H >> channels.len();
+        assert!(grid >= 2, "too many stages for the image size");
+        let head = Conv2d::new("head", prev, 5 + classes, 1, 1, 0, true, rng);
+        TinyYoloDetector {
+            backbone: blocks,
+            head,
+            grid,
+            classes,
+            channels: channels.to_vec(),
+        }
+    }
+
+    /// Output grid side length.
+    pub fn grid(&self) -> usize {
+        self.grid
+    }
+
+    /// Number of object classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Rebuilds this detector under a transfer strategy with a fresh head
+    /// for `classes` target classes.
+    pub fn with_strategy<R: Rng + ?Sized>(
+        &self,
+        strategy: DetectorStrategy,
+        classes: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut blocks = Vec::new();
+        for (i, b) in self.backbone.iter().enumerate() {
+            let w = match &b.unit {
+                ConvUnit::Plain(c) => c.weight.value.clone(),
+                ConvUnit::ReBranch(c) => c.trunk().weight.value.clone(),
+                ConvUnit::Spwd(c) => c.frozen.weight.value.clone(),
+            };
+            let name = format!("bb{i}");
+            let unit = match strategy {
+                DetectorStrategy::AllSram => {
+                    let mut c = Conv2d::new(
+                        &name,
+                        w.shape()[1],
+                        w.shape()[0],
+                        3,
+                        1,
+                        1,
+                        false,
+                        rng,
+                    );
+                    c.weight.value = w;
+                    ConvUnit::Plain(c)
+                }
+                DetectorStrategy::PredictionOnly => {
+                    let mut c = Conv2d::new(
+                        &name,
+                        w.shape()[1],
+                        w.shape()[0],
+                        3,
+                        1,
+                        1,
+                        false,
+                        rng,
+                    );
+                    c.weight.value = w;
+                    c.freeze_all();
+                    ConvUnit::Plain(c)
+                }
+                DetectorStrategy::ReBranch { d, u } => {
+                    ConvUnit::ReBranch(ReBranchConv::from_pretrained(
+                        &name,
+                        w,
+                        None,
+                        1,
+                        1,
+                        ReBranchRatios { d, u },
+                        rng,
+                    ))
+                }
+            };
+            blocks.push(ConvBlock::bare(unit, true, false));
+        }
+        let prev = *self.channels.last().expect("channels");
+        TinyYoloDetector {
+            backbone: blocks,
+            head: Conv2d::new("head", prev, 5 + classes, 1, 1, 0, true, rng),
+            grid: self.grid,
+            classes,
+            channels: self.channels.clone(),
+        }
+    }
+
+    /// Raw prediction map `(N, 5 + classes, S, S)`.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut h = x.clone();
+        for b in &mut self.backbone {
+            h = b.forward(&h, train);
+        }
+        self.head.forward(&h, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) {
+        let mut g = self.head.backward(grad);
+        for b in self.backbone.iter_mut().rev() {
+            g = b.backward(&g);
+        }
+    }
+
+    /// Trainable/total parameter counts.
+    pub fn param_split(&self) -> (usize, usize) {
+        let total = self.param_count();
+        (self.trainable_param_count(), total)
+    }
+
+    /// Decodes predictions into detections with per-class NMS.
+    pub fn detect(&mut self, x: &Tensor, image_id_base: usize, score_thresh: f32) -> Vec<Detection> {
+        let out = self.forward(x, false);
+        let n = out.shape()[0];
+        let s = self.grid;
+        let mut dets = Vec::new();
+        for ni in 0..n {
+            let mut img_dets: Vec<Detection> = Vec::new();
+            for cy in 0..s {
+                for cx in 0..s {
+                    let obj = sigmoid(out.at(&[ni, 0, cy, cx]));
+                    if obj < score_thresh {
+                        continue;
+                    }
+                    let tx = sigmoid(out.at(&[ni, 1, cy, cx]));
+                    let ty = sigmoid(out.at(&[ni, 2, cy, cx]));
+                    let tw = sigmoid(out.at(&[ni, 3, cy, cx]));
+                    let th = sigmoid(out.at(&[ni, 4, cy, cx]));
+                    // Class softmax.
+                    let mut best_c = 0;
+                    let mut best_v = f32::NEG_INFINITY;
+                    let mut denom = 0.0f32;
+                    let max_logit = (0..self.classes)
+                        .map(|c| out.at(&[ni, 5 + c, cy, cx]))
+                        .fold(f32::NEG_INFINITY, f32::max);
+                    for c in 0..self.classes {
+                        let v = out.at(&[ni, 5 + c, cy, cx]);
+                        denom += (v - max_logit).exp();
+                        if v > best_v {
+                            best_v = v;
+                            best_c = c;
+                        }
+                    }
+                    let p_class = (best_v - max_logit).exp() / denom;
+                    let bbox = BBox {
+                        cx: (cx as f32 + tx) / s as f32,
+                        cy: (cy as f32 + ty) / s as f32,
+                        w: tw,
+                        h: th,
+                    };
+                    img_dets.push(Detection {
+                        image_id: image_id_base + ni,
+                        class: best_c,
+                        score: obj * p_class,
+                        bbox,
+                    });
+                }
+            }
+            // Greedy per-class NMS at IoU 0.5.
+            img_dets.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut kept: Vec<Detection> = Vec::new();
+            for d in img_dets {
+                if kept
+                    .iter()
+                    .all(|k| k.class != d.class || k.bbox.iou(&d.bbox) < 0.5)
+                {
+                    kept.push(d);
+                }
+            }
+            dets.extend(kept);
+        }
+        dets
+    }
+
+    /// One YOLO-loss training step over a batch; returns the loss.
+    pub fn train_step(
+        &mut self,
+        images: &Tensor,
+        gts: &[Vec<GtObject>],
+        lr: f32,
+    ) -> f32 {
+        let out = self.forward(images, true);
+        let (loss, grad) = self.yolo_loss(&out, gts);
+        self.backward(&grad);
+        yoloc_tensor::optim::clip_grad_norm(&mut self.params_mut_all(), 5.0);
+        let opt = yoloc_tensor::optim::Sgd::new(lr).with_momentum(0.9);
+        opt.step(&mut self.params_mut_all());
+        loss
+    }
+
+    fn params_mut_all(&mut self) -> Vec<&mut yoloc_tensor::Param> {
+        let mut v: Vec<&mut yoloc_tensor::Param> = self
+            .backbone
+            .iter_mut()
+            .flat_map(|b| b.params_mut())
+            .collect();
+        v.extend(self.head.params_mut());
+        v
+    }
+
+    /// YOLOv1-style loss and its gradient w.r.t. the raw prediction map.
+    fn yolo_loss(&self, out: &Tensor, gts: &[Vec<GtObject>]) -> (f32, Tensor) {
+        let n = out.shape()[0];
+        let s = self.grid;
+        let lambda_coord = 5.0f32;
+        let lambda_noobj = 0.5f32;
+        let mut grad = Tensor::zeros(out.shape());
+        let mut loss = 0.0f64;
+        let norm = (n * s * s) as f32;
+        for (ni, img_gts) in gts.iter().enumerate().take(n) {
+            // Cell -> responsible gt (last one wins, like YOLOv1).
+            let mut cell_gt: Vec<Option<&GtObject>> = vec![None; s * s];
+            for g in img_gts {
+                let cx = ((g.bbox.cx * s as f32) as usize).min(s - 1);
+                let cy = ((g.bbox.cy * s as f32) as usize).min(s - 1);
+                cell_gt[cy * s + cx] = Some(g);
+            }
+            for cy in 0..s {
+                for cx in 0..s {
+                    let obj_raw = out.at(&[ni, 0, cy, cx]);
+                    let obj = sigmoid(obj_raw);
+                    match cell_gt[cy * s + cx] {
+                        Some(g) => {
+                            // Objectness towards 1.
+                            let d_obj = 2.0 * (obj - 1.0) * obj * (1.0 - obj) / norm;
+                            loss += ((obj - 1.0) * (obj - 1.0)) as f64 / norm as f64;
+                            *grad.at_mut(&[ni, 0, cy, cx]) = d_obj;
+                            // Box coordinates.
+                            let targets = [
+                                g.bbox.cx * s as f32 - cx as f32,
+                                g.bbox.cy * s as f32 - cy as f32,
+                                g.bbox.w,
+                                g.bbox.h,
+                            ];
+                            for (j, &t) in targets.iter().enumerate() {
+                                let raw = out.at(&[ni, 1 + j, cy, cx]);
+                                let v = sigmoid(raw);
+                                let diff = v - t;
+                                loss += (lambda_coord * diff * diff) as f64 / norm as f64;
+                                *grad.at_mut(&[ni, 1 + j, cy, cx]) =
+                                    lambda_coord * 2.0 * diff * v * (1.0 - v) / norm;
+                            }
+                            // Class cross-entropy (softmax over class logits).
+                            let max_logit = (0..self.classes)
+                                .map(|c| out.at(&[ni, 5 + c, cy, cx]))
+                                .fold(f32::NEG_INFINITY, f32::max);
+                            let mut denom = 0.0f32;
+                            for c in 0..self.classes {
+                                denom += (out.at(&[ni, 5 + c, cy, cx]) - max_logit).exp();
+                            }
+                            for c in 0..self.classes {
+                                let p = (out.at(&[ni, 5 + c, cy, cx]) - max_logit).exp() / denom;
+                                let t = if c == g.class { 1.0 } else { 0.0 };
+                                if c == g.class {
+                                    loss += -(p.max(1e-9).ln()) as f64 / norm as f64;
+                                }
+                                *grad.at_mut(&[ni, 5 + c, cy, cx]) = (p - t) / norm;
+                            }
+                        }
+                        None => {
+                            // Objectness towards 0, down-weighted.
+                            let d_obj =
+                                lambda_noobj * 2.0 * obj * obj * (1.0 - obj) / norm;
+                            loss += (lambda_noobj * obj * obj) as f64 / norm as f64;
+                            *grad.at_mut(&[ni, 0, cy, cx]) = d_obj;
+                        }
+                    }
+                }
+            }
+        }
+        (loss as f32, grad)
+    }
+}
+
+impl Layer for TinyYoloDetector {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        TinyYoloDetector::forward(self, x, train)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = self.head.backward(grad_out);
+        for b in self.backbone.iter_mut().rev() {
+            g = b.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut yoloc_tensor::Param> {
+        self.params_mut_all()
+    }
+
+    fn params(&self) -> Vec<&yoloc_tensor::Param> {
+        let mut v: Vec<&yoloc_tensor::Param> =
+            self.backbone.iter().flat_map(|b| b.params()).collect();
+        v.extend(self.head.params());
+        v
+    }
+
+    fn name(&self) -> String {
+        format!("TinyYoloDetector(grid={}, classes={})", self.grid, self.classes)
+    }
+}
+
+/// Trains a detector on `task` for `steps` batches of `batch` images.
+pub fn train_detector<R: Rng + ?Sized>(
+    det: &mut TinyYoloDetector,
+    task: &DetectionTask,
+    steps: usize,
+    batch: usize,
+    lr: f32,
+    rng: &mut R,
+) -> f32 {
+    let mut last = 0.0;
+    for step in 0..steps {
+        let data = task.dataset(batch, rng);
+        let imgs: Vec<Tensor> = data.iter().map(|(i, _)| i.clone()).collect();
+        let gts: Vec<Vec<GtObject>> = data.iter().map(|(_, g)| g.clone()).collect();
+        let x = Tensor::stack(&imgs).expect("same shape");
+        let step_lr = lr * (1.0 - 0.6 * step as f32 / steps as f32);
+        last = det.train_step(&x, &gts, step_lr);
+    }
+    last
+}
+
+/// Evaluates VOC mAP@0.5 over `n_images` fresh images.
+pub fn eval_map<R: Rng + ?Sized>(
+    det: &mut TinyYoloDetector,
+    task: &DetectionTask,
+    n_images: usize,
+    rng: &mut R,
+) -> f32 {
+    let data = task.dataset(n_images, rng);
+    let mut gt = Vec::new();
+    let mut dets = Vec::new();
+    for (i, (img, gts)) in data.iter().enumerate() {
+        for g in gts {
+            gt.push((i, *g));
+        }
+        let x = Tensor::stack(std::slice::from_ref(img)).expect("one");
+        dets.extend(det.detect(&x, i, 0.1));
+    }
+    mean_average_precision(&dets, &gt, task.classes, 0.5)
+}
+
+/// The detection transfer suite of Fig. 12: COCO stand-in pretraining and
+/// three target domains.
+pub struct DetectionSuite {
+    /// COCO stand-in (pretrain).
+    pub coco_like: DetectionTask,
+    /// PASCAL-VOC stand-in.
+    pub voc_like: DetectionTask,
+    /// Pedestrian-detection stand-in.
+    pub pedestrian_like: DetectionTask,
+    /// Traffic-detection stand-in.
+    pub traffic_like: DetectionTask,
+}
+
+impl DetectionSuite {
+    /// Builds the suite deterministically.
+    pub fn new(seed: u64) -> Self {
+        DetectionSuite {
+            coco_like: DetectionTask::generate("coco-like", 6, 0.0, seed, seed + 1),
+            voc_like: DetectionTask::generate("voc-like", 4, 0.35, seed, seed + 2),
+            pedestrian_like: DetectionTask::generate("pedestrian-like", 2, 0.3, seed, seed + 3),
+            traffic_like: DetectionTask::generate("traffic-like", 3, 0.4, seed, seed + 4),
+        }
+    }
+}
+
+/// Pretrains the COCO-like base detector.
+pub fn pretrain_detector(channels: &[usize], suite: &DetectionSuite, steps: usize, seed: u64) -> TinyYoloDetector {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut det = TinyYoloDetector::new(channels, suite.coco_like.classes, &mut rng);
+    train_detector(&mut det, &suite.coco_like, steps, 16, 0.05, &mut rng);
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut det = TinyYoloDetector::new(&[8, 12, 16], 4, &mut rng);
+        assert_eq!(det.grid(), 4);
+        let x = Tensor::zeros(&[2, DET_C, DET_H, DET_W]);
+        let y = det.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 9, 4, 4]);
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let task = DetectionTask::generate("t", 3, 0.0, 1, 2);
+        let mut det = TinyYoloDetector::new(&[8, 12, 16], 3, &mut rng);
+        let data = task.dataset(8, &mut rng);
+        let imgs: Vec<Tensor> = data.iter().map(|(i, _)| i.clone()).collect();
+        let gts: Vec<Vec<GtObject>> = data.iter().map(|(_, g)| g.clone()).collect();
+        let x = Tensor::stack(&imgs).unwrap();
+        let first = det.train_step(&x, &gts, 0.05);
+        // Overfit the same batch.
+        let mut last = first;
+        for _ in 0..40 {
+            last = det.train_step(&x, &gts, 0.05);
+        }
+        assert!(last < first * 0.7, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn training_improves_map() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let task = DetectionTask::generate("t", 2, 0.0, 5, 6);
+        let mut det = TinyYoloDetector::new(&[8, 12, 16], 2, &mut rng);
+        let map_before = eval_map(&mut det, &task, 20, &mut rng);
+        train_detector(&mut det, &task, 400, 16, 0.08, &mut rng);
+        let map_after = eval_map(&mut det, &task, 40, &mut rng);
+        assert!(
+            map_after > map_before + 0.15 && map_after > 0.25,
+            "mAP {map_before} -> {map_after}"
+        );
+    }
+
+    #[test]
+    fn strategies_control_trainability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let det = TinyYoloDetector::new(&[8, 12], 4, &mut rng);
+        let frozen = det.with_strategy(DetectorStrategy::PredictionOnly, 3, &mut rng);
+        let (train_f, total_f) = frozen.param_split();
+        assert!(train_f < total_f / 4, "{train_f} of {total_f}");
+        let rb = det.with_strategy(DetectorStrategy::ReBranch { d: 2, u: 2 }, 3, &mut rng);
+        let (train_r, _) = rb.param_split();
+        assert!(train_r > train_f, "rebranch must add trainable capacity");
+        let all = det.with_strategy(DetectorStrategy::AllSram, 3, &mut rng);
+        let (train_a, total_a) = all.param_split();
+        assert_eq!(train_a, total_a);
+    }
+}

@@ -1,0 +1,27 @@
+//! # yoloc-core
+//!
+//! The YOLoC framework itself (DAC 2022 reproduction): the ReBranch
+//! structure, the four model-flexibility options of Fig. 6 with their
+//! transfer-learning harness, the CiM weight mapper, the YOLO-style
+//! detector for the Fig. 12 experiments, and the system-level evaluator
+//! behind Fig. 13/14.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod mapping;
+pub mod pipeline;
+pub mod qconv;
+pub mod rebranch;
+pub mod strategies;
+pub mod system;
+pub mod training_cost;
+pub mod tiny_models;
+
+pub use detector::{eval_map, pretrain_detector, train_detector, DetectionSuite, DetectorStrategy, TinyYoloDetector};
+pub use mapping::{map_network, LayerPlacement, NetworkMapping};
+pub use rebranch::{ReBranchConv, ReBranchRatios};
+pub use system::{evaluate, AreaBreakdown, EnergyBreakdown, SystemKind, SystemParams, SystemReport};
+pub use strategies::{evaluate_strategy, pretrain_base, Strategy, StrategyResult, TrainConfig};
+pub use tiny_models::{ConvBlock, ConvUnit, Family, SpwdConv, TinyCnn};

@@ -1,0 +1,369 @@
+//! Full-network deployment onto the CiM functional simulator (Fig. 9's
+//! logical flow, end to end).
+//!
+//! A trained [`TinyCnn`] is *deployed*: every trunk convolution is
+//! quantized per-channel to 8 bits and mask-programmed into ROM-CiM
+//! subarrays; ReBranch residual convs and the classifier go into SRAM-CiM;
+//! activation functions, pooling and the residual merges run digitally
+//! through the cache (exactly the split of Fig. 9). Inference then runs
+//! through the analog datapath, and the result is compared against the
+//! floating-point software model — the executable form of the paper's
+//! "almost no accuracy loss (-0.5% ~ +0.2%)" claim, with per-domain
+//! energy accounting on the side.
+
+use rand::Rng;
+
+use crate::qconv::CimConv2d;
+use crate::tiny_models::{ConvUnit, TinyCnn};
+use yoloc_cim::macro_model::{MacroParams, MvmStats, RomMvm};
+use yoloc_quant::{calibrate_affine, PerChannelQuant, QuantParams};
+use yoloc_tensor::layers::MaxPool2d;
+use yoloc_tensor::ops::conv2d_reference;
+use yoloc_tensor::{Layer, Tensor};
+
+/// A conv deployed on a macro, with where it physically lives.
+#[allow(clippy::large_enum_variant)] // variants are few and long-lived
+enum DeployedUnit {
+    Plain {
+        conv: CimConv2d,
+    },
+    ReBranch {
+        trunk: CimConv2d,
+        compress: CimConv2d,
+        res_conv: CimConv2d,
+        decompress: CimConv2d,
+    },
+}
+
+struct DeployedBlock {
+    unit: DeployedUnit,
+    pool: bool,
+    skip: bool,
+}
+
+/// Aggregate execution statistics of a deployed inference, split by
+/// memory domain.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DeployStats {
+    /// ROM-CiM macro activity (trunk + branch projections).
+    pub rom: MvmStats,
+    /// SRAM-CiM macro activity (residual convs + classifier).
+    pub sram: MvmStats,
+}
+
+impl DeployStats {
+    fn add_rom(&mut self, s: MvmStats) {
+        accumulate(&mut self.rom, s);
+    }
+    fn add_sram(&mut self, s: MvmStats) {
+        accumulate(&mut self.sram, s);
+    }
+
+    /// Total energy across both domains, pJ.
+    pub fn total_energy_pj(&self) -> f64 {
+        self.rom.energy_pj + self.sram.energy_pj
+    }
+}
+
+fn accumulate(a: &mut MvmStats, b: MvmStats) {
+    a.analog_evaluations += b.analog_evaluations;
+    a.adc_conversions += b.adc_conversions;
+    a.wl_pulses += b.wl_pulses;
+    a.energy_pj += b.energy_pj;
+    a.latency_ns += b.latency_ns;
+}
+
+/// A [`TinyCnn`] compiled onto CiM macros.
+pub struct CimDeployedModel {
+    blocks: Vec<DeployedBlock>,
+    classifier: RomMvm,
+    classifier_scales: Vec<f32>,
+    classifier_row_sums: Vec<i64>,
+    classifier_bias: Vec<f32>,
+    classifier_act: QuantParams,
+    classes: usize,
+}
+
+/// Runs the software reference of one block, returning
+/// (conv input, block output) so deployment can calibrate activations.
+fn software_block(
+    x: &Tensor,
+    unit: &ConvUnit,
+    pool: bool,
+    skip: bool,
+) -> Tensor {
+    let conv_out = match unit {
+        ConvUnit::Plain(c) => conv2d_reference(x, &c.weight.value, None, 1, 1),
+        ConvUnit::ReBranch(rb) => {
+            let trunk = conv2d_reference(x, &rb.trunk().weight.value, None, 1, 1);
+            let (w1, wb, w2) = rb.branch_weights();
+            let c = conv2d_reference(x, w1, None, 1, 0);
+            let r = conv2d_reference(&c, wb, None, 1, 1);
+            let d = conv2d_reference(&r, w2, None, 1, 0);
+            trunk.add(&d)
+        }
+        ConvUnit::Spwd(s) => {
+            let a = conv2d_reference(x, &s.frozen.weight.value, None, 1, 1);
+            let b = conv2d_reference(x, &s.deco.weight.value, None, 1, 1);
+            a.add(&b)
+        }
+    };
+    let merged = if skip { conv_out.add(x) } else { conv_out };
+    let act = merged.map(|v| v.max(0.0));
+    if pool {
+        MaxPool2d::new(2, 2).forward(&act, false)
+    } else {
+        act
+    }
+}
+
+/// Global average pool `(N, C, H, W) -> (N, C)`.
+fn gap(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let mut out = Tensor::zeros(&[n, c]);
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let s: f32 = x.data()[base..base + h * w].iter().sum();
+            *out.at_mut(&[ni, ci]) = s / (h * w) as f32;
+        }
+    }
+    out
+}
+
+impl CimDeployedModel {
+    /// Compiles a trained model onto CiM macros, calibrating every
+    /// layer's activation quantization on `calibration` images.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is not a `(N, C, H, W)` batch matching the
+    /// model input.
+    pub fn deploy(
+        model: &TinyCnn,
+        calibration: &Tensor,
+        rom: MacroParams,
+        sram: MacroParams,
+    ) -> Self {
+        assert_eq!(calibration.ndim(), 4, "calibration must be (N, C, H, W)");
+        let mut blocks = Vec::new();
+        let mut h = calibration.clone();
+        for b in &model.blocks {
+            let unit = match &b.unit {
+                ConvUnit::Plain(c) => DeployedUnit::Plain {
+                    conv: CimConv2d::compile(&c.weight.value, 1, 1, &[&h], rom),
+                },
+                ConvUnit::ReBranch(rb) => {
+                    let (w1, wb, w2) = rb.branch_weights();
+                    // Calibrate each stage on its actual software input.
+                    let c_out = conv2d_reference(&h, w1, None, 1, 0);
+                    let r_out = conv2d_reference(&c_out, wb, None, 1, 1);
+                    DeployedUnit::ReBranch {
+                        trunk: CimConv2d::compile(&rb.trunk().weight.value, 1, 1, &[&h], rom),
+                        compress: CimConv2d::compile(w1, 1, 0, &[&h], rom),
+                        res_conv: CimConv2d::compile(wb, 1, 1, &[&c_out], sram),
+                        decompress: CimConv2d::compile(w2, 1, 0, &[&r_out], rom),
+                    }
+                }
+                ConvUnit::Spwd(s) => {
+                    // Deploy the *effective* conv (trunk + decoration) as a
+                    // single ROM matrix plus an SRAM decoration.
+                    DeployedUnit::Plain {
+                        conv: CimConv2d::compile(
+                            &s.frozen.weight.value.add(&s.deco.weight.value),
+                            1,
+                            1,
+                            &[&h],
+                            rom,
+                        ),
+                    }
+                }
+            };
+            let pool = b.pool_enabled();
+            blocks.push(DeployedBlock {
+                unit,
+                pool,
+                skip: b.skip,
+            });
+            h = software_block(&h, &b.unit, pool, b.skip);
+        }
+        // Classifier onto SRAM-CiM.
+        let feats = gap(&h);
+        let w = &model.classifier.weight.value;
+        let (outs, ins) = (w.shape()[0], w.shape()[1]);
+        let pc = PerChannelQuant::quantize(w, sram.weight_bits);
+        let row_sums: Vec<i64> = (0..outs)
+            .map(|o| pc.values[o * ins..(o + 1) * ins].iter().map(|&v| v as i64).sum())
+            .collect();
+        let bias = model
+            .classifier
+            .bias
+            .as_ref()
+            .map(|b| b.value.data().to_vec())
+            .unwrap_or_else(|| vec![0.0; outs]);
+        CimDeployedModel {
+            blocks,
+            classifier: RomMvm::program(sram, &pc.values, outs, ins),
+            classifier_scales: pc.channel_params.iter().map(|p| p.scale).collect(),
+            classifier_row_sums: row_sums,
+            classifier_bias: bias,
+            classifier_act: calibrate_affine(&[&feats], sram.act_bits),
+            classes: outs,
+        }
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Runs inference through the analog datapath; returns logits and the
+    /// per-domain macro statistics.
+    pub fn infer<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, DeployStats) {
+        let mut stats = DeployStats::default();
+        let mut h = x.clone();
+        for b in &self.blocks {
+            let conv_out = match &b.unit {
+                DeployedUnit::Plain { conv } => {
+                    let (y, s) = conv.forward(&h, rng);
+                    stats.add_rom(s);
+                    y
+                }
+                DeployedUnit::ReBranch {
+                    trunk,
+                    compress,
+                    res_conv,
+                    decompress,
+                } => {
+                    let (t, s1) = trunk.forward(&h, rng);
+                    let (c, s2) = compress.forward(&h, rng);
+                    let (r, s3) = res_conv.forward(&c, rng);
+                    let (d, s4) = decompress.forward(&r, rng);
+                    stats.add_rom(s1);
+                    stats.add_rom(s2);
+                    stats.add_sram(s3);
+                    stats.add_rom(s4);
+                    t.add(&d)
+                }
+            };
+            let merged = if b.skip { conv_out.add(&h) } else { conv_out };
+            let act = merged.map(|v| v.max(0.0));
+            h = if b.pool {
+                MaxPool2d::new(2, 2).forward(&act, false)
+            } else {
+                act
+            };
+        }
+        let feats = gap(&h);
+        let n = feats.shape()[0];
+        let ins = feats.shape()[1];
+        let mut logits = Tensor::zeros(&[n, self.classes]);
+        for ni in 0..n {
+            let codes: Vec<i32> = (0..ins)
+                .map(|i| self.classifier_act.quantize_value(feats.at(&[ni, i])))
+                .collect();
+            let (acc, s) = self.classifier.mvm(&codes, rng);
+            stats.add_sram(s);
+            for o in 0..self.classes {
+                let v = self.classifier_scales[o]
+                    * self.classifier_act.scale
+                    * (acc[o] - self.classifier_act.zero_point as i64 * self.classifier_row_sums[o])
+                        as f32
+                    + self.classifier_bias[o];
+                *logits.at_mut(&[ni, o]) = v;
+            }
+        }
+        (logits, stats)
+    }
+}
+
+/// Compares software vs CiM-deployed accuracy over `n` samples of `task`,
+/// returning `(software_acc, cim_acc, stats_of_one_batch)`.
+pub fn accuracy_software_vs_cim<R: Rng + ?Sized>(
+    model: &mut TinyCnn,
+    deployed: &CimDeployedModel,
+    task: &yoloc_data::classification::SyntheticTask,
+    n: usize,
+    rng: &mut R,
+) -> (f32, f32, DeployStats) {
+    let (x, y) = task.batch(n, rng);
+    let sw_logits = model.forward(&x, false);
+    let sw_acc = yoloc_tensor::loss::accuracy(&sw_logits, &y);
+    let (cim_logits, stats) = deployed.infer(&x, rng);
+    let cim_acc = yoloc_tensor::loss::accuracy(&cim_logits, &y);
+    (sw_acc, cim_acc, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategies::{pretrain_base, TrainConfig};
+    use crate::tiny_models::Family;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use yoloc_data::classification::TransferSuite;
+
+    fn small_params() -> (MacroParams, MacroParams) {
+        (MacroParams::rom_paper(), MacroParams::sram_paper())
+    }
+
+    #[test]
+    fn deployed_model_matches_software_logits() {
+        let suite = TransferSuite::new(5);
+        let mut model = pretrain_base(
+            Family::Vgg,
+            &[8, 10],
+            &suite.pretrain,
+            TrainConfig {
+                steps: 60,
+                batch: 12,
+                lr: 0.08,
+                momentum: 0.9,
+            },
+            5,
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        let (cal, _) = suite.pretrain.batch(8, &mut rng);
+        let (rom, sram) = small_params();
+        let deployed = CimDeployedModel::deploy(&model, &cal, rom, sram);
+        let (x, _) = suite.pretrain.batch(4, &mut rng);
+        let sw = model.forward(&x, false);
+        let (cim, stats) = deployed.infer(&x, &mut rng);
+        // Quantized inference tracks software logits closely.
+        let mag = sw.abs_max().max(1e-6);
+        for (a, b) in cim.data().iter().zip(sw.data()) {
+            assert!((a - b).abs() / mag < 0.12, "cim {a} vs sw {b}");
+        }
+        assert!(stats.rom.energy_pj > 0.0);
+        assert!(stats.sram.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn deployed_accuracy_close_to_software() {
+        let suite = TransferSuite::new(9);
+        let mut model = pretrain_base(
+            Family::Vgg,
+            &[8, 10],
+            &suite.pretrain,
+            TrainConfig {
+                steps: 120,
+                batch: 16,
+                lr: 0.08,
+                momentum: 0.9,
+            },
+            9,
+        );
+        let mut rng = StdRng::seed_from_u64(10);
+        let (cal, _) = suite.pretrain.batch(8, &mut rng);
+        let (rom, sram) = small_params();
+        let deployed = CimDeployedModel::deploy(&model, &cal, rom, sram);
+        let (sw, cim, _) =
+            accuracy_software_vs_cim(&mut model, &deployed, &suite.pretrain, 80, &mut rng);
+        // Paper: -0.5% ~ +0.2% mAP change; at smoke scale allow a few
+        // percentage points either way.
+        assert!(
+            (sw - cim).abs() < 0.08,
+            "software {sw} vs CiM {cim}"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Training-time image augmentations (flip, shift, brightness) for the
+//! synthetic tasks — standard regularizers for the transfer experiments.
+
+use rand::Rng;
+
+use yoloc_tensor::Tensor;
+
+/// Horizontal flip of a `(C, H, W)` image.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-3.
+pub fn hflip(img: &Tensor) -> Tensor {
+    assert_eq!(img.ndim(), 3, "expected (C, H, W)");
+    let (c, h, w) = (img.shape()[0], img.shape()[1], img.shape()[2]);
+    let mut out = Tensor::zeros(img.shape());
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                *out.at_mut(&[ci, y, x]) = img.at(&[ci, y, w - 1 - x]);
+            }
+        }
+    }
+    out
+}
+
+/// Integer translation with zero padding.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank-3.
+pub fn shift(img: &Tensor, dy: isize, dx: isize) -> Tensor {
+    assert_eq!(img.ndim(), 3, "expected (C, H, W)");
+    let (c, h, w) = (img.shape()[0], img.shape()[1], img.shape()[2]);
+    let mut out = Tensor::zeros(img.shape());
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                let sy = y as isize - dy;
+                let sx = x as isize - dx;
+                if sy >= 0 && sx >= 0 && (sy as usize) < h && (sx as usize) < w {
+                    *out.at_mut(&[ci, y, x]) = img.at(&[ci, sy as usize, sx as usize]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Multiplicative brightness jitter.
+pub fn brightness(img: &Tensor, gain: f32) -> Tensor {
+    img.scale(gain)
+}
+
+/// Applies a random combination of flip / ±1-pixel shift / ±10 %
+/// brightness, preserving the label.
+pub fn random_augment<R: Rng + ?Sized>(img: &Tensor, rng: &mut R) -> Tensor {
+    let mut out = if rng.gen_bool(0.5) { hflip(img) } else { img.clone() };
+    let dy = rng.gen_range(-1isize..=1);
+    let dx = rng.gen_range(-1isize..=1);
+    if dy != 0 || dx != 0 {
+        out = shift(&out, dy, dx);
+    }
+    brightness(&out, rng.gen_range(0.9..1.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn double_flip_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let img = Tensor::randn(&[3, 8, 8], 0.0, 1.0, &mut rng);
+        assert_eq!(hflip(&hflip(&img)), img);
+    }
+
+    #[test]
+    fn shift_moves_content() {
+        let mut img = Tensor::zeros(&[1, 4, 4]);
+        *img.at_mut(&[0, 1, 1]) = 5.0;
+        let s = shift(&img, 1, 2);
+        assert_eq!(s.at(&[0, 2, 3]), 5.0);
+        assert_eq!(s.at(&[0, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn shift_zero_pads_edges() {
+        let img = Tensor::ones(&[1, 3, 3]);
+        let s = shift(&img, 1, 0);
+        // Top row comes from outside the image: zero.
+        for x in 0..3 {
+            assert_eq!(s.at(&[0, 0, x]), 0.0);
+        }
+    }
+
+    #[test]
+    fn augment_preserves_shape_and_energy_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let img = Tensor::randn(&[3, 16, 16], 0.0, 1.0, &mut rng);
+        for _ in 0..10 {
+            let a = random_augment(&img, &mut rng);
+            assert_eq!(a.shape(), img.shape());
+            // Brightness stays within ±10 % and shifts drop at most one
+            // border row/col of energy.
+            assert!(a.sq_norm() < img.sq_norm() * 1.25);
+        }
+    }
+}

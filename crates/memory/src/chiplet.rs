@@ -1,0 +1,79 @@
+//! Chiplet interconnect model (Fig. 13c baseline).
+//!
+//! The SRAM-CiM chiplet system stores all weights across several chips, so
+//! no DRAM is needed, but intermediate feature maps cross chip boundaries.
+//! Link parameters follow SIMBA's ground-referenced single-ended serial
+//! link [25]: 1.17 pJ/b at 25 Gb/s/pin.
+
+use serde::{Deserialize, Serialize};
+
+/// A chip-to-chip serial link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChipletLink {
+    /// Energy per bit across the link, pJ/bit.
+    pub e_pj_per_bit: f64,
+    /// Per-pin bandwidth, Gb/s.
+    pub gbps_per_pin: f64,
+    /// Pins per link.
+    pub pins: u32,
+    /// Link serialization/deserialization latency, ns.
+    pub t_serdes_ns: f64,
+}
+
+impl ChipletLink {
+    /// SIMBA-class link: 1.17 pJ/b, 25 Gb/s/pin [25].
+    pub fn simba() -> Self {
+        ChipletLink {
+            e_pj_per_bit: 1.17,
+            gbps_per_pin: 25.0,
+            pins: 8,
+            t_serdes_ns: 20.0,
+        }
+    }
+
+    /// Aggregate link bandwidth, Gb/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.gbps_per_pin * self.pins as f64
+    }
+
+    /// Energy to move `bits` bits across the link, pJ.
+    pub fn transfer_energy_pj(&self, bits: u64) -> f64 {
+        bits as f64 * self.e_pj_per_bit
+    }
+
+    /// Time to move `bits` bits across the link, ns.
+    pub fn transfer_latency_ns(&self, bits: u64) -> f64 {
+        if bits == 0 {
+            return 0.0;
+        }
+        self.t_serdes_ns + bits as f64 / self.bandwidth_gbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simba_headline_energy() {
+        let l = ChipletLink::simba();
+        assert!((l.transfer_energy_pj(1) - 1.17).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_cheaper_than_dram_but_not_free() {
+        let l = ChipletLink::simba();
+        let d = crate::dram::DramModel::lpddr4();
+        assert!(l.e_pj_per_bit < d.e_pj_per_bit);
+        assert!(l.e_pj_per_bit > 0.1);
+    }
+
+    #[test]
+    fn latency_includes_serdes() {
+        let l = ChipletLink::simba();
+        assert_eq!(l.transfer_latency_ns(0), 0.0);
+        assert!(l.transfer_latency_ns(1) >= l.t_serdes_ns);
+        let t = l.transfer_latency_ns(200_000);
+        assert!((t - (20.0 + 200_000.0 / 200.0)).abs() < 1.0);
+    }
+}

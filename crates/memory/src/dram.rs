@@ -1,0 +1,97 @@
+//! Off-chip DRAM interface model.
+//!
+//! The single most important constant in the whole system evaluation: the
+//! energy to move one bit across the chip boundary from DRAM. The paper's
+//! argument is that an iso-area SRAM-CiM chip must stream most of a large
+//! model's weights from DRAM every inference, and this energy dwarfs the
+//! CiM computation itself.
+
+use serde::{Deserialize, Serialize};
+
+/// DRAM interface parameters (LPDDR4-class, CACTI-IO-ballpark).
+///
+/// # Examples
+///
+/// ```
+/// use yoloc_memory::DramModel;
+///
+/// let d = DramModel::lpddr4();
+/// // Streaming 46 M of 8-bit weights costs millijoules — the memory wall.
+/// assert!(d.transfer_energy_pj(46_000_000 * 8) > 1e9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    /// End-to-end energy per bit transferred (DRAM core + IO + PHY +
+    /// on-chip receiver), pJ/bit.
+    pub e_pj_per_bit: f64,
+    /// Sustained interface bandwidth, Gb/s.
+    pub bandwidth_gbps: f64,
+    /// Fixed latency per burst transaction, ns.
+    pub t_burst_ns: f64,
+    /// Bits per burst transaction.
+    pub burst_bits: u64,
+    /// Background/refresh power attributed to this interface, W.
+    pub background_w: f64,
+}
+
+impl DramModel {
+    /// LPDDR4-class defaults at 28 nm host: ~13 pJ/bit end to end,
+    /// 25.6 Gb/s per channel.
+    pub fn lpddr4() -> Self {
+        DramModel {
+            e_pj_per_bit: 13.0,
+            bandwidth_gbps: 25.6,
+            t_burst_ns: 45.0,
+            burst_bits: 512,
+            background_w: 0.05,
+        }
+    }
+
+    /// Energy to transfer `bits` bits, pJ.
+    pub fn transfer_energy_pj(&self, bits: u64) -> f64 {
+        bits as f64 * self.e_pj_per_bit
+    }
+
+    /// Time to transfer `bits` bits, ns (bursts pipelined at the sustained
+    /// bandwidth after the first burst latency).
+    pub fn transfer_latency_ns(&self, bits: u64) -> f64 {
+        if bits == 0 {
+            return 0.0;
+        }
+        self.t_burst_ns + bits as f64 / self.bandwidth_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_linear_in_bits() {
+        let d = DramModel::lpddr4();
+        assert_eq!(d.transfer_energy_pj(0), 0.0);
+        let e1 = d.transfer_energy_pj(1_000_000);
+        let e2 = d.transfer_energy_pj(2_000_000);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_includes_burst_setup() {
+        let d = DramModel::lpddr4();
+        assert_eq!(d.transfer_latency_ns(0), 0.0);
+        assert!(d.transfer_latency_ns(1) >= d.t_burst_ns);
+        // 25.6 Gb/s: 25.6 bits per ns.
+        let t = d.transfer_latency_ns(25_600);
+        assert!((t - (45.0 + 1000.0)).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn dram_bit_costs_more_than_onchip_sram_bit() {
+        // The premise of the paper's energy argument.
+        let d = DramModel::lpddr4();
+        let s = crate::sram_buffer::SramBuffer::new_28nm(1 << 21);
+        let dram_per_bit = d.transfer_energy_pj(1);
+        let sram_per_bit = s.access_energy_pj(1);
+        assert!(dram_per_bit / sram_per_bit > 3.0);
+    }
+}

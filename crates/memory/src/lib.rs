@@ -1,0 +1,32 @@
+//! # yoloc-memory
+//!
+//! Memory-hierarchy models for the YOLoC (DAC 2022) reproduction: an
+//! analytic capacity-scaled SRAM buffer (replacing CACTI [24]), an
+//! LPDDR4-class DRAM interface, and a SIMBA-class chiplet link [25]. These
+//! supply the energy/latency constants the system-level evaluation of
+//! Fig. 13/14 is built on.
+//!
+//! # Examples
+//!
+//! ```
+//! use yoloc_memory::{DramModel, SramBuffer};
+//!
+//! let dram = DramModel::lpddr4();
+//! let buf = SramBuffer::new_28nm(2 * 1024 * 1024);
+//! // Moving a bit from DRAM costs far more than reading it on chip —
+//! // the memory-wall premise of the paper.
+//! assert!(dram.transfer_energy_pj(1) > buf.access_energy_pj(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chiplet;
+pub mod dram;
+pub mod noc;
+pub mod sram_buffer;
+
+pub use chiplet::ChipletLink;
+pub use noc::MeshNoc;
+pub use dram::DramModel;
+pub use sram_buffer::SramBuffer;

@@ -1,0 +1,121 @@
+//! On-chip network model (the NoC of Fig. 9).
+//!
+//! YOLoC's controller moves feature maps between CiM macro clusters and
+//! the cache over a mesh NoC. This model prices that movement: hop energy
+//! and latency over a 2-D mesh with dimension-ordered routing.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D mesh network-on-chip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeshNoc {
+    /// Mesh width (routers per row).
+    pub width: usize,
+    /// Mesh height.
+    pub height: usize,
+    /// Energy per bit per hop, pJ (router + link at 28 nm: ~0.05 pJ/bit).
+    pub e_hop_pj_per_bit: f64,
+    /// Latency per hop, ns.
+    pub t_hop_ns: f64,
+    /// Flit width in bits.
+    pub flit_bits: u32,
+}
+
+impl MeshNoc {
+    /// A 28 nm mesh with published-ballpark constants.
+    pub fn new_28nm(width: usize, height: usize) -> Self {
+        MeshNoc {
+            width,
+            height,
+            e_hop_pj_per_bit: 0.05,
+            t_hop_ns: 0.5,
+            flit_bits: 128,
+        }
+    }
+
+    /// Manhattan hop count between routers `(x0, y0)` and `(x1, y1)`
+    /// (dimension-ordered routing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is outside the mesh.
+    pub fn hops(&self, from: (usize, usize), to: (usize, usize)) -> usize {
+        assert!(from.0 < self.width && from.1 < self.height, "from outside mesh");
+        assert!(to.0 < self.width && to.1 < self.height, "to outside mesh");
+        from.0.abs_diff(to.0) + from.1.abs_diff(to.1)
+    }
+
+    /// Average hop count under uniform-random traffic: `(W + H) / 3` for
+    /// a mesh (standard result).
+    pub fn average_hops(&self) -> f64 {
+        (self.width as f64 + self.height as f64) / 3.0
+    }
+
+    /// Energy to move `bits` over `hops` hops, pJ.
+    pub fn transfer_energy_pj(&self, bits: u64, hops: usize) -> f64 {
+        bits as f64 * self.e_hop_pj_per_bit * hops as f64
+    }
+
+    /// Latency to move `bits` over `hops` hops: head latency plus
+    /// pipelined flit serialization, ns.
+    pub fn transfer_latency_ns(&self, bits: u64, hops: usize) -> f64 {
+        if bits == 0 {
+            return 0.0;
+        }
+        let flits = bits.div_ceil(self.flit_bits as u64);
+        hops as f64 * self.t_hop_ns + (flits.saturating_sub(1)) as f64 * self.t_hop_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_counting() {
+        let noc = MeshNoc::new_28nm(4, 4);
+        assert_eq!(noc.hops((0, 0), (3, 3)), 6);
+        assert_eq!(noc.hops((2, 1), (2, 1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside mesh")]
+    fn rejects_out_of_mesh() {
+        let noc = MeshNoc::new_28nm(2, 2);
+        let _ = noc.hops((0, 0), (2, 0));
+    }
+
+    #[test]
+    fn average_hops_formula() {
+        let noc = MeshNoc::new_28nm(6, 3);
+        assert!((noc.average_hops() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_linear_in_bits_and_hops() {
+        let noc = MeshNoc::new_28nm(4, 4);
+        let e1 = noc.transfer_energy_pj(1000, 2);
+        assert!((e1 - 1000.0 * 0.05 * 2.0).abs() < 1e-9);
+        assert_eq!(noc.transfer_energy_pj(0, 5), 0.0);
+    }
+
+    #[test]
+    fn latency_pipelines_flits() {
+        let noc = MeshNoc::new_28nm(4, 4);
+        assert_eq!(noc.transfer_latency_ns(0, 3), 0.0);
+        // One flit: pure hop latency.
+        assert!((noc.transfer_latency_ns(64, 3) - 1.5).abs() < 1e-9);
+        // Many flits amortize hops.
+        let t = noc.transfer_latency_ns(128 * 10, 3);
+        assert!((t - (1.5 + 9.0 * 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noc_bit_cheaper_than_chiplet_bit() {
+        // On-chip movement must be far cheaper than crossing dies —
+        // otherwise the chiplet baseline comparison would be meaningless.
+        let noc = MeshNoc::new_28nm(4, 4);
+        let per_bit = noc.e_hop_pj_per_bit * noc.average_hops();
+        assert!(per_bit < crate::chiplet::ChipletLink::simba().e_pj_per_bit);
+    }
+}

@@ -1,0 +1,129 @@
+//! Human-readable per-layer summaries of network descriptions.
+
+use crate::ir::{NetworkDesc, NetworkError};
+
+/// One row of a [`summary`] table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryRow {
+    /// Layer description.
+    pub name: String,
+    /// Output shape as `CxHxW`.
+    pub out_shape: String,
+    /// Parameters.
+    pub params: u64,
+    /// MACs per inference.
+    pub macs: u64,
+    /// Cumulative parameter fraction up to and including this layer.
+    pub cum_param_frac: f64,
+}
+
+/// Produces per-layer rows plus totals `(rows, total_params, total_macs)`.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] for inconsistent networks.
+pub fn summary(net: &NetworkDesc) -> Result<(Vec<SummaryRow>, u64, u64), NetworkError> {
+    let reports = net.analyze()?;
+    let total_params: u64 = reports.iter().map(|r| r.params).sum();
+    let total_macs: u64 = reports.iter().map(|r| r.macs).sum();
+    let mut cum = 0u64;
+    let rows = reports
+        .iter()
+        .map(|r| {
+            cum += r.params;
+            SummaryRow {
+                name: r.name.clone(),
+                out_shape: format!("{}x{}x{}", r.out_shape.0, r.out_shape.1, r.out_shape.2),
+                params: r.params,
+                macs: r.macs,
+                cum_param_frac: if total_params == 0 {
+                    0.0
+                } else {
+                    cum as f64 / total_params as f64
+                },
+            }
+        })
+        .collect();
+    Ok((rows, total_params, total_macs))
+}
+
+/// Formats the summary as a markdown table string.
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`].
+pub fn summary_markdown(net: &NetworkDesc) -> Result<String, NetworkError> {
+    let (rows, params, macs) = summary(net)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "### {} — {:.2} M params, {:.2} GMACs\n\n",
+        net.name,
+        params as f64 / 1e6,
+        macs as f64 / 1e9
+    ));
+    out.push_str("| layer | out | params | MACs | cum. params |\n|---|---|---|---|---|\n");
+    for r in rows {
+        if r.params == 0 && r.macs == 0 {
+            continue; // skip activations/pools for brevity
+        }
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.1}% |\n",
+            r.name,
+            r.out_shape,
+            r.params,
+            r.macs,
+            100.0 * r.cum_param_frac
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn totals_match_network_methods() {
+        let net = zoo::vgg8(10);
+        let (_, params, macs) = summary(&net).unwrap();
+        assert_eq!(params, net.param_count());
+        assert_eq!(macs, net.macs().unwrap());
+    }
+
+    #[test]
+    fn cumulative_fraction_reaches_one() {
+        let net = zoo::resnet18(100);
+        let (rows, _, _) = summary(&net).unwrap();
+        let last = rows.last().unwrap();
+        assert!((last.cum_param_frac - 1.0).abs() < 1e-9);
+        // Fractions are monotone.
+        for w in rows.windows(2) {
+            assert!(w[1].cum_param_frac >= w[0].cum_param_frac);
+        }
+    }
+
+    #[test]
+    fn markdown_contains_header_and_layers() {
+        let md = summary_markdown(&zoo::tiny_yolo(20, 5)).unwrap();
+        assert!(md.contains("tiny-yolo"));
+        assert!(md.contains("conv1"));
+        assert!(md.contains("| layer |"));
+    }
+
+    #[test]
+    fn darknet_backbone_holds_most_yolo_params() {
+        // The basis for "over 90% of parameters are stored in ROM-CiM":
+        // by the end of the backbone the cumulative share is already high.
+        let net = zoo::yolo_v2(20, 5);
+        let (rows, _, _) = summary(&net).unwrap();
+        let backbone_end = rows
+            .iter()
+            .find(|r| r.name.starts_with("conv18"))
+            .expect("conv18 present");
+        assert!(backbone_end.cum_param_frac > 0.35);
+        // The detect head itself is tiny.
+        let detect = rows.iter().find(|r| r.name.starts_with("detect")).unwrap();
+        assert!((detect.params as f64) < 0.01 * net.param_count() as f64);
+    }
+}

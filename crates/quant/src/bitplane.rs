@@ -1,0 +1,209 @@
+//! Bit-serial decompositions used by the CiM datapath.
+//!
+//! The ROM-CiM macro of Fig. 5 computes one activation *chunk* against one
+//! weight *bit-plane* per analog evaluation:
+//!
+//! * weights are stored as bit-planes across physical columns — plane `j`
+//!   carries bit `j` of the two's-complement code, and the MSB plane has
+//!   negative significance `-2^(b-1)`;
+//! * activations are applied serially as base-4 digits ("0, 1, 2, or 3
+//!   pulses applied to each WL for a 2-bit activation input").
+//!
+//! The shift-&-add block recombines partial sums; these functions are the
+//! exact arithmetic it implements, and the property tests assert perfect
+//! reconstruction, which is why the CiM functional simulation can match the
+//! integer reference exactly when the ADC is ideal.
+
+/// Splits signed two's-complement codes into `bits` bit-planes.
+///
+/// `planes[j][i]` is bit `j` of code `i`. For `j < bits-1` the plane has
+/// significance `2^j`; plane `bits-1` has significance `-2^(bits-1)`.
+///
+/// # Panics
+///
+/// Panics if any value is outside the signed `bits`-bit range.
+pub fn signed_bitplanes(values: &[i32], bits: u8) -> Vec<Vec<u8>> {
+    let lo = -(1i32 << (bits - 1));
+    let hi = (1i32 << (bits - 1)) - 1;
+    let mut planes = vec![vec![0u8; values.len()]; bits as usize];
+    for (i, &v) in values.iter().enumerate() {
+        assert!(
+            (lo..=hi).contains(&v),
+            "value {v} outside signed {bits}-bit range"
+        );
+        let u = (v as u32) & ((1u32 << bits) - 1); // two's complement bits
+        for (j, plane) in planes.iter_mut().enumerate() {
+            plane[i] = ((u >> j) & 1) as u8;
+        }
+    }
+    planes
+}
+
+/// Significance (weight) of bit-plane `j` in a signed `bits`-bit code.
+pub fn signed_plane_weight(j: usize, bits: u8) -> i64 {
+    if j == (bits - 1) as usize {
+        -(1i64 << j)
+    } else {
+        1i64 << j
+    }
+}
+
+/// Inverse of [`signed_bitplanes`].
+///
+/// # Panics
+///
+/// Panics if `planes.len() != bits` or plane lengths differ.
+pub fn reconstruct_signed(planes: &[Vec<u8>], bits: u8) -> Vec<i32> {
+    assert_eq!(planes.len(), bits as usize, "plane count mismatch");
+    let n = planes[0].len();
+    let mut out = vec![0i64; n];
+    for (j, plane) in planes.iter().enumerate() {
+        assert_eq!(plane.len(), n, "ragged planes");
+        let w = signed_plane_weight(j, bits);
+        for (o, &b) in out.iter_mut().zip(plane) {
+            *o += w * b as i64;
+        }
+    }
+    out.into_iter().map(|v| v as i32).collect()
+}
+
+/// Splits unsigned codes into base-`2^chunk_bits` digits, least-significant
+/// first. With `chunk_bits = 2` each digit is 0..=3, matching the paper's
+/// unary-pulse activation drive.
+///
+/// # Panics
+///
+/// Panics if any value is outside the unsigned `bits`-bit range, or if
+/// `chunk_bits` is zero.
+pub fn unsigned_chunks(values: &[i32], bits: u8, chunk_bits: u8) -> Vec<Vec<u8>> {
+    assert!(chunk_bits > 0, "chunk_bits must be positive");
+    let hi = (1i64 << bits) - 1;
+    let n_chunks = bits.div_ceil(chunk_bits) as usize;
+    let mask = (1u32 << chunk_bits) - 1;
+    let mut chunks = vec![vec![0u8; values.len()]; n_chunks];
+    for (i, &v) in values.iter().enumerate() {
+        assert!(
+            (0..=hi).contains(&(v as i64)),
+            "value {v} outside unsigned {bits}-bit range"
+        );
+        let mut u = v as u32;
+        for chunk in chunks.iter_mut() {
+            chunk[i] = (u & mask) as u8;
+            u >>= chunk_bits;
+        }
+    }
+    chunks
+}
+
+/// Inverse of [`unsigned_chunks`].
+pub fn reconstruct_unsigned(chunks: &[Vec<u8>], chunk_bits: u8) -> Vec<i32> {
+    let n = chunks.first().map_or(0, |c| c.len());
+    let mut out = vec![0i64; n];
+    for (j, chunk) in chunks.iter().enumerate() {
+        let w = 1i64 << (j as u8 * chunk_bits);
+        for (o, &d) in out.iter_mut().zip(chunk) {
+            *o += w * d as i64;
+        }
+    }
+    out.into_iter().map(|v| v as i32).collect()
+}
+
+/// Shift-and-add recombination of per-(chunk, plane) partial MAC sums.
+///
+/// `partials[c][j]` is the integer dot product of activation chunk `c`
+/// against weight plane `j`. The result is the full integer MAC value, the
+/// operation of the macro's "Shift & Add" block in Fig. 5.
+pub fn shift_add(partials: &[Vec<i64>], weight_bits: u8, chunk_bits: u8) -> i64 {
+    let mut acc = 0i64;
+    for (c, row) in partials.iter().enumerate() {
+        let act_w = 1i64 << (c as u8 * chunk_bits);
+        for (j, &p) in row.iter().enumerate() {
+            acc += act_w * signed_plane_weight(j, weight_bits) * p;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn signed_roundtrip_8bit() {
+        let vals: Vec<i32> = (-128..=127).collect();
+        let planes = signed_bitplanes(&vals, 8);
+        assert_eq!(planes.len(), 8);
+        assert_eq!(reconstruct_signed(&planes, 8), vals);
+    }
+
+    #[test]
+    fn unsigned_chunk_roundtrip_8bit() {
+        let vals: Vec<i32> = (0..=255).collect();
+        let chunks = unsigned_chunks(&vals, 8, 2);
+        assert_eq!(chunks.len(), 4);
+        assert!(chunks.iter().all(|c| c.iter().all(|&d| d <= 3)));
+        assert_eq!(reconstruct_unsigned(&chunks, 2), vals);
+    }
+
+    #[test]
+    fn msb_plane_is_negative() {
+        assert_eq!(signed_plane_weight(7, 8), -128);
+        assert_eq!(signed_plane_weight(6, 8), 64);
+        assert_eq!(signed_plane_weight(0, 8), 1);
+    }
+
+    #[test]
+    fn shift_add_single_element_equals_product() {
+        // One activation a, one weight w: partials[c][j] = digit_c(a) * bit_j(w);
+        // shift_add must equal a * w.
+        for &a in &[0i32, 1, 37, 255] {
+            for &w in &[-128i32, -1, 0, 1, 77, 127] {
+                let chunks = unsigned_chunks(&[a], 8, 2);
+                let planes = signed_bitplanes(&[w], 8);
+                let partials: Vec<Vec<i64>> = chunks
+                    .iter()
+                    .map(|c| planes.iter().map(|p| (c[0] as i64) * (p[0] as i64)).collect())
+                    .collect();
+                assert_eq!(shift_add(&partials, 8, 2), (a as i64) * (w as i64));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_signed_roundtrip(vals in prop::collection::vec(-128i32..=127, 1..64)) {
+            let planes = signed_bitplanes(&vals, 8);
+            prop_assert_eq!(reconstruct_signed(&planes, 8), vals);
+        }
+
+        #[test]
+        fn prop_unsigned_roundtrip(
+            vals in prop::collection::vec(0i32..=255, 1..64),
+            chunk_bits in 1u8..=4,
+        ) {
+            let chunks = unsigned_chunks(&vals, 8, chunk_bits);
+            prop_assert_eq!(reconstruct_unsigned(&chunks, chunk_bits), vals);
+        }
+
+        #[test]
+        fn prop_bit_serial_dot_product_exact(
+            pairs in prop::collection::vec((0i32..=255, -128i32..=127), 1..32)
+        ) {
+            // Full bit-serial MVM on a vector: sum over elements of a[i]*w[i]
+            // computed chunk-by-chunk and plane-by-plane, recombined by
+            // shift_add, must equal the direct integer dot product.
+            let (acts, weights): (Vec<i32>, Vec<i32>) = pairs.into_iter().unzip();
+            let chunks = unsigned_chunks(&acts, 8, 2);
+            let planes = signed_bitplanes(&weights, 8);
+            let partials: Vec<Vec<i64>> = chunks.iter().map(|c| {
+                planes.iter().map(|p| {
+                    c.iter().zip(p).map(|(&d, &b)| d as i64 * b as i64).sum()
+                }).collect()
+            }).collect();
+            let direct: i64 = acts.iter().zip(&weights)
+                .map(|(&a, &w)| a as i64 * w as i64).sum();
+            prop_assert_eq!(shift_add(&partials, 8, 2), direct);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Quantization-aware training (QAT) support.
+//!
+//! The paper trains at full precision and deploys at 8 bits; for tighter
+//! budgets (the SPWD option's 2-bit decoration, or aggressive branch
+//! quantization) fake quantization with a straight-through estimator
+//! recovers most of the loss. This module provides the fake-quant
+//! forward transform, the STE gradient rule, and a drop-in helper for
+//! projecting parameters onto a quantization grid during training.
+
+use crate::params::QuantParams;
+use yoloc_tensor::Tensor;
+
+/// Applies fake quantization: quantize-then-dequantize, so the forward
+/// value lies exactly on the deployment grid while staying `f32`.
+pub fn fake_quantize(t: &Tensor, params: QuantParams) -> Tensor {
+    t.map(|v| params.dequantize_value(params.quantize_value(v)))
+}
+
+/// Straight-through-estimator gradient mask: 1 inside the representable
+/// range, 0 where the value saturated (gradients through clipped values
+/// are dropped, the standard STE rule).
+pub fn ste_mask(t: &Tensor, params: QuantParams) -> Tensor {
+    let lo = params.dequantize_value(params.qmin());
+    let hi = params.dequantize_value(params.qmax());
+    t.map(|v| if v >= lo && v <= hi { 1.0 } else { 0.0 })
+}
+
+/// Per-step weight projection for QAT ("weight fake-quant"): snaps a
+/// parameter tensor to its symmetric grid in place and returns the mean
+/// absolute projection error (useful to monitor grid fit).
+pub fn project_to_grid(t: &mut Tensor, bits: u8) -> f32 {
+    let abs_max = t.abs_max().max(f32::EPSILON);
+    let p = QuantParams::symmetric(abs_max, bits);
+    let n = t.len().max(1);
+    let mut err = 0.0f64;
+    for v in t.data_mut() {
+        let q = p.dequantize_value(p.quantize_value(*v));
+        err += (q - *v).abs() as f64;
+        *v = q;
+    }
+    (err / n as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fake_quant_is_idempotent() {
+        let p = QuantParams::symmetric(1.0, 8);
+        let t = Tensor::from_vec(vec![0.123, -0.77, 0.5, 2.0], &[4]).unwrap();
+        let q1 = fake_quantize(&t, p);
+        let q2 = fake_quantize(&q1, p);
+        assert_eq!(q1, q2);
+    }
+
+    #[test]
+    fn ste_mask_zeroes_saturated() {
+        let p = QuantParams::symmetric(1.0, 8);
+        let t = Tensor::from_vec(vec![0.5, 1.5, -2.0], &[3]).unwrap();
+        let m = ste_mask(&t, p);
+        assert_eq!(m.data(), &[1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn projection_error_shrinks_with_bits() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+        let t = Tensor::randn(&[256], 0.0, 1.0, &mut rng);
+        let mut t2 = t.clone();
+        let mut t8 = t.clone();
+        let e2 = project_to_grid(&mut t2, 2);
+        let e8 = project_to_grid(&mut t8, 8);
+        assert!(e8 < e2 / 10.0, "e2 {e2} e8 {e8}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fake_quant_error_bounded(
+            vals in prop::collection::vec(-2.0f32..2.0, 1..64),
+            bits in 2u8..=8,
+        ) {
+            let t = Tensor::from_vec(vals.clone(), &[vals.len()]).unwrap();
+            let p = QuantParams::symmetric(2.0, bits);
+            let q = fake_quantize(&t, p);
+            for (a, b) in q.data().iter().zip(t.data()) {
+                prop_assert!((a - b).abs() <= p.scale / 2.0 + 1e-6);
+            }
+        }
+    }
+}

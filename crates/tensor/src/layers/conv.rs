@@ -1,0 +1,289 @@
+//! 2-D convolution layers (including the point-wise convs ReBranch uses).
+
+use rand::Rng;
+
+use crate::init::kaiming_normal;
+use crate::layer::{Layer, Param};
+use crate::ops::{col2im, im2col, Conv2dGeometry};
+use crate::tensor::Tensor;
+
+/// Rearranges a `(N, OC, OH, OW)` tensor into the `(OC, N*OH*OW)` matrix
+/// layout used by the lowered convolution.
+fn nchw_to_mat(y: &Tensor) -> Tensor {
+    let (n, oc, oh, ow) = (y.shape()[0], y.shape()[1], y.shape()[2], y.shape()[3]);
+    let mut out = vec![0.0f32; oc * n * oh * ow];
+    let hw = oh * ow;
+    let cols = n * hw;
+    let yd = y.data();
+    for ni in 0..n {
+        for oci in 0..oc {
+            let src = (ni * oc + oci) * hw;
+            let dst = oci * cols + ni * hw;
+            out[dst..dst + hw].copy_from_slice(&yd[src..src + hw]);
+        }
+    }
+    Tensor::from_vec(out, &[oc, cols]).expect("consistent")
+}
+
+/// Inverse of [`nchw_to_mat`].
+fn mat_to_nchw(m: &Tensor, n: usize, oh: usize, ow: usize) -> Tensor {
+    let oc = m.shape()[0];
+    let hw = oh * ow;
+    let cols = n * hw;
+    assert_eq!(m.shape()[1], cols, "matrix width mismatch");
+    let mut out = vec![0.0f32; n * oc * hw];
+    let md = m.data();
+    for ni in 0..n {
+        for oci in 0..oc {
+            let dst = (ni * oc + oci) * hw;
+            let src = oci * cols + ni * hw;
+            out[dst..dst + hw].copy_from_slice(&md[src..src + hw]);
+        }
+    }
+    Tensor::from_vec(out, &[n, oc, oh, ow]).expect("consistent")
+}
+
+struct ConvCache {
+    input_shape: Vec<usize>,
+    cols: Tensor,
+    out_hw: (usize, usize),
+}
+
+/// A standard 2-D convolution layer over `(N, C, H, W)` inputs, lowered to a
+/// matrix product via `im2col` — the same lowering the CiM mapper applies
+/// when placing the weight matrix into ROM subarrays.
+pub struct Conv2d {
+    /// Kernel weights, shape `(OC, C, k, k)`.
+    pub weight: Param,
+    /// Optional bias, shape `(OC,)`.
+    pub bias: Option<Param>,
+    geom: Conv2dGeometry,
+    out_channels: usize,
+    cache: Option<ConvCache>,
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    #[allow(clippy::too_many_arguments)] // mirrors the conv hyper-parameter list
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        let weight = Param::new(
+            format!("{name}.weight"),
+            kaiming_normal(&[out_channels, in_channels, kernel, kernel], rng),
+        );
+        let bias = bias.then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[out_channels])));
+        Conv2d {
+            weight,
+            bias,
+            geom: Conv2dGeometry {
+                in_channels,
+                kernel,
+                stride,
+                padding,
+            },
+            out_channels,
+            cache: None,
+        }
+    }
+
+    /// A 1x1 ("point-wise") convolution, the building block of the
+    /// ReBranch channel (de)compression layers.
+    pub fn pointwise<R: Rng + ?Sized>(
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        rng: &mut R,
+    ) -> Self {
+        Self::new(name, in_channels, out_channels, 1, 1, 0, false, rng)
+    }
+
+    /// The layer's convolution geometry.
+    pub fn geometry(&self) -> &Conv2dGeometry {
+        &self.geom
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+        let cols = im2col(x, &self.geom);
+        let wm = self
+            .weight
+            .value
+            .reshape(&[self.out_channels, self.geom.patch_len()])
+            .expect("weight shape is consistent");
+        let mut om = wm.matmul(&cols);
+        if let Some(b) = &self.bias {
+            let width = om.shape()[1];
+            let od = om.data_mut();
+            for (oc, &bv) in b.value.data().iter().enumerate() {
+                for v in &mut od[oc * width..(oc + 1) * width] {
+                    *v += bv;
+                }
+            }
+        }
+        let (oh, ow) = self.geom.output_hw(h, w);
+        self.cache = Some(ConvCache {
+            input_shape: x.shape().to_vec(),
+            cols,
+            out_hw: (oh, ow),
+        });
+        mat_to_nchw(&om, n, oh, ow)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let dy = nchw_to_mat(grad_out);
+        // dW = dY * cols^T
+        let dw = dy.matmul(&cache.cols.transpose2());
+        self.weight.grad.add_scaled_inplace(
+            &dw.reshape(self.weight.value.shape()).expect("consistent"),
+            1.0,
+        );
+        if let Some(b) = &mut self.bias {
+            let width = dy.shape()[1];
+            for oc in 0..self.out_channels {
+                let s: f32 = dy.data()[oc * width..(oc + 1) * width].iter().sum();
+                b.grad.data_mut()[oc] += s;
+            }
+        }
+        // dX = col2im(W^T * dY)
+        let wm = self
+            .weight
+            .value
+            .reshape(&[self.out_channels, self.geom.patch_len()])
+            .expect("consistent");
+        let dcols = wm.transpose2().matmul(&dy);
+        let dx = col2im(&dcols, &cache.input_shape, &self.geom);
+        let _ = cache.out_hw;
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "Conv2d({}->{}, k={}, s={}, p={})",
+            self.geom.in_channels,
+            self.out_channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerExt;
+    use crate::ops::conv2d_reference;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new("c", 3, 5, 3, 1, 1, true, &mut rng);
+        let x = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        let yr = conv2d_reference(
+            &x,
+            &conv.weight.value,
+            conv.bias.as_ref().map(|b| &b.value),
+            1,
+            1,
+        );
+        assert_eq!(y.shape(), yr.shape());
+        for (a, b) in y.data().iter().zip(yr.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gradient_check_weight() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::new("c", 2, 3, 3, 1, 1, true, &mut rng);
+        let x = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, &mut rng);
+        // Loss = sum(conv(x)); dL/dy = ones.
+        let y = conv.forward(&x, true);
+        conv.zero_grad();
+        let dx = conv.backward(&Tensor::ones(y.shape()));
+
+        // Finite-difference check on a few weight entries.
+        let eps = 1e-3f32;
+        for &i in &[0usize, 7, 23] {
+            let orig = conv.weight.value.data()[i];
+            conv.weight.value.data_mut()[i] = orig + eps;
+            let yp = conv.forward(&x, true).sum();
+            conv.weight.value.data_mut()[i] = orig - eps;
+            let ym = conv.forward(&x, true).sum();
+            conv.weight.value.data_mut()[i] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            let ana = conv.weight.grad.data()[i];
+            assert!(
+                (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+                "weight grad {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+        // Finite-difference check on an input entry.
+        let mut x2 = x.clone();
+        let i = 9;
+        let orig = x2.data()[i];
+        x2.data_mut()[i] = orig + eps;
+        let yp = conv.forward(&x2, true).sum();
+        x2.data_mut()[i] = orig - eps;
+        let ym = conv.forward(&x2, true).sum();
+        let num = (yp - ym) / (2.0 * eps);
+        let ana = dx.data()[i];
+        assert!(
+            (num - ana).abs() < 2e-2 * (1.0 + ana.abs()),
+            "input grad: numeric {num} vs analytic {ana}"
+        );
+    }
+
+    #[test]
+    fn pointwise_is_1x1() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pw = Conv2d::pointwise("p", 8, 2, &mut rng);
+        assert_eq!(pw.geometry().kernel, 1);
+        assert_eq!(pw.weight.value.shape(), &[2, 8, 1, 1]);
+        assert!(pw.bias.is_none());
+    }
+
+    #[test]
+    fn param_accounting() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new("c", 4, 8, 3, 1, 1, true, &mut rng);
+        assert_eq!(conv.param_count(), 8 * 4 * 9 + 8);
+        conv.freeze_all();
+        assert_eq!(conv.trainable_param_count(), 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Additional layers: dropout, sigmoid/tanh activations, windowed
+//! average pooling — used by extensions of the base experiments
+//! (regularized transfer training, alternative detector heads).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Inverted dropout. Active only in training mode; at evaluation it is
+/// the identity.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`, seeded
+    /// deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask = Tensor::from_vec(
+            (0..x.len())
+                .map(|_| {
+                    if self.rng.gen_range(0.0f32..1.0) < keep {
+                        1.0 / keep
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            x.shape(),
+        )
+        .expect("mask matches input");
+        let y = x.mul(&mask);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(m) => grad_out.mul(m),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("Dropout({})", self.p)
+    }
+}
+
+/// Elementwise logistic sigmoid.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    cached_out: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let y = x.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.cached_out = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cached_out.as_ref().expect("backward before forward");
+        grad_out.zip_map(y, |g, s| g * s * (1.0 - s))
+    }
+
+    fn name(&self) -> String {
+        "Sigmoid".into()
+    }
+}
+
+/// Elementwise hyperbolic tangent.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    cached_out: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let y = x.map(|v| v.tanh());
+        self.cached_out = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cached_out.as_ref().expect("backward before forward");
+        grad_out.zip_map(y, |g, t| g * (1.0 - t * t))
+    }
+
+    fn name(&self) -> String {
+        "Tanh".into()
+    }
+}
+
+/// Windowed average pooling over `(N, C, H, W)`.
+pub struct AvgPool2d {
+    kernel: usize,
+    stride: usize,
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        AvgPool2d {
+            kernel,
+            stride,
+            cached_shape: None,
+        }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 4, "AvgPool2d expects (N, C, H, W)");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert!(h >= self.kernel && w >= self.kernel, "window too large");
+        let oh = (h - self.kernel) / self.stride + 1;
+        let ow = (w - self.kernel) / self.stride + 1;
+        let norm = (self.kernel * self.kernel) as f32;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                acc += x.at(&[ni, ci, oy * self.stride + ky, ox * self.stride + kx]);
+                            }
+                        }
+                        *out.at_mut(&[ni, ci, oy, ox]) = acc / norm;
+                    }
+                }
+            }
+        }
+        self.cached_shape = Some(x.shape().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cached_shape.as_ref().expect("backward before forward");
+        let (n, c) = (shape[0], shape[1]);
+        let (oh, ow) = (grad_out.shape()[2], grad_out.shape()[3]);
+        let norm = (self.kernel * self.kernel) as f32;
+        let mut dx = Tensor::zeros(shape);
+        for ni in 0..n {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.at(&[ni, ci, oy, ox]) / norm;
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                *dx.at_mut(&[
+                                    ni,
+                                    ci,
+                                    oy * self.stride + ky,
+                                    ox * self.stride + kx,
+                                ]) += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> String {
+        format!("AvgPool2d(k={}, s={})", self.kernel, self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::ones(&[100]);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true);
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Dropped positions are exactly zero; kept are scaled by 1/keep.
+        for &v in y.data() {
+            assert!(v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(&[64]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[64]));
+        for (a, b) in y.data().iter().zip(g.data()) {
+            assert_eq!(a, b, "gradient must flow exactly where kept");
+        }
+    }
+
+    #[test]
+    fn sigmoid_gradient() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec(vec![0.0, 2.0, -2.0], &[3]).unwrap();
+        let y = s.forward(&x, true);
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+        let g = s.backward(&Tensor::ones(&[3]));
+        assert!((g.data()[0] - 0.25).abs() < 1e-6);
+        // Saturated region has small gradient.
+        assert!(g.data()[1] < 0.15);
+    }
+
+    #[test]
+    fn tanh_gradient_check() {
+        let mut t = Tanh::new();
+        let x = Tensor::from_vec(vec![0.3, -1.2], &[2]).unwrap();
+        let _ = t.forward(&x, true);
+        let g = t.backward(&Tensor::ones(&[2]));
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (xp.data()[i].tanh() - xm.data()[i].tanh()) / (2.0 * eps);
+            assert!((num - g.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn avgpool_forward_backward() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let mut p = AvgPool2d::new(2, 2);
+        let y = p.forward(&x, true);
+        assert_eq!(y.data(), &[2.5]);
+        let dx = p.backward(&Tensor::ones(&[1, 1, 1, 1]));
+        assert!(dx.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+}

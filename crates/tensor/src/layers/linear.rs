@@ -1,0 +1,151 @@
+//! Fully-connected layer.
+
+use rand::Rng;
+
+use crate::init::kaiming_normal;
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// A fully-connected layer mapping `(N, IN)` to `(N, OUT)`.
+pub struct Linear {
+    /// Weight matrix `(OUT, IN)`.
+    pub weight: Param,
+    /// Optional bias `(OUT,)`.
+    pub bias: Option<Param>,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized fully-connected layer.
+    pub fn new<R: Rng + ?Sized>(
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        bias: bool,
+        rng: &mut R,
+    ) -> Self {
+        Linear {
+            weight: Param::new(
+                format!("{name}.weight"),
+                kaiming_normal(&[out_features, in_features], rng),
+            ),
+            bias: bias.then(|| Param::new(format!("{name}.bias"), Tensor::zeros(&[out_features]))),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.shape()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.shape()[0]
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 2, "Linear expects (N, IN)");
+        let mut y = x.matmul(&self.weight.value.transpose2());
+        if let Some(b) = &self.bias {
+            let out = self.weight.value.shape()[0];
+            let yd = y.data_mut();
+            for row in yd.chunks_mut(out) {
+                for (v, &bv) in row.iter_mut().zip(b.value.data()) {
+                    *v += bv;
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward before forward");
+        // dW = dY^T * X ; dX = dY * W ; db = column sums of dY.
+        let dw = grad_out.transpose2().matmul(x);
+        self.weight.grad.add_scaled_inplace(&dw, 1.0);
+        if let Some(b) = &mut self.bias {
+            let out = b.value.len();
+            for row in grad_out.data().chunks(out) {
+                for (g, &v) in b.grad.data_mut().iter_mut().zip(row) {
+                    *g += v;
+                }
+            }
+        }
+        grad_out.matmul(&self.weight.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn name(&self) -> String {
+        format!("Linear({}->{})", self.in_features(), self.out_features())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lin = Linear::new("fc", 4, 3, true, &mut rng);
+        let x = Tensor::ones(&[2, 4]);
+        let y = lin.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 3]);
+        // Both rows identical for identical inputs.
+        for j in 0..3 {
+            assert!((y.at(&[0, j]) - y.at(&[1, j])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lin = Linear::new("fc", 5, 4, true, &mut rng);
+        let x = Tensor::randn(&[3, 5], 0.0, 1.0, &mut rng);
+        let y = lin.forward(&x, true);
+        let dx = lin.backward(&Tensor::ones(y.shape()));
+        let eps = 1e-3f32;
+        for &i in &[0usize, 6, 19] {
+            let orig = lin.weight.value.data()[i];
+            lin.weight.value.data_mut()[i] = orig + eps;
+            let yp = lin.forward(&x, true).sum();
+            lin.weight.value.data_mut()[i] = orig - eps;
+            let ym = lin.forward(&x, true).sum();
+            lin.weight.value.data_mut()[i] = orig;
+            let num = (yp - ym) / (2.0 * eps);
+            let ana = lin.weight.grad.data()[i];
+            assert!((num - ana).abs() < 2e-2 * (1.0 + ana.abs()));
+        }
+        // Input gradient for loss=sum(y) is column sums of W.
+        for j in 0..5 {
+            let expect: f32 = (0..4).map(|o| lin.weight.value.at(&[o, j])).sum();
+            assert!((dx.at(&[0, j]) - expect).abs() < 1e-4);
+        }
+        // Bias gradient is the batch size for loss=sum(y).
+        assert!(lin.bias.as_ref().unwrap().grad.data().iter().all(|&g| (g - 3.0).abs() < 1e-5));
+    }
+}

@@ -1,0 +1,234 @@
+//! Batch normalization over channel maps.
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+struct BnCache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    input_shape: Vec<usize>,
+}
+
+/// Batch normalization over `(N, C, H, W)` inputs, normalizing each channel
+/// across the batch and spatial dimensions.
+///
+/// Tracks running statistics for inference. In the hardware mapping,
+/// batch-norm folds into the preceding convolution's weights before
+/// quantization, so it contributes no CiM parameters.
+pub struct BatchNorm2d {
+    /// Per-channel scale.
+    pub gamma: Param,
+    /// Per-channel shift.
+    pub beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+    cache: Option<BnCache>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(name: &str, channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of normalized channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.len()
+    }
+
+    /// Running (inference-time) statistics as `(mean, var)` slices.
+    pub fn running_stats(&self) -> (&[f32], &[f32]) {
+        (&self.running_mean, &self.running_var)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 4, "BatchNorm2d expects (N, C, H, W)");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.channels(), "channel mismatch");
+        let m = (n * h * w) as f32;
+        let mut out = Tensor::zeros(x.shape());
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut inv_stds = vec![0.0f32; c];
+        for ci in 0..c {
+            let (mean, var) = if train {
+                let mut s = 0.0f64;
+                let mut s2 = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * h * w;
+                    for &v in &x.data()[base..base + h * w] {
+                        s += v as f64;
+                        s2 += (v as f64) * (v as f64);
+                    }
+                }
+                let mean = (s / m as f64) as f32;
+                let var = ((s2 / m as f64) - (mean as f64) * (mean as f64)).max(0.0) as f32;
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ci], self.running_var[ci])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ci] = inv_std;
+            let g = self.gamma.value.data()[ci];
+            let b = self.beta.value.data()[ci];
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    let xh = (x.data()[i] - mean) * inv_std;
+                    xhat.data_mut()[i] = xh;
+                    out.data_mut()[i] = g * xh + b;
+                }
+            }
+        }
+        if train {
+            self.cache = Some(BnCache {
+                xhat,
+                inv_std: inv_stds,
+                input_shape: x.shape().to_vec(),
+            });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward(train)");
+        let shape = &cache.input_shape;
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let m = (n * h * w) as f32;
+        let mut dx = Tensor::zeros(shape);
+        for ci in 0..c {
+            let g = self.gamma.value.data()[ci];
+            let inv_std = cache.inv_std[ci];
+            // Accumulate the two per-channel reductions.
+            let mut sum_dy = 0.0f64;
+            let mut sum_dy_xhat = 0.0f64;
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    let dy = grad_out.data()[i] as f64;
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.xhat.data()[i] as f64;
+                }
+            }
+            self.beta.grad.data_mut()[ci] += sum_dy as f32;
+            self.gamma.grad.data_mut()[ci] += sum_dy_xhat as f32;
+            let sum_dy = sum_dy as f32;
+            let sum_dy_xhat = sum_dy_xhat as f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    let dy = grad_out.data()[i];
+                    let xh = cache.xhat.data()[i];
+                    dx.data_mut()[i] =
+                        g * inv_std / m * (m * dy - sum_dy - xh * sum_dy_xhat);
+                }
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn name(&self) -> String {
+        format!("BatchNorm2d({})", self.channels())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes_to_zero_mean_unit_var() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bn = BatchNorm2d::new("bn", 3);
+        let x = Tensor::randn(&[4, 3, 5, 5], 2.0, 3.0, &mut rng);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ~0, var ~1 (gamma=1, beta=0 initially).
+        for ci in 0..3 {
+            let mut vals = Vec::new();
+            for ni in 0..4 {
+                for hi in 0..5 {
+                    for wi in 0..5 {
+                        vals.push(y.at(&[ni, ci, hi, wi]));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+                / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn inference_uses_running_stats() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        // Train on many batches so running stats converge.
+        for _ in 0..200 {
+            let x = Tensor::randn(&[8, 2, 3, 3], 1.0, 2.0, &mut rng);
+            let _ = bn.forward(&x, true);
+        }
+        let (rm, rv) = bn.running_stats();
+        assert!((rm[0] - 1.0).abs() < 0.2, "running mean {}", rm[0]);
+        assert!((rv[0] - 4.0).abs() < 1.0, "running var {}", rv[0]);
+        // Eval mode normalizes with running stats: a batch at the running
+        // mean maps near zero.
+        let x = Tensor::full(&[1, 2, 3, 3], rm[0]);
+        let y = bn.forward(&x, false);
+        assert!(y.abs_max() < 0.2);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let x = Tensor::randn(&[2, 2, 3, 3], 0.0, 1.0, &mut rng);
+        // Use a non-uniform upstream gradient; with dL/dy = const the
+        // batch-norm input gradient is identically zero by design.
+        let gout = Tensor::randn(&[2, 2, 3, 3], 0.0, 1.0, &mut rng);
+        let _ = bn.forward(&x, true);
+        let dx = bn.backward(&gout);
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            bn.forward(x, true).mul(&gout).sum()
+        };
+        let eps = 1e-2f32;
+        for &i in &[0usize, 5, 17] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&mut bn, &xp) - loss(&mut bn, &xm)) / (2.0 * eps);
+            let ana = dx.data()[i];
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + ana.abs()),
+                "grad {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Pooling layers: max pooling and global average pooling.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// 2-D max pooling over `(N, C, H, W)` inputs with a square window.
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    /// Cached per-output-element argmax offsets into the input buffer.
+    argmax: Option<(Vec<usize>, Vec<usize>, Vec<usize>)>, // (input_shape, out_shape, flat argmax)
+}
+
+impl MaxPool2d {
+    /// Creates a max-pooling layer (`stride == kernel` gives the standard
+    /// non-overlapping pool used by VGG/DarkNet).
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            argmax: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 4, "MaxPool2d expects (N, C, H, W)");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert!(h >= self.kernel && w >= self.kernel, "window too large");
+        let oh = (h - self.kernel) / self.stride + 1;
+        let ow = (w - self.kernel) / self.stride + 1;
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut arg = vec![0usize; n * c * oh * ow];
+        let xd = x.data();
+        let od = out.data_mut();
+        let mut oi = 0;
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut besti = 0;
+                        for kh in 0..self.kernel {
+                            for kw in 0..self.kernel {
+                                let idx =
+                                    base + (ohi * self.stride + kh) * w + owi * self.stride + kw;
+                                if xd[idx] > best {
+                                    best = xd[idx];
+                                    besti = idx;
+                                }
+                            }
+                        }
+                        od[oi] = best;
+                        arg[oi] = besti;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        self.argmax = Some((x.shape().to_vec(), vec![n, c, oh, ow], arg));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (in_shape, out_shape, arg) = self.argmax.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.shape(), &out_shape[..], "grad shape mismatch");
+        let mut dx = Tensor::zeros(in_shape);
+        let dd = dx.data_mut();
+        for (g, &i) in grad_out.data().iter().zip(arg) {
+            dd[i] += g;
+        }
+        dx
+    }
+
+    fn name(&self) -> String {
+        format!("MaxPool2d(k={}, s={})", self.kernel, self.stride)
+    }
+}
+
+/// Global average pooling: `(N, C, H, W) -> (N, C)`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 4, "GlobalAvgPool expects (N, C, H, W)");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let hw = (h * w) as f32;
+        let mut out = Tensor::zeros(&[n, c]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                let s: f32 = x.data()[base..base + h * w].iter().sum();
+                *out.at_mut(&[ni, ci]) = s / hw;
+            }
+        }
+        self.cached_shape = Some(x.shape().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cached_shape.as_ref().expect("backward before forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let hw = (h * w) as f32;
+        let mut dx = Tensor::zeros(shape);
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = grad_out.at(&[ni, ci]) / hw;
+                let base = (ni * c + ci) * h * w;
+                for v in &mut dx.data_mut()[base..base + h * w] {
+                    *v = g;
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> String {
+        "GlobalAvgPool".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_forward() {
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let mut p = MaxPool2d::new(2, 2);
+        let y = p.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let mut p = MaxPool2d::new(2, 2);
+        let _ = p.forward(&x, true);
+        let dx = p.backward(&Tensor::ones(&[1, 1, 1, 1]));
+        assert_eq!(dx.data(), &[0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gap_forward_backward() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let mut p = GlobalAvgPool::new();
+        let y = p.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 1]);
+        assert_eq!(y.data(), &[4.0]);
+        let dx = p.backward(&Tensor::ones(&[1, 1]));
+        assert!(dx.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+}

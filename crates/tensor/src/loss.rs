@@ -1,0 +1,143 @@
+//! Loss functions with analytic gradients.
+
+use crate::tensor::Tensor;
+
+/// Numerically-stable log-softmax over the last axis of a `(N, K)` tensor.
+fn log_softmax_rows(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.ndim(), 2, "expected (N, K) logits");
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = Tensor::zeros(&[n, k]);
+    for i in 0..n {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = m + row.iter().map(|&v| ((v - m) as f64).exp()).sum::<f64>().ln() as f32;
+        for j in 0..k {
+            out.data_mut()[i * k + j] = row[j] - lse;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy loss for integer class targets.
+///
+/// Returns `(mean_loss, grad)` where `grad` has the shape of `logits` and is
+/// already divided by the batch size.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2, `targets.len() != N`, or any target is
+/// out of range.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.ndim(), 2, "expected (N, K) logits");
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(targets.len(), n, "target count mismatch");
+    let logp = log_softmax_rows(logits);
+    let mut loss = 0.0f64;
+    let mut grad = Tensor::zeros(&[n, k]);
+    for (i, &t) in targets.iter().enumerate() {
+        assert!(t < k, "target {t} out of range for {k} classes");
+        loss -= logp.at(&[i, t]) as f64;
+        for j in 0..k {
+            let p = logp.at(&[i, j]).exp();
+            *grad.at_mut(&[i, j]) = (p - if j == t { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Mean-squared-error loss. Returns `(mean_loss, grad)` with the gradient
+/// already divided by the element count.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f32;
+    let diff = pred.sub(target);
+    let loss = diff.sq_norm() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Top-1 accuracy of `(N, K)` logits against integer targets.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2 or `targets.len() != N`.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    assert_eq!(logits.ndim(), 2);
+    let (n, k) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(targets.len(), n);
+    let mut correct = 0usize;
+    for (i, &t) in targets.iter().enumerate() {
+        let row = &logits.data()[i * k..(i + 1) * k];
+        let mut best = 0;
+        for j in 1..k {
+            if row[j] > row[best] {
+                best = j;
+            }
+        }
+        if best == t {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform() {
+        // Uniform logits: loss = ln(K), gradient pushes towards the target.
+        let logits = Tensor::zeros(&[1, 4]);
+        let (loss, grad) = cross_entropy(&logits, &[2]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        assert!(grad.at(&[0, 2]) < 0.0);
+        assert!(grad.at(&[0, 0]) > 0.0);
+        // Gradient rows sum to zero.
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_confident_correct() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]).unwrap();
+        let (loss, _) = cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_check() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2], &[1, 3]).unwrap();
+        let (_, grad) = cross_entropy(&logits, &[1]);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let (fp, _) = cross_entropy(&lp, &[1]);
+            let (fm, _) = cross_entropy(&lm, &[1]);
+            let num = (fp - fm) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn mse_basics() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        let (loss, grad) = mse(&a, &b);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn accuracy_counts() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 0.2, 0.9], &[3, 2]).unwrap();
+        let acc = accuracy(&logits, &[0, 1, 0]);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

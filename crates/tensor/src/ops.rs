@@ -1,0 +1,299 @@
+//! Convolution lowering primitives: `im2col` / `col2im`, pooling kernels.
+//!
+//! Convolutions in the CiM datapath are executed as matrix-vector products
+//! over unrolled patches (the same lowering the paper's mapping scheme uses
+//! to place weights in 128x256 subarrays), so `im2col` is the shared
+//! geometry for both the training substrate and the hardware mapper.
+
+use crate::tensor::Tensor;
+
+/// Geometry of a 2-D convolution / pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Kernel side length (square kernels).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero-padding in both dimensions.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output spatial size for an input of `(h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit the padded input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let eff_h = h + 2 * self.padding;
+        let eff_w = w + 2 * self.padding;
+        assert!(
+            eff_h >= self.kernel && eff_w >= self.kernel,
+            "kernel {} does not fit padded input {}x{}",
+            self.kernel,
+            eff_h,
+            eff_w
+        );
+        (
+            (eff_h - self.kernel) / self.stride + 1,
+            (eff_w - self.kernel) / self.stride + 1,
+        )
+    }
+
+    /// Rows of the im2col matrix: `C * k * k`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Unrolls an `(N, C, H, W)` input into a `(C*k*k, N*OH*OW)` patch matrix.
+///
+/// Column `n*OH*OW + oh*OW + ow` holds the receptive field of output pixel
+/// `(oh, ow)` of sample `n`; out-of-bounds taps read as zero.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank-4 or its channel count mismatches `geom`.
+pub fn im2col(x: &Tensor, geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(x.ndim(), 4, "im2col expects (N, C, H, W)");
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    assert_eq!(c, geom.in_channels, "channel mismatch");
+    let (oh, ow) = geom.output_hw(h, w);
+    let k = geom.kernel;
+    let cols = n * oh * ow;
+    let rows = geom.patch_len();
+    let mut out = vec![0.0f32; rows * cols];
+    let xd = x.data();
+    for ni in 0..n {
+        for ci in 0..c {
+            let x_base = (ni * c + ci) * h * w;
+            for kh in 0..k {
+                for kw in 0..k {
+                    let row = (ci * k + kh) * k + kw;
+                    let out_base = row * cols + ni * oh * ow;
+                    for ohi in 0..oh {
+                        let ih = (ohi * geom.stride + kh) as isize - geom.padding as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        let x_row = x_base + ih as usize * w;
+                        let out_row = out_base + ohi * ow;
+                        for owi in 0..ow {
+                            let iw = (owi * geom.stride + kw) as isize - geom.padding as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            out[out_row + owi] = xd[x_row + iw as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[rows, cols]).expect("im2col shape is consistent")
+}
+
+/// Adjoint of [`im2col`]: scatters a `(C*k*k, N*OH*OW)` patch-gradient matrix
+/// back onto an `(N, C, H, W)` input gradient (overlaps accumulate).
+///
+/// # Panics
+///
+/// Panics if `cols` does not have the shape `im2col` would have produced for
+/// an input of `input_shape` under `geom`.
+pub fn col2im(cols: &Tensor, input_shape: &[usize], geom: &Conv2dGeometry) -> Tensor {
+    assert_eq!(input_shape.len(), 4, "col2im expects (N, C, H, W)");
+    let (n, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    let (oh, ow) = geom.output_hw(h, w);
+    let k = geom.kernel;
+    assert_eq!(
+        cols.shape(),
+        &[geom.patch_len(), n * oh * ow],
+        "col2im input shape mismatch"
+    );
+    let mut out = vec![0.0f32; n * c * h * w];
+    let cd = cols.data();
+    let ncols = n * oh * ow;
+    for ni in 0..n {
+        for ci in 0..c {
+            let x_base = (ni * c + ci) * h * w;
+            for kh in 0..k {
+                for kw in 0..k {
+                    let row = (ci * k + kh) * k + kw;
+                    let col_base = row * ncols + ni * oh * ow;
+                    for ohi in 0..oh {
+                        let ih = (ohi * geom.stride + kh) as isize - geom.padding as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        let x_row = x_base + ih as usize * w;
+                        let col_row = col_base + ohi * ow;
+                        for owi in 0..ow {
+                            let iw = (owi * geom.stride + kw) as isize - geom.padding as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            out[x_row + iw as usize] += cd[col_row + owi];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, input_shape).expect("col2im shape is consistent")
+}
+
+/// Direct (non-lowered) reference convolution, used to cross-check the
+/// im2col path in tests. `weight` is `(OC, C, k, k)`, `x` is `(N, C, H, W)`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d_reference(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    padding: usize,
+) -> Tensor {
+    assert_eq!(x.ndim(), 4);
+    assert_eq!(weight.ndim(), 4);
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let (oc, wc, k, k2) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    assert_eq!(c, wc, "channel mismatch");
+    assert_eq!(k, k2, "non-square kernel");
+    let geom = Conv2dGeometry {
+        in_channels: c,
+        kernel: k,
+        stride,
+        padding,
+    };
+    let (oh, ow) = geom.output_hw(h, w);
+    let mut out = Tensor::zeros(&[n, oc, oh, ow]);
+    for ni in 0..n {
+        for oci in 0..oc {
+            let b = bias.map_or(0.0, |bb| bb.data()[oci]);
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut acc = b;
+                    for ci in 0..c {
+                        for kh in 0..k {
+                            for kw in 0..k {
+                                let ih = (ohi * stride + kh) as isize - padding as isize;
+                                let iw = (owi * stride + kw) as isize - padding as isize;
+                                if ih < 0 || iw < 0 || ih >= h as isize || iw >= w as isize {
+                                    continue;
+                                }
+                                acc += x.at(&[ni, ci, ih as usize, iw as usize])
+                                    * weight.at(&[oci, ci, kh, kw]);
+                            }
+                        }
+                    }
+                    *out.at_mut(&[ni, oci, ohi, owi]) = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_hw_formula() {
+        let g = Conv2dGeometry {
+            in_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        assert_eq!(g.output_hw(8, 8), (8, 8));
+        let g2 = Conv2dGeometry {
+            in_channels: 3,
+            kernel: 2,
+            stride: 2,
+            padding: 0,
+        };
+        assert_eq!(g2.output_hw(8, 8), (4, 4));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1: im2col is a pure reshape/permute.
+        let x = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let cols = im2col(&x, &g);
+        assert_eq!(cols.shape(), &[2, 4]);
+        assert_eq!(cols.data(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn im2col_matches_reference_conv() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::randn(&[2, 3, 7, 7], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.0, 1.0, &mut rng);
+        let g = Conv2dGeometry {
+            in_channels: 3,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        let (oh, ow) = g.output_hw(7, 7);
+        let cols = im2col(&x, &g);
+        let wm = w.reshape(&[4, g.patch_len()]).unwrap();
+        let om = wm.matmul(&cols);
+        // Rearrange (OC, N*OH*OW) into (N, OC, OH, OW).
+        let mut lowered = Tensor::zeros(&[2, 4, oh, ow]);
+        for n in 0..2 {
+            for oc in 0..4 {
+                for p in 0..oh * ow {
+                    *lowered.at_mut(&[n, oc, p / ow, p % ow]) = om.at(&[oc, n * oh * ow + p]);
+                }
+            }
+        }
+        let reference = conv2d_reference(&x, &w, None, 2, 1);
+        for (a, b) in lowered.data().iter().zip(reference.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for all x, y — the defining
+        // property of the adjoint, which is what backprop relies on.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Conv2dGeometry {
+            in_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let x = Tensor::randn(&[1, 2, 5, 5], 0.0, 1.0, &mut rng);
+        let cols = im2col(&x, &g);
+        let y = Tensor::randn(cols.shape(), 0.0, 1.0, &mut rng);
+        let lhs: f32 = cols.mul(&y).sum();
+        let back = col2im(&y, &[1, 2, 5, 5], &g);
+        let rhs: f32 = x.mul(&back).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the tensor substrate's core invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use yoloc_tensor::layers::{Conv2d, Linear};
+use yoloc_tensor::ops::{col2im, conv2d_reference, im2col, Conv2dGeometry};
+use yoloc_tensor::{Layer, Tensor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        seed in 0u64..500,
+        m in 1usize..6,
+        k in 1usize..6,
+        n in 1usize..6,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+        let c = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(
+        seed in 0u64..500,
+        m in 1usize..5,
+        k in 1usize..5,
+        n in 1usize..5,
+    ) {
+        // (A B)^T == B^T A^T
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+        let lhs = a.matmul(&b).transpose2();
+        let rhs = b.transpose2().matmul(&a.transpose2());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn convolution_is_linear(
+        seed in 0u64..500,
+        c in 1usize..4,
+        oc in 1usize..4,
+        hw in 4usize..8,
+        alpha in -2.0f32..2.0,
+    ) {
+        // conv(a*x + y) == a*conv(x) + conv(y)
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Tensor::randn(&[oc, c, 3, 3], 0.0, 0.5, &mut rng);
+        let x = Tensor::randn(&[1, c, hw, hw], 0.0, 1.0, &mut rng);
+        let y = Tensor::randn(&[1, c, hw, hw], 0.0, 1.0, &mut rng);
+        let mixed = x.scale(alpha).add(&y);
+        let lhs = conv2d_reference(&mixed, &w, None, 1, 1);
+        let rhs = conv2d_reference(&x, &w, None, 1, 1)
+            .scale(alpha)
+            .add(&conv2d_reference(&y, &w, None, 1, 1));
+        for (a, b) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        seed in 0u64..500,
+        c in 1usize..4,
+        hw in 4usize..8,
+        stride in 1usize..3,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Conv2dGeometry { in_channels: c, kernel: 3, stride, padding: 1 };
+        let x = Tensor::randn(&[1, c, hw, hw], 0.0, 1.0, &mut rng);
+        let cols = im2col(&x, &g);
+        let y = Tensor::randn(cols.shape(), 0.0, 1.0, &mut rng);
+        let lhs: f32 = cols.mul(&y).sum();
+        let back = col2im(&y, x.shape(), &g);
+        let rhs: f32 = x.mul(&back).sum();
+        prop_assert!((lhs - rhs).abs() < 2e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn linear_backward_is_transpose_map(
+        seed in 0u64..500,
+        ins in 1usize..8,
+        outs in 1usize..8,
+    ) {
+        // <W x, g> == <x, backward(g)> when no bias gradient interferes.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut lin = Linear::new("l", ins, outs, false, &mut rng);
+        let x = Tensor::randn(&[1, ins], 0.0, 1.0, &mut rng);
+        let g = Tensor::randn(&[1, outs], 0.0, 1.0, &mut rng);
+        let y = lin.forward(&x, true);
+        let dx = lin.backward(&g);
+        let lhs: f32 = y.mul(&g).sum();
+        let rhs: f32 = x.mul(&dx).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn conv_backward_is_adjoint(
+        seed in 0u64..300,
+        c in 1usize..3,
+        oc in 1usize..3,
+        hw in 4usize..7,
+    ) {
+        // <conv(x), g> == <x, conv_backward(g)> for bias-free convs.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut conv = Conv2d::new("c", c, oc, 3, 1, 1, false, &mut rng);
+        let x = Tensor::randn(&[1, c, hw, hw], 0.0, 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        let g = Tensor::randn(y.shape(), 0.0, 1.0, &mut rng);
+        let dx = conv.backward(&g);
+        let lhs: f32 = y.mul(&g).sum();
+        let rhs: f32 = x.mul(&dx).sum();
+        prop_assert!((lhs - rhs).abs() < 2e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Deploy a convolution on the analog ROM-CiM macro (the Fig. 5/9
+//! datapath) and compare against the floating-point software result.
+//!
+//! Run with `cargo run --release --example cim_inference`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use yoloc::cim::macro_model::MacroParams;
+use yoloc::core::qconv::CimConv2d;
+use yoloc::tensor::ops::conv2d_reference;
+use yoloc::tensor::Tensor;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let weight = Tensor::randn(&[8, 3, 3, 3], 0.0, 0.4, &mut rng);
+    let image = Tensor::rand_uniform(&[1, 3, 12, 12], 0.0, 1.0, &mut rng);
+
+    // Compile: per-channel 8-bit quantization, bit-plane decomposition,
+    // mask-programming into 128x256 subarrays.
+    let conv = CimConv2d::compile(&weight, 1, 1, &[&image], MacroParams::rom_paper());
+    println!(
+        "compiled conv 3x3x3->8 onto {} ROM-CiM subarray(s)",
+        conv.subarrays()
+    );
+
+    let (cim_out, stats) = conv.forward(&image, &mut rng);
+    let sw_out = conv2d_reference(&image, &weight, None, 1, 1);
+
+    let mag = sw_out.abs_max();
+    let max_err = cim_out
+        .data()
+        .iter()
+        .zip(sw_out.data())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("max |CiM - software| = {max_err:.4} ({:.2}% of range)", 100.0 * max_err / mag);
+    println!(
+        "macro activity: {} analog evaluations, {} ADC conversions, {} WL pulses",
+        stats.analog_evaluations, stats.adc_conversions, stats.wl_pulses
+    );
+    println!(
+        "energy {:.1} nJ, latency {:.1} us (serial, single macro)",
+        stats.energy_pj / 1e3,
+        stats.latency_ns / 1e3
+    );
+    println!(
+        "\nThe 5-bit ADC with 10 simultaneously-activated rows resolves every \
+         discharge count exactly, so the only error is 8-bit quantization — the \
+         macro-level basis of the paper's accuracy claims."
+    );
+}

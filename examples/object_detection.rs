@@ -1,0 +1,44 @@
+//! Object detection with a ReBranch backbone (the Fig. 12 experiment).
+//!
+//! Pretrains a tiny YOLO-style detector on a COCO stand-in task, then
+//! transfers it to a VOC-like target three ways and reports mAP@0.5.
+//!
+//! Run with `cargo run --release --example object_detection`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use yoloc::core::detector::{
+    eval_map, pretrain_detector, train_detector, DetectionSuite, DetectorStrategy,
+};
+use yoloc::tensor::LayerExt;
+
+fn main() {
+    let seed = 33;
+    let suite = DetectionSuite::new(seed);
+    println!("Pretraining on '{}' ...", suite.coco_like.name);
+    let base = pretrain_detector(&[16, 24, 32], &suite, 700, seed);
+
+    let task = &suite.voc_like;
+    println!("Transferring to '{}' ({} classes)\n", task.name, task.classes);
+    for (label, strategy) in [
+        ("All layers trainable (SRAM-CiM)", DetectorStrategy::AllSram),
+        ("Only prediction trainable", DetectorStrategy::PredictionOnly),
+        ("ReBranch backbone (YOLoC)", DetectorStrategy::ReBranch { d: 4, u: 4 }),
+    ] {
+        let mut rng = StdRng::seed_from_u64(seed + 100);
+        let mut det = base.with_strategy(strategy, task.classes, &mut rng);
+        let trainable = det.trainable_param_count();
+        let total = det.param_count();
+        train_detector(&mut det, task, 550, 16, 0.05, &mut rng);
+        let map = eval_map(&mut det, task, 50, &mut rng);
+        println!(
+            "{label:<34} mAP@0.5 = {:>5.1}%   trainable {trainable}/{total} params",
+            100.0 * map
+        );
+    }
+    println!(
+        "\nExpected shape (paper Fig. 12): ReBranch recovers the all-trainable mAP \
+         while training ~1/16 of the backbone weights; prediction-only lags."
+    );
+}

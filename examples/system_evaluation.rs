@@ -1,0 +1,59 @@
+//! System-level evaluation (the Fig. 13/14 experiment): compare YOLoC,
+//! an iso-area single-chip SRAM-CiM accelerator, and an SRAM-CiM chiplet
+//! system on the full-size YOLO (DarkNet-19) model.
+//!
+//! Run with `cargo run --release --example system_evaluation`.
+
+use yoloc::core::system::{evaluate, SystemKind, SystemParams};
+use yoloc::models::zoo;
+
+fn main() {
+    let p = SystemParams::paper_default();
+    let yolo = zoo::yolo_v2(20, 5);
+    println!(
+        "YOLO (DarkNet-19 backbone): {:.1} M weights, {:.1} GMACs per 416x416 frame\n",
+        yolo.param_count() as f64 / 1e6,
+        yolo.macs().expect("consistent network") as f64 / 1e9
+    );
+
+    let yoloc = evaluate(&yolo, SystemKind::Yoloc, &p).expect("yoloc");
+    let iso = yoloc.area.total_mm2() - yoloc.area.buffer_mm2;
+    let single = evaluate(
+        &yolo,
+        SystemKind::SramSingleChip {
+            cim_area_mm2: Some(iso),
+        },
+        &p,
+    )
+    .expect("single chip");
+    let chiplet = evaluate(&yolo, SystemKind::SramChiplet { chips: None }, &p).expect("chiplets");
+
+    println!(
+        "{:<26} {:>10} {:>12} {:>12} {:>14}",
+        "system", "area cm2", "energy uJ", "latency ms", "eff TOPS/W"
+    );
+    for r in [&yoloc, &single, &chiplet] {
+        println!(
+            "{:<26} {:>10.2} {:>12.1} {:>12.2} {:>14.2}",
+            r.system,
+            r.area.total_mm2() / 100.0,
+            r.energy.total_uj(),
+            r.latency_ms,
+            r.energy_eff_tops_w
+        );
+    }
+    println!(
+        "\nYOLoC vs iso-area SRAM-CiM chip : {:.1}x energy-efficiency improvement",
+        yoloc.energy_eff_tops_w / single.energy_eff_tops_w
+    );
+    println!(
+        "YOLoC vs chiplet system         : {:.1}x smaller, {:+.1}% energy efficiency",
+        chiplet.area.total_mm2() / yoloc.area.total_mm2(),
+        100.0 * (yoloc.energy_eff_tops_w / chiplet.energy_eff_tops_w - 1.0)
+    );
+    println!(
+        "Single-chip SRAM-CiM DRAM traffic: {:.0} Mb per inference ({:.0}% of energy)",
+        single.dram_traffic_bits as f64 / 1e6,
+        100.0 * single.energy.dram_share()
+    );
+}

@@ -1,0 +1,28 @@
+//! # yoloc
+//!
+//! Facade crate for the YOLoC (DAC 2022) reproduction. Re-exports every
+//! sub-crate of the workspace under one roof so examples, integration tests
+//! and downstream users can depend on a single crate.
+//!
+//! See the workspace `README.md` for an architecture overview and
+//! `DESIGN.md` for the per-experiment index.
+//!
+//! # Examples
+//!
+//! ```
+//! // The paper's Table I macro specification, computed from circuit
+//! // parameters rather than hard-coded.
+//! let spec = yoloc::cim::macro_model::MacroParams::rom_paper().spec();
+//! assert!(spec.density_mb_per_mm2 > 4.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use yoloc_cim as cim;
+pub use yoloc_core as core;
+pub use yoloc_data as data;
+pub use yoloc_memory as memory;
+pub use yoloc_models as models;
+pub use yoloc_quant as quant;
+pub use yoloc_tensor as tensor;

@@ -1,0 +1,83 @@
+//! Integration: the full CiM deployment pipeline — quantization →
+//! bit-plane decomposition → analog macro → dequantization — against the
+//! software reference, across crates.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use yoloc::cim::macro_model::{reference_mvm, MacroParams, RomMvm};
+use yoloc::core::qconv::CimConv2d;
+use yoloc::tensor::ops::conv2d_reference;
+use yoloc::tensor::Tensor;
+
+#[test]
+fn paper_design_point_is_bit_exact_on_large_matrices() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let (outs, ins) = (48, 300); // multiple row and column tiles
+    let codes: Vec<i32> = (0..outs * ins)
+        .map(|i| ((i * 131) % 255) as i32 - 127)
+        .collect();
+    let acts: Vec<i32> = (0..ins).map(|i| ((i * 17) % 256) as i32).collect();
+    let engine = RomMvm::program(MacroParams::rom_paper(), &codes, outs, ins);
+    let (y, stats) = engine.mvm(&acts, &mut rng);
+    assert_eq!(y, reference_mvm(&codes, outs, ins, &acts));
+    assert!(stats.adc_conversions > 0);
+}
+
+#[test]
+fn quantized_conv_through_macro_tracks_software() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let w = Tensor::randn(&[6, 4, 3, 3], 0.0, 0.3, &mut rng);
+    let x = Tensor::rand_uniform(&[2, 4, 8, 8], 0.0, 1.0, &mut rng);
+    let conv = CimConv2d::compile(&w, 1, 1, &[&x], MacroParams::rom_paper());
+    let (y, _) = conv.forward(&x, &mut rng);
+    let expect = conv2d_reference(&x, &w, None, 1, 1);
+    let mag = expect.abs_max().max(1e-6);
+    let mut worst = 0.0f32;
+    for (a, b) in y.data().iter().zip(expect.data()) {
+        worst = worst.max((a - b).abs() / mag);
+    }
+    assert!(worst < 0.03, "relative error {worst}");
+}
+
+#[test]
+fn analog_noise_injection_stays_bounded() {
+    // Failure injection: with realistic bit-line noise the conv error
+    // grows but remains usable — the macro does not fall off a cliff.
+    let mut rng = StdRng::seed_from_u64(8);
+    let w = Tensor::randn(&[6, 4, 3, 3], 0.0, 0.3, &mut rng);
+    let x = Tensor::rand_uniform(&[1, 4, 8, 8], 0.0, 1.0, &mut rng);
+    let mut noisy = MacroParams::rom_paper();
+    noisy.noise_sigma = 0.5;
+    let conv = CimConv2d::compile(&w, 1, 1, &[&x], noisy);
+    let (y, _) = conv.forward(&x, &mut rng);
+    let expect = conv2d_reference(&x, &w, None, 1, 1);
+    let mag = expect.abs_max().max(1e-6);
+    let mean_err: f32 = y
+        .data()
+        .iter()
+        .zip(expect.data())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f32>()
+        / y.len() as f32;
+    assert!(mean_err / mag < 0.2, "mean relative error {}", mean_err / mag);
+}
+
+#[test]
+fn adc_saturation_failure_mode_is_contained() {
+    // Failure injection: overdrive the rows-per-activation beyond the ADC
+    // range; the result is degraded but finite and roughly proportional.
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut params = MacroParams::rom_paper();
+    params.rows_per_activation = 64; // far beyond the 31-level ADC
+    let (outs, ins) = (4, 128);
+    let codes = vec![64i32; outs * ins];
+    let acts = vec![128i32; ins];
+    let engine = RomMvm::program(params, &codes, outs, ins);
+    let (y, _) = engine.mvm(&acts, &mut rng);
+    let exact = reference_mvm(&codes, outs, ins, &acts);
+    for (a, b) in y.iter().zip(&exact) {
+        let rel = (*a - *b).abs() as f64 / (*b).abs().max(1) as f64;
+        assert!(rel < 1.0, "saturated output diverged: {a} vs {b}");
+    }
+}

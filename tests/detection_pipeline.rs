@@ -1,0 +1,56 @@
+//! Integration: the detection transfer pipeline at smoke scale —
+//! pretrain, strategy rebuild, transfer training, mAP evaluation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use yoloc::core::detector::{
+    eval_map, pretrain_detector, train_detector, DetectionSuite, DetectorStrategy,
+};
+use yoloc::tensor::{Layer, LayerExt};
+
+#[test]
+fn detection_transfer_pipeline() {
+    let seed = 321;
+    let suite = DetectionSuite::new(seed);
+    let base = pretrain_detector(&[10, 14, 18], &suite, 220, seed);
+    let task = &suite.voc_like;
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+
+    // ReBranch transfer learns something real.
+    let mut rb = base.with_strategy(DetectorStrategy::ReBranch { d: 2, u: 2 }, task.classes, &mut rng);
+    let before = eval_map(&mut rb, task, 30, &mut rng);
+    train_detector(&mut rb, task, 320, 14, 0.05, &mut rng);
+    let after = eval_map(&mut rb, task, 40, &mut rng);
+    assert!(after > before, "mAP {before} -> {after}");
+    assert!(after > 0.18, "transfer mAP too low: {after}");
+
+    // The frozen backbone really is frozen.
+    let frozen_before: Vec<Vec<f32>> = rb
+        .params()
+        .iter()
+        .filter(|p| p.frozen)
+        .map(|p| p.value.data().to_vec())
+        .collect();
+    train_detector(&mut rb, task, 10, 8, 0.05, &mut rng);
+    let frozen_after: Vec<Vec<f32>> = rb
+        .params()
+        .iter()
+        .filter(|p| p.frozen)
+        .map(|p| p.value.data().to_vec())
+        .collect();
+    assert_eq!(frozen_before, frozen_after);
+}
+
+#[test]
+fn rebranch_trainable_fraction_matches_du() {
+    let seed = 5;
+    let suite = DetectionSuite::new(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = yoloc::core::detector::TinyYoloDetector::new(&[16, 24, 32], suite.coco_like.classes, &mut rng);
+    let rb = base.with_strategy(DetectorStrategy::ReBranch { d: 4, u: 4 }, 4, &mut rng);
+    let trainable = rb.trainable_param_count() as f64;
+    let total = rb.param_count() as f64;
+    // Trainable = res-convs (~1/16 of trunks) + head; well under a third.
+    assert!(trainable / total < 0.35, "fraction {}", trainable / total);
+}

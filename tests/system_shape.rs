@@ -1,0 +1,108 @@
+//! Integration: the headline system-level claims of the paper, asserted
+//! as *shapes* (who wins, roughly by how much) on the full-size models.
+
+use yoloc::cim::MacroParams;
+use yoloc::core::system::{evaluate, SystemKind, SystemParams};
+use yoloc::models::zoo;
+
+fn iso_area(p: &SystemParams) -> f64 {
+    let yolo = evaluate(&zoo::yolo_v2(20, 5), SystemKind::Yoloc, p).unwrap();
+    yolo.area.total_mm2() - yolo.area.buffer_mm2
+}
+
+#[test]
+fn table1_headline_numbers() {
+    let spec = MacroParams::rom_paper().spec();
+    assert!((spec.macro_size_mb - 1.2).abs() < 0.05);
+    assert!((spec.density_mb_per_mm2 - 5.0).abs() < 0.2);
+    assert!((spec.throughput_gops - 28.8).abs() < 0.2);
+    assert!((spec.energy_efficiency_tops_w - 11.5).abs() < 0.2);
+    let sram = MacroParams::sram_paper().spec();
+    let ratio = spec.density_mb_per_mm2 / sram.density_mb_per_mm2;
+    assert!((17.0..22.0).contains(&ratio), "density ratio {ratio}");
+}
+
+#[test]
+fn fig14_improvement_ordering() {
+    let p = SystemParams::paper_default();
+    let iso = iso_area(&p);
+    let imp = |net: &yoloc::models::NetworkDesc| {
+        let y = evaluate(net, SystemKind::Yoloc, &p).unwrap();
+        let s = evaluate(
+            net,
+            SystemKind::SramSingleChip {
+                cim_area_mm2: Some(iso),
+            },
+            &p,
+        )
+        .unwrap();
+        y.energy_eff_tops_w / s.energy_eff_tops_w
+    };
+    let vgg = imp(&zoo::vgg8(100));
+    let resnet = imp(&zoo::resnet18(100));
+    let tiny = imp(&zoo::tiny_yolo(20, 5));
+    let yolo = imp(&zoo::yolo_v2(20, 5));
+    // Paper: 1x / 4.8x / 10.2x / 14.8x. Shape: VGG-8 near parity, every
+    // model that spills gains severalfold.
+    assert!((0.7..1.6).contains(&vgg), "vgg {vgg}");
+    assert!(resnet > 3.0, "resnet {resnet}");
+    assert!(tiny > 3.0, "tiny {tiny}");
+    assert!(yolo > 3.0, "yolo {yolo}");
+    assert!(vgg < resnet.min(tiny).min(yolo), "small model must gain least");
+}
+
+#[test]
+fn fig14_chiplet_parity_and_area() {
+    let p = SystemParams::paper_default();
+    let net = zoo::yolo_v2(20, 5);
+    let y = evaluate(&net, SystemKind::Yoloc, &p).unwrap();
+    let c = evaluate(&net, SystemKind::SramChiplet { chips: None }, &p).unwrap();
+    // Paper: energy parity within a few percent, ~10x area saving.
+    let e = y.energy_eff_tops_w / c.energy_eff_tops_w;
+    assert!((0.85..1.25).contains(&e), "energy ratio {e}");
+    let a = c.area.total_mm2() / y.area.total_mm2();
+    assert!((5.0..15.0).contains(&a), "area ratio {a}");
+}
+
+#[test]
+fn fig12_chip_area_ratios() {
+    // Paper: all-weights-fit SRAM-CiM YOLO chip is 9.7x the YOLoC chip;
+    // Tiny-YOLO's is 2.4x.
+    let p = SystemParams::paper_default();
+    let yoloc = evaluate(&zoo::yolo_v2(20, 5), SystemKind::Yoloc, &p).unwrap();
+    let sram_density = p.sram.spec().density_mb_per_mm2;
+    let fit = |bits: u64| bits as f64 / 1_048_576.0 / sram_density;
+    let yolo_fit = fit(zoo::yolo_v2(20, 5).weight_bits(8));
+    let tiny_fit = fit(zoo::tiny_yolo(20, 5).weight_bits(8));
+    let r_yolo = yolo_fit / yoloc.area.total_mm2();
+    let r_tiny = tiny_fit / yoloc.area.total_mm2();
+    assert!((5.0..14.0).contains(&r_yolo), "yolo fit ratio {r_yolo}");
+    assert!((1.5..5.0).contains(&r_tiny), "tiny fit ratio {r_tiny}");
+    assert!(r_yolo > r_tiny);
+}
+
+#[test]
+fn rebranch_latency_overhead_near_paper() {
+    let p = SystemParams::paper_default();
+    let net = zoo::yolo_v2(20, 5);
+    let with = evaluate(&net, SystemKind::Yoloc, &p).unwrap();
+    let mut p0 = p.clone();
+    p0.branch_overlap = 0.0;
+    let without = evaluate(&net, SystemKind::Yoloc, &p0).unwrap();
+    let overhead = with.latency_ms / without.latency_ms - 1.0;
+    assert!((0.03..0.13).contains(&overhead), "overhead {overhead}");
+}
+
+#[test]
+fn yoloc_stores_over_90pct_in_rom() {
+    // Paper §3.3: "Over 90% of parameters are stored in the high-density
+    // ROM-CiM."
+    let p = SystemParams::paper_default();
+    let y = evaluate(&zoo::yolo_v2(20, 5), SystemKind::Yoloc, &p).unwrap();
+    // ROM cell area / total array area is a proxy for the bit split at
+    // fixed cell sizes.
+    let rom_bits_area = y.area.rom_array_mm2 / MacroParams::rom_paper().cell.area_um2();
+    let sram_bits_area = y.area.sram_array_mm2 / MacroParams::sram_paper().cell.area_um2();
+    let rom_share = rom_bits_area / (rom_bits_area + sram_bits_area);
+    assert!(rom_share > 0.9, "ROM bit share {rom_share}");
+}
