@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, full target compile, tier-1 tests.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== smoke-compile examples, bench binaries and benches"
+cargo build --workspace --bins --benches --examples
+
+echo "== tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "CI green."

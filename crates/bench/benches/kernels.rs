@@ -16,7 +16,9 @@ use yoloc_tensor::Tensor;
 fn bench_macro_mvm(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let (outs, ins) = (32, 128);
-    let codes: Vec<i32> = (0..outs * ins).map(|i| ((i * 37) % 255) as i32 - 127).collect();
+    let codes: Vec<i32> = (0..outs * ins)
+        .map(|i| ((i * 37) % 255) as i32 - 127)
+        .collect();
     let acts: Vec<i32> = (0..ins).map(|i| ((i * 13) % 256) as i32).collect();
     let engine = RomMvm::program(MacroParams::rom_paper(), &codes, outs, ins);
     c.bench_function("rom_mvm_128x32_8b", |b| {

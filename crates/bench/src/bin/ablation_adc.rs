@@ -15,7 +15,9 @@ fn max_rel_error(rows_per_activation: usize, noise: f32, seed: u64) -> (f64, f64
     params.rows_per_activation = rows_per_activation;
     params.noise_sigma = noise;
     let (outs, ins) = (16, 128);
-    let codes: Vec<i32> = (0..outs * ins).map(|i| ((i * 131) % 255) as i32 - 127).collect();
+    let codes: Vec<i32> = (0..outs * ins)
+        .map(|i| ((i * 131) % 255) as i32 - 127)
+        .collect();
     let acts: Vec<i32> = (0..ins).map(|i| ((i * 17) % 256) as i32).collect();
     let engine = RomMvm::program(params, &codes, outs, ins);
     let mut rng = StdRng::seed_from_u64(seed);

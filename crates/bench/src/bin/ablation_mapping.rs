@@ -45,7 +45,8 @@ fn main() {
             pct(m.utilization_naive),
             pct(m.utilization_packed),
             fmt(
-                (m.subarrays_naive - m.subarrays_packed) as f64 * params.subarray_bits() as f64
+                (m.subarrays_naive - m.subarrays_packed) as f64
+                    * params.subarray_bits() as f64
                     * params.cell.area_um2()
                     / 1e6,
                 3,

@@ -11,7 +11,9 @@ use yoloc_bench::{fmt, pct, print_table};
 use yoloc_cim::MacroParams;
 use yoloc_core::pipeline::{accuracy_software_vs_cim, CimDeployedModel};
 use yoloc_core::rebranch::ReBranchRatios;
-use yoloc_core::strategies::{build_strategy_model, pretrain_base, train_model, Strategy, TrainConfig};
+use yoloc_core::strategies::{
+    build_strategy_model, pretrain_base, train_model, Strategy, TrainConfig,
+};
 use yoloc_core::tiny_models::Family;
 use yoloc_data::classification::TransferSuite;
 
@@ -35,7 +37,13 @@ fn main() {
         target.classes(),
         &mut rng,
     );
-    train_model(&mut rb_model, target, TrainConfig::transfer(), &mut rng, |_| {});
+    train_model(
+        &mut rb_model,
+        target,
+        TrainConfig::transfer(),
+        &mut rng,
+        |_| {},
+    );
 
     let rom = MacroParams::rom_paper();
     let sram = MacroParams::sram_paper();

@@ -75,11 +75,7 @@ fn main() {
                 all_sram_area = Some(sample_area);
             }
             let norm = sample_area / all_sram_area.unwrap_or(sample_area);
-            area_rows.push(vec![
-                strategy.label(),
-                fmt(sample_area, 4),
-                fmt(norm, 3),
-            ]);
+            area_rows.push(vec![strategy.label(), fmt(sample_area, 4), fmt(norm, 3)]);
             acc_rows.push(row);
         }
         print_table(
@@ -95,7 +91,11 @@ fn main() {
         );
         print_table(
             &format!("Fig. 10(a) memory area, {family:?}"),
-            &["Strategy", "CiM memory area (mm2)", "Normalized to All-SRAM"],
+            &[
+                "Strategy",
+                "CiM memory area (mm2)",
+                "Normalized to All-SRAM",
+            ],
             &area_rows,
         );
     }

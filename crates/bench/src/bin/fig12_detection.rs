@@ -25,9 +25,18 @@ fn main() {
         (&suite.traffic_like, "COCO->Traffic"),
     ];
     let strategies = [
-        ("All layers trainable (SRAM-CiM)", Some(DetectorStrategy::AllSram)),
-        ("Only prediction trainable (Option II)", Some(DetectorStrategy::PredictionOnly)),
-        ("Proposed ReBranch (Option IV / YOLoC)", Some(DetectorStrategy::ReBranch { d: 4, u: 4 })),
+        (
+            "All layers trainable (SRAM-CiM)",
+            Some(DetectorStrategy::AllSram),
+        ),
+        (
+            "Only prediction trainable (Option II)",
+            Some(DetectorStrategy::PredictionOnly),
+        ),
+        (
+            "Proposed ReBranch (Option IV / YOLoC)",
+            Some(DetectorStrategy::ReBranch { d: 4, u: 4 }),
+        ),
         ("Tiny-YOLO (smaller backbone, all trainable)", None),
     ];
 
@@ -68,10 +77,8 @@ fn main() {
     let yolo = zoo::yolo_v2(20, 5);
     let tiny = zoo::tiny_yolo(20, 5);
     let yoloc = evaluate(&yolo, SystemKind::Yoloc, &p).expect("yoloc");
-    let sram_fit_area =
-        yolo.weight_bits(8) as f64 / 1_048_576.0 / p.sram.spec().density_mb_per_mm2;
-    let tiny_fit_area =
-        tiny.weight_bits(8) as f64 / 1_048_576.0 / p.sram.spec().density_mb_per_mm2;
+    let sram_fit_area = yolo.weight_bits(8) as f64 / 1_048_576.0 / p.sram.spec().density_mb_per_mm2;
+    let tiny_fit_area = tiny.weight_bits(8) as f64 / 1_048_576.0 / p.sram.spec().density_mb_per_mm2;
     // Deep-Conv keeps all but the last conv group in ROM.
     let deep_conv_area = {
         let rom_bits = yolo.weight_bits(8) * 9 / 10;

@@ -29,11 +29,16 @@ fn main() {
         &p,
     )
     .expect("single");
-    let chiplet = evaluate(&models[3], SystemKind::SramChiplet { chips: None }, &p)
-        .expect("chiplet");
+    let chiplet =
+        evaluate(&models[3], SystemKind::SramChiplet { chips: None }, &p).expect("chiplet");
     print_table(
         "Fig. 14(a): YOLO (DarkNet-19) — energy efficiency vs area",
-        &["System", "Area (cm2)", "Energy efficiency (TOPS/W)", "Latency (ms)"],
+        &[
+            "System",
+            "Area (cm2)",
+            "Energy efficiency (TOPS/W)",
+            "Latency (ms)",
+        ],
         &[
             vec![
                 yolo_chip.system.clone(),
@@ -67,12 +72,32 @@ fn main() {
         "Fig. 14(b): YOLoC chip area breakdown (YOLO configuration)",
         &["Component", "mm2", "Share"],
         &[
-            vec!["CiM arrays (ROM)".into(), fmt(a.rom_array_mm2, 1), pct(a.rom_array_mm2 / total)],
-            vec!["CiM arrays (SRAM)".into(), fmt(a.sram_array_mm2, 1), pct(a.sram_array_mm2 / total)],
+            vec![
+                "CiM arrays (ROM)".into(),
+                fmt(a.rom_array_mm2, 1),
+                pct(a.rom_array_mm2 / total),
+            ],
+            vec![
+                "CiM arrays (SRAM)".into(),
+                fmt(a.sram_array_mm2, 1),
+                pct(a.sram_array_mm2 / total),
+            ],
             vec!["ADC".into(), fmt(a.adc_mm2, 1), pct(a.adc_mm2 / total)],
-            vec!["R/W + drivers".into(), fmt(a.driver_mm2, 1), pct(a.driver_mm2 / total)],
-            vec!["Peripheral/control".into(), fmt(a.ctrl_mm2, 1), pct(a.ctrl_mm2 / total)],
-            vec!["Buffer".into(), fmt(a.buffer_mm2, 1), pct(a.buffer_mm2 / total)],
+            vec![
+                "R/W + drivers".into(),
+                fmt(a.driver_mm2, 1),
+                pct(a.driver_mm2 / total),
+            ],
+            vec![
+                "Peripheral/control".into(),
+                fmt(a.ctrl_mm2, 1),
+                pct(a.ctrl_mm2 / total),
+            ],
+            vec![
+                "Buffer".into(),
+                fmt(a.buffer_mm2, 1),
+                pct(a.buffer_mm2 / total),
+            ],
         ],
     );
     println!("Paper: array 37%, ADC 21%, R/W 20%, peripheral 12%, buffer 10%.");

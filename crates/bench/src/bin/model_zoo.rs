@@ -23,7 +23,10 @@ fn main() {
             fmt(net.param_count() as f64 / 1e6, 2),
             fmt(net.cim_param_count() as f64 / 1e6, 2),
             fmt(macs as f64 / 1e9, 2),
-            fmt(net.weight_bits(8) as f64 / 8.0 / 1e6 / 1.048_576 / 1.048_576 * 1.048_576, 1),
+            fmt(
+                net.weight_bits(8) as f64 / 8.0 / 1e6 / 1.048_576 / 1.048_576 * 1.048_576,
+                1,
+            ),
         ]);
     }
     print_table(
@@ -42,5 +45,8 @@ fn main() {
         "\nPaper: Tiny-YOLO 11.3 M and YOLO 46 M weights (we build the standard \
          v2 architectures: 15.9 M and 50.6 M; see EXPERIMENTS.md)."
     );
-    println!("\n{}", summary_markdown(&zoo::yolo_v2(20, 5)).expect("consistent"));
+    println!(
+        "\n{}",
+        summary_markdown(&zoo::yolo_v2(20, 5)).expect("consistent")
+    );
 }

@@ -8,12 +8,18 @@ use std::process::Command;
 
 fn run(bin: &str) {
     println!("\n==================== {bin} ====================");
-    let status = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
-        .status();
+    let status = Command::new(
+        std::env::current_exe()
+            .expect("self path")
+            .with_file_name(bin),
+    )
+    .status();
     match status {
         Ok(s) if s.success() => {}
         Ok(s) => eprintln!("{bin} exited with {s}"),
-        Err(e) => eprintln!("failed to launch {bin}: {e} (build with --release -p yoloc-bench first)"),
+        Err(e) => {
+            eprintln!("failed to launch {bin}: {e} (build with --release -p yoloc-bench first)")
+        }
     }
 }
 

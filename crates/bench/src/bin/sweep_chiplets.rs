@@ -20,8 +20,8 @@ fn main() {
         "0".into(),
     ]];
     for chips in [2usize, 4, 6, 9, 12, 16] {
-        let r = evaluate(&yolo, SystemKind::SramChiplet { chips: Some(chips) }, &p)
-            .expect("chiplet");
+        let r =
+            evaluate(&yolo, SystemKind::SramChiplet { chips: Some(chips) }, &p).expect("chiplet");
         rows.push(vec![
             r.system.clone(),
             fmt(r.area.total_mm2() / 100.0, 2),

@@ -31,29 +31,31 @@ where
     F: FnOnce() -> T + Send,
 {
     let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
     let workers = std::thread::available_parallelism()
         .map(|v| v.get())
         .unwrap_or(4)
-        .min(n.max(1));
-    let results: Vec<parking_lot::Mutex<Option<T>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-    let queue = crossbeam::queue::SegQueue::new();
-    for (i, j) in jobs.into_iter().enumerate() {
-        queue.push((i, j));
-    }
-    crossbeam::thread::scope(|s| {
+        .min(n);
+    let queue: std::sync::Mutex<Vec<(usize, F)>> =
+        std::sync::Mutex::new(jobs.into_iter().enumerate().collect());
+    let results: Vec<std::sync::Mutex<Option<T>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| {
-                while let Some((i, job)) = queue.pop() {
-                    *results[i].lock() = Some(job());
+            s.spawn(|| loop {
+                let next = queue.lock().expect("queue lock").pop();
+                match next {
+                    Some((i, job)) => *results[i].lock().expect("result lock") = Some(job()),
+                    None => break,
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("job completed"))
+        .map(|m| m.into_inner().expect("result lock").expect("job completed"))
         .collect()
 }
 
@@ -61,7 +63,10 @@ where
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", headers.join(" | "));
-    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }

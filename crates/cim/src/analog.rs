@@ -182,17 +182,18 @@ impl AnalogArray {
                 continue;
             }
             evaluations += 1;
-            for col in 0..cfg.cols {
+            for (col, total) in totals.iter_mut().enumerate() {
                 let mut count = 0u32;
-                for row in group_start..group_end {
-                    count += self.cells[row * cfg.cols + col].conduct(pulses[row]) as u32;
+                for (offset, &pulse) in pulses[group_start..group_end].iter().enumerate() {
+                    let row = group_start + offset;
+                    count += self.cells[row * cfg.cols + col].conduct(pulse) as u32;
                 }
                 let noisy = if cfg.noise_sigma > 0.0 {
                     count as f32 + gaussian(rng) * cfg.noise_sigma
                 } else {
                     count as f32
                 };
-                totals[col] += cfg.adc.digitize(noisy);
+                *total += cfg.adc.digitize(noisy);
             }
         }
         (totals, evaluations)

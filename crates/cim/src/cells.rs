@@ -49,12 +49,12 @@ impl CellKind {
     pub fn area_um2(self) -> f64 {
         match self {
             CellKind::Rom1T => 0.014,
-            CellKind::Sram6TCompact => 0.014 * 16.0,  // 0.224
-            CellKind::Sram6TCim => 0.014 * 18.5,      // 0.259
-            CellKind::Sram8T => 0.014 * 21.5,         // 0.301
-            CellKind::SramTwin8T => 0.014 * 25.0,     // 0.350
-            CellKind::Sram10T => 0.014 * 29.5,        // 0.413
-            CellKind::SramLcc6T => 0.014 * 14.5,      // 0.203
+            CellKind::Sram6TCompact => 0.014 * 16.0, // 0.224
+            CellKind::Sram6TCim => 0.014 * 18.5,     // 0.259
+            CellKind::Sram8T => 0.014 * 21.5,        // 0.301
+            CellKind::SramTwin8T => 0.014 * 25.0,    // 0.350
+            CellKind::Sram10T => 0.014 * 29.5,       // 0.413
+            CellKind::SramLcc6T => 0.014 * 14.5,     // 0.203
         }
     }
 

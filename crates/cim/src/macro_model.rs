@@ -450,6 +450,7 @@ pub fn reference_mvm(codes: &[i32], outs: usize, ins: usize, acts: &[i32]) -> Ve
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -457,15 +458,39 @@ mod tests {
     fn table1_spec_matches_paper() {
         let spec = MacroParams::rom_paper().spec();
         // Table I targets.
-        assert!((spec.macro_size_mb - 1.2).abs() < 0.1, "size {}", spec.macro_size_mb);
-        assert!((spec.macro_area_mm2 - 0.24).abs() < 0.01, "area {}", spec.macro_area_mm2);
-        assert!((spec.density_mb_per_mm2 - 5.0).abs() < 0.3, "density {}", spec.density_mb_per_mm2);
+        assert!(
+            (spec.macro_size_mb - 1.2).abs() < 0.1,
+            "size {}",
+            spec.macro_size_mb
+        );
+        assert!(
+            (spec.macro_area_mm2 - 0.24).abs() < 0.01,
+            "area {}",
+            spec.macro_area_mm2
+        );
+        assert!(
+            (spec.density_mb_per_mm2 - 5.0).abs() < 0.3,
+            "density {}",
+            spec.density_mb_per_mm2
+        );
         assert!((spec.cell_area_um2 - 0.014).abs() < 1e-9);
         assert_eq!(spec.operation_number, 256);
         assert!((spec.inference_time_ns - 8.9).abs() < 1e-9);
-        assert!((spec.throughput_gops - 28.8).abs() < 0.2, "gops {}", spec.throughput_gops);
-        assert!((spec.area_efficiency_gops_mm2 - 119.4).abs() < 3.0, "ae {}", spec.area_efficiency_gops_mm2);
-        assert!((spec.energy_efficiency_tops_w - 11.5).abs() < 0.2, "ee {}", spec.energy_efficiency_tops_w);
+        assert!(
+            (spec.throughput_gops - 28.8).abs() < 0.2,
+            "gops {}",
+            spec.throughput_gops
+        );
+        assert!(
+            (spec.area_efficiency_gops_mm2 - 119.4).abs() < 3.0,
+            "ae {}",
+            spec.area_efficiency_gops_mm2
+        );
+        assert!(
+            (spec.energy_efficiency_tops_w - 11.5).abs() < 0.2,
+            "ee {}",
+            spec.energy_efficiency_tops_w
+        );
         assert_eq!(spec.standby_power_w, 0.0);
     }
 
@@ -497,7 +522,9 @@ mod tests {
         params.subarrays = 4;
         let mut rng = StdRng::seed_from_u64(1);
         let (outs, ins) = (5, 200);
-        let codes: Vec<i32> = (0..outs * ins).map(|i| ((i * 37) % 255) as i32 - 127).collect();
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 37) % 255) as i32 - 127)
+            .collect();
         let acts: Vec<i32> = (0..ins).map(|i| ((i * 13) % 256) as i32).collect();
         let engine = RomMvm::program(params, &codes, outs, ins);
         let (y, stats) = engine.mvm(&acts, &mut rng);
@@ -515,7 +542,9 @@ mod tests {
         let params = MacroParams::rom_paper(); // 5-bit ADC, 10 rows/activation
         let mut rng = StdRng::seed_from_u64(2);
         let (outs, ins) = (4, 128);
-        let codes: Vec<i32> = (0..outs * ins).map(|i| ((i * 7) % 200) as i32 - 100).collect();
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 7) % 200) as i32 - 100)
+            .collect();
         let acts: Vec<i32> = (0..ins).map(|i| ((i * 11) % 128) as i32).collect();
         let engine = RomMvm::program(params, &codes, outs, ins);
         let (y, _) = engine.mvm(&acts, &mut rng);
@@ -532,7 +561,9 @@ mod tests {
         params.rows_per_activation = 32; // full scale 96 >> 31 levels
         let mut rng = StdRng::seed_from_u64(5);
         let (outs, ins) = (4, 128);
-        let codes: Vec<i32> = (0..outs * ins).map(|i| ((i * 13) % 250) as i32 - 125).collect();
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 13) % 250) as i32 - 125)
+            .collect();
         let acts: Vec<i32> = (0..ins).map(|i| ((i * 17) % 256) as i32).collect();
         let engine = RomMvm::program(params, &codes, outs, ins);
         let (y, _) = engine.mvm(&acts, &mut rng);
@@ -569,7 +600,9 @@ mod tests {
         let mut params = MacroParams::rom_paper();
         params.adc_bits = 16;
         let (outs, ins) = (10, 64);
-        let codes: Vec<i32> = (0..outs * ins).map(|i| ((i * 29) % 255) as i32 - 127).collect();
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 29) % 255) as i32 - 127)
+            .collect();
         let engine = RomMvm::program(params, &codes, outs, ins);
         let img = engine.rom_image();
         assert_eq!(img.len(), engine.subarrays_used());
@@ -577,6 +610,38 @@ mod tests {
         assert_eq!(img, back);
         // The image is mostly sparse: only strapped '1' cells.
         assert!(img.fill_ratio() > 0.0 && img.fill_ratio() < 0.8);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_ideal_adc_matches_integer_matmul(
+            outs in 1usize..7,
+            ins in 1usize..260,
+            seed in 0u64..10_000,
+        ) {
+            // The repo's core functional-equivalence claim: with an ideal
+            // ADC and zero noise, the full bit-serial analog datapath
+            // (bit-plane programming, unary pulse chunks, charge-share
+            // counting, shift-&-add) is bit-exact against the plain
+            // integer matmul, for any weight/input matrix — including
+            // shapes that force row/column tiling.
+            let mut params = MacroParams::rom_paper();
+            params.adc_bits = 16; // ideal ADC
+            let mut rng = StdRng::seed_from_u64(seed);
+            let codes: Vec<i32> =
+                (0..outs * ins).map(|_| rng.gen_range(-128i32..=127)).collect();
+            let acts: Vec<i32> = (0..ins).map(|_| rng.gen_range(0i32..=255)).collect();
+            let engine = RomMvm::program(params, &codes, outs, ins);
+            let (y, stats) = engine.mvm(&acts, &mut rng);
+            prop_assert_eq!(y, reference_mvm(&codes, outs, ins, &acts));
+            // Sparsity accounting must stay consistent: evaluations only
+            // happen when some pulse fired.
+            if acts.iter().all(|&a| a == 0) {
+                prop_assert_eq!(stats.analog_evaluations, 0);
+            }
+        }
     }
 
     #[test]

@@ -92,7 +92,9 @@ impl RomImage {
 
     /// Serializes to the binary format.
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16 + self.subarrays.len() * (self.rows * self.cols).div_ceil(8));
+        let mut buf = BytesMut::with_capacity(
+            16 + self.subarrays.len() * (self.rows * self.cols).div_ceil(8),
+        );
         buf.put_u32(MAGIC);
         buf.put_u16(VERSION);
         buf.put_u32(self.rows as u32);
@@ -162,7 +164,9 @@ impl RomImage {
         }
         let stored = data.get_u32();
         if stored != checksum {
-            return Err(err(format!("checksum mismatch: {stored:#x} vs {checksum:#x}")));
+            return Err(err(format!(
+                "checksum mismatch: {stored:#x} vs {checksum:#x}"
+            )));
         }
         Ok(RomImage {
             rows,

@@ -20,17 +20,61 @@ pub struct TechNode {
 /// Published-ballpark scaling table (ITRS/industry figures; the trend, not
 /// the absolute values, is what Fig. 1(a) uses).
 pub const TECH_NODES: &[TechNode] = &[
-    TechNode { node_nm: 130, sram_density_mb_mm2: 0.16, tapeout_cost_norm: 1.0 },
-    TechNode { node_nm: 90, sram_density_mb_mm2: 0.33, tapeout_cost_norm: 1.8 },
-    TechNode { node_nm: 65, sram_density_mb_mm2: 0.62, tapeout_cost_norm: 3.3 },
-    TechNode { node_nm: 45, sram_density_mb_mm2: 1.20, tapeout_cost_norm: 6.0 },
-    TechNode { node_nm: 40, sram_density_mb_mm2: 1.45, tapeout_cost_norm: 7.5 },
-    TechNode { node_nm: 28, sram_density_mb_mm2: 2.60, tapeout_cost_norm: 12.0 },
-    TechNode { node_nm: 20, sram_density_mb_mm2: 3.70, tapeout_cost_norm: 25.0 },
-    TechNode { node_nm: 16, sram_density_mb_mm2: 5.10, tapeout_cost_norm: 45.0 },
-    TechNode { node_nm: 10, sram_density_mb_mm2: 8.60, tapeout_cost_norm: 90.0 },
-    TechNode { node_nm: 7, sram_density_mb_mm2: 12.50, tapeout_cost_norm: 180.0 },
-    TechNode { node_nm: 5, sram_density_mb_mm2: 18.60, tapeout_cost_norm: 400.0 },
+    TechNode {
+        node_nm: 130,
+        sram_density_mb_mm2: 0.16,
+        tapeout_cost_norm: 1.0,
+    },
+    TechNode {
+        node_nm: 90,
+        sram_density_mb_mm2: 0.33,
+        tapeout_cost_norm: 1.8,
+    },
+    TechNode {
+        node_nm: 65,
+        sram_density_mb_mm2: 0.62,
+        tapeout_cost_norm: 3.3,
+    },
+    TechNode {
+        node_nm: 45,
+        sram_density_mb_mm2: 1.20,
+        tapeout_cost_norm: 6.0,
+    },
+    TechNode {
+        node_nm: 40,
+        sram_density_mb_mm2: 1.45,
+        tapeout_cost_norm: 7.5,
+    },
+    TechNode {
+        node_nm: 28,
+        sram_density_mb_mm2: 2.60,
+        tapeout_cost_norm: 12.0,
+    },
+    TechNode {
+        node_nm: 20,
+        sram_density_mb_mm2: 3.70,
+        tapeout_cost_norm: 25.0,
+    },
+    TechNode {
+        node_nm: 16,
+        sram_density_mb_mm2: 5.10,
+        tapeout_cost_norm: 45.0,
+    },
+    TechNode {
+        node_nm: 10,
+        sram_density_mb_mm2: 8.60,
+        tapeout_cost_norm: 90.0,
+    },
+    TechNode {
+        node_nm: 7,
+        sram_density_mb_mm2: 12.50,
+        tapeout_cost_norm: 180.0,
+    },
+    TechNode {
+        node_nm: 5,
+        sram_density_mb_mm2: 18.60,
+        tapeout_cost_norm: 400.0,
+    },
 ];
 
 /// The ROM-CiM design point of this work: 5 Mb/mm² of *compute-capable*

@@ -14,11 +14,11 @@ use rand::{Rng, SeedableRng};
 
 use crate::rebranch::{ReBranchConv, ReBranchRatios};
 use crate::tiny_models::{ConvBlock, ConvUnit};
+#[cfg(test)]
+use yoloc_data::detection::DET_W;
 use yoloc_data::detection::{
     mean_average_precision, BBox, Detection, DetectionTask, GtObject, DET_C, DET_H,
 };
-#[cfg(test)]
-use yoloc_data::detection::DET_W;
 use yoloc_tensor::layers::Conv2d;
 use yoloc_tensor::{Layer, LayerExt, Tensor};
 
@@ -104,30 +104,12 @@ impl TinyYoloDetector {
             let name = format!("bb{i}");
             let unit = match strategy {
                 DetectorStrategy::AllSram => {
-                    let mut c = Conv2d::new(
-                        &name,
-                        w.shape()[1],
-                        w.shape()[0],
-                        3,
-                        1,
-                        1,
-                        false,
-                        rng,
-                    );
+                    let mut c = Conv2d::new(&name, w.shape()[1], w.shape()[0], 3, 1, 1, false, rng);
                     c.weight.value = w;
                     ConvUnit::Plain(c)
                 }
                 DetectorStrategy::PredictionOnly => {
-                    let mut c = Conv2d::new(
-                        &name,
-                        w.shape()[1],
-                        w.shape()[0],
-                        3,
-                        1,
-                        1,
-                        false,
-                        rng,
-                    );
+                    let mut c = Conv2d::new(&name, w.shape()[1], w.shape()[0], 3, 1, 1, false, rng);
                     c.weight.value = w;
                     c.freeze_all();
                     ConvUnit::Plain(c)
@@ -179,7 +161,12 @@ impl TinyYoloDetector {
     }
 
     /// Decodes predictions into detections with per-class NMS.
-    pub fn detect(&mut self, x: &Tensor, image_id_base: usize, score_thresh: f32) -> Vec<Detection> {
+    pub fn detect(
+        &mut self,
+        x: &Tensor,
+        image_id_base: usize,
+        score_thresh: f32,
+    ) -> Vec<Detection> {
         let out = self.forward(x, false);
         let n = out.shape()[0];
         let s = self.grid;
@@ -247,12 +234,7 @@ impl TinyYoloDetector {
     }
 
     /// One YOLO-loss training step over a batch; returns the loss.
-    pub fn train_step(
-        &mut self,
-        images: &Tensor,
-        gts: &[Vec<GtObject>],
-        lr: f32,
-    ) -> f32 {
+    pub fn train_step(&mut self, images: &Tensor, gts: &[Vec<GtObject>], lr: f32) -> f32 {
         let out = self.forward(images, true);
         let (loss, grad) = self.yolo_loss(&out, gts);
         self.backward(&grad);
@@ -333,8 +315,7 @@ impl TinyYoloDetector {
                         }
                         None => {
                             // Objectness towards 0, down-weighted.
-                            let d_obj =
-                                lambda_noobj * 2.0 * obj * obj * (1.0 - obj) / norm;
+                            let d_obj = lambda_noobj * 2.0 * obj * obj * (1.0 - obj) / norm;
                             loss += (lambda_noobj * obj * obj) as f64 / norm as f64;
                             *grad.at_mut(&[ni, 0, cy, cx]) = d_obj;
                         }
@@ -371,7 +352,10 @@ impl Layer for TinyYoloDetector {
     }
 
     fn name(&self) -> String {
-        format!("TinyYoloDetector(grid={}, classes={})", self.grid, self.classes)
+        format!(
+            "TinyYoloDetector(grid={}, classes={})",
+            self.grid, self.classes
+        )
     }
 }
 
@@ -442,7 +426,12 @@ impl DetectionSuite {
 }
 
 /// Pretrains the COCO-like base detector.
-pub fn pretrain_detector(channels: &[usize], suite: &DetectionSuite, steps: usize, seed: u64) -> TinyYoloDetector {
+pub fn pretrain_detector(
+    channels: &[usize],
+    suite: &DetectionSuite,
+    steps: usize,
+    seed: u64,
+) -> TinyYoloDetector {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut det = TinyYoloDetector::new(channels, suite.coco_like.classes, &mut rng);
     train_detector(&mut det, &suite.coco_like, steps, 16, 0.05, &mut rng);

@@ -16,12 +16,16 @@ pub mod qconv;
 pub mod rebranch;
 pub mod strategies;
 pub mod system;
-pub mod training_cost;
 pub mod tiny_models;
+pub mod training_cost;
 
-pub use detector::{eval_map, pretrain_detector, train_detector, DetectionSuite, DetectorStrategy, TinyYoloDetector};
+pub use detector::{
+    eval_map, pretrain_detector, train_detector, DetectionSuite, DetectorStrategy, TinyYoloDetector,
+};
 pub use mapping::{map_network, LayerPlacement, NetworkMapping};
 pub use rebranch::{ReBranchConv, ReBranchRatios};
-pub use system::{evaluate, AreaBreakdown, EnergyBreakdown, SystemKind, SystemParams, SystemReport};
 pub use strategies::{evaluate_strategy, pretrain_base, Strategy, StrategyResult, TrainConfig};
+pub use system::{
+    evaluate, AreaBreakdown, EnergyBreakdown, SystemKind, SystemParams, SystemReport,
+};
 pub use tiny_models::{ConvBlock, ConvUnit, Family, SpwdConv, TinyCnn};

@@ -277,16 +277,34 @@ mod tests {
     fn shelf_pack_basics() {
         // Four quarter-size rectangles fit one bin.
         let rects = vec![
-            Rect { rows: 64, cols: 128 },
-            Rect { rows: 64, cols: 128 },
-            Rect { rows: 64, cols: 128 },
-            Rect { rows: 64, cols: 128 },
+            Rect {
+                rows: 64,
+                cols: 128,
+            },
+            Rect {
+                rows: 64,
+                cols: 128,
+            },
+            Rect {
+                rows: 64,
+                cols: 128,
+            },
+            Rect {
+                rows: 64,
+                cols: 128,
+            },
         ];
         assert_eq!(shelf_pack(rects, 128, 256), 1);
         // An oversize-ish pair needs two bins.
         let rects = vec![
-            Rect { rows: 128, cols: 200 },
-            Rect { rows: 128, cols: 200 },
+            Rect {
+                rows: 128,
+                cols: 200,
+            },
+            Rect {
+                rows: 128,
+                cols: 200,
+            },
         ];
         assert_eq!(shelf_pack(rects, 128, 256), 2);
     }

@@ -86,12 +86,7 @@ pub struct CimDeployedModel {
 
 /// Runs the software reference of one block, returning
 /// (conv input, block output) so deployment can calibrate activations.
-fn software_block(
-    x: &Tensor,
-    unit: &ConvUnit,
-    pool: bool,
-    skip: bool,
-) -> Tensor {
+fn software_block(x: &Tensor, unit: &ConvUnit, pool: bool, skip: bool) -> Tensor {
     let conv_out = match unit {
         ConvUnit::Plain(c) => conv2d_reference(x, &c.weight.value, None, 1, 1),
         ConvUnit::ReBranch(rb) => {
@@ -193,7 +188,12 @@ impl CimDeployedModel {
         let (outs, ins) = (w.shape()[0], w.shape()[1]);
         let pc = PerChannelQuant::quantize(w, sram.weight_bits);
         let row_sums: Vec<i64> = (0..outs)
-            .map(|o| pc.values[o * ins..(o + 1) * ins].iter().map(|&v| v as i64).sum())
+            .map(|o| {
+                pc.values[o * ins..(o + 1) * ins]
+                    .iter()
+                    .map(|&v| v as i64)
+                    .sum()
+            })
             .collect();
         let bias = model
             .classifier
@@ -264,10 +264,10 @@ impl CimDeployedModel {
                 .collect();
             let (acc, s) = self.classifier.mvm(&codes, rng);
             stats.add_sram(s);
-            for o in 0..self.classes {
+            for (o, &a) in acc.iter().enumerate().take(self.classes) {
                 let v = self.classifier_scales[o]
                     * self.classifier_act.scale
-                    * (acc[o] - self.classifier_act.zero_point as i64 * self.classifier_row_sums[o])
+                    * (a - self.classifier_act.zero_point as i64 * self.classifier_row_sums[o])
                         as f32
                     + self.classifier_bias[o];
                 *logits.at_mut(&[ni, o]) = v;
@@ -361,9 +361,6 @@ mod tests {
             accuracy_software_vs_cim(&mut model, &deployed, &suite.pretrain, 80, &mut rng);
         // Paper: -0.5% ~ +0.2% mAP change; at smoke scale allow a few
         // percentage points either way.
-        assert!(
-            (sw - cim).abs() < 0.08,
-            "software {sw} vs CiM {cim}"
-        );
+        assert!((sw - cim).abs() < 0.08, "software {sw} vs CiM {cim}");
     }
 }

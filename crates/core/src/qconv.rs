@@ -51,7 +51,12 @@ impl CimConv2d {
         let patch = c * k * k;
         let pc = PerChannelQuant::quantize(weight, params.weight_bits);
         let row_sums: Vec<i64> = (0..oc)
-            .map(|o| pc.values[o * patch..(o + 1) * patch].iter().map(|&v| v as i64).sum())
+            .map(|o| {
+                pc.values[o * patch..(o + 1) * patch]
+                    .iter()
+                    .map(|&v| v as i64)
+                    .sum()
+            })
             .collect();
         let channel_scales: Vec<f32> = pc.channel_params.iter().map(|p| p.scale).collect();
         let engine = RomMvm::program(params, &pc.values, oc, patch);
@@ -99,10 +104,10 @@ impl CimConv2d {
             stats.latency_ns += s.latency_ns;
             let ni = pos / (oh * ow);
             let p = pos % (oh * ow);
-            for o in 0..self.out_channels {
+            for (o, &a) in acc.iter().enumerate().take(self.out_channels) {
                 let v = self.channel_scales[o]
                     * self.act_params.scale
-                    * (acc[o] - self.act_params.zero_point as i64 * self.row_sums[o]) as f32;
+                    * (a - self.act_params.zero_point as i64 * self.row_sums[o]) as f32;
                 *out.at_mut(&[ni, o, p / ow, p % ow]) = v;
             }
         }

@@ -105,7 +105,16 @@ impl ReBranchConv {
         let mc = (m / ratios.u).max(1);
 
         let has_bias = trunk_bias.is_some();
-        let mut trunk = Conv2d::new(&format!("{name}.trunk"), n, m, k, stride, padding, has_bias, rng);
+        let mut trunk = Conv2d::new(
+            &format!("{name}.trunk"),
+            n,
+            m,
+            k,
+            stride,
+            padding,
+            has_bias,
+            rng,
+        );
         trunk.weight.value = trunk_weight;
         if let (Some(b), Some(bias)) = (&mut trunk.bias, trunk_bias) {
             b.value = bias;
@@ -116,8 +125,7 @@ impl ReBranchConv {
         // Variance-preserving random projection: keeps branch activations
         // and gradients on the trunk's scale regardless of D/U, so one
         // learning rate works for every compression ratio.
-        compress.weight.value =
-            Tensor::randn(&[nc, n, 1, 1], 0.0, (1.0 / n as f32).sqrt(), rng);
+        compress.weight.value = Tensor::randn(&[nc, n, 1, 1], 0.0, (1.0 / n as f32).sqrt(), rng);
         compress.freeze_all();
         let mut res_conv = Conv2d::new(
             &format!("{name}.res_conv"),
@@ -132,8 +140,7 @@ impl ReBranchConv {
         // Zero-init: the wrapped layer starts out computing the trunk only.
         res_conv.weight.value = Tensor::zeros(res_conv.weight.value.shape());
         let mut decompress = Conv2d::pointwise(&format!("{name}.res_decompress"), mc, m, rng);
-        decompress.weight.value =
-            Tensor::randn(&[m, mc, 1, 1], 0.0, (1.0 / mc as f32).sqrt(), rng);
+        decompress.weight.value = Tensor::randn(&[m, mc, 1, 1], 0.0, (1.0 / mc as f32).sqrt(), rng);
         decompress.freeze_all();
 
         ReBranchConv {
@@ -159,10 +166,8 @@ impl ReBranchConv {
         ratios: ReBranchRatios,
         rng: &mut R,
     ) -> Self {
-        let w = yoloc_tensor::init::kaiming_normal(
-            &[out_channels, in_channels, kernel, kernel],
-            rng,
-        );
+        let w =
+            yoloc_tensor::init::kaiming_normal(&[out_channels, in_channels, kernel, kernel], rng);
         let mut rb = Self::from_pretrained(name, w, None, stride, padding, ratios, rng);
         rb.trunk.unfreeze_all();
         rb
@@ -180,9 +185,7 @@ impl ReBranchConv {
 
     /// Parameters resident in ROM-CiM (trunk + compress + decompress).
     pub fn rom_param_count(&self) -> usize {
-        self.trunk.weight.len()
-            + self.compress.weight.len()
-            + self.decompress.weight.len()
+        self.trunk.weight.len() + self.compress.weight.len() + self.decompress.weight.len()
     }
 
     /// Trainable parameters resident in SRAM-CiM (`Res-Conv`).
@@ -197,12 +200,7 @@ impl ReBranchConv {
         let wb = &self.res_conv.weight.value; // (mc, nc, k, k)
         let w2 = &self.decompress.weight.value; // (m, mc, 1, 1)
         let (nc, n) = (w1.shape()[0], w1.shape()[1]);
-        let (mc, _, k, _) = (
-            wb.shape()[0],
-            wb.shape()[1],
-            wb.shape()[2],
-            wb.shape()[3],
-        );
+        let (mc, _, k, _) = (wb.shape()[0], wb.shape()[1], wb.shape()[2], wb.shape()[3]);
         let m = w2.shape()[0];
         let mut eq = Tensor::zeros(&[m, n, k, k]);
         for o in 0..m {
@@ -219,8 +217,7 @@ impl ReBranchConv {
                         }
                         for kh in 0..k {
                             for kw in 0..k {
-                                *eq.at_mut(&[o, i, kh, kw]) +=
-                                    w2v * wb.at(&[a, b, kh, kw]) * w1v;
+                                *eq.at_mut(&[o, i, kh, kw]) += w2v * wb.at(&[a, b, kh, kw]) * w1v;
                             }
                         }
                     }

@@ -206,8 +206,7 @@ fn plain_from<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> yoloc_tensor::layers::Conv2d {
     let (_m, n, k) = (w.shape()[0], w.shape()[1], w.shape()[2]);
-    let mut c =
-        yoloc_tensor::layers::Conv2d::new(name, n, w.shape()[0], k, 1, 1, false, rng);
+    let mut c = yoloc_tensor::layers::Conv2d::new(name, n, w.shape()[0], k, 1, 1, false, rng);
     c.weight.value = w.clone();
     c
 }
@@ -298,8 +297,7 @@ pub fn evaluate_strategy(
             }
         }
         _ => {
-            let mut model =
-                build_strategy_model(pretrained, strategy, target.classes(), &mut rng);
+            let mut model = build_strategy_model(pretrained, strategy, target.classes(), &mut rng);
             let is_spwd = matches!(strategy, Strategy::Spwd { .. });
             train_model(&mut model, target, cfg, &mut rng, |m| {
                 if is_spwd {
@@ -418,8 +416,12 @@ mod tests {
         let suite = TransferSuite::new(5);
         let base = quick_base(&suite);
         let mut rng = StdRng::seed_from_u64(6);
-        let m =
-            build_strategy_model(&base, Strategy::ReBranch(ReBranchRatios::paper_default()), 10, &mut rng);
+        let m = build_strategy_model(
+            &base,
+            Strategy::ReBranch(ReBranchRatios::paper_default()),
+            10,
+            &mut rng,
+        );
         let (rom, sram) = m.memory_bits();
         assert!(rom > 0 && sram > 0);
         // Fig. 7: res-conv is ~1/16 of the trunk; compress/decompress and

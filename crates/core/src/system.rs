@@ -208,10 +208,7 @@ struct CimLayer {
     is_head: bool,
 }
 
-fn collect_layers(
-    desc: &NetworkDesc,
-    p: &SystemParams,
-) -> Result<Vec<CimLayer>, NetworkError> {
+fn collect_layers(desc: &NetworkDesc, p: &SystemParams) -> Result<Vec<CimLayer>, NetworkError> {
     let reports = desc.analyze()?;
     let ab = p.act_bits as u64;
     let wb = 8u64;
@@ -323,15 +320,12 @@ pub fn evaluate(
             let mapping = map_network(desc, &p.rom)?;
             let rom_mapped_bits =
                 (mapping.subarrays_packed as u64 * p.rom.subarray_bits()).max(rom_bits);
-            let (rom_cells, rom_adc, rom_drv, rom_ctrl) =
-                macro_area_split(rom_mapped_bits, &p.rom);
-            let (sram_cells, sram_adc, sram_drv, sram_ctrl) =
-                macro_area_split(sram_bits, &p.sram);
+            let (rom_cells, rom_adc, rom_drv, rom_ctrl) = macro_area_split(rom_mapped_bits, &p.rom);
+            let (sram_cells, sram_adc, sram_drv, sram_ctrl) = macro_area_split(sram_bits, &p.sram);
             let area = AreaBreakdown {
                 rom_array_mm2: rom_cells,
                 sram_array_mm2: sram_cells
-                    + (sram_bits as f64 / 1_048_576.0
-                        / p.sram.spec().density_mb_per_mm2
+                    + (sram_bits as f64 / 1_048_576.0 / p.sram.spec().density_mb_per_mm2
                         - sram_cells)
                         .max(0.0),
                 adc_mm2: rom_adc + sram_adc,
@@ -371,11 +365,8 @@ pub fn evaluate(
         SystemKind::SramSingleChip { cim_area_mm2 } => {
             // Iso-area by default: the YOLoC chip's CiM area.
             let yoloc = evaluate(desc, SystemKind::Yoloc, p)?;
-            let cim_area = cim_area_mm2.unwrap_or(
-                yoloc.area.total_mm2() - yoloc.area.buffer_mm2,
-            );
-            let capacity =
-                (cim_area * p.sram.spec().density_mb_per_mm2 * 1_048_576.0) as u64;
+            let cim_area = cim_area_mm2.unwrap_or(yoloc.area.total_mm2() - yoloc.area.buffer_mm2);
+            let capacity = (cim_area * p.sram.spec().density_mb_per_mm2 * 1_048_576.0) as u64;
             // Residency: keep the most reuse-intensive layers on chip.
             let mut order: Vec<usize> = (0..layers.len()).collect();
             order.sort_by(|&a, &b| {
@@ -461,8 +452,7 @@ pub fn evaluate(
             let total_w_bits: u64 = layers.iter().map(|l| l.w_bits).sum();
             let yoloc = evaluate(desc, SystemKind::Yoloc, p)?;
             let chip_area = yoloc.area.total_mm2();
-            let chip_capacity =
-                (chip_area * p.sram.spec().density_mb_per_mm2 * 1_048_576.0) as u64;
+            let chip_capacity = (chip_area * p.sram.spec().density_mb_per_mm2 * 1_048_576.0) as u64;
             let n_chips = chips
                 .unwrap_or_else(|| (total_w_bits as f64 / chip_capacity as f64).ceil() as usize)
                 .max(1);
@@ -499,8 +489,7 @@ pub fn evaluate(
                 + p.link.transfer_latency_ns(link_bits);
             let stored_bits = total_w_bits.max(chip_capacity * n_chips as u64);
             let (cells, adc, drv, ctrl) = macro_area_split(stored_bits, &p.sram);
-            let density_area = total_w_bits as f64 / 1_048_576.0
-                / p.sram.spec().density_mb_per_mm2;
+            let density_area = total_w_bits as f64 / 1_048_576.0 / p.sram.spec().density_mb_per_mm2;
             let scale = density_area.max(1.0) / (cells + adc + drv + ctrl).max(1e-12);
             Ok(SystemReport {
                 system: format!("SRAM-CiM {n_chips} chiplets"),
@@ -544,18 +533,30 @@ mod tests {
     #[test]
     fn iso_area_sram_chip_spills_yolo_weights() {
         let net = zoo::yolo_v2(20, 5);
-        let r = evaluate(&net, SystemKind::SramSingleChip { cim_area_mm2: None }, &p()).unwrap();
+        let r = evaluate(
+            &net,
+            SystemKind::SramSingleChip { cim_area_mm2: None },
+            &p(),
+        )
+        .unwrap();
         assert!(r.dram_traffic_bits > net.weight_bits(8) / 2);
-        assert!(r.energy.dram_share() > 0.5, "share {}", r.energy.dram_share());
+        assert!(
+            r.energy.dram_share() > 0.5,
+            "share {}",
+            r.energy.dram_share()
+        );
     }
 
     #[test]
     fn yoloc_beats_single_chip_on_big_models() {
         let pp = p();
-        for net in [zoo::resnet18(100), zoo::tiny_yolo(20, 5), zoo::yolo_v2(20, 5)] {
+        for net in [
+            zoo::resnet18(100),
+            zoo::tiny_yolo(20, 5),
+            zoo::yolo_v2(20, 5),
+        ] {
             let y = evaluate(&net, SystemKind::Yoloc, &pp).unwrap();
-            let s =
-                evaluate(&net, SystemKind::SramSingleChip { cim_area_mm2: None }, &pp).unwrap();
+            let s = evaluate(&net, SystemKind::SramSingleChip { cim_area_mm2: None }, &pp).unwrap();
             let improvement = y.energy_eff_tops_w / s.energy_eff_tops_w;
             assert!(
                 improvement > 2.0,

@@ -46,10 +46,28 @@ impl SpwdConv {
             trunk_weight.shape()[2],
         );
         let scale = trunk_weight.abs_max().max(1e-6) * 0.5;
-        let mut frozen = Conv2d::new(&format!("{name}.trunk"), n, m, k, stride, padding, false, rng);
+        let mut frozen = Conv2d::new(
+            &format!("{name}.trunk"),
+            n,
+            m,
+            k,
+            stride,
+            padding,
+            false,
+            rng,
+        );
         frozen.weight.value = trunk_weight;
         frozen.freeze_all();
-        let mut deco = Conv2d::new(&format!("{name}.deco"), n, m, k, stride, padding, false, rng);
+        let mut deco = Conv2d::new(
+            &format!("{name}.deco"),
+            n,
+            m,
+            k,
+            stride,
+            padding,
+            false,
+            rng,
+        );
         deco.weight.value = Tensor::zeros(deco.weight.value.shape());
         SpwdConv {
             frozen,
@@ -235,7 +253,11 @@ impl Layer for ConvBlock {
     }
 
     fn name(&self) -> String {
-        format!("Block[{}{}]", self.unit.name(), if self.skip { "+skip" } else { "" })
+        format!(
+            "Block[{}{}]",
+            self.unit.name(),
+            if self.skip { "+skip" } else { "" }
+        )
     }
 }
 
@@ -302,8 +324,7 @@ impl TinyCnn {
             .into_iter()
             .enumerate()
             .map(|(i, (ci, co, pool, skip))| {
-                let mut conv =
-                    Conv2d::new(&format!("conv{i}"), ci, co, 3, 1, 1, false, rng);
+                let mut conv = Conv2d::new(&format!("conv{i}"), ci, co, 3, 1, 1, false, rng);
                 if skip {
                     // Without batch-norm, identity-skip stacks need damped
                     // residual init to keep activation variance bounded
@@ -316,7 +337,13 @@ impl TinyCnn {
         TinyCnn {
             blocks,
             gap: GlobalAvgPool::new(),
-            classifier: Linear::new("fc", *channels.last().expect("channels"), classes, true, rng),
+            classifier: Linear::new(
+                "fc",
+                *channels.last().expect("channels"),
+                classes,
+                true,
+                rng,
+            ),
             family,
         }
     }

@@ -129,10 +129,7 @@ pub fn training_step_cost(
 /// # Errors
 ///
 /// Propagates [`NetworkError`].
-pub fn rebranch_training_saving(
-    net: &NetworkDesc,
-    p: &SystemParams,
-) -> Result<f64, NetworkError> {
+pub fn rebranch_training_saving(net: &NetworkDesc, p: &SystemParams) -> Result<f64, NetworkError> {
     let all = training_step_cost(net, TrainableSet::All, p)?;
     let rb = training_step_cost(net, TrainableSet::ReBranchOnly, p)?;
     Ok(all.total_uj() / rb.total_uj())
@@ -187,8 +184,7 @@ mod tests {
     fn update_write_energy_scales_with_params() {
         let net = zoo::vgg8(100);
         let all = training_step_cost(&net, TrainableSet::All, &p()).unwrap();
-        let expect =
-            all.updated_params as f64 * 8.0 * p().sram.e_write_per_bit_pj / 1e6;
+        let expect = all.updated_params as f64 * 8.0 * p().sram.e_write_per_bit_pj / 1e6;
         assert!((all.update_write_uj - expect).abs() < 1e-9);
     }
 }

@@ -55,7 +55,11 @@ pub fn brightness(img: &Tensor, gain: f32) -> Tensor {
 /// Applies a random combination of flip / ±1-pixel shift / ±10 %
 /// brightness, preserving the label.
 pub fn random_augment<R: Rng + ?Sized>(img: &Tensor, rng: &mut R) -> Tensor {
-    let mut out = if rng.gen_bool(0.5) { hflip(img) } else { img.clone() };
+    let mut out = if rng.gen_bool(0.5) {
+        hflip(img)
+    } else {
+        img.clone()
+    };
     let dy = rng.gen_range(-1isize..=1);
     let dx = rng.gen_range(-1isize..=1);
     if dy != 0 || dx != 0 {

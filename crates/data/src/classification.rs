@@ -100,13 +100,16 @@ impl SyntheticTask {
                     .map(|slot| {
                         let atom = rng.gen_range(0..shared.len());
                         // Distinct grid cell per slot for visual structure.
-                        let cell = (slot * GRID * GRID / ATOMS_PER_CLASS
-                            + rng.gen_range(0..2))
+                        let cell = (slot * GRID * GRID / ATOMS_PER_CLASS + rng.gen_range(0..2))
                             % (GRID * GRID);
                         let amp = rng.gen_range(0.8..1.4);
                         // Encode "private atom" by offsetting the index.
                         let use_private = rng.gen_range(0.0..1.0) < novelty;
-                        let idx = if use_private { atom + shared.len() } else { atom };
+                        let idx = if use_private {
+                            atom + shared.len()
+                        } else {
+                            atom
+                        };
                         (idx, cell, amp)
                     })
                     .collect();

@@ -190,7 +190,11 @@ pub fn average_precision(
     iou_thresh: f32,
 ) -> f32 {
     let mut dets: Vec<&Detection> = detections.iter().filter(|d| d.class == class).collect();
-    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    dets.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let gts: Vec<&(usize, GtObject)> = ground_truth
         .iter()
         .filter(|(_, g)| g.class == class)
@@ -237,10 +241,7 @@ pub fn average_precision(
     let mut ap = 0.0f32;
     let mut prev_recall = 0.0f32;
     for i in 0..curve.len() {
-        let max_prec = curve[i..]
-            .iter()
-            .map(|&(_, p)| p)
-            .fold(0.0f32, f32::max);
+        let max_prec = curve[i..].iter().map(|&(_, p)| p).fold(0.0f32, f32::max);
         let (r, _) = curve[i];
         if r > prev_recall {
             ap += (r - prev_recall) * max_prec;
@@ -271,7 +272,6 @@ pub fn mean_average_precision(
 mod tests {
     use super::*;
     use proptest::prelude::*;
-    use rand::Rng as _;
 
     fn bb(cx: f32, cy: f32, w: f32, h: f32) -> BBox {
         BBox { cx, cy, w, h }
@@ -302,9 +302,27 @@ mod tests {
     #[test]
     fn perfect_detections_give_map_one() {
         let gt = vec![
-            (0, GtObject { class: 0, bbox: bb(0.3, 0.3, 0.2, 0.2) }),
-            (0, GtObject { class: 1, bbox: bb(0.7, 0.7, 0.2, 0.2) }),
-            (1, GtObject { class: 0, bbox: bb(0.5, 0.5, 0.3, 0.3) }),
+            (
+                0,
+                GtObject {
+                    class: 0,
+                    bbox: bb(0.3, 0.3, 0.2, 0.2),
+                },
+            ),
+            (
+                0,
+                GtObject {
+                    class: 1,
+                    bbox: bb(0.7, 0.7, 0.2, 0.2),
+                },
+            ),
+            (
+                1,
+                GtObject {
+                    class: 0,
+                    bbox: bb(0.5, 0.5, 0.3, 0.3),
+                },
+            ),
         ];
         let dets: Vec<Detection> = gt
             .iter()
@@ -322,8 +340,20 @@ mod tests {
     #[test]
     fn missed_objects_reduce_ap() {
         let gt = vec![
-            (0, GtObject { class: 0, bbox: bb(0.3, 0.3, 0.2, 0.2) }),
-            (1, GtObject { class: 0, bbox: bb(0.5, 0.5, 0.3, 0.3) }),
+            (
+                0,
+                GtObject {
+                    class: 0,
+                    bbox: bb(0.3, 0.3, 0.2, 0.2),
+                },
+            ),
+            (
+                1,
+                GtObject {
+                    class: 0,
+                    bbox: bb(0.5, 0.5, 0.3, 0.3),
+                },
+            ),
         ];
         // Only one of two objects detected: AP = 0.5.
         let dets = vec![Detection {
@@ -338,10 +368,26 @@ mod tests {
 
     #[test]
     fn false_positives_reduce_ap() {
-        let gt = vec![(0, GtObject { class: 0, bbox: bb(0.3, 0.3, 0.2, 0.2) })];
+        let gt = vec![(
+            0,
+            GtObject {
+                class: 0,
+                bbox: bb(0.3, 0.3, 0.2, 0.2),
+            },
+        )];
         let dets = vec![
-            Detection { image_id: 0, class: 0, score: 0.95, bbox: bb(0.8, 0.8, 0.1, 0.1) },
-            Detection { image_id: 0, class: 0, score: 0.90, bbox: bb(0.3, 0.3, 0.2, 0.2) },
+            Detection {
+                image_id: 0,
+                class: 0,
+                score: 0.95,
+                bbox: bb(0.8, 0.8, 0.1, 0.1),
+            },
+            Detection {
+                image_id: 0,
+                class: 0,
+                score: 0.90,
+                bbox: bb(0.3, 0.3, 0.2, 0.2),
+            },
         ];
         // The higher-scored detection is a false positive: precision at the
         // match is 1/2, so AP = 0.5.
@@ -351,10 +397,26 @@ mod tests {
 
     #[test]
     fn duplicate_detections_count_once() {
-        let gt = vec![(0, GtObject { class: 0, bbox: bb(0.3, 0.3, 0.2, 0.2) })];
+        let gt = vec![(
+            0,
+            GtObject {
+                class: 0,
+                bbox: bb(0.3, 0.3, 0.2, 0.2),
+            },
+        )];
         let dets = vec![
-            Detection { image_id: 0, class: 0, score: 0.95, bbox: bb(0.3, 0.3, 0.2, 0.2) },
-            Detection { image_id: 0, class: 0, score: 0.90, bbox: bb(0.3, 0.3, 0.2, 0.2) },
+            Detection {
+                image_id: 0,
+                class: 0,
+                score: 0.95,
+                bbox: bb(0.3, 0.3, 0.2, 0.2),
+            },
+            Detection {
+                image_id: 0,
+                class: 0,
+                score: 0.90,
+                bbox: bb(0.3, 0.3, 0.2, 0.2),
+            },
         ];
         // Second match on the same GT is a false positive; AP stays 1.0
         // because the TP comes first.

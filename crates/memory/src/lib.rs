@@ -27,6 +27,6 @@ pub mod noc;
 pub mod sram_buffer;
 
 pub use chiplet::ChipletLink;
-pub use noc::MeshNoc;
 pub use dram::DramModel;
+pub use noc::MeshNoc;
 pub use sram_buffer::SramBuffer;

@@ -40,7 +40,10 @@ impl MeshNoc {
     ///
     /// Panics if either coordinate is outside the mesh.
     pub fn hops(&self, from: (usize, usize), to: (usize, usize)) -> usize {
-        assert!(from.0 < self.width && from.1 < self.height, "from outside mesh");
+        assert!(
+            from.0 < self.width && from.1 < self.height,
+            "from outside mesh"
+        );
         assert!(to.0 < self.width && to.1 < self.height, "to outside mesh");
         from.0.abs_diff(to.0) + from.1.abs_diff(to.1)
     }

@@ -79,8 +79,7 @@ mod tests {
     fn energy_scales_with_capacity() {
         let small = SramBuffer::new_28nm(64 * 1024);
         let big = SramBuffer::new_28nm(16 * 1024 * 1024);
-        let ratio =
-            big.access_energy_pj(64) / small.access_energy_pj(64);
+        let ratio = big.access_energy_pj(64) / small.access_energy_pj(64);
         // sqrt(16 Mb / 64 Kb) = 16.
         assert!((ratio - 16.0).abs() < 0.1, "ratio {ratio}");
     }

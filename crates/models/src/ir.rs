@@ -467,7 +467,10 @@ mod tests {
     fn shape_propagation_and_macs() {
         let mut net = NetworkDesc::new("t", (3, 8, 8));
         net.layers.push(conv("c1", 3, 4, 3, 1, 1));
-        net.layers.push(LayerSpec::MaxPool { kernel: 2, stride: 2 });
+        net.layers.push(LayerSpec::MaxPool {
+            kernel: 2,
+            stride: 2,
+        });
         net.layers.push(LayerSpec::GlobalAvgPool);
         net.layers.push(LayerSpec::Linear {
             name: "fc".into(),

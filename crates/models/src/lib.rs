@@ -21,4 +21,7 @@ pub mod ir;
 pub mod summary;
 pub mod zoo;
 
-pub use ir::{ActKind, LayerReport, LayerSpec, LoweredMatrix, NetworkDesc, NetworkError, ProjectionSpec, Shape};
+pub use ir::{
+    ActKind, LayerReport, LayerSpec, LoweredMatrix, NetworkDesc, NetworkError, ProjectionSpec,
+    Shape,
+};

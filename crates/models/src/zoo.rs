@@ -36,7 +36,10 @@ fn conv_bn_act(
 }
 
 fn maxpool2(net: &mut NetworkDesc) {
-    net.layers.push(LayerSpec::MaxPool { kernel: 2, stride: 2 });
+    net.layers.push(LayerSpec::MaxPool {
+        kernel: 2,
+        stride: 2,
+    });
 }
 
 /// VGG-8 for 32x32 inputs (CIFAR-class): six 3x3 convs in three stages
@@ -67,8 +70,18 @@ pub fn vgg8(classes: usize) -> NetworkDesc {
 
 fn basic_block(net: &mut NetworkDesc, name: &str, i: usize, o: usize, stride: usize) {
     let downsample = stride != 1 || i != o;
-    conv_bn_act(net, &format!("{name}.conv1"), i, o, 3, stride, 1, ActKind::Relu);
-    net.layers.push(conv(&format!("{name}.conv2"), o, o, 3, 1, 1));
+    conv_bn_act(
+        net,
+        &format!("{name}.conv1"),
+        i,
+        o,
+        3,
+        stride,
+        1,
+        ActKind::Relu,
+    );
+    net.layers
+        .push(conv(&format!("{name}.conv2"), o, o, 3, 1, 1));
     net.layers.push(LayerSpec::BatchNorm { channels: o });
     // The skip source is the layer just before this block (5 layers back
     // from the add: conv1, bn, act, conv2, bn).
@@ -88,7 +101,10 @@ fn basic_block(net: &mut NetworkDesc, name: &str, i: usize, o: usize, stride: us
 pub fn resnet18(classes: usize) -> NetworkDesc {
     let mut net = NetworkDesc::new("resnet18", (3, 224, 224));
     conv_bn_act(&mut net, "conv1", 3, 64, 7, 2, 3, ActKind::Relu);
-    net.layers.push(LayerSpec::MaxPool { kernel: 2, stride: 2 });
+    net.layers.push(LayerSpec::MaxPool {
+        kernel: 2,
+        stride: 2,
+    });
     basic_block(&mut net, "layer1.0", 64, 64, 1);
     basic_block(&mut net, "layer1.1", 64, 64, 1);
     basic_block(&mut net, "layer2.0", 64, 128, 2);
@@ -182,7 +198,10 @@ pub fn tiny_yolo(classes: usize, anchors: usize) -> NetworkDesc {
     conv_bn_act(&mut net, "conv5", 128, 256, 3, 1, 1, l);
     maxpool2(&mut net);
     conv_bn_act(&mut net, "conv6", 256, 512, 3, 1, 1, l);
-    net.layers.push(LayerSpec::MaxPool { kernel: 1, stride: 1 });
+    net.layers.push(LayerSpec::MaxPool {
+        kernel: 1,
+        stride: 1,
+    });
     conv_bn_act(&mut net, "conv7", 512, 1024, 3, 1, 1, l);
     conv_bn_act(&mut net, "conv8", 1024, 1024, 3, 1, 1, l);
     let out = anchors * (5 + classes);
@@ -243,7 +262,10 @@ mod tests {
         assert!((19_000_000..22_500_000).contains(&p), "params {p}");
         // ~2.8 GMACs (5.6 GFLOPs) at 224x224 for the reference model.
         let macs = net.macs().unwrap();
-        assert!((2_400_000_000..3_400_000_000).contains(&macs), "macs {macs}");
+        assert!(
+            (2_400_000_000..3_400_000_000).contains(&macs),
+            "macs {macs}"
+        );
     }
 
     #[test]

@@ -163,7 +163,12 @@ mod tests {
                 let planes = signed_bitplanes(&[w], 8);
                 let partials: Vec<Vec<i64>> = chunks
                     .iter()
-                    .map(|c| planes.iter().map(|p| (c[0] as i64) * (p[0] as i64)).collect())
+                    .map(|c| {
+                        planes
+                            .iter()
+                            .map(|p| (c[0] as i64) * (p[0] as i64))
+                            .collect()
+                    })
                     .collect();
                 assert_eq!(shift_add(&partials, 8, 2), (a as i64) * (w as i64));
             }

@@ -218,7 +218,7 @@ pub fn calibrate_affine(samples: &[&Tensor], bits: u8) -> QuantParams {
     // Always include zero so ReLU outputs quantize exactly.
     lo = lo.min(0.0);
     hi = hi.max(0.0);
-    if hi - lo < f32::EPSILON {
+    if (hi - lo).abs() < f32::EPSILON {
         hi = lo + 1.0;
     }
     QuantParams::affine(lo, hi, bits)

@@ -60,8 +60,8 @@ pub fn qmatmul_dequant(
         let row_sum: i64 = wrow.iter().map(|&w| w as i64).sum();
         for c in 0..n {
             let mut acc = 0i64;
-            for k in 0..cols {
-                acc += wrow[k] as i64 * x.values[k * n + c] as i64;
+            for (k, &w) in wrow.iter().enumerate() {
+                acc += w as i64 * x.values[k * n + c] as i64;
             }
             *out.at_mut(&[r, c]) = dequantize_accumulator(acc, row_sum, x.params, weight_scale);
         }
@@ -112,7 +112,11 @@ mod tests {
         let xp = QuantParams::affine(0.0, 2.0, 8);
         let w_codes = [5i32, -7, 100];
         let x_codes = vec![3i32, 200, 45];
-        let acc: i64 = w_codes.iter().zip(&x_codes).map(|(&w, &x)| w as i64 * x as i64).sum();
+        let acc: i64 = w_codes
+            .iter()
+            .zip(&x_codes)
+            .map(|(&w, &x)| w as i64 * x as i64)
+            .sum();
         let row_sum: i64 = w_codes.iter().map(|&w| w as i64).sum();
         let got = dequantize_accumulator(acc, row_sum, xp, wp.scale);
         let expect: f32 = w_codes

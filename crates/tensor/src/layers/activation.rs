@@ -23,10 +23,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward");
         grad_out.zip_map(x, |g, v| if v > 0.0 { g } else { 0.0 })
     }
 
@@ -66,10 +63,7 @@ impl Layer for LeakyRelu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward");
         let s = self.slope;
         grad_out.zip_map(x, |g, v| if v > 0.0 { g } else { s * g })
     }

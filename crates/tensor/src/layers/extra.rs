@@ -164,7 +164,8 @@ impl Layer for AvgPool2d {
                         let mut acc = 0.0;
                         for ky in 0..self.kernel {
                             for kx in 0..self.kernel {
-                                acc += x.at(&[ni, ci, oy * self.stride + ky, ox * self.stride + kx]);
+                                acc +=
+                                    x.at(&[ni, ci, oy * self.stride + ky, ox * self.stride + kx]);
                             }
                         }
                         *out.at_mut(&[ni, ci, oy, ox]) = acc / norm;

@@ -63,10 +63,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward");
         // dW = dY^T * X ; dX = dY * W ; db = column sums of dY.
         let dw = grad_out.transpose2().matmul(x);
         self.weight.grad.add_scaled_inplace(&dw, 1.0);
@@ -146,6 +143,13 @@ mod tests {
             assert!((dx.at(&[0, j]) - expect).abs() < 1e-4);
         }
         // Bias gradient is the batch size for loss=sum(y).
-        assert!(lin.bias.as_ref().unwrap().grad.data().iter().all(|&g| (g - 3.0).abs() < 1e-5));
+        assert!(lin
+            .bias
+            .as_ref()
+            .unwrap()
+            .grad
+            .data()
+            .iter()
+            .all(|&g| (g - 3.0).abs() < 1e-5));
     }
 }

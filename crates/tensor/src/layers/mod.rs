@@ -9,8 +9,8 @@ mod pool;
 mod structural;
 
 pub use activation::{LeakyRelu, Relu};
-pub use extra::{AvgPool2d, Dropout, Sigmoid, Tanh};
 pub use conv::Conv2d;
+pub use extra::{AvgPool2d, Dropout, Sigmoid, Tanh};
 pub use linear::Linear;
 pub use norm::BatchNorm2d;
 pub use pool::{GlobalAvgPool, MaxPool2d};

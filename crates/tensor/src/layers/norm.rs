@@ -61,7 +61,7 @@ impl Layer for BatchNorm2d {
         let mut out = Tensor::zeros(x.shape());
         let mut xhat = Tensor::zeros(x.shape());
         let mut inv_stds = vec![0.0f32; c];
-        for ci in 0..c {
+        for (ci, inv_std_slot) in inv_stds.iter_mut().enumerate() {
             let (mean, var) = if train {
                 let mut s = 0.0f64;
                 let mut s2 = 0.0f64;
@@ -83,7 +83,7 @@ impl Layer for BatchNorm2d {
                 (self.running_mean[ci], self.running_var[ci])
             };
             let inv_std = 1.0 / (var + self.eps).sqrt();
-            inv_stds[ci] = inv_std;
+            *inv_std_slot = inv_std;
             let g = self.gamma.value.data()[ci];
             let b = self.beta.value.data()[ci];
             for ni in 0..n {
@@ -134,8 +134,7 @@ impl Layer for BatchNorm2d {
                 for i in base..base + h * w {
                     let dy = grad_out.data()[i];
                     let xh = cache.xhat.data()[i];
-                    dx.data_mut()[i] =
-                        g * inv_std / m * (m * dy - sum_dy - xh * sum_dy_xhat);
+                    dx.data_mut()[i] = g * inv_std / m * (m * dy - sum_dy - xh * sum_dy_xhat);
                 }
             }
         }
@@ -178,8 +177,8 @@ mod tests {
                 }
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "var {var}");
         }
@@ -214,9 +213,8 @@ mod tests {
         let gout = Tensor::randn(&[2, 2, 3, 3], 0.0, 1.0, &mut rng);
         let _ = bn.forward(&x, true);
         let dx = bn.backward(&gout);
-        let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
-            bn.forward(x, true).mul(&gout).sum()
-        };
+        let loss =
+            |bn: &mut BatchNorm2d, x: &Tensor| -> f32 { bn.forward(x, true).mul(&gout).sum() };
         let eps = 1e-2f32;
         for &i in &[0usize, 5, 17] {
             let mut xp = x.clone();

@@ -10,9 +10,13 @@ fn log_softmax_rows(logits: &Tensor) -> Tensor {
     for i in 0..n {
         let row = &logits.data()[i * k..(i + 1) * k];
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = m + row.iter().map(|&v| ((v - m) as f64).exp()).sum::<f64>().ln() as f32;
-        for j in 0..k {
-            out.data_mut()[i * k + j] = row[j] - lse;
+        let lse = m + row
+            .iter()
+            .map(|&v| ((v - m) as f64).exp())
+            .sum::<f64>()
+            .ln() as f32;
+        for (slot, &v) in out.data_mut()[i * k..(i + 1) * k].iter_mut().zip(row) {
+            *slot = v - lse;
         }
     }
     out

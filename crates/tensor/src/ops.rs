@@ -296,4 +296,70 @@ mod tests {
         let rhs: f32 = x.mul(&back).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
     }
+
+    /// Lowers a convolution through `im2col` + matmul and compares against
+    /// `conv2d_reference` elementwise.
+    fn assert_lowering_matches_direct(n: usize, c: usize, oc: usize, hw: usize, g: Conv2dGeometry) {
+        let mut rng = StdRng::seed_from_u64((g.kernel * 100 + g.stride * 10 + g.padding) as u64);
+        let x = Tensor::randn(&[n, c, hw, hw], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn(&[oc, c, g.kernel, g.kernel], 0.0, 1.0, &mut rng);
+        let (oh, ow) = g.output_hw(hw, hw);
+        let om = w
+            .reshape(&[oc, g.patch_len()])
+            .unwrap()
+            .matmul(&im2col(&x, &g));
+        let reference = conv2d_reference(&x, &w, None, g.stride, g.padding);
+        for ni in 0..n {
+            for oci in 0..oc {
+                for p in 0..oh * ow {
+                    let lowered = om.at(&[oci, ni * oh * ow + p]);
+                    let direct = reference.at(&[ni, oci, p / ow, p % ow]);
+                    assert!(
+                        (lowered - direct).abs() < 1e-4,
+                        "k={} s={} p={}: {lowered} vs {direct}",
+                        g.kernel,
+                        g.stride,
+                        g.padding
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_matches_reference_conv_shape_grid() {
+        // The hardware mapper reuses the im2col matrix verbatim, so the
+        // lowering must agree with direct convolution for every window
+        // geometry the model zoo uses — not just the 3x3/s1/p1 hot case.
+        let hw = 8;
+        for kernel in [1, 2, 3, 5] {
+            for stride in [1, 2, 3] {
+                for padding in [0, 1, 2] {
+                    if hw + 2 * padding < kernel {
+                        continue;
+                    }
+                    let g = Conv2dGeometry {
+                        in_channels: 2,
+                        kernel,
+                        stride,
+                        padding,
+                    };
+                    assert_lowering_matches_direct(2, 2, 3, hw, g);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_matches_reference_conv_batched_channels() {
+        // Larger channel counts and batch to exercise the row indexing of
+        // the patch matrix (C*k*k rows) across channel boundaries.
+        let g = Conv2dGeometry {
+            in_channels: 5,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        };
+        assert_lowering_matches_direct(3, 5, 4, 9, g);
+    }
 }

@@ -233,7 +233,10 @@ impl Tensor {
         );
         let mut off = 0;
         for (i, (&ix, &dim)) in idx.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for dim {i} (size {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for dim {i} (size {dim})"
+            );
             off = off * dim + ix;
         }
         off
@@ -458,7 +461,10 @@ impl Tensor {
 
     /// Squared L2 norm of all elements.
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() as f32
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>() as f32
     }
 }
 

@@ -34,7 +34,10 @@ fn main() {
         .zip(sw_out.data())
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    println!("max |CiM - software| = {max_err:.4} ({:.2}% of range)", 100.0 * max_err / mag);
+    println!(
+        "max |CiM - software| = {max_err:.4} ({:.2}% of range)",
+        100.0 * max_err / mag
+    );
     println!(
         "macro activity: {} analog evaluations, {} ADC conversions, {} WL pulses",
         stats.analog_evaluations, stats.adc_conversions, stats.wl_pulses

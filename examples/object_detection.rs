@@ -20,11 +20,20 @@ fn main() {
     let base = pretrain_detector(&[16, 24, 32], &suite, 700, seed);
 
     let task = &suite.voc_like;
-    println!("Transferring to '{}' ({} classes)\n", task.name, task.classes);
+    println!(
+        "Transferring to '{}' ({} classes)\n",
+        task.name, task.classes
+    );
     for (label, strategy) in [
         ("All layers trainable (SRAM-CiM)", DetectorStrategy::AllSram),
-        ("Only prediction trainable", DetectorStrategy::PredictionOnly),
-        ("ReBranch backbone (YOLoC)", DetectorStrategy::ReBranch { d: 4, u: 4 }),
+        (
+            "Only prediction trainable",
+            DetectorStrategy::PredictionOnly,
+        ),
+        (
+            "ReBranch backbone (YOLoC)",
+            DetectorStrategy::ReBranch { d: 4, u: 4 },
+        ),
     ] {
         let mut rng = StdRng::seed_from_u64(seed + 100);
         let mut det = base.with_strategy(strategy, task.classes, &mut rng);

@@ -23,12 +23,17 @@ fn main() {
     println!("  area            : {:.3} mm2", spec.macro_area_mm2);
     println!("  density         : {:.2} Mb/mm2", spec.density_mb_per_mm2);
     println!("  throughput      : {:.1} GOPS", spec.throughput_gops);
-    println!("  energy efficiency: {:.1} TOPS/W", spec.energy_efficiency_tops_w);
+    println!(
+        "  energy efficiency: {:.1} TOPS/W",
+        spec.energy_efficiency_tops_w
+    );
 
     // --- 2. Functional MVM through the analog datapath ------------------
     let mut rng = StdRng::seed_from_u64(1);
     let (outs, ins) = (8, 128);
-    let weights: Vec<i32> = (0..outs * ins).map(|i| ((i * 37) % 255) as i32 - 127).collect();
+    let weights: Vec<i32> = (0..outs * ins)
+        .map(|i| ((i * 37) % 255) as i32 - 127)
+        .collect();
     let acts: Vec<i32> = (0..ins).map(|i| ((i * 11) % 256) as i32).collect();
     let engine = RomMvm::program(MacroParams::rom_paper(), &weights, outs, ins);
     let (y, stats) = engine.mvm(&acts, &mut rng);

@@ -1,0 +1,259 @@
+//! Offline stand-in for the `bytes` crate: [`Bytes`], [`BytesMut`] and the
+//! [`Buf`]/[`BufMut`] cursor traits, covering the subset the ROM image
+//! serializer uses. Multi-byte integers are big-endian, matching upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable immutable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a sub-slice sharing the underlying storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Copies the readable bytes into a fresh vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of written bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Read cursor over a byte source. Getters advance past what they read
+/// and panic on underflow, like upstream `bytes`.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copies out the next `dst.len()` bytes and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+}
+
+/// Write cursor over a growable byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Writes a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_integers() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u16(0x0102);
+        buf.put_u8(0xFF);
+        buf.put_u64(42);
+        let mut b = buf.freeze();
+        assert_eq!(b.remaining(), 15);
+        assert_eq!(b.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u16(), 0x0102);
+        assert_eq!(b.get_u8(), 0xFF);
+        assert_eq!(b.get_u64(), 42);
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_content() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        assert_eq!(s.slice(..2).as_ref(), &[2, 3]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        let _ = b.get_u32();
+    }
+
+    #[test]
+    fn equality_is_by_content() {
+        let a = Bytes::from(vec![9, 9, 7]);
+        let b = Bytes::from(vec![0, 9, 9, 7]).slice(1..);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline mini benchmarking harness exposing the subset of the
+//! `criterion` surface the `kernels` bench uses: [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurements are wall-clock medians over `sample_size` timed samples —
+//! good enough to rank kernels and catch order-of-magnitude regressions,
+//! with no statistics, plotting, or crates.io dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How costly batch setup is relative to the routine; the mini harness
+/// times per-input regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; upstream batches many per allocation.
+    SmallInput,
+    /// Setup output is large; upstream batches few per allocation.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to each registered function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints its median per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            per_iter: Vec::new(),
+        };
+        f(&mut b);
+        b.per_iter.sort_unstable();
+        let median = b
+            .per_iter
+            .get(b.per_iter.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        println!(
+            "bench: {id:<40} median {median:>12.3?} ({} samples)",
+            b.per_iter.len()
+        );
+        self
+    }
+}
+
+/// Times the routine under test.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warm-up to populate caches and lazy state.
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.per_iter.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.per_iter.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group: a function invoking each target with a
+/// shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        // 3 timed samples + 1 warm-up.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_calls_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut setups = 0usize;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 5);
+    }
+}

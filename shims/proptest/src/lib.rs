@@ -1,0 +1,376 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! `proptest` surface this workspace uses: the [`proptest!`] macro with an
+//! optional `#![proptest_config(...)]` header, range / tuple / `any` /
+//! `prop::collection::vec` strategies, and the `prop_assert*` macros.
+//!
+//! Unlike upstream proptest there is **no shrinking** and no persisted
+//! failure file: each property runs a fixed number of deterministic random
+//! cases (seeded from the test's module path, so failures reproduce
+//! exactly). That trade keeps the harness dependency-free, which matters
+//! because the build environment cannot reach crates.io.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Run configuration and the deterministic case generator.
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property executes.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the tier-1 suite fast
+            // while still exercising each property broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator driving value generation.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from the test's path so every property gets a distinct
+        /// but reproducible stream.
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the test path.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Returns the next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// A generator of random values for property tests.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Scalars that can be drawn uniformly from a bounded range.
+    pub trait SampleScalar: Copy {
+        /// Uniform sample in `[lo, hi)`, or `[lo, hi]` when `inclusive`.
+        fn sample_between(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_sample_scalar_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl SampleScalar for $t {
+                fn sample_between(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self {
+                    let lo_w = lo as i128;
+                    let hi_w = hi as i128 + if inclusive { 1 } else { 0 };
+                    let span = (hi_w - lo_w) as u128;
+                    assert!(span > 0, "empty strategy range");
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo_w + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_scalar_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleScalar for f64 {
+        fn sample_between(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self {
+            if inclusive {
+                assert!(lo <= hi, "empty strategy range");
+                // Closed unit interval so `hi` is reachable under `lo..=hi`.
+                let unit = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                lo + (hi - lo) * unit
+            } else {
+                assert!(lo < hi, "empty strategy range");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                lo + (hi - lo) * unit
+            }
+        }
+    }
+
+    impl SampleScalar for f32 {
+        fn sample_between(lo: Self, hi: Self, inclusive: bool, rng: &mut TestRng) -> Self {
+            if inclusive {
+                assert!(lo <= hi, "empty strategy range");
+                let unit = (rng.next_u64() >> 40) as f32 / ((1u32 << 24) - 1) as f32;
+                lo + (hi - lo) * unit
+            } else {
+                assert!(lo < hi, "empty strategy range");
+                let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+                lo + (hi - lo) * unit
+            }
+        }
+    }
+
+    impl<T: SampleScalar> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_between(self.start, self.end, false, rng)
+        }
+    }
+
+    impl<T: SampleScalar> Strategy for std::ops::RangeInclusive<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::sample_between(*self.start(), *self.end(), true, rng)
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_tuple! {
+        (S0 0, S1 1)
+        (S0 0, S1 1, S2 2)
+        (S0 0, S1 1, S2 2, S3 3)
+        (S0 0, S1 1, S2 2, S3 3, S4 4)
+        (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5)
+    }
+
+    /// Strategy for "any value of `T`"; see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The universal strategy for `T` (`any::<bool>()`, ...).
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy,
+    {
+        Any(PhantomData)
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_any_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_any_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Length specification for [`vec`]: a fixed size or a size range.
+    pub trait IntoSizeRange {
+        /// `(min, max_exclusive)` lengths.
+        fn size_bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn size_bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn size_bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end() + 1)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len_excl: usize,
+    }
+
+    /// Generates vectors whose length lies in `size` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min_len, max_len_excl) = size.size_bounds();
+        assert!(min_len < max_len_excl, "empty vec-length range");
+        VecStrategy {
+            element,
+            min_len,
+            max_len_excl,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.max_len_excl - self.min_len) as u64;
+            let len = self.min_len + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prop {
+    //! `prop::` path mirror (`prop::collection::vec` and friends).
+
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// block becomes a normal `#[test]` that runs `cases` deterministic random
+/// cases (see [`test_runner::ProptestConfig`]).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        #[test]
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..config.cases {
+                let run = |rng: &mut $crate::test_runner::TestRng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), rng);)*
+                    $body
+                };
+                let result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| run(&mut rng)),
+                );
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {}/{} of {} failed",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let mut rng = crate::test_runner::TestRng::from_name("bounds");
+        let strat = prop::collection::vec(0u8..=3, 1..5);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x <= 3));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(
+            a in 1usize..9,
+            b in -4i32..=4,
+            f in 0.25f32..0.75,
+            pair in (0u8..4, 10u64..20),
+            flags in prop::collection::vec(any::<bool>(), 3),
+        ) {
+            prop_assert!((1..9).contains(&a));
+            prop_assert!((-4..=4).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+            prop_assert!(pair.0 < 4 && (10..20).contains(&pair.1));
+            prop_assert_eq!(flags.len(), 3);
+        }
+    }
+}

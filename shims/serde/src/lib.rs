@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`: the marker traits plus no-op derives.
+//!
+//! The reproduction tags its config/report structs with
+//! `#[derive(Serialize, Deserialize)]` so they are ready for persistence,
+//! but nothing in the workspace serializes at runtime yet. This shim lets
+//! those derives compile without crates.io access; swap the workspace
+//! manifest back to upstream serde when real serialization is needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -60,7 +60,11 @@ fn analog_noise_injection_stays_bounded() {
         .map(|(a, b)| (a - b).abs())
         .sum::<f32>()
         / y.len() as f32;
-    assert!(mean_err / mag < 0.2, "mean relative error {}", mean_err / mag);
+    assert!(
+        mean_err / mag < 0.2,
+        "mean relative error {}",
+        mean_err / mag
+    );
 }
 
 #[test]

@@ -18,7 +18,11 @@ fn detection_transfer_pipeline() {
     let mut rng = StdRng::seed_from_u64(seed + 1);
 
     // ReBranch transfer learns something real.
-    let mut rb = base.with_strategy(DetectorStrategy::ReBranch { d: 2, u: 2 }, task.classes, &mut rng);
+    let mut rb = base.with_strategy(
+        DetectorStrategy::ReBranch { d: 2, u: 2 },
+        task.classes,
+        &mut rng,
+    );
     let before = eval_map(&mut rb, task, 30, &mut rng);
     train_detector(&mut rb, task, 320, 14, 0.05, &mut rng);
     let after = eval_map(&mut rb, task, 40, &mut rng);
@@ -47,7 +51,11 @@ fn rebranch_trainable_fraction_matches_du() {
     let seed = 5;
     let suite = DetectionSuite::new(seed);
     let mut rng = StdRng::seed_from_u64(seed);
-    let base = yoloc::core::detector::TinyYoloDetector::new(&[16, 24, 32], suite.coco_like.classes, &mut rng);
+    let base = yoloc::core::detector::TinyYoloDetector::new(
+        &[16, 24, 32],
+        suite.coco_like.classes,
+        &mut rng,
+    );
     let rb = base.with_strategy(DetectorStrategy::ReBranch { d: 4, u: 4 }, 4, &mut rng);
     let trainable = rb.trainable_param_count() as f64;
     let total = rb.param_count() as f64;

@@ -33,7 +33,12 @@ fn rebranch_transfer_end_to_end() {
     );
     // Learns well above the 10% chance level, with most bits in ROM.
     assert!(rb.accuracy > 0.5, "accuracy {}", rb.accuracy);
-    assert!(rb.rom_bits > 4 * rb.sram_bits, "rom {} sram {}", rb.rom_bits, rb.sram_bits);
+    assert!(
+        rb.rom_bits > 4 * rb.sram_bits,
+        "rom {} sram {}",
+        rb.rom_bits,
+        rb.sram_bits
+    );
 }
 
 #[test]

@@ -48,7 +48,10 @@ fn fig14_improvement_ordering() {
     assert!(resnet > 3.0, "resnet {resnet}");
     assert!(tiny > 3.0, "tiny {tiny}");
     assert!(yolo > 3.0, "yolo {yolo}");
-    assert!(vgg < resnet.min(tiny).min(yolo), "small model must gain least");
+    assert!(
+        vgg < resnet.min(tiny).min(yolo),
+        "small model must gain least"
+    );
 }
 
 #[test]
