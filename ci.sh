@@ -9,11 +9,17 @@ cargo fmt --all --check
 echo "== cargo clippy (all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (workspace, broken links and missing docs are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== smoke-compile examples, bench binaries and benches"
 cargo build --workspace --bins --benches --examples
 
 echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+echo "== workspace unit tests and doctests"
+cargo test -q --workspace
 
 echo "CI green."

@@ -20,9 +20,31 @@ fn bench_macro_mvm(c: &mut Criterion) {
         .map(|i| ((i * 37) % 255) as i32 - 127)
         .collect();
     let acts: Vec<i32> = (0..ins).map(|i| ((i * 13) % 256) as i32).collect();
-    let engine = RomMvm::program(MacroParams::rom_paper(), &codes, outs, ins);
-    c.bench_function("rom_mvm_128x32_8b", |b| {
+    // The popcount fast path (default) vs the cell-accurate analog
+    // reference path — the single-macro view of the engine speedup.
+    let mut engine = RomMvm::program(MacroParams::rom_paper(), &codes, outs, ins);
+    c.bench_function("rom_mvm_128x32_8b_fast", |b| {
         b.iter(|| engine.mvm(std::hint::black_box(&acts), &mut rng))
+    });
+    engine.set_fast_path(false);
+    c.bench_function("rom_mvm_128x32_8b_analog", |b| {
+        b.iter(|| engine.mvm(std::hint::black_box(&acts), &mut rng))
+    });
+}
+
+fn bench_worker_pool(c: &mut Criterion) {
+    use yoloc_bench::WorkerPool;
+    // Dispatch overhead of the persistent pool on trivially small jobs.
+    c.bench_function("worker_pool_64_jobs_4_workers", |b| {
+        WorkerPool::with(4, |pool| {
+            b.iter(|| {
+                pool.run(
+                    (0..64u64)
+                        .map(|i| move || std::hint::black_box(i * i))
+                        .collect::<Vec<_>>(),
+                )
+            })
+        })
     });
 }
 
@@ -98,7 +120,8 @@ fn bench_detector_step(c: &mut Criterion) {
 criterion_group! {
     name = kernels;
     config = Criterion::default().sample_size(20);
-    targets = bench_macro_mvm, bench_im2col, bench_matmul, bench_bitplanes,
-              bench_mapping, bench_system_eval, bench_detector_step
+    targets = bench_macro_mvm, bench_worker_pool, bench_im2col, bench_matmul,
+              bench_bitplanes, bench_mapping, bench_system_eval,
+              bench_detector_step
 }
 criterion_main!(kernels);

@@ -7,7 +7,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use yoloc_bench::{fmt, print_table};
+use yoloc_bench::{default_workers, fmt, print_table, WorkerPool};
 use yoloc_cim::macro_model::{reference_mvm, MacroParams, RomMvm};
 
 fn max_rel_error(rows_per_activation: usize, noise: f32, seed: u64) -> (f64, f64, f64) {
@@ -32,10 +32,26 @@ fn max_rel_error(rows_per_activation: usize, noise: f32, seed: u64) -> (f64, f64
 }
 
 fn main() {
+    // Both sweeps are independent MVM executions; fan them across one
+    // persistent pool (each cell re-seeds its own RNG).
+    let rpa_sweep = [5usize, 8, 10, 16, 32, 64];
+    let noise_sweep = [0.0f32, 0.2, 0.5, 1.0, 2.0];
+    let workers = default_workers();
+    let (rpa_results, noise_results) = WorkerPool::with(workers, |pool| {
+        let rpa_jobs: Vec<_> = rpa_sweep
+            .iter()
+            .map(|&rpa| move || max_rel_error(rpa, 0.0, 1))
+            .collect();
+        let noise_jobs: Vec<_> = noise_sweep
+            .iter()
+            .map(|&noise| move || max_rel_error(10, noise, 2))
+            .collect();
+        (pool.run(rpa_jobs), pool.run(noise_jobs))
+    });
+
     // Rows-per-activation sweep (noiseless).
     let mut rows = Vec::new();
-    for rpa in [5usize, 8, 10, 16, 32, 64] {
-        let (err, energy, latency) = max_rel_error(rpa, 0.0, 1);
+    for (&rpa, &(err, energy, latency)) in rpa_sweep.iter().zip(&rpa_results) {
         let exact = if rpa * 3 <= 31 { "yes" } else { "no" };
         rows.push(vec![
             rpa.to_string(),
@@ -61,8 +77,7 @@ fn main() {
 
     // Noise sweep at the paper design point.
     let mut rows = Vec::new();
-    for noise in [0.0f32, 0.2, 0.5, 1.0, 2.0] {
-        let (err, _, _) = max_rel_error(10, noise, 2);
+    for (&noise, &(err, _, _)) in noise_sweep.iter().zip(&noise_results) {
         rows.push(vec![fmt(noise as f64, 1), format!("{:.2}%", 100.0 * err)]);
     }
     print_table(

@@ -7,9 +7,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use yoloc_bench::{fmt, pct, print_table};
+use yoloc_bench::{default_workers, fmt, pct, print_table, WorkerPool};
 use yoloc_cim::MacroParams;
-use yoloc_core::pipeline::{accuracy_software_vs_cim, CimDeployedModel};
+use yoloc_core::pipeline::{accuracy_software_vs_cim_batch, CimDeployedModel};
 use yoloc_core::rebranch::ReBranchRatios;
 use yoloc_core::strategies::{
     build_strategy_model, pretrain_base, train_model, Strategy, TrainConfig,
@@ -47,25 +47,46 @@ fn main() {
 
     let rom = MacroParams::rom_paper();
     let sram = MacroParams::sram_paper();
+    // Deploy both models first, then evaluate each through the batched
+    // engine on one persistent pool (per-sample RNG streams keep the
+    // result independent of the worker count).
+    let mut base = base;
+    let (cal_base, _) = suite.pretrain.batch(16, &mut rng);
+    let deployed_base = CimDeployedModel::deploy(&base, &cal_base, rom, sram);
+    let (cal_rb, _) = target.batch(16, &mut rng);
+    let deployed_rb = CimDeployedModel::deploy(&rb_model, &cal_rb, rom, sram);
+
+    let workers = default_workers();
     let mut rows = Vec::new();
-    for (label, model, task) in [
-        ("pretrained base (plain)", &mut { base }, &suite.pretrain),
-        ("ReBranch transfer (YOLoC)", &mut rb_model, target),
-    ] {
-        let (cal, _) = task.batch(16, &mut rng);
-        let deployed = CimDeployedModel::deploy(model, &cal, rom, sram);
-        let (sw, cim, stats) = accuracy_software_vs_cim(model, &deployed, task, 300, &mut rng);
-        rows.push(vec![
-            label.to_string(),
-            pct(sw as f64),
-            pct(cim as f64),
-            format!("{:+.1} pp", 100.0 * (cim - sw)),
-            fmt(stats.rom.energy_pj / 1e6, 2),
-            fmt(stats.sram.energy_pj / 1e6, 2),
-        ]);
-    }
+    WorkerPool::with(workers, |pool| {
+        for (label, model, deployed, task) in [
+            (
+                "pretrained base (plain)",
+                &mut base,
+                &deployed_base,
+                &suite.pretrain,
+            ),
+            (
+                "ReBranch transfer (YOLoC)",
+                &mut rb_model,
+                &deployed_rb,
+                target,
+            ),
+        ] {
+            let (sw, cim, stats) =
+                accuracy_software_vs_cim_batch(model, deployed, task, 300, seed + 2, pool);
+            rows.push(vec![
+                label.to_string(),
+                pct(sw as f64),
+                pct(cim as f64),
+                format!("{:+.1} pp", 100.0 * (cim - sw)),
+                fmt(stats.rom.energy_pj / 1e6, 2),
+                fmt(stats.sram.energy_pj / 1e6, 2),
+            ]);
+        }
+    });
     print_table(
-        "Accuracy through the analog CiM datapath (300 samples)",
+        "Accuracy through the analog CiM datapath (300 samples, batched engine)",
         &[
             "Model",
             "Software accuracy",

@@ -1,0 +1,227 @@
+//! Baseline benchmark of the batched CiM inference engine.
+//!
+//! Measures samples/sec through a deployed model on three configurations
+//! and emits `BENCH_engine.json` (schema in `README.md`):
+//!
+//! * **serial** — the pre-engine baseline: one thread, cell-accurate
+//!   analog reference path (`set_fast_path(false)`);
+//! * **serial_fast_path** — one thread, the popcount fast path;
+//! * **batched** — `infer_batch` over the persistent [`WorkerPool`] at
+//!   1/2/4/8 workers, fast path on.
+//!
+//! All three produce bit-identical logits (asserted here and pinned by
+//! unit tests); the report records the wall-clock cost of that
+//! equivalence. On a single-core host the batched curve is flat and the
+//! engine speedup comes from the fast path; on multi-core hosts the
+//! worker sweep shows through on top of it.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use yoloc_bench::report::Json;
+use yoloc_bench::{fmt, fmt_x, print_table, WorkerPool};
+use yoloc_cim::MacroParams;
+use yoloc_core::pipeline::CimDeployedModel;
+use yoloc_core::strategies::{pretrain_base, TrainConfig};
+use yoloc_core::tiny_models::Family;
+use yoloc_data::classification::TransferSuite;
+
+const BATCH: usize = 16;
+const REPS: usize = 3;
+const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 2022;
+
+/// Median wall-clock seconds of `reps` runs of `f` (one untimed warm-up).
+fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+struct Measured {
+    label: &'static str,
+    workers: Option<usize>,
+    seconds: f64,
+}
+
+impl Measured {
+    fn samples_per_sec(&self) -> f64 {
+        BATCH as f64 / self.seconds
+    }
+
+    fn json(&self) -> Json {
+        let mut fields = vec![("path", Json::str(self.label))];
+        if let Some(w) = self.workers {
+            fields.push(("workers", Json::Num(w as f64)));
+        }
+        fields.push(("seconds", Json::Num(self.seconds)));
+        fields.push(("samples_per_sec", Json::Num(self.samples_per_sec())));
+        Json::obj(fields)
+    }
+}
+
+fn measure_model(
+    family: Family,
+    channels: &[usize],
+    name: &str,
+    seed: u64,
+) -> (Json, Vec<Vec<String>>) {
+    let suite = TransferSuite::new(seed);
+    println!("[{name}] training at smoke scale ...");
+    let model = pretrain_base(
+        family,
+        channels,
+        &suite.pretrain,
+        TrainConfig::smoke(),
+        seed,
+    );
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let (cal, _) = suite.pretrain.batch(8, &mut rng);
+    let mut deployed = CimDeployedModel::deploy(
+        &model,
+        &cal,
+        MacroParams::rom_paper(),
+        MacroParams::sram_paper(),
+    );
+    let (x, _) = suite.pretrain.batch(BATCH, &mut rng);
+
+    println!("[{name}] measuring serial analog-reference path ...");
+    deployed.set_fast_path(false);
+    let serial_logits = deployed.infer(&x, &mut rng).0;
+    let serial = Measured {
+        label: "analog-reference",
+        workers: None,
+        seconds: median_secs(REPS, || {
+            std::hint::black_box(deployed.infer(&x, &mut rng));
+        }),
+    };
+
+    println!("[{name}] measuring serial popcount fast path ...");
+    deployed.set_fast_path(true);
+    let fast_logits = deployed.infer(&x, &mut rng).0;
+    assert_eq!(
+        serial_logits.data(),
+        fast_logits.data(),
+        "fast path must be bit-identical to the analog reference"
+    );
+    let serial_fast = Measured {
+        label: "popcount",
+        workers: None,
+        seconds: median_secs(REPS, || {
+            std::hint::black_box(deployed.infer(&x, &mut rng));
+        }),
+    };
+
+    let deployed = &deployed; // shared borrow for the pool jobs
+    let batched: Vec<Measured> = WORKER_SWEEP
+        .iter()
+        .map(|&workers| {
+            println!("[{name}] measuring batched engine at {workers} worker(s) ...");
+            WorkerPool::with(workers, |pool| {
+                let batched_logits = deployed.infer_batch(&x, SEED, pool).0;
+                assert_eq!(
+                    fast_logits.data(),
+                    batched_logits.data(),
+                    "batched logits must be bit-identical to serial"
+                );
+                Measured {
+                    label: "popcount",
+                    workers: Some(workers),
+                    seconds: median_secs(REPS, || {
+                        std::hint::black_box(deployed.infer_batch(&x, SEED, pool));
+                    }),
+                }
+            })
+        })
+        .collect();
+
+    let w4 = batched
+        .iter()
+        .find(|m| m.workers == Some(4))
+        .expect("worker sweep includes 4");
+    let speedup_w4 = w4.samples_per_sec() / serial.samples_per_sec();
+
+    let mut rows = Vec::new();
+    for m in std::iter::once(&serial)
+        .chain(std::iter::once(&serial_fast))
+        .chain(batched.iter())
+    {
+        rows.push(vec![
+            name.to_string(),
+            match m.workers {
+                None => format!("serial ({})", m.label),
+                Some(w) => format!("batched x{w}"),
+            },
+            fmt(m.seconds * 1e3, 1),
+            fmt(m.samples_per_sec(), 1),
+            fmt_x(m.samples_per_sec() / serial.samples_per_sec()),
+        ]);
+    }
+
+    let json = Json::obj([
+        ("model", Json::str(name)),
+        ("samples", Json::Num(BATCH as f64)),
+        ("serial", serial.json()),
+        ("serial_fast_path", serial_fast.json()),
+        (
+            "batched",
+            Json::Arr(batched.iter().map(Measured::json).collect()),
+        ),
+        ("bit_identical", Json::Bool(true)),
+        ("speedup_batched4_vs_serial", Json::Num(speedup_w4)),
+    ]);
+    (json, rows)
+}
+
+fn main() {
+    let host = std::thread::available_parallelism().map_or(1, |v| v.get());
+    let mut workloads = Vec::new();
+    let mut rows = Vec::new();
+    for (family, channels, name) in [
+        (Family::Vgg, &[8usize, 10][..], "vgg-style-8-10"),
+        (Family::ResNet, &[8usize, 10][..], "resnet-style-8-10"),
+    ] {
+        let (json, model_rows) = measure_model(family, channels, name, SEED);
+        workloads.push(json);
+        rows.extend(model_rows);
+    }
+    print_table(
+        "Batched CiM inference engine (model-zoo workload)",
+        &[
+            "Model",
+            "Configuration",
+            "Batch time (ms)",
+            "Samples/sec",
+            "vs serial",
+        ],
+        &rows,
+    );
+
+    let doc = Json::obj([
+        ("schema", Json::str("yoloc-bench-engine/1")),
+        ("host_parallelism", Json::Num(host as f64)),
+        ("batch", Json::Num(BATCH as f64)),
+        ("reps", Json::Num(REPS as f64)),
+        (
+            "worker_sweep",
+            Json::Arr(WORKER_SWEEP.iter().map(|&w| Json::Num(w as f64)).collect()),
+        ),
+        ("workloads", Json::Arr(workloads)),
+    ]);
+    std::fs::write("BENCH_engine.json", doc.render()).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json (schema yoloc-bench-engine/1, see README.md)");
+    println!(
+        "note: 'serial' is the pre-engine baseline (one thread, cell-accurate \
+         analog path); the batched rows add the popcount fast path and the \
+         worker pool on top — all three emit bit-identical logits."
+    );
+}

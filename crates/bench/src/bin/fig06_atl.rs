@@ -4,7 +4,7 @@
 //! Reproduces the ordering "all layers trainable > shallow-frozen >
 //! deep-frozen > classifier-only", i.e. transferability decays with depth.
 
-use yoloc_bench::{pct, print_table};
+use yoloc_bench::{pct, print_table, run_parallel};
 use yoloc_core::strategies::{evaluate_strategy, pretrain_base, Strategy, TrainConfig};
 use yoloc_core::tiny_models::{default_channels, Family};
 use yoloc_data::classification::TransferSuite;
@@ -24,19 +24,32 @@ fn main() {
     let n_blocks = channels.len();
     let cfg = TrainConfig::transfer();
 
-    for target in [&suite.cifar10_like, &suite.caltech_like] {
+    // The whole frozen-depth x target sweep fans out in one go; each
+    // (target, depth) cell trains independently on a fixed seed.
+    let base_ref = &base;
+    let targets = [&suite.cifar10_like, &suite.caltech_like];
+    let jobs: Vec<_> = targets
+        .iter()
+        .flat_map(|&target| {
+            (0..=n_blocks).map(move |frozen| {
+                let strategy = if frozen == n_blocks {
+                    Strategy::AllRom
+                } else if frozen == 0 {
+                    Strategy::AllSram
+                } else {
+                    Strategy::Atl {
+                        trainable_tail: n_blocks - frozen,
+                    }
+                };
+                move || evaluate_strategy(base_ref, target, strategy, cfg, seed + frozen as u64)
+            })
+        })
+        .collect();
+    let results = run_parallel(jobs);
+    for (ti, target) in targets.iter().enumerate() {
         let mut rows = Vec::new();
         for frozen in 0..=n_blocks {
-            let strategy = if frozen == n_blocks {
-                Strategy::AllRom
-            } else if frozen == 0 {
-                Strategy::AllSram
-            } else {
-                Strategy::Atl {
-                    trainable_tail: n_blocks - frozen,
-                }
-            };
-            let r = evaluate_strategy(&base, target, strategy, cfg, seed + frozen as u64);
+            let r = &results[ti * (n_blocks + 1) + frozen];
             rows.push(vec![
                 frozen.to_string(),
                 r.strategy.clone(),

@@ -37,8 +37,8 @@ fn main() {
             TrainConfig::pretrain(),
             seed,
         );
-        // Fig. 10(b): accuracy per target per strategy, evaluated on all
-        // cores in parallel (results are deterministic per (strategy,
+        // Fig. 10(b): accuracy per target per strategy, fanned across the
+        // persistent worker pool (results are deterministic per (strategy,
         // target) seed regardless of scheduling).
         let base_ref = &base;
         let jobs: Vec<_> = strategies

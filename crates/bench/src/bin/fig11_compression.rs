@@ -5,7 +5,7 @@
 //! (b) accuracy vs the split of a fixed 16x budget between compression D
 //!     and decompression U (1-16, 2-8, 4-4, 8-2, 16-1).
 
-use yoloc_bench::{fmt, pct, print_table};
+use yoloc_bench::{default_workers, fmt, pct, print_table, WorkerPool};
 use yoloc_core::rebranch::ReBranchRatios;
 use yoloc_core::strategies::{evaluate_strategy, pretrain_base, Strategy, TrainConfig};
 use yoloc_core::tiny_models::{default_channels, Family};
@@ -26,16 +26,47 @@ fn main() {
             seed,
         );
 
+        // Both sweeps fan out over one persistent pool per family; every
+        // (D, U) cell is an independent transfer run on a fixed seed.
+        let base_ref = &base;
+        let du_a = [(2usize, 2usize), (4, 4), (8, 8)];
+        let du_b = [(1usize, 16usize), (2, 8), (4, 4), (8, 2), (16, 1)];
+        let workers = default_workers();
+        let (res_a, res_b) = WorkerPool::with(workers, |pool| {
+            let jobs_a: Vec<_> = du_a
+                .iter()
+                .map(|&(d, u)| {
+                    move || {
+                        evaluate_strategy(
+                            base_ref,
+                            target,
+                            Strategy::ReBranch(ReBranchRatios { d, u }),
+                            TrainConfig::transfer(),
+                            seed + (d * 10 + u) as u64,
+                        )
+                    }
+                })
+                .collect();
+            let jobs_b: Vec<_> = du_b
+                .iter()
+                .map(|&(d, u)| {
+                    move || {
+                        evaluate_strategy(
+                            base_ref,
+                            target,
+                            Strategy::ReBranch(ReBranchRatios { d, u }),
+                            TrainConfig::transfer(),
+                            seed + (d * 100 + u) as u64,
+                        )
+                    }
+                })
+                .collect();
+            (pool.run(jobs_a), pool.run(jobs_b))
+        });
+
         // (a) D*U sweep with D == U.
         let mut rows = Vec::new();
-        for (d, u) in [(2usize, 2usize), (4, 4), (8, 8)] {
-            let r = evaluate_strategy(
-                &base,
-                target,
-                Strategy::ReBranch(ReBranchRatios { d, u }),
-                TrainConfig::transfer(),
-                seed + (d * 10 + u) as u64,
-            );
+        for ((d, u), r) in du_a.into_iter().zip(&res_a) {
             rows.push(vec![
                 format!("{}", d * u),
                 format!("{d}-{u}"),
@@ -60,14 +91,7 @@ fn main() {
 
         // (b) split sweep at fixed D*U = 16.
         let mut rows = Vec::new();
-        for (d, u) in [(1usize, 16usize), (2, 8), (4, 4), (8, 2), (16, 1)] {
-            let r = evaluate_strategy(
-                &base,
-                target,
-                Strategy::ReBranch(ReBranchRatios { d, u }),
-                TrainConfig::transfer(),
-                seed + (d * 100 + u) as u64,
-            );
+        for ((d, u), r) in du_b.into_iter().zip(&res_b) {
             rows.push(vec![format!("{d}-{u}"), pct(r.accuracy as f64)]);
         }
         print_table(

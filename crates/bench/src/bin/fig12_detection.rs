@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use yoloc_bench::{fmt, pct, print_table};
+use yoloc_bench::{fmt, pct, print_table, run_parallel};
 use yoloc_core::detector::{
     eval_map, pretrain_detector, train_detector, DetectionSuite, DetectorStrategy,
 };
@@ -40,29 +40,44 @@ fn main() {
         ("Tiny-YOLO (smaller backbone, all trainable)", None),
     ];
 
+    // Every (strategy, target) cell is an independent transfer run on its
+    // own seed; fan the grid out in one go.
+    let base_ref = &base;
+    let maps = {
+        let jobs: Vec<_> = strategies
+            .iter()
+            .flat_map(|&(_, strategy)| {
+                targets.iter().enumerate().map(move |(ti, (task, _))| {
+                    move || {
+                        let mut rng = StdRng::seed_from_u64(seed + 100 + ti as u64);
+                        match strategy {
+                            Some(s) => {
+                                let mut det = base_ref.with_strategy(s, task.classes, &mut rng);
+                                train_detector(&mut det, task, 550, 16, 0.05, &mut rng);
+                                eval_map(&mut det, task, 60, &mut rng)
+                            }
+                            None => {
+                                // Tiny-YOLO: smaller backbone from scratch.
+                                let mut det = yoloc_core::detector::TinyYoloDetector::new(
+                                    &[8, 12, 16],
+                                    task.classes,
+                                    &mut rng,
+                                );
+                                train_detector(&mut det, task, 550, 16, 0.05, &mut rng);
+                                eval_map(&mut det, task, 60, &mut rng)
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        run_parallel(jobs)
+    };
     let mut rows = Vec::new();
-    for (label, strategy) in strategies {
+    for (si, (label, _)) in strategies.iter().enumerate() {
         let mut row = vec![label.to_string()];
-        for (ti, (task, _)) in targets.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(seed + 100 + ti as u64);
-            let map = match strategy {
-                Some(s) => {
-                    let mut det = base.with_strategy(s, task.classes, &mut rng);
-                    train_detector(&mut det, task, 550, 16, 0.05, &mut rng);
-                    eval_map(&mut det, task, 60, &mut rng)
-                }
-                None => {
-                    // Tiny-YOLO: smaller backbone trained from scratch.
-                    let mut det = yoloc_core::detector::TinyYoloDetector::new(
-                        &[8, 12, 16],
-                        task.classes,
-                        &mut rng,
-                    );
-                    train_detector(&mut det, task, 550, 16, 0.05, &mut rng);
-                    eval_map(&mut det, task, 60, &mut rng)
-                }
-            };
-            row.push(pct(map as f64));
+        for ti in 0..targets.len() {
+            row.push(pct(maps[si * targets.len() + ti] as f64));
         }
         rows.push(row);
     }

@@ -1,5 +1,5 @@
 //! Extension experiment (paper §3.3): on-chip training overhead of
-//! adapting a deployed model — full SRAM-CiM training [8] vs ReBranch-only
+//! adapting a deployed model — full SRAM-CiM training \[8\] vs ReBranch-only
 //! vs head-only updates.
 
 use yoloc_bench::{fmt, fmt_x, print_table};

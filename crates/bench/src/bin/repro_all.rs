@@ -45,4 +45,8 @@ fn main() {
          fig11_compression\n  cargo run --release -p yoloc-bench --bin \
          fig12_detection\n  cargo run --release -p yoloc-bench --bin accuracy_on_cim"
     );
+    println!(
+        "\nEngine baseline (writes BENCH_engine.json):\n  cargo run --release -p \
+         yoloc-bench --bin bench_engine"
+    );
 }

@@ -17,46 +17,37 @@
 //!
 //! Run e.g. `cargo run --release -p yoloc-bench --bin fig14_system`.
 //! Criterion micro-benchmarks of the underlying kernels live under
-//! `benches/`.
+//! `benches/`. The `bench_engine` binary measures the batched inference
+//! engine itself and emits the `BENCH_engine.json` baseline (schema
+//! documented in the repository `README.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
+pub use yoloc_core::engine::WorkerPool;
+
 /// Runs independent jobs on worker threads (one per available core, at
-/// most `jobs.len()`), preserving input order in the output. Used by the
-/// training-heavy figure binaries to sweep strategies in parallel.
+/// most `jobs.len()`), preserving input order in the output.
+///
+/// Convenience wrapper over the shared [`WorkerPool`]: one pool is opened
+/// for the call and torn down after. Binaries that dispatch repeatedly
+/// should hold a pool open with [`WorkerPool::with`] instead and call
+/// [`WorkerPool::run`] on it directly.
 pub fn run_parallel<T, F>(jobs: Vec<F>) -> Vec<T>
 where
     T: Send,
     F: FnOnce() -> T + Send,
 {
-    let n = jobs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(4)
-        .min(n);
-    let queue: std::sync::Mutex<Vec<(usize, F)>> =
-        std::sync::Mutex::new(jobs.into_iter().enumerate().collect());
-    let results: Vec<std::sync::Mutex<Option<T>>> =
-        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let next = queue.lock().expect("queue lock").pop();
-                match next {
-                    Some((i, job)) => *results[i].lock().expect("result lock") = Some(job()),
-                    None => break,
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("result lock").expect("job completed"))
-        .collect()
+    let workers = default_workers().min(jobs.len().max(1));
+    WorkerPool::with(workers, |pool| pool.run(jobs))
+}
+
+/// The worker count the bench binaries open their pools with: one lane
+/// per available core (falling back to 4 when the count is unknown).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |v| v.get())
 }
 
 /// Prints a GitHub-markdown table to stdout.

@@ -1,0 +1,166 @@
+//! Minimal JSON emission for machine-readable benchmark baselines.
+//!
+//! The offline `serde` shim (see `shims/serde`) provides marker traits
+//! only — nothing serializes — so benchmark reports are built explicitly
+//! as a [`Json`] tree and rendered with a deterministic field order. That
+//! keeps `BENCH_engine.json` diffable across runs and builds.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object fields keep insertion order so rendered reports
+/// are stable byte-for-byte for identical measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (rendered via `f64`; NaN/inf render as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object literal.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Renders with 2-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(v) => {
+                if v.is_finite() {
+                    // Integral values render without a fraction.
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        let _ = write!(out, "{}", *v as i64);
+                    } else {
+                        let _ = write!(out, "{v}");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes `s` as a quoted JSON string with the mandatory escapes (used
+/// for both string values and object keys).
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let doc = Json::obj([
+            ("name", Json::str("engine")),
+            ("ok", Json::Bool(true)),
+            ("samples", Json::Num(16.0)),
+            ("rate", Json::Num(2.5)),
+            ("runs", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+            ("empty", Json::Arr(vec![])),
+        ]);
+        let text = doc.render();
+        assert!(text.contains("\"name\": \"engine\""));
+        assert!(text.contains("\"samples\": 16,"));
+        assert!(text.contains("\"rate\": 2.5,"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::str("a\"b\\c\nd").render();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"\n");
+    }
+
+    #[test]
+    fn object_keys_are_escaped() {
+        let doc = Json::Obj(vec![("a\"b".to_string(), Json::Null)]);
+        assert_eq!(doc.render(), "{\n  \"a\\\"b\": null\n}\n");
+    }
+
+    #[test]
+    fn non_finite_numbers_render_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+    }
+}

@@ -16,7 +16,7 @@ pub enum CellKind {
     Rom1T,
     /// Compact-rule 6T SRAM (density reference, not compute-capable).
     Sram6TCompact,
-    /// 6T SRAM-CiM of ISSCC'21 [3] (Fig. 4b).
+    /// 6T SRAM-CiM of ISSCC'21 \[3\] (Fig. 4b).
     Sram6TCim,
     /// 8T SRAM-CiM (Fig. 4c).
     Sram8T,

@@ -98,7 +98,7 @@ impl MacroParams {
         }
     }
 
-    /// The iso-process SRAM-CiM macro modelled on the ISSCC'21 [3] 6T
+    /// The iso-process SRAM-CiM macro modelled on the ISSCC'21 \[3\] 6T
     /// macro: same sensing datapath, 18.5x larger cells, an R/W interface
     /// (extra control area + per-bit write energy), and cell leakage.
     pub fn sram_paper() -> Self {
@@ -274,6 +274,18 @@ pub struct MvmStats {
     pub latency_ns: f64,
 }
 
+/// Precomputed bit-plane popcount table for one programmed subarray.
+///
+/// `masks[group * cols + col]` packs the strapped (`'1'`) rows of one
+/// activation group of column `col` into a `u64`: bit `k` is set when row
+/// `group_start + k` is strapped. One analog group evaluation of a column
+/// then reduces to `sum_b 2^b * popcount(mask & pulse_plane_b)` — the
+/// discharge-count arithmetic without walking individual cells.
+#[derive(Debug, Clone)]
+struct PopcountTile {
+    masks: Vec<u64>,
+}
+
 /// A quantized weight matrix programmed into ROM-CiM subarrays, executing
 /// MVMs through the analog datapath.
 ///
@@ -281,10 +293,30 @@ pub struct MvmStats {
 /// dimension maps to word lines (tiled by `rows`), and each output occupies
 /// `weight_bits` adjacent bit lines (one per bit-plane), tiled across
 /// subarrays of `cols` bit lines.
+///
+/// # Execution paths
+///
+/// [`RomMvm::mvm`] dispatches between two implementations that are
+/// bit-identical whenever both are applicable (asserted by tests):
+///
+/// * the **analog reference path** ([`RomMvm::mvm_analog`]) walks every
+///   cell through [`AnalogArray::evaluate`], modelling precharge, pulse
+///   trains, noise injection and per-group ADC digitization explicitly;
+/// * the **popcount fast path** uses the per-subarray popcount tables built at
+///   [`RomMvm::program`] time to compute each group's discharge count with
+///   two `AND`+`popcount` operations per column instead of a per-cell
+///   loop, then applies the *same* ADC transfer function. It is used when
+///   the macro is noiseless (`noise_sigma == 0`, so no RNG stream is
+///   consumed) and `rows_per_activation` fits a 64-bit mask; it can be
+///   disabled with [`RomMvm::set_fast_path`] to force the reference path.
 pub struct RomMvm {
     params: MacroParams,
     /// `tiles[row_tile][col_tile]` of programmed subarrays.
     tiles: Vec<Vec<AnalogArray>>,
+    /// Popcount tables parallel to `tiles`; `None` when
+    /// `rows_per_activation` exceeds the 64-bit mask width.
+    popcount_tiles: Option<Vec<Vec<PopcountTile>>>,
+    fast_path_enabled: bool,
     ins: usize,
     outs: usize,
     outs_per_array: usize,
@@ -304,9 +336,14 @@ impl RomMvm {
         let row_tiles = ins.div_ceil(params.rows);
         let col_tiles = outs.div_ceil(outs_per_array);
         let cfg = params.analog_config();
+        let rpa = params.rows_per_activation;
+        let groups = params.rows.div_ceil(rpa);
+        let build_popcount = rpa <= 64;
         let mut tiles = Vec::with_capacity(row_tiles);
+        let mut popcount_tiles = build_popcount.then(|| Vec::with_capacity(row_tiles));
         for rt in 0..row_tiles {
             let mut row = Vec::with_capacity(col_tiles);
+            let mut popcount_row = build_popcount.then(|| Vec::with_capacity(col_tiles));
             for ct in 0..col_tiles {
                 // Build the bit matrix for this subarray.
                 let mut bits = vec![false; params.rows * params.cols];
@@ -328,17 +365,47 @@ impl RomMvm {
                         }
                     }
                 }
+                if let Some(pr) = popcount_row.as_mut() {
+                    let mut masks = vec![0u64; groups * params.cols];
+                    for r in 0..params.rows {
+                        for c in 0..params.cols {
+                            if bits[r * params.cols + c] {
+                                masks[(r / rpa) * params.cols + c] |= 1u64 << (r % rpa);
+                            }
+                        }
+                    }
+                    pr.push(PopcountTile { masks });
+                }
                 row.push(AnalogArray::from_bits(cfg, &bits));
             }
             tiles.push(row);
+            if let (Some(pt), Some(pr)) = (popcount_tiles.as_mut(), popcount_row) {
+                pt.push(pr);
+            }
         }
         RomMvm {
             params,
             tiles,
+            popcount_tiles,
+            fast_path_enabled: true,
             ins,
             outs,
             outs_per_array,
         }
+    }
+
+    /// Enables or disables the popcount fast path (see the type docs).
+    /// Disabling it forces every [`RomMvm::mvm`] through the cell-accurate
+    /// analog reference path — useful for baselining and for verifying the
+    /// two paths agree.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.fast_path_enabled = enabled;
+    }
+
+    /// Whether [`RomMvm::mvm`] will take the popcount fast path: enabled,
+    /// noiseless, and `rows_per_activation` fits the 64-bit group masks.
+    pub fn fast_path_active(&self) -> bool {
+        self.fast_path_enabled && self.params.noise_sigma == 0.0 && self.popcount_tiles.is_some()
     }
 
     /// Logical dimensions `(outs, ins)`.
@@ -372,10 +439,125 @@ impl RomMvm {
     /// Executes `y = W x` on unsigned activation codes (`0..2^act_bits`),
     /// returning the integer results and execution statistics.
     ///
+    /// Dispatches to the popcount fast path when
+    /// [`RomMvm::fast_path_active`] (the RNG is then untouched — a
+    /// noiseless datapath consumes no randomness on either path), and to
+    /// the analog reference path otherwise. Both paths produce identical
+    /// results and statistics whenever both apply.
+    ///
     /// # Panics
     ///
     /// Panics if `acts.len() != ins` or any code is out of range.
     pub fn mvm<R: Rng + ?Sized>(&self, acts: &[i32], rng: &mut R) -> (Vec<i64>, MvmStats) {
+        if self.fast_path_active() {
+            self.mvm_fast(acts)
+        } else {
+            self.mvm_analog(acts, rng)
+        }
+    }
+
+    /// Executes `y = W x` on the popcount fast path: per activation group,
+    /// the discharge count of every column comes from `AND`+`popcount`
+    /// against the tables precomputed in [`RomMvm::program`], followed by
+    /// the same per-group ADC transfer and shift-&-add recombination as
+    /// the analog path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts.len() != ins`, any code is out of range, or the
+    /// fast path is unavailable (`rows_per_activation > 64`).
+    fn mvm_fast(&self, acts: &[i32]) -> (Vec<i64>, MvmStats) {
+        assert_eq!(acts.len(), self.ins, "activation length mismatch");
+        let p = &self.params;
+        let popcount_tiles = self
+            .popcount_tiles
+            .as_ref()
+            .expect("fast path requires popcount tables");
+        let chunks = unsigned_chunks(acts, p.act_bits, p.chunk_bits);
+        let wb = p.weight_bits as usize;
+        let rpa = p.rows_per_activation;
+        let n_groups = p.rows.div_ceil(rpa);
+        let n_planes = p.chunk_bits as usize;
+        let adc = p.analog_config().adc;
+        let mut out = vec![0i64; self.outs];
+        let mut stats = MvmStats::default();
+        let mut plane_masks = vec![0u64; n_groups * n_planes];
+        for (rt, tile_row) in popcount_tiles.iter().enumerate() {
+            let row_lo = rt * p.rows;
+            let row_hi = ((rt + 1) * p.rows).min(self.ins);
+            for (c_idx, chunk) in chunks.iter().enumerate() {
+                // Decompose this row tile's pulse vector into per-group
+                // pulse bit-plane masks (bit k of plane b = bit b of the
+                // pulse count on row `group_start + k`).
+                plane_masks.fill(0);
+                let mut total_pulses = 0u64;
+                for (r, &pulse) in chunk[row_lo..row_hi].iter().enumerate() {
+                    total_pulses += pulse as u64;
+                    for (b, plane) in plane_masks
+                        [(r / rpa) * n_planes..(r / rpa) * n_planes + n_planes]
+                        .iter_mut()
+                        .enumerate()
+                    {
+                        if (pulse >> b) & 1 == 1 {
+                            *plane |= 1u64 << (r % rpa);
+                        }
+                    }
+                }
+                if total_pulses == 0 {
+                    continue;
+                }
+                // Active groups match the analog path's silent-group skip.
+                let active: Vec<usize> = (0..n_groups)
+                    .filter(|g| {
+                        plane_masks[g * n_planes..(g + 1) * n_planes]
+                            .iter()
+                            .any(|&m| m != 0)
+                    })
+                    .collect();
+                let evals = active.len();
+                let act_weight = 1i64 << (c_idx as u8 * p.chunk_bits);
+                for (ct, tile) in tile_row.iter().enumerate() {
+                    stats.analog_evaluations += evals as u64;
+                    stats.adc_conversions += (evals * p.cols) as u64;
+                    stats.wl_pulses += total_pulses;
+                    for o in 0..self.outs_per_array {
+                        let out_idx = ct * self.outs_per_array + o;
+                        if out_idx >= self.outs {
+                            break;
+                        }
+                        for j in 0..wb {
+                            let col = o * wb + j;
+                            let mut col_total = 0i64;
+                            for &g in &active {
+                                let col_mask = tile.masks[g * p.cols + col];
+                                let count: u32 = plane_masks[g * n_planes..(g + 1) * n_planes]
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(b, &m)| (1u32 << b) * (col_mask & m).count_ones())
+                                    .sum();
+                                col_total += adc.digitize(count as f32);
+                            }
+                            out[out_idx] +=
+                                act_weight * signed_plane_weight(j, p.weight_bits) * col_total;
+                        }
+                    }
+                }
+            }
+        }
+        self.finish_stats(&mut stats);
+        (out, stats)
+    }
+
+    /// Executes `y = W x` through the cell-accurate analog reference path:
+    /// every group evaluation walks the subarray cells, injects bit-line
+    /// noise when configured, and digitizes through the column ADC model.
+    /// This is the pre-engine implementation, kept as the golden reference
+    /// for the fast path and as the only path that models noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts.len() != ins` or any code is out of range.
+    pub fn mvm_analog<R: Rng + ?Sized>(&self, acts: &[i32], rng: &mut R) -> (Vec<i64>, MvmStats) {
         assert_eq!(acts.len(), self.ins, "activation length mismatch");
         let p = &self.params;
         let chunks = unsigned_chunks(acts, p.act_bits, p.chunk_bits);
@@ -413,23 +595,30 @@ impl RomMvm {
                 }
             }
         }
-        // Energy: one e_adc per column conversion, e_wl per actual pulse,
-        // per-evaluation bit-line precharge, and shift-&-add/control
-        // overhead per active subarray.
+        self.finish_stats(&mut stats);
+        (out, stats)
+    }
+
+    /// Fills in the derived energy and latency fields from the event
+    /// counters, identically for both execution paths.
+    ///
+    /// Energy: one `e_adc` per column conversion, `e_wl` per actual pulse,
+    /// per-evaluation bit-line precharge, and shift-&-add/control overhead
+    /// per active subarray. Latency: one analog evaluation takes
+    /// `t_inference / (chunks x groups)` — a full 8-bit MAC over `rows`
+    /// inputs takes `t_inference_ns`; column tiles run in parallel on
+    /// distinct subarrays, so divide by the column-tile count.
+    fn finish_stats(&self, stats: &mut MvmStats) {
+        let p = &self.params;
         stats.energy_pj = stats.adc_conversions as f64 * p.e_adc_pj
             + stats.wl_pulses as f64 * p.e_wl_pulse_pj
             + stats.analog_evaluations as f64 * p.cols as f64 * p.e_precharge_pj
             + self.subarrays_used() as f64 * p.e_shift_add_pj;
-        // Latency: one analog evaluation takes t_inference / (chunks x
-        // groups) — a full 8-bit MAC over `rows` inputs takes
-        // t_inference_ns. Column tiles run in parallel on distinct
-        // subarrays, so divide by the column-tile count.
         let groups_per_tile = p.rows.div_ceil(p.rows_per_activation) as f64;
         let chunk_count = p.act_bits.div_ceil(p.chunk_bits) as f64;
         let t_eval = p.t_inference_ns / (chunk_count * groups_per_tile);
         stats.latency_ns = stats.analog_evaluations as f64 * t_eval
             / self.tiles.first().map_or(1.0, |r| r.len() as f64).max(1.0);
-        (out, stats)
     }
 }
 
@@ -634,14 +823,98 @@ mod tests {
                 (0..outs * ins).map(|_| rng.gen_range(-128i32..=127)).collect();
             let acts: Vec<i32> = (0..ins).map(|_| rng.gen_range(0i32..=255)).collect();
             let engine = RomMvm::program(params, &codes, outs, ins);
+            prop_assert!(engine.fast_path_active());
             let (y, stats) = engine.mvm(&acts, &mut rng);
-            prop_assert_eq!(y, reference_mvm(&codes, outs, ins, &acts));
+            prop_assert_eq!(&y, &reference_mvm(&codes, outs, ins, &acts));
+            // The popcount fast path must be indistinguishable from the
+            // cell-accurate analog reference path: same outputs, same
+            // event counters, same derived energy/latency.
+            let (y_analog, stats_analog) = engine.mvm_analog(&acts, &mut rng);
+            prop_assert_eq!(y, y_analog);
+            prop_assert_eq!(stats, stats_analog);
             // Sparsity accounting must stay consistent: evaluations only
             // happen when some pulse fired.
             if acts.iter().all(|&a| a == 0) {
                 prop_assert_eq!(stats.analog_evaluations, 0);
             }
         }
+    }
+
+    #[test]
+    fn fast_path_matches_analog_under_adc_quantization() {
+        // Overdrive the rows so the 5-bit ADC actually quantizes: the two
+        // paths must still agree bit-for-bit because they share the ADC
+        // transfer function, not just the ideal arithmetic.
+        let mut params = MacroParams::rom_paper();
+        params.rows_per_activation = 32; // full scale 96 >> 31 levels
+        let (outs, ins) = (6, 300); // multiple row and column tiles
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 41) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 23) % 256) as i32).collect();
+        let engine = RomMvm::program(params, &codes, outs, ins);
+        assert!(engine.fast_path_active());
+        let mut rng = StdRng::seed_from_u64(11);
+        let (y_fast, s_fast) = engine.mvm(&acts, &mut rng);
+        let (y_analog, s_analog) = engine.mvm_analog(&acts, &mut rng);
+        assert_eq!(y_fast, y_analog);
+        assert_eq!(s_fast, s_analog);
+    }
+
+    #[test]
+    fn set_fast_path_forces_reference_path_with_same_results() {
+        let mut params = MacroParams::rom_paper();
+        params.adc_bits = 16;
+        let (outs, ins) = (4, 200);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 19) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 7) % 256) as i32).collect();
+        let mut engine = RomMvm::program(params, &codes, outs, ins);
+        let mut rng = StdRng::seed_from_u64(12);
+        let (y_fast, _) = engine.mvm(&acts, &mut rng);
+        engine.set_fast_path(false);
+        assert!(!engine.fast_path_active());
+        let (y_ref, _) = engine.mvm(&acts, &mut rng);
+        assert_eq!(y_fast, y_ref);
+        assert_eq!(y_ref, reference_mvm(&codes, outs, ins, &acts));
+    }
+
+    #[test]
+    fn fast_path_unavailable_beyond_mask_width() {
+        // rows_per_activation > 64 cannot pack a group into a u64 mask;
+        // mvm must fall back to the analog path and stay correct.
+        let mut params = MacroParams::rom_paper();
+        params.adc_bits = 16;
+        params.rows_per_activation = 100;
+        let (outs, ins) = (3, 128);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 3) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 5) % 256) as i32).collect();
+        let engine = RomMvm::program(params, &codes, outs, ins);
+        assert!(!engine.fast_path_active());
+        let mut rng = StdRng::seed_from_u64(13);
+        let (y, _) = engine.mvm(&acts, &mut rng);
+        assert_eq!(y, reference_mvm(&codes, outs, ins, &acts));
+    }
+
+    #[test]
+    fn noise_disables_fast_path_and_consumes_rng() {
+        let mut params = MacroParams::rom_paper();
+        params.noise_sigma = 0.4;
+        let engine = RomMvm::program(params, &vec![5i32; 64 * 4], 4, 64);
+        assert!(!engine.fast_path_active());
+        let acts = vec![100i32; 64];
+        let mut rng_a = StdRng::seed_from_u64(14);
+        let mut rng_b = StdRng::seed_from_u64(14);
+        let (y_a, _) = engine.mvm(&acts, &mut rng_a);
+        let (y_b, _) = engine.mvm(&acts, &mut rng_b);
+        assert_eq!(y_a, y_b, "same seed, same noisy readout");
+        // The RNG stream advanced (noise was drawn), so a second call on
+        // the same generator differs with overwhelming probability.
+        let (y_c, _) = engine.mvm(&acts, &mut rng_a);
+        assert_ne!(y_a, y_c, "noise stream should advance the RNG");
     }
 
     #[test]

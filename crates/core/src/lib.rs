@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod detector;
+pub mod engine;
 pub mod mapping;
 pub mod pipeline;
 pub mod qconv;
@@ -22,6 +23,7 @@ pub mod training_cost;
 pub use detector::{
     eval_map, pretrain_detector, train_detector, DetectionSuite, DetectorStrategy, TinyYoloDetector,
 };
+pub use engine::WorkerPool;
 pub use mapping::{map_network, LayerPlacement, NetworkMapping};
 pub use rebranch::{ReBranchConv, ReBranchRatios};
 pub use strategies::{evaluate_strategy, pretrain_base, Strategy, StrategyResult, TrainConfig};

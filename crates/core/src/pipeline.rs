@@ -10,9 +10,22 @@
 //! floating-point software model — the executable form of the paper's
 //! "almost no accuracy loss (-0.5% ~ +0.2%)" claim, with per-domain
 //! energy accounting on the side.
+//!
+//! # Serial vs batched inference
+//!
+//! [`CimDeployedModel::infer`] walks the deployed layer list once for a
+//! whole `(N, C, H, W)` batch on the calling thread.
+//! [`CimDeployedModel::infer_batch`] fans the `N` samples across a
+//! persistent [`WorkerPool`], giving each sample its own deterministic RNG
+//! stream (derived from a base seed and the sample index by
+//! [`sample_stream_seed`]), so its output is bit-identical across worker
+//! counts — and, on the default noiseless datapath, bit-identical to the
+//! serial path (tests pin both properties).
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
+use crate::engine::WorkerPool;
 use crate::qconv::CimConv2d;
 use crate::tiny_models::{ConvUnit, TinyCnn};
 use yoloc_cim::macro_model::{MacroParams, MvmStats, RomMvm};
@@ -59,10 +72,32 @@ impl DeployStats {
         accumulate(&mut self.sram, s);
     }
 
+    /// Accumulates another execution's statistics into this one (used to
+    /// reduce per-sample stats from the batched engine).
+    pub fn merge(&mut self, other: &DeployStats) {
+        accumulate(&mut self.rom, other.rom);
+        accumulate(&mut self.sram, other.sram);
+    }
+
     /// Total energy across both domains, pJ.
     pub fn total_energy_pj(&self) -> f64 {
         self.rom.energy_pj + self.sram.energy_pj
     }
+}
+
+/// Derives the deterministic RNG stream seed for sample `index` of a
+/// batched inference with base seed `seed`.
+///
+/// The index is mixed through a SplitMix64-style finalizer so neighbouring
+/// samples get statistically independent streams, and the mapping is pure:
+/// the noise a sample sees depends only on `(seed, index)`, never on which
+/// worker executes it or in what order — the root of the batched engine's
+/// bit-reproducibility.
+pub fn sample_stream_seed(seed: u64, index: usize) -> u64 {
+    let mut z = (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    seed ^ z ^ (z >> 31)
 }
 
 fn accumulate(a: &mut MvmStats, b: MvmStats) {
@@ -129,6 +164,28 @@ fn gap(x: &Tensor) -> Tensor {
 impl CimDeployedModel {
     /// Compiles a trained model onto CiM macros, calibrating every
     /// layer's activation quantization on `calibration` images.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    /// use yoloc_cim::MacroParams;
+    /// use yoloc_core::pipeline::CimDeployedModel;
+    /// use yoloc_core::tiny_models::{Family, TinyCnn};
+    /// use yoloc_tensor::Tensor;
+    ///
+    /// let mut rng = StdRng::seed_from_u64(0);
+    /// let model = TinyCnn::plain(Family::Vgg, 3, &[4], 3, &mut rng);
+    /// let calibration = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+    /// let deployed = CimDeployedModel::deploy(
+    ///     &model,
+    ///     &calibration,
+    ///     MacroParams::rom_paper(),
+    ///     MacroParams::sram_paper(),
+    /// );
+    /// assert_eq!(deployed.classes(), 3);
+    /// ```
     ///
     /// # Panics
     ///
@@ -217,8 +274,57 @@ impl CimDeployedModel {
         self.classes
     }
 
+    /// Enables or disables the popcount fast path on every programmed
+    /// macro (trunk and branch convs plus the classifier); see
+    /// [`yoloc_cim::macro_model::RomMvm::set_fast_path`]. Disabled means
+    /// every MVM runs the cell-accurate analog reference path — the
+    /// pre-engine behaviour, kept as the serial baseline for benchmarks.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        for block in &mut self.blocks {
+            match &mut block.unit {
+                DeployedUnit::Plain { conv } => conv.set_fast_path(enabled),
+                DeployedUnit::ReBranch {
+                    trunk,
+                    compress,
+                    res_conv,
+                    decompress,
+                } => {
+                    trunk.set_fast_path(enabled);
+                    compress.set_fast_path(enabled);
+                    res_conv.set_fast_path(enabled);
+                    decompress.set_fast_path(enabled);
+                }
+            }
+        }
+        self.classifier.set_fast_path(enabled);
+    }
+
     /// Runs inference through the analog datapath; returns logits and the
     /// per-domain macro statistics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    /// use yoloc_cim::MacroParams;
+    /// use yoloc_core::pipeline::CimDeployedModel;
+    /// use yoloc_core::tiny_models::{Family, TinyCnn};
+    /// use yoloc_tensor::Tensor;
+    ///
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let model = TinyCnn::plain(Family::Vgg, 3, &[4], 2, &mut rng);
+    /// let x = Tensor::rand_uniform(&[1, 3, 8, 8], 0.0, 1.0, &mut rng);
+    /// let deployed = CimDeployedModel::deploy(
+    ///     &model,
+    ///     &x,
+    ///     MacroParams::rom_paper(),
+    ///     MacroParams::sram_paper(),
+    /// );
+    /// let (logits, stats) = deployed.infer(&x, &mut rng);
+    /// assert_eq!(logits.shape(), &[1, 2]);
+    /// assert!(stats.rom.energy_pj > 0.0);
+    /// ```
     pub fn infer<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, DeployStats) {
         let mut stats = DeployStats::default();
         let mut h = x.clone();
@@ -275,6 +381,85 @@ impl CimDeployedModel {
         }
         (logits, stats)
     }
+
+    /// Runs inference on a `(N, C, H, W)` batch by fanning the samples
+    /// across a persistent [`WorkerPool`], one deterministic RNG stream
+    /// per sample (see [`sample_stream_seed`]).
+    ///
+    /// Guarantees, both pinned by tests:
+    ///
+    /// * the logits are **bit-identical for any worker count** (sample
+    ///   `i`'s stream depends only on `(seed, i)`, and
+    ///   [`WorkerPool::run`] returns results in input order);
+    /// * on a noiseless datapath (the paper's design point) the logits
+    ///   are **bit-identical to the serial [`CimDeployedModel::infer`]**,
+    ///   which consumes no randomness there.
+    ///
+    /// Statistics event counters are exact; the floating-point energy and
+    /// latency fields can differ from the serial path only by f64
+    /// summation order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    /// use yoloc_cim::MacroParams;
+    /// use yoloc_core::engine::WorkerPool;
+    /// use yoloc_core::pipeline::CimDeployedModel;
+    /// use yoloc_core::tiny_models::{Family, TinyCnn};
+    /// use yoloc_tensor::Tensor;
+    ///
+    /// let mut rng = StdRng::seed_from_u64(2);
+    /// let model = TinyCnn::plain(Family::Vgg, 3, &[4], 2, &mut rng);
+    /// let x = Tensor::rand_uniform(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+    /// let deployed = CimDeployedModel::deploy(
+    ///     &model,
+    ///     &x,
+    ///     MacroParams::rom_paper(),
+    ///     MacroParams::sram_paper(),
+    /// );
+    /// let (serial, _) = deployed.infer(&x, &mut rng);
+    /// let (batched, _) = WorkerPool::with(2, |pool| deployed.infer_batch(&x, 7, pool));
+    /// assert_eq!(serial.data(), batched.data());
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank-4.
+    pub fn infer_batch<'env>(
+        &'env self,
+        x: &Tensor,
+        seed: u64,
+        pool: &WorkerPool<'env>,
+    ) -> (Tensor, DeployStats) {
+        assert_eq!(x.ndim(), 4, "input must be (N, C, H, W)");
+        let n = x.shape()[0];
+        let sample_shape = [1, x.shape()[1], x.shape()[2], x.shape()[3]];
+        let sample_len = x.shape()[1] * x.shape()[2] * x.shape()[3];
+        let jobs: Vec<_> = (0..n)
+            .map(|i| {
+                let sample = Tensor::from_vec(
+                    x.data()[i * sample_len..(i + 1) * sample_len].to_vec(),
+                    &sample_shape,
+                )
+                .expect("sample slice matches shape");
+                move || {
+                    let mut rng = StdRng::seed_from_u64(sample_stream_seed(seed, i));
+                    self.infer(&sample, &mut rng)
+                }
+            })
+            .collect();
+        let results = pool.run(jobs);
+        let mut logits = Tensor::zeros(&[n, self.classes]);
+        let mut stats = DeployStats::default();
+        for (i, (sample_logits, sample_stats)) in results.into_iter().enumerate() {
+            logits.data_mut()[i * self.classes..(i + 1) * self.classes]
+                .copy_from_slice(sample_logits.data());
+            stats.merge(&sample_stats);
+        }
+        (logits, stats)
+    }
 }
 
 /// Compares software vs CiM-deployed accuracy over `n` samples of `task`,
@@ -290,6 +475,28 @@ pub fn accuracy_software_vs_cim<R: Rng + ?Sized>(
     let sw_logits = model.forward(&x, false);
     let sw_acc = yoloc_tensor::loss::accuracy(&sw_logits, &y);
     let (cim_logits, stats) = deployed.infer(&x, rng);
+    let cim_acc = yoloc_tensor::loss::accuracy(&cim_logits, &y);
+    (sw_acc, cim_acc, stats)
+}
+
+/// Batched counterpart of [`accuracy_software_vs_cim`]: samples `n` images
+/// of `task` (deterministically from `seed`), evaluates the software model
+/// serially and the deployed model through
+/// [`CimDeployedModel::infer_batch`] on `pool`, returning
+/// `(software_acc, cim_acc, stats_of_one_batch)`.
+pub fn accuracy_software_vs_cim_batch<'env>(
+    model: &mut TinyCnn,
+    deployed: &'env CimDeployedModel,
+    task: &yoloc_data::classification::SyntheticTask,
+    n: usize,
+    seed: u64,
+    pool: &WorkerPool<'env>,
+) -> (f32, f32, DeployStats) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (x, y) = task.batch(n, &mut rng);
+    let sw_logits = model.forward(&x, false);
+    let sw_acc = yoloc_tensor::loss::accuracy(&sw_logits, &y);
+    let (cim_logits, stats) = deployed.infer_batch(&x, seed, pool);
     let cim_acc = yoloc_tensor::loss::accuracy(&cim_logits, &y);
     (sw_acc, cim_acc, stats)
 }
@@ -362,5 +569,108 @@ mod tests {
         // Paper: -0.5% ~ +0.2% mAP change; at smoke scale allow a few
         // percentage points either way.
         assert!((sw - cim).abs() < 0.08, "software {sw} vs CiM {cim}");
+    }
+
+    /// An untrained model deployed on a small input — enough to exercise
+    /// the full datapath without paying for training.
+    fn quick_deployment(
+        rom: MacroParams,
+        sram: MacroParams,
+        batch: usize,
+    ) -> (CimDeployedModel, Tensor) {
+        let mut rng = StdRng::seed_from_u64(20);
+        let model = TinyCnn::plain(Family::Vgg, 3, &[6, 8], 4, &mut rng);
+        let x = Tensor::rand_uniform(&[batch, 3, 12, 12], 0.0, 1.0, &mut rng);
+        let deployed = CimDeployedModel::deploy(&model, &x, rom, sram);
+        (deployed, x)
+    }
+
+    #[test]
+    fn batched_inference_bit_identical_to_serial() {
+        // The paper's noiseless design point: the serial path consumes no
+        // randomness, so batched and serial must agree bit-for-bit, for
+        // any worker count.
+        let (rom, sram) = small_params();
+        let (deployed, x) = quick_deployment(rom, sram, 6);
+        let mut rng = StdRng::seed_from_u64(21);
+        let (serial, serial_stats) = deployed.infer(&x, &mut rng);
+        for workers in [1, 2, 4] {
+            let (batched, stats) =
+                crate::engine::WorkerPool::with(workers, |pool| deployed.infer_batch(&x, 99, pool));
+            assert_eq!(
+                serial.data(),
+                batched.data(),
+                "workers = {workers}: batched logits must be bit-identical to serial"
+            );
+            // Event counters are exact; energy/latency may differ only by
+            // f64 summation order.
+            assert_eq!(
+                serial_stats.rom.analog_evaluations,
+                stats.rom.analog_evaluations
+            );
+            assert_eq!(serial_stats.rom.adc_conversions, stats.rom.adc_conversions);
+            assert_eq!(serial_stats.rom.wl_pulses, stats.rom.wl_pulses);
+            assert_eq!(
+                serial_stats.sram.adc_conversions,
+                stats.sram.adc_conversions
+            );
+            let rel = (serial_stats.total_energy_pj() - stats.total_energy_pj()).abs()
+                / serial_stats.total_energy_pj();
+            assert!(rel < 1e-9, "energy drifted: {rel}");
+        }
+    }
+
+    #[test]
+    fn noisy_batched_inference_identical_across_worker_counts() {
+        // With bit-line noise the RNG matters; per-sample streams make the
+        // batched result a pure function of (seed, sample), so worker
+        // count must not change a single bit.
+        let mut rom = MacroParams::rom_paper();
+        rom.noise_sigma = 0.3;
+        let (deployed, x) = quick_deployment(rom, MacroParams::sram_paper(), 5);
+        let (w1, _) = crate::engine::WorkerPool::with(1, |pool| deployed.infer_batch(&x, 7, pool));
+        for workers in [2, 4] {
+            let (wn, _) =
+                crate::engine::WorkerPool::with(workers, |pool| deployed.infer_batch(&x, 7, pool));
+            assert_eq!(w1.data(), wn.data(), "workers = {workers}");
+        }
+        // A different seed draws different noise.
+        let (other, _) =
+            crate::engine::WorkerPool::with(2, |pool| deployed.infer_batch(&x, 8, pool));
+        assert_ne!(w1.data(), other.data());
+    }
+
+    #[test]
+    fn fast_path_toggle_does_not_change_logits() {
+        let (rom, sram) = small_params();
+        let (mut deployed, x) = quick_deployment(rom, sram, 3);
+        let mut rng = StdRng::seed_from_u64(22);
+        let (fast, _) = deployed.infer(&x, &mut rng);
+        deployed.set_fast_path(false);
+        let (reference, _) = deployed.infer(&x, &mut rng);
+        assert_eq!(fast.data(), reference.data());
+    }
+
+    #[test]
+    fn batched_accuracy_matches_serial_evaluation() {
+        let suite = TransferSuite::new(31);
+        let mut model = pretrain_base(
+            Family::Vgg,
+            &[8, 10],
+            &suite.pretrain,
+            TrainConfig::smoke(),
+            31,
+        );
+        let mut rng = StdRng::seed_from_u64(32);
+        let (cal, _) = suite.pretrain.batch(8, &mut rng);
+        let (rom, sram) = small_params();
+        let deployed = CimDeployedModel::deploy(&model, &cal, rom, sram);
+        let model_ref = &mut model;
+        let (sw, cim, stats) = crate::engine::WorkerPool::with(2, |pool| {
+            accuracy_software_vs_cim_batch(model_ref, &deployed, &suite.pretrain, 24, 33, pool)
+        });
+        assert!((sw - cim).abs() < 0.25, "software {sw} vs CiM {cim}");
+        assert!(stats.rom.energy_pj > 0.0);
+        assert!(stats.sram.energy_pj > 0.0);
     }
 }

@@ -81,6 +81,13 @@ impl CimConv2d {
         self.engine.subarrays_used()
     }
 
+    /// Enables or disables the macro's popcount fast path (see
+    /// [`RomMvm::set_fast_path`]). Disabling it forces every forward pass
+    /// through the cell-accurate analog reference path.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.engine.set_fast_path(enabled);
+    }
+
     /// Runs the convolution on `x` (`(N, C, H, W)`), returning the output
     /// feature map and the accumulated macro statistics.
     pub fn forward<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, MvmStats) {

@@ -449,7 +449,10 @@ mod tests {
         let mut first_loss = None;
         let mut last_loss = 0.0;
         for step in 0..300 {
-            let x = Tensor::randn(&[4, 4, 5, 5], 0.0, 1.0, &mut rng);
+            // 9x9 maps: the equivalent-kernel identity holds only away
+            // from the zero-padded border, so tiny maps leave a large
+            // irreducible loss floor that masks the convergence signal.
+            let x = Tensor::randn(&[4, 4, 9, 9], 0.0, 1.0, &mut rng);
             let target = conv2d_reference(&x, &target_w, None, 1, 1);
             let y = rb.forward(&x, true);
             let (loss, grad) = yoloc_tensor::loss::mse(&y, &target);

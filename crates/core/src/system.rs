@@ -41,11 +41,11 @@ use yoloc_models::{LayerSpec, NetworkDesc, NetworkError};
 pub struct SystemParams {
     /// ROM-CiM macro (Table I).
     pub rom: MacroParams,
-    /// SRAM-CiM macro (ISSCC'21 [3] class).
+    /// SRAM-CiM macro (ISSCC'21 \[3\] class).
     pub sram: MacroParams,
     /// Off-chip DRAM interface.
     pub dram: DramModel,
-    /// Chip-to-chip link (SIMBA [25]).
+    /// Chip-to-chip link (SIMBA \[25\]).
     pub link: ChipletLink,
     /// On-chip activation cache capacity in bits (paper Fig. 9 "cache").
     pub act_buffer_bits: u64,

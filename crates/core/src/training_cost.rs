@@ -2,7 +2,7 @@
 //!
 //! The paper observes that because only the small SRAM-CiM branch is
 //! trainable, YOLoC "provides a chance to greatly reduce the on-chip
-//! training overhead" compared with training a full SRAM-CiM model [8].
+//! training overhead" compared with training a full SRAM-CiM model \[8\].
 //! This module quantifies that claim: for one SGD step, it counts the
 //! forward MACs, the backward MACs (input-gradient + weight-gradient
 //! passes, the standard 2x of forward for *trainable* layers, 1x for
@@ -20,7 +20,7 @@ use yoloc_models::{LayerSpec, NetworkDesc, NetworkError};
 /// What is trainable during on-chip adaptation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrainableSet {
-    /// Every weight (the all-SRAM-CiM baseline of [8]).
+    /// Every weight (the all-SRAM-CiM baseline of \[8\]).
     All,
     /// Only ReBranch residual convs and the prediction head (YOLoC).
     ReBranchOnly,

@@ -3,7 +3,7 @@
 //! The SRAM-CiM chiplet system stores all weights across several chips, so
 //! no DRAM is needed, but intermediate feature maps cross chip boundaries.
 //! Link parameters follow SIMBA's ground-referenced single-ended serial
-//! link [25]: 1.17 pJ/b at 25 Gb/s/pin.
+//! link \[25\]: 1.17 pJ/b at 25 Gb/s/pin.
 
 use serde::{Deserialize, Serialize};
 
@@ -21,7 +21,7 @@ pub struct ChipletLink {
 }
 
 impl ChipletLink {
-    /// SIMBA-class link: 1.17 pJ/b, 25 Gb/s/pin [25].
+    /// SIMBA-class link: 1.17 pJ/b, 25 Gb/s/pin \[25\].
     pub fn simba() -> Self {
         ChipletLink {
             e_pj_per_bit: 1.17,

@@ -1,8 +1,8 @@
 //! # yoloc-memory
 //!
 //! Memory-hierarchy models for the YOLoC (DAC 2022) reproduction: an
-//! analytic capacity-scaled SRAM buffer (replacing CACTI [24]), an
-//! LPDDR4-class DRAM interface, and a SIMBA-class chiplet link [25]. These
+//! analytic capacity-scaled SRAM buffer (replacing CACTI \[24\]), an
+//! LPDDR4-class DRAM interface, and a SIMBA-class chiplet link \[25\]. These
 //! supply the energy/latency constants the system-level evaluation of
 //! Fig. 13/14 is built on.
 //!

@@ -1,7 +1,7 @@
 //! Analytic SRAM buffer model (the role CACTI plays in the paper).
 //!
 //! The paper obtains SRAM-buffer and DRAM read/write energy and latency
-//! from CACTI [24]. We replace it with a capacity-scaled analytic model:
+//! from CACTI \[24\]. We replace it with a capacity-scaled analytic model:
 //! access energy and latency grow with the square root of capacity (word
 //! lines and bit lines both scale with sqrt(bits) in a square macro), which
 //! is the first-order behaviour CACTI itself exhibits.

@@ -19,6 +19,20 @@
 /// `planes[j][i]` is bit `j` of code `i`. For `j < bits-1` the plane has
 /// significance `2^j`; plane `bits-1` has significance `-2^(bits-1)`.
 ///
+/// # Examples
+///
+/// ```
+/// use yoloc_quant::bitplane::{reconstruct_signed, signed_bitplanes};
+///
+/// let codes = [-128, -1, 0, 77, 127];
+/// let planes = signed_bitplanes(&codes, 8);
+/// assert_eq!(planes.len(), 8);
+/// // Plane 7 is the sign plane: set exactly for the negative codes.
+/// assert_eq!(planes[7], vec![1, 1, 0, 0, 0]);
+/// // The decomposition is lossless.
+/// assert_eq!(reconstruct_signed(&planes, 8), codes);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if any value is outside the signed `bits`-bit range.
@@ -49,6 +63,17 @@ pub fn signed_plane_weight(j: usize, bits: u8) -> i64 {
 }
 
 /// Inverse of [`signed_bitplanes`].
+///
+/// # Examples
+///
+/// ```
+/// use yoloc_quant::bitplane::reconstruct_signed;
+///
+/// // 3-bit planes (LSB first): 3 = 0b011, -3 = 0b101 in two's
+/// // complement; the MSB plane carries significance -4.
+/// let planes = vec![vec![1, 1], vec![1, 0], vec![0, 1]];
+/// assert_eq!(reconstruct_signed(&planes, 3), vec![3, -3]);
+/// ```
 ///
 /// # Panics
 ///

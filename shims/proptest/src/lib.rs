@@ -204,7 +204,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: a fixed size or a size range.
+    /// Length specification for [`vec()`]: a fixed size or a size range.
     pub trait IntoSizeRange {
         /// `(min, max_exclusive)` lengths.
         fn size_bounds(self) -> (usize, usize);

@@ -4,8 +4,8 @@
 //! sub-crate of the workspace under one roof so examples, integration tests
 //! and downstream users can depend on a single crate.
 //!
-//! See the workspace `README.md` for an architecture overview and
-//! `DESIGN.md` for the per-experiment index.
+//! See the workspace `ARCHITECTURE.md` for the crate map and dataflow and
+//! `README.md` for the per-experiment index.
 //!
 //! # Examples
 //!
@@ -14,6 +14,34 @@
 //! // parameters rather than hard-coded.
 //! let spec = yoloc::cim::macro_model::MacroParams::rom_paper().spec();
 //! assert!(spec.density_mb_per_mm2 > 4.0);
+//! ```
+//!
+//! Deploying a model onto the CiM simulator and running the batched
+//! inference engine end to end:
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use yoloc::cim::MacroParams;
+//! use yoloc::core::engine::WorkerPool;
+//! use yoloc::core::pipeline::CimDeployedModel;
+//! use yoloc::core::tiny_models::{Family, TinyCnn};
+//! use yoloc::tensor::Tensor;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let model = TinyCnn::plain(Family::Vgg, 3, &[4], 2, &mut rng);
+//! let x = Tensor::rand_uniform(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+//! let deployed = CimDeployedModel::deploy(
+//!     &model,
+//!     &x,
+//!     MacroParams::rom_paper(),
+//!     MacroParams::sram_paper(),
+//! );
+//! // Serial walk and pooled batched engine are bit-identical on the
+//! // (noiseless) paper datapath.
+//! let (serial, _) = deployed.infer(&x, &mut rng);
+//! let (batched, _) = WorkerPool::with(2, |pool| deployed.infer_batch(&x, 1, pool));
+//! assert_eq!(serial.data(), batched.data());
 //! ```
 
 #![forbid(unsafe_code)]

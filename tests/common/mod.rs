@@ -1,0 +1,29 @@
+//! Shared budget switch for the training-heavy integration suites.
+//!
+//! The default tier-1 run (`cargo test -q`) uses reduced training budgets
+//! so the whole suite finishes in well under a minute; setting
+//! `YOLOC_FULL_TRAIN=1` restores the original full budgets (and the
+//! tighter accuracy thresholds that go with them) for paper-fidelity
+//! runs:
+//!
+//! ```sh
+//! YOLOC_FULL_TRAIN=1 cargo test -q
+//! ```
+
+/// Whether the full training budgets were requested via the
+/// `YOLOC_FULL_TRAIN=1` environment variable.
+pub fn full_train() -> bool {
+    std::env::var("YOLOC_FULL_TRAIN")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Picks the `full` value under `YOLOC_FULL_TRAIN=1` and the reduced
+/// `smoke` value otherwise.
+pub fn budget<T>(full: T, smoke: T) -> T {
+    if full_train() {
+        full
+    } else {
+        smoke
+    }
+}

@@ -1,5 +1,10 @@
 //! Integration: the detection transfer pipeline at smoke scale —
 //! pretrain, strategy rebuild, transfer training, mAP evaluation.
+//!
+//! Training budgets are reduced by default; `YOLOC_FULL_TRAIN=1` restores
+//! the full budgets and thresholds (see `tests/common/mod.rs`).
+
+mod common;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -13,7 +18,7 @@ use yoloc::tensor::{Layer, LayerExt};
 fn detection_transfer_pipeline() {
     let seed = 321;
     let suite = DetectionSuite::new(seed);
-    let base = pretrain_detector(&[10, 14, 18], &suite, 220, seed);
+    let base = pretrain_detector(&[10, 14, 18], &suite, common::budget(220, 110), seed);
     let task = &suite.voc_like;
     let mut rng = StdRng::seed_from_u64(seed + 1);
 
@@ -23,11 +28,14 @@ fn detection_transfer_pipeline() {
         task.classes,
         &mut rng,
     );
-    let before = eval_map(&mut rb, task, 30, &mut rng);
-    train_detector(&mut rb, task, 320, 14, 0.05, &mut rng);
-    let after = eval_map(&mut rb, task, 40, &mut rng);
+    let before = eval_map(&mut rb, task, common::budget(30, 20), &mut rng);
+    train_detector(&mut rb, task, common::budget(320, 160), 14, 0.05, &mut rng);
+    let after = eval_map(&mut rb, task, common::budget(40, 28), &mut rng);
     assert!(after > before, "mAP {before} -> {after}");
-    assert!(after > 0.18, "transfer mAP too low: {after}");
+    // The reduced default budget clears a lower—but still far above
+    // untrained—mAP floor.
+    let floor = common::budget(0.18, 0.12);
+    assert!(after > floor, "transfer mAP too low: {after}");
 
     // The frozen backbone really is frozen.
     let frozen_before: Vec<Vec<f32>> = rb

@@ -1,6 +1,11 @@
 //! Integration: the full ReBranch transfer-learning loop at smoke scale —
 //! synthetic data generation, pretraining, strategy construction,
 //! training with frozen ROM weights, and the accuracy/area read-out.
+//!
+//! Training budgets are reduced by default; `YOLOC_FULL_TRAIN=1` restores
+//! the full budgets and thresholds (see `tests/common/mod.rs`).
+
+mod common;
 
 use yoloc::core::rebranch::ReBranchRatios;
 use yoloc::core::strategies::{
@@ -12,8 +17,19 @@ use yoloc::tensor::{Layer, LayerExt};
 
 fn smoke_cfg() -> TrainConfig {
     TrainConfig {
-        steps: 90,
+        steps: common::budget(90, 75),
         batch: 16,
+        lr: 0.07,
+        momentum: 0.9,
+    }
+}
+
+/// Budget for tests whose assertions are structural (frozen weights, area
+/// ordering) and do not depend on converged accuracy.
+fn structural_cfg() -> TrainConfig {
+    TrainConfig {
+        steps: common::budget(90, 14),
+        batch: common::budget(16, 8),
         lr: 0.07,
         momentum: 0.9,
     }
@@ -22,7 +38,8 @@ fn smoke_cfg() -> TrainConfig {
 #[test]
 fn rebranch_transfer_end_to_end() {
     let suite = TransferSuite::new(77);
-    let base = pretrain_base(Family::Vgg, &[12, 16, 20], &suite.pretrain, smoke_cfg(), 77);
+    let channels: &[usize] = common::budget(&[12, 16, 20], &[8, 12, 16]);
+    let base = pretrain_base(Family::Vgg, channels, &suite.pretrain, smoke_cfg(), 77);
     let target = &suite.cifar10_like;
     let rb = evaluate_strategy(
         &base,
@@ -31,8 +48,11 @@ fn rebranch_transfer_end_to_end() {
         smoke_cfg(),
         78,
     );
-    // Learns well above the 10% chance level, with most bits in ROM.
-    assert!(rb.accuracy > 0.5, "accuracy {}", rb.accuracy);
+    // Learns well above the 10% chance level, with most bits in ROM (at
+    // the reduced default budget the margin over chance is smaller but
+    // still decisive).
+    let floor = common::budget(0.5, 0.3);
+    assert!(rb.accuracy > floor, "accuracy {}", rb.accuracy);
     assert!(
         rb.rom_bits > 4 * rb.sram_bits,
         "rom {} sram {}",
@@ -44,7 +64,13 @@ fn rebranch_transfer_end_to_end() {
 #[test]
 fn frozen_trunk_never_changes_during_transfer() {
     let suite = TransferSuite::new(99);
-    let base = pretrain_base(Family::Vgg, &[10, 12], &suite.pretrain, smoke_cfg(), 99);
+    let base = pretrain_base(
+        Family::Vgg,
+        &[10, 12],
+        &suite.pretrain,
+        structural_cfg(),
+        99,
+    );
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(100);
     let mut model = build_strategy_model(
         &base,
@@ -61,7 +87,7 @@ fn frozen_trunk_never_changes_during_transfer() {
     yoloc::core::strategies::train_model(
         &mut model,
         &suite.cifar10_like,
-        smoke_cfg(),
+        structural_cfg(),
         &mut rng,
         |_| {},
     );
@@ -79,8 +105,14 @@ fn frozen_trunk_never_changes_during_transfer() {
 #[test]
 fn strategy_area_ordering_matches_fig10() {
     let suite = TransferSuite::new(13);
-    let base = pretrain_base(Family::Vgg, &[12, 16, 20], &suite.pretrain, smoke_cfg(), 13);
-    let cfg = smoke_cfg();
+    let base = pretrain_base(
+        Family::Vgg,
+        &[12, 16, 20],
+        &suite.pretrain,
+        structural_cfg(),
+        13,
+    );
+    let cfg = structural_cfg();
     let target = &suite.fashion_like;
     let all_sram = evaluate_strategy(&base, target, Strategy::AllSram, cfg, 14);
     let all_rom = evaluate_strategy(&base, target, Strategy::AllRom, cfg, 14);
