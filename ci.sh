@@ -22,4 +22,7 @@ cargo test -q
 echo "== workspace unit tests and doctests"
 cargo test -q --workspace
 
+echo "== run every bench binary on tiny configs (repro_all --smoke)"
+cargo run --release -q -p yoloc-bench --bin repro_all -- --smoke
+
 echo "CI green."

@@ -7,7 +7,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use yoloc_bench::{default_workers, fmt, pct, print_table, WorkerPool};
+use yoloc_bench::{default_workers, fmt, pct, print_table, smoke_or, WorkerPool};
 use yoloc_cim::MacroParams;
 use yoloc_core::pipeline::{accuracy_software_vs_cim_batch, CimDeployedModel};
 use yoloc_core::rebranch::ReBranchRatios;
@@ -25,7 +25,7 @@ fn main() {
         Family::Vgg,
         &[12, 16, 20],
         &suite.pretrain,
-        TrainConfig::pretrain(),
+        smoke_or(TrainConfig::smoke(), TrainConfig::pretrain()),
         seed,
     );
     // Also deploy a ReBranch-transferred model (the real YOLoC scenario).
@@ -40,7 +40,7 @@ fn main() {
     train_model(
         &mut rb_model,
         target,
-        TrainConfig::transfer(),
+        smoke_or(TrainConfig::smoke(), TrainConfig::transfer()),
         &mut rng,
         |_| {},
     );
@@ -73,8 +73,14 @@ fn main() {
                 target,
             ),
         ] {
-            let (sw, cim, stats) =
-                accuracy_software_vs_cim_batch(model, deployed, task, 300, seed + 2, pool);
+            let (sw, cim, stats) = accuracy_software_vs_cim_batch(
+                model,
+                deployed,
+                task,
+                smoke_or(40, 300),
+                seed + 2,
+                pool,
+            );
             rows.push(vec![
                 label.to_string(),
                 pct(sw as f64),

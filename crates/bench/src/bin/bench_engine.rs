@@ -1,37 +1,56 @@
-//! Baseline benchmark of the batched CiM inference engine.
+//! Baseline benchmark of the batched CiM inference engine, plus the
+//! graph-compiled model-zoo scaling table.
 //!
-//! Measures samples/sec through a deployed model on three configurations
-//! and emits `BENCH_engine.json` (schema in `README.md`):
+//! Part 1 measures samples/sec through a deployed `TinyCnn` on three
+//! configurations and asserts their equivalence:
 //!
 //! * **serial** — the pre-engine baseline: one thread, cell-accurate
 //!   analog reference path (`set_fast_path(false)`);
 //! * **serial_fast_path** — one thread, the popcount fast path;
 //! * **batched** — `infer_batch` over the persistent [`WorkerPool`] at
-//!   1/2/4/8 workers, fast path on.
+//!   a sweep of worker counts, fast path on.
 //!
-//! All three produce bit-identical logits (asserted here and pinned by
-//! unit tests); the report records the wall-clock cost of that
-//! equivalence. On a single-core host the batched curve is flat and the
-//! engine speedup comes from the fast path; on multi-core hosts the
-//! worker sweep shows through on top of it.
+//! Part 2 exercises the graph compiler: zoo `NetworkDesc` architectures
+//! (width/resolution-scaled so the functional simulator executes them in
+//! milliseconds) are compiled with `CompiledNetwork::compile_random` and
+//! run end-to-end through `infer_batch`, producing a per-network scaling
+//! table — parameters, MACs, subarray placement (naive vs packed) and the
+//! **live** per-inference `EnergyBreakdown` measured during execution.
+//!
+//! Emits `BENCH_engine.json` (schema `yoloc-bench-engine/2`, documented
+//! in `README.md`); under `--smoke`/`YOLOC_SMOKE=1` the workload shrinks
+//! and the report goes to `target/BENCH_engine.smoke.json` so the
+//! committed baseline is not clobbered by tiny-config numbers.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use yoloc_bench::report::Json;
-use yoloc_bench::{fmt, fmt_x, print_table, WorkerPool};
+use yoloc_bench::report::{to_json, Json};
+use yoloc_bench::{fmt, fmt_x, print_table, smoke, smoke_or, WorkerPool};
 use yoloc_cim::MacroParams;
+use yoloc_core::compiler::{CompileOptions, CompiledNetwork};
 use yoloc_core::pipeline::CimDeployedModel;
 use yoloc_core::strategies::{pretrain_base, TrainConfig};
 use yoloc_core::tiny_models::Family;
 use yoloc_data::classification::TransferSuite;
+use yoloc_models::{zoo, NetworkDesc};
+use yoloc_tensor::Tensor;
 
-const BATCH: usize = 16;
-const REPS: usize = 3;
-const WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
 const SEED: u64 = 2022;
+
+fn batch() -> usize {
+    smoke_or(4, 16)
+}
+
+fn reps() -> usize {
+    smoke_or(1, 3)
+}
+
+fn worker_sweep() -> Vec<usize> {
+    smoke_or(vec![1, 4], vec![1, 2, 4, 8])
+}
 
 /// Median wall-clock seconds of `reps` runs of `f` (one untimed warm-up).
 fn median_secs(reps: usize, mut f: impl FnMut()) -> f64 {
@@ -51,11 +70,12 @@ struct Measured {
     label: &'static str,
     workers: Option<usize>,
     seconds: f64,
+    samples: usize,
 }
 
 impl Measured {
     fn samples_per_sec(&self) -> f64 {
-        BATCH as f64 / self.seconds
+        self.samples as f64 / self.seconds
     }
 
     fn json(&self) -> Json {
@@ -75,6 +95,8 @@ fn measure_model(
     name: &str,
     seed: u64,
 ) -> (Json, Vec<Vec<String>>) {
+    let batch = batch();
+    let reps = reps();
     let suite = TransferSuite::new(seed);
     println!("[{name}] training at smoke scale ...");
     let model = pretrain_base(
@@ -92,7 +114,7 @@ fn measure_model(
         MacroParams::rom_paper(),
         MacroParams::sram_paper(),
     );
-    let (x, _) = suite.pretrain.batch(BATCH, &mut rng);
+    let (x, _) = suite.pretrain.batch(batch, &mut rng);
 
     println!("[{name}] measuring serial analog-reference path ...");
     deployed.set_fast_path(false);
@@ -100,9 +122,10 @@ fn measure_model(
     let serial = Measured {
         label: "analog-reference",
         workers: None,
-        seconds: median_secs(REPS, || {
+        seconds: median_secs(reps, || {
             std::hint::black_box(deployed.infer(&x, &mut rng));
         }),
+        samples: batch,
     };
 
     println!("[{name}] measuring serial popcount fast path ...");
@@ -116,15 +139,16 @@ fn measure_model(
     let serial_fast = Measured {
         label: "popcount",
         workers: None,
-        seconds: median_secs(REPS, || {
+        seconds: median_secs(reps, || {
             std::hint::black_box(deployed.infer(&x, &mut rng));
         }),
+        samples: batch,
     };
 
     let deployed = &deployed; // shared borrow for the pool jobs
-    let batched: Vec<Measured> = WORKER_SWEEP
-        .iter()
-        .map(|&workers| {
+    let batched: Vec<Measured> = worker_sweep()
+        .into_iter()
+        .map(|workers| {
             println!("[{name}] measuring batched engine at {workers} worker(s) ...");
             WorkerPool::with(workers, |pool| {
                 let batched_logits = deployed.infer_batch(&x, SEED, pool).0;
@@ -136,9 +160,10 @@ fn measure_model(
                 Measured {
                     label: "popcount",
                     workers: Some(workers),
-                    seconds: median_secs(REPS, || {
+                    seconds: median_secs(reps, || {
                         std::hint::black_box(deployed.infer_batch(&x, SEED, pool));
                     }),
+                    samples: batch,
                 }
             })
         })
@@ -169,7 +194,7 @@ fn measure_model(
 
     let json = Json::obj([
         ("model", Json::str(name)),
-        ("samples", Json::Num(BATCH as f64)),
+        ("samples", Json::Num(batch as f64)),
         ("serial", serial.json()),
         ("serial_fast_path", serial_fast.json()),
         (
@@ -180,6 +205,80 @@ fn measure_model(
         ("speedup_batched4_vs_serial", Json::Num(speedup_w4)),
     ]);
     (json, rows)
+}
+
+/// Compiles one scaled zoo architecture, runs it end-to-end through the
+/// batched engine, and reports throughput plus the live energy breakdown.
+fn measure_zoo_network(desc: &NetworkDesc, seed: u64) -> (Json, Vec<String>) {
+    let batch = batch();
+    let reps = reps();
+    println!("[zoo:{}] compiling onto the macro fabric ...", desc.name);
+    let net = CompiledNetwork::compile_random(desc, seed, CompileOptions::paper_default())
+        .expect("zoo description must compile");
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    let (c, h, w) = net.input_shape();
+    let x = Tensor::rand_uniform(&[batch, c, h, w], 0.0, 1.0, &mut rng);
+    println!("[zoo:{}] executing through infer_batch ...", desc.name);
+    let (report, seconds) = WorkerPool::with(4, |pool| {
+        let (_, report) = net.infer_batch(&x, seed, pool);
+        let seconds = median_secs(reps, || {
+            std::hint::black_box(net.infer_batch(&x, seed, pool));
+        });
+        (report, seconds)
+    });
+    let params = desc.param_count();
+    let macs = desc.macs().expect("analyzable");
+    let per_sample = |v: f64| v / batch as f64;
+    let energy_per_sample_uj = per_sample(report.energy.total_uj());
+    let samples_per_sec = batch as f64 / seconds;
+    let json = Json::obj([
+        ("model", Json::str(desc.name.clone())),
+        ("params", Json::Num(params as f64)),
+        ("macs", Json::Num(macs as f64)),
+        ("samples", Json::Num(batch as f64)),
+        (
+            "subarrays_naive",
+            Json::Num(net.mapping.subarrays_naive as f64),
+        ),
+        (
+            "subarrays_packed",
+            Json::Num(net.mapping.subarrays_packed as f64),
+        ),
+        (
+            "utilization_packed",
+            Json::Num(net.mapping.utilization_packed),
+        ),
+        ("samples_per_sec", Json::Num(samples_per_sec)),
+        (
+            "latency_ms_per_sample",
+            Json::Num(per_sample(report.latency_ns) / 1e6),
+        ),
+        ("energy_uj_per_sample", Json::Num(energy_per_sample_uj)),
+        // The live, measured breakdown — serialized straight from the
+        // executor's EnergyBreakdown via the serde shim.
+        ("energy_breakdown_uj_per_batch", to_json(&report.energy)),
+        (
+            "dram_traffic_bits_per_batch",
+            Json::Num(report.dram_traffic_bits as f64),
+        ),
+        (
+            "noc_traffic_bits_per_batch",
+            Json::Num(report.noc_traffic_bits as f64),
+        ),
+    ]);
+    let row = vec![
+        desc.name.clone(),
+        format!("{:.2} M", params as f64 / 1e6),
+        format!("{:.1} M", macs as f64 / 1e6),
+        format!(
+            "{} / {}",
+            net.mapping.subarrays_packed, net.mapping.subarrays_naive
+        ),
+        fmt(samples_per_sec, 1),
+        fmt(energy_per_sample_uj, 2),
+        format!("{:.0}%", 100.0 * report.energy.dram_share()),
+    ];
+    (json, row)
 }
 
 fn main() {
@@ -206,22 +305,74 @@ fn main() {
         &rows,
     );
 
+    // Part 2: graph-compiled zoo architectures, smallest to largest — the
+    // per-network scaling table. Scaled to an executable footprint (the
+    // full-size graphs are identical in topology; see zoo::scaled).
+    let zoo_nets = if smoke() {
+        vec![
+            zoo::scaled(&zoo::vgg8(4), 16, (16, 16)),
+            zoo::scaled(&zoo::tiny_yolo(4, 2), 32, (32, 32)),
+        ]
+    } else {
+        vec![
+            zoo::scaled(&zoo::vgg8(10), 16, (16, 16)),
+            zoo::scaled(&zoo::resnet18(10), 16, (32, 32)),
+            zoo::scaled(&zoo::tiny_yolo(4, 2), 16, (64, 64)),
+            zoo::scaled(&zoo::darknet19(8), 16, (64, 64)),
+            zoo::scaled(&zoo::yolo_v2(4, 2), 32, (64, 64)),
+        ]
+    };
+    let mut zoo_json = Vec::new();
+    let mut zoo_rows = Vec::new();
+    for desc in &zoo_nets {
+        let (json, row) = measure_zoo_network(desc, SEED + 7);
+        zoo_json.push(json);
+        zoo_rows.push(row);
+    }
+    print_table(
+        "Graph-compiled zoo networks (live energy through the executor)",
+        &[
+            "Network",
+            "Params",
+            "MACs",
+            "Subarrays (packed/naive)",
+            "Samples/sec",
+            "Energy (uJ/sample)",
+            "DRAM share",
+        ],
+        &zoo_rows,
+    );
+
     let doc = Json::obj([
-        ("schema", Json::str("yoloc-bench-engine/1")),
+        ("schema", Json::str("yoloc-bench-engine/2")),
         ("host_parallelism", Json::Num(host as f64)),
-        ("batch", Json::Num(BATCH as f64)),
-        ("reps", Json::Num(REPS as f64)),
+        ("smoke", Json::Bool(smoke())),
+        ("batch", Json::Num(batch() as f64)),
+        ("reps", Json::Num(reps() as f64)),
         (
             "worker_sweep",
-            Json::Arr(WORKER_SWEEP.iter().map(|&w| Json::Num(w as f64)).collect()),
+            Json::Arr(
+                worker_sweep()
+                    .into_iter()
+                    .map(|w| Json::Num(w as f64))
+                    .collect(),
+            ),
         ),
         ("workloads", Json::Arr(workloads)),
+        ("zoo", Json::Arr(zoo_json)),
     ]);
-    std::fs::write("BENCH_engine.json", doc.render()).expect("write BENCH_engine.json");
-    println!("\nwrote BENCH_engine.json (schema yoloc-bench-engine/1, see README.md)");
+    let path = if smoke() {
+        "target/BENCH_engine.smoke.json"
+    } else {
+        "BENCH_engine.json"
+    };
+    std::fs::write(path, doc.render()).expect("write engine report");
+    println!("\nwrote {path} (schema yoloc-bench-engine/2, see README.md)");
     println!(
         "note: 'serial' is the pre-engine baseline (one thread, cell-accurate \
          analog path); the batched rows add the popcount fast path and the \
-         worker pool on top — all three emit bit-identical logits."
+         worker pool on top — all three emit bit-identical logits. The zoo \
+         table runs graph-compiled NetworkDesc architectures end-to-end with \
+         live memory-hierarchy energy accounting."
     );
 }

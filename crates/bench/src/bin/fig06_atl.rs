@@ -4,7 +4,7 @@
 //! Reproduces the ordering "all layers trainable > shallow-frozen >
 //! deep-frozen > classifier-only", i.e. transferability decays with depth.
 
-use yoloc_bench::{pct, print_table, run_parallel};
+use yoloc_bench::{pct, print_table, run_parallel, smoke_or};
 use yoloc_core::strategies::{evaluate_strategy, pretrain_base, Strategy, TrainConfig};
 use yoloc_core::tiny_models::{default_channels, Family};
 use yoloc_data::classification::TransferSuite;
@@ -18,11 +18,11 @@ fn main() {
         Family::Vgg,
         &channels,
         &suite.pretrain,
-        TrainConfig::pretrain(),
+        smoke_or(TrainConfig::smoke(), TrainConfig::pretrain()),
         seed,
     );
     let n_blocks = channels.len();
-    let cfg = TrainConfig::transfer();
+    let cfg = smoke_or(TrainConfig::smoke(), TrainConfig::transfer());
 
     // The whole frozen-depth x target sweep fans out in one go; each
     // (target, depth) cell trains independently on a fixed seed.

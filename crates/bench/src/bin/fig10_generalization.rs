@@ -3,7 +3,7 @@
 //! ResNet-18-style models under All-SRAM / All-ROM / Deep-Conv / ReBranch
 //! (plus ROSL and SPWD, the other two Fig. 6 options).
 
-use yoloc_bench::{fmt, pct, print_table, run_parallel};
+use yoloc_bench::{fmt, pct, print_table, run_parallel, smoke_or};
 use yoloc_core::rebranch::ReBranchRatios;
 use yoloc_core::strategies::{evaluate_strategy, pretrain_base, Strategy, TrainConfig};
 use yoloc_core::tiny_models::{default_channels, Family};
@@ -34,7 +34,7 @@ fn main() {
             family,
             &default_channels(),
             &suite.pretrain,
-            TrainConfig::pretrain(),
+            smoke_or(TrainConfig::smoke(), TrainConfig::pretrain()),
             seed,
         );
         // Fig. 10(b): accuracy per target per strategy, fanned across the
@@ -51,7 +51,7 @@ fn main() {
                             base_ref,
                             target,
                             strategy,
-                            TrainConfig::transfer(),
+                            smoke_or(TrainConfig::smoke(), TrainConfig::transfer()),
                             seed + si as u64,
                         )
                     }

@@ -5,7 +5,7 @@
 //! (b) accuracy vs the split of a fixed 16x budget between compression D
 //!     and decompression U (1-16, 2-8, 4-4, 8-2, 16-1).
 
-use yoloc_bench::{default_workers, fmt, pct, print_table, WorkerPool};
+use yoloc_bench::{default_workers, fmt, pct, print_table, smoke_or, WorkerPool};
 use yoloc_core::rebranch::ReBranchRatios;
 use yoloc_core::strategies::{evaluate_strategy, pretrain_base, Strategy, TrainConfig};
 use yoloc_core::tiny_models::{default_channels, Family};
@@ -22,7 +22,7 @@ fn main() {
             family,
             &default_channels(),
             &suite.pretrain,
-            TrainConfig::pretrain(),
+            smoke_or(TrainConfig::smoke(), TrainConfig::pretrain()),
             seed,
         );
 
@@ -41,7 +41,7 @@ fn main() {
                             base_ref,
                             target,
                             Strategy::ReBranch(ReBranchRatios { d, u }),
-                            TrainConfig::transfer(),
+                            smoke_or(TrainConfig::smoke(), TrainConfig::transfer()),
                             seed + (d * 10 + u) as u64,
                         )
                     }
@@ -55,7 +55,7 @@ fn main() {
                             base_ref,
                             target,
                             Strategy::ReBranch(ReBranchRatios { d, u }),
-                            TrainConfig::transfer(),
+                            smoke_or(TrainConfig::smoke(), TrainConfig::transfer()),
                             seed + (d * 100 + u) as u64,
                         )
                     }

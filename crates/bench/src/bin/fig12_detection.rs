@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use yoloc_bench::{fmt, pct, print_table, run_parallel};
+use yoloc_bench::{fmt, pct, print_table, run_parallel, smoke_or};
 use yoloc_core::detector::{
     eval_map, pretrain_detector, train_detector, DetectionSuite, DetectorStrategy,
 };
@@ -17,7 +17,7 @@ fn main() {
     let suite = DetectionSuite::new(seed);
     let channels = [16usize, 24, 32];
     println!("Pretraining COCO-like base detector ...");
-    let base = pretrain_detector(&channels, &suite, 700, seed);
+    let base = pretrain_detector(&channels, &suite, smoke_or(40, 700), seed);
 
     let targets = [
         (&suite.voc_like, "COCO->VOC-like"),
@@ -53,8 +53,15 @@ fn main() {
                         match strategy {
                             Some(s) => {
                                 let mut det = base_ref.with_strategy(s, task.classes, &mut rng);
-                                train_detector(&mut det, task, 550, 16, 0.05, &mut rng);
-                                eval_map(&mut det, task, 60, &mut rng)
+                                train_detector(
+                                    &mut det,
+                                    task,
+                                    smoke_or(40, 550),
+                                    16,
+                                    0.05,
+                                    &mut rng,
+                                );
+                                eval_map(&mut det, task, smoke_or(12, 60), &mut rng)
                             }
                             None => {
                                 // Tiny-YOLO: smaller backbone from scratch.
@@ -63,8 +70,15 @@ fn main() {
                                     task.classes,
                                     &mut rng,
                                 );
-                                train_detector(&mut det, task, 550, 16, 0.05, &mut rng);
-                                eval_map(&mut det, task, 60, &mut rng)
+                                train_detector(
+                                    &mut det,
+                                    task,
+                                    smoke_or(40, 550),
+                                    16,
+                                    0.05,
+                                    &mut rng,
+                                );
+                                eval_map(&mut det, task, smoke_or(12, 60), &mut rng)
                             }
                         }
                     }

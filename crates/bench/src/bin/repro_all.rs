@@ -1,42 +1,86 @@
-//! Runs every *analytic* reproduction artifact in one go (Table I,
-//! Fig. 1/4, the Fig. 14 system comparison, ablations, sweeps and the
-//! model zoo). The training-based figures (6b, 10, 11, 12) and the
-//! deployment accuracy check take minutes each and have their own
-//! binaries — this runner prints the commands for them at the end.
+//! Runs reproduction artifacts in one go.
+//!
+//! Default mode runs every *analytic* artifact (Table I, Fig. 1/4, the
+//! Fig. 14 system comparison, ablations, sweeps and the model zoo) and
+//! prints the commands for the training-based figures, which take minutes
+//! each.
+//!
+//! `--smoke` runs **every** bench binary — training figures and the
+//! engine benchmark included — with `YOLOC_SMOKE=1` exported to each
+//! child, which shrinks their workloads to tiny configurations that
+//! finish in seconds. `ci.sh` uses this mode so the bins are *run* in CI,
+//! not just compiled; a child failure fails the runner.
 
 use std::process::Command;
 
-fn run(bin: &str) {
+/// The analytic artifacts (fast at full scale).
+const ANALYTIC: &[&str] = &[
+    "table1_macro",
+    "fig01_scaling",
+    "fig04_cells",
+    "model_zoo",
+    "fig14_system",
+    "ablation_mapping",
+    "ablation_adc",
+    "sweep_sensitivity",
+    "sweep_chiplets",
+    "onchip_training",
+];
+
+/// Training-based artifacts plus the engine benchmark (minutes at full
+/// scale; seconds under smoke).
+const HEAVY: &[&str] = &[
+    "fig06_atl",
+    "fig10_generalization",
+    "fig11_compression",
+    "fig12_detection",
+    "accuracy_on_cim",
+    "bench_engine",
+];
+
+fn run(bin: &str, smoke: bool) -> bool {
     println!("\n==================== {bin} ====================");
-    let status = Command::new(
+    let mut cmd = Command::new(
         std::env::current_exe()
             .expect("self path")
             .with_file_name(bin),
-    )
-    .status();
-    match status {
-        Ok(s) if s.success() => {}
-        Ok(s) => eprintln!("{bin} exited with {s}"),
+    );
+    if smoke {
+        cmd.env("YOLOC_SMOKE", "1");
+    }
+    match cmd.status() {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("{bin} exited with {s}");
+            false
+        }
         Err(e) => {
-            eprintln!("failed to launch {bin}: {e} (build with --release -p yoloc-bench first)")
+            eprintln!("failed to launch {bin}: {e} (build with --release -p yoloc-bench first)");
+            false
         }
     }
 }
 
 fn main() {
-    for bin in [
-        "table1_macro",
-        "fig01_scaling",
-        "fig04_cells",
-        "model_zoo",
-        "fig14_system",
-        "ablation_mapping",
-        "ablation_adc",
-        "sweep_sensitivity",
-        "sweep_chiplets",
-        "onchip_training",
-    ] {
-        run(bin);
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let bins: Vec<&str> = if smoke {
+        ANALYTIC.iter().chain(HEAVY.iter()).copied().collect()
+    } else {
+        ANALYTIC.to_vec()
+    };
+    let mut failed = Vec::new();
+    for bin in bins {
+        if !run(bin, smoke) {
+            failed.push(bin);
+        }
+    }
+    if !failed.is_empty() {
+        eprintln!("\nFAILURES: {failed:?}");
+        std::process::exit(1);
+    }
+    if smoke {
+        println!("\nsmoke: every bench binary ran clean on tiny configs.");
+        return;
     }
     println!(
         "\nTraining-based artifacts (minutes each):\n  cargo run --release -p \
@@ -47,6 +91,6 @@ fn main() {
     );
     println!(
         "\nEngine baseline (writes BENCH_engine.json):\n  cargo run --release -p \
-         yoloc-bench --bin bench_engine"
+         yoloc-bench --bin bench_engine\n\nFast CI pass over every bin: repro_all --smoke"
     );
 }

@@ -44,6 +44,24 @@ where
     WorkerPool::with(workers, |pool| pool.run(jobs))
 }
 
+/// Whether the harness runs in smoke mode (`YOLOC_SMOKE=1`, set by
+/// `repro_all --smoke` and `ci.sh`): every binary shrinks its workload to
+/// a tiny configuration that finishes in seconds while still executing
+/// its full code path — the bins are *run* in CI, not just compiled.
+pub fn smoke() -> bool {
+    std::env::var_os("YOLOC_SMOKE").is_some_and(|v| v != "0")
+}
+
+/// Picks the smoke-mode value when [`smoke`] is active, the full-run
+/// value otherwise.
+pub fn smoke_or<T>(smoke_value: T, full_value: T) -> T {
+    if smoke() {
+        smoke_value
+    } else {
+        full_value
+    }
+}
+
 /// The worker count the bench binaries open their pools with: one lane
 /// per available core (falling back to 4 when the count is unknown).
 pub fn default_workers() -> usize {

@@ -1,132 +1,36 @@
-//! Minimal JSON emission for machine-readable benchmark baselines.
+//! Machine-readable benchmark reports on the shim's JSON tree.
 //!
-//! The offline `serde` shim (see `shims/serde`) provides marker traits
-//! only — nothing serializes — so benchmark reports are built explicitly
-//! as a [`Json`] tree and rendered with a deterministic field order. That
-//! keeps `BENCH_engine.json` diffable across runs and builds.
+//! The value tree and renderer live in the offline `serde` shim
+//! ([`serde::json::Value`], re-exported here as [`Json`]); report structs
+//! across the workspace derive `serde::Serialize` and convert with
+//! [`serde::Serialize::to_json`]. Object fields keep insertion order, so
+//! rendered reports (e.g. `BENCH_engine.json`) are stable byte-for-byte
+//! for identical measurements and stay diffable across runs and builds.
 
-use std::fmt::Write as _;
+/// The JSON value tree benchmark reports are assembled from (the shim's
+/// `serde::json::Value` under its pre-port name).
+pub use serde::json::Value as Json;
 
-/// A JSON value. Object fields keep insertion order so rendered reports
-/// are stable byte-for-byte for identical measurements.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A finite number (rendered via `f64`; NaN/inf render as `null`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with ordered fields.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for an object literal.
-    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Convenience constructor for a string value.
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// Renders with 2-space indentation and a trailing newline.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent + 1);
-        let close_pad = "  ".repeat(indent);
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Num(v) => {
-                if v.is_finite() {
-                    // Integral values render without a fraction.
-                    if v.fract() == 0.0 && v.abs() < 1e15 {
-                        let _ = write!(out, "{}", *v as i64);
-                    } else {
-                        let _ = write!(out, "{v}");
-                    }
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    out.push_str(&pad);
-                    item.write(out, indent + 1);
-                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-                }
-                out.push_str(&close_pad);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    out.push_str(&pad);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, indent + 1);
-                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
-                }
-                out.push_str(&close_pad);
-                out.push('}');
-            }
-        }
-    }
-}
-
-/// Writes `s` as a quoted JSON string with the mandatory escapes (used
-/// for both string values and object keys).
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+/// Converts any `serde::Serialize` value into a [`Json`] tree.
+///
+/// # Examples
+///
+/// ```
+/// use yoloc_bench::report::{to_json, Json};
+///
+/// let spec = yoloc_cim::MacroParams::rom_paper().spec();
+/// let doc = to_json(&spec);
+/// assert!(matches!(doc, Json::Obj(_)));
+/// assert!(doc.render().contains("\"weight_bits\": 8"));
+/// ```
+pub fn to_json(v: &impl serde::Serialize) -> Json {
+    v.to_json()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde::Serialize;
 
     #[test]
     fn renders_nested_structure() {
@@ -162,5 +66,49 @@ mod tests {
     fn non_finite_numbers_render_null() {
         assert_eq!(Json::Num(f64::NAN).render(), "null\n");
         assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+    }
+
+    #[test]
+    fn derived_struct_serializes_in_field_order() {
+        // MacroSpec derives Serialize; the shim derive must emit fields in
+        // declaration order so rendered baselines stay diffable.
+        let spec = yoloc_cim::MacroParams::rom_paper().spec();
+        let doc = to_json(&spec);
+        let Json::Obj(fields) = &doc else {
+            panic!("struct must serialize to an object")
+        };
+        assert_eq!(fields[0].0, "process");
+        assert_eq!(fields[0].1, Json::Str("28nm CMOS".into()));
+        let names: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(names.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn derived_enum_serializes_variants() {
+        use yoloc_models::{ActKind, LayerSpec};
+        // Unit variant -> string.
+        assert_eq!(ActKind::Relu.to_json(), Json::Str("Relu".into()));
+        // Tuple variant -> {"Variant": value}.
+        let act = LayerSpec::Activation(ActKind::Leaky);
+        assert_eq!(
+            act.to_json(),
+            Json::Obj(vec![("Activation".into(), Json::Str("Leaky".into()))])
+        );
+        // Struct variant -> {"Variant": {fields}}.
+        let mp = LayerSpec::MaxPool {
+            kernel: 2,
+            stride: 2,
+        };
+        let Json::Obj(outer) = mp.to_json() else {
+            panic!("struct variant must serialize to an object")
+        };
+        assert_eq!(outer[0].0, "MaxPool");
+        assert_eq!(
+            outer[0].1,
+            Json::Obj(vec![
+                ("kernel".into(), Json::Num(2.0)),
+                ("stride".into(), Json::Num(2.0)),
+            ])
+        );
     }
 }

@@ -1,0 +1,293 @@
+//! The [`MvmBackend`] trait: one interface over every way the system can
+//! execute a matrix-vector product.
+//!
+//! The graph executor in `yoloc-core` lowers each network layer onto a
+//! programmed MVM engine, selected **per deployment and per layer**:
+//!
+//! * [`BackendKind::Analog`] — the cell-accurate analog reference path of
+//!   [`RomMvm`] (precharge, pulse trains, noise injection, per-group ADC
+//!   digitization). The only path that models bit-line noise.
+//! * [`BackendKind::Popcount`] — [`RomMvm`] with its popcount fast path
+//!   enabled: bit-identical to the analog path whenever both apply
+//!   (property-tested), at a fraction of the simulation cost.
+//! * [`BackendKind::Software`] — [`SoftwareMvm`], the pure integer-matmul
+//!   golden model. No analog events, no energy: the digital reference a
+//!   CiM deployment is validated against. At the paper's design point
+//!   (5-bit ADC, 10 rows per activation) the noiseless CiM datapath is
+//!   bit-exact against it.
+//!
+//! All three speak the same quantized-code protocol (`outs x ins` signed
+//! weight codes, unsigned activation codes), so a deployment can swap a
+//! layer between them without touching quantization or dequantization.
+
+use rand::RngCore;
+
+use crate::macro_model::{reference_mvm, MacroParams, MvmStats, RomMvm};
+
+/// Which MVM implementation a layer is deployed on (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Cell-accurate analog reference path (models noise).
+    Analog,
+    /// Popcount fast path with analog fallback (the default).
+    Popcount,
+    /// Pure-software integer matmul (digital golden reference).
+    Software,
+}
+
+impl BackendKind {
+    /// Short stable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Analog => "analog-reference",
+            BackendKind::Popcount => "popcount",
+            BackendKind::Software => "software",
+        }
+    }
+}
+
+/// Sized adapter over any (possibly unsized) [`RngCore`], so generic
+/// `R: Rng + ?Sized` call chains can coerce into the `&mut dyn RngCore`
+/// an object-safe [`MvmBackend`] takes. Delegation is transparent: the
+/// wrapped generator's stream advances exactly as if used directly.
+pub struct DynRng<'a, R: RngCore + ?Sized>(pub &'a mut R);
+
+impl<R: RngCore + ?Sized> RngCore for DynRng<'_, R> {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A programmed matrix-vector engine (`y = W x` over quantized codes).
+///
+/// Object-safe so the executor can hold heterogeneous per-layer backends;
+/// the RNG is taken as `&mut dyn RngCore` (the shim blanket-implements
+/// `Rng` for every `RngCore`, sized or not). Implementations that consume
+/// no randomness must leave the RNG untouched so noiseless execution stays
+/// bit-reproducible across backends.
+pub trait MvmBackend: Send + Sync {
+    /// Executes `y = W x` on unsigned activation codes, returning integer
+    /// accumulator results and execution statistics.
+    fn mvm(&self, acts: &[i32], rng: &mut dyn RngCore) -> (Vec<i64>, MvmStats);
+
+    /// Logical dimensions `(outs, ins)`.
+    fn dims(&self) -> (usize, usize);
+
+    /// Physical subarrays programmed (0 for the software reference).
+    fn subarrays_used(&self) -> usize;
+
+    /// Stable label of the path this backend executes on.
+    fn backend_name(&self) -> &'static str;
+
+    /// Enables or disables the popcount fast path where it exists
+    /// (no-op on backends without one).
+    fn set_fast_path(&mut self, _enabled: bool) {}
+}
+
+impl MvmBackend for RomMvm {
+    fn mvm(&self, acts: &[i32], rng: &mut dyn RngCore) -> (Vec<i64>, MvmStats) {
+        RomMvm::mvm(self, acts, rng)
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        RomMvm::dims(self)
+    }
+
+    fn subarrays_used(&self) -> usize {
+        RomMvm::subarrays_used(self)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        if self.fast_path_active() {
+            BackendKind::Popcount.label()
+        } else {
+            BackendKind::Analog.label()
+        }
+    }
+
+    fn set_fast_path(&mut self, enabled: bool) {
+        RomMvm::set_fast_path(self, enabled);
+    }
+}
+
+/// The pure-software integer reference backend: a plain `y = W x` over the
+/// stored weight codes. Consumes no randomness and reports zero analog
+/// activity — it is the digital golden model, not a circuit.
+pub struct SoftwareMvm {
+    codes: Vec<i32>,
+    outs: usize,
+    ins: usize,
+}
+
+impl SoftwareMvm {
+    /// Stores a signed quantized weight matrix (`outs x ins`, row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != outs * ins`.
+    pub fn program(codes: &[i32], outs: usize, ins: usize) -> Self {
+        assert_eq!(codes.len(), outs * ins, "weight matrix size mismatch");
+        SoftwareMvm {
+            codes: codes.to_vec(),
+            outs,
+            ins,
+        }
+    }
+}
+
+impl MvmBackend for SoftwareMvm {
+    fn mvm(&self, acts: &[i32], _rng: &mut dyn RngCore) -> (Vec<i64>, MvmStats) {
+        assert_eq!(acts.len(), self.ins, "activation length mismatch");
+        (
+            reference_mvm(&self.codes, self.outs, self.ins, acts),
+            MvmStats::default(),
+        )
+    }
+
+    fn dims(&self) -> (usize, usize) {
+        (self.outs, self.ins)
+    }
+
+    fn subarrays_used(&self) -> usize {
+        0
+    }
+
+    fn backend_name(&self) -> &'static str {
+        BackendKind::Software.label()
+    }
+}
+
+/// Programs a weight matrix onto the requested backend.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use yoloc_cim::backend::{program_backend, BackendKind};
+/// use yoloc_cim::MacroParams;
+///
+/// let codes = vec![3i32; 4 * 64];
+/// let acts = vec![10i32; 64];
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let popcount = program_backend(BackendKind::Popcount, MacroParams::rom_paper(), &codes, 4, 64);
+/// let software = program_backend(BackendKind::Software, MacroParams::rom_paper(), &codes, 4, 64);
+/// // The paper's noiseless design point is bit-exact against software.
+/// assert_eq!(popcount.mvm(&acts, &mut rng).0, software.mvm(&acts, &mut rng).0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `codes.len() != outs * ins` or any code is out of range for
+/// `params.weight_bits` (hardware backends only).
+pub fn program_backend(
+    kind: BackendKind,
+    params: MacroParams,
+    codes: &[i32],
+    outs: usize,
+    ins: usize,
+) -> Box<dyn MvmBackend> {
+    match kind {
+        BackendKind::Popcount => Box::new(RomMvm::program(params, codes, outs, ins)),
+        BackendKind::Analog => {
+            let mut engine = RomMvm::program(params, codes, outs, ins);
+            engine.set_fast_path(false);
+            Box::new(engine)
+        }
+        BackendKind::Software => Box::new(SoftwareMvm::program(codes, outs, ins)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_matrix(outs: usize, ins: usize) -> (Vec<i32>, Vec<i32>) {
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 37) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 13) % 256) as i32).collect();
+        (codes, acts)
+    }
+
+    #[test]
+    fn all_three_backends_agree_at_paper_design_point() {
+        // 10 rows/activation x 3 pulses fits the 5-bit ADC, so the
+        // hardware paths are bit-exact against the software reference —
+        // the trait-level statement of the repo's equivalence claim.
+        let (codes, acts) = test_matrix(5, 200);
+        let params = MacroParams::rom_paper();
+        let mut rng = StdRng::seed_from_u64(1);
+        let results: Vec<Vec<i64>> = [
+            BackendKind::Analog,
+            BackendKind::Popcount,
+            BackendKind::Software,
+        ]
+        .into_iter()
+        .map(|kind| {
+            let b = program_backend(kind, params, &codes, 5, 200);
+            b.mvm(&acts, &mut rng).0
+        })
+        .collect();
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn backend_names_reflect_execution_path() {
+        let (codes, _) = test_matrix(2, 64);
+        let params = MacroParams::rom_paper();
+        let analog = program_backend(BackendKind::Analog, params, &codes, 2, 64);
+        let popcount = program_backend(BackendKind::Popcount, params, &codes, 2, 64);
+        let software = program_backend(BackendKind::Software, params, &codes, 2, 64);
+        assert_eq!(analog.backend_name(), "analog-reference");
+        assert_eq!(popcount.backend_name(), "popcount");
+        assert_eq!(software.backend_name(), "software");
+        // A noisy macro cannot take the fast path regardless of the flag.
+        let mut noisy_params = params;
+        noisy_params.noise_sigma = 0.2;
+        let noisy = program_backend(BackendKind::Popcount, noisy_params, &codes, 2, 64);
+        assert_eq!(noisy.backend_name(), "analog-reference");
+    }
+
+    #[test]
+    fn software_backend_has_no_hardware_footprint() {
+        let (codes, acts) = test_matrix(3, 100);
+        let b = program_backend(
+            BackendKind::Software,
+            MacroParams::rom_paper(),
+            &codes,
+            3,
+            100,
+        );
+        assert_eq!(b.subarrays_used(), 0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (_, stats) = b.mvm(&acts, &mut rng);
+        assert_eq!(stats, MvmStats::default());
+        // No randomness consumed: the stream is untouched.
+        let mut probe = StdRng::seed_from_u64(2);
+        assert_eq!(
+            rand::Rng::gen_range(&mut rng, 0u64..u64::MAX),
+            rand::Rng::gen_range(&mut probe, 0u64..u64::MAX)
+        );
+    }
+
+    #[test]
+    fn set_fast_path_via_trait_switches_rom_path() {
+        let (codes, acts) = test_matrix(4, 128);
+        let mut b = program_backend(
+            BackendKind::Popcount,
+            MacroParams::rom_paper(),
+            &codes,
+            4,
+            128,
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let fast = b.mvm(&acts, &mut rng).0;
+        b.set_fast_path(false);
+        assert_eq!(b.backend_name(), "analog-reference");
+        assert_eq!(b.mvm(&acts, &mut rng).0, fast);
+    }
+}

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod analog;
+pub mod backend;
 pub mod cells;
 pub mod macro_model;
 pub mod rom_image;
@@ -34,6 +35,7 @@ pub mod tcam;
 pub mod technology;
 
 pub use analog::{AdcModel, AnalogArray, AnalogConfig};
+pub use backend::{program_backend, BackendKind, DynRng, MvmBackend, SoftwareMvm};
 pub use cells::{CellKind, RomCell};
 pub use macro_model::{MacroParams, MacroSpec, MvmStats, RomMvm};
 pub use rom_image::RomImage;

@@ -274,6 +274,21 @@ pub struct MvmStats {
     pub latency_ns: f64,
 }
 
+impl MvmStats {
+    /// Accumulates another execution's statistics into this one. Event
+    /// counters add exactly; the floating-point energy/latency fields add
+    /// in call order, so two reductions agree bit-for-bit only when they
+    /// merge in the same sequence — the executor and the legacy pipeline
+    /// both merge in op order for exactly this reason.
+    pub fn merge(&mut self, other: &MvmStats) {
+        self.analog_evaluations += other.analog_evaluations;
+        self.adc_conversions += other.adc_conversions;
+        self.wl_pulses += other.wl_pulses;
+        self.energy_pj += other.energy_pj;
+        self.latency_ns += other.latency_ns;
+    }
+}
+
 /// Precomputed bit-plane popcount table for one programmed subarray.
 ///
 /// `masks[group * cols + col]` packs the strapped (`'1'`) rows of one

@@ -1,0 +1,1196 @@
+//! Graph compiler and executor: lower **any** [`NetworkDesc`] onto the
+//! macro fabric and run it.
+//!
+//! This is the generalization of the original `TinyCnn`-only deployment
+//! pipeline (which is now a thin lowering into the same plan — see
+//! [`crate::pipeline`]). Compilation walks the IR, routes each
+//! [`LayerSpec`] through the `mapping.rs` placement model (naive vs the
+//! paper's packed scheme) into programmed subarrays, and emits an
+//! [`ExecPlan`]: a flat list of executable ops — CiM convolutions and
+//! linears on a per-layer [`BackendKind`] (analog reference, popcount fast
+//! path, or pure-software golden model), ReBranch groups, and the digital
+//! ops (activations, pooling, residual merges, passthrough reorg) that run
+//! through the cache in Fig. 9.
+//!
+//! Execution is *measured*, not modelled: every inference walks the
+//! quantized datapath and threads the actual per-layer activation traffic
+//! through the memory-hierarchy models ([`SramBuffer`], [`MeshNoc`],
+//! [`DramModel`]), so each call returns a live [`EnergyBreakdown`]
+//! alongside the outputs — the executable counterpart of `system.rs`'s
+//! static Fig. 13/14 evaluation.
+//!
+//! Cross-layer packing ([`MappingStrategy::Packed`]) shares
+//! partially-filled subarrays between layers. It is functionally
+//! transparent — co-located layers occupy disjoint columns, so each MVM
+//! still sees exactly its own weights — and therefore affects the
+//! placement/area accounting ([`CompiledNetwork::subarrays`]) rather than
+//! the simulated datapath.
+//!
+//! # Examples
+//!
+//! Compile a zoo network and run it end to end, getting logits *and* a
+//! live energy breakdown:
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use yoloc_core::compiler::{CompileOptions, CompiledNetwork};
+//! use yoloc_models::zoo;
+//!
+//! let desc = zoo::scaled(&zoo::vgg8(4), 16, (16, 16));
+//! let net = CompiledNetwork::compile_random(&desc, 7, CompileOptions::paper_default())?;
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let x = yoloc_tensor::Tensor::rand_uniform(&[1, 1, 16, 16], 0.0, 1.0, &mut rng);
+//! let (logits, report) = net.infer(&x, &mut rng);
+//! assert_eq!(logits.shape(), &[1, 4]);
+//! assert!(report.energy.total_uj() > 0.0);
+//! assert!(report.energy.dram_uj > 0.0); // input fetch is paid
+//! # Ok::<(), yoloc_models::NetworkError>(())
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::{sample_stream_seed, WorkerPool};
+use crate::mapping::{map_network, MappingStrategy, NetworkMapping};
+use crate::qconv::{CimConv2d, CimLinear};
+use crate::system::EnergyBreakdown;
+use yoloc_cim::backend::BackendKind;
+use yoloc_cim::macro_model::{MacroParams, MvmStats};
+use yoloc_memory::{DramModel, MeshNoc, SramBuffer};
+use yoloc_models::{ActKind, LayerSpec, NetworkDesc, NetworkError, Shape};
+use yoloc_tensor::layers::MaxPool2d;
+use yoloc_tensor::ops::conv2d_reference;
+use yoloc_tensor::{Layer, Tensor};
+
+/// Which memory domain a CiM layer's weights live in (Fig. 9's split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemDomain {
+    /// Mask-programmed ROM-CiM (frozen trunk weights).
+    Rom,
+    /// SRAM-CiM (trainable residual convs and the prediction head).
+    Sram,
+}
+
+/// The memory hierarchy an [`ExecPlan`] threads its live traffic through.
+#[derive(Debug, Clone)]
+pub struct MemoryParams {
+    /// On-chip activation cache (Fig. 9 "cache").
+    pub buffer: SramBuffer,
+    /// Off-chip DRAM interface (input fetch / output writeback).
+    pub dram: DramModel,
+    /// Mesh NoC between the cache and the CiM macro clusters.
+    pub noc: MeshNoc,
+    /// Activation precision moved through the hierarchy, bits.
+    pub act_bits: u8,
+    /// System energy overhead factor on CiM compute (controller, clock
+    /// tree); 1.0 = macro-only energy. Matches `SystemParams`.
+    pub peripheral_overhead: f64,
+}
+
+impl MemoryParams {
+    /// The same calibration constants as `SystemParams::paper_default`.
+    pub fn paper_default() -> Self {
+        MemoryParams {
+            buffer: SramBuffer::new_28nm(2 * 1024 * 1024),
+            dram: DramModel::lpddr4(),
+            noc: MeshNoc::new_28nm(4, 4),
+            act_bits: 8,
+            peripheral_overhead: 1.3,
+        }
+    }
+}
+
+/// Live measurements of one executed inference: per-domain macro activity
+/// plus the memory-hierarchy energy it actually moved.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionReport {
+    /// ROM-CiM macro activity (trunk convs, branch projections).
+    pub rom: MvmStats,
+    /// SRAM-CiM macro activity (residual convs, prediction head).
+    pub sram: MvmStats,
+    /// Per-inference energy breakdown (live counterpart of Fig. 14a/c).
+    pub energy: EnergyBreakdown,
+    /// End-to-end latency: serial CiM walk + NoC + DRAM, ns.
+    pub latency_ns: f64,
+    /// Activation bits moved through the on-chip cache.
+    pub buffer_traffic_bits: u64,
+    /// Activation bits moved across the mesh NoC.
+    pub noc_traffic_bits: u64,
+    /// Bits crossing the chip boundary (input fetch + output writeback;
+    /// weights are resident, the point of the paper).
+    pub dram_traffic_bits: u64,
+}
+
+impl ExecutionReport {
+    /// Accumulates another execution's measurements (used to reduce
+    /// per-sample reports from the batched engine, in sample order).
+    pub fn merge(&mut self, other: &ExecutionReport) {
+        self.rom.merge(&other.rom);
+        self.sram.merge(&other.sram);
+        self.energy.accumulate(&other.energy);
+        self.latency_ns += other.latency_ns;
+        self.buffer_traffic_bits += other.buffer_traffic_bits;
+        self.noc_traffic_bits += other.noc_traffic_bits;
+        self.dram_traffic_bits += other.dram_traffic_bits;
+    }
+}
+
+/// Where a residual / passthrough op reads its second operand from.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OpSource {
+    /// The network input.
+    Input,
+    /// The output of an earlier op in the plan.
+    Op(usize),
+}
+
+/// One executable operation of a compiled plan.
+#[allow(clippy::large_enum_variant)] // few ops, long-lived, boxed engines inside
+pub(crate) enum PlanOp {
+    /// A CiM-mapped convolution.
+    Conv { conv: CimConv2d, domain: MemDomain },
+    /// A ReBranch group (Fig. 7): ROM trunk + compress, SRAM res-conv,
+    /// ROM decompress, summed.
+    ReBranch {
+        trunk: CimConv2d,
+        compress: CimConv2d,
+        res_conv: CimConv2d,
+        decompress: CimConv2d,
+    },
+    /// A CiM-mapped fully-connected layer.
+    Linear {
+        linear: CimLinear,
+        domain: MemDomain,
+    },
+    /// Elementwise activation (digital).
+    Activation(ActKind),
+    /// Max pooling (digital).
+    MaxPool { kernel: usize, stride: usize },
+    /// Global average pooling to `(N, C)` (digital).
+    GlobalAvgPool,
+    /// YOLO passthrough: space-to-depth reorg of an earlier map,
+    /// channel-fitted to `extra_ch` and concatenated (digital).
+    Passthrough { source: OpSource, extra_ch: usize },
+    /// Residual merge, optionally through a CiM 1x1 projection.
+    ResidualAdd {
+        source: OpSource,
+        projection: Option<Box<(CimConv2d, MemDomain)>>,
+    },
+}
+
+impl PlanOp {
+    fn is_cim(&self) -> bool {
+        matches!(
+            self,
+            PlanOp::Conv { .. }
+                | PlanOp::ReBranch { .. }
+                | PlanOp::Linear { .. }
+                | PlanOp::ResidualAdd {
+                    projection: Some(_),
+                    ..
+                }
+        )
+    }
+}
+
+/// Global average pool `(N, C, H, W) -> (N, C)`.
+pub(crate) fn gap(x: &Tensor) -> Tensor {
+    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let mut out = Tensor::zeros(&[n, c]);
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let s: f32 = x.data()[base..base + h * w].iter().sum();
+            *out.at_mut(&[ni, ci]) = s / (h * w) as f32;
+        }
+    }
+    out
+}
+
+/// Applies an IR activation elementwise (ReLU, or leaky ReLU slope 0.1).
+fn apply_act(x: &Tensor, kind: ActKind) -> Tensor {
+    match kind {
+        ActKind::Relu => x.map(|v| v.max(0.0)),
+        ActKind::Leaky => x.map(|v| if v > 0.0 { v } else { 0.1 * v }),
+    }
+}
+
+/// Flattens a rank-4 map to `(N, C*H*W)` (identity on rank-2 inputs).
+fn flatten_2d(x: &Tensor) -> Tensor {
+    if x.ndim() == 2 {
+        return x.clone();
+    }
+    let n = x.shape()[0];
+    let rest: usize = x.shape()[1..].iter().product();
+    Tensor::from_vec(x.data().to_vec(), &[n, rest]).expect("flatten preserves length")
+}
+
+/// The parameter-free passthrough reorg of the IR: space-to-depth the
+/// source map (`(N, C, 2H, 2W)` -> `(N, 4C, H, W)`, offset-major), fit to
+/// `extra_ch` channels (truncating or cycling), and concatenate onto
+/// `cur`.
+///
+/// # Panics
+///
+/// Panics if the source spatial dims are not exactly twice `cur`'s.
+fn passthrough_concat(src: &Tensor, cur: &Tensor, extra_ch: usize) -> Tensor {
+    let (n, c, h, w) = (
+        cur.shape()[0],
+        cur.shape()[1],
+        cur.shape()[2],
+        cur.shape()[3],
+    );
+    let sc = src.shape()[1];
+    assert_eq!(
+        (src.shape()[2], src.shape()[3]),
+        (2 * h, 2 * w),
+        "passthrough source must be at twice the current resolution"
+    );
+    let reorg_ch = 4 * sc;
+    let mut out = Tensor::zeros(&[n, c + extra_ch, h, w]);
+    for ni in 0..n {
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    *out.at_mut(&[ni, ci, y, x]) = cur.at(&[ni, ci, y, x]);
+                }
+            }
+        }
+        for e in 0..extra_ch {
+            // Offset-major reorg: channel index walks (dy, dx, src channel).
+            let r = e % reorg_ch;
+            let (dy, dx, sci) = (r / (2 * sc), (r / sc) % 2, r % sc);
+            for y in 0..h {
+                for x in 0..w {
+                    *out.at_mut(&[ni, c + e, y, x]) = src.at(&[ni, sci, 2 * y + dy, 2 * x + dx]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// An executable plan: ops in execution order plus the memory hierarchy
+/// their live traffic is priced against.
+pub struct ExecPlan {
+    ops: Vec<PlanOp>,
+    memory: MemoryParams,
+}
+
+impl ExecPlan {
+    pub(crate) fn new(memory: MemoryParams) -> Self {
+        ExecPlan {
+            ops: Vec::new(),
+            memory,
+        }
+    }
+
+    /// Appends an op, returning its index (used as an [`OpSource`]).
+    pub(crate) fn push(&mut self, op: PlanOp) -> usize {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Number of ops in the plan.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Physical subarrays programmed, `(rom, sram)` (exclusive per-layer
+    /// tiling; see [`CompiledNetwork::subarrays`] for the packed count).
+    pub fn subarrays(&self) -> (usize, usize) {
+        let mut rom = 0;
+        let mut sram = 0;
+        for op in &self.ops {
+            match op {
+                PlanOp::Conv { conv, domain } => match domain {
+                    MemDomain::Rom => rom += conv.subarrays(),
+                    MemDomain::Sram => sram += conv.subarrays(),
+                },
+                PlanOp::ReBranch {
+                    trunk,
+                    compress,
+                    res_conv,
+                    decompress,
+                } => {
+                    rom += trunk.subarrays() + compress.subarrays() + decompress.subarrays();
+                    sram += res_conv.subarrays();
+                }
+                PlanOp::Linear { linear, domain } => match domain {
+                    MemDomain::Rom => rom += linear.subarrays(),
+                    MemDomain::Sram => sram += linear.subarrays(),
+                },
+                PlanOp::ResidualAdd {
+                    projection: Some(p),
+                    ..
+                } => match p.1 {
+                    MemDomain::Rom => rom += p.0.subarrays(),
+                    MemDomain::Sram => sram += p.0.subarrays(),
+                },
+                _ => {}
+            }
+        }
+        (rom, sram)
+    }
+
+    /// Enables or disables the popcount fast path on every programmed
+    /// backend in the plan.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        for op in &mut self.ops {
+            match op {
+                PlanOp::Conv { conv, .. } => conv.set_fast_path(enabled),
+                PlanOp::ReBranch {
+                    trunk,
+                    compress,
+                    res_conv,
+                    decompress,
+                } => {
+                    trunk.set_fast_path(enabled);
+                    compress.set_fast_path(enabled);
+                    res_conv.set_fast_path(enabled);
+                    decompress.set_fast_path(enabled);
+                }
+                PlanOp::Linear { linear, .. } => linear.set_fast_path(enabled),
+                PlanOp::ResidualAdd {
+                    projection: Some(p),
+                    ..
+                } => p.0.set_fast_path(enabled),
+                _ => {}
+            }
+        }
+    }
+
+    /// Executes the plan on `x` (`(N, C, H, W)`), returning the output and
+    /// the live [`ExecutionReport`].
+    pub fn execute<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, ExecutionReport) {
+        let mut report = ExecutionReport::default();
+        let ab = self.memory.act_bits as u64;
+        let mut buffer_pj = 0.0;
+        let mut noc_pj = 0.0;
+        let mut noc_lat = 0.0;
+        // Only outputs an OpSource actually references are retained; on a
+        // plain feed-forward plan nothing is, so the hot path keeps no
+        // intermediate activations alive and pays no extra clones.
+        let mut retain = vec![false; self.ops.len()];
+        for op in &self.ops {
+            if let PlanOp::Passthrough {
+                source: OpSource::Op(i),
+                ..
+            }
+            | PlanOp::ResidualAdd {
+                source: OpSource::Op(i),
+                ..
+            } = op
+            {
+                retain[*i] = true;
+            }
+        }
+        let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(self.ops.len());
+        let mut h = x.clone();
+        for (op_idx, op) in self.ops.iter().enumerate() {
+            let in_bits = h.data().len() as u64 * ab;
+            let mut side_bits = 0u64;
+            fn resolve<'a>(
+                s: &OpSource,
+                x: &'a Tensor,
+                outputs: &'a [Option<Tensor>],
+            ) -> &'a Tensor {
+                match s {
+                    OpSource::Input => x,
+                    OpSource::Op(i) => outputs[*i].as_ref().expect("source output retained"),
+                }
+            }
+            let out = match op {
+                PlanOp::Conv { conv, domain } => {
+                    let (y, s) = conv.forward(&h, rng);
+                    match domain {
+                        MemDomain::Rom => report.rom.merge(&s),
+                        MemDomain::Sram => report.sram.merge(&s),
+                    }
+                    y
+                }
+                PlanOp::ReBranch {
+                    trunk,
+                    compress,
+                    res_conv,
+                    decompress,
+                } => {
+                    let (t, s1) = trunk.forward(&h, rng);
+                    let (c, s2) = compress.forward(&h, rng);
+                    let (r, s3) = res_conv.forward(&c, rng);
+                    let (d, s4) = decompress.forward(&r, rng);
+                    report.rom.merge(&s1);
+                    report.rom.merge(&s2);
+                    report.sram.merge(&s3);
+                    report.rom.merge(&s4);
+                    t.add(&d)
+                }
+                PlanOp::Linear { linear, domain } => {
+                    let feats = flatten_2d(&h);
+                    let sink = match domain {
+                        MemDomain::Rom => &mut report.rom,
+                        MemDomain::Sram => &mut report.sram,
+                    };
+                    linear.forward(&feats, rng, sink)
+                }
+                PlanOp::Activation(kind) => apply_act(&h, *kind),
+                PlanOp::MaxPool { kernel, stride } => {
+                    MaxPool2d::new(*kernel, *stride).forward(&h, false)
+                }
+                PlanOp::GlobalAvgPool => gap(&h),
+                PlanOp::Passthrough { source, extra_ch } => {
+                    let src = resolve(source, x, &outputs);
+                    side_bits = src.data().len() as u64 * ab;
+                    passthrough_concat(src, &h, *extra_ch)
+                }
+                PlanOp::ResidualAdd { source, projection } => {
+                    let src = resolve(source, x, &outputs);
+                    side_bits = src.data().len() as u64 * ab;
+                    match projection {
+                        None => h.add(src),
+                        Some(p) => {
+                            let (y, s) = p.0.forward(src, rng);
+                            match p.1 {
+                                MemDomain::Rom => report.rom.merge(&s),
+                                MemDomain::Sram => report.sram.merge(&s),
+                            }
+                            h.add(&y)
+                        }
+                    }
+                }
+            };
+            let out_bits = out.data().len() as u64 * ab;
+            let moved = in_bits + side_bits + out_bits;
+            report.buffer_traffic_bits += moved;
+            buffer_pj += self.memory.buffer.access_energy_pj(moved);
+            if op.is_cim() {
+                report.noc_traffic_bits += moved;
+                noc_pj += self.memory.noc.uniform_transfer_energy_pj(moved);
+                noc_lat += self.memory.noc.uniform_transfer_latency_ns(moved);
+            }
+            outputs.push(retain[op_idx].then(|| out.clone()));
+            h = out;
+        }
+        // Chip boundary: the input arrives from, and the result returns
+        // to, DRAM. Weights are resident — the paper's whole point — so
+        // they contribute no per-inference DRAM traffic.
+        let input_bits = x.data().len() as u64 * ab;
+        let output_bits = h.data().len() as u64 * ab;
+        report.dram_traffic_bits = input_bits + output_bits;
+        let dram_pj = self
+            .memory
+            .dram
+            .transfer_energy_pj(report.dram_traffic_bits);
+        let dram_lat = self
+            .memory
+            .dram
+            .transfer_latency_ns(report.dram_traffic_bits);
+        let cim_pj = report.rom.energy_pj + report.sram.energy_pj;
+        report.energy = EnergyBreakdown {
+            cim_uj: cim_pj / 1e6,
+            peripheral_uj: cim_pj * (self.memory.peripheral_overhead - 1.0) / 1e6,
+            buffer_uj: buffer_pj / 1e6,
+            noc_uj: noc_pj / 1e6,
+            dram_uj: dram_pj / 1e6,
+            ..Default::default()
+        };
+        report.latency_ns = report.rom.latency_ns + report.sram.latency_ns + noc_lat + dram_lat;
+        (h, report)
+    }
+
+    /// Executes the plan on a `(N, ...)` batch by fanning samples across a
+    /// persistent [`WorkerPool`], one deterministic RNG stream per sample
+    /// (see [`sample_stream_seed`]): outputs are bit-identical for any
+    /// worker count, and bit-identical to [`ExecPlan::execute`] on the
+    /// noiseless datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank-4.
+    pub fn execute_batch<'env>(
+        &'env self,
+        x: &Tensor,
+        seed: u64,
+        pool: &WorkerPool<'env>,
+    ) -> (Tensor, ExecutionReport) {
+        assert_eq!(x.ndim(), 4, "input must be (N, C, H, W)");
+        let n = x.shape()[0];
+        if n == 0 {
+            // An empty batch walks the plan once (every op handles N = 0)
+            // so the output carries the correct trailing shape, as the
+            // legacy path did.
+            let mut rng = StdRng::seed_from_u64(seed);
+            return self.execute(x, &mut rng);
+        }
+        let sample_shape = [1, x.shape()[1], x.shape()[2], x.shape()[3]];
+        let sample_len: usize = x.shape()[1..].iter().product();
+        let jobs: Vec<_> = (0..n)
+            .map(|i| {
+                let sample = Tensor::from_vec(
+                    x.data()[i * sample_len..(i + 1) * sample_len].to_vec(),
+                    &sample_shape,
+                )
+                .expect("sample slice matches shape");
+                move || {
+                    let mut rng = StdRng::seed_from_u64(sample_stream_seed(seed, i));
+                    self.execute(&sample, &mut rng)
+                }
+            })
+            .collect();
+        let results = pool.run(jobs);
+        let per_sample: usize = results[0].0.data().len();
+        let mut out_shape = results[0].0.shape().to_vec();
+        out_shape[0] = n;
+        let mut data = Vec::with_capacity(n * per_sample);
+        let mut report = ExecutionReport::default();
+        for (sample_out, sample_report) in &results {
+            data.extend_from_slice(sample_out.data());
+            report.merge(sample_report);
+        }
+        (
+            Tensor::from_vec(data, &out_shape).expect("batched output shape"),
+            report,
+        )
+    }
+}
+
+/// Trained (or generated) parameters for a [`NetworkDesc`], aligned with
+/// its layer list.
+pub struct NetworkWeights {
+    /// Main weight per layer (convs: `(OC, C, k, k)`; linears:
+    /// `(outs, ins)`), `None` for parameter-free layers.
+    weights: Vec<Option<Tensor>>,
+    /// Projection weight per `ResidualAdd` layer (`(OC, C, 1, 1)`).
+    projections: Vec<Option<Tensor>>,
+    /// Bias per linear layer.
+    biases: Vec<Option<Vec<f32>>>,
+}
+
+impl NetworkWeights {
+    /// Deterministic Kaiming-initialized weights for every CiM layer of
+    /// `desc` (zero biases) — enough to *execute* a zoo architecture at
+    /// full fidelity when no trained checkpoint exists.
+    pub fn random(desc: &NetworkDesc, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = Vec::with_capacity(desc.layers.len());
+        let mut projections = Vec::with_capacity(desc.layers.len());
+        let mut biases = Vec::with_capacity(desc.layers.len());
+        for layer in &desc.layers {
+            let (w, p, b) = match layer {
+                LayerSpec::Conv {
+                    in_ch,
+                    out_ch,
+                    kernel,
+                    ..
+                } => (
+                    Some(yoloc_tensor::init::kaiming_normal(
+                        &[*out_ch, *in_ch, *kernel, *kernel],
+                        &mut rng,
+                    )),
+                    None,
+                    None,
+                ),
+                LayerSpec::Linear {
+                    in_features,
+                    out_features,
+                    bias,
+                    ..
+                } => (
+                    Some(yoloc_tensor::init::kaiming_normal(
+                        &[*out_features, *in_features],
+                        &mut rng,
+                    )),
+                    None,
+                    bias.then(|| vec![0.0; *out_features]),
+                ),
+                LayerSpec::ResidualAdd {
+                    projection: Some(p),
+                    ..
+                } => (
+                    None,
+                    Some(yoloc_tensor::init::kaiming_normal(
+                        &[p.out_ch, p.in_ch, 1, 1],
+                        &mut rng,
+                    )),
+                    None,
+                ),
+                _ => (None, None, None),
+            };
+            weights.push(w);
+            projections.push(p);
+            biases.push(b);
+        }
+        NetworkWeights {
+            weights,
+            projections,
+            biases,
+        }
+    }
+
+    fn weight(&self, idx: usize, name: &str) -> Result<&Tensor, NetworkError> {
+        self.weights[idx].as_ref().ok_or_else(|| NetworkError {
+            msg: format!("missing weights for layer {name}"),
+        })
+    }
+}
+
+/// Compile-time configuration: macro parameters, default and per-layer
+/// backend selection, mapping strategy, and the memory hierarchy.
+#[derive(Clone)]
+pub struct CompileOptions {
+    /// ROM-CiM macro for trunk layers.
+    pub rom: MacroParams,
+    /// SRAM-CiM macro for the prediction head.
+    pub sram: MacroParams,
+    /// Default execution backend for every CiM layer.
+    pub backend: BackendKind,
+    /// Per-layer backend overrides, matched by layer name.
+    pub backend_overrides: Vec<(String, BackendKind)>,
+    /// Subarray placement strategy reported by the compiled network.
+    pub mapping: MappingStrategy,
+    /// Memory hierarchy for live traffic accounting.
+    pub memory: MemoryParams,
+}
+
+impl CompileOptions {
+    /// Paper-default macros, popcount backend, packed placement.
+    pub fn paper_default() -> Self {
+        CompileOptions {
+            rom: MacroParams::rom_paper(),
+            sram: MacroParams::sram_paper(),
+            backend: BackendKind::Popcount,
+            backend_overrides: Vec::new(),
+            mapping: MappingStrategy::Packed,
+            memory: MemoryParams::paper_default(),
+        }
+    }
+
+    fn backend_for(&self, name: &str) -> BackendKind {
+        self.backend_overrides
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, k)| *k)
+            .unwrap_or(self.backend)
+    }
+}
+
+/// A [`NetworkDesc`] compiled onto the macro fabric: the executable plan
+/// plus its `mapping.rs` placement.
+pub struct CompiledNetwork {
+    plan: ExecPlan,
+    /// Network name (from the description).
+    pub name: String,
+    /// Per-layer subarray placement (naive and packed counts).
+    pub mapping: NetworkMapping,
+    strategy: MappingStrategy,
+    input: Shape,
+}
+
+impl CompiledNetwork {
+    /// Compiles `desc` with explicit `weights`, calibrating activation
+    /// quantization layer by layer on `calibration` (a `(N, C, H, W)`
+    /// batch matching the network input).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if shapes are inconsistent, weights are
+    /// missing, or a passthrough source cannot be located.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` does not match the network input shape.
+    pub fn compile(
+        desc: &NetworkDesc,
+        weights: &NetworkWeights,
+        calibration: &Tensor,
+        opts: CompileOptions,
+    ) -> Result<Self, NetworkError> {
+        assert_eq!(calibration.ndim(), 4, "calibration must be (N, C, H, W)");
+        assert_eq!(
+            &calibration.shape()[1..],
+            &[desc.input.0, desc.input.1, desc.input.2],
+            "calibration shape must match the network input"
+        );
+        let reports = desc.analyze()?;
+        let mapping = map_network(desc, &opts.rom)?;
+        let last_cim = desc.layers.iter().rposition(|l| l.is_cim_layer());
+        let mut plan = ExecPlan::new(opts.memory.clone());
+        let mut h = calibration.clone();
+        // Float outputs per layer (residual/passthrough sources and
+        // calibration inputs) and the plan op producing each layer.
+        let mut history: Vec<Tensor> = Vec::with_capacity(desc.layers.len());
+        let mut op_of_layer: Vec<Option<usize>> = Vec::with_capacity(desc.layers.len());
+        let mut last_op: Option<usize> = None;
+        for (idx, layer) in desc.layers.iter().enumerate() {
+            match layer {
+                LayerSpec::Conv {
+                    name,
+                    stride,
+                    padding,
+                    ..
+                } => {
+                    let w = weights.weight(idx, name)?;
+                    let (domain, params) = if Some(idx) == last_cim {
+                        (MemDomain::Sram, opts.sram)
+                    } else {
+                        (MemDomain::Rom, opts.rom)
+                    };
+                    let conv = CimConv2d::compile_on(
+                        opts.backend_for(name),
+                        w,
+                        *stride,
+                        *padding,
+                        &[&h],
+                        params,
+                    );
+                    last_op = Some(plan.push(PlanOp::Conv { conv, domain }));
+                    h = conv2d_reference(&h, w, None, *stride, *padding);
+                }
+                LayerSpec::Linear { name, .. } => {
+                    let w = weights.weight(idx, name)?;
+                    let feats = flatten_2d(&h);
+                    let (domain, params) = if Some(idx) == last_cim {
+                        (MemDomain::Sram, opts.sram)
+                    } else {
+                        (MemDomain::Rom, opts.rom)
+                    };
+                    let bias = weights.biases[idx].as_deref();
+                    let linear =
+                        CimLinear::compile_on(opts.backend_for(name), w, bias, &[&feats], params);
+                    last_op = Some(plan.push(PlanOp::Linear { linear, domain }));
+                    h = linear_reference(&feats, w, bias);
+                }
+                LayerSpec::BatchNorm { .. } => {
+                    // Folded into the preceding conv: identity at
+                    // inference; no op is emitted.
+                }
+                LayerSpec::Activation(kind) => {
+                    last_op = Some(plan.push(PlanOp::Activation(*kind)));
+                    h = apply_act(&h, *kind);
+                }
+                LayerSpec::MaxPool { kernel, stride } => {
+                    last_op = Some(plan.push(PlanOp::MaxPool {
+                        kernel: *kernel,
+                        stride: *stride,
+                    }));
+                    h = MaxPool2d::new(*kernel, *stride).forward(&h, false);
+                }
+                LayerSpec::GlobalAvgPool => {
+                    last_op = Some(plan.push(PlanOp::GlobalAvgPool));
+                    h = gap(&h);
+                }
+                LayerSpec::Passthrough { extra_ch } => {
+                    let src_layer = passthrough_source(&reports, idx)?;
+                    let source = match op_of_layer[src_layer] {
+                        Some(i) => OpSource::Op(i),
+                        None => OpSource::Input,
+                    };
+                    last_op = Some(plan.push(PlanOp::Passthrough {
+                        source,
+                        extra_ch: *extra_ch,
+                    }));
+                    h = passthrough_concat(&history[src_layer], &h, *extra_ch);
+                }
+                LayerSpec::ResidualAdd {
+                    blocks_back,
+                    projection,
+                } => {
+                    let from_input = *blocks_back == idx + 1;
+                    let source = if from_input {
+                        OpSource::Input
+                    } else {
+                        match op_of_layer[idx - blocks_back] {
+                            Some(i) => OpSource::Op(i),
+                            None => OpSource::Input,
+                        }
+                    };
+                    // Shared with software_forward: resolve the skip
+                    // source and apply the projection reference.
+                    let (src_float, skip_float) = residual_skip_reference(
+                        idx,
+                        *blocks_back,
+                        projection.as_ref(),
+                        weights,
+                        &history,
+                        calibration,
+                    )?;
+                    let proj = match projection {
+                        None => None,
+                        Some(p) => {
+                            let w = weights.projections[idx].as_ref().expect("checked above");
+                            let conv = CimConv2d::compile_on(
+                                opts.backend_for(&p.name),
+                                w,
+                                p.stride,
+                                0,
+                                &[&src_float],
+                                opts.rom,
+                            );
+                            Some(Box::new((conv, MemDomain::Rom)))
+                        }
+                    };
+                    last_op = Some(plan.push(PlanOp::ResidualAdd {
+                        source,
+                        projection: proj,
+                    }));
+                    h = h.add(&skip_float);
+                }
+            }
+            history.push(h.clone());
+            op_of_layer.push(last_op);
+        }
+        Ok(CompiledNetwork {
+            plan,
+            name: desc.name.clone(),
+            mapping,
+            strategy: opts.mapping,
+            input: desc.input,
+        })
+    }
+
+    /// Compiles `desc` with deterministic random weights and a generated
+    /// calibration batch — the one-call entry point for executing a zoo
+    /// architecture (see the module example).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if the description is inconsistent.
+    pub fn compile_random(
+        desc: &NetworkDesc,
+        seed: u64,
+        opts: CompileOptions,
+    ) -> Result<Self, NetworkError> {
+        let weights = NetworkWeights::random(desc, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCA11_B0A7);
+        let (c, ih, iw) = desc.input;
+        let calibration = Tensor::rand_uniform(&[2, c, ih, iw], 0.0, 1.0, &mut rng);
+        Self::compile(desc, &weights, &calibration, opts)
+    }
+
+    /// The network input shape `(C, H, W)`.
+    pub fn input_shape(&self) -> Shape {
+        self.input
+    }
+
+    /// Subarrays consumed under the compile-time [`MappingStrategy`].
+    pub fn subarrays(&self) -> usize {
+        self.mapping.subarrays(self.strategy)
+    }
+
+    /// Physical subarrays actually programmed, `(rom, sram)`.
+    pub fn programmed_subarrays(&self) -> (usize, usize) {
+        self.plan.subarrays()
+    }
+
+    /// Enables or disables the popcount fast path on every layer.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.plan.set_fast_path(enabled);
+    }
+
+    /// Runs one inference through the quantized CiM datapath, returning
+    /// the network output and the live execution report.
+    pub fn infer<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, ExecutionReport) {
+        self.plan.execute(x, rng)
+    }
+
+    /// Batched inference over a persistent [`WorkerPool`]; see
+    /// [`ExecPlan::execute_batch`].
+    pub fn infer_batch<'env>(
+        &'env self,
+        x: &Tensor,
+        seed: u64,
+        pool: &WorkerPool<'env>,
+    ) -> (Tensor, ExecutionReport) {
+        self.plan.execute_batch(x, seed, pool)
+    }
+}
+
+/// Float reference of a linear layer: `y = W x + b` on `(N, ins)`.
+fn linear_reference(feats: &Tensor, w: &Tensor, bias: Option<&[f32]>) -> Tensor {
+    let (n, ins) = (feats.shape()[0], feats.shape()[1]);
+    let outs = w.shape()[0];
+    let mut out = Tensor::zeros(&[n, outs]);
+    for ni in 0..n {
+        for o in 0..outs {
+            let mut acc = 0.0f32;
+            for i in 0..ins {
+                acc += w.at(&[o, i]) * feats.at(&[ni, i]);
+            }
+            if let Some(b) = bias {
+                acc += b[o];
+            }
+            *out.at_mut(&[ni, o]) = acc;
+        }
+    }
+    out
+}
+
+/// Locates the passthrough reorg source: the latest earlier layer whose
+/// output map sits at exactly twice the resolution of the current map.
+/// Shared by compile-time calibration and [`software_forward`] so the two
+/// walks cannot diverge.
+fn passthrough_source(
+    reports: &[yoloc_models::LayerReport],
+    idx: usize,
+) -> Result<usize, NetworkError> {
+    let (th, tw) = (reports[idx].in_shape.1, reports[idx].in_shape.2);
+    (0..idx)
+        .rev()
+        .find(|&j| reports[j].out_shape.1 == 2 * th && reports[j].out_shape.2 == 2 * tw)
+        .ok_or_else(|| NetworkError {
+            msg: format!(
+                "passthrough at layer {idx}: no earlier map at {}x{}",
+                2 * th,
+                2 * tw
+            ),
+        })
+}
+
+/// Resolves a residual skip's float source map and applies the projection
+/// reference (if any), returning `(source, skip)`. Shared by compile-time
+/// calibration and [`software_forward`] so the two walks cannot diverge.
+fn residual_skip_reference(
+    idx: usize,
+    blocks_back: usize,
+    projection: Option<&yoloc_models::ProjectionSpec>,
+    weights: &NetworkWeights,
+    history: &[Tensor],
+    x: &Tensor,
+) -> Result<(Tensor, Tensor), NetworkError> {
+    let src = if blocks_back == idx + 1 {
+        x.clone()
+    } else {
+        history[idx - blocks_back].clone()
+    };
+    let skip = match projection {
+        None => src.clone(),
+        Some(p) => {
+            let w = weights.projections[idx]
+                .as_ref()
+                .ok_or_else(|| NetworkError {
+                    msg: format!("missing projection weights for {}", p.name),
+                })?;
+            conv2d_reference(&src, w, None, p.stride, 0)
+        }
+    };
+    Ok((src, skip))
+}
+
+/// The floating-point software reference of a compiled network: the same
+/// graph walk with float convolutions, used for accuracy comparisons
+/// against the quantized CiM execution.
+///
+/// # Errors
+///
+/// Returns [`NetworkError`] on inconsistent descriptions or missing
+/// weights.
+pub fn software_forward(
+    desc: &NetworkDesc,
+    weights: &NetworkWeights,
+    x: &Tensor,
+) -> Result<Tensor, NetworkError> {
+    let reports = desc.analyze()?;
+    let mut h = x.clone();
+    let mut history: Vec<Tensor> = Vec::with_capacity(desc.layers.len());
+    for (idx, layer) in desc.layers.iter().enumerate() {
+        match layer {
+            LayerSpec::Conv {
+                name,
+                stride,
+                padding,
+                ..
+            } => {
+                let w = weights.weight(idx, name)?;
+                h = conv2d_reference(&h, w, None, *stride, *padding);
+            }
+            LayerSpec::Linear { name, .. } => {
+                let w = weights.weight(idx, name)?;
+                h = linear_reference(&flatten_2d(&h), w, weights.biases[idx].as_deref());
+            }
+            LayerSpec::BatchNorm { .. } => {}
+            LayerSpec::Activation(kind) => h = apply_act(&h, *kind),
+            LayerSpec::MaxPool { kernel, stride } => {
+                h = MaxPool2d::new(*kernel, *stride).forward(&h, false);
+            }
+            LayerSpec::GlobalAvgPool => h = gap(&h),
+            LayerSpec::Passthrough { extra_ch } => {
+                let src = passthrough_source(&reports, idx)?;
+                h = passthrough_concat(&history[src], &h, *extra_ch);
+            }
+            LayerSpec::ResidualAdd {
+                blocks_back,
+                projection,
+            } => {
+                let (_, skip) = residual_skip_reference(
+                    idx,
+                    *blocks_back,
+                    projection.as_ref(),
+                    weights,
+                    &history,
+                    x,
+                )?;
+                h = h.add(&skip);
+            }
+        }
+        history.push(h.clone());
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WorkerPool;
+    use yoloc_models::zoo;
+
+    fn small_opts() -> CompileOptions {
+        CompileOptions::paper_default()
+    }
+
+    #[test]
+    fn compiled_vgg_tracks_software_reference() {
+        let desc = zoo::scaled(&zoo::vgg8(4), 16, (16, 16));
+        let weights = NetworkWeights::random(&desc, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cal = Tensor::rand_uniform(&[2, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let net = CompiledNetwork::compile(&desc, &weights, &cal, small_opts()).unwrap();
+        let x = Tensor::rand_uniform(&[2, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let (y, report) = net.infer(&x, &mut rng);
+        let sw = software_forward(&desc, &weights, &x).unwrap();
+        assert_eq!(y.shape(), sw.shape());
+        let mag = sw.abs_max().max(1e-6);
+        for (a, b) in y.data().iter().zip(sw.data()) {
+            assert!((a - b).abs() / mag < 0.15, "cim {a} vs sw {b}");
+        }
+        // Live accounting: both domains active (trunk in ROM, head in
+        // SRAM), every hierarchy level paid.
+        assert!(report.rom.energy_pj > 0.0);
+        assert!(report.sram.energy_pj > 0.0);
+        assert!(report.energy.buffer_uj > 0.0);
+        assert!(report.energy.noc_uj > 0.0);
+        assert!(report.energy.dram_uj > 0.0);
+        assert!(report.latency_ns > 0.0);
+        assert!(report.energy.total_uj() > 0.0);
+    }
+
+    #[test]
+    fn compiled_residual_and_projection_networks_run() {
+        // ResNet-18 scaled down: exercises ResidualAdd with and without
+        // projections end to end.
+        let desc = zoo::scaled(&zoo::resnet18(3), 16, (32, 32));
+        let net = CompiledNetwork::compile_random(&desc, 11, small_opts()).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = Tensor::rand_uniform(&[1, 1, 32, 32], 0.0, 1.0, &mut rng);
+        let (y, report) = net.infer(&x, &mut rng);
+        assert_eq!(y.shape(), &[1, 3]);
+        assert!(report.rom.analog_evaluations > 0);
+        // Projections are programmed: more ROM subarrays than zero.
+        let (rom_subs, sram_subs) = net.programmed_subarrays();
+        assert!(rom_subs > 0 && sram_subs > 0);
+    }
+
+    #[test]
+    fn compiled_yolo_passthrough_runs_end_to_end() {
+        let desc = zoo::scaled(&zoo::yolo_v2(4, 2), 32, (64, 64));
+        let net = CompiledNetwork::compile_random(&desc, 21, small_opts()).unwrap();
+        let mut rng = StdRng::seed_from_u64(22);
+        let x = Tensor::rand_uniform(&[1, 1, 64, 64], 0.0, 1.0, &mut rng);
+        let (y, report) = net.infer(&x, &mut rng);
+        // 64x64 input downsamples x32 -> 2x2 detection map, channels per
+        // the scaled IR's own shape propagation.
+        let expect = desc.analyze().unwrap().last().unwrap().out_shape;
+        assert_eq!(y.shape(), &[1, expect.0, expect.1, expect.2]);
+        assert!(report.energy.total_uj() > 0.0);
+        assert!(report.dram_traffic_bits > 0);
+    }
+
+    #[test]
+    fn batched_compiled_inference_bit_identical_to_serial() {
+        let desc = zoo::scaled(&zoo::vgg8(3), 16, (16, 16));
+        let net = CompiledNetwork::compile_random(&desc, 31, small_opts()).unwrap();
+        let mut rng = StdRng::seed_from_u64(32);
+        let x = Tensor::rand_uniform(&[5, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let (serial, serial_report) = net.infer(&x, &mut rng);
+        for workers in [1, 2, 4] {
+            let (batched, report) = WorkerPool::with(workers, |pool| net.infer_batch(&x, 9, pool));
+            assert_eq!(serial.data(), batched.data(), "workers = {workers}");
+            assert_eq!(
+                serial_report.rom.analog_evaluations,
+                report.rom.analog_evaluations
+            );
+            assert_eq!(
+                serial_report.rom.adc_conversions,
+                report.rom.adc_conversions
+            );
+            assert_eq!(
+                serial_report.buffer_traffic_bits,
+                report.buffer_traffic_bits
+            );
+            assert_eq!(serial_report.dram_traffic_bits, report.dram_traffic_bits);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_handled() {
+        // Regression: the batched path must not index results[0] on an
+        // empty batch; it returns an output with the correct trailing
+        // shape and a zero report, like the serial path.
+        let desc = zoo::scaled(&zoo::vgg8(3), 16, (16, 16));
+        let net = CompiledNetwork::compile_random(&desc, 71, small_opts()).unwrap();
+        let x = Tensor::zeros(&[0, 1, 16, 16]);
+        let (y, report) = WorkerPool::with(2, |pool| net.infer_batch(&x, 5, pool));
+        assert_eq!(y.shape(), &[0, 3]);
+        assert_eq!(report.rom.analog_evaluations, 0);
+        assert_eq!(report.dram_traffic_bits, 0);
+    }
+
+    #[test]
+    fn software_backend_override_zeroes_layer_energy() {
+        let desc = zoo::scaled(&zoo::vgg8(3), 16, (16, 16));
+        let mut opts = small_opts();
+        // Run everything on the software golden model.
+        opts.backend = BackendKind::Software;
+        let net = CompiledNetwork::compile_random(&desc, 41, opts).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = Tensor::rand_uniform(&[1, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let (_, report) = net.infer(&x, &mut rng);
+        assert_eq!(report.rom.energy_pj, 0.0);
+        assert_eq!(report.sram.energy_pj, 0.0);
+        assert_eq!(report.energy.cim_uj, 0.0);
+        // The memory hierarchy still moves activations.
+        assert!(report.energy.buffer_uj > 0.0);
+        let (rom_subs, sram_subs) = net.programmed_subarrays();
+        assert_eq!((rom_subs, sram_subs), (0, 0));
+    }
+
+    #[test]
+    fn per_layer_backend_override_applies_by_name() {
+        let desc = zoo::scaled(&zoo::vgg8(3), 16, (16, 16));
+        let mut opts = small_opts();
+        opts.backend_overrides = vec![("conv1".to_string(), BackendKind::Software)];
+        let net = CompiledNetwork::compile_random(&desc, 51, opts).unwrap();
+        let base = CompiledNetwork::compile_random(&desc, 51, small_opts()).unwrap();
+        // conv1 contributes no subarrays under the override.
+        assert!(net.programmed_subarrays().0 < base.programmed_subarrays().0);
+        // And both produce identical logits at the exact design point.
+        let mut rng = StdRng::seed_from_u64(52);
+        let x = Tensor::rand_uniform(&[1, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let (a, _) = net.infer(&x, &mut rng);
+        let (b, _) = base.infer(&x, &mut rng);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn packed_mapping_never_exceeds_naive() {
+        let desc = zoo::scaled(&zoo::tiny_yolo(4, 2), 16, (64, 64));
+        let net = CompiledNetwork::compile_random(&desc, 61, small_opts()).unwrap();
+        assert!(net.mapping.subarrays_packed <= net.mapping.subarrays_naive);
+        assert_eq!(net.subarrays(), net.mapping.subarrays_packed);
+    }
+}

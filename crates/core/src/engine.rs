@@ -38,6 +38,21 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
+/// Derives the deterministic RNG stream seed for sample `index` of a
+/// batched inference with base seed `seed`.
+///
+/// The index is mixed through a SplitMix64-style finalizer so neighbouring
+/// samples get statistically independent streams, and the mapping is pure:
+/// the noise a sample sees depends only on `(seed, index)`, never on which
+/// worker executes it or in what order — the root of the batched engine's
+/// bit-reproducibility.
+pub fn sample_stream_seed(seed: u64, index: usize) -> u64 {
+    let mut z = (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    seed ^ z ^ (z >> 31)
+}
+
 /// A type-erased unit of work valid for the pool's environment lifetime.
 type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
 

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiler;
 pub mod detector;
 pub mod engine;
 pub mod mapping;
@@ -20,11 +21,15 @@ pub mod system;
 pub mod tiny_models;
 pub mod training_cost;
 
+pub use compiler::{
+    software_forward, CompileOptions, CompiledNetwork, ExecPlan, ExecutionReport, MemDomain,
+    MemoryParams, NetworkWeights,
+};
 pub use detector::{
     eval_map, pretrain_detector, train_detector, DetectionSuite, DetectorStrategy, TinyYoloDetector,
 };
-pub use engine::WorkerPool;
-pub use mapping::{map_network, LayerPlacement, NetworkMapping};
+pub use engine::{sample_stream_seed, WorkerPool};
+pub use mapping::{map_network, LayerPlacement, MappingStrategy, NetworkMapping};
 pub use rebranch::{ReBranchConv, ReBranchRatios};
 pub use strategies::{evaluate_strategy, pretrain_base, Strategy, StrategyResult, TrainConfig};
 pub use system::{

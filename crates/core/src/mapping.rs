@@ -13,6 +13,18 @@ use serde::{Deserialize, Serialize};
 use yoloc_cim::MacroParams;
 use yoloc_models::{NetworkDesc, NetworkError};
 
+/// Which subarray placement scheme a deployment is accounted under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingStrategy {
+    /// Exclusive per-layer tiling (every layer gets its own subarrays).
+    Naive,
+    /// The paper's cross-layer packing: partial tiles of different layers
+    /// share subarrays for high ADC utilization. Functionally transparent
+    /// (co-located layers occupy disjoint columns), so it changes the
+    /// placement/area accounting, not the simulated datapath.
+    Packed,
+}
+
 /// Placement summary for one CiM layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LayerPlacement {
@@ -37,6 +49,19 @@ impl LayerPlacement {
     pub fn naive_subarrays(&self) -> usize {
         self.row_tiles * self.col_tiles
     }
+
+    /// Whether this placement fits the subarray geometry of `params`:
+    /// the tile grid covers the whole lowered matrix (`ins` word lines,
+    /// `outs * weight_bits` bit lines) with no tile exceeding the
+    /// `rows x cols` bounds, and no over-allocation (the grid is exactly
+    /// the ceiling division).
+    pub fn fits(&self, params: &MacroParams) -> bool {
+        let bit_cols = self.outs * params.weight_bits as usize;
+        self.row_tiles == self.ins.div_ceil(params.rows)
+            && self.col_tiles == bit_cols.div_ceil(params.cols)
+            && self.row_tiles * params.rows >= self.ins
+            && self.col_tiles * params.cols >= bit_cols
+    }
 }
 
 /// A whole network mapped onto CiM subarrays.
@@ -60,6 +85,22 @@ impl NetworkMapping {
     /// Total matrix-vector products per inference.
     pub fn total_mvms(&self) -> u64 {
         self.placements.iter().map(|p| p.mvms).sum()
+    }
+
+    /// Subarrays consumed under `strategy`.
+    pub fn subarrays(&self, strategy: MappingStrategy) -> usize {
+        match strategy {
+            MappingStrategy::Naive => self.subarrays_naive,
+            MappingStrategy::Packed => self.subarrays_packed,
+        }
+    }
+
+    /// Cell utilization under `strategy`, in (0, 1].
+    pub fn utilization(&self, strategy: MappingStrategy) -> f64 {
+        match strategy {
+            MappingStrategy::Naive => self.utilization_naive,
+            MappingStrategy::Packed => self.utilization_packed,
+        }
     }
 }
 
@@ -191,7 +232,89 @@ pub fn map_network(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use yoloc_models::zoo;
+
+    /// A random but shape-consistent conv/pool/linear stack.
+    fn random_network(seed: u64) -> yoloc_models::NetworkDesc {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let in_ch = rng.gen_range(1usize..24);
+        let mut hw = rng.gen_range(6usize..28);
+        let mut net = yoloc_models::NetworkDesc::new("mix", (in_ch, hw, hw));
+        let mut ch = in_ch;
+        let n_layers = rng.gen_range(1usize..9);
+        for i in 0..n_layers {
+            let options: Vec<usize> = [1usize, 3, 5].into_iter().filter(|&k| k <= hw).collect();
+            let kernel = options[rng.gen_range(0..options.len())];
+            let out_ch = rng.gen_range(1usize..48);
+            net.layers.push(yoloc_models::LayerSpec::Conv {
+                name: format!("c{i}"),
+                in_ch: ch,
+                out_ch,
+                kernel,
+                stride: 1,
+                padding: kernel / 2,
+                bias: false,
+            });
+            ch = out_ch;
+            if hw >= 4 && rng.gen_bool(0.3) {
+                net.layers.push(yoloc_models::LayerSpec::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                });
+                hw /= 2;
+            }
+        }
+        if rng.gen_bool(0.5) {
+            net.layers.push(yoloc_models::LayerSpec::GlobalAvgPool);
+            net.layers.push(yoloc_models::LayerSpec::Linear {
+                name: "fc".into(),
+                in_features: ch,
+                out_features: rng.gen_range(2usize..40),
+                bias: true,
+            });
+        }
+        net
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_packed_never_worse_and_placements_fit(seed in 0u64..1_000_000) {
+            // Across randomized layer mixes: the optimized packing never
+            // consumes more subarrays than the naive mapping, every
+            // placement's tile grid fits the 128x256 subarray bounds, and
+            // utilization stays physical (0 < u <= 1).
+            let net = random_network(seed);
+            prop_assert!(net.analyze().is_ok(), "generator must emit valid networks");
+            let params = MacroParams::rom_paper();
+            let m = map_network(&net, &params).unwrap();
+            prop_assert!(
+                m.subarrays_packed <= m.subarrays_naive,
+                "packed {} vs naive {}",
+                m.subarrays_packed,
+                m.subarrays_naive
+            );
+            for p in &m.placements {
+                prop_assert!(p.fits(&params), "{:?} does not fit 128x256", p);
+                prop_assert!(p.naive_subarrays() >= 1);
+            }
+            if !m.placements.is_empty() {
+                prop_assert!(m.utilization_naive > 0.0 && m.utilization_naive <= 1.0 + 1e-9);
+                prop_assert!(m.utilization_packed > 0.0 && m.utilization_packed <= 1.0 + 1e-9);
+                prop_assert!(m.utilization_packed >= m.utilization_naive - 1e-12);
+                // Capacity sanity: the packed placement still holds every bit.
+                let capacity = m.subarrays_packed as u64 * params.subarray_bits();
+                prop_assert!(capacity >= m.total_weight_bits);
+            }
+            // Strategy accessors agree with the raw fields.
+            prop_assert_eq!(m.subarrays(MappingStrategy::Naive), m.subarrays_naive);
+            prop_assert_eq!(m.subarrays(MappingStrategy::Packed), m.subarrays_packed);
+        }
+    }
 
     #[test]
     fn packing_never_worse_than_naive() {

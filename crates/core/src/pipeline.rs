@@ -5,54 +5,42 @@
 //! quantized per-channel to 8 bits and mask-programmed into ROM-CiM
 //! subarrays; ReBranch residual convs and the classifier go into SRAM-CiM;
 //! activation functions, pooling and the residual merges run digitally
-//! through the cache (exactly the split of Fig. 9). Inference then runs
-//! through the analog datapath, and the result is compared against the
-//! floating-point software model — the executable form of the paper's
-//! "almost no accuracy loss (-0.5% ~ +0.2%)" claim, with per-domain
-//! energy accounting on the side.
+//! through the cache (exactly the split of Fig. 9).
+//!
+//! # Lowering onto the graph executor
+//!
+//! Since the graph-compiler refactor, deployment is a **thin lowering**
+//! into the same [`ExecPlan`] that executes arbitrary
+//! [`yoloc_models::NetworkDesc`] graphs (see [`crate::compiler`]): each
+//! block becomes a CiM conv or ReBranch group op plus its digital
+//! residual/activation/pooling ops, and the classifier a CiM linear op.
+//! The pre-refactor direct walk is kept as [`legacy::LegacyDeployedModel`]
+//! — the golden reference the parity tests pin the executor against,
+//! bit-for-bit in both logits and [`DeployStats`], serial and batched.
 //!
 //! # Serial vs batched inference
 //!
-//! [`CimDeployedModel::infer`] walks the deployed layer list once for a
-//! whole `(N, C, H, W)` batch on the calling thread.
+//! [`CimDeployedModel::infer`] walks the plan once for a whole
+//! `(N, C, H, W)` batch on the calling thread.
 //! [`CimDeployedModel::infer_batch`] fans the `N` samples across a
 //! persistent [`WorkerPool`], giving each sample its own deterministic RNG
 //! stream (derived from a base seed and the sample index by
 //! [`sample_stream_seed`]), so its output is bit-identical across worker
 //! counts — and, on the default noiseless datapath, bit-identical to the
-//! serial path (tests pin both properties).
+//! serial path (tests pin both).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
+use crate::compiler::{gap, ExecPlan, ExecutionReport, MemDomain, MemoryParams, OpSource, PlanOp};
+pub use crate::engine::sample_stream_seed;
 use crate::engine::WorkerPool;
-use crate::qconv::CimConv2d;
+use crate::qconv::{CimConv2d, CimLinear};
 use crate::tiny_models::{ConvUnit, TinyCnn};
-use yoloc_cim::macro_model::{MacroParams, MvmStats, RomMvm};
-use yoloc_quant::{calibrate_affine, PerChannelQuant, QuantParams};
+use yoloc_cim::macro_model::{MacroParams, MvmStats};
+use yoloc_models::ActKind;
 use yoloc_tensor::layers::MaxPool2d;
 use yoloc_tensor::ops::conv2d_reference;
 use yoloc_tensor::{Layer, Tensor};
-
-/// A conv deployed on a macro, with where it physically lives.
-#[allow(clippy::large_enum_variant)] // variants are few and long-lived
-enum DeployedUnit {
-    Plain {
-        conv: CimConv2d,
-    },
-    ReBranch {
-        trunk: CimConv2d,
-        compress: CimConv2d,
-        res_conv: CimConv2d,
-        decompress: CimConv2d,
-    },
-}
-
-struct DeployedBlock {
-    unit: DeployedUnit,
-    pool: bool,
-    skip: bool,
-}
 
 /// Aggregate execution statistics of a deployed inference, split by
 /// memory domain.
@@ -65,18 +53,11 @@ pub struct DeployStats {
 }
 
 impl DeployStats {
-    fn add_rom(&mut self, s: MvmStats) {
-        accumulate(&mut self.rom, s);
-    }
-    fn add_sram(&mut self, s: MvmStats) {
-        accumulate(&mut self.sram, s);
-    }
-
     /// Accumulates another execution's statistics into this one (used to
     /// reduce per-sample stats from the batched engine).
     pub fn merge(&mut self, other: &DeployStats) {
-        accumulate(&mut self.rom, other.rom);
-        accumulate(&mut self.sram, other.sram);
+        self.rom.merge(&other.rom);
+        self.sram.merge(&other.sram);
     }
 
     /// Total energy across both domains, pJ.
@@ -85,42 +66,17 @@ impl DeployStats {
     }
 }
 
-/// Derives the deterministic RNG stream seed for sample `index` of a
-/// batched inference with base seed `seed`.
-///
-/// The index is mixed through a SplitMix64-style finalizer so neighbouring
-/// samples get statistically independent streams, and the mapping is pure:
-/// the noise a sample sees depends only on `(seed, index)`, never on which
-/// worker executes it or in what order — the root of the batched engine's
-/// bit-reproducibility.
-pub fn sample_stream_seed(seed: u64, index: usize) -> u64 {
-    let mut z = (index as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    seed ^ z ^ (z >> 31)
+impl From<&ExecutionReport> for DeployStats {
+    fn from(r: &ExecutionReport) -> Self {
+        DeployStats {
+            rom: r.rom,
+            sram: r.sram,
+        }
+    }
 }
 
-fn accumulate(a: &mut MvmStats, b: MvmStats) {
-    a.analog_evaluations += b.analog_evaluations;
-    a.adc_conversions += b.adc_conversions;
-    a.wl_pulses += b.wl_pulses;
-    a.energy_pj += b.energy_pj;
-    a.latency_ns += b.latency_ns;
-}
-
-/// A [`TinyCnn`] compiled onto CiM macros.
-pub struct CimDeployedModel {
-    blocks: Vec<DeployedBlock>,
-    classifier: RomMvm,
-    classifier_scales: Vec<f32>,
-    classifier_row_sums: Vec<i64>,
-    classifier_bias: Vec<f32>,
-    classifier_act: QuantParams,
-    classes: usize,
-}
-
-/// Runs the software reference of one block, returning
-/// (conv input, block output) so deployment can calibrate activations.
+/// Runs the software reference of one block, returning the block output
+/// so deployment can calibrate activations.
 fn software_block(x: &Tensor, unit: &ConvUnit, pool: bool, skip: bool) -> Tensor {
     let conv_out = match unit {
         ConvUnit::Plain(c) => conv2d_reference(x, &c.weight.value, None, 1, 1),
@@ -147,18 +103,11 @@ fn software_block(x: &Tensor, unit: &ConvUnit, pool: bool, skip: bool) -> Tensor
     }
 }
 
-/// Global average pool `(N, C, H, W) -> (N, C)`.
-fn gap(x: &Tensor) -> Tensor {
-    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    let mut out = Tensor::zeros(&[n, c]);
-    for ni in 0..n {
-        for ci in 0..c {
-            let base = (ni * c + ci) * h * w;
-            let s: f32 = x.data()[base..base + h * w].iter().sum();
-            *out.at_mut(&[ni, ci]) = s / (h * w) as f32;
-        }
-    }
-    out
+/// A [`TinyCnn`] compiled onto CiM macros, lowered onto the graph
+/// executor's [`ExecPlan`].
+pub struct CimDeployedModel {
+    plan: ExecPlan,
+    classes: usize,
 }
 
 impl CimDeployedModel {
@@ -197,81 +146,108 @@ impl CimDeployedModel {
         rom: MacroParams,
         sram: MacroParams,
     ) -> Self {
+        Self::deploy_with(model, calibration, rom, sram, MemoryParams::paper_default())
+    }
+
+    /// [`CimDeployedModel::deploy`] with an explicit memory hierarchy for
+    /// the live traffic accounting of [`CimDeployedModel::infer_report`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `calibration` is not a `(N, C, H, W)` batch matching the
+    /// model input.
+    pub fn deploy_with(
+        model: &TinyCnn,
+        calibration: &Tensor,
+        rom: MacroParams,
+        sram: MacroParams,
+        memory: MemoryParams,
+    ) -> Self {
         assert_eq!(calibration.ndim(), 4, "calibration must be (N, C, H, W)");
-        let mut blocks = Vec::new();
+        let mut plan = ExecPlan::new(memory);
         let mut h = calibration.clone();
+        let mut last_op: Option<usize> = None;
         for b in &model.blocks {
-            let unit = match &b.unit {
-                ConvUnit::Plain(c) => DeployedUnit::Plain {
+            // Where the block input comes from (the residual skip source).
+            let block_input = match last_op {
+                Some(i) => OpSource::Op(i),
+                None => OpSource::Input,
+            };
+            let op = match &b.unit {
+                ConvUnit::Plain(c) => PlanOp::Conv {
                     conv: CimConv2d::compile(&c.weight.value, 1, 1, &[&h], rom),
+                    domain: MemDomain::Rom,
                 },
                 ConvUnit::ReBranch(rb) => {
                     let (w1, wb, w2) = rb.branch_weights();
                     // Calibrate each stage on its actual software input.
                     let c_out = conv2d_reference(&h, w1, None, 1, 0);
                     let r_out = conv2d_reference(&c_out, wb, None, 1, 1);
-                    DeployedUnit::ReBranch {
+                    PlanOp::ReBranch {
                         trunk: CimConv2d::compile(&rb.trunk().weight.value, 1, 1, &[&h], rom),
                         compress: CimConv2d::compile(w1, 1, 0, &[&h], rom),
                         res_conv: CimConv2d::compile(wb, 1, 1, &[&c_out], sram),
                         decompress: CimConv2d::compile(w2, 1, 0, &[&r_out], rom),
                     }
                 }
-                ConvUnit::Spwd(s) => {
-                    // Deploy the *effective* conv (trunk + decoration) as a
-                    // single ROM matrix plus an SRAM decoration.
-                    DeployedUnit::Plain {
-                        conv: CimConv2d::compile(
-                            &s.frozen.weight.value.add(&s.deco.weight.value),
-                            1,
-                            1,
-                            &[&h],
-                            rom,
-                        ),
-                    }
-                }
+                ConvUnit::Spwd(s) => PlanOp::Conv {
+                    // Deploy the *effective* conv (trunk + decoration) as
+                    // a single ROM matrix.
+                    conv: CimConv2d::compile(
+                        &s.frozen.weight.value.add(&s.deco.weight.value),
+                        1,
+                        1,
+                        &[&h],
+                        rom,
+                    ),
+                    domain: MemDomain::Rom,
+                },
             };
+            plan.push(op);
+            if b.skip {
+                plan.push(PlanOp::ResidualAdd {
+                    source: block_input,
+                    projection: None,
+                });
+            }
+            plan.push(PlanOp::Activation(ActKind::Relu));
             let pool = b.pool_enabled();
-            blocks.push(DeployedBlock {
-                unit,
-                pool,
-                skip: b.skip,
-            });
+            if pool {
+                plan.push(PlanOp::MaxPool {
+                    kernel: 2,
+                    stride: 2,
+                });
+            }
+            last_op = Some(plan.len() - 1);
             h = software_block(&h, &b.unit, pool, b.skip);
         }
         // Classifier onto SRAM-CiM.
         let feats = gap(&h);
+        plan.push(PlanOp::GlobalAvgPool);
         let w = &model.classifier.weight.value;
-        let (outs, ins) = (w.shape()[0], w.shape()[1]);
-        let pc = PerChannelQuant::quantize(w, sram.weight_bits);
-        let row_sums: Vec<i64> = (0..outs)
-            .map(|o| {
-                pc.values[o * ins..(o + 1) * ins]
-                    .iter()
-                    .map(|&v| v as i64)
-                    .sum()
-            })
-            .collect();
         let bias = model
             .classifier
             .bias
             .as_ref()
-            .map(|b| b.value.data().to_vec())
-            .unwrap_or_else(|| vec![0.0; outs]);
-        CimDeployedModel {
-            blocks,
-            classifier: RomMvm::program(sram, &pc.values, outs, ins),
-            classifier_scales: pc.channel_params.iter().map(|p| p.scale).collect(),
-            classifier_row_sums: row_sums,
-            classifier_bias: bias,
-            classifier_act: calibrate_affine(&[&feats], sram.act_bits),
-            classes: outs,
-        }
+            .map(|b| b.value.data().to_vec());
+        let linear = CimLinear::compile(w, bias.as_deref(), &[&feats], sram);
+        let classes = linear.outs();
+        plan.push(PlanOp::Linear {
+            linear,
+            domain: MemDomain::Sram,
+        });
+        CimDeployedModel { plan, classes }
     }
 
     /// Number of output classes.
     pub fn classes(&self) -> usize {
         self.classes
+    }
+
+    /// Access to the lowered execution plan (op count, per-domain
+    /// subarray totals).
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
     }
 
     /// Enables or disables the popcount fast path on every programmed
@@ -280,23 +256,7 @@ impl CimDeployedModel {
     /// every MVM runs the cell-accurate analog reference path — the
     /// pre-engine behaviour, kept as the serial baseline for benchmarks.
     pub fn set_fast_path(&mut self, enabled: bool) {
-        for block in &mut self.blocks {
-            match &mut block.unit {
-                DeployedUnit::Plain { conv } => conv.set_fast_path(enabled),
-                DeployedUnit::ReBranch {
-                    trunk,
-                    compress,
-                    res_conv,
-                    decompress,
-                } => {
-                    trunk.set_fast_path(enabled);
-                    compress.set_fast_path(enabled);
-                    res_conv.set_fast_path(enabled);
-                    decompress.set_fast_path(enabled);
-                }
-            }
-        }
-        self.classifier.set_fast_path(enabled);
+        self.plan.set_fast_path(enabled);
     }
 
     /// Runs inference through the analog datapath; returns logits and the
@@ -326,60 +286,19 @@ impl CimDeployedModel {
     /// assert!(stats.rom.energy_pj > 0.0);
     /// ```
     pub fn infer<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, DeployStats) {
-        let mut stats = DeployStats::default();
-        let mut h = x.clone();
-        for b in &self.blocks {
-            let conv_out = match &b.unit {
-                DeployedUnit::Plain { conv } => {
-                    let (y, s) = conv.forward(&h, rng);
-                    stats.add_rom(s);
-                    y
-                }
-                DeployedUnit::ReBranch {
-                    trunk,
-                    compress,
-                    res_conv,
-                    decompress,
-                } => {
-                    let (t, s1) = trunk.forward(&h, rng);
-                    let (c, s2) = compress.forward(&h, rng);
-                    let (r, s3) = res_conv.forward(&c, rng);
-                    let (d, s4) = decompress.forward(&r, rng);
-                    stats.add_rom(s1);
-                    stats.add_rom(s2);
-                    stats.add_sram(s3);
-                    stats.add_rom(s4);
-                    t.add(&d)
-                }
-            };
-            let merged = if b.skip { conv_out.add(&h) } else { conv_out };
-            let act = merged.map(|v| v.max(0.0));
-            h = if b.pool {
-                MaxPool2d::new(2, 2).forward(&act, false)
-            } else {
-                act
-            };
-        }
-        let feats = gap(&h);
-        let n = feats.shape()[0];
-        let ins = feats.shape()[1];
-        let mut logits = Tensor::zeros(&[n, self.classes]);
-        for ni in 0..n {
-            let codes: Vec<i32> = (0..ins)
-                .map(|i| self.classifier_act.quantize_value(feats.at(&[ni, i])))
-                .collect();
-            let (acc, s) = self.classifier.mvm(&codes, rng);
-            stats.add_sram(s);
-            for (o, &a) in acc.iter().enumerate().take(self.classes) {
-                let v = self.classifier_scales[o]
-                    * self.classifier_act.scale
-                    * (a - self.classifier_act.zero_point as i64 * self.classifier_row_sums[o])
-                        as f32
-                    + self.classifier_bias[o];
-                *logits.at_mut(&[ni, o]) = v;
-            }
-        }
-        (logits, stats)
+        let (logits, report) = self.plan.execute(x, rng);
+        (logits, DeployStats::from(&report))
+    }
+
+    /// Like [`CimDeployedModel::infer`], but returns the full live
+    /// [`ExecutionReport`] — macro statistics *plus* the measured
+    /// memory-hierarchy energy breakdown of this inference.
+    pub fn infer_report<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        rng: &mut R,
+    ) -> (Tensor, ExecutionReport) {
+        self.plan.execute(x, rng)
     }
 
     /// Runs inference on a `(N, C, H, W)` batch by fanning the samples
@@ -433,32 +352,194 @@ impl CimDeployedModel {
         seed: u64,
         pool: &WorkerPool<'env>,
     ) -> (Tensor, DeployStats) {
-        assert_eq!(x.ndim(), 4, "input must be (N, C, H, W)");
-        let n = x.shape()[0];
-        let sample_shape = [1, x.shape()[1], x.shape()[2], x.shape()[3]];
-        let sample_len = x.shape()[1] * x.shape()[2] * x.shape()[3];
-        let jobs: Vec<_> = (0..n)
-            .map(|i| {
-                let sample = Tensor::from_vec(
-                    x.data()[i * sample_len..(i + 1) * sample_len].to_vec(),
-                    &sample_shape,
-                )
-                .expect("sample slice matches shape");
-                move || {
-                    let mut rng = StdRng::seed_from_u64(sample_stream_seed(seed, i));
-                    self.infer(&sample, &mut rng)
-                }
-            })
-            .collect();
-        let results = pool.run(jobs);
-        let mut logits = Tensor::zeros(&[n, self.classes]);
-        let mut stats = DeployStats::default();
-        for (i, (sample_logits, sample_stats)) in results.into_iter().enumerate() {
-            logits.data_mut()[i * self.classes..(i + 1) * self.classes]
-                .copy_from_slice(sample_logits.data());
-            stats.merge(&sample_stats);
+        let (logits, report) = self.plan.execute_batch(x, seed, pool);
+        (logits, DeployStats::from(&report))
+    }
+}
+
+pub mod legacy {
+    //! The pre-compiler `TinyCnn` deployment: a hand-written walk over
+    //! per-block deployed units. Kept verbatim as the **golden reference**
+    //! the graph executor's lowering is pinned against — the parity tests
+    //! require bit-identical logits and [`DeployStats`] on the noiseless
+    //! datapath, for both serial and batched inference.
+
+    use super::*;
+
+    /// A conv deployed on a macro, with where it physically lives.
+    #[allow(clippy::large_enum_variant)] // variants are few and long-lived
+    enum DeployedUnit {
+        Plain {
+            conv: CimConv2d,
+        },
+        ReBranch {
+            trunk: CimConv2d,
+            compress: CimConv2d,
+            res_conv: CimConv2d,
+            decompress: CimConv2d,
+        },
+    }
+
+    struct DeployedBlock {
+        unit: DeployedUnit,
+        pool: bool,
+        skip: bool,
+    }
+
+    /// A [`TinyCnn`] compiled onto CiM macros via the legacy direct walk.
+    pub struct LegacyDeployedModel {
+        blocks: Vec<DeployedBlock>,
+        classifier: CimLinear,
+        classes: usize,
+    }
+
+    impl LegacyDeployedModel {
+        /// Legacy counterpart of [`CimDeployedModel::deploy`].
+        ///
+        /// # Panics
+        ///
+        /// Panics if `calibration` is not a `(N, C, H, W)` batch matching
+        /// the model input.
+        pub fn deploy(
+            model: &TinyCnn,
+            calibration: &Tensor,
+            rom: MacroParams,
+            sram: MacroParams,
+        ) -> Self {
+            assert_eq!(calibration.ndim(), 4, "calibration must be (N, C, H, W)");
+            let mut blocks = Vec::new();
+            let mut h = calibration.clone();
+            for b in &model.blocks {
+                let unit = match &b.unit {
+                    ConvUnit::Plain(c) => DeployedUnit::Plain {
+                        conv: CimConv2d::compile(&c.weight.value, 1, 1, &[&h], rom),
+                    },
+                    ConvUnit::ReBranch(rb) => {
+                        let (w1, wb, w2) = rb.branch_weights();
+                        let c_out = conv2d_reference(&h, w1, None, 1, 0);
+                        let r_out = conv2d_reference(&c_out, wb, None, 1, 1);
+                        DeployedUnit::ReBranch {
+                            trunk: CimConv2d::compile(&rb.trunk().weight.value, 1, 1, &[&h], rom),
+                            compress: CimConv2d::compile(w1, 1, 0, &[&h], rom),
+                            res_conv: CimConv2d::compile(wb, 1, 1, &[&c_out], sram),
+                            decompress: CimConv2d::compile(w2, 1, 0, &[&r_out], rom),
+                        }
+                    }
+                    ConvUnit::Spwd(s) => DeployedUnit::Plain {
+                        conv: CimConv2d::compile(
+                            &s.frozen.weight.value.add(&s.deco.weight.value),
+                            1,
+                            1,
+                            &[&h],
+                            rom,
+                        ),
+                    },
+                };
+                let pool = b.pool_enabled();
+                blocks.push(DeployedBlock {
+                    unit,
+                    pool,
+                    skip: b.skip,
+                });
+                h = software_block(&h, &b.unit, pool, b.skip);
+            }
+            let feats = gap(&h);
+            let w = &model.classifier.weight.value;
+            let bias = model
+                .classifier
+                .bias
+                .as_ref()
+                .map(|b| b.value.data().to_vec());
+            let classifier = CimLinear::compile(w, bias.as_deref(), &[&feats], sram);
+            let classes = classifier.outs();
+            LegacyDeployedModel {
+                blocks,
+                classifier,
+                classes,
+            }
         }
-        (logits, stats)
+
+        /// Legacy counterpart of [`CimDeployedModel::infer`].
+        pub fn infer<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, DeployStats) {
+            let mut stats = DeployStats::default();
+            let mut h = x.clone();
+            for b in &self.blocks {
+                let conv_out = match &b.unit {
+                    DeployedUnit::Plain { conv } => {
+                        let (y, s) = conv.forward(&h, rng);
+                        stats.rom.merge(&s);
+                        y
+                    }
+                    DeployedUnit::ReBranch {
+                        trunk,
+                        compress,
+                        res_conv,
+                        decompress,
+                    } => {
+                        let (t, s1) = trunk.forward(&h, rng);
+                        let (c, s2) = compress.forward(&h, rng);
+                        let (r, s3) = res_conv.forward(&c, rng);
+                        let (d, s4) = decompress.forward(&r, rng);
+                        stats.rom.merge(&s1);
+                        stats.rom.merge(&s2);
+                        stats.sram.merge(&s3);
+                        stats.rom.merge(&s4);
+                        t.add(&d)
+                    }
+                };
+                let merged = if b.skip { conv_out.add(&h) } else { conv_out };
+                let act = merged.map(|v| v.max(0.0));
+                h = if b.pool {
+                    MaxPool2d::new(2, 2).forward(&act, false)
+                } else {
+                    act
+                };
+            }
+            let feats = gap(&h);
+            let logits = self.classifier.forward(&feats, rng, &mut stats.sram);
+            (logits, stats)
+        }
+
+        /// Legacy counterpart of [`CimDeployedModel::infer_batch`].
+        ///
+        /// # Panics
+        ///
+        /// Panics if `x` is not rank-4.
+        pub fn infer_batch<'env>(
+            &'env self,
+            x: &Tensor,
+            seed: u64,
+            pool: &WorkerPool<'env>,
+        ) -> (Tensor, DeployStats) {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            assert_eq!(x.ndim(), 4, "input must be (N, C, H, W)");
+            let n = x.shape()[0];
+            let sample_shape = [1, x.shape()[1], x.shape()[2], x.shape()[3]];
+            let sample_len = x.shape()[1] * x.shape()[2] * x.shape()[3];
+            let jobs: Vec<_> = (0..n)
+                .map(|i| {
+                    let sample = Tensor::from_vec(
+                        x.data()[i * sample_len..(i + 1) * sample_len].to_vec(),
+                        &sample_shape,
+                    )
+                    .expect("sample slice matches shape");
+                    move || {
+                        let mut rng = StdRng::seed_from_u64(sample_stream_seed(seed, i));
+                        self.infer(&sample, &mut rng)
+                    }
+                })
+                .collect();
+            let results = pool.run(jobs);
+            let mut logits = Tensor::zeros(&[n, self.classes]);
+            let mut stats = DeployStats::default();
+            for (i, (sample_logits, sample_stats)) in results.into_iter().enumerate() {
+                logits.data_mut()[i * self.classes..(i + 1) * self.classes]
+                    .copy_from_slice(sample_logits.data());
+                stats.merge(&sample_stats);
+            }
+            (logits, stats)
+        }
     }
 }
 
@@ -492,6 +573,8 @@ pub fn accuracy_software_vs_cim_batch<'env>(
     seed: u64,
     pool: &WorkerPool<'env>,
 ) -> (f32, f32, DeployStats) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(seed);
     let (x, y) = task.batch(n, &mut rng);
     let sw_logits = model.forward(&x, false);
@@ -503,6 +586,7 @@ pub fn accuracy_software_vs_cim_batch<'env>(
 
 #[cfg(test)]
 mod tests {
+    use super::legacy::LegacyDeployedModel;
     use super::*;
     use crate::strategies::{pretrain_base, TrainConfig};
     use crate::tiny_models::Family;
@@ -578,11 +662,91 @@ mod tests {
         sram: MacroParams,
         batch: usize,
     ) -> (CimDeployedModel, Tensor) {
+        let (model, x) = quick_model(batch);
+        let deployed = CimDeployedModel::deploy(&model, &x, rom, sram);
+        (deployed, x)
+    }
+
+    fn quick_model(batch: usize) -> (TinyCnn, Tensor) {
         let mut rng = StdRng::seed_from_u64(20);
         let model = TinyCnn::plain(Family::Vgg, 3, &[6, 8], 4, &mut rng);
         let x = Tensor::rand_uniform(&[batch, 3, 12, 12], 0.0, 1.0, &mut rng);
-        let deployed = CimDeployedModel::deploy(&model, &x, rom, sram);
-        (deployed, x)
+        (model, x)
+    }
+
+    #[test]
+    fn executor_lowering_bit_identical_to_legacy_serial() {
+        // THE parity pin of the graph-compiler refactor: the TinyCnn
+        // lowering onto the ExecPlan must reproduce the legacy direct
+        // walk bit-for-bit — logits AND stats — on the noiseless
+        // datapath.
+        let (rom, sram) = small_params();
+        let (model, x) = quick_model(5);
+        let new = CimDeployedModel::deploy(&model, &x, rom, sram);
+        let old = LegacyDeployedModel::deploy(&model, &x, rom, sram);
+        let mut rng_a = StdRng::seed_from_u64(77);
+        let mut rng_b = StdRng::seed_from_u64(77);
+        let (logits_new, stats_new) = new.infer(&x, &mut rng_a);
+        let (logits_old, stats_old) = old.infer(&x, &mut rng_b);
+        assert_eq!(
+            logits_new.data(),
+            logits_old.data(),
+            "logits must match bit-for-bit"
+        );
+        assert_eq!(stats_new, stats_old, "MvmStats must match bit-for-bit");
+    }
+
+    #[test]
+    fn executor_lowering_bit_identical_to_legacy_with_rebranch() {
+        // Same pin through the ReBranch group op: wrap the model's convs
+        // into ReBranch units and deploy both ways.
+        use crate::rebranch::ReBranchRatios;
+        use crate::strategies::{build_strategy_model, Strategy};
+        let suite = TransferSuite::new(40);
+        let model = pretrain_base(
+            Family::Vgg,
+            &[6, 8],
+            &suite.pretrain,
+            TrainConfig::smoke(),
+            40,
+        );
+        let mut rng = StdRng::seed_from_u64(41);
+        let rb = build_strategy_model(
+            &model,
+            Strategy::ReBranch(ReBranchRatios { d: 2, u: 2 }),
+            4,
+            &mut rng,
+        );
+        let (cal, _) = suite.pretrain.batch(6, &mut rng);
+        let (rom, sram) = small_params();
+        let new = CimDeployedModel::deploy(&rb, &cal, rom, sram);
+        let old = LegacyDeployedModel::deploy(&rb, &cal, rom, sram);
+        let (x, _) = suite.pretrain.batch(3, &mut rng);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let (ln, sn) = new.infer(&x, &mut rng_a);
+        let (lo, so) = old.infer(&x, &mut rng_b);
+        assert_eq!(ln.data(), lo.data());
+        assert_eq!(sn, so);
+        assert!(sn.sram.energy_pj > 0.0, "res-conv must land in SRAM");
+    }
+
+    #[test]
+    fn executor_lowering_bit_identical_to_legacy_batched() {
+        // Parity holds through the batched engine too, for any worker
+        // count (exact logits and event counters; f64 energy within
+        // summation-order tolerance by construction — both reduce in
+        // sample order, so they are equal here as well).
+        let (rom, sram) = small_params();
+        let (model, x) = quick_model(6);
+        let new = CimDeployedModel::deploy(&model, &x, rom, sram);
+        let old = LegacyDeployedModel::deploy(&model, &x, rom, sram);
+        for workers in [1, 3] {
+            let (ln, sn) = WorkerPool::with(workers, |pool| new.infer_batch(&x, 99, pool));
+            let (lo, so) = WorkerPool::with(workers, |pool| old.infer_batch(&x, 99, pool));
+            assert_eq!(ln.data(), lo.data(), "workers = {workers}");
+            assert_eq!(sn, so, "workers = {workers}");
+        }
     }
 
     #[test]
@@ -649,6 +813,26 @@ mod tests {
         deployed.set_fast_path(false);
         let (reference, _) = deployed.infer(&x, &mut rng);
         assert_eq!(fast.data(), reference.data());
+    }
+
+    #[test]
+    fn live_report_prices_the_memory_hierarchy() {
+        // The unification point of the refactor: a TinyCnn inference now
+        // yields a live EnergyBreakdown, not just macro counters.
+        let (rom, sram) = small_params();
+        let (deployed, x) = quick_deployment(rom, sram, 2);
+        let mut rng = StdRng::seed_from_u64(23);
+        let (_, report) = deployed.infer_report(&x, &mut rng);
+        assert!(report.energy.cim_uj > 0.0);
+        assert!(report.energy.buffer_uj > 0.0);
+        assert!(report.energy.noc_uj > 0.0);
+        assert!(report.energy.dram_uj > 0.0);
+        assert!(report.energy.peripheral_uj > 0.0);
+        assert!(report.buffer_traffic_bits > report.dram_traffic_bits);
+        assert!(report.latency_ns > 0.0);
+        // Consistency with the DeployStats view.
+        let expected_cim = (report.rom.energy_pj + report.sram.energy_pj) / 1e6;
+        assert!((report.energy.cim_uj - expected_cim).abs() < 1e-12);
     }
 
     #[test]

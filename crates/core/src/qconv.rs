@@ -1,29 +1,61 @@
-//! Quantized convolution executed on the ROM-CiM macro.
+//! Quantized convolution and linear layers executed on an MVM backend.
 //!
-//! This is the deployment path of Fig. 9: a convolution's weights are
-//! quantized per-channel to 8 bits, lowered to a `(out_ch, in_ch*k*k)`
-//! matrix, bit-plane-decomposed and mask-programmed into analog subarrays;
-//! at run time activations are affine-quantized, driven through the
-//! bit-serial datapath, and the ADC results are dequantized with
-//! zero-point correction. With the paper's 5-bit-ADC design point the
-//! integer arithmetic is exact, so the only deviation from a software
-//! conv is the quantization itself — the basis for the paper's "almost no
-//! accuracy loss" claim, which the integration tests verify end to end.
+//! This is the deployment path of Fig. 9: a layer's weights are quantized
+//! per-channel to 8 bits, lowered to a `(out_ch, in_ch*k*k)` (conv) or
+//! `(out_features, in_features)` (linear) matrix and programmed onto an
+//! [`MvmBackend`] — the analog reference path, the popcount fast path, or
+//! the pure-software integer reference, selected per layer
+//! ([`yoloc_cim::BackendKind`]). At run time activations are
+//! affine-quantized, driven through the backend, and the results are
+//! dequantized with zero-point correction. With the paper's 5-bit-ADC
+//! design point the integer arithmetic is exact, so the only deviation
+//! from a software layer is the quantization itself — the basis for the
+//! paper's "almost no accuracy loss" claim, which the integration tests
+//! verify end to end.
 
 use rand::Rng;
 
-use yoloc_cim::macro_model::{MacroParams, MvmStats, RomMvm};
+use yoloc_cim::backend::{program_backend, BackendKind, DynRng, MvmBackend};
+use yoloc_cim::macro_model::{MacroParams, MvmStats};
 use yoloc_quant::{calibrate_affine, PerChannelQuant, QuantParams};
 use yoloc_tensor::ops::{im2col, Conv2dGeometry};
 use yoloc_tensor::Tensor;
 
-/// A convolution compiled onto ROM-CiM subarrays.
-pub struct CimConv2d {
-    engine: RomMvm,
-    /// Per-output-channel symmetric weight scales.
+/// Per-channel dequantization state shared by conv and linear layers:
+/// symmetric weight scales plus weight-code row sums for zero-point
+/// correction.
+struct Dequant {
     channel_scales: Vec<f32>,
-    /// Per-output-channel weight-code row sums (zero-point correction).
     row_sums: Vec<i64>,
+}
+
+impl Dequant {
+    fn from_quant(pc: &PerChannelQuant, outs: usize, ins: usize) -> Self {
+        let row_sums: Vec<i64> = (0..outs)
+            .map(|o| {
+                pc.values[o * ins..(o + 1) * ins]
+                    .iter()
+                    .map(|&v| v as i64)
+                    .sum()
+            })
+            .collect();
+        Dequant {
+            channel_scales: pc.channel_params.iter().map(|p| p.scale).collect(),
+            row_sums,
+        }
+    }
+
+    /// Dequantizes one accumulator value for output channel `o`.
+    #[inline]
+    fn value(&self, o: usize, acc: i64, act: &QuantParams) -> f32 {
+        self.channel_scales[o] * act.scale * (acc - act.zero_point as i64 * self.row_sums[o]) as f32
+    }
+}
+
+/// A convolution compiled onto an MVM backend.
+pub struct CimConv2d {
+    engine: Box<dyn MvmBackend>,
+    dequant: Dequant,
     /// Activation quantization parameters.
     pub act_params: QuantParams,
     geom: Conv2dGeometry,
@@ -31,7 +63,10 @@ pub struct CimConv2d {
 }
 
 impl CimConv2d {
-    /// Compiles `weight` (`(OC, C, k, k)`) into a programmed macro.
+    /// Compiles `weight` (`(OC, C, k, k)`) onto the default
+    /// [`BackendKind::Popcount`] backend (bit-identical to the analog
+    /// reference whenever both apply, with automatic analog fallback for
+    /// noisy macros).
     ///
     /// `calibration` tensors determine the activation quantization range
     /// (include zero automatically).
@@ -46,25 +81,40 @@ impl CimConv2d {
         calibration: &[&Tensor],
         params: MacroParams,
     ) -> Self {
+        Self::compile_on(
+            BackendKind::Popcount,
+            weight,
+            stride,
+            padding,
+            calibration,
+            params,
+        )
+    }
+
+    /// Compiles `weight` onto an explicitly chosen backend (the per-layer
+    /// selection point of the graph compiler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not rank-4.
+    pub fn compile_on(
+        kind: BackendKind,
+        weight: &Tensor,
+        stride: usize,
+        padding: usize,
+        calibration: &[&Tensor],
+        params: MacroParams,
+    ) -> Self {
         assert_eq!(weight.ndim(), 4, "weight must be (OC, C, k, k)");
         let (oc, c, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
         let patch = c * k * k;
         let pc = PerChannelQuant::quantize(weight, params.weight_bits);
-        let row_sums: Vec<i64> = (0..oc)
-            .map(|o| {
-                pc.values[o * patch..(o + 1) * patch]
-                    .iter()
-                    .map(|&v| v as i64)
-                    .sum()
-            })
-            .collect();
-        let channel_scales: Vec<f32> = pc.channel_params.iter().map(|p| p.scale).collect();
-        let engine = RomMvm::program(params, &pc.values, oc, patch);
+        let dequant = Dequant::from_quant(&pc, oc, patch);
+        let engine = program_backend(kind, params, &pc.values, oc, patch);
         let act_params = calibrate_affine(calibration, params.act_bits);
         CimConv2d {
             engine,
-            channel_scales,
-            row_sums,
+            dequant,
             act_params,
             geom: Conv2dGeometry {
                 in_channels: c,
@@ -76,20 +126,27 @@ impl CimConv2d {
         }
     }
 
-    /// Number of physical subarrays programmed.
+    /// Number of physical subarrays programmed (0 on the software
+    /// reference backend).
     pub fn subarrays(&self) -> usize {
         self.engine.subarrays_used()
     }
 
-    /// Enables or disables the macro's popcount fast path (see
-    /// [`RomMvm::set_fast_path`]). Disabling it forces every forward pass
-    /// through the cell-accurate analog reference path.
+    /// The execution path this layer currently runs on.
+    pub fn backend_name(&self) -> &'static str {
+        self.engine.backend_name()
+    }
+
+    /// Enables or disables the backend's popcount fast path where one
+    /// exists (see [`yoloc_cim::macro_model::RomMvm::set_fast_path`]).
+    /// Disabling it forces hardware backends through the cell-accurate
+    /// analog reference path.
     pub fn set_fast_path(&mut self, enabled: bool) {
         self.engine.set_fast_path(enabled);
     }
 
     /// Runs the convolution on `x` (`(N, C, H, W)`), returning the output
-    /// feature map and the accumulated macro statistics.
+    /// feature map and the accumulated backend statistics.
     pub fn forward<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, MvmStats) {
         let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.geom.output_hw(h, w);
@@ -98,27 +155,137 @@ impl CimConv2d {
         let positions = cols.shape()[1];
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
         let mut stats = MvmStats::default();
+        let mut dyn_rng = DynRng(rng);
         for pos in 0..positions {
             // Quantize this activation column.
             let codes: Vec<i32> = (0..patch)
                 .map(|r| self.act_params.quantize_value(cols.at(&[r, pos])))
                 .collect();
-            let (acc, s) = self.engine.mvm(&codes, rng);
-            stats.analog_evaluations += s.analog_evaluations;
-            stats.adc_conversions += s.adc_conversions;
-            stats.wl_pulses += s.wl_pulses;
-            stats.energy_pj += s.energy_pj;
-            stats.latency_ns += s.latency_ns;
+            let (acc, s) = self.engine.mvm(&codes, &mut dyn_rng);
+            stats.merge(&s);
             let ni = pos / (oh * ow);
             let p = pos % (oh * ow);
             for (o, &a) in acc.iter().enumerate().take(self.out_channels) {
-                let v = self.channel_scales[o]
-                    * self.act_params.scale
-                    * (a - self.act_params.zero_point as i64 * self.row_sums[o]) as f32;
-                *out.at_mut(&[ni, o, p / ow, p % ow]) = v;
+                *out.at_mut(&[ni, o, p / ow, p % ow]) = self.dequant.value(o, a, &self.act_params);
             }
         }
         (out, stats)
+    }
+}
+
+/// A fully-connected layer compiled onto an MVM backend (the prediction
+/// head / classifier path of Fig. 9, always SRAM-CiM in the paper).
+pub struct CimLinear {
+    engine: Box<dyn MvmBackend>,
+    dequant: Dequant,
+    bias: Vec<f32>,
+    /// Activation quantization parameters.
+    pub act_params: QuantParams,
+    outs: usize,
+    ins: usize,
+}
+
+impl CimLinear {
+    /// Compiles `weight` (`(outs, ins)`) with an optional bias vector onto
+    /// the default popcount backend; see [`CimLinear::compile_on`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not rank-2 or the bias length mismatches.
+    pub fn compile(
+        weight: &Tensor,
+        bias: Option<&[f32]>,
+        calibration: &[&Tensor],
+        params: MacroParams,
+    ) -> Self {
+        Self::compile_on(BackendKind::Popcount, weight, bias, calibration, params)
+    }
+
+    /// Compiles onto an explicitly chosen backend. The bias is applied
+    /// digitally after dequantization (biases are never stored in the
+    /// arrays; see `mapping.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not rank-2 or the bias length mismatches.
+    pub fn compile_on(
+        kind: BackendKind,
+        weight: &Tensor,
+        bias: Option<&[f32]>,
+        calibration: &[&Tensor],
+        params: MacroParams,
+    ) -> Self {
+        assert_eq!(weight.ndim(), 2, "weight must be (outs, ins)");
+        let (outs, ins) = (weight.shape()[0], weight.shape()[1]);
+        let pc = PerChannelQuant::quantize(weight, params.weight_bits);
+        let dequant = Dequant::from_quant(&pc, outs, ins);
+        let bias = match bias {
+            Some(b) => {
+                assert_eq!(b.len(), outs, "bias length mismatch");
+                b.to_vec()
+            }
+            None => vec![0.0; outs],
+        };
+        CimLinear {
+            engine: program_backend(kind, params, &pc.values, outs, ins),
+            dequant,
+            bias,
+            act_params: calibrate_affine(calibration, params.act_bits),
+            outs,
+            ins,
+        }
+    }
+
+    /// Output features.
+    pub fn outs(&self) -> usize {
+        self.outs
+    }
+
+    /// Number of physical subarrays programmed.
+    pub fn subarrays(&self) -> usize {
+        self.engine.subarrays_used()
+    }
+
+    /// The execution path this layer currently runs on.
+    pub fn backend_name(&self) -> &'static str {
+        self.engine.backend_name()
+    }
+
+    /// Enables or disables the backend's popcount fast path.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.engine.set_fast_path(enabled);
+    }
+
+    /// Runs the layer on `feats` (`(N, ins)`), merging per-sample backend
+    /// statistics into `sink` **in sample order** (so callers that keep
+    /// their own accumulators reduce in exactly the sequence the legacy
+    /// pipeline did — the root of the bit-identical-stats parity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feats` is not `(N, ins)`.
+    pub fn forward<R: Rng + ?Sized>(
+        &self,
+        feats: &Tensor,
+        rng: &mut R,
+        sink: &mut MvmStats,
+    ) -> Tensor {
+        assert_eq!(feats.ndim(), 2, "features must be (N, ins)");
+        assert_eq!(feats.shape()[1], self.ins, "feature width mismatch");
+        let n = feats.shape()[0];
+        let mut out = Tensor::zeros(&[n, self.outs]);
+        let mut dyn_rng = DynRng(rng);
+        for ni in 0..n {
+            let codes = self
+                .act_params
+                .quantize_all(&feats.data()[ni * self.ins..(ni + 1) * self.ins]);
+            let (acc, s) = self.engine.mvm(&codes, &mut dyn_rng);
+            sink.merge(&s);
+            for (o, &a) in acc.iter().enumerate().take(self.outs) {
+                *out.at_mut(&[ni, o]) = self.dequant.value(o, a, &self.act_params) + self.bias[o];
+            }
+        }
+        out
     }
 }
 
@@ -168,5 +335,68 @@ mod tests {
         }
         assert!(max_rel > 0.0, "noise should perturb the output");
         assert!(max_rel < 0.5, "noise error out of control: {max_rel}");
+    }
+
+    #[test]
+    fn conv_backends_agree_at_paper_design_point() {
+        // The per-layer backend selection point: analog, popcount and
+        // software deployments of the same conv agree bit-for-bit at the
+        // paper's exact design point.
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Tensor::randn(&[4, 3, 3, 3], 0.0, 0.4, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let params = MacroParams::rom_paper();
+        let outputs: Vec<Tensor> = [
+            BackendKind::Analog,
+            BackendKind::Popcount,
+            BackendKind::Software,
+        ]
+        .into_iter()
+        .map(|kind| {
+            let conv = CimConv2d::compile_on(kind, &w, 1, 1, &[&x], params);
+            conv.forward(&x, &mut rng).0
+        })
+        .collect();
+        assert_eq!(outputs[0].data(), outputs[1].data());
+        assert_eq!(outputs[1].data(), outputs[2].data());
+    }
+
+    #[test]
+    fn cim_linear_matches_software_within_quantization() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = Tensor::randn(&[5, 24], 0.0, 0.4, &mut rng);
+        let x = Tensor::rand_uniform(&[3, 24], 0.0, 1.0, &mut rng);
+        let bias: Vec<f32> = (0..5).map(|i| i as f32 * 0.1).collect();
+        let linear = CimLinear::compile(&w, Some(&bias), &[&x], MacroParams::sram_paper());
+        let mut stats = MvmStats::default();
+        let y = linear.forward(&x, &mut rng, &mut stats);
+        assert!(stats.adc_conversions > 0);
+        // Float reference: y = W x + b.
+        for ni in 0..3 {
+            for (o, b) in bias.iter().enumerate() {
+                let expect: f32 = (0..24).map(|i| w.at(&[o, i]) * x.at(&[ni, i])).sum::<f32>() + b;
+                let got = y.at(&[ni, o]);
+                assert!((got - expect).abs() < 0.05, "{got} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn cim_linear_software_backend_zero_stats() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = Tensor::randn(&[4, 16], 0.0, 0.4, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 16], 0.0, 1.0, &mut rng);
+        let linear = CimLinear::compile_on(
+            BackendKind::Software,
+            &w,
+            None,
+            &[&x],
+            MacroParams::sram_paper(),
+        );
+        assert_eq!(linear.subarrays(), 0);
+        assert_eq!(linear.backend_name(), "software");
+        let mut stats = MvmStats::default();
+        linear.forward(&x, &mut rng, &mut stats);
+        assert_eq!(stats, MvmStats::default());
     }
 }

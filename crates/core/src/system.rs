@@ -112,6 +112,10 @@ pub struct EnergyBreakdown {
     pub peripheral_uj: f64,
     /// Activation buffer traffic.
     pub buffer_uj: f64,
+    /// On-chip mesh NoC traffic between CiM macro clusters and the cache
+    /// (accounted live by the graph executor; the static model folds it
+    /// into `peripheral_uj`).
+    pub noc_uj: f64,
     /// DRAM transfer energy (weights + materialized activations).
     pub dram_uj: f64,
     /// SRAM-CiM array write energy for streamed weights.
@@ -123,11 +127,36 @@ pub struct EnergyBreakdown {
 }
 
 impl EnergyBreakdown {
+    /// Adds another breakdown component-wise (used to reduce per-sample
+    /// breakdowns from the batched executor). Lives next to the struct so
+    /// adding a field here forces the reduction to be updated too.
+    pub fn accumulate(&mut self, other: &EnergyBreakdown) {
+        let EnergyBreakdown {
+            cim_uj,
+            peripheral_uj,
+            buffer_uj,
+            noc_uj,
+            dram_uj,
+            write_uj,
+            stall_uj,
+            link_uj,
+        } = other;
+        self.cim_uj += cim_uj;
+        self.peripheral_uj += peripheral_uj;
+        self.buffer_uj += buffer_uj;
+        self.noc_uj += noc_uj;
+        self.dram_uj += dram_uj;
+        self.write_uj += write_uj;
+        self.stall_uj += stall_uj;
+        self.link_uj += link_uj;
+    }
+
     /// Total energy per inference, µJ.
     pub fn total_uj(&self) -> f64 {
         self.cim_uj
             + self.peripheral_uj
             + self.buffer_uj
+            + self.noc_uj
             + self.dram_uj
             + self.write_uj
             + self.stall_uj
@@ -417,6 +446,7 @@ pub fn evaluate(
                 cim_uj: cim_pj / 1e6,
                 peripheral_uj: cim_pj * (p.peripheral_overhead - 1.0) / 1e6,
                 buffer_uj: buffer_pj / 1e6,
+                noc_uj: 0.0,
                 dram_uj: dram_pj / 1e6,
                 write_uj: write_pj / 1e6,
                 stall_uj: stall_pj / 1e6,

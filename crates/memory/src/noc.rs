@@ -59,6 +59,24 @@ impl MeshNoc {
         bits as f64 * self.e_hop_pj_per_bit * hops as f64
     }
 
+    /// Energy to move `bits` under uniform-random traffic (the graph
+    /// executor's model for feature maps travelling between the cache and
+    /// whatever macro cluster holds the next layer): [`MeshNoc::average_hops`]
+    /// hops per bit, pJ.
+    pub fn uniform_transfer_energy_pj(&self, bits: u64) -> f64 {
+        bits as f64 * self.e_hop_pj_per_bit * self.average_hops()
+    }
+
+    /// Latency of one `bits`-sized transfer at the average hop count:
+    /// head latency plus pipelined flit serialization, ns.
+    pub fn uniform_transfer_latency_ns(&self, bits: u64) -> f64 {
+        if bits == 0 {
+            return 0.0;
+        }
+        let flits = bits.div_ceil(self.flit_bits as u64);
+        self.average_hops() * self.t_hop_ns + (flits.saturating_sub(1)) as f64 * self.t_hop_ns
+    }
+
     /// Latency to move `bits` over `hops` hops: head latency plus
     /// pipelined flit serialization, ns.
     pub fn transfer_latency_ns(&self, bits: u64, hops: usize) -> f64 {

@@ -1,0 +1,127 @@
+//! Cost-model invariants of the memory-hierarchy models.
+//!
+//! The graph executor prices live traffic against these models, so the
+//! system-level conclusions (Fig. 13/14 and the live `EnergyBreakdown`)
+//! are only as sound as these invariants: energies monotone in bits,
+//! DRAM strictly costlier per bit than on-chip SRAM, and the NoC's
+//! uniform-traffic hop count exactly the analytic `(W + H) / 3`.
+
+use yoloc_memory::{ChipletLink, DramModel, MeshNoc, SramBuffer};
+
+#[test]
+fn sram_energy_and_latency_monotone_in_bits() {
+    let buf = SramBuffer::new_28nm(2 * 1024 * 1024);
+    let mut last_e = -1.0;
+    for bits in [0u64, 1, 64, 1_000, 65_536, 1_000_000] {
+        let e = buf.access_energy_pj(bits);
+        assert!(e >= last_e, "access energy not monotone at {bits}");
+        last_e = e;
+    }
+    let mut last_t = -1.0;
+    for bits in [1u64, 64, 1_000, 65_536] {
+        let t = buf.stream_latency_ns(bits);
+        assert!(t >= last_t, "stream latency not monotone at {bits}");
+        last_t = t;
+    }
+}
+
+#[test]
+fn sram_energy_monotone_in_capacity() {
+    // Bigger buffers pay more per access (longer word/bit lines).
+    let mut last = -1.0;
+    for cap in [1u64 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24] {
+        let e = SramBuffer::new_28nm(cap).access_energy_pj(64);
+        assert!(e >= last, "per-access energy not monotone at {cap} bits");
+        last = e;
+    }
+}
+
+#[test]
+fn dram_energy_and_latency_monotone_in_bits() {
+    let d = DramModel::lpddr4();
+    let mut last_e = -1.0;
+    let mut last_t = -1.0;
+    for bits in [0u64, 1, 512, 10_000, 1_000_000, 368_000_000] {
+        let e = d.transfer_energy_pj(bits);
+        let t = d.transfer_latency_ns(bits);
+        assert!(
+            e >= last_e && t >= last_t,
+            "DRAM cost not monotone at {bits}"
+        );
+        last_e = e;
+        last_t = t;
+    }
+}
+
+#[test]
+fn dram_bit_strictly_costlier_than_sram_bit_at_any_buffer_size() {
+    // The premise of the paper's memory-wall argument must hold for every
+    // plausible on-chip buffer, not just the default.
+    let d = DramModel::lpddr4();
+    for cap in [1u64 << 16, 1 << 20, 1 << 24, 1 << 27] {
+        let s = SramBuffer::new_28nm(cap);
+        assert!(
+            d.transfer_energy_pj(1) > s.access_energy_pj(1),
+            "DRAM must beat SRAM per-bit energy at capacity {cap}"
+        );
+    }
+}
+
+#[test]
+fn noc_average_hops_exact_on_small_meshes() {
+    // Uniform-random traffic on a W x H mesh averages (W + H) / 3 hops —
+    // check the implementation against exact values.
+    for (w, h, expect) in [
+        (1usize, 1usize, 2.0 / 3.0),
+        (2, 2, 4.0 / 3.0),
+        (3, 3, 2.0),
+        (4, 4, 8.0 / 3.0),
+        (6, 3, 3.0),
+        (8, 2, 10.0 / 3.0),
+    ] {
+        let noc = MeshNoc::new_28nm(w, h);
+        assert!(
+            (noc.average_hops() - expect).abs() < 1e-12,
+            "{w}x{h}: got {}, expect {expect}",
+            noc.average_hops()
+        );
+    }
+}
+
+#[test]
+fn noc_uniform_transfer_consistent_with_hop_model() {
+    let noc = MeshNoc::new_28nm(4, 4);
+    let bits = 4096;
+    // Energy: exactly bits * e_hop * average_hops.
+    let expect = bits as f64 * noc.e_hop_pj_per_bit * noc.average_hops();
+    assert!((noc.uniform_transfer_energy_pj(bits) - expect).abs() < 1e-9);
+    // Monotone in bits, zero at zero.
+    assert_eq!(noc.uniform_transfer_energy_pj(0), 0.0);
+    assert_eq!(noc.uniform_transfer_latency_ns(0), 0.0);
+    // Monotone (non-decreasing) in bits; strictly larger once the
+    // transfer spans multiple flits.
+    let mut last = 0.0;
+    for b in [1u64, 128, 1_000, 100_000] {
+        let t = noc.uniform_transfer_latency_ns(b);
+        assert!(t >= last);
+        last = t;
+    }
+    assert!(
+        noc.uniform_transfer_latency_ns(100_000) > noc.uniform_transfer_latency_ns(1),
+        "multi-flit transfers must take longer"
+    );
+}
+
+#[test]
+fn cost_hierarchy_noc_below_link_below_dram() {
+    // Per-bit movement cost must order on-chip < die-to-die < off-chip —
+    // the ordering every system-level claim in the paper rests on.
+    let noc = MeshNoc::new_28nm(4, 4);
+    let link = ChipletLink::simba();
+    let dram = DramModel::lpddr4();
+    let noc_bit = noc.uniform_transfer_energy_pj(1);
+    let link_bit = link.transfer_energy_pj(1);
+    let dram_bit = dram.transfer_energy_pj(1);
+    assert!(noc_bit < link_bit, "NoC {noc_bit} vs link {link_bit}");
+    assert!(link_bit < dram_bit, "link {link_bit} vs DRAM {dram_bit}");
+}

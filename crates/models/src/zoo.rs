@@ -209,6 +209,81 @@ pub fn tiny_yolo(classes: usize, anchors: usize) -> NetworkDesc {
     net
 }
 
+/// Scales a zoo description to an executable footprint: divides every
+/// channel count by `div` (minimum 1, including the input channels) and
+/// re-resolutions the input to `(h, w)`.
+///
+/// Fully-convolutional detection networks re-resolve exactly; classifier
+/// networks keep their `Linear` head valid because it follows global
+/// average pooling (`in_features` equals the last channel count, which
+/// scales by the same rule). The scaled description keeps the zoo
+/// architecture's depth, stage structure and residual/passthrough
+/// topology — it is the same graph at a width the functional CiM
+/// simulator executes end to end in milliseconds instead of hours.
+///
+/// Use divisors that divide the network's channel widths (8/16/32 for the
+/// zoo) so concatenation arithmetic (`Passthrough`) stays consistent; the
+/// result should always be validated with [`NetworkDesc::analyze`].
+pub fn scaled(net: &NetworkDesc, div: usize, hw: (usize, usize)) -> NetworkDesc {
+    let s = |c: usize| (c / div).max(1);
+    let mut out = NetworkDesc::new(
+        format!("{}/w{}@{}x{}", net.name, div, hw.0, hw.1),
+        (s(net.input.0), hw.0, hw.1),
+    );
+    for layer in &net.layers {
+        out.layers.push(match layer {
+            LayerSpec::Conv {
+                name,
+                in_ch,
+                out_ch,
+                kernel,
+                stride,
+                padding,
+                bias,
+            } => LayerSpec::Conv {
+                name: name.clone(),
+                in_ch: s(*in_ch),
+                out_ch: s(*out_ch),
+                kernel: *kernel,
+                stride: *stride,
+                padding: *padding,
+                bias: *bias,
+            },
+            LayerSpec::Linear {
+                name,
+                in_features,
+                out_features,
+                bias,
+            } => LayerSpec::Linear {
+                name: name.clone(),
+                in_features: s(*in_features),
+                out_features: *out_features,
+                bias: *bias,
+            },
+            LayerSpec::BatchNorm { channels } => LayerSpec::BatchNorm {
+                channels: s(*channels),
+            },
+            LayerSpec::Passthrough { extra_ch } => LayerSpec::Passthrough {
+                extra_ch: s(*extra_ch),
+            },
+            LayerSpec::ResidualAdd {
+                blocks_back,
+                projection,
+            } => LayerSpec::ResidualAdd {
+                blocks_back: *blocks_back,
+                projection: projection.as_ref().map(|p| ProjectionSpec {
+                    name: p.name.clone(),
+                    in_ch: s(p.in_ch),
+                    out_ch: s(p.out_ch),
+                    stride: p.stride,
+                }),
+            },
+            other => other.clone(),
+        });
+    }
+    out
+}
+
 /// The ReBranch generalization experiments also use a "wide" channel
 /// profile table (Fig. 6b): per-conv transferability decays with depth.
 /// This helper exposes the conv layer names of a network in depth order.
@@ -320,5 +395,41 @@ mod tests {
     fn weight_bits_at_8bit() {
         let net = vgg8(10);
         assert_eq!(net.weight_bits(8), net.cim_param_count() * 8);
+    }
+
+    #[test]
+    fn scaled_networks_stay_consistent() {
+        // Every zoo model survives width/resolution scaling with valid
+        // shape propagation — the precondition for executing them.
+        for (net, hw) in [
+            (vgg8(10), (16, 16)),
+            (resnet18(10), (32, 32)),
+            (darknet19(10), (64, 64)),
+            (yolo_v2(4, 2), (64, 64)),
+            (tiny_yolo(4, 2), (64, 64)),
+        ] {
+            for div in [8, 16, 32] {
+                let s = scaled(&net, div, hw);
+                assert!(
+                    s.analyze().is_ok(),
+                    "{} fails analysis: {:?}",
+                    s.name,
+                    s.analyze().err()
+                );
+                assert!(s.param_count() < net.param_count());
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_keeps_depth_and_topology() {
+        let net = yolo_v2(20, 5);
+        let s = scaled(&net, 32, (64, 64));
+        assert_eq!(s.layers.len(), net.layers.len());
+        assert_eq!(s.name, "yolo-v2/w32@64x64");
+        // Detection head output: anchors * (5 + classes) is NOT scaled
+        // away — the conv out_ch scales, matching the scaled graph.
+        let r = s.analyze().unwrap();
+        assert_eq!(r.last().unwrap().out_shape.1, 2); // 64 / 32 downsample
     }
 }

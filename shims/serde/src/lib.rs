@@ -1,18 +1,134 @@
-//! Offline stand-in for `serde`: the marker traits plus no-op derives.
+//! Offline stand-in for `serde`: a working `to_json` serialization core.
 //!
-//! The reproduction tags its config/report structs with
-//! `#[derive(Serialize, Deserialize)]` so they are ready for persistence,
-//! but nothing in the workspace serializes at runtime yet. This shim lets
-//! those derives compile without crates.io access; swap the workspace
-//! manifest back to upstream serde when real serialization is needed.
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of serde it actually uses. Unlike the original marker-only
+//! shim, [`Serialize`] is now a *real* trait: `to_json` produces an
+//! ordered [`json::Value`] tree, `#[derive(Serialize)]`
+//! (see `shims/serde_derive`) generates field-by-field implementations for
+//! structs and enums, and `yoloc-bench` renders reports from the tree.
+//! [`Deserialize`] remains a marker (nothing in the workspace parses JSON
+//! yet). Swapping to upstream `serde`/`serde_json` is a manifest change
+//! plus replacing `to_json` call sites with `serde_json::to_value`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait mirroring `serde::Serialize`.
-pub trait Serialize {}
+/// Serialization into the shim's [`json::Value`] tree (the role upstream
+/// serde's `Serialize` + `serde_json::to_value` play together).
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> json::Value;
+}
 
-/// Marker trait mirroring `serde::Deserialize`.
+/// Marker trait mirroring `serde::Deserialize` (no parsing in the shim).
 pub trait Deserialize<'de> {}
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Num(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_num!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+impl Serialize for bool {
+    fn to_json(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> json::Value {
+        json::Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> json::Value {
+        json::Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> json::Value {
+        json::Value::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+)),* $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> json::Value {
+                json::Value::Arr(vec![$(self.$n.to_json()),+])
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(3u64.to_json(), Value::Num(3.0));
+        assert_eq!(true.to_json(), Value::Bool(true));
+        assert_eq!("x".to_json(), Value::Str("x".into()));
+        assert_eq!(Option::<u8>::None.to_json(), Value::Null);
+        assert_eq!(
+            (1usize, 2usize, 3usize).to_json(),
+            Value::Arr(vec![Value::Num(1.0), Value::Num(2.0), Value::Num(3.0)])
+        );
+    }
+
+    #[test]
+    fn vec_serializes_to_array() {
+        assert_eq!(
+            vec![1u8, 2].to_json(),
+            Value::Arr(vec![Value::Num(1.0), Value::Num(2.0)])
+        );
+    }
+}

@@ -1,22 +1,228 @@
-//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
-//! offline `serde` shim. The workspace only uses the derives as markers on
-//! config/report structs; nothing serializes at runtime yet, so the
-//! derives intentionally expand to nothing. When real serialization lands,
-//! point the workspace manifest back at the upstream crates.
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline
+//! `serde` shim.
+//!
+//! `Serialize` generates a real `serde::Serialize::to_json` implementation
+//! by parsing the item's token stream directly (no `syn`/`quote` — the
+//! build environment has no crates.io access). Supported shapes cover
+//! everything the workspace derives on:
+//!
+//! * structs with named fields → a JSON object in declaration order;
+//! * enums with unit variants → the variant name as a string;
+//! * enum tuple variants of one field → `{"Variant": value}`;
+//! * enum struct variants → `{"Variant": {fields...}}`.
+//!
+//! Generic items are not supported (nothing in the workspace derives on
+//! one). `Deserialize` remains a no-op marker derive.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Expands to nothing; accepted anywhere upstream serde's derive is.
+/// Generates `impl serde::Serialize` with a field-by-field `to_json`.
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    match parse_item(item) {
+        Ok(parsed) => generate(&parsed).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
 }
 
 /// Expands to nothing; accepted anywhere upstream serde's derive is.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
     TokenStream::new()
+}
+
+/// What a variant carries.
+enum VariantBody {
+    Unit,
+    /// Tuple variant; only single-field tuples are supported.
+    Tuple,
+    Struct(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, VariantBody)>,
+    },
+}
+
+/// Skips leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(crate)`, ...) from `i` onward.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1; // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1; // the (crate)/(super) group
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a brace/paren body into top-level comma-separated chunks.
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => chunks.push(Vec::new()),
+            _ => chunks.last_mut().expect("non-empty").push(tt),
+        }
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Extracts the field name from one `name: Type` chunk.
+fn field_name(chunk: &[TokenTree]) -> Result<String, String> {
+    let i = skip_attrs_and_vis(chunk, 0);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        other => Err(format!("expected field name, found {other:?}")),
+    }
+}
+
+fn parse_item(item: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize) shim: generic item {name} unsupported"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "derive(Serialize) shim: {name} must have a braced body, found {other:?}"
+            ))
+        }
+    };
+    match kind.as_str() {
+        "struct" => {
+            let fields = split_top_level(body)
+                .iter()
+                .map(|c| field_name(c))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            for chunk in split_top_level(body) {
+                let at = skip_attrs_and_vis(&chunk, 0);
+                let vname = match chunk.get(at) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected variant name, found {other:?}")),
+                };
+                let vbody = match chunk.get(at + 1) {
+                    None => VariantBody::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        if split_top_level(g.stream()).len() != 1 {
+                            return Err(format!(
+                                "derive(Serialize) shim: tuple variant {vname} must have \
+                                 exactly one field"
+                            ));
+                        }
+                        VariantBody::Tuple
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = split_top_level(g.stream())
+                            .iter()
+                            .map(|c| field_name(c))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        VariantBody::Struct(fields)
+                    }
+                    other => return Err(format!("unexpected variant body: {other:?}")),
+                };
+                variants.push((vname, vbody));
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!(
+            "derive(Serialize) shim: unsupported item kind {other}"
+        )),
+    }
+}
+
+fn obj_literal(fields: &[String], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_json(&{access}{f}))"))
+        .collect();
+    format!("::serde::json::Value::Obj(vec![{}])", entries.join(", "))
+}
+
+fn generate(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = obj_literal(fields, "self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::json::Value {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, vbody)| match vbody {
+                    VariantBody::Unit => format!(
+                        "{name}::{vname} => ::serde::json::Value::Str({vname:?}.to_string())"
+                    ),
+                    VariantBody::Tuple => format!(
+                        "{name}::{vname}(f0) => ::serde::json::Value::Obj(vec![\
+                         ({vname:?}.to_string(), ::serde::Serialize::to_json(f0))])"
+                    ),
+                    VariantBody::Struct(fields) => {
+                        let pat = fields.join(", ");
+                        let inner = obj_literal(fields, "");
+                        format!(
+                            "{name}::{vname} {{ {pat} }} => ::serde::json::Value::Obj(vec![\
+                             ({vname:?}.to_string(), {inner})])"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_json(&self) -> ::serde::json::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
 }
