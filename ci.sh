@@ -22,6 +22,12 @@ cargo test -q
 echo "== workspace unit tests and doctests"
 cargo test -q --workspace
 
+echo "== fusion/scheduler parity suite (YOLOC_SMOKE=1)"
+YOLOC_SMOKE=1 cargo test -q --test scheduler_parity
+
+echo "== validate committed BENCH_engine.json (schema v3)"
+cargo run --release -q -p yoloc-bench --bin bench_engine -- --check-schema BENCH_engine.json
+
 echo "== run every bench binary on tiny configs (repro_all --smoke)"
 cargo run --release -q -p yoloc-bench --bin repro_all -- --smoke
 

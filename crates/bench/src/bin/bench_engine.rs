@@ -10,17 +10,29 @@
 //! * **batched** — `infer_batch` over the persistent [`WorkerPool`] at
 //!   a sweep of worker counts, fast path on.
 //!
-//! Part 2 exercises the graph compiler: zoo `NetworkDesc` architectures
-//! (width/resolution-scaled so the functional simulator executes them in
-//! milliseconds) are compiled with `CompiledNetwork::compile_random` and
-//! run end-to-end through `infer_batch`, producing a per-network scaling
-//! table — parameters, MACs, subarray placement (naive vs packed) and the
-//! **live** per-inference `EnergyBreakdown` measured during execution.
+//! Part 2 exercises the pass-based graph compiler: zoo `NetworkDesc`
+//! architectures (width/resolution-scaled so the functional simulator
+//! executes them in milliseconds) are compiled with
+//! `CompiledNetwork::compile_random` and run end-to-end through
+//! `infer_batch` **and** the tile-parallel scheduler (`infer_tiled`),
+//! producing a per-network scaling table — parameters, MACs, subarray
+//! placement, the pass-pipeline effect (op counts, planned arena vs
+//! per-op allocation), the per-op latency profile, and the intra-sample
+//! scaling of a *single* inference: wall-clock through the scheduler at a
+//! worker sweep plus the host-independent modeled speedup of the
+//! tile-parallel latency model (`ExecutionReport::intra_sample_latency_ns`).
 //!
-//! Emits `BENCH_engine.json` (schema `yoloc-bench-engine/2`, documented
+//! Emits `BENCH_engine.json` (schema `yoloc-bench-engine/3`, documented
 //! in `README.md`); under `--smoke`/`YOLOC_SMOKE=1` the workload shrinks
 //! and the report goes to `target/BENCH_engine.smoke.json` so the
 //! committed baseline is not clobbered by tiny-config numbers.
+//!
+//! `--check-schema` validates an existing report instead of measuring:
+//! it parses the committed `BENCH_engine.json` with the shim's JSON
+//! parser and checks the schema version, the required v3 fields, and the
+//! two acceptance properties (modeled intra-sample speedup > 1.5x at 4
+//! lanes; planned arena strictly below per-op allocation), exiting
+//! non-zero on any violation — the CI gate for the baseline.
 
 use std::time::Instant;
 
@@ -208,7 +220,9 @@ fn measure_model(
 }
 
 /// Compiles one scaled zoo architecture, runs it end-to-end through the
-/// batched engine, and reports throughput plus the live energy breakdown.
+/// batched engine and the tile-parallel scheduler, and reports
+/// throughput, intra-sample scaling, arena planning and the live energy
+/// breakdown.
 fn measure_zoo_network(desc: &NetworkDesc, seed: u64) -> (Json, Vec<String>) {
     let batch = batch();
     let reps = reps();
@@ -226,11 +240,80 @@ fn measure_zoo_network(desc: &NetworkDesc, seed: u64) -> (Json, Vec<String>) {
         });
         (report, seconds)
     });
+
+    // Intra-sample scaling: ONE sample through the tile-parallel
+    // scheduler at a worker sweep (wall-clock is host-bound; the modeled
+    // speedup comes from the deterministic tile-parallel latency model
+    // and is what the acceptance gate checks).
+    println!("[zoo:{}] single-sample scheduler sweep ...", desc.name);
+    let one = Tensor::rand_uniform(&[1, c, h, w], 0.0, 1.0, &mut rng);
+    let (serial_one, one_report) = net.infer(&one, &mut rng);
+    let serial_one_secs = median_secs(reps, || {
+        std::hint::black_box(net.infer(&one, &mut rng));
+    });
+    let tiled: Vec<(usize, f64)> = worker_sweep()
+        .into_iter()
+        .map(|workers| {
+            WorkerPool::with(workers, |pool| {
+                let (tiled_logits, _) = net.infer_tiled(&one, seed, pool);
+                assert_eq!(
+                    serial_one.data(),
+                    tiled_logits.data(),
+                    "scheduler must be bit-identical to the serial interpreter"
+                );
+                let secs = median_secs(reps, || {
+                    std::hint::black_box(net.infer_tiled(&one, seed, pool));
+                });
+                (workers, secs)
+            })
+        })
+        .collect();
+    let modeled_speedup_4l = one_report
+        .intra_sample_speedup(4)
+        .expect("4-lane model present");
+
     let params = desc.param_count();
     let macs = desc.macs().expect("analyzable");
     let per_sample = |v: f64| v / batch as f64;
     let energy_per_sample_uj = per_sample(report.energy.total_uj());
     let samples_per_sec = batch as f64 / seconds;
+    let intra_sample = Json::obj([
+        (
+            "lanes",
+            Json::Arr(
+                yoloc_core::compiler::ExecutionReport::INTRA_SAMPLE_LANES
+                    .iter()
+                    .map(|&l| Json::Num(l as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "modeled_latency_ns",
+            Json::Arr(
+                one_report
+                    .intra_sample_latency_ns
+                    .iter()
+                    .map(|&v| Json::Num(v))
+                    .collect(),
+            ),
+        ),
+        ("speedup_4w", Json::Num(modeled_speedup_4l)),
+        ("serial_wall_secs", Json::Num(serial_one_secs)),
+        (
+            "tiled_wall_secs",
+            Json::Arr(
+                tiled
+                    .iter()
+                    .map(|&(workers, secs)| {
+                        Json::obj([
+                            ("workers", Json::Num(workers as f64)),
+                            ("seconds", Json::Num(secs)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
     let json = Json::obj([
         ("model", Json::str(desc.name.clone())),
         ("params", Json::Num(params as f64)),
@@ -248,6 +331,40 @@ fn measure_zoo_network(desc: &NetworkDesc, seed: u64) -> (Json, Vec<String>) {
             "utilization_packed",
             Json::Num(net.mapping.utilization_packed),
         ),
+        (
+            "pass_pipeline",
+            Json::Arr(
+                net.pass_reports
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("pass", Json::str(p.pass)),
+                            ("ops_before", Json::Num(p.ops_before as f64)),
+                            ("ops_after", Json::Num(p.ops_after as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "peak_arena_bytes",
+            Json::Num(one_report.peak_arena_bytes as f64),
+        ),
+        (
+            "naive_arena_bytes",
+            Json::Num(one_report.naive_arena_bytes as f64),
+        ),
+        (
+            "per_op_latency_ns",
+            Json::Arr(
+                one_report
+                    .per_op_latency_ns
+                    .iter()
+                    .map(|&v| Json::Num(v))
+                    .collect(),
+            ),
+        ),
+        ("intra_sample", intra_sample),
         ("samples_per_sec", Json::Num(samples_per_sec)),
         (
             "latency_ms_per_sample",
@@ -275,13 +392,118 @@ fn measure_zoo_network(desc: &NetworkDesc, seed: u64) -> (Json, Vec<String>) {
             net.mapping.subarrays_packed, net.mapping.subarrays_naive
         ),
         fmt(samples_per_sec, 1),
+        fmt_x(modeled_speedup_4l),
+        format!(
+            "{:.0} / {:.0} KiB",
+            one_report.peak_arena_bytes as f64 / 1024.0,
+            one_report.naive_arena_bytes as f64 / 1024.0
+        ),
         fmt(energy_per_sample_uj, 2),
-        format!("{:.0}%", 100.0 * report.energy.dram_share()),
     ];
     (json, row)
 }
 
+/// Validates an existing `BENCH_engine.json` against the v3 schema and
+/// the acceptance properties; returns every violation found.
+fn schema_violations(doc: &Json) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut check = |cond: bool, msg: &str| {
+        if !cond {
+            errs.push(msg.to_string());
+        }
+    };
+    check(
+        doc.get("schema").and_then(Json::as_str) == Some("yoloc-bench-engine/3"),
+        "schema must be \"yoloc-bench-engine/3\"",
+    );
+    for key in ["host_parallelism", "batch", "reps", "workloads"] {
+        check(
+            doc.get(key).is_some(),
+            &format!("missing top-level {key:?}"),
+        );
+    }
+    let zoo = doc.get("zoo").and_then(Json::as_arr).unwrap_or(&[]);
+    check(!zoo.is_empty(), "zoo scaling table must be non-empty");
+    for entry in zoo {
+        let model = entry
+            .get("model")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>")
+            .to_string();
+        let mut check = |cond: bool, msg: &str| {
+            if !cond {
+                errs.push(format!("zoo[{model}]: {msg}"));
+            }
+        };
+        for key in [
+            "params",
+            "macs",
+            "subarrays_packed",
+            "pass_pipeline",
+            "per_op_latency_ns",
+            "energy_breakdown_uj_per_batch",
+        ] {
+            check(entry.get(key).is_some(), &format!("missing {key:?}"));
+        }
+        check(
+            entry
+                .get("per_op_latency_ns")
+                .and_then(Json::as_arr)
+                .is_some_and(|a| !a.is_empty()),
+            "per_op_latency_ns must be a non-empty array",
+        );
+        let peak = entry.get("peak_arena_bytes").and_then(Json::as_num);
+        let naive = entry.get("naive_arena_bytes").and_then(Json::as_num);
+        check(peak.is_some(), "missing peak_arena_bytes");
+        check(naive.is_some(), "missing naive_arena_bytes");
+        if let (Some(p), Some(n)) = (peak, naive) {
+            check(
+                p < n,
+                &format!("planned arena ({p} B) must beat per-op allocation ({n} B)"),
+            );
+        }
+        let speedup = entry
+            .get("intra_sample")
+            .and_then(|i| i.get("speedup_4w"))
+            .and_then(Json::as_num);
+        check(speedup.is_some(), "missing intra_sample.speedup_4w");
+        if let Some(s) = speedup {
+            check(
+                s > 1.5,
+                &format!("intra-sample speedup at 4 workers is {s:.2}, need > 1.5"),
+            );
+        }
+    }
+    errs
+}
+
+/// `--check-schema` mode: parse + validate the committed baseline.
+fn check_schema(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"));
+    let errs = schema_violations(&doc);
+    if errs.is_empty() {
+        println!(
+            "{path}: schema yoloc-bench-engine/3 OK ({} bytes)",
+            text.len()
+        );
+        std::process::exit(0);
+    }
+    eprintln!("{path}: {} schema violation(s):", errs.len());
+    for e in &errs {
+        eprintln!("  - {e}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--check-schema") {
+        let path = std::env::args()
+            .skip_while(|a| a != "--check-schema")
+            .nth(1)
+            .unwrap_or_else(|| "BENCH_engine.json".to_string());
+        check_schema(&path);
+    }
     let host = std::thread::available_parallelism().map_or(1, |v| v.get());
     let mut workloads = Vec::new();
     let mut rows = Vec::new();
@@ -330,21 +552,22 @@ fn main() {
         zoo_rows.push(row);
     }
     print_table(
-        "Graph-compiled zoo networks (live energy through the executor)",
+        "Graph-compiled zoo networks (pass pipeline + tile-parallel scheduler)",
         &[
             "Network",
             "Params",
             "MACs",
             "Subarrays (packed/naive)",
             "Samples/sec",
+            "Intra-sample x4 (modeled)",
+            "Arena (planned/naive)",
             "Energy (uJ/sample)",
-            "DRAM share",
         ],
         &zoo_rows,
     );
 
     let doc = Json::obj([
-        ("schema", Json::str("yoloc-bench-engine/2")),
+        ("schema", Json::str("yoloc-bench-engine/3")),
         ("host_parallelism", Json::Num(host as f64)),
         ("smoke", Json::Bool(smoke())),
         ("batch", Json::Num(batch() as f64)),
@@ -366,13 +589,20 @@ fn main() {
     } else {
         "BENCH_engine.json"
     };
+    let violations = schema_violations(&doc);
+    assert!(
+        violations.is_empty(),
+        "generated report violates its own schema: {violations:?}"
+    );
     std::fs::write(path, doc.render()).expect("write engine report");
-    println!("\nwrote {path} (schema yoloc-bench-engine/2, see README.md)");
+    println!("\nwrote {path} (schema yoloc-bench-engine/3, see README.md)");
     println!(
         "note: 'serial' is the pre-engine baseline (one thread, cell-accurate \
          analog path); the batched rows add the popcount fast path and the \
          worker pool on top — all three emit bit-identical logits. The zoo \
-         table runs graph-compiled NetworkDesc architectures end-to-end with \
-         live memory-hierarchy energy accounting."
+         table runs graph-compiled NetworkDesc architectures end-to-end \
+         (epilogue fusion + planned arena + tile-parallel scheduler) with \
+         live memory-hierarchy energy accounting; 'Intra-sample x4' is the \
+         modeled single-inference speedup at 4 macro-cluster lanes."
     );
 }

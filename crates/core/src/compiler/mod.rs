@@ -26,6 +26,36 @@
 //! placement/area accounting ([`CompiledNetwork::subarrays`]) rather than
 //! the simulated datapath.
 //!
+//! # The staged pipeline
+//!
+//! Compilation is now a staged pipeline over the [`ExecPlan`] IR:
+//!
+//! ```text
+//! NetworkDesc ──lower──▶ raw ExecPlan ──[passes]──▶ optimized ExecPlan
+//!                                          │
+//!               EpilogueFusion ── fold act/pool/residual into the
+//!               │                 consuming CiM conv/linear op
+//!               DeadOpElimination ── sweep fused-away ops, remap sources
+//!               BufferLiveness ── live ranges → BufferPlan (slot-reuse
+//!                                 arena, peak bytes in ExecutionReport)
+//! ```
+//!
+//! The pass framework lives in [`passes`], the arena planner in
+//! [`buffers`], and the tile-level task graph the parallel scheduler
+//! executes in [`schedule`]. [`ExecPlan::execute`] — the serial
+//! interpreter below — is kept as the **parity oracle**: the tile-parallel
+//! [`crate::engine::Scheduler`] must reproduce it bit for bit (logits,
+//! stats and energy alike) on the same plan, and a plan compiled with
+//! [`passes::PassPipeline::none`] is the legacy unfused reference the
+//! optimized plan is pinned against (logits and [`MvmStats`]).
+//!
+//! Under [`MappingStrategy::Sharded`] the compiled layers are spread
+//! across SRAM/ROM-CiM chiplets; the plan records each op's chiplet and
+//! both executors price activation traffic that crosses a die boundary
+//! through the [`yoloc_memory::ChipletLink`] (the `link_uj` /
+//! `link_traffic_bits` fields of the report), on top of the per-chip mesh
+//! NoC.
+//!
 //! # Examples
 //!
 //! Compile a zoo network and run it end to end, getting logits *and* a
@@ -45,19 +75,53 @@
 //! assert_eq!(logits.shape(), &[1, 4]);
 //! assert!(report.energy.total_uj() > 0.0);
 //! assert!(report.energy.dram_uj > 0.0); // input fetch is paid
+//! // The pass pipeline planned the activation arena: slot reuse beats
+//! // per-op allocation.
+//! assert!(report.peak_arena_bytes < report.naive_arena_bytes);
 //! # Ok::<(), yoloc_models::NetworkError>(())
 //! ```
+//!
+//! Shard the same network across four chiplets — functionally
+//! transparent, but the die-to-die activation stream now shows up in the
+//! report:
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use yoloc_core::compiler::{CompileOptions, CompiledNetwork};
+//! use yoloc_core::mapping::MappingStrategy;
+//! use yoloc_models::zoo;
+//!
+//! let desc = zoo::scaled(&zoo::vgg8(4), 16, (16, 16));
+//! let mut opts = CompileOptions::paper_default();
+//! opts.mapping = MappingStrategy::Sharded { chips: 4 };
+//! let net = CompiledNetwork::compile_random(&desc, 7, opts)?;
+//! assert_eq!(net.mapping.shard.as_ref().expect("shard plan").chips, 4);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let x = yoloc_tensor::Tensor::rand_uniform(&[1, 1, 16, 16], 0.0, 1.0, &mut rng);
+//! let (_, report) = net.infer(&x, &mut rng);
+//! assert!(report.link_traffic_bits > 0);
+//! assert!(report.energy.link_uj > 0.0);
+//! # Ok::<(), yoloc_models::NetworkError>(())
+//! ```
+
+pub mod buffers;
+pub mod passes;
+pub mod schedule;
+
+pub use buffers::BufferPlan;
+pub use passes::{PassKind, PassPipeline, PassReport};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::engine::{sample_stream_seed, WorkerPool};
-use crate::mapping::{map_network, MappingStrategy, NetworkMapping};
+use crate::mapping::{map_network_with, MappingStrategy, NetworkMapping};
 use crate::qconv::{CimConv2d, CimLinear};
 use crate::system::EnergyBreakdown;
 use yoloc_cim::backend::BackendKind;
 use yoloc_cim::macro_model::{MacroParams, MvmStats};
-use yoloc_memory::{DramModel, MeshNoc, SramBuffer};
+use yoloc_memory::{ChipletLink, DramModel, MeshNoc, SramBuffer};
 use yoloc_models::{ActKind, LayerSpec, NetworkDesc, NetworkError, Shape};
 use yoloc_tensor::layers::MaxPool2d;
 use yoloc_tensor::ops::conv2d_reference;
@@ -81,6 +145,10 @@ pub struct MemoryParams {
     pub dram: DramModel,
     /// Mesh NoC between the cache and the CiM macro clusters.
     pub noc: MeshNoc,
+    /// Chip-to-chip link activation traffic crosses when a
+    /// [`MappingStrategy::Sharded`] deployment places producer and
+    /// consumer layers on different chiplets.
+    pub link: ChipletLink,
     /// Activation precision moved through the hierarchy, bits.
     pub act_bits: u8,
     /// System energy overhead factor on CiM compute (controller, clock
@@ -95,9 +163,16 @@ impl MemoryParams {
             buffer: SramBuffer::new_28nm(2 * 1024 * 1024),
             dram: DramModel::lpddr4(),
             noc: MeshNoc::new_28nm(4, 4),
+            link: ChipletLink::simba(),
             act_bits: 8,
             peripheral_overhead: 1.3,
         }
+    }
+
+    /// Macro clusters one chip's mesh serves — the fan-out the compiler
+    /// derives per-layer tile counts from.
+    pub fn clusters(&self) -> usize {
+        (self.noc.width * self.noc.height).max(1)
     }
 }
 
@@ -111,28 +186,92 @@ pub struct ExecutionReport {
     pub sram: MvmStats,
     /// Per-inference energy breakdown (live counterpart of Fig. 14a/c).
     pub energy: EnergyBreakdown,
-    /// End-to-end latency: serial CiM walk + NoC + DRAM, ns.
+    /// End-to-end latency: serial CiM walk + NoC + link + DRAM, ns.
     pub latency_ns: f64,
+    /// Modeled latency of each plan op (CiM walk plus the NoC/link
+    /// transfers its activations paid), ns, in op order.
+    pub per_op_latency_ns: Vec<f64>,
+    /// The intra-sample latency model: modeled end-to-end latency when
+    /// each op's CiM work spreads its placement-derived tiles across
+    /// [`ExecutionReport::INTRA_SAMPLE_LANES`] parallel macro-cluster
+    /// lanes (NoC/link/DRAM transfers stay serial — activations stream op
+    /// to op, shard topology included). Index-aligned with the lane
+    /// constant; `[0]` (one lane) equals the serial walk.
+    pub intra_sample_latency_ns: Vec<f64>,
     /// Activation bits moved through the on-chip cache.
     pub buffer_traffic_bits: u64,
     /// Activation bits moved across the mesh NoC.
     pub noc_traffic_bits: u64,
+    /// Activation bits that crossed a chiplet boundary (0 unless the plan
+    /// was compiled with [`MappingStrategy::Sharded`]).
+    pub link_traffic_bits: u64,
     /// Bits crossing the chip boundary (input fetch + output writeback;
     /// weights are resident, the point of the paper).
     pub dram_traffic_bits: u64,
+    /// Peak activation-arena footprint of this execution under the
+    /// compiled [`BufferPlan`] (slot-reuse allocation), bytes.
+    pub peak_arena_bytes: u64,
+    /// The same footprint under naive per-op allocation (every op output
+    /// kept live), bytes — the baseline the buffer-liveness pass shrinks.
+    pub naive_arena_bytes: u64,
 }
 
 impl ExecutionReport {
+    /// The lane counts [`ExecutionReport::intra_sample_latency_ns`] is
+    /// evaluated at.
+    pub const INTRA_SAMPLE_LANES: [usize; 4] = [1, 2, 4, 8];
+
+    /// Modeled intra-sample speedup at `lanes` parallel lanes (serial
+    /// latency over the lane-parallel makespan); `None` when `lanes` is
+    /// not in [`ExecutionReport::INTRA_SAMPLE_LANES`] or the report is
+    /// empty.
+    #[must_use]
+    pub fn intra_sample_speedup(&self, lanes: usize) -> Option<f64> {
+        let idx = Self::INTRA_SAMPLE_LANES.iter().position(|&l| l == lanes)?;
+        let serial = *self.intra_sample_latency_ns.first()?;
+        let at = *self.intra_sample_latency_ns.get(idx)?;
+        (at > 0.0).then(|| serial / at)
+    }
+
     /// Accumulates another execution's measurements (used to reduce
     /// per-sample reports from the batched engine, in sample order).
+    /// Traffic, energy and latency add; arena footprints take the max
+    /// (samples share the arena, they do not stack); per-op latencies add
+    /// element-wise when the plans match (adopting `other`'s when this
+    /// report is fresh).
     pub fn merge(&mut self, other: &ExecutionReport) {
         self.rom.merge(&other.rom);
         self.sram.merge(&other.sram);
         self.energy.accumulate(&other.energy);
         self.latency_ns += other.latency_ns;
+        fn zip_add(dst: &mut Vec<f64>, src: &[f64]) {
+            if dst.is_empty() {
+                dst.extend_from_slice(src);
+            } else if dst.len() == src.len() {
+                for (a, b) in dst.iter_mut().zip(src) {
+                    *a += b;
+                }
+            }
+        }
+        zip_add(&mut self.per_op_latency_ns, &other.per_op_latency_ns);
+        zip_add(
+            &mut self.intra_sample_latency_ns,
+            &other.intra_sample_latency_ns,
+        );
         self.buffer_traffic_bits += other.buffer_traffic_bits;
         self.noc_traffic_bits += other.noc_traffic_bits;
+        self.link_traffic_bits += other.link_traffic_bits;
         self.dram_traffic_bits += other.dram_traffic_bits;
+        self.peak_arena_bytes = self.peak_arena_bytes.max(other.peak_arena_bytes);
+        self.naive_arena_bytes = self.naive_arena_bytes.max(other.naive_arena_bytes);
+    }
+
+    /// Total CiM macro energy across both domains, pJ — the single place
+    /// the per-domain stats are summed (every site used to re-add the
+    /// fields by hand).
+    #[must_use]
+    pub fn cim_energy_pj(&self) -> f64 {
+        self.rom.energy_pj + self.sram.energy_pj
     }
 }
 
@@ -145,23 +284,42 @@ pub(crate) enum OpSource {
     Op(usize),
 }
 
+/// A digital op folded into the tail of a CiM op by the epilogue-fusion
+/// pass: it runs on the op's output before the result round-trips the
+/// cache, so the intermediate map never moves through the hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EpilogueOp {
+    /// Elementwise activation.
+    Act(ActKind),
+    /// Max pooling.
+    MaxPool { kernel: usize, stride: usize },
+    /// Projection-free residual merge with an earlier op's output.
+    Residual { source: OpSource },
+}
+
 /// One executable operation of a compiled plan.
 #[allow(clippy::large_enum_variant)] // few ops, long-lived, boxed engines inside
 pub(crate) enum PlanOp {
-    /// A CiM-mapped convolution.
-    Conv { conv: CimConv2d, domain: MemDomain },
+    /// A CiM-mapped convolution (plus any fused epilogue).
+    Conv {
+        conv: CimConv2d,
+        domain: MemDomain,
+        epilogue: Vec<EpilogueOp>,
+    },
     /// A ReBranch group (Fig. 7): ROM trunk + compress, SRAM res-conv,
-    /// ROM decompress, summed.
+    /// ROM decompress, summed (plus any fused epilogue).
     ReBranch {
         trunk: CimConv2d,
         compress: CimConv2d,
         res_conv: CimConv2d,
         decompress: CimConv2d,
+        epilogue: Vec<EpilogueOp>,
     },
-    /// A CiM-mapped fully-connected layer.
+    /// A CiM-mapped fully-connected layer (plus any fused epilogue).
     Linear {
         linear: CimLinear,
         domain: MemDomain,
+        epilogue: Vec<EpilogueOp>,
     },
     /// Elementwise activation (digital).
     Activation(ActKind),
@@ -177,10 +335,13 @@ pub(crate) enum PlanOp {
         source: OpSource,
         projection: Option<Box<(CimConv2d, MemDomain)>>,
     },
+    /// Identity left behind by a fusion pass; swept (and its references
+    /// remapped) by dead-op elimination.
+    Nop,
 }
 
 impl PlanOp {
-    fn is_cim(&self) -> bool {
+    pub(crate) fn is_cim(&self) -> bool {
         matches!(
             self,
             PlanOp::Conv { .. }
@@ -191,6 +352,100 @@ impl PlanOp {
                     ..
                 }
         )
+    }
+
+    /// The fused epilogue of a CiM op (empty for digital ops).
+    pub(crate) fn epilogue(&self) -> &[EpilogueOp] {
+        match self {
+            PlanOp::Conv { epilogue, .. }
+            | PlanOp::ReBranch { epilogue, .. }
+            | PlanOp::Linear { epilogue, .. } => epilogue,
+            _ => &[],
+        }
+    }
+
+    /// Every earlier-op output this op reads besides the running
+    /// activation (skip sources, passthrough sources, fused residuals).
+    pub(crate) fn sources(&self) -> Vec<OpSource> {
+        let mut srcs = Vec::new();
+        match self {
+            PlanOp::Passthrough { source, .. } | PlanOp::ResidualAdd { source, .. } => {
+                srcs.push(*source);
+            }
+            _ => {}
+        }
+        for e in self.epilogue() {
+            if let EpilogueOp::Residual { source } = e {
+                srcs.push(*source);
+            }
+        }
+        srcs
+    }
+}
+
+/// Physical subarrays an op programs, `(rom, sram)`.
+pub(crate) fn op_subarrays(op: &PlanOp) -> (usize, usize) {
+    match op {
+        PlanOp::Conv { conv, domain, .. } => match domain {
+            MemDomain::Rom => (conv.subarrays(), 0),
+            MemDomain::Sram => (0, conv.subarrays()),
+        },
+        PlanOp::ReBranch {
+            trunk,
+            compress,
+            res_conv,
+            decompress,
+            ..
+        } => (
+            trunk.subarrays() + compress.subarrays() + decompress.subarrays(),
+            res_conv.subarrays(),
+        ),
+        PlanOp::Linear { linear, domain, .. } => match domain {
+            MemDomain::Rom => (linear.subarrays(), 0),
+            MemDomain::Sram => (0, linear.subarrays()),
+        },
+        PlanOp::ResidualAdd {
+            projection: Some(p),
+            ..
+        } => match p.1 {
+            MemDomain::Rom => (p.0.subarrays(), 0),
+            MemDomain::Sram => (0, p.0.subarrays()),
+        },
+        _ => (0, 0),
+    }
+}
+
+/// Measurements of one executed plan op. The serial interpreter and the
+/// tile-parallel scheduler produce these identically (same per-op stat
+/// folds, same traffic attribution) and both reduce them through
+/// [`ExecPlan::finalize`] — the construction that makes tiled execution
+/// bit-identical to the serial walk.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PerOpExec {
+    /// ROM-domain stats, folded from zero in the op's canonical order.
+    pub rom: MvmStats,
+    /// SRAM-domain stats, folded from zero.
+    pub sram: MvmStats,
+    /// Running-activation input bits.
+    pub in_bits: u64,
+    /// Side-operand bits (skip/passthrough/fused-residual sources).
+    pub side_bits: u64,
+    /// Output bits (post-epilogue).
+    pub out_bits: u64,
+    /// Bits among the above that crossed a chiplet boundary.
+    pub cross_bits: u64,
+    /// Placement-derived tiles the op's CiM work splits into (0/1 for
+    /// digital ops): the width the intra-sample latency model divides the
+    /// op's macro latency by when lanes are available.
+    pub tiles: usize,
+}
+
+impl PerOpExec {
+    pub(crate) fn add(&mut self, domain: MemDomain, s: &MvmStats) {
+        match domain {
+            MemDomain::Rom => self.rom.merge(s),
+            MemDomain::Sram => self.sram.merge(s),
+        }
     }
 }
 
@@ -209,7 +464,7 @@ pub(crate) fn gap(x: &Tensor) -> Tensor {
 }
 
 /// Applies an IR activation elementwise (ReLU, or leaky ReLU slope 0.1).
-fn apply_act(x: &Tensor, kind: ActKind) -> Tensor {
+pub(crate) fn apply_act(x: &Tensor, kind: ActKind) -> Tensor {
     match kind {
         ActKind::Relu => x.map(|v| v.max(0.0)),
         ActKind::Leaky => x.map(|v| if v > 0.0 { v } else { 0.1 * v }),
@@ -217,7 +472,7 @@ fn apply_act(x: &Tensor, kind: ActKind) -> Tensor {
 }
 
 /// Flattens a rank-4 map to `(N, C*H*W)` (identity on rank-2 inputs).
-fn flatten_2d(x: &Tensor) -> Tensor {
+pub(crate) fn flatten_2d(x: &Tensor) -> Tensor {
     if x.ndim() == 2 {
         return x.clone();
     }
@@ -234,7 +489,7 @@ fn flatten_2d(x: &Tensor) -> Tensor {
 /// # Panics
 ///
 /// Panics if the source spatial dims are not exactly twice `cur`'s.
-fn passthrough_concat(src: &Tensor, cur: &Tensor, extra_ch: usize) -> Tensor {
+pub(crate) fn passthrough_concat(src: &Tensor, cur: &Tensor, extra_ch: usize) -> Tensor {
     let (n, c, h, w) = (
         cur.shape()[0],
         cur.shape()[1],
@@ -274,8 +529,16 @@ fn passthrough_concat(src: &Tensor, cur: &Tensor, extra_ch: usize) -> Tensor {
 /// An executable plan: ops in execution order plus the memory hierarchy
 /// their live traffic is priced against.
 pub struct ExecPlan {
-    ops: Vec<PlanOp>,
-    memory: MemoryParams,
+    pub(crate) ops: Vec<PlanOp>,
+    pub(crate) memory: MemoryParams,
+    /// Per-sample output element count of each op (post-epilogue).
+    pub(crate) out_elems: Vec<usize>,
+    /// Chiplet each op executes on (all on chip 0 without sharding).
+    pub(crate) chip_of: Vec<usize>,
+    /// Number of chiplets the plan is sharded across.
+    pub(crate) n_chips: usize,
+    /// Arena plan from the buffer-liveness pass (`None` until it runs).
+    pub(crate) buffer_plan: Option<BufferPlan>,
 }
 
 impl ExecPlan {
@@ -283,12 +546,19 @@ impl ExecPlan {
         ExecPlan {
             ops: Vec::new(),
             memory,
+            out_elems: Vec::new(),
+            chip_of: Vec::new(),
+            n_chips: 1,
+            buffer_plan: None,
         }
     }
 
-    /// Appends an op, returning its index (used as an [`OpSource`]).
-    pub(crate) fn push(&mut self, op: PlanOp) -> usize {
+    /// Appends an op producing `out_elems` elements per sample, returning
+    /// its index (used as an [`OpSource`]).
+    pub(crate) fn push(&mut self, op: PlanOp, out_elems: usize) -> usize {
         self.ops.push(op);
+        self.out_elems.push(out_elems);
+        self.chip_of.push(0);
         self.ops.len() - 1
     }
 
@@ -302,39 +572,108 @@ impl ExecPlan {
         self.ops.is_empty()
     }
 
+    /// The memory hierarchy this plan prices traffic against.
+    pub fn memory(&self) -> &MemoryParams {
+        &self.memory
+    }
+
+    /// The arena plan computed by the buffer-liveness pass, if it ran.
+    pub fn buffer_plan(&self) -> Option<&BufferPlan> {
+        self.buffer_plan.as_ref()
+    }
+
+    /// Number of chiplets the plan is sharded across (1 = single chip).
+    pub fn chips(&self) -> usize {
+        self.n_chips
+    }
+
+    /// For each op, the index of the last op that reads its output (its
+    /// own index when nothing does): the live ranges the buffer-liveness
+    /// pass and the scheduler's arena eviction share. The final op is
+    /// pinned live to the end of the plan (it is the network output).
+    pub(crate) fn last_use(&self) -> Vec<usize> {
+        let n = self.ops.len();
+        let mut last = (0..n).collect::<Vec<_>>();
+        for (i, op) in self.ops.iter().enumerate() {
+            // The running activation: op i consumes op i-1's output.
+            if i > 0 {
+                last[i - 1] = last[i - 1].max(i);
+            }
+            for src in op.sources() {
+                if let OpSource::Op(j) = src {
+                    last[j] = last[j].max(i);
+                }
+            }
+        }
+        if n > 0 {
+            last[n - 1] = n; // network output: live past the final op
+        }
+        last
+    }
+
+    /// Assigns each op its chiplet from the placement-aligned
+    /// [`crate::mapping::ShardPlan`]: the plan's CiM ops appear in the
+    /// same order as the mapping's placements (convs, linears and
+    /// residual projections all produce a placement, whatever backend
+    /// they execute on), so the i-th CiM op takes the i-th placement's
+    /// die and digital ops ride with the CiM op that feeds them. The
+    /// executors and the reported shard layout therefore describe the
+    /// *same* partition by construction, and activation traffic between
+    /// ops on different chips is priced through the [`ChipletLink`].
+    pub(crate) fn assign_chips(&mut self, shard: &crate::mapping::ShardPlan) {
+        self.n_chips = shard.chips.max(1);
+        let mut cim_idx = 0usize;
+        let mut current = 0usize;
+        for i in 0..self.ops.len() {
+            if self.ops[i].is_cim() {
+                current = shard.chip_of.get(cim_idx).copied().unwrap_or(current);
+                cim_idx += 1;
+            }
+            self.chip_of[i] = current;
+        }
+        debug_assert_eq!(
+            cim_idx,
+            shard.chip_of.len(),
+            "plan CiM ops must align 1:1 with the mapping placements"
+        );
+    }
+
+    /// Sets every CiM conv's tile hint (the fan-out the scheduler
+    /// partitions a single inference into) to `tiles`.
+    pub(crate) fn set_tile_hints(&mut self, tiles: usize) {
+        for op in &mut self.ops {
+            match op {
+                PlanOp::Conv { conv, .. } => conv.set_tile_hint(tiles),
+                PlanOp::ReBranch {
+                    trunk,
+                    compress,
+                    res_conv,
+                    decompress,
+                    ..
+                } => {
+                    trunk.set_tile_hint(tiles);
+                    compress.set_tile_hint(tiles);
+                    res_conv.set_tile_hint(tiles);
+                    decompress.set_tile_hint(tiles);
+                }
+                PlanOp::ResidualAdd {
+                    projection: Some(p),
+                    ..
+                } => p.0.set_tile_hint(tiles),
+                _ => {}
+            }
+        }
+    }
+
     /// Physical subarrays programmed, `(rom, sram)` (exclusive per-layer
     /// tiling; see [`CompiledNetwork::subarrays`] for the packed count).
     pub fn subarrays(&self) -> (usize, usize) {
         let mut rom = 0;
         let mut sram = 0;
         for op in &self.ops {
-            match op {
-                PlanOp::Conv { conv, domain } => match domain {
-                    MemDomain::Rom => rom += conv.subarrays(),
-                    MemDomain::Sram => sram += conv.subarrays(),
-                },
-                PlanOp::ReBranch {
-                    trunk,
-                    compress,
-                    res_conv,
-                    decompress,
-                } => {
-                    rom += trunk.subarrays() + compress.subarrays() + decompress.subarrays();
-                    sram += res_conv.subarrays();
-                }
-                PlanOp::Linear { linear, domain } => match domain {
-                    MemDomain::Rom => rom += linear.subarrays(),
-                    MemDomain::Sram => sram += linear.subarrays(),
-                },
-                PlanOp::ResidualAdd {
-                    projection: Some(p),
-                    ..
-                } => match p.1 {
-                    MemDomain::Rom => rom += p.0.subarrays(),
-                    MemDomain::Sram => sram += p.0.subarrays(),
-                },
-                _ => {}
-            }
+            let (r, s) = op_subarrays(op);
+            rom += r;
+            sram += s;
         }
         (rom, sram)
     }
@@ -350,6 +689,7 @@ impl ExecPlan {
                     compress,
                     res_conv,
                     decompress,
+                    ..
                 } => {
                     trunk.set_fast_path(enabled);
                     compress.set_fast_path(enabled);
@@ -366,122 +706,261 @@ impl ExecPlan {
         }
     }
 
+    /// The ops whose outputs must be retained during execution because a
+    /// later op reads them through an [`OpSource`].
+    pub(crate) fn retained(&self) -> Vec<bool> {
+        let mut retain = vec![false; self.ops.len()];
+        for op in &self.ops {
+            for src in op.sources() {
+                if let OpSource::Op(i) = src {
+                    retain[i] = true;
+                }
+            }
+        }
+        retain
+    }
+
+    /// Applies a fused epilogue to `y`, accumulating the side-operand
+    /// traffic (and its producing chip) of any fused residual into `rec`.
+    pub(crate) fn apply_epilogue(
+        &self,
+        epilogue: &[EpilogueOp],
+        mut y: Tensor,
+        op_idx: usize,
+        x: &Tensor,
+        outputs: &dyn Fn(usize) -> Tensor,
+        rec: &mut PerOpExec,
+    ) -> Tensor {
+        let ab = self.memory.act_bits as u64;
+        for e in epilogue {
+            y = match e {
+                EpilogueOp::Act(kind) => apply_act(&y, *kind),
+                EpilogueOp::MaxPool { kernel, stride } => {
+                    MaxPool2d::new(*kernel, *stride).forward(&y, false)
+                }
+                EpilogueOp::Residual { source } => {
+                    let src = match source {
+                        OpSource::Input => x.clone(),
+                        OpSource::Op(i) => outputs(*i),
+                    };
+                    let bits = src.data().len() as u64 * ab;
+                    rec.side_bits += bits;
+                    if self.source_chip(source) != self.chip_of[op_idx] {
+                        rec.cross_bits += bits;
+                    }
+                    y.add(&src)
+                }
+            };
+        }
+        y
+    }
+
+    /// The chiplet a source operand is produced on (the input arrives on
+    /// chip 0, where the DRAM interface sits).
+    pub(crate) fn source_chip(&self, source: &OpSource) -> usize {
+        match source {
+            OpSource::Input => 0,
+            OpSource::Op(i) => self.chip_of[*i],
+        }
+    }
+
+    /// Executes one op of the plan serially on the calling thread: the
+    /// parity-oracle implementation [`ExecPlan::execute`] walks op by op,
+    /// and the scheduler reuses verbatim for every non-tiled op (digital
+    /// ops, linears, projected residuals) so the two cannot diverge.
+    /// `outputs` resolves retained earlier-op outputs.
+    pub(crate) fn run_op_serial<R: Rng + ?Sized>(
+        &self,
+        op_idx: usize,
+        h: &Tensor,
+        x: &Tensor,
+        outputs: &[Option<Tensor>],
+        rng: &mut R,
+    ) -> (Tensor, PerOpExec) {
+        let ab = self.memory.act_bits as u64;
+        let op = &self.ops[op_idx];
+        let mut rec = PerOpExec {
+            in_bits: h.data().len() as u64 * ab,
+            ..PerOpExec::default()
+        };
+        if op_idx > 0 && self.chip_of[op_idx] != self.chip_of[op_idx - 1] {
+            rec.cross_bits += rec.in_bits;
+        }
+        let resolve =
+            |i: usize| -> Tensor { outputs[i].as_ref().expect("source output retained").clone() };
+        let out = match op {
+            PlanOp::Conv {
+                conv,
+                domain,
+                epilogue,
+            } => {
+                let (y, s) = conv.forward(h, rng);
+                rec.tiles = conv
+                    .tile_ranges(y.data().len() / conv.out_channels().max(1))
+                    .len();
+                rec.add(*domain, &s);
+                self.apply_epilogue(epilogue, y, op_idx, x, &resolve, &mut rec)
+            }
+            PlanOp::ReBranch {
+                trunk,
+                compress,
+                res_conv,
+                decompress,
+                epilogue,
+            } => {
+                let (t, s1) = trunk.forward(h, rng);
+                rec.tiles = trunk
+                    .tile_ranges(t.data().len() / trunk.out_channels().max(1))
+                    .len();
+                let (c, s2) = compress.forward(h, rng);
+                let (r, s3) = res_conv.forward(&c, rng);
+                let (d, s4) = decompress.forward(&r, rng);
+                rec.rom.merge(&s1);
+                rec.rom.merge(&s2);
+                rec.sram.merge(&s3);
+                rec.rom.merge(&s4);
+                self.apply_epilogue(epilogue, t.add(&d), op_idx, x, &resolve, &mut rec)
+            }
+            PlanOp::Linear {
+                linear,
+                domain,
+                epilogue,
+            } => {
+                let feats = flatten_2d(h);
+                let (y, s) = linear.forward(&feats, rng);
+                rec.add(*domain, &s);
+                self.apply_epilogue(epilogue, y, op_idx, x, &resolve, &mut rec)
+            }
+            PlanOp::Activation(kind) => apply_act(h, *kind),
+            PlanOp::MaxPool { kernel, stride } => {
+                MaxPool2d::new(*kernel, *stride).forward(h, false)
+            }
+            PlanOp::GlobalAvgPool => gap(h),
+            PlanOp::Passthrough { source, extra_ch } => {
+                let src = match source {
+                    OpSource::Input => x.clone(),
+                    OpSource::Op(i) => resolve(*i),
+                };
+                rec.side_bits = src.data().len() as u64 * ab;
+                if self.source_chip(source) != self.chip_of[op_idx] {
+                    rec.cross_bits += rec.side_bits;
+                }
+                passthrough_concat(&src, h, *extra_ch)
+            }
+            PlanOp::ResidualAdd { source, projection } => {
+                let src = match source {
+                    OpSource::Input => x.clone(),
+                    OpSource::Op(i) => resolve(*i),
+                };
+                rec.side_bits = src.data().len() as u64 * ab;
+                if self.source_chip(source) != self.chip_of[op_idx] {
+                    rec.cross_bits += rec.side_bits;
+                }
+                match projection {
+                    None => h.add(&src),
+                    Some(p) => {
+                        let (y, s) = p.0.forward(&src, rng);
+                        rec.add(p.1, &s);
+                        h.add(&y)
+                    }
+                }
+            }
+            PlanOp::Nop => h.clone(),
+        };
+        rec.out_bits = out.data().len() as u64 * ab;
+        (out, rec)
+    }
+
     /// Executes the plan on `x` (`(N, C, H, W)`), returning the output and
     /// the live [`ExecutionReport`].
+    ///
+    /// This is the **serial interpreter** — the parity oracle the
+    /// tile-parallel [`crate::engine::Scheduler`] is pinned against. Both
+    /// record the same per-op measurements and reduce them through
+    /// `ExecPlan::finalize`, so their reports agree bit for bit on the
+    /// noiseless datapath.
+    #[must_use = "dropping the result discards the logits and the measured execution report"]
     pub fn execute<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, ExecutionReport) {
-        let mut report = ExecutionReport::default();
-        let ab = self.memory.act_bits as u64;
-        let mut buffer_pj = 0.0;
-        let mut noc_pj = 0.0;
-        let mut noc_lat = 0.0;
         // Only outputs an OpSource actually references are retained; on a
         // plain feed-forward plan nothing is, so the hot path keeps no
         // intermediate activations alive and pays no extra clones.
-        let mut retain = vec![false; self.ops.len()];
-        for op in &self.ops {
-            if let PlanOp::Passthrough {
-                source: OpSource::Op(i),
-                ..
-            }
-            | PlanOp::ResidualAdd {
-                source: OpSource::Op(i),
-                ..
-            } = op
-            {
-                retain[*i] = true;
-            }
-        }
+        let retain = self.retained();
         let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(self.ops.len());
+        let mut per_op = Vec::with_capacity(self.ops.len());
         let mut h = x.clone();
-        for (op_idx, op) in self.ops.iter().enumerate() {
-            let in_bits = h.data().len() as u64 * ab;
-            let mut side_bits = 0u64;
-            fn resolve<'a>(
-                s: &OpSource,
-                x: &'a Tensor,
-                outputs: &'a [Option<Tensor>],
-            ) -> &'a Tensor {
-                match s {
-                    OpSource::Input => x,
-                    OpSource::Op(i) => outputs[*i].as_ref().expect("source output retained"),
-                }
-            }
-            let out = match op {
-                PlanOp::Conv { conv, domain } => {
-                    let (y, s) = conv.forward(&h, rng);
-                    match domain {
-                        MemDomain::Rom => report.rom.merge(&s),
-                        MemDomain::Sram => report.sram.merge(&s),
-                    }
-                    y
-                }
-                PlanOp::ReBranch {
-                    trunk,
-                    compress,
-                    res_conv,
-                    decompress,
-                } => {
-                    let (t, s1) = trunk.forward(&h, rng);
-                    let (c, s2) = compress.forward(&h, rng);
-                    let (r, s3) = res_conv.forward(&c, rng);
-                    let (d, s4) = decompress.forward(&r, rng);
-                    report.rom.merge(&s1);
-                    report.rom.merge(&s2);
-                    report.sram.merge(&s3);
-                    report.rom.merge(&s4);
-                    t.add(&d)
-                }
-                PlanOp::Linear { linear, domain } => {
-                    let feats = flatten_2d(&h);
-                    let sink = match domain {
-                        MemDomain::Rom => &mut report.rom,
-                        MemDomain::Sram => &mut report.sram,
-                    };
-                    linear.forward(&feats, rng, sink)
-                }
-                PlanOp::Activation(kind) => apply_act(&h, *kind),
-                PlanOp::MaxPool { kernel, stride } => {
-                    MaxPool2d::new(*kernel, *stride).forward(&h, false)
-                }
-                PlanOp::GlobalAvgPool => gap(&h),
-                PlanOp::Passthrough { source, extra_ch } => {
-                    let src = resolve(source, x, &outputs);
-                    side_bits = src.data().len() as u64 * ab;
-                    passthrough_concat(src, &h, *extra_ch)
-                }
-                PlanOp::ResidualAdd { source, projection } => {
-                    let src = resolve(source, x, &outputs);
-                    side_bits = src.data().len() as u64 * ab;
-                    match projection {
-                        None => h.add(src),
-                        Some(p) => {
-                            let (y, s) = p.0.forward(src, rng);
-                            match p.1 {
-                                MemDomain::Rom => report.rom.merge(&s),
-                                MemDomain::Sram => report.sram.merge(&s),
-                            }
-                            h.add(&y)
-                        }
-                    }
-                }
-            };
-            let out_bits = out.data().len() as u64 * ab;
-            let moved = in_bits + side_bits + out_bits;
+        for (op_idx, &keep) in retain.iter().enumerate() {
+            let (out, rec) = self.run_op_serial(op_idx, &h, x, &outputs, rng);
+            per_op.push(rec);
+            outputs.push(keep.then(|| out.clone()));
+            h = out;
+        }
+        let report = self.finalize(x, &h, &per_op);
+        (h, report)
+    }
+
+    /// Reduces per-op measurements into the final [`ExecutionReport`] —
+    /// shared verbatim by the serial interpreter and the tile-parallel
+    /// scheduler so the two cannot diverge, down to f64 summation order.
+    pub(crate) fn finalize(
+        &self,
+        x: &Tensor,
+        output: &Tensor,
+        per_op: &[PerOpExec],
+    ) -> ExecutionReport {
+        let ab = self.memory.act_bits as u64;
+        let mut report = ExecutionReport::default();
+        let mut buffer_pj = 0.0;
+        let mut noc_pj = 0.0;
+        let mut noc_lat = 0.0;
+        let mut link_pj = 0.0;
+        let mut link_lat = 0.0;
+        for (op, rec) in self.ops.iter().zip(per_op) {
+            report.rom.merge(&rec.rom);
+            report.sram.merge(&rec.sram);
+            let moved = rec.in_bits + rec.side_bits + rec.out_bits;
             report.buffer_traffic_bits += moved;
             buffer_pj += self.memory.buffer.access_energy_pj(moved);
+            let mut op_lat = rec.rom.latency_ns + rec.sram.latency_ns;
             if op.is_cim() {
                 report.noc_traffic_bits += moved;
                 noc_pj += self.memory.noc.uniform_transfer_energy_pj(moved);
-                noc_lat += self.memory.noc.uniform_transfer_latency_ns(moved);
+                let l = self.memory.noc.uniform_transfer_latency_ns(moved);
+                noc_lat += l;
+                op_lat += l;
             }
-            outputs.push(retain[op_idx].then(|| out.clone()));
-            h = out;
+            if rec.cross_bits > 0 {
+                report.link_traffic_bits += rec.cross_bits;
+                link_pj += self.memory.link.transfer_energy_pj(rec.cross_bits);
+                let l = self.memory.link.transfer_latency_ns(rec.cross_bits);
+                link_lat += l;
+                op_lat += l;
+            }
+            report.per_op_latency_ns.push(op_lat);
         }
+        // Intra-sample latency model: with L parallel macro-cluster lanes
+        // an op's CiM latency shrinks by tiles / ceil(tiles / L) (its
+        // placement-derived tiles spread over the lanes in near-equal
+        // rounds); transfers stay serial — activations stream op to op
+        // through the NoC and any chiplet links of the shard topology.
+        report.intra_sample_latency_ns = ExecutionReport::INTRA_SAMPLE_LANES
+            .iter()
+            .map(|&lanes| {
+                let mut total = 0.0;
+                for (rec, op_lat) in per_op.iter().zip(&report.per_op_latency_ns) {
+                    let cim = rec.rom.latency_ns + rec.sram.latency_ns;
+                    let transfers = op_lat - cim;
+                    let tiles = rec.tiles.max(1);
+                    let rounds = tiles.div_ceil(lanes) as f64 / tiles as f64;
+                    total += cim * rounds + transfers;
+                }
+                total
+            })
+            .collect();
         // Chip boundary: the input arrives from, and the result returns
         // to, DRAM. Weights are resident — the paper's whole point — so
         // they contribute no per-inference DRAM traffic.
         let input_bits = x.data().len() as u64 * ab;
-        let output_bits = h.data().len() as u64 * ab;
+        let output_bits = output.data().len() as u64 * ab;
         report.dram_traffic_bits = input_bits + output_bits;
         let dram_pj = self
             .memory
@@ -491,17 +970,33 @@ impl ExecPlan {
             .memory
             .dram
             .transfer_latency_ns(report.dram_traffic_bits);
-        let cim_pj = report.rom.energy_pj + report.sram.energy_pj;
+        let cim_pj = report.cim_energy_pj();
         report.energy = EnergyBreakdown {
             cim_uj: cim_pj / 1e6,
             peripheral_uj: cim_pj * (self.memory.peripheral_overhead - 1.0) / 1e6,
             buffer_uj: buffer_pj / 1e6,
             noc_uj: noc_pj / 1e6,
+            link_uj: link_pj / 1e6,
             dram_uj: dram_pj / 1e6,
             ..Default::default()
         };
-        report.latency_ns = report.rom.latency_ns + report.sram.latency_ns + noc_lat + dram_lat;
-        (h, report)
+        report.latency_ns =
+            report.rom.latency_ns + report.sram.latency_ns + noc_lat + link_lat + dram_lat;
+        // The chip-boundary DRAM transfer is serial at every lane count.
+        for v in &mut report.intra_sample_latency_ns {
+            *v += dram_lat;
+        }
+        let n = if x.ndim() >= 1 { x.shape()[0] } else { 1 };
+        let sample_bytes = 4u64 * n.max(1) as u64;
+        if let Some(bp) = &self.buffer_plan {
+            report.peak_arena_bytes = bp.peak_elems as u64 * sample_bytes;
+            report.naive_arena_bytes = bp.naive_elems as u64 * sample_bytes;
+        } else {
+            let naive: usize = self.out_elems.iter().sum();
+            report.peak_arena_bytes = naive as u64 * sample_bytes;
+            report.naive_arena_bytes = report.peak_arena_bytes;
+        }
+        report
     }
 
     /// Executes the plan on a `(N, ...)` batch by fanning samples across a
@@ -656,10 +1151,16 @@ pub struct CompileOptions {
     pub mapping: MappingStrategy,
     /// Memory hierarchy for live traffic accounting.
     pub memory: MemoryParams,
+    /// Optimization passes run over the lowered plan, in order. The
+    /// default pipeline fuses epilogues, sweeps dead ops and plans the
+    /// activation arena; [`PassPipeline::none`] compiles the legacy
+    /// unfused plan the parity tests use as their oracle.
+    pub passes: PassPipeline,
 }
 
 impl CompileOptions {
-    /// Paper-default macros, popcount backend, packed placement.
+    /// Paper-default macros, popcount backend, packed placement, full
+    /// pass pipeline.
     pub fn paper_default() -> Self {
         CompileOptions {
             rom: MacroParams::rom_paper(),
@@ -668,6 +1169,7 @@ impl CompileOptions {
             backend_overrides: Vec::new(),
             mapping: MappingStrategy::Packed,
             memory: MemoryParams::paper_default(),
+            passes: PassPipeline::paper_default(),
         }
     }
 
@@ -686,8 +1188,10 @@ pub struct CompiledNetwork {
     plan: ExecPlan,
     /// Network name (from the description).
     pub name: String,
-    /// Per-layer subarray placement (naive and packed counts).
+    /// Per-layer subarray placement (naive, packed and sharded counts).
     pub mapping: NetworkMapping,
+    /// What each optimization pass did to the plan, in pipeline order.
+    pub pass_reports: Vec<PassReport>,
     strategy: MappingStrategy,
     input: Shape,
 }
@@ -718,8 +1222,9 @@ impl CompiledNetwork {
             "calibration shape must match the network input"
         );
         let reports = desc.analyze()?;
-        let mapping = map_network(desc, &opts.rom)?;
+        let mapping = map_network_with(desc, &opts.rom, opts.mapping)?;
         let last_cim = desc.layers.iter().rposition(|l| l.is_cim_layer());
+        let cal_n = calibration.shape()[0].max(1);
         let mut plan = ExecPlan::new(opts.memory.clone());
         let mut h = calibration.clone();
         // Float outputs per layer (residual/passthrough sources and
@@ -749,8 +1254,15 @@ impl CompiledNetwork {
                         &[&h],
                         params,
                     );
-                    last_op = Some(plan.push(PlanOp::Conv { conv, domain }));
                     h = conv2d_reference(&h, w, None, *stride, *padding);
+                    last_op = Some(plan.push(
+                        PlanOp::Conv {
+                            conv,
+                            domain,
+                            epilogue: Vec::new(),
+                        },
+                        h.data().len() / cal_n,
+                    ));
                 }
                 LayerSpec::Linear { name, .. } => {
                     let w = weights.weight(idx, name)?;
@@ -763,27 +1275,37 @@ impl CompiledNetwork {
                     let bias = weights.biases[idx].as_deref();
                     let linear =
                         CimLinear::compile_on(opts.backend_for(name), w, bias, &[&feats], params);
-                    last_op = Some(plan.push(PlanOp::Linear { linear, domain }));
                     h = linear_reference(&feats, w, bias);
+                    last_op = Some(plan.push(
+                        PlanOp::Linear {
+                            linear,
+                            domain,
+                            epilogue: Vec::new(),
+                        },
+                        h.data().len() / cal_n,
+                    ));
                 }
                 LayerSpec::BatchNorm { .. } => {
                     // Folded into the preceding conv: identity at
                     // inference; no op is emitted.
                 }
                 LayerSpec::Activation(kind) => {
-                    last_op = Some(plan.push(PlanOp::Activation(*kind)));
                     h = apply_act(&h, *kind);
+                    last_op = Some(plan.push(PlanOp::Activation(*kind), h.data().len() / cal_n));
                 }
                 LayerSpec::MaxPool { kernel, stride } => {
-                    last_op = Some(plan.push(PlanOp::MaxPool {
-                        kernel: *kernel,
-                        stride: *stride,
-                    }));
                     h = MaxPool2d::new(*kernel, *stride).forward(&h, false);
+                    last_op = Some(plan.push(
+                        PlanOp::MaxPool {
+                            kernel: *kernel,
+                            stride: *stride,
+                        },
+                        h.data().len() / cal_n,
+                    ));
                 }
                 LayerSpec::GlobalAvgPool => {
-                    last_op = Some(plan.push(PlanOp::GlobalAvgPool));
                     h = gap(&h);
+                    last_op = Some(plan.push(PlanOp::GlobalAvgPool, h.data().len() / cal_n));
                 }
                 LayerSpec::Passthrough { extra_ch } => {
                     let src_layer = passthrough_source(&reports, idx)?;
@@ -791,11 +1313,14 @@ impl CompiledNetwork {
                         Some(i) => OpSource::Op(i),
                         None => OpSource::Input,
                     };
-                    last_op = Some(plan.push(PlanOp::Passthrough {
-                        source,
-                        extra_ch: *extra_ch,
-                    }));
                     h = passthrough_concat(&history[src_layer], &h, *extra_ch);
+                    last_op = Some(plan.push(
+                        PlanOp::Passthrough {
+                            source,
+                            extra_ch: *extra_ch,
+                        },
+                        h.data().len() / cal_n,
+                    ));
                 }
                 LayerSpec::ResidualAdd {
                     blocks_back,
@@ -835,20 +1360,31 @@ impl CompiledNetwork {
                             Some(Box::new((conv, MemDomain::Rom)))
                         }
                     };
-                    last_op = Some(plan.push(PlanOp::ResidualAdd {
-                        source,
-                        projection: proj,
-                    }));
                     h = h.add(&skip_float);
+                    last_op = Some(plan.push(
+                        PlanOp::ResidualAdd {
+                            source,
+                            projection: proj,
+                        },
+                        h.data().len() / cal_n,
+                    ));
                 }
             }
             history.push(h.clone());
             op_of_layer.push(last_op);
         }
+        // Placement-derived tile fan-out: each layer's single-inference
+        // work is split across the macro clusters of its chip's mesh.
+        plan.set_tile_hints(opts.memory.clusters());
+        if let Some(shard) = &mapping.shard {
+            plan.assign_chips(shard);
+        }
+        let pass_reports = opts.passes.run(&mut plan);
         Ok(CompiledNetwork {
             plan,
             name: desc.name.clone(),
             mapping,
+            pass_reports,
             strategy: opts.mapping,
             input: desc.input,
         })
@@ -893,14 +1429,37 @@ impl CompiledNetwork {
         self.plan.set_fast_path(enabled);
     }
 
+    /// The compiled execution plan (op count, buffer plan, shard layout).
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
     /// Runs one inference through the quantized CiM datapath, returning
     /// the network output and the live execution report.
+    #[must_use = "dropping the result discards the logits and the measured execution report"]
     pub fn infer<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, ExecutionReport) {
         self.plan.execute(x, rng)
     }
 
+    /// Runs one inference through the tile-parallel
+    /// [`crate::engine::Scheduler`]: the plan's CiM ops are partitioned
+    /// into placement-derived tiles and fanned across `pool`, so a
+    /// *single* sample scales with worker count while staying
+    /// bit-identical to [`CompiledNetwork::infer`] on the noiseless
+    /// datapath (and bit-identical across worker counts always).
+    #[must_use = "dropping the result discards the logits and the measured execution report"]
+    pub fn infer_tiled<'env>(
+        &'env self,
+        x: &Tensor,
+        seed: u64,
+        pool: &WorkerPool<'env>,
+    ) -> (Tensor, ExecutionReport) {
+        crate::engine::Scheduler::new(&self.plan).infer(x, seed, pool)
+    }
+
     /// Batched inference over a persistent [`WorkerPool`]; see
     /// [`ExecPlan::execute_batch`].
+    #[must_use = "dropping the result discards the logits and the measured execution report"]
     pub fn infer_batch<'env>(
         &'env self,
         x: &Tensor,
@@ -1184,6 +1743,32 @@ mod tests {
         let (a, _) = net.infer(&x, &mut rng);
         let (b, _) = base.infer(&x, &mut rng);
         assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn intra_sample_latency_model_scales_with_lanes() {
+        // The acceptance target of the tile-parallel refactor: at 4
+        // macro-cluster lanes a single inference's modeled latency beats
+        // the serial walk by > 1.5x (the conv tiles dominate; NoC/DRAM
+        // transfers stay serial).
+        let desc = zoo::scaled(&zoo::vgg8(4), 16, (16, 16));
+        let net = CompiledNetwork::compile_random(&desc, 7, small_opts()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::rand_uniform(&[1, 1, 16, 16], 0.0, 1.0, &mut rng);
+        let (_, report) = net.infer(&x, &mut rng);
+        assert_eq!(
+            report.intra_sample_latency_ns.len(),
+            ExecutionReport::INTRA_SAMPLE_LANES.len()
+        );
+        assert!(report
+            .intra_sample_latency_ns
+            .windows(2)
+            .all(|w| w[1] <= w[0] + 1e-9));
+        // One lane is exactly the serial model (same fold, same terms).
+        assert!((report.intra_sample_latency_ns[0] - report.latency_ns).abs() < 1e-6);
+        let s4 = report.intra_sample_speedup(4).expect("4 lanes modeled");
+        assert!(s4 > 1.5, "modeled 4-lane intra-sample speedup only {s4}");
+        assert!(report.intra_sample_speedup(3).is_none());
     }
 
     #[test]

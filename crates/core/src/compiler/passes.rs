@@ -1,0 +1,354 @@
+//! The optimizing pass framework over the [`ExecPlan`] IR.
+//!
+//! Compilation lowers a `NetworkDesc` to a *raw* plan — one op per IR
+//! layer, digital ops standing alone between CiM ops. The pass pipeline
+//! then rewrites the plan in place:
+//!
+//! 1. [`PassKind::EpilogueFusion`] folds digital epilogues (activation,
+//!    max-pooling, projection-free residual merges) into the CiM
+//!    conv/linear op that produces their input. The fused intermediate no
+//!    longer round-trips the activation cache or the NoC, which is where
+//!    the measured traffic/energy win comes from. Fusion is purely a
+//!    *scheduling* rewrite: the arithmetic (and hence the logits and
+//!    [`yoloc_cim::macro_model::MvmStats`]) is bit-identical to the
+//!    unfused plan, which the parity tests pin.
+//! 2. [`PassKind::DeadOpElimination`] sweeps the identity `PlanOp::Nop`s
+//!    fusion leaves behind and remaps every `OpSource` onto the
+//!    surviving op indices.
+//! 3. [`PassKind::BufferLiveness`] computes output live ranges and plans
+//!    the slot-reuse activation arena (see [`super::buffers`]), replacing
+//!    per-op allocation; the planned and naive footprints surface in every
+//!    `ExecutionReport`.
+//!
+//! Passes implement the `Pass` trait and run through a [`PassPipeline`]
+//! (a value type, so `CompileOptions` stays `Clone`); each run returns a
+//! [`PassReport`] describing what changed.
+
+use super::{EpilogueOp, ExecPlan, OpSource, PlanOp};
+use crate::compiler::buffers::BufferPlan;
+
+/// What one pass did to a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassReport {
+    /// Pass name (stable, used in bench reports).
+    pub pass: &'static str,
+    /// Op count before the pass ran.
+    pub ops_before: usize,
+    /// Op count after.
+    pub ops_after: usize,
+    /// Human-readable summary of the rewrite.
+    pub detail: String,
+}
+
+/// A rewrite over the [`ExecPlan`] IR.
+pub(crate) trait Pass {
+    /// Stable pass name.
+    fn name(&self) -> &'static str;
+    /// Rewrites `plan` in place, returning a summary of what changed.
+    fn run(&self, plan: &mut ExecPlan) -> String;
+}
+
+/// The named passes the pipeline can run (a closed, `Copy` set so
+/// `CompileOptions` remains a plain value type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassKind {
+    /// Fold digital act/pool/residual epilogues into CiM ops.
+    EpilogueFusion,
+    /// Sweep `Nop`s and remap sources.
+    DeadOpElimination,
+    /// Plan the slot-reuse activation arena.
+    BufferLiveness,
+}
+
+impl PassKind {
+    fn instantiate(self) -> Box<dyn Pass> {
+        match self {
+            PassKind::EpilogueFusion => Box::new(EpilogueFusion),
+            PassKind::DeadOpElimination => Box::new(DeadOpElimination),
+            PassKind::BufferLiveness => Box::new(BufferLiveness),
+        }
+    }
+}
+
+/// An ordered list of passes to run over a freshly lowered plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassPipeline {
+    kinds: Vec<PassKind>,
+}
+
+impl PassPipeline {
+    /// The default optimizing pipeline: fusion, then the `Nop` sweep, then
+    /// arena planning.
+    pub fn paper_default() -> Self {
+        PassPipeline {
+            kinds: vec![
+                PassKind::EpilogueFusion,
+                PassKind::DeadOpElimination,
+                PassKind::BufferLiveness,
+            ],
+        }
+    }
+
+    /// No passes: the legacy unfused plan, kept as the parity oracle.
+    pub fn none() -> Self {
+        PassPipeline { kinds: Vec::new() }
+    }
+
+    /// A custom pass list (order is execution order).
+    pub fn of(kinds: impl Into<Vec<PassKind>>) -> Self {
+        PassPipeline {
+            kinds: kinds.into(),
+        }
+    }
+
+    /// The passes this pipeline runs, in order.
+    pub fn kinds(&self) -> &[PassKind] {
+        &self.kinds
+    }
+
+    /// Runs every pass over `plan` in order, collecting reports.
+    pub fn run(&self, plan: &mut ExecPlan) -> Vec<PassReport> {
+        self.kinds
+            .iter()
+            .map(|kind| {
+                let pass = kind.instantiate();
+                let ops_before = plan.len();
+                let detail = pass.run(plan);
+                PassReport {
+                    pass: pass.name(),
+                    ops_before,
+                    ops_after: plan.len(),
+                    detail,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Epilogue fusion (see the module docs). Legality: a digital op fuses
+/// into the preceding CiM op only when no other op reads the CiM op's raw
+/// output, and a fusion chain stops as soon as a fused op's own output is
+/// still read elsewhere (its `Nop` placeholder must keep yielding exactly
+/// that value).
+struct EpilogueFusion;
+
+impl Pass for EpilogueFusion {
+    fn name(&self) -> &'static str {
+        "epilogue-fusion"
+    }
+
+    fn run(&self, plan: &mut ExecPlan) -> String {
+        let n = plan.ops.len();
+        // How many ops read each op's output through an OpSource.
+        let mut refs = vec![0usize; n];
+        for op in &plan.ops {
+            for src in op.sources() {
+                if let OpSource::Op(i) = src {
+                    refs[i] += 1;
+                }
+            }
+        }
+        let mut fused = 0usize;
+        let mut i = 0usize;
+        while i < n {
+            let fusable_target = matches!(
+                plan.ops[i],
+                PlanOp::Conv { .. } | PlanOp::ReBranch { .. } | PlanOp::Linear { .. }
+            );
+            if !fusable_target || refs[i] > 0 {
+                i += 1;
+                continue;
+            }
+            let spatial = !matches!(plan.ops[i], PlanOp::Linear { .. });
+            loop {
+                // Next op that still does something.
+                let mut j = i + 1;
+                while j < n && matches!(plan.ops[j], PlanOp::Nop) {
+                    j += 1;
+                }
+                if j >= n {
+                    break;
+                }
+                let folded = match &plan.ops[j] {
+                    PlanOp::Activation(kind) => Some(EpilogueOp::Act(*kind)),
+                    PlanOp::MaxPool { kernel, stride } if spatial => Some(EpilogueOp::MaxPool {
+                        kernel: *kernel,
+                        stride: *stride,
+                    }),
+                    PlanOp::ResidualAdd {
+                        source,
+                        projection: None,
+                    } if spatial => {
+                        // The skip source must predate the CiM op: its
+                        // value is unaffected by the fusion.
+                        let ok = match source {
+                            OpSource::Input => true,
+                            OpSource::Op(s) => *s < i,
+                        };
+                        ok.then_some(EpilogueOp::Residual { source: *source })
+                    }
+                    _ => None,
+                };
+                let Some(e) = folded else { break };
+                match &mut plan.ops[i] {
+                    PlanOp::Conv { epilogue, .. }
+                    | PlanOp::ReBranch { epilogue, .. }
+                    | PlanOp::Linear { epilogue, .. } => epilogue.push(e),
+                    _ => unreachable!("fusable target checked above"),
+                }
+                plan.ops[j] = PlanOp::Nop;
+                plan.out_elems[i] = plan.out_elems[j];
+                fused += 1;
+                // If anything still reads op j's output, its Nop must keep
+                // yielding exactly this value: stop the chain here.
+                if refs[j] > 0 {
+                    break;
+                }
+            }
+            i += 1;
+        }
+        format!("folded {fused} digital op(s) into CiM epilogues")
+    }
+}
+
+/// Sweeps [`PlanOp::Nop`]s and remaps every [`OpSource`] onto the
+/// surviving op indices (a `Nop`'s value is the output of the last
+/// surviving op before it, or the network input when none exists).
+struct DeadOpElimination;
+
+impl Pass for DeadOpElimination {
+    fn name(&self) -> &'static str {
+        "dead-op-elimination"
+    }
+
+    fn run(&self, plan: &mut ExecPlan) -> String {
+        let n = plan.ops.len();
+        // value_map[old] = where old op's value lives after the sweep.
+        let mut value_map = Vec::with_capacity(n);
+        let mut last_kept: Option<usize> = None;
+        let mut kept = 0usize;
+        for op in &plan.ops {
+            if matches!(op, PlanOp::Nop) {
+                value_map.push(match last_kept {
+                    Some(k) => OpSource::Op(k),
+                    None => OpSource::Input,
+                });
+            } else {
+                value_map.push(OpSource::Op(kept));
+                last_kept = Some(kept);
+                kept += 1;
+            }
+        }
+        let removed = n - kept;
+        let remap = |src: &mut OpSource| {
+            if let OpSource::Op(s) = src {
+                *src = value_map[*s];
+            }
+        };
+        let mut ops = std::mem::take(&mut plan.ops);
+        let out_elems = std::mem::take(&mut plan.out_elems);
+        let chip_of = std::mem::take(&mut plan.chip_of);
+        for (idx, mut op) in ops.drain(..).enumerate() {
+            if matches!(op, PlanOp::Nop) {
+                continue;
+            }
+            match &mut op {
+                PlanOp::Passthrough { source, .. } | PlanOp::ResidualAdd { source, .. } => {
+                    remap(source)
+                }
+                PlanOp::Conv { epilogue, .. }
+                | PlanOp::ReBranch { epilogue, .. }
+                | PlanOp::Linear { epilogue, .. } => {
+                    for e in epilogue {
+                        if let EpilogueOp::Residual { source } = e {
+                            remap(source);
+                        }
+                    }
+                }
+                _ => {}
+            }
+            plan.ops.push(op);
+            plan.out_elems.push(out_elems[idx]);
+            plan.chip_of.push(chip_of[idx]);
+        }
+        format!("removed {removed} dead op(s)")
+    }
+}
+
+/// Computes output live ranges and stores the planned slot-reuse arena on
+/// the plan (see [`BufferPlan`]).
+struct BufferLiveness;
+
+impl Pass for BufferLiveness {
+    fn name(&self) -> &'static str {
+        "buffer-liveness"
+    }
+
+    fn run(&self, plan: &mut ExecPlan) -> String {
+        let bp = BufferPlan::plan(&plan.out_elems, &plan.last_use());
+        let detail = format!(
+            "{} outputs -> {} arena slots; peak {} vs naive {} elems/sample",
+            plan.len(),
+            bp.slots(),
+            bp.peak_elems,
+            bp.naive_elems
+        );
+        plan.buffer_plan = Some(bp);
+        detail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{CompileOptions, CompiledNetwork};
+    use yoloc_models::zoo;
+
+    fn compile(passes: PassPipeline) -> CompiledNetwork {
+        let desc = zoo::scaled(&zoo::vgg8(4), 16, (16, 16));
+        let mut opts = CompileOptions::paper_default();
+        opts.passes = passes;
+        CompiledNetwork::compile_random(&desc, 3, opts).unwrap()
+    }
+
+    #[test]
+    fn fusion_shrinks_the_plan_and_dce_reports_it() {
+        let raw = compile(PassPipeline::none());
+        let fused = compile(PassPipeline::paper_default());
+        assert!(raw.pass_reports.is_empty());
+        assert_eq!(fused.pass_reports.len(), 3);
+        assert_eq!(fused.pass_reports[0].pass, "epilogue-fusion");
+        assert_eq!(fused.pass_reports[1].pass, "dead-op-elimination");
+        assert_eq!(fused.pass_reports[2].pass, "buffer-liveness");
+        // VGG-8 interleaves conv/act/pool: fusion must fold a good chunk.
+        assert!(
+            fused.plan().len() < raw.plan().len(),
+            "fused {} vs raw {}",
+            fused.plan().len(),
+            raw.plan().len()
+        );
+        assert_eq!(
+            fused.pass_reports[1].ops_after,
+            fused.plan().len(),
+            "DCE report must reflect the final op count"
+        );
+        // The arena plan exists and beats per-op allocation.
+        let bp = fused.plan().buffer_plan().expect("liveness ran");
+        assert!(bp.peak_elems < bp.naive_elems);
+    }
+
+    #[test]
+    fn fused_plan_keeps_identical_fabric_footprint() {
+        // Fusion moves digital work; the programmed subarrays (the CiM
+        // fabric) must be untouched.
+        let raw = compile(PassPipeline::none());
+        let fused = compile(PassPipeline::paper_default());
+        assert_eq!(raw.programmed_subarrays(), fused.programmed_subarrays());
+    }
+
+    #[test]
+    fn pipeline_of_preserves_order() {
+        let p = PassPipeline::of(vec![PassKind::BufferLiveness]);
+        assert_eq!(p.kinds(), &[PassKind::BufferLiveness]);
+    }
+}

@@ -1,0 +1,182 @@
+//! The tile-level task graph the parallel scheduler executes.
+//!
+//! A compiled [`ExecPlan`] is a chain of ops (each consumes the previous
+//! op's output) with side edges for skip/passthrough sources. To exploit
+//! the ROM-CiM fabric *within* one sample, the scheduler needs finer
+//! grain: this module expands the plan into **tasks** — one per digital
+//! op, and one per internal stage of a ReBranch group (trunk, compress,
+//! residual conv, decompress, combine) — wired with explicit dependencies.
+//!
+//! Each CiM task then fans out further at run time into the
+//! placement-derived position tiles of `CimConv2d::tile_ranges`, which is
+//! where the intra-sample parallelism comes from: independent tasks of a
+//! ready wave (e.g. a ReBranch trunk and its compress stage) and all
+//! their tiles execute concurrently on the worker pool, while assembly
+//! follows deterministic task/tile order so the result is bit-identical
+//! to the serial interpreter.
+
+use super::{ExecPlan, OpSource, PlanOp};
+
+/// What a task computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TaskKind {
+    /// The whole op (digital ops, CiM convs/linears, residual adds).
+    Whole,
+    /// ReBranch stages (Fig. 7).
+    RbTrunk,
+    RbCompress,
+    RbRes,
+    RbDecompress,
+    /// ReBranch merge: `trunk + decompress`, plus any fused epilogue.
+    RbCombine,
+}
+
+/// One schedulable unit: an op (or op stage) plus its producer tasks.
+#[derive(Debug, Clone)]
+pub(crate) struct Task {
+    /// The plan op this task belongs to.
+    pub op: usize,
+    /// Which part of the op it computes.
+    pub kind: TaskKind,
+    /// Task indices that must complete first.
+    pub deps: Vec<usize>,
+}
+
+/// The dependency graph of one plan, in deterministic task order.
+#[derive(Debug, Clone)]
+pub(crate) struct TaskGraph {
+    pub tasks: Vec<Task>,
+    /// The task whose result is op `i`'s final output.
+    pub result_task_of_op: Vec<usize>,
+}
+
+impl TaskGraph {
+    /// Expands `plan` into its task graph.
+    pub fn build(plan: &ExecPlan) -> Self {
+        let mut tasks: Vec<Task> = Vec::new();
+        let mut result_task_of_op = Vec::with_capacity(plan.ops.len());
+        for (i, op) in plan.ops.iter().enumerate() {
+            // Producer of the running activation.
+            let prev: Option<usize> = i.checked_sub(1).map(|p| result_task_of_op[p]);
+            let src_deps: Vec<usize> = op
+                .sources()
+                .iter()
+                .filter_map(|s| match s {
+                    OpSource::Input => None,
+                    OpSource::Op(j) => Some(result_task_of_op[*j]),
+                })
+                .collect();
+            let result = match op {
+                PlanOp::ReBranch { .. } => {
+                    let base: Vec<usize> = prev.into_iter().collect();
+                    let trunk = tasks.len();
+                    tasks.push(Task {
+                        op: i,
+                        kind: TaskKind::RbTrunk,
+                        deps: base.clone(),
+                    });
+                    let compress = tasks.len();
+                    tasks.push(Task {
+                        op: i,
+                        kind: TaskKind::RbCompress,
+                        deps: base,
+                    });
+                    let res = tasks.len();
+                    tasks.push(Task {
+                        op: i,
+                        kind: TaskKind::RbRes,
+                        deps: vec![compress],
+                    });
+                    let decompress = tasks.len();
+                    tasks.push(Task {
+                        op: i,
+                        kind: TaskKind::RbDecompress,
+                        deps: vec![res],
+                    });
+                    let mut deps = vec![trunk, decompress];
+                    deps.extend(src_deps.iter().copied());
+                    let combine = tasks.len();
+                    tasks.push(Task {
+                        op: i,
+                        kind: TaskKind::RbCombine,
+                        deps,
+                    });
+                    combine
+                }
+                _ => {
+                    let mut deps: Vec<usize> = prev.into_iter().collect();
+                    deps.extend(src_deps.iter().copied());
+                    let t = tasks.len();
+                    tasks.push(Task {
+                        op: i,
+                        kind: TaskKind::Whole,
+                        deps,
+                    });
+                    t
+                }
+            };
+            result_task_of_op.push(result);
+        }
+        TaskGraph {
+            tasks,
+            result_task_of_op,
+        }
+    }
+
+    /// In-degree of every task (the ready queue's starting state).
+    pub fn indegrees(&self) -> Vec<usize> {
+        self.tasks.iter().map(|t| t.deps.len()).collect()
+    }
+
+    /// Successor lists (who to notify when a task completes).
+    pub fn successors(&self) -> Vec<Vec<usize>> {
+        let mut succ = vec![Vec::new(); self.tasks.len()];
+        for (t, task) in self.tasks.iter().enumerate() {
+            for &d in &task.deps {
+                succ[d].push(t);
+            }
+        }
+        succ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{CompileOptions, CompiledNetwork, PassPipeline};
+    use yoloc_models::zoo;
+
+    #[test]
+    fn chain_plan_builds_chain_graph() {
+        let desc = zoo::scaled(&zoo::vgg8(3), 16, (16, 16));
+        let mut opts = CompileOptions::paper_default();
+        opts.passes = PassPipeline::none();
+        let net = CompiledNetwork::compile_random(&desc, 5, opts).unwrap();
+        let g = TaskGraph::build(net.plan());
+        assert_eq!(g.tasks.len(), net.plan().len());
+        // Pure chain: task k depends exactly on task k-1.
+        for (k, t) in g.tasks.iter().enumerate() {
+            if k == 0 {
+                assert!(t.deps.is_empty());
+            } else {
+                assert_eq!(t.deps, vec![k - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn residual_adds_side_edges() {
+        let desc = zoo::scaled(&zoo::resnet18(3), 16, (32, 32));
+        let mut opts = CompileOptions::paper_default();
+        opts.passes = PassPipeline::none();
+        let net = CompiledNetwork::compile_random(&desc, 6, opts).unwrap();
+        let g = TaskGraph::build(net.plan());
+        // At least one task must carry a second (skip) dependency.
+        assert!(g.tasks.iter().any(|t| t.deps.len() >= 2));
+        // The graph stays acyclic and topologically ordered by
+        // construction: every dep index precedes its task.
+        for (k, t) in g.tasks.iter().enumerate() {
+            assert!(t.deps.iter().all(|&d| d < k));
+        }
+    }
+}

@@ -23,6 +23,16 @@ pub enum MappingStrategy {
     /// (co-located layers occupy disjoint columns), so it changes the
     /// placement/area accounting, not the simulated datapath.
     Packed,
+    /// Chiplet sharding: layers are spread across `chips` dies in
+    /// execution order, balanced by subarray demand, each die packing its
+    /// own layers ([`ShardPlan`]). Functionally transparent like packing,
+    /// but the executors price activation traffic that crosses a die
+    /// boundary through the chiplet link, so energy and latency reflect
+    /// the shard topology.
+    Sharded {
+        /// Number of chiplets.
+        chips: usize,
+    },
 }
 
 /// Placement summary for one CiM layer.
@@ -64,6 +74,25 @@ impl LayerPlacement {
     }
 }
 
+/// How a network's layers are spread across chiplets under
+/// [`MappingStrategy::Sharded`]: a contiguous, subarray-balanced partition
+/// of the placement list, each chip shelf-packing its own layers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// Chip index of each placement, aligned with
+    /// `NetworkMapping::placements`.
+    pub chip_of: Vec<usize>,
+    /// Number of chiplets.
+    pub chips: usize,
+    /// Packed subarrays per chip.
+    pub subarrays_per_chip: Vec<usize>,
+    /// Total packed subarrays across all chips (>= the single-chip packed
+    /// count: partial tiles cannot pack across dies).
+    pub subarrays_total: usize,
+    /// Layer boundaries whose activations cross a die (execution order).
+    pub boundary_crossings: usize,
+}
+
 /// A whole network mapped onto CiM subarrays.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkMapping {
@@ -79,6 +108,9 @@ pub struct NetworkMapping {
     pub utilization_packed: f64,
     /// Total weight bits stored.
     pub total_weight_bits: u64,
+    /// Chiplet shard layout (populated when mapped with
+    /// [`MappingStrategy::Sharded`]; see [`map_network_with`]).
+    pub shard: Option<ShardPlan>,
 }
 
 impl NetworkMapping {
@@ -87,11 +119,17 @@ impl NetworkMapping {
         self.placements.iter().map(|p| p.mvms).sum()
     }
 
-    /// Subarrays consumed under `strategy`.
+    /// Subarrays consumed under `strategy`. For [`MappingStrategy::Sharded`]
+    /// this is the per-die packed total when a shard plan exists, else the
+    /// single-chip packed count.
     pub fn subarrays(&self, strategy: MappingStrategy) -> usize {
         match strategy {
             MappingStrategy::Naive => self.subarrays_naive,
             MappingStrategy::Packed => self.subarrays_packed,
+            MappingStrategy::Sharded { .. } => self
+                .shard
+                .as_ref()
+                .map_or(self.subarrays_packed, |s| s.subarrays_total),
         }
     }
 
@@ -100,6 +138,14 @@ impl NetworkMapping {
         match strategy {
             MappingStrategy::Naive => self.utilization_naive,
             MappingStrategy::Packed => self.utilization_packed,
+            MappingStrategy::Sharded { .. } => match &self.shard {
+                None => self.utilization_packed,
+                Some(s) if s.subarrays_total == 0 => 1.0,
+                Some(s) => {
+                    self.utilization_packed * self.subarrays_packed as f64
+                        / s.subarrays_total as f64
+                }
+            },
         }
     }
 }
@@ -149,6 +195,93 @@ fn shelf_pack(mut rects: Vec<Rect>, bin_rows: usize, bin_cols: usize) -> usize {
     bins.len()
 }
 
+/// Decomposes one lowered `(ins, outs)` matrix into full subarray tiles
+/// plus the partial rectangles available for cross-layer packing.
+fn tile_decomposition(ins: usize, outs: usize, params: &MacroParams) -> (usize, Vec<Rect>) {
+    let bit_cols = outs * params.weight_bits as usize;
+    let full_rows = ins / params.rows;
+    let rem_rows = ins % params.rows;
+    let full_cols = bit_cols / params.cols;
+    let rem_cols = bit_cols % params.cols;
+    let mut partials = Vec::new();
+    if rem_cols > 0 && full_rows > 0 {
+        for _ in 0..full_rows {
+            partials.push(Rect {
+                rows: params.rows,
+                cols: rem_cols,
+            });
+        }
+    }
+    if rem_rows > 0 && full_cols > 0 {
+        for _ in 0..full_cols {
+            partials.push(Rect {
+                rows: rem_rows,
+                cols: params.cols,
+            });
+        }
+    }
+    if rem_rows > 0 && rem_cols > 0 {
+        partials.push(Rect {
+            rows: rem_rows,
+            cols: rem_cols,
+        });
+    }
+    (full_rows * full_cols, partials)
+}
+
+/// Packed subarray count of a set of placements (each die packs its own
+/// layers under [`MappingStrategy::Sharded`]).
+fn pack_placements(placements: &[&LayerPlacement], params: &MacroParams) -> usize {
+    let mut full = 0usize;
+    let mut partials = Vec::new();
+    for p in placements {
+        let (f, mut parts) = tile_decomposition(p.ins, p.outs, params);
+        full += f;
+        partials.append(&mut parts);
+    }
+    full + shelf_pack(partials, params.rows, params.cols)
+}
+
+/// Spreads `mapping`'s placements across `chips` dies: a contiguous
+/// partition in execution order (activations stream die to die at most
+/// once per boundary), balanced by naive subarray demand, each die
+/// shelf-packing its own layers.
+pub fn shard_network(mapping: &NetworkMapping, params: &MacroParams, chips: usize) -> ShardPlan {
+    let chips = chips.max(1);
+    let total: usize = mapping
+        .placements
+        .iter()
+        .map(LayerPlacement::naive_subarrays)
+        .sum();
+    let per_chip = total.div_ceil(chips).max(1);
+    let mut chip_of = Vec::with_capacity(mapping.placements.len());
+    let mut acc = 0usize;
+    for p in &mapping.placements {
+        chip_of.push((acc / per_chip).min(chips - 1));
+        acc += p.naive_subarrays();
+    }
+    let subarrays_per_chip: Vec<usize> = (0..chips)
+        .map(|c| {
+            let group: Vec<&LayerPlacement> = mapping
+                .placements
+                .iter()
+                .zip(&chip_of)
+                .filter(|(_, &ch)| ch == c)
+                .map(|(p, _)| p)
+                .collect();
+            pack_placements(&group, params)
+        })
+        .collect();
+    let boundary_crossings = chip_of.windows(2).filter(|w| w[0] != w[1]).count();
+    ShardPlan {
+        chips,
+        subarrays_total: subarrays_per_chip.iter().sum(),
+        subarrays_per_chip,
+        boundary_crossings,
+        chip_of,
+    }
+}
+
 /// Maps a network's CiM layers onto subarrays of `params`.
 ///
 /// # Errors
@@ -157,6 +290,21 @@ fn shelf_pack(mut rects: Vec<Rect>, bin_rows: usize, bin_cols: usize) -> usize {
 pub fn map_network(
     desc: &NetworkDesc,
     params: &MacroParams,
+) -> Result<NetworkMapping, NetworkError> {
+    map_network_with(desc, params, MappingStrategy::Packed)
+}
+
+/// [`map_network`] with an explicit strategy: under
+/// [`MappingStrategy::Sharded`] the returned mapping additionally carries
+/// the [`ShardPlan`].
+///
+/// # Errors
+///
+/// Propagates [`NetworkError`] if the network's shapes are inconsistent.
+pub fn map_network_with(
+    desc: &NetworkDesc,
+    params: &MacroParams,
+    strategy: MappingStrategy,
 ) -> Result<NetworkMapping, NetworkError> {
     let reports = desc.analyze()?;
     let wb = params.weight_bits as usize;
@@ -180,33 +328,9 @@ pub fn map_network(
             used_bits: (m.ins * m.outs * wb) as u64,
         });
         // Decompose into full tiles + partial rectangles for packing.
-        let full_rows = m.ins / params.rows;
-        let rem_rows = m.ins % params.rows;
-        let full_cols = bit_cols / params.cols;
-        let rem_cols = bit_cols % params.cols;
-        full_tiles += full_rows * full_cols;
-        if rem_cols > 0 && full_rows > 0 {
-            for _ in 0..full_rows {
-                partials.push(Rect {
-                    rows: params.rows,
-                    cols: rem_cols,
-                });
-            }
-        }
-        if rem_rows > 0 && full_cols > 0 {
-            for _ in 0..full_cols {
-                partials.push(Rect {
-                    rows: rem_rows,
-                    cols: params.cols,
-                });
-            }
-        }
-        if rem_rows > 0 && rem_cols > 0 {
-            partials.push(Rect {
-                rows: rem_rows,
-                cols: rem_cols,
-            });
-        }
+        let (full, mut parts) = tile_decomposition(m.ins, m.outs, params);
+        full_tiles += full;
+        partials.append(&mut parts);
     }
     let subarrays_naive: usize = placements.iter().map(|p| p.naive_subarrays()).sum();
     let packed_bins = shelf_pack(partials, params.rows, params.cols);
@@ -219,14 +343,19 @@ pub fn map_network(
             total_bits as f64 / (subs as f64 * cell_bits)
         }
     };
-    Ok(NetworkMapping {
+    let mut mapping = NetworkMapping {
         subarrays_naive,
         subarrays_packed,
         utilization_naive: utilization(subarrays_naive),
         utilization_packed: utilization(subarrays_packed),
         total_weight_bits: total_bits,
         placements,
-    })
+        shard: None,
+    };
+    if let MappingStrategy::Sharded { chips } = strategy {
+        mapping.shard = Some(shard_network(&mapping, params, chips));
+    }
+    Ok(mapping)
 }
 
 #[cfg(test)]
@@ -394,6 +523,45 @@ mod tests {
         assert_eq!(m.subarrays_naive, 1);
         assert_eq!(m.subarrays_packed, 1);
         assert!((m.utilization_naive - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharded_mapping_partitions_contiguously_and_packs_per_die() {
+        let desc = zoo::yolo_v2(20, 5);
+        let strategy = MappingStrategy::Sharded { chips: 4 };
+        let m = map_network_with(&desc, &MacroParams::rom_paper(), strategy).unwrap();
+        let s = m.shard.as_ref().expect("sharded mapping carries a plan");
+        assert_eq!(s.chips, 4);
+        assert_eq!(s.chip_of.len(), m.placements.len());
+        // Contiguous in execution order: chip ids are monotone, so
+        // activations cross each die boundary at most once.
+        assert!(s.chip_of.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(
+            s.boundary_crossings,
+            s.chip_of.windows(2).filter(|w| w[0] != w[1]).count()
+        );
+        assert!(s.boundary_crossings <= 3);
+        // Per-die packing sits between global packing and naive.
+        assert!(s.subarrays_total >= m.subarrays_packed);
+        assert!(s.subarrays_total <= m.subarrays_naive);
+        assert_eq!(m.subarrays(strategy), s.subarrays_total);
+        // A YOLO-sized network populates every die.
+        for c in 0..4 {
+            assert!(s.chip_of.contains(&c), "chip {c} left empty");
+        }
+        let u = m.utilization(strategy);
+        assert!(u > 0.0 && u <= 1.0 + 1e-9, "utilization {u}");
+    }
+
+    #[test]
+    fn single_chip_shard_degenerates_to_packed() {
+        let desc = zoo::vgg8(10);
+        let strategy = MappingStrategy::Sharded { chips: 1 };
+        let m = map_network_with(&desc, &MacroParams::rom_paper(), strategy).unwrap();
+        let s = m.shard.as_ref().unwrap();
+        assert_eq!(s.subarrays_total, m.subarrays_packed);
+        assert_eq!(s.boundary_crossings, 0);
+        assert!(s.chip_of.iter().all(|&c| c == 0));
     }
 
     #[test]

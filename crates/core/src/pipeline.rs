@@ -61,6 +61,7 @@ impl DeployStats {
     }
 
     /// Total energy across both domains, pJ.
+    #[must_use]
     pub fn total_energy_pj(&self) -> f64 {
         self.rom.energy_pj + self.sram.energy_pj
     }
@@ -164,8 +165,12 @@ impl CimDeployedModel {
         memory: MemoryParams,
     ) -> Self {
         assert_eq!(calibration.ndim(), 4, "calibration must be (N, C, H, W)");
+        let cal_n = calibration.shape()[0].max(1);
         let mut plan = ExecPlan::new(memory);
         let mut h = calibration.clone();
+        // Per-sample output footprint of the current block (conv keeps
+        // the spatial dims: stride 1, pad 1, 3x3).
+        let mut spatial = (calibration.shape()[2], calibration.shape()[3]);
         let mut last_op: Option<usize> = None;
         for b in &model.blocks {
             // Where the block input comes from (the residual skip source).
@@ -173,10 +178,17 @@ impl CimDeployedModel {
                 Some(i) => OpSource::Op(i),
                 None => OpSource::Input,
             };
+            let out_ch = match &b.unit {
+                ConvUnit::Plain(c) => c.weight.value.shape()[0],
+                ConvUnit::ReBranch(rb) => rb.trunk().weight.value.shape()[0],
+                ConvUnit::Spwd(s) => s.frozen.weight.value.shape()[0],
+            };
+            let map_elems = out_ch * spatial.0 * spatial.1;
             let op = match &b.unit {
                 ConvUnit::Plain(c) => PlanOp::Conv {
                     conv: CimConv2d::compile(&c.weight.value, 1, 1, &[&h], rom),
                     domain: MemDomain::Rom,
+                    epilogue: Vec::new(),
                 },
                 ConvUnit::ReBranch(rb) => {
                     let (w1, wb, w2) = rb.branch_weights();
@@ -188,6 +200,7 @@ impl CimDeployedModel {
                         compress: CimConv2d::compile(w1, 1, 0, &[&h], rom),
                         res_conv: CimConv2d::compile(wb, 1, 1, &[&c_out], sram),
                         decompress: CimConv2d::compile(w2, 1, 0, &[&r_out], rom),
+                        epilogue: Vec::new(),
                     }
                 }
                 ConvUnit::Spwd(s) => PlanOp::Conv {
@@ -201,29 +214,37 @@ impl CimDeployedModel {
                         rom,
                     ),
                     domain: MemDomain::Rom,
+                    epilogue: Vec::new(),
                 },
             };
-            plan.push(op);
+            plan.push(op, map_elems);
             if b.skip {
-                plan.push(PlanOp::ResidualAdd {
-                    source: block_input,
-                    projection: None,
-                });
+                plan.push(
+                    PlanOp::ResidualAdd {
+                        source: block_input,
+                        projection: None,
+                    },
+                    map_elems,
+                );
             }
-            plan.push(PlanOp::Activation(ActKind::Relu));
+            plan.push(PlanOp::Activation(ActKind::Relu), map_elems);
             let pool = b.pool_enabled();
             if pool {
-                plan.push(PlanOp::MaxPool {
-                    kernel: 2,
-                    stride: 2,
-                });
+                spatial = (spatial.0 / 2, spatial.1 / 2);
+                plan.push(
+                    PlanOp::MaxPool {
+                        kernel: 2,
+                        stride: 2,
+                    },
+                    out_ch * spatial.0 * spatial.1,
+                );
             }
             last_op = Some(plan.len() - 1);
             h = software_block(&h, &b.unit, pool, b.skip);
         }
         // Classifier onto SRAM-CiM.
         let feats = gap(&h);
-        plan.push(PlanOp::GlobalAvgPool);
+        plan.push(PlanOp::GlobalAvgPool, feats.data().len() / cal_n);
         let w = &model.classifier.weight.value;
         let bias = model
             .classifier
@@ -232,10 +253,14 @@ impl CimDeployedModel {
             .map(|b| b.value.data().to_vec());
         let linear = CimLinear::compile(w, bias.as_deref(), &[&feats], sram);
         let classes = linear.outs();
-        plan.push(PlanOp::Linear {
-            linear,
-            domain: MemDomain::Sram,
-        });
+        plan.push(
+            PlanOp::Linear {
+                linear,
+                domain: MemDomain::Sram,
+                epilogue: Vec::new(),
+            },
+            classes,
+        );
         CimDeployedModel { plan, classes }
     }
 
@@ -460,14 +485,21 @@ pub mod legacy {
         }
 
         /// Legacy counterpart of [`CimDeployedModel::infer`].
+        ///
+        /// Statistics fold block-locally first (from zero, in stage
+        /// order), then merge into the running totals — the same
+        /// per-op-then-reduce shape the graph executor's `finalize` uses,
+        /// so the two walks stay bit-identical down to f64 summation
+        /// order.
         pub fn infer<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, DeployStats) {
             let mut stats = DeployStats::default();
             let mut h = x.clone();
             for b in &self.blocks {
+                let mut block = DeployStats::default();
                 let conv_out = match &b.unit {
                     DeployedUnit::Plain { conv } => {
                         let (y, s) = conv.forward(&h, rng);
-                        stats.rom.merge(&s);
+                        block.rom.merge(&s);
                         y
                     }
                     DeployedUnit::ReBranch {
@@ -480,13 +512,14 @@ pub mod legacy {
                         let (c, s2) = compress.forward(&h, rng);
                         let (r, s3) = res_conv.forward(&c, rng);
                         let (d, s4) = decompress.forward(&r, rng);
-                        stats.rom.merge(&s1);
-                        stats.rom.merge(&s2);
-                        stats.sram.merge(&s3);
-                        stats.rom.merge(&s4);
+                        block.rom.merge(&s1);
+                        block.rom.merge(&s2);
+                        block.sram.merge(&s3);
+                        block.rom.merge(&s4);
                         t.add(&d)
                     }
                 };
+                stats.merge(&block);
                 let merged = if b.skip { conv_out.add(&h) } else { conv_out };
                 let act = merged.map(|v| v.max(0.0));
                 h = if b.pool {
@@ -496,7 +529,8 @@ pub mod legacy {
                 };
             }
             let feats = gap(&h);
-            let logits = self.classifier.forward(&feats, rng, &mut stats.sram);
+            let (logits, s) = self.classifier.forward(&feats, rng);
+            stats.sram.merge(&s);
             (logits, stats)
         }
 
@@ -830,9 +864,9 @@ mod tests {
         assert!(report.energy.peripheral_uj > 0.0);
         assert!(report.buffer_traffic_bits > report.dram_traffic_bits);
         assert!(report.latency_ns > 0.0);
-        // Consistency with the DeployStats view.
-        let expected_cim = (report.rom.energy_pj + report.sram.energy_pj) / 1e6;
-        assert!((report.energy.cim_uj - expected_cim).abs() < 1e-12);
+        // Consistency with the DeployStats view, through the one shared
+        // summation site.
+        assert!((report.energy.cim_uj - report.cim_energy_pj() / 1e6).abs() < 1e-12);
     }
 
     #[test]

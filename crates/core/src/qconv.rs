@@ -60,6 +60,9 @@ pub struct CimConv2d {
     pub act_params: QuantParams,
     geom: Conv2dGeometry,
     out_channels: usize,
+    /// Target tile count for [`CimConv2d::tile_ranges`] (1 = the whole
+    /// position range as a single tile, the legacy serial walk).
+    par_tiles: usize,
 }
 
 impl CimConv2d {
@@ -123,7 +126,27 @@ impl CimConv2d {
                 padding,
             },
             out_channels: oc,
+            par_tiles: 1,
         }
+    }
+
+    /// Sets the target tile count the layer decomposes its output
+    /// positions into (see [`CimConv2d::tile_ranges`]). The graph compiler
+    /// derives this from the layer's placement (how many macro clusters of
+    /// the mesh — or of its chiplet shard — serve the layer), so a single
+    /// inference can fan across workers. The decomposition is a pure
+    /// function of this hint and the input shape — never of the worker
+    /// count — which is what keeps tiled execution bit-identical to the
+    /// serial walk of the same plan.
+    pub fn set_tile_hint(&mut self, tiles: usize) {
+        self.par_tiles = tiles.max(1);
+    }
+
+    /// The contiguous position ranges `forward` folds over: `positions`
+    /// output pixels split into (at most) the hinted tile count of
+    /// near-equal chunks, in position order.
+    pub fn tile_ranges(&self, positions: usize) -> Vec<(usize, usize)> {
+        split_ranges(positions, self.par_tiles)
     }
 
     /// Number of physical subarrays programmed (0 on the software
@@ -145,32 +168,114 @@ impl CimConv2d {
         self.engine.set_fast_path(enabled);
     }
 
+    /// Lowers `x` (`(N, C, H, W)`) to its im2col activation matrix — the
+    /// shared input every tile of this layer reads. Exposed so the
+    /// scheduler can lower once and fan [`CimConv2d::forward_tile`] calls
+    /// over the result.
+    pub fn lower(&self, x: &Tensor) -> Tensor {
+        im2col(x, &self.geom)
+    }
+
+    /// Output spatial dims for an `(H, W)` input.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        self.geom.output_hw(h, w)
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Runs output positions `lo..hi` of the lowered activation matrix
+    /// (`cols`, from [`CimConv2d::lower`]) through the backend's
+    /// tile-granular entry, returning the dequantized values in
+    /// `[position][channel]` order plus the tile's statistics (folded from
+    /// zero, in position order).
+    ///
+    /// This is the parallel unit of the tile scheduler; assembling tiles
+    /// in range order reproduces [`CimConv2d::forward`] bit for bit.
+    pub fn forward_tile<R: Rng + ?Sized>(
+        &self,
+        cols: &Tensor,
+        lo: usize,
+        hi: usize,
+        rng: &mut R,
+    ) -> (Vec<f32>, MvmStats) {
+        let patch = self.geom.patch_len();
+        let mut dyn_rng = DynRng(rng);
+        // Quantize the tile's activation columns, packed vector-major.
+        let codes: Vec<i32> = (lo..hi)
+            .flat_map(|pos| {
+                (0..patch).map(move |r| self.act_params.quantize_value(cols.at(&[r, pos])))
+            })
+            .collect();
+        let (accs, stats) = self.engine.mvm_tile(&codes, hi - lo, &mut dyn_rng);
+        let mut vals = Vec::with_capacity((hi - lo) * self.out_channels);
+        for acc in accs.chunks_exact(self.out_channels) {
+            for (o, &a) in acc.iter().enumerate() {
+                vals.push(self.dequant.value(o, a, &self.act_params));
+            }
+        }
+        (vals, stats)
+    }
+
+    /// Scatters one tile's `[position][channel]` values (from
+    /// [`CimConv2d::forward_tile`] at range start `lo`) into the `(N, OC,
+    /// OH, OW)` output map.
+    pub fn scatter_tile(&self, out: &mut Tensor, lo: usize, vals: &[f32]) {
+        let (oh, ow) = (out.shape()[2], out.shape()[3]);
+        for (v, chunk) in vals.chunks_exact(self.out_channels).enumerate() {
+            let pos = lo + v;
+            let ni = pos / (oh * ow);
+            let p = pos % (oh * ow);
+            for (o, &val) in chunk.iter().enumerate() {
+                *out.at_mut(&[ni, o, p / ow, p % ow]) = val;
+            }
+        }
+    }
+
     /// Runs the convolution on `x` (`(N, C, H, W)`), returning the output
     /// feature map and the accumulated backend statistics.
+    ///
+    /// Execution is tile-structured: the output positions are split by
+    /// [`CimConv2d::tile_ranges`] and folded **in tile order** (each tile
+    /// folding its positions in order), so the serial walk and the
+    /// tile-parallel scheduler perform the exact same floating-point
+    /// reduction and agree bit for bit.
+    #[must_use = "dropping the result discards the layer output and its measured statistics"]
     pub fn forward<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, MvmStats) {
         let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.geom.output_hw(h, w);
-        let cols = im2col(x, &self.geom);
-        let patch = self.geom.patch_len();
+        let cols = self.lower(x);
         let positions = cols.shape()[1];
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
         let mut stats = MvmStats::default();
-        let mut dyn_rng = DynRng(rng);
-        for pos in 0..positions {
-            // Quantize this activation column.
-            let codes: Vec<i32> = (0..patch)
-                .map(|r| self.act_params.quantize_value(cols.at(&[r, pos])))
-                .collect();
-            let (acc, s) = self.engine.mvm(&codes, &mut dyn_rng);
+        for (lo, hi) in self.tile_ranges(positions) {
+            let (vals, s) = self.forward_tile(&cols, lo, hi, rng);
             stats.merge(&s);
-            let ni = pos / (oh * ow);
-            let p = pos % (oh * ow);
-            for (o, &a) in acc.iter().enumerate().take(self.out_channels) {
-                *out.at_mut(&[ni, o, p / ow, p % ow]) = self.dequant.value(o, a, &self.act_params);
-            }
+            self.scatter_tile(&mut out, lo, &vals);
         }
         (out, stats)
     }
+}
+
+/// Splits `0..len` into (at most) `parts` contiguous near-equal ranges in
+/// order; empty when `len == 0`.
+pub fn split_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let rem = len % parts;
+    let mut ranges = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for i in 0..parts {
+        let hi = lo + base + usize::from(i < rem);
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    ranges
 }
 
 /// A fully-connected layer compiled onto an MVM backend (the prediction
@@ -256,36 +361,36 @@ impl CimLinear {
         self.engine.set_fast_path(enabled);
     }
 
-    /// Runs the layer on `feats` (`(N, ins)`), merging per-sample backend
-    /// statistics into `sink` **in sample order** (so callers that keep
-    /// their own accumulators reduce in exactly the sequence the legacy
-    /// pipeline did — the root of the bit-identical-stats parity).
+    /// Runs the layer on `feats` (`(N, ins)`) through the backend's
+    /// tile-granular entry (the whole batch as one tile), returning the
+    /// output and the layer's statistics folded from zero **in sample
+    /// order** — the caller merges them into its accumulator exactly once,
+    /// so serial, batched and tile-scheduled executions all perform the
+    /// same reduction.
     ///
     /// # Panics
     ///
     /// Panics if `feats` is not `(N, ins)`.
-    pub fn forward<R: Rng + ?Sized>(
-        &self,
-        feats: &Tensor,
-        rng: &mut R,
-        sink: &mut MvmStats,
-    ) -> Tensor {
+    #[must_use = "dropping the result discards the layer output and its measured statistics"]
+    pub fn forward<R: Rng + ?Sized>(&self, feats: &Tensor, rng: &mut R) -> (Tensor, MvmStats) {
         assert_eq!(feats.ndim(), 2, "features must be (N, ins)");
         assert_eq!(feats.shape()[1], self.ins, "feature width mismatch");
         let n = feats.shape()[0];
         let mut out = Tensor::zeros(&[n, self.outs]);
         let mut dyn_rng = DynRng(rng);
-        for ni in 0..n {
-            let codes = self
-                .act_params
-                .quantize_all(&feats.data()[ni * self.ins..(ni + 1) * self.ins]);
-            let (acc, s) = self.engine.mvm(&codes, &mut dyn_rng);
-            sink.merge(&s);
-            for (o, &a) in acc.iter().enumerate().take(self.outs) {
+        let codes: Vec<i32> = (0..n)
+            .flat_map(|ni| {
+                self.act_params
+                    .quantize_all(&feats.data()[ni * self.ins..(ni + 1) * self.ins])
+            })
+            .collect();
+        let (accs, stats) = self.engine.mvm_tile(&codes, n, &mut dyn_rng);
+        for (ni, acc) in accs.chunks_exact(self.outs).enumerate() {
+            for (o, &a) in acc.iter().enumerate() {
                 *out.at_mut(&[ni, o]) = self.dequant.value(o, a, &self.act_params) + self.bias[o];
             }
         }
-        out
+        (out, stats)
     }
 }
 
@@ -368,8 +473,7 @@ mod tests {
         let x = Tensor::rand_uniform(&[3, 24], 0.0, 1.0, &mut rng);
         let bias: Vec<f32> = (0..5).map(|i| i as f32 * 0.1).collect();
         let linear = CimLinear::compile(&w, Some(&bias), &[&x], MacroParams::sram_paper());
-        let mut stats = MvmStats::default();
-        let y = linear.forward(&x, &mut rng, &mut stats);
+        let (y, stats) = linear.forward(&x, &mut rng);
         assert!(stats.adc_conversions > 0);
         // Float reference: y = W x + b.
         for ni in 0..3 {
@@ -395,8 +499,42 @@ mod tests {
         );
         assert_eq!(linear.subarrays(), 0);
         assert_eq!(linear.backend_name(), "software");
-        let mut stats = MvmStats::default();
-        linear.forward(&x, &mut rng, &mut stats);
+        let (_, stats) = linear.forward(&x, &mut rng);
         assert_eq!(stats, MvmStats::default());
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        assert_eq!(split_ranges(0, 4), vec![]);
+        assert_eq!(split_ranges(5, 1), vec![(0, 5)]);
+        assert_eq!(split_ranges(5, 2), vec![(0, 3), (3, 5)]);
+        assert_eq!(split_ranges(3, 8), vec![(0, 1), (1, 2), (2, 3)]);
+        for (len, parts) in [(17usize, 4usize), (64, 16), (7, 7)] {
+            let r = split_ranges(len, parts);
+            assert_eq!(r.first().unwrap().0, 0);
+            assert_eq!(r.last().unwrap().1, len);
+            assert!(r.windows(2).all(|w| w[0].1 == w[1].0));
+        }
+    }
+
+    #[test]
+    fn tiled_forward_bit_identical_for_any_hint() {
+        // The tile decomposition must not change a single bit of the
+        // output or the stats fold relative to the single-tile walk —
+        // the root invariant of the tile-parallel scheduler.
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = Tensor::randn(&[6, 3, 3, 3], 0.0, 0.4, &mut rng);
+        let x = Tensor::rand_uniform(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let params = MacroParams::rom_paper();
+        let mut conv = CimConv2d::compile(&w, 1, 1, &[&x], params);
+        let (base, base_stats) = conv.forward(&x, &mut rng);
+        for tiles in [2usize, 5, 16, 1000] {
+            conv.set_tile_hint(tiles);
+            let (y, s) = conv.forward(&x, &mut rng);
+            assert_eq!(base.data(), y.data(), "tiles = {tiles}");
+            assert_eq!(base_stats.analog_evaluations, s.analog_evaluations);
+            assert_eq!(base_stats.adc_conversions, s.adc_conversions);
+            assert_eq!(base_stats.wl_pulses, s.wl_pulses);
+        }
     }
 }

@@ -152,6 +152,7 @@ impl EnergyBreakdown {
     }
 
     /// Total energy per inference, µJ.
+    #[must_use]
     pub fn total_uj(&self) -> f64 {
         self.cim_uj
             + self.peripheral_uj
@@ -164,6 +165,7 @@ impl EnergyBreakdown {
     }
 
     /// The "DRAM" share of Fig. 14(c) (transfer + write + stall).
+    #[must_use]
     pub fn dram_share(&self) -> f64 {
         let t = self.total_uj();
         if t == 0.0 {
@@ -193,6 +195,7 @@ pub struct AreaBreakdown {
 
 impl AreaBreakdown {
     /// Total chip (or chip-set) area, mm².
+    #[must_use]
     pub fn total_mm2(&self) -> f64 {
         self.rom_array_mm2
             + self.sram_array_mm2
@@ -299,6 +302,7 @@ fn macro_area_split(bits: u64, params: &MacroParams) -> (f64, f64, f64, f64) {
 /// # Errors
 ///
 /// Returns [`NetworkError`] if the model description is inconsistent.
+#[must_use = "dropping the result discards the evaluated system report"]
 pub fn evaluate(
     desc: &NetworkDesc,
     kind: SystemKind,

@@ -50,7 +50,15 @@ impl MeshNoc {
 
     /// Average hop count under uniform-random traffic: `(W + H) / 3` for
     /// a mesh (standard result).
+    ///
+    /// Degenerate meshes are guarded: a single-router mesh (1x1 — e.g. a
+    /// chiplet shard so small it holds one cluster) has nowhere to hop, so
+    /// the average is exactly 0, and a zero-dimension mesh would otherwise
+    /// divide by zero downstream of the per-hop latency model.
     pub fn average_hops(&self) -> f64 {
+        if self.width * self.height <= 1 {
+            return 0.0;
+        }
         (self.width as f64 + self.height as f64) / 3.0
     }
 
@@ -110,6 +118,24 @@ mod tests {
     fn average_hops_formula() {
         let noc = MeshNoc::new_28nm(6, 3);
         assert!((noc.average_hops() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_single_router_mesh_has_zero_hops() {
+        // A 1x1 mesh has one router: traffic never hops, so hop-priced
+        // energy must be exactly zero (the (W+H)/3 formula would claim
+        // 2/3 of a hop) and latency reduces to pure flit serialization.
+        let noc = MeshNoc::new_28nm(1, 1);
+        assert_eq!(noc.average_hops(), 0.0);
+        assert_eq!(noc.hops((0, 0), (0, 0)), 0);
+        assert_eq!(noc.uniform_transfer_energy_pj(10_000), 0.0);
+        // 10 flits: 9 serialization slots, no head hops.
+        let t = noc.uniform_transfer_latency_ns(128 * 10);
+        assert!((t - 9.0 * noc.t_hop_ns).abs() < 1e-12);
+        // Zero-dimension meshes are guarded too (no NaN/inf downstream).
+        let degenerate = MeshNoc::new_28nm(0, 4);
+        assert_eq!(degenerate.average_hops(), 0.0);
+        assert!(degenerate.uniform_transfer_latency_ns(64).is_finite());
     }
 
     #[test]

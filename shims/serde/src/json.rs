@@ -48,6 +48,61 @@ impl Value {
         v.to_json()
     }
 
+    /// Parses a JSON document into a value tree (object field order is
+    /// preserved, numbers parse as `f64` — the dual of [`Value::render`],
+    /// which round-trips everything this module emits). Duplicate object
+    /// keys are kept as-is, last-reader-wins through [`Value::get`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first syntax error (with byte
+    /// offset) on malformed input, including trailing garbage and
+    /// nesting deeper than 128 levels (the recursive-descent parser
+    /// bounds its stack instead of overflowing on adversarial input).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos, 0)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing characters at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` on non-objects and missing keys; the
+    /// last field wins on duplicates).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Renders with 2-space indentation and a trailing newline.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -111,6 +166,158 @@ impl Value {
     }
 }
 
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, *pos))
+    }
+}
+
+/// Maximum container nesting [`Value::parse`] accepts.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} at byte {}", *pos));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        // Surrogates fall back to the replacement char:
+                        // the renderer never emits them.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
 /// Writes `s` as a quoted JSON string with the mandatory escapes (used
 /// for both string values and object keys).
 fn write_escaped(out: &mut String, s: &str) {
@@ -129,4 +336,68 @@ fn write_escaped(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Value::Obj(vec![
+            ("schema".into(), Value::Str("x/3".into())),
+            ("ok".into(), Value::Bool(true)),
+            ("n".into(), Value::Num(2.5)),
+            ("i".into(), Value::Num(16.0)),
+            ("none".into(), Value::Null),
+            (
+                "arr".into(),
+                Value::Arr(vec![Value::Num(1.0), Value::Str("a\"b\n".into())]),
+            ),
+            ("empty_arr".into(), Value::Arr(vec![])),
+            ("empty_obj".into(), Value::Obj(vec![])),
+        ]);
+        let back = Value::parse(&doc.render()).expect("round trip");
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Value::parse("").is_err());
+        assert!(Value::parse("{").is_err());
+        assert!(Value::parse("[1, ]").is_err());
+        assert!(Value::parse("{\"a\": 1} trailing").is_err());
+        assert!(Value::parse("nul").is_err());
+    }
+
+    #[test]
+    fn parse_bounds_nesting_depth() {
+        // Adversarially nested input must produce an Err, not blow the
+        // stack (the --check-schema CI gate parses on-disk files).
+        let deep = "[".repeat(200_000);
+        let err = Value::parse(&deep).expect_err("deep nesting rejected");
+        assert!(err.contains("nesting deeper"), "{err}");
+        // 100 levels stay fine.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_trees() {
+        let v = Value::parse(r#"{"a": {"b": [1, 2, 3]}, "s": "hi"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        let arr = v.get("a").and_then(|a| a.get("b")).and_then(Value::as_arr);
+        assert_eq!(arr.map(|a| a.len()), Some(3));
+        assert_eq!(arr.unwrap()[2].as_num(), Some(3.0));
+        assert!(v.get("missing").is_none());
+        assert!(Value::Num(1.0).get("x").is_none());
+    }
+
+    #[test]
+    fn parse_handles_unicode_and_escapes() {
+        let v = Value::parse(r#""café \"quoted\" \\ done""#).unwrap();
+        assert_eq!(v.as_str(), Some("café \"quoted\" \\ done"));
+        let v = Value::parse("\"emoji ✓ passthrough\"").unwrap();
+        assert_eq!(v.as_str(), Some("emoji ✓ passthrough"));
+    }
 }
