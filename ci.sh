@@ -25,7 +25,13 @@ cargo test -q --workspace
 echo "== fusion/scheduler parity suite (YOLOC_SMOKE=1)"
 YOLOC_SMOKE=1 cargo test -q --test scheduler_parity
 
-echo "== validate committed BENCH_engine.json (schema v3)"
+echo "== arena-executor parity suite (YOLOC_SMOKE=1)"
+YOLOC_SMOKE=1 cargo test -q --test arena_parity
+
+echo "== zero-allocation steady-state gate"
+cargo test -q -p yoloc-bench --test alloc_steady_state
+
+echo "== validate committed BENCH_engine.json (schema v4 gates)"
 cargo run --release -q -p yoloc-bench --bin bench_engine -- --check-schema BENCH_engine.json
 
 echo "== run every bench binary on tiny configs (repro_all --smoke)"

@@ -1,0 +1,73 @@
+//! A counting global allocator: the measurement behind the engine's
+//! **zero steady-state allocation** guarantee.
+//!
+//! Every binary and test that links `yoloc-bench` allocates through
+//! [`CountingAllocator`], which forwards to the system allocator and
+//! bumps a relaxed atomic counter on every `alloc`/`alloc_zeroed`/
+//! `realloc`. [`allocations`] reads the running total; diffing it around
+//! a warmed-up inference loop measures exactly how many times the loop
+//! touched the heap — the `bench_engine` v4 schema records that number
+//! per zoo network and the CI gate pins it to zero, and the
+//! `alloc_steady_state` integration test asserts the same invariant
+//! directly against `CompiledNetwork::infer_in`.
+//!
+//! Overhead is one relaxed atomic increment per allocation — far below
+//! measurement noise for every workload in this harness.
+
+#[allow(unsafe_code)] // GlobalAlloc cannot be implemented without it
+mod imp {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// System-allocator wrapper that counts every allocation event
+    /// (fresh allocations, zeroed allocations and reallocations;
+    /// deallocations are free and not counted).
+    pub struct CountingAllocator;
+
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    /// Total allocation events since process start (all threads).
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
+pub use imp::{allocations, CountingAllocator};
+
+#[cfg(test)]
+mod tests {
+    use super::allocations;
+
+    #[test]
+    fn counter_advances_on_allocation() {
+        let before = allocations();
+        let v: Vec<u64> = Vec::with_capacity(1024);
+        std::hint::black_box(&v);
+        assert!(allocations() > before, "allocation was not counted");
+    }
+}

@@ -22,23 +22,35 @@
 //! worker sweep plus the host-independent modeled speedup of the
 //! tile-parallel latency model (`ExecutionReport::intra_sample_latency_ns`).
 //!
-//! Emits `BENCH_engine.json` (schema `yoloc-bench-engine/3`, documented
+//! Schema v4 adds the arena-runtime acceptance measurements per zoo
+//! network: a `single_thread` block with the per-inference wall-time
+//! median through a reused `ExecArena` (`CompiledNetwork::infer_in`),
+//! the steady-state heap-allocation count of that loop (measured by the
+//! counting global allocator in [`yoloc_bench::alloc_track`]), and the
+//! throughput ratio against the committed v3 baseline's serial
+//! per-inference median (carried forward from the previous
+//! `BENCH_engine.json` at generation time).
+//!
+//! Emits `BENCH_engine.json` (schema `yoloc-bench-engine/4`, documented
 //! in `README.md`); under `--smoke`/`YOLOC_SMOKE=1` the workload shrinks
 //! and the report goes to `target/BENCH_engine.smoke.json` so the
 //! committed baseline is not clobbered by tiny-config numbers.
 //!
 //! `--check-schema` validates an existing report instead of measuring:
 //! it parses the committed `BENCH_engine.json` with the shim's JSON
-//! parser and checks the schema version, the required v3 fields, and the
-//! two acceptance properties (modeled intra-sample speedup > 1.5x at 4
-//! lanes; planned arena strictly below per-op allocation), exiting
-//! non-zero on any violation — the CI gate for the baseline.
+//! parser and checks the schema version, the required fields, and the
+//! acceptance properties (modeled intra-sample speedup > 1.5x at 4
+//! lanes; planned arena strictly below per-op allocation; zero
+//! steady-state allocations; and — for committed full runs — >= 1.5x
+//! single-thread throughput over the v3 baseline), exiting non-zero on
+//! any violation — the CI gate for the baseline.
 
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use yoloc_bench::alloc_track::allocations;
 use yoloc_bench::report::{to_json, Json};
 use yoloc_bench::{fmt, fmt_x, print_table, smoke, smoke_or, WorkerPool};
 use yoloc_cim::MacroParams;
@@ -219,11 +231,95 @@ fn measure_model(
     (json, rows)
 }
 
+/// Loads the previous committed report (if any) and maps each zoo model
+/// name to its serial single-thread per-inference median: the v3
+/// baseline the v4 acceptance gate measures against. A v3 report
+/// provides `intra_sample.serial_wall_secs` directly; a v4 report
+/// carries the same number forward as `single_thread.v3_serial_wall_secs`.
+fn load_v3_baselines(path: &str) -> Vec<(String, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return Vec::new();
+    };
+    let mut baselines = Vec::new();
+    for entry in doc.get("zoo").and_then(Json::as_arr).unwrap_or(&[]) {
+        let Some(model) = entry.get("model").and_then(Json::as_str) else {
+            continue;
+        };
+        let secs = entry
+            .get("single_thread")
+            .and_then(|s| s.get("v3_serial_wall_secs"))
+            .and_then(Json::as_num)
+            .or_else(|| {
+                entry
+                    .get("intra_sample")
+                    .and_then(|i| i.get("serial_wall_secs"))
+                    .and_then(Json::as_num)
+            });
+        if let Some(secs) = secs {
+            baselines.push((model.to_string(), secs));
+        }
+    }
+    baselines
+}
+
+/// Measures the arena runtime's steady state on one compiled network: a
+/// per-inference wall-time median through a reused `ExecArena` and the
+/// heap-allocation count of the warmed loop (gated to zero).
+fn measure_single_thread(
+    net: &CompiledNetwork,
+    x: &Tensor,
+    reps: usize,
+    baseline_v3: Option<f64>,
+) -> (Json, f64, u64) {
+    let mut rng = StdRng::seed_from_u64(SEED + 11);
+    let mut arena = net.take_arena();
+    // Warm-up: grow every slot and scratch buffer to steady footprint.
+    for _ in 0..2 {
+        let (y, r) = net.infer_in(x, &mut rng, &mut arena);
+        std::hint::black_box((y.data()[0], r.latency_ns));
+    }
+    let per_inference_s = median_secs(reps, || {
+        let (y, r) = net.infer_in(x, &mut rng, &mut arena);
+        std::hint::black_box((y.data()[0], r.latency_ns));
+    });
+    // Allocation window: warmed loop, single thread, no pools open.
+    let alloc_loops = 5u64;
+    let before = allocations();
+    for _ in 0..alloc_loops {
+        let (y, r) = net.infer_in(x, &mut rng, &mut arena);
+        std::hint::black_box((y.data()[0], r.latency_ns));
+    }
+    let steady_allocs = allocations() - before;
+    net.give_arena(arena);
+    let mut fields = vec![
+        ("per_inference_s", Json::Num(per_inference_s)),
+        ("samples_per_sec", Json::Num(1.0 / per_inference_s)),
+        (
+            "steady_state_allocs",
+            Json::Num(steady_allocs as f64 / alloc_loops as f64),
+        ),
+    ];
+    let mut speedup = f64::NAN;
+    if let Some(v3) = baseline_v3 {
+        speedup = v3 / per_inference_s;
+        fields.push(("v3_serial_wall_secs", Json::Num(v3)));
+        fields.push(("speedup_vs_v3", Json::Num(speedup)));
+    }
+    (Json::obj(fields), speedup, steady_allocs)
+}
+
 /// Compiles one scaled zoo architecture, runs it end-to-end through the
 /// batched engine and the tile-parallel scheduler, and reports
-/// throughput, intra-sample scaling, arena planning and the live energy
-/// breakdown.
-fn measure_zoo_network(desc: &NetworkDesc, seed: u64) -> (Json, Vec<String>) {
+/// throughput, intra-sample scaling, arena planning, the zero-allocation
+/// steady state and the live energy breakdown.
+fn measure_zoo_network(
+    desc: &NetworkDesc,
+    seed: u64,
+    baseline_v3: Option<f64>,
+) -> (Json, Vec<String>) {
     let batch = batch();
     let reps = reps();
     println!("[zoo:{}] compiling onto the macro fabric ...", desc.name);
@@ -271,6 +367,12 @@ fn measure_zoo_network(desc: &NetworkDesc, seed: u64) -> (Json, Vec<String>) {
     let modeled_speedup_4l = one_report
         .intra_sample_speedup(4)
         .expect("4-lane model present");
+
+    // v4: the arena runtime's steady state — per-inference median,
+    // zero-allocation gate, and throughput vs the committed v3 baseline.
+    println!("[zoo:{}] single-thread arena steady state ...", desc.name);
+    let (single_thread, speedup_vs_v3, steady_allocs) =
+        measure_single_thread(&net, &one, reps, baseline_v3);
 
     let params = desc.param_count();
     let macs = desc.macs().expect("analyzable");
@@ -365,6 +467,7 @@ fn measure_zoo_network(desc: &NetworkDesc, seed: u64) -> (Json, Vec<String>) {
             ),
         ),
         ("intra_sample", intra_sample),
+        ("single_thread", single_thread),
         ("samples_per_sec", Json::Num(samples_per_sec)),
         (
             "latency_ms_per_sample",
@@ -392,6 +495,12 @@ fn measure_zoo_network(desc: &NetworkDesc, seed: u64) -> (Json, Vec<String>) {
             net.mapping.subarrays_packed, net.mapping.subarrays_naive
         ),
         fmt(samples_per_sec, 1),
+        if speedup_vs_v3.is_nan() {
+            "-".to_string()
+        } else {
+            fmt_x(speedup_vs_v3)
+        },
+        format!("{steady_allocs}"),
         fmt_x(modeled_speedup_4l),
         format!(
             "{:.0} / {:.0} KiB",
@@ -403,18 +512,25 @@ fn measure_zoo_network(desc: &NetworkDesc, seed: u64) -> (Json, Vec<String>) {
     (json, row)
 }
 
-/// Validates an existing `BENCH_engine.json` against the v3 schema and
+/// Validates an existing `BENCH_engine.json` against the v4 schema and
 /// the acceptance properties; returns every violation found.
 fn schema_violations(doc: &Json) -> Vec<String> {
     let mut errs = Vec::new();
+    let smoke_doc = doc.get("smoke").and_then(Json::as_bool).unwrap_or(false);
+    // A bootstrap run (no previous committed report to read baselines
+    // from) legitimately carries no v3 ratios: it *is* the new baseline.
+    let bootstrap_doc = doc
+        .get("baseline_bootstrap")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
     let mut check = |cond: bool, msg: &str| {
         if !cond {
             errs.push(msg.to_string());
         }
     };
     check(
-        doc.get("schema").and_then(Json::as_str) == Some("yoloc-bench-engine/3"),
-        "schema must be \"yoloc-bench-engine/3\"",
+        doc.get("schema").and_then(Json::as_str) == Some("yoloc-bench-engine/4"),
+        "schema must be \"yoloc-bench-engine/4\"",
     );
     for key in ["host_parallelism", "batch", "reps", "workloads"] {
         check(
@@ -473,6 +589,43 @@ fn schema_violations(doc: &Json) -> Vec<String> {
                 &format!("intra-sample speedup at 4 workers is {s:.2}, need > 1.5"),
             );
         }
+        // v4 gates: the arena steady state must be allocation-free, and
+        // committed full runs must beat the v3 baseline by >= 1.5x
+        // single-thread (smoke configs have no comparable baseline).
+        let st = entry.get("single_thread");
+        check(st.is_some(), "missing single_thread block");
+        if let Some(st) = st {
+            check(
+                st.get("per_inference_s")
+                    .and_then(Json::as_num)
+                    .is_some_and(|v| v > 0.0),
+                "single_thread.per_inference_s must be positive",
+            );
+            let allocs = st.get("steady_state_allocs").and_then(Json::as_num);
+            check(
+                allocs.is_some(),
+                "missing single_thread.steady_state_allocs",
+            );
+            if let Some(a) = allocs {
+                check(
+                    a == 0.0,
+                    &format!("steady-state inference allocated ({a} allocs/inference), need 0"),
+                );
+            }
+            if !smoke_doc {
+                let vs_v3 = st.get("speedup_vs_v3").and_then(Json::as_num);
+                check(
+                    vs_v3.is_some() || bootstrap_doc,
+                    "missing single_thread.speedup_vs_v3 (v3 baseline not carried)",
+                );
+                if let Some(s) = vs_v3 {
+                    check(
+                        s >= 1.5,
+                        &format!("single-thread speedup over v3 baseline is {s:.2}x, need >= 1.5x"),
+                    );
+                }
+            }
+        }
     }
     errs
 }
@@ -484,7 +637,7 @@ fn check_schema(path: &str) -> ! {
     let errs = schema_violations(&doc);
     if errs.is_empty() {
         println!(
-            "{path}: schema yoloc-bench-engine/3 OK ({} bytes)",
+            "{path}: schema yoloc-bench-engine/4 OK ({} bytes)",
             text.len()
         );
         std::process::exit(0);
@@ -544,10 +697,22 @@ fn main() {
             zoo::scaled(&zoo::yolo_v2(4, 2), 32, (64, 64)),
         ]
     };
+    // Full runs compare the arena runtime against the previously
+    // committed baseline's serial per-inference medians; smoke configs
+    // have no comparable baseline entry and skip the ratio.
+    let baselines = if smoke() {
+        Vec::new()
+    } else {
+        load_v3_baselines("BENCH_engine.json")
+    };
     let mut zoo_json = Vec::new();
     let mut zoo_rows = Vec::new();
     for desc in &zoo_nets {
-        let (json, row) = measure_zoo_network(desc, SEED + 7);
+        let baseline = baselines
+            .iter()
+            .find(|(m, _)| *m == desc.name)
+            .map(|&(_, s)| s);
+        let (json, row) = measure_zoo_network(desc, SEED + 7, baseline);
         zoo_json.push(json);
         zoo_rows.push(row);
     }
@@ -559,6 +724,8 @@ fn main() {
             "MACs",
             "Subarrays (packed/naive)",
             "Samples/sec",
+            "vs v3 (1-thread)",
+            "Steady allocs",
             "Intra-sample x4 (modeled)",
             "Arena (planned/naive)",
             "Energy (uJ/sample)",
@@ -567,9 +734,13 @@ fn main() {
     );
 
     let doc = Json::obj([
-        ("schema", Json::str("yoloc-bench-engine/3")),
+        ("schema", Json::str("yoloc-bench-engine/4")),
         ("host_parallelism", Json::Num(host as f64)),
         ("smoke", Json::Bool(smoke())),
+        (
+            "baseline_bootstrap",
+            Json::Bool(!smoke() && baselines.is_empty()),
+        ),
         ("batch", Json::Num(batch() as f64)),
         ("reps", Json::Num(reps() as f64)),
         (
@@ -589,20 +760,26 @@ fn main() {
     } else {
         "BENCH_engine.json"
     };
+    // Write before self-validating so a violation never discards the
+    // measurements (the file is what a bootstrap or debugging run needs).
+    std::fs::write(path, doc.render()).expect("write engine report");
     let violations = schema_violations(&doc);
     assert!(
         violations.is_empty(),
-        "generated report violates its own schema: {violations:?}"
+        "generated report violates its own schema (written to {path} anyway): {violations:?}"
     );
-    std::fs::write(path, doc.render()).expect("write engine report");
-    println!("\nwrote {path} (schema yoloc-bench-engine/3, see README.md)");
+    println!("\nwrote {path} (schema yoloc-bench-engine/4, see README.md)");
     println!(
         "note: 'serial' is the pre-engine baseline (one thread, cell-accurate \
          analog path); the batched rows add the popcount fast path and the \
          worker pool on top — all three emit bit-identical logits. The zoo \
          table runs graph-compiled NetworkDesc architectures end-to-end \
-         (epilogue fusion + planned arena + tile-parallel scheduler) with \
-         live memory-hierarchy energy accounting; 'Intra-sample x4' is the \
-         modeled single-inference speedup at 4 macro-cluster lanes."
+         (epilogue fusion + arena runtime + batched MVM kernel + \
+         tile-parallel scheduler) with live memory-hierarchy energy \
+         accounting; 'vs v3 (1-thread)' is the measured single-thread \
+         speedup of the arena runtime over the committed v3 baseline, \
+         'Steady allocs' the heap allocations of a warmed-up inference \
+         (gated to zero), and 'Intra-sample x4' the modeled \
+         single-inference speedup at 4 macro-cluster lanes."
     );
 }

@@ -22,7 +22,7 @@
 
 use rand::RngCore;
 
-use crate::macro_model::{reference_mvm, MacroParams, MvmStats, RomMvm};
+use crate::macro_model::{matmul_into, reference_mvm, MacroParams, MvmStats, RomMvm};
 
 /// Which MVM implementation a layer is deployed on (see the module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +58,30 @@ impl<R: RngCore + ?Sized> RngCore for DynRng<'_, R> {
     }
 }
 
+/// Reusable staging buffers for [`MvmBackend::mvm_batch`].
+///
+/// The batched kernel packs activation pulse bit-planes once per block
+/// and tracks per-vector event counters; both live here so a steady-state
+/// inference loop touches no allocator — the executor's arena owns one
+/// `MvmScratch` per deployment and threads it through every call. All
+/// buffers grow on first use and keep their capacity.
+#[derive(Debug, Default)]
+pub struct MvmScratch {
+    /// Per-vector pulse bit-plane masks for the current (row-tile, chunk)
+    /// step, laid out `[vector][group][plane]`.
+    pub(crate) plane_masks: Vec<u64>,
+    /// Per-vector `(analog_evaluations, adc_conversions, wl_pulses)`
+    /// counters accumulated across the whole call.
+    pub(crate) counters: Vec<[u64; 3]>,
+}
+
+impl MvmScratch {
+    /// A fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A programmed matrix-vector engine (`y = W x` over quantized codes).
 ///
 /// Object-safe so the executor can hold heterogeneous per-layer backends;
@@ -70,11 +94,47 @@ pub trait MvmBackend: Send + Sync {
     /// accumulator results and execution statistics.
     fn mvm(&self, acts: &[i32], rng: &mut dyn RngCore) -> (Vec<i64>, MvmStats);
 
-    /// Tile-granular entry: executes `count` consecutive activation
-    /// vectors (packed back to back in `acts`, each `ins` long) through
-    /// the programmed engine, returning the `count * outs` accumulators in
-    /// vector order and the statistics folded **in vector order** from a
-    /// zeroed accumulator.
+    /// Batched entry: executes `n_vectors` consecutive activation vectors
+    /// (packed back to back in `acts`, each `ins` long) through the
+    /// programmed engine, writing the `n_vectors * outs` accumulators into
+    /// `out` in vector order and merging the per-vector statistics into
+    /// `stats` **in vector order, folded from zero per vector** — exactly
+    /// the reduction a per-vector [`MvmBackend::mvm`] loop performs, so
+    /// the two are bit-identical in values *and* stats (property-tested).
+    ///
+    /// This is the steady-state hot path of the arena executor: `out` and
+    /// `scratch` are caller-owned and reused across calls, so a warmed-up
+    /// inference allocates nothing here. Backends with a batched kernel
+    /// (the popcount fast path) override it to traverse their programmed
+    /// weight tables **once per block** instead of once per vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acts.len() != n_vectors * ins` or
+    /// `out.len() != n_vectors * outs`.
+    fn mvm_batch(
+        &self,
+        acts: &[i32],
+        n_vectors: usize,
+        out: &mut [i64],
+        stats: &mut MvmStats,
+        _scratch: &mut MvmScratch,
+        rng: &mut dyn RngCore,
+    ) {
+        let (outs, ins) = self.dims();
+        assert_eq!(acts.len(), n_vectors * ins, "batch activation length");
+        assert_eq!(out.len(), n_vectors * outs, "batch output length");
+        for v in 0..n_vectors {
+            let (y, s) = self.mvm(&acts[v * ins..(v + 1) * ins], rng);
+            out[v * outs..(v + 1) * outs].copy_from_slice(&y);
+            stats.merge(&s);
+        }
+    }
+
+    /// Tile-granular entry: the allocating thin wrapper over
+    /// [`MvmBackend::mvm_batch`], returning the `count * outs`
+    /// accumulators in vector order and the statistics folded **in vector
+    /// order** from a zeroed accumulator.
     ///
     /// This is the unit of work the tile-parallel scheduler fans across
     /// workers: a tile's result (values *and* stats fold) is a pure
@@ -86,15 +146,11 @@ pub trait MvmBackend: Send + Sync {
     ///
     /// Panics if `acts.len() != count * ins`.
     fn mvm_tile(&self, acts: &[i32], count: usize, rng: &mut dyn RngCore) -> (Vec<i64>, MvmStats) {
-        let (outs, ins) = self.dims();
-        assert_eq!(acts.len(), count * ins, "tile activation length mismatch");
-        let mut values = Vec::with_capacity(count * outs);
+        let (outs, _) = self.dims();
+        let mut values = vec![0i64; count * outs];
         let mut stats = MvmStats::default();
-        for v in 0..count {
-            let (y, s) = self.mvm(&acts[v * ins..(v + 1) * ins], rng);
-            stats.merge(&s);
-            values.extend_from_slice(&y);
-        }
+        let mut scratch = MvmScratch::new();
+        self.mvm_batch(acts, count, &mut values, &mut stats, &mut scratch, rng);
         (values, stats)
     }
 
@@ -115,6 +171,37 @@ pub trait MvmBackend: Send + Sync {
 impl MvmBackend for RomMvm {
     fn mvm(&self, acts: &[i32], rng: &mut dyn RngCore) -> (Vec<i64>, MvmStats) {
         RomMvm::mvm(self, acts, rng)
+    }
+
+    fn mvm_batch(
+        &self,
+        acts: &[i32],
+        n_vectors: usize,
+        out: &mut [i64],
+        stats: &mut MvmStats,
+        scratch: &mut MvmScratch,
+        rng: &mut dyn RngCore,
+    ) {
+        let (outs, ins) = RomMvm::dims(self);
+        assert_eq!(acts.len(), n_vectors * ins, "batch activation length");
+        assert_eq!(out.len(), n_vectors * outs, "batch output length");
+        if self.fast_path_active() {
+            // The RNG is untouched, like every noiseless path. At
+            // identity-ADC design points (the paper default) the batch
+            // reduces to an exact integer matmul; otherwise one traversal
+            // of the popcount tables serves the whole block.
+            if self.adc_is_identity() {
+                self.mvm_batch_exact(acts, n_vectors, out, stats, scratch);
+            } else {
+                self.mvm_batch_fast(acts, n_vectors, out, stats, scratch);
+            }
+        } else {
+            for v in 0..n_vectors {
+                let (y, s) = self.mvm_analog(&acts[v * ins..(v + 1) * ins], rng);
+                out[v * outs..(v + 1) * outs].copy_from_slice(&y);
+                stats.merge(&s);
+            }
+        }
     }
 
     fn dims(&self) -> (usize, usize) {
@@ -170,6 +257,22 @@ impl MvmBackend for SoftwareMvm {
             reference_mvm(&self.codes, self.outs, self.ins, acts),
             MvmStats::default(),
         )
+    }
+
+    fn mvm_batch(
+        &self,
+        acts: &[i32],
+        n_vectors: usize,
+        out: &mut [i64],
+        _stats: &mut MvmStats,
+        _scratch: &mut MvmScratch,
+        _rng: &mut dyn RngCore,
+    ) {
+        // Allocation-free digital reference: the shared integer matmul
+        // into the caller's accumulator; no analog events, no randomness.
+        assert_eq!(acts.len(), n_vectors * self.ins, "batch activation length");
+        assert_eq!(out.len(), n_vectors * self.outs, "batch output length");
+        matmul_into(&self.codes, self.outs, self.ins, acts, n_vectors, out);
     }
 
     fn dims(&self) -> (usize, usize) {
@@ -322,6 +425,106 @@ mod tests {
         }
         assert_eq!(vals, expect_vals);
         assert_eq!(stats, expect_stats);
+    }
+
+    /// The kernel-parity oracle: `mvm_batch` must equal a per-vector
+    /// `mvm` loop bit for bit — accumulators in vector order, stats
+    /// folded from zero per vector and merged in vector order.
+    fn assert_batch_matches_per_vector(b: &dyn MvmBackend, acts: &[i32], n: usize, seed: u64) {
+        let (outs, ins) = b.dims();
+        let mut out = vec![0i64; n * outs];
+        let mut stats = MvmStats::default();
+        let mut scratch = MvmScratch::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        b.mvm_batch(acts, n, &mut out, &mut stats, &mut scratch, &mut rng);
+        let mut expect_vals = Vec::new();
+        let mut expect_stats = MvmStats::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in 0..n {
+            let (y, s) = b.mvm(&acts[v * ins..(v + 1) * ins], &mut rng);
+            expect_stats.merge(&s);
+            expect_vals.extend_from_slice(&y);
+        }
+        assert_eq!(out, expect_vals, "batched accumulators diverge");
+        assert_eq!(stats, expect_stats, "batched stats fold diverges");
+        // Scratch reuse must not leak state between calls.
+        let mut out2 = vec![0i64; n * outs];
+        let mut stats2 = MvmStats::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        b.mvm_batch(acts, n, &mut out2, &mut stats2, &mut scratch, &mut rng);
+        assert_eq!(out, out2, "scratch reuse changed the accumulators");
+        assert_eq!(stats, stats2, "scratch reuse changed the stats");
+    }
+
+    #[test]
+    fn mvm_batch_matches_per_vector_all_backends() {
+        // Paper design point (identity ADC transfer), multiple row and
+        // column tiles, sparse and dense vectors.
+        let (outs, ins, n) = (6, 300, 7);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 37) % 255) as i32 - 127)
+            .collect();
+        let mut acts: Vec<i32> = (0..n * ins).map(|i| ((i * 13) % 256) as i32).collect();
+        acts[2 * ins..3 * ins].fill(0); // an all-zero vector mid-block
+        let params = MacroParams::rom_paper();
+        for kind in [
+            BackendKind::Popcount,
+            BackendKind::Analog,
+            BackendKind::Software,
+        ] {
+            let b = program_backend(kind, params, &codes, outs, ins);
+            assert_batch_matches_per_vector(b.as_ref(), &acts, n, 9);
+        }
+    }
+
+    #[test]
+    fn mvm_batch_matches_per_vector_under_adc_quantization() {
+        // Overdriven rows: the 5-bit ADC actually quantizes, so the
+        // batched kernel must take the per-group digitize path and still
+        // agree bit for bit.
+        let mut params = MacroParams::rom_paper();
+        params.rows_per_activation = 32; // full scale 96 >> 31 levels
+        let (outs, ins, n) = (5, 200, 4);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 41) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..n * ins).map(|i| ((i * 23) % 256) as i32).collect();
+        let b = program_backend(BackendKind::Popcount, params, &codes, outs, ins);
+        assert_batch_matches_per_vector(b.as_ref(), &acts, n, 11);
+    }
+
+    #[test]
+    fn mvm_batch_noisy_macro_falls_back_per_vector() {
+        // Noise disables the fast path: the batched entry walks the
+        // analog reference per vector with the same RNG stream a manual
+        // loop would consume.
+        let mut params = MacroParams::rom_paper();
+        params.noise_sigma = 0.3;
+        let (outs, ins, n) = (3, 100, 3);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 19) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..n * ins).map(|i| ((i * 7) % 256) as i32).collect();
+        let b = program_backend(BackendKind::Popcount, params, &codes, outs, ins);
+        assert_eq!(b.backend_name(), "analog-reference");
+        assert_batch_matches_per_vector(b.as_ref(), &acts, n, 13);
+    }
+
+    #[test]
+    fn mvm_batch_empty_block_is_a_no_op() {
+        let (codes, _) = test_matrix(2, 64);
+        let b = program_backend(
+            BackendKind::Popcount,
+            MacroParams::rom_paper(),
+            &codes,
+            2,
+            64,
+        );
+        let mut stats = MvmStats::default();
+        let mut scratch = MvmScratch::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.mvm_batch(&[], 0, &mut [], &mut stats, &mut scratch, &mut rng);
+        assert_eq!(stats, MvmStats::default());
     }
 
     #[test]

@@ -331,6 +331,11 @@ pub struct RomMvm {
     /// Popcount tables parallel to `tiles`; `None` when
     /// `rows_per_activation` exceeds the 64-bit mask width.
     popcount_tiles: Option<Vec<Vec<PopcountTile>>>,
+    /// The programmed weight codes (`outs x ins`, row-major), kept for
+    /// the exact-matmul batch kernel — only when that kernel is
+    /// reachable (noiseless macro, maskable groups, identity ADC), so
+    /// configurations that can never take it pay no duplicate storage.
+    codes: Vec<i32>,
     fast_path_enabled: bool,
     ins: usize,
     outs: usize,
@@ -398,10 +403,25 @@ impl RomMvm {
                 pt.push(pr);
             }
         }
+        // Keep a flat copy of the codes only where the exact-matmul
+        // batch kernel can actually run (noiseless, maskable groups,
+        // identity ADC transfer) — noisy or overdriven configurations
+        // would never read it.
+        let exact_reachable = params.noise_sigma == 0.0
+            && build_popcount
+            && match cfg.adc {
+                AdcModel::Ideal => true,
+                AdcModel::Sar { bits, full_scale } => full_scale < (1u32 << bits),
+            };
         RomMvm {
             params,
             tiles,
             popcount_tiles,
+            codes: if exact_reachable {
+                codes.to_vec()
+            } else {
+                Vec::new()
+            },
             fast_path_enabled: true,
             ins,
             outs,
@@ -563,6 +583,250 @@ impl RomMvm {
         (out, stats)
     }
 
+    /// Asserts every activation code is in the unsigned `act_bits` range
+    /// — the same hard failure the per-vector path raises through
+    /// `unsigned_chunks`, checked once per batch so the batched kernels
+    /// can never silently compute on sign-extended garbage.
+    fn validate_act_codes(&self, acts: &[i32]) {
+        let hi = 1i64 << self.params.act_bits;
+        assert!(
+            acts.iter().all(|&a| a >= 0 && (a as i64) < hi),
+            "activation code outside unsigned {}-bit range",
+            self.params.act_bits
+        );
+    }
+
+    /// Whether the configured ADC transfer is an identity on every
+    /// reachable discharge count (LSB = 1 count, counts never exceed the
+    /// full scale) — true at the paper design point, where 10 rows per
+    /// activation x 3 pulses fit the 31-level 5-bit ADC.
+    pub(crate) fn adc_is_identity(&self) -> bool {
+        match self.params.analog_config().adc {
+            AdcModel::Ideal => true,
+            AdcModel::Sar { bits, full_scale } => full_scale < (1u32 << bits),
+        }
+    }
+
+    /// Executes a block of `n` activation vectors when the ADC transfer
+    /// is an identity ([`RomMvm::adc_is_identity`]): the bit-serial
+    /// datapath then reconstructs the exact integer product (the repo's
+    /// core equivalence claim, property-tested in both directions), so
+    /// the accumulators come from a plain row-major integer matmul over
+    /// the stored weight codes — the fastest batch kernel — while the
+    /// event counters are folded from the pulse activity exactly as the
+    /// popcount walk counts them. Bit-identical to a per-vector
+    /// [`RomMvm::mvm_fast`] loop in values *and* statistics.
+    pub(crate) fn mvm_batch_exact(
+        &self,
+        acts: &[i32],
+        n: usize,
+        out: &mut [i64],
+        stats: &mut MvmStats,
+        scratch: &mut crate::backend::MvmScratch,
+    ) {
+        self.validate_act_codes(acts);
+        assert!(
+            !self.codes.is_empty() || self.outs == 0 || self.ins == 0,
+            "exact kernel requires the stored code matrix"
+        );
+        let p = &self.params;
+        let rpa = p.rows_per_activation;
+        let n_chunks = p.act_bits.div_ceil(p.chunk_bits) as usize;
+        let chunk_mask = (1u32 << p.chunk_bits) - 1;
+        // Exact values: the shared row-major integer matmul.
+        matmul_into(&self.codes, self.outs, self.ins, acts, n, out);
+        // Event counters: the same per-(row-tile, chunk) fold the
+        // popcount walk performs, derived from pulse activity alone.
+        scratch.counters.clear();
+        scratch.counters.resize(n, [0u64; 3]);
+        for (rt, tile_row) in self.tiles.iter().enumerate() {
+            let row_lo = rt * p.rows;
+            let row_hi = ((rt + 1) * p.rows).min(self.ins);
+            let col_tiles = tile_row.len() as u64;
+            for c_idx in 0..n_chunks {
+                let shift = c_idx as u8 * p.chunk_bits;
+                for (v, counters) in scratch.counters.iter_mut().enumerate() {
+                    let av = &acts[v * self.ins + row_lo..v * self.ins + row_hi];
+                    let mut total_pulses = 0u64;
+                    let mut active = 0u64;
+                    // Rows walk groups in order: count a group once at
+                    // its first nonzero pulse.
+                    let mut cur_group = usize::MAX;
+                    for (r, &a) in av.iter().enumerate() {
+                        let pulse = ((a as u32) >> shift) & chunk_mask;
+                        if pulse != 0 {
+                            total_pulses += pulse as u64;
+                            let g = r / rpa;
+                            if g != cur_group {
+                                active += 1;
+                                cur_group = g;
+                            }
+                        }
+                    }
+                    if total_pulses > 0 {
+                        counters[0] += active * col_tiles;
+                        counters[1] += active * p.cols as u64 * col_tiles;
+                        counters[2] += total_pulses * col_tiles;
+                    }
+                }
+            }
+        }
+        self.merge_counter_stats(&scratch.counters, stats);
+    }
+
+    /// Derives per-vector statistics from raw event counters (through
+    /// [`RomMvm::finish_stats`]) and merges them **in vector order** —
+    /// the exact fold a per-vector `mvm` loop performs.
+    fn merge_counter_stats(&self, counters: &[[u64; 3]], stats: &mut MvmStats) {
+        for c in counters {
+            let mut s = MvmStats {
+                analog_evaluations: c[0],
+                adc_conversions: c[1],
+                wl_pulses: c[2],
+                ..MvmStats::default()
+            };
+            self.finish_stats(&mut s);
+            stats.merge(&s);
+        }
+    }
+
+    /// Executes a block of `n` activation vectors on the popcount fast
+    /// path with **one traversal of the popcount tables per block**: the
+    /// pulse bit-planes of every vector are packed once per (row-tile,
+    /// chunk) step into `scratch`, and the per-column weight masks are
+    /// then streamed a single time, each mask `AND`+`popcount`-ed against
+    /// all vectors while it is hot. Bit-identical to a per-vector
+    /// [`RomMvm::mvm_fast`] loop in values *and* statistics: the integer
+    /// accumulation is exact under any traversal order, the same ADC
+    /// transfer is applied per group evaluation, and the per-vector event
+    /// counters are folded through [`RomMvm::finish_stats`] and merged in
+    /// vector order, exactly as [`crate::backend::MvmBackend::mvm_tile`]
+    /// folds a per-vector walk.
+    ///
+    /// At the paper design point the ADC resolves single discharge events
+    /// (`full_scale <= levels`), making the transfer an identity on
+    /// reachable counts; the kernel then skips the per-group `digitize`
+    /// calls entirely, which is where most of the batched speedup on the
+    /// default configuration comes from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths mismatch or the fast path is
+    /// unavailable (`rows_per_activation > 64`).
+    pub(crate) fn mvm_batch_fast(
+        &self,
+        acts: &[i32],
+        n: usize,
+        out: &mut [i64],
+        stats: &mut MvmStats,
+        scratch: &mut crate::backend::MvmScratch,
+    ) {
+        self.validate_act_codes(acts);
+        let p = &self.params;
+        let popcount_tiles = self
+            .popcount_tiles
+            .as_ref()
+            .expect("fast path requires popcount tables");
+        let wb = p.weight_bits as usize;
+        let rpa = p.rows_per_activation;
+        let n_groups = p.rows.div_ceil(rpa);
+        let n_planes = p.chunk_bits as usize;
+        let n_chunks = p.act_bits.div_ceil(p.chunk_bits) as usize;
+        let chunk_mask = (1u32 << p.chunk_bits) - 1;
+        let adc = p.analog_config().adc;
+        // Identity transfers normally dispatch to `mvm_batch_exact`; the
+        // branch is kept so this kernel stands alone as well.
+        let adc_identity = self.adc_is_identity();
+        out.fill(0);
+        scratch.counters.clear();
+        scratch.counters.resize(n, [0u64; 3]);
+        scratch.plane_masks.clear();
+        scratch.plane_masks.resize(n * n_groups * n_planes, 0);
+        let vg = n_groups * n_planes; // per-vector mask stride
+        for (rt, tile_row) in popcount_tiles.iter().enumerate() {
+            let row_lo = rt * p.rows;
+            let row_hi = ((rt + 1) * p.rows).min(self.ins);
+            let col_tiles = tile_row.len() as u64;
+            for c_idx in 0..n_chunks {
+                let shift = c_idx as u8 * p.chunk_bits;
+                let act_weight = 1i64 << shift;
+                // Stage every vector's pulse bit-planes for this step and
+                // fold its event counters (pure function of the pulses).
+                scratch.plane_masks.fill(0);
+                for v in 0..n {
+                    let av = &acts[v * self.ins + row_lo..v * self.ins + row_hi];
+                    let planes = &mut scratch.plane_masks[v * vg..(v + 1) * vg];
+                    let mut total_pulses = 0u64;
+                    for (r, &a) in av.iter().enumerate() {
+                        let pulse = ((a as u32) >> shift) & chunk_mask;
+                        if pulse == 0 {
+                            continue;
+                        }
+                        total_pulses += pulse as u64;
+                        let bit = 1u64 << (r % rpa);
+                        let base = (r / rpa) * n_planes;
+                        for (b, plane) in planes[base..base + n_planes].iter_mut().enumerate() {
+                            if (pulse >> b) & 1 == 1 {
+                                *plane |= bit;
+                            }
+                        }
+                    }
+                    if total_pulses == 0 {
+                        continue;
+                    }
+                    let active = (0..n_groups)
+                        .filter(|g| {
+                            planes[g * n_planes..(g + 1) * n_planes]
+                                .iter()
+                                .any(|&m| m != 0)
+                        })
+                        .count() as u64;
+                    let c = &mut scratch.counters[v];
+                    c[0] += active * col_tiles;
+                    c[1] += active * p.cols as u64 * col_tiles;
+                    c[2] += total_pulses * col_tiles;
+                }
+                // Stream the weight masks once for the whole block.
+                for (ct, tile) in tile_row.iter().enumerate() {
+                    for g in 0..n_groups {
+                        let mask_row = &tile.masks[g * p.cols..(g + 1) * p.cols];
+                        for o in 0..self.outs_per_array {
+                            let out_idx = ct * self.outs_per_array + o;
+                            if out_idx >= self.outs {
+                                break;
+                            }
+                            for j in 0..wb {
+                                let col_mask = mask_row[o * wb + j];
+                                if col_mask == 0 {
+                                    continue;
+                                }
+                                let w_plane = act_weight * signed_plane_weight(j, p.weight_bits);
+                                for v in 0..n {
+                                    let planes = &scratch.plane_masks[v * vg + g * n_planes..];
+                                    let count: u32 = (0..n_planes)
+                                        .map(|b| (1u32 << b) * (col_mask & planes[b]).count_ones())
+                                        .sum();
+                                    if count == 0 {
+                                        continue;
+                                    }
+                                    let readout = if adc_identity {
+                                        count as i64
+                                    } else {
+                                        adc.digitize(count as f32)
+                                    };
+                                    out[v * self.outs + out_idx] += w_plane * readout;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let counters = std::mem::take(&mut scratch.counters);
+        self.merge_counter_stats(&counters, stats);
+        scratch.counters = counters;
+    }
+
     /// Executes `y = W x` through the cell-accurate analog reference path:
     /// every group evaluation walks the subarray cells, injects bit-line
     /// noise when configured, and digitizes through the column ADC model.
@@ -641,14 +905,36 @@ impl RomMvm {
 /// same `(outs, ins)` layout.
 pub fn reference_mvm(codes: &[i32], outs: usize, ins: usize, acts: &[i32]) -> Vec<i64> {
     let mut y = vec![0i64; outs];
-    for (o, yo) in y.iter_mut().enumerate() {
-        *yo = codes[o * ins..(o + 1) * ins]
-            .iter()
-            .zip(acts)
-            .map(|(&w, &a)| w as i64 * a as i64)
-            .sum();
-    }
+    matmul_into(codes, outs, ins, acts, 1, &mut y);
     y
+}
+
+/// The one row-major integer matmul every digital path shares:
+/// `out[v*outs + o] = sum_i codes[o*ins + i] * acts[v*ins + i]` — used by
+/// [`reference_mvm`], the software backend's batch entry and
+/// [`RomMvm::mvm_batch_exact`], so the arithmetic can never diverge
+/// between them.
+pub(crate) fn matmul_into(
+    codes: &[i32],
+    outs: usize,
+    ins: usize,
+    acts: &[i32],
+    n: usize,
+    out: &mut [i64],
+) {
+    debug_assert_eq!(codes.len(), outs * ins);
+    debug_assert_eq!(acts.len(), n * ins);
+    debug_assert_eq!(out.len(), n * outs);
+    for v in 0..n {
+        let av = &acts[v * ins..(v + 1) * ins];
+        for (o, slot) in out[v * outs..(v + 1) * outs].iter_mut().enumerate() {
+            *slot = codes[o * ins..(o + 1) * ins]
+                .iter()
+                .zip(av)
+                .map(|(&w, &a)| w as i64 * a as i64)
+                .sum();
+        }
+    }
 }
 
 #[cfg(test)]

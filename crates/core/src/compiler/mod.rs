@@ -41,13 +41,17 @@
 //! ```
 //!
 //! The pass framework lives in [`passes`], the arena planner in
-//! [`buffers`], and the tile-level task graph the parallel scheduler
-//! executes in [`schedule`]. [`ExecPlan::execute`] — the serial
-//! interpreter below — is kept as the **parity oracle**: the tile-parallel
-//! [`crate::engine::Scheduler`] must reproduce it bit for bit (logits,
-//! stats and energy alike) on the same plan, and a plan compiled with
-//! [`passes::PassPipeline::none`] is the legacy unfused reference the
-//! optimized plan is pinned against (logits and [`MvmStats`]).
+//! [`buffers`], the zero-allocation runtime that *executes on* the
+//! planned arena in [`arena`], and the tile-level task graph the
+//! parallel scheduler executes in [`schedule`]. [`ExecPlan::execute`]
+//! runs on a recycled [`ExecArena`] whenever a buffer plan exists;
+//! [`ExecPlan::execute_cloned`] — the clone-based serial interpreter —
+//! is kept as the **parity oracle**: the arena runtime and the
+//! tile-parallel [`crate::engine::Scheduler`] must reproduce it bit for
+//! bit (logits, stats and energy alike) on the same plan, and a plan
+//! compiled with [`passes::PassPipeline::none`] is the legacy unfused
+//! reference the optimized plan is pinned against (logits and
+//! [`MvmStats`]).
 //!
 //! Under [`MappingStrategy::Sharded`] the compiled layers are spread
 //! across SRAM/ROM-CiM chiplets; the plan records each op's chiplet and
@@ -105,12 +109,16 @@
 //! # Ok::<(), yoloc_models::NetworkError>(())
 //! ```
 
+pub mod arena;
 pub mod buffers;
 pub mod passes;
 pub mod schedule;
 
+pub use arena::ExecArena;
 pub use buffers::BufferPlan;
 pub use passes::{PassKind, PassPipeline, PassReport};
+
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -481,6 +489,19 @@ pub(crate) fn flatten_2d(x: &Tensor) -> Tensor {
     Tensor::from_vec(x.data().to_vec(), &[n, rest]).expect("flatten preserves length")
 }
 
+/// [`flatten_2d`] for owned tensors: row-major order makes the flatten a
+/// pure reinterpretation, so this moves the buffer instead of copying it
+/// ([`Tensor::into_reshaped`]).
+pub(crate) fn flatten_2d_owned(x: Tensor) -> Tensor {
+    if x.ndim() == 2 {
+        return x;
+    }
+    let n = x.shape()[0];
+    let rest: usize = x.shape()[1..].iter().product();
+    x.into_reshaped(&[n, rest])
+        .expect("flatten preserves length")
+}
+
 /// The parameter-free passthrough reorg of the IR: space-to-depth the
 /// source map (`(N, C, 2H, 2W)` -> `(N, 4C, H, W)`, offset-major), fit to
 /// `extra_ch` channels (truncating or cycling), and concatenate onto
@@ -539,6 +560,11 @@ pub struct ExecPlan {
     pub(crate) n_chips: usize,
     /// Arena plan from the buffer-liveness pass (`None` until it runs).
     pub(crate) buffer_plan: Option<BufferPlan>,
+    /// Recycled execution arenas: `execute`/`execute_batch` (and the
+    /// scheduler's kernel staging) draw from and return to this pool, so
+    /// steady-state inference reuses warmed buffers instead of touching
+    /// the allocator. Grows to the peak concurrency ever seen.
+    pub(crate) arena_pool: Mutex<Vec<ExecArena>>,
 }
 
 impl ExecPlan {
@@ -550,7 +576,23 @@ impl ExecPlan {
             chip_of: Vec::new(),
             n_chips: 1,
             buffer_plan: None,
+            arena_pool: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Takes a recycled [`ExecArena`] from the plan's pool (or a fresh
+    /// one when the pool is empty).
+    pub fn take_arena(&self) -> ExecArena {
+        self.arena_pool
+            .lock()
+            .expect("arena pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns an arena to the pool for reuse by later executions.
+    pub fn give_arena(&self, arena: ExecArena) {
+        self.arena_pool.lock().expect("arena pool lock").push(arena);
     }
 
     /// Appends an op producing `out_elems` elements per sample, returning
@@ -739,16 +781,22 @@ impl ExecPlan {
                     MaxPool2d::new(*kernel, *stride).forward(&y, false)
                 }
                 EpilogueOp::Residual { source } => {
-                    let src = match source {
-                        OpSource::Input => x.clone(),
-                        OpSource::Op(i) => outputs(*i),
+                    // The input is read-only here: borrow it directly
+                    // instead of cloning a tensor just to add it.
+                    let src_owned;
+                    let src: &Tensor = match source {
+                        OpSource::Input => x,
+                        OpSource::Op(i) => {
+                            src_owned = outputs(*i);
+                            &src_owned
+                        }
                     };
                     let bits = src.data().len() as u64 * ab;
                     rec.side_bits += bits;
                     if self.source_chip(source) != self.chip_of[op_idx] {
                         rec.cross_bits += bits;
                     }
-                    y.add(&src)
+                    y.add(src)
                 }
             };
         }
@@ -837,29 +885,31 @@ impl ExecPlan {
             }
             PlanOp::GlobalAvgPool => gap(h),
             PlanOp::Passthrough { source, extra_ch } => {
-                let src = match source {
-                    OpSource::Input => x.clone(),
-                    OpSource::Op(i) => resolve(*i),
+                // Side sources are read-only: borrow the input or the
+                // retained output directly, never clone.
+                let src: &Tensor = match source {
+                    OpSource::Input => x,
+                    OpSource::Op(i) => outputs[*i].as_ref().expect("source output retained"),
                 };
                 rec.side_bits = src.data().len() as u64 * ab;
                 if self.source_chip(source) != self.chip_of[op_idx] {
                     rec.cross_bits += rec.side_bits;
                 }
-                passthrough_concat(&src, h, *extra_ch)
+                passthrough_concat(src, h, *extra_ch)
             }
             PlanOp::ResidualAdd { source, projection } => {
-                let src = match source {
-                    OpSource::Input => x.clone(),
-                    OpSource::Op(i) => resolve(*i),
+                let src: &Tensor = match source {
+                    OpSource::Input => x,
+                    OpSource::Op(i) => outputs[*i].as_ref().expect("source output retained"),
                 };
                 rec.side_bits = src.data().len() as u64 * ab;
                 if self.source_chip(source) != self.chip_of[op_idx] {
                     rec.cross_bits += rec.side_bits;
                 }
                 match projection {
-                    None => h.add(&src),
+                    None => h.add(src),
                     Some(p) => {
-                        let (y, s) = p.0.forward(&src, rng);
+                        let (y, s) = p.0.forward(src, rng);
                         rec.add(p.1, &s);
                         h.add(&y)
                     }
@@ -874,41 +924,122 @@ impl ExecPlan {
     /// Executes the plan on `x` (`(N, C, H, W)`), returning the output and
     /// the live [`ExecutionReport`].
     ///
-    /// This is the **serial interpreter** — the parity oracle the
-    /// tile-parallel [`crate::engine::Scheduler`] is pinned against. Both
-    /// record the same per-op measurements and reduce them through
-    /// `ExecPlan::finalize`, so their reports agree bit for bit on the
-    /// noiseless datapath.
+    /// When the plan carries a [`BufferPlan`] (any pipeline that runs the
+    /// buffer-liveness pass), execution runs on a recycled [`ExecArena`]
+    /// from the plan's pool — the allocation-free steady-state
+    /// interpreter — and only the returned output/report are fresh
+    /// values. Plans without a buffer plan (e.g. the
+    /// [`PassPipeline::none`] parity oracle) fall back to the clone-based
+    /// interpreter [`ExecPlan::execute_cloned`]; the two are pinned
+    /// bit-identical by the arena parity suite.
     #[must_use = "dropping the result discards the logits and the measured execution report"]
     pub fn execute<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, ExecutionReport) {
+        if self.buffer_plan.is_none() {
+            return self.execute_cloned(x, rng);
+        }
+        let mut arena = self.take_arena();
+        self.execute_arena(x, rng, &mut arena);
+        let result = (arena.output().clone(), arena.report().clone());
+        self.give_arena(arena);
+        result
+    }
+
+    /// Executes the plan into a caller-owned [`ExecArena`], returning
+    /// views of the output and report that borrow the arena — the
+    /// **zero-allocation entry**: after the first (warm-up) call on a
+    /// given input shape, an inference through the same arena performs no
+    /// heap allocation at all. Plans without a buffer plan fall back to
+    /// the clone interpreter and store its (freshly allocated) result in
+    /// the arena.
+    pub fn execute_in<'a, R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        rng: &mut R,
+        arena: &'a mut ExecArena,
+    ) -> (&'a Tensor, &'a ExecutionReport) {
+        if self.buffer_plan.is_some() {
+            self.execute_arena(x, rng, arena);
+        } else {
+            let (out, report) = self.execute_cloned(x, rng);
+            arena.set_result(out, report);
+        }
+        (arena.output(), arena.report())
+    }
+
+    /// The clone-based serial interpreter: allocates per-op output
+    /// tensors like the pre-arena executor did. Kept as the **parity
+    /// oracle** the arena interpreter and the tile-parallel
+    /// [`crate::engine::Scheduler`] are pinned against — all three record
+    /// the same per-op measurements and reduce them through
+    /// `ExecPlan::finalize`, so their full reports agree bit for bit on
+    /// the noiseless datapath.
+    #[must_use = "dropping the result discards the logits and the measured execution report"]
+    pub fn execute_cloned<R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        rng: &mut R,
+    ) -> (Tensor, ExecutionReport) {
         // Only outputs an OpSource actually references are retained; on a
         // plain feed-forward plan nothing is, so the hot path keeps no
-        // intermediate activations alive and pays no extra clones.
+        // intermediate activations alive and pays no extra clones. The
+        // final op's output is the network result itself — nothing can
+        // read it through a source later, so it is never cloned either.
         let retain = self.retained();
-        let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(self.ops.len());
-        let mut per_op = Vec::with_capacity(self.ops.len());
-        let mut h = x.clone();
+        let n_ops = self.ops.len();
+        let mut outputs: Vec<Option<Tensor>> = Vec::with_capacity(n_ops);
+        let mut per_op = Vec::with_capacity(n_ops);
+        let mut h: Option<Tensor> = None;
         for (op_idx, &keep) in retain.iter().enumerate() {
-            let (out, rec) = self.run_op_serial(op_idx, &h, x, &outputs, rng);
+            let input = h.as_ref().unwrap_or(x);
+            let (out, rec) = self.run_op_serial(op_idx, input, x, &outputs, rng);
             per_op.push(rec);
-            outputs.push(keep.then(|| out.clone()));
-            h = out;
+            outputs.push((keep && op_idx + 1 < n_ops).then(|| out.clone()));
+            h = Some(out);
         }
+        let h = h.unwrap_or_else(|| x.clone());
         let report = self.finalize(x, &h, &per_op);
         (h, report)
     }
 
     /// Reduces per-op measurements into the final [`ExecutionReport`] —
-    /// shared verbatim by the serial interpreter and the tile-parallel
-    /// scheduler so the two cannot diverge, down to f64 summation order.
+    /// shared verbatim by every interpreter so they cannot diverge, down
+    /// to f64 summation order. Allocating wrapper over
+    /// [`ExecPlan::finalize_into`].
     pub(crate) fn finalize(
         &self,
         x: &Tensor,
         output: &Tensor,
         per_op: &[PerOpExec],
     ) -> ExecutionReport {
-        let ab = self.memory.act_bits as u64;
+        let n = if x.ndim() >= 1 { x.shape()[0] } else { 1 };
         let mut report = ExecutionReport::default();
+        self.finalize_into(x.data().len(), n, output.data().len(), per_op, &mut report);
+        report
+    }
+
+    /// [`ExecPlan::finalize`] writing into a caller-owned report whose
+    /// vectors keep their capacity — the arena executor's allocation-free
+    /// reduction. `input_elems`/`output_elems` are the network I/O sizes
+    /// and `batch_n` the leading batch dimension.
+    pub(crate) fn finalize_into(
+        &self,
+        input_elems: usize,
+        batch_n: usize,
+        output_elems: usize,
+        per_op: &[PerOpExec],
+        report: &mut ExecutionReport,
+    ) {
+        let ab = self.memory.act_bits as u64;
+        // Reset every field while keeping the vector allocations.
+        let mut per_op_latency = std::mem::take(&mut report.per_op_latency_ns);
+        let mut intra_sample = std::mem::take(&mut report.intra_sample_latency_ns);
+        per_op_latency.clear();
+        intra_sample.clear();
+        *report = ExecutionReport {
+            per_op_latency_ns: per_op_latency,
+            intra_sample_latency_ns: intra_sample,
+            ..ExecutionReport::default()
+        };
         let mut buffer_pj = 0.0;
         let mut noc_pj = 0.0;
         let mut noc_lat = 0.0;
@@ -942,25 +1073,22 @@ impl ExecPlan {
         // placement-derived tiles spread over the lanes in near-equal
         // rounds); transfers stay serial — activations stream op to op
         // through the NoC and any chiplet links of the shard topology.
-        report.intra_sample_latency_ns = ExecutionReport::INTRA_SAMPLE_LANES
-            .iter()
-            .map(|&lanes| {
-                let mut total = 0.0;
-                for (rec, op_lat) in per_op.iter().zip(&report.per_op_latency_ns) {
-                    let cim = rec.rom.latency_ns + rec.sram.latency_ns;
-                    let transfers = op_lat - cim;
-                    let tiles = rec.tiles.max(1);
-                    let rounds = tiles.div_ceil(lanes) as f64 / tiles as f64;
-                    total += cim * rounds + transfers;
-                }
-                total
-            })
-            .collect();
+        for &lanes in ExecutionReport::INTRA_SAMPLE_LANES.iter() {
+            let mut total = 0.0;
+            for (rec, op_lat) in per_op.iter().zip(&report.per_op_latency_ns) {
+                let cim = rec.rom.latency_ns + rec.sram.latency_ns;
+                let transfers = op_lat - cim;
+                let tiles = rec.tiles.max(1);
+                let rounds = tiles.div_ceil(lanes) as f64 / tiles as f64;
+                total += cim * rounds + transfers;
+            }
+            report.intra_sample_latency_ns.push(total);
+        }
         // Chip boundary: the input arrives from, and the result returns
         // to, DRAM. Weights are resident — the paper's whole point — so
         // they contribute no per-inference DRAM traffic.
-        let input_bits = x.data().len() as u64 * ab;
-        let output_bits = output.data().len() as u64 * ab;
+        let input_bits = input_elems as u64 * ab;
+        let output_bits = output_elems as u64 * ab;
         report.dram_traffic_bits = input_bits + output_bits;
         let dram_pj = self
             .memory
@@ -986,8 +1114,7 @@ impl ExecPlan {
         for v in &mut report.intra_sample_latency_ns {
             *v += dram_lat;
         }
-        let n = if x.ndim() >= 1 { x.shape()[0] } else { 1 };
-        let sample_bytes = 4u64 * n.max(1) as u64;
+        let sample_bytes = 4u64 * batch_n.max(1) as u64;
         if let Some(bp) = &self.buffer_plan {
             report.peak_arena_bytes = bp.peak_elems as u64 * sample_bytes;
             report.naive_arena_bytes = bp.naive_elems as u64 * sample_bytes;
@@ -996,7 +1123,6 @@ impl ExecPlan {
             report.peak_arena_bytes = naive as u64 * sample_bytes;
             report.naive_arena_bytes = report.peak_arena_bytes;
         }
-        report
     }
 
     /// Executes the plan on a `(N, ...)` batch by fanning samples across a
@@ -1025,6 +1151,10 @@ impl ExecPlan {
         }
         let sample_shape = [1, x.shape()[1], x.shape()[2], x.shape()[3]];
         let sample_len: usize = x.shape()[1..].iter().product();
+        // Each job runs its sample on a recycled arena and hands the
+        // arena itself back (output and report ride inside it), so the
+        // steady-state batch loop allocates only the sample views and the
+        // final assembly, never per-op tensors.
         let jobs: Vec<_> = (0..n)
             .map(|i| {
                 let sample = Tensor::from_vec(
@@ -1034,19 +1164,22 @@ impl ExecPlan {
                 .expect("sample slice matches shape");
                 move || {
                     let mut rng = StdRng::seed_from_u64(sample_stream_seed(seed, i));
-                    self.execute(&sample, &mut rng)
+                    let mut arena = self.take_arena();
+                    self.execute_in(&sample, &mut rng, &mut arena);
+                    arena
                 }
             })
             .collect();
-        let results = pool.run(jobs);
-        let per_sample: usize = results[0].0.data().len();
-        let mut out_shape = results[0].0.shape().to_vec();
+        let arenas = pool.run(jobs);
+        let per_sample: usize = arenas[0].output().data().len();
+        let mut out_shape = arenas[0].output().shape().to_vec();
         out_shape[0] = n;
         let mut data = Vec::with_capacity(n * per_sample);
         let mut report = ExecutionReport::default();
-        for (sample_out, sample_report) in &results {
-            data.extend_from_slice(sample_out.data());
-            report.merge(sample_report);
+        for arena in arenas {
+            data.extend_from_slice(arena.output().data());
+            report.merge(arena.report());
+            self.give_arena(arena);
         }
         (
             Tensor::from_vec(data, &out_shape).expect("batched output shape"),
@@ -1266,7 +1399,8 @@ impl CompiledNetwork {
                 }
                 LayerSpec::Linear { name, .. } => {
                     let w = weights.weight(idx, name)?;
-                    let feats = flatten_2d(&h);
+                    // The pre-flatten map is dead here: reshape in place.
+                    let feats = flatten_2d_owned(std::mem::take(&mut h));
                     let (domain, params) = if Some(idx) == last_cim {
                         (MemDomain::Sram, opts.sram)
                     } else {
@@ -1380,6 +1514,14 @@ impl CompiledNetwork {
             plan.assign_chips(shard);
         }
         let pass_reports = opts.passes.run(&mut plan);
+        // Materialize the execution arena from the buffer plan now, so
+        // the first inference starts from pre-sized slots instead of
+        // growing them (per-deployment scratch is a compile-time cost).
+        if let Some(bp) = plan.buffer_plan() {
+            let mut arena = ExecArena::new();
+            arena.materialize(bp, 1);
+            plan.give_arena(arena);
+        }
         Ok(CompiledNetwork {
             plan,
             name: desc.name.clone(),
@@ -1435,10 +1577,36 @@ impl CompiledNetwork {
     }
 
     /// Runs one inference through the quantized CiM datapath, returning
-    /// the network output and the live execution report.
+    /// the network output and the live execution report. Runs on a
+    /// recycled [`ExecArena`] from the deployment's pool whenever the
+    /// plan carries a buffer plan; see [`CompiledNetwork::infer_in`] for
+    /// the fully allocation-free borrowing form.
     #[must_use = "dropping the result discards the logits and the measured execution report"]
     pub fn infer<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, ExecutionReport) {
         self.plan.execute(x, rng)
+    }
+
+    /// Runs one inference into a caller-owned [`ExecArena`], returning
+    /// views that borrow the arena: the zero-allocation steady-state
+    /// entry (see [`ExecArena`] for the warm-up contract and an example).
+    pub fn infer_in<'a, R: Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        rng: &mut R,
+        arena: &'a mut ExecArena,
+    ) -> (&'a Tensor, &'a ExecutionReport) {
+        self.plan.execute_in(x, rng, arena)
+    }
+
+    /// Takes a recycled execution arena from the deployment's pool (the
+    /// compile-time-materialized one on the first call).
+    pub fn take_arena(&self) -> ExecArena {
+        self.plan.take_arena()
+    }
+
+    /// Returns an arena to the deployment's pool for later reuse.
+    pub fn give_arena(&self, arena: ExecArena) {
+        self.plan.give_arena(arena)
     }
 
     /// Runs one inference through the tile-parallel
@@ -1570,7 +1738,8 @@ pub fn software_forward(
             }
             LayerSpec::Linear { name, .. } => {
                 let w = weights.weight(idx, name)?;
-                h = linear_reference(&flatten_2d(&h), w, weights.biases[idx].as_deref());
+                let feats = flatten_2d_owned(std::mem::take(&mut h));
+                h = linear_reference(&feats, w, weights.biases[idx].as_deref());
             }
             LayerSpec::BatchNorm { .. } => {}
             LayerSpec::Activation(kind) => h = apply_act(&h, *kind),

@@ -378,7 +378,18 @@ impl<'p> Scheduler<'p> {
                         let cols = Arc::clone(&cols);
                         jobs.push(Box::new(move || {
                             let mut rng = StdRng::seed_from_u64(tile_stream_seed(seed, t, ti));
-                            let (vals, stats) = conv.forward_tile(cols.as_ref(), lo, hi, &mut rng);
+                            // Draw kernel staging (codes, accumulators,
+                            // bit-plane masks) from the plan's arena pool
+                            // so repeated tile jobs reuse warmed buffers.
+                            let mut arena = plan.take_arena();
+                            let (vals, stats) = conv.forward_tile_with(
+                                cols.as_ref(),
+                                lo,
+                                hi,
+                                &mut arena.cim,
+                                &mut rng,
+                            );
+                            plan.give_arena(arena);
                             JobOut::Tile(vals, stats)
                         }));
                     }

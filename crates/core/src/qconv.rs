@@ -15,11 +15,39 @@
 
 use rand::Rng;
 
-use yoloc_cim::backend::{program_backend, BackendKind, DynRng, MvmBackend};
+use yoloc_cim::backend::{program_backend, BackendKind, DynRng, MvmBackend, MvmScratch};
 use yoloc_cim::macro_model::{MacroParams, MvmStats};
 use yoloc_quant::{calibrate_affine, PerChannelQuant, QuantParams};
-use yoloc_tensor::ops::{im2col, Conv2dGeometry};
+use yoloc_tensor::ops::{im2col, im2col_into, Conv2dGeometry};
 use yoloc_tensor::Tensor;
+
+/// Reusable staging for one CiM layer execution: the im2col patch matrix,
+/// the quantized activation codes of the tile in flight, the integer MVM
+/// accumulators, and the backend's bit-plane staging.
+///
+/// One `CimScratch` serves every layer of a deployment in turn (layers
+/// run serially, and each call fully overwrites what it uses), which is
+/// how the arena executor keeps steady-state inference allocation-free:
+/// all four buffers grow on first use and keep their capacity across ops,
+/// samples and repeated `infer` calls.
+#[derive(Debug, Default)]
+pub struct CimScratch {
+    /// Lowered `(patch, positions)` im2col matrix (convs only).
+    cols: Vec<f32>,
+    /// Quantized activation codes of the tile in flight, vector-major.
+    codes: Vec<i32>,
+    /// Integer accumulators of the tile in flight, vector-major.
+    accs: Vec<i64>,
+    /// Bit-plane staging for [`MvmBackend::mvm_batch`].
+    mvm: MvmScratch,
+}
+
+impl CimScratch {
+    /// A fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Per-channel dequantization state shared by conv and linear layers:
 /// symmetric weight scales plus weight-code row sums for zero-point
@@ -149,6 +177,22 @@ impl CimConv2d {
         split_ranges(positions, self.par_tiles)
     }
 
+    /// Allocation-free form of [`CimConv2d::tile_ranges`]: the same
+    /// ranges as a lazy iterator (the arena executor's hot path).
+    pub fn tile_range_iter(&self, positions: usize) -> impl Iterator<Item = (usize, usize)> {
+        split_range_iter(positions, self.par_tiles)
+    }
+
+    /// Number of tiles [`CimConv2d::tile_ranges`] decomposes `positions`
+    /// into, without materializing them.
+    pub fn tile_count(&self, positions: usize) -> usize {
+        if positions == 0 {
+            0
+        } else {
+            self.par_tiles.clamp(1, positions)
+        }
+    }
+
     /// Number of physical subarrays programmed (0 on the software
     /// reference backend).
     pub fn subarrays(&self) -> usize {
@@ -201,22 +245,118 @@ impl CimConv2d {
         hi: usize,
         rng: &mut R,
     ) -> (Vec<f32>, MvmStats) {
-        let patch = self.geom.patch_len();
-        let mut dyn_rng = DynRng(rng);
-        // Quantize the tile's activation columns, packed vector-major.
-        let codes: Vec<i32> = (lo..hi)
-            .flat_map(|pos| {
-                (0..patch).map(move |r| self.act_params.quantize_value(cols.at(&[r, pos])))
-            })
-            .collect();
-        let (accs, stats) = self.engine.mvm_tile(&codes, hi - lo, &mut dyn_rng);
+        self.forward_tile_with(cols, lo, hi, &mut CimScratch::new(), rng)
+    }
+
+    /// [`CimConv2d::forward_tile`] with caller-owned staging: the
+    /// quantized codes, accumulators and bit-plane planes live in
+    /// `scratch` and are reused across calls, so only the returned value
+    /// vector is allocated. This is the entry the tile-parallel scheduler
+    /// drives with scratch drawn from the deployment's arena pool.
+    pub fn forward_tile_with<R: Rng + ?Sized>(
+        &self,
+        cols: &Tensor,
+        lo: usize,
+        hi: usize,
+        scratch: &mut CimScratch,
+        rng: &mut R,
+    ) -> (Vec<f32>, MvmStats) {
+        let positions = cols.shape()[1];
+        let mut stats = MvmStats::default();
+        self.run_tile(cols.data(), positions, lo, hi, &mut stats, scratch, rng);
         let mut vals = Vec::with_capacity((hi - lo) * self.out_channels);
-        for acc in accs.chunks_exact(self.out_channels) {
+        for acc in scratch.accs[..(hi - lo) * self.out_channels].chunks_exact(self.out_channels) {
             for (o, &a) in acc.iter().enumerate() {
                 vals.push(self.dequant.value(o, a, &self.act_params));
             }
         }
         (vals, stats)
+    }
+
+    /// Quantizes positions `lo..hi` of a patch-major `(patch, positions)`
+    /// matrix into `scratch.codes` and batches them through the backend
+    /// into `scratch.accs`, merging the tile's statistics (folded from
+    /// zero in vector order) into `stats`.
+    #[allow(clippy::too_many_arguments)] // one tile's full dataflow, all borrowed
+    fn run_tile<R: Rng + ?Sized>(
+        &self,
+        cols: &[f32],
+        positions: usize,
+        lo: usize,
+        hi: usize,
+        stats: &mut MvmStats,
+        scratch: &mut CimScratch,
+        rng: &mut R,
+    ) {
+        let patch = self.geom.patch_len();
+        let count = hi - lo;
+        scratch.codes.clear();
+        for pos in lo..hi {
+            for r in 0..patch {
+                scratch
+                    .codes
+                    .push(self.act_params.quantize_value(cols[r * positions + pos]));
+            }
+        }
+        scratch.accs.clear();
+        scratch.accs.resize(count * self.out_channels, 0);
+        self.engine.mvm_batch(
+            &scratch.codes,
+            count,
+            &mut scratch.accs,
+            stats,
+            &mut scratch.mvm,
+            &mut DynRng(rng),
+        );
+    }
+
+    /// Arena forward: runs the convolution on a raw row-major
+    /// `(n, C, h, w)` buffer, writing the dequantized `(n, OC, OH, OW)`
+    /// feature map into `out` using only `scratch` storage — the
+    /// allocation-free counterpart of [`CimConv2d::forward`], with the
+    /// identical tile decomposition and per-tile statistics fold, so the
+    /// returned stats (and every output bit) match it exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match the given dimensions.
+    #[allow(clippy::too_many_arguments)] // raw-buffer entry: data + dims + staging
+    pub fn forward_in<R: Rng + ?Sized>(
+        &self,
+        x: &[f32],
+        n: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+        scratch: &mut CimScratch,
+        rng: &mut R,
+    ) -> MvmStats {
+        let (oh, ow) = self.geom.output_hw(h, w);
+        assert_eq!(out.len(), n * self.out_channels * oh * ow, "output length");
+        let mut cols = std::mem::take(&mut scratch.cols);
+        let (_, positions) = im2col_into(x, n, h, w, &self.geom, &mut cols);
+        let mut stats = MvmStats::default();
+        for (lo, hi) in self.tile_range_iter(positions) {
+            let mut tile_stats = MvmStats::default();
+            self.run_tile(&cols, positions, lo, hi, &mut tile_stats, scratch, rng);
+            stats.merge(&tile_stats);
+            // Dequantize and scatter, position-major, exactly as
+            // `scatter_tile` lays tiles into the output map.
+            for (v, acc) in scratch.accs[..(hi - lo) * self.out_channels]
+                .chunks_exact(self.out_channels)
+                .enumerate()
+            {
+                let pos = lo + v;
+                let ni = pos / (oh * ow);
+                let p = pos % (oh * ow);
+                for (o, &a) in acc.iter().enumerate() {
+                    out[((ni * self.out_channels + o) * oh + p / ow) * ow + p % ow] =
+                        self.dequant.value(o, a, &self.act_params);
+                }
+            }
+        }
+        scratch.cols = cols;
+        stats
     }
 
     /// Scatters one tile's `[position][channel]` values (from
@@ -244,17 +384,20 @@ impl CimConv2d {
     /// reduction and agree bit for bit.
     #[must_use = "dropping the result discards the layer output and its measured statistics"]
     pub fn forward<R: Rng + ?Sized>(&self, x: &Tensor, rng: &mut R) -> (Tensor, MvmStats) {
+        assert_eq!(x.ndim(), 4, "input must be (N, C, H, W)");
+        assert_eq!(x.shape()[1], self.geom.in_channels, "channel mismatch");
         let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
         let (oh, ow) = self.geom.output_hw(h, w);
-        let cols = self.lower(x);
-        let positions = cols.shape()[1];
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
-        let mut stats = MvmStats::default();
-        for (lo, hi) in self.tile_ranges(positions) {
-            let (vals, s) = self.forward_tile(&cols, lo, hi, rng);
-            stats.merge(&s);
-            self.scatter_tile(&mut out, lo, &vals);
-        }
+        let stats = self.forward_in(
+            x.data(),
+            n,
+            h,
+            w,
+            out.data_mut(),
+            &mut CimScratch::new(),
+            rng,
+        );
         (out, stats)
     }
 }
@@ -262,20 +405,22 @@ impl CimConv2d {
 /// Splits `0..len` into (at most) `parts` contiguous near-equal ranges in
 /// order; empty when `len == 0`.
 pub fn split_ranges(len: usize, parts: usize) -> Vec<(usize, usize)> {
-    if len == 0 {
-        return Vec::new();
-    }
-    let parts = parts.clamp(1, len);
-    let base = len / parts;
-    let rem = len % parts;
-    let mut ranges = Vec::with_capacity(parts);
+    split_range_iter(len, parts).collect()
+}
+
+/// Lazy form of [`split_ranges`]: the identical ranges in the identical
+/// order, without allocating the vector.
+pub fn split_range_iter(len: usize, parts: usize) -> impl Iterator<Item = (usize, usize)> {
+    let parts = if len == 0 { 0 } else { parts.clamp(1, len) };
+    let base = len.checked_div(parts).unwrap_or(0);
+    let rem = len.checked_rem(parts).unwrap_or(0);
     let mut lo = 0;
-    for i in 0..parts {
+    (0..parts).map(move |i| {
         let hi = lo + base + usize::from(i < rem);
-        ranges.push((lo, hi));
+        let range = (lo, hi);
         lo = hi;
-    }
-    ranges
+        range
+    })
 }
 
 /// A fully-connected layer compiled onto an MVM backend (the prediction
@@ -374,23 +519,52 @@ impl CimLinear {
     #[must_use = "dropping the result discards the layer output and its measured statistics"]
     pub fn forward<R: Rng + ?Sized>(&self, feats: &Tensor, rng: &mut R) -> (Tensor, MvmStats) {
         assert_eq!(feats.ndim(), 2, "features must be (N, ins)");
-        assert_eq!(feats.shape()[1], self.ins, "feature width mismatch");
         let n = feats.shape()[0];
         let mut out = Tensor::zeros(&[n, self.outs]);
-        let mut dyn_rng = DynRng(rng);
-        let codes: Vec<i32> = (0..n)
-            .flat_map(|ni| {
-                self.act_params
-                    .quantize_all(&feats.data()[ni * self.ins..(ni + 1) * self.ins])
-            })
-            .collect();
-        let (accs, stats) = self.engine.mvm_tile(&codes, n, &mut dyn_rng);
-        for (ni, acc) in accs.chunks_exact(self.outs).enumerate() {
+        let stats = self.forward_in(feats.data(), n, out.data_mut(), &mut CimScratch::new(), rng);
+        (out, stats)
+    }
+
+    /// Arena forward: runs the layer on a raw row-major `(n, ins)` buffer,
+    /// writing the biased, dequantized `(n, outs)` result into `out` using
+    /// only `scratch` storage — the allocation-free counterpart of
+    /// [`CimLinear::forward`] (the whole batch as one tile, statistics
+    /// folded from zero in sample order), bit-identical to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match the given dimensions.
+    pub fn forward_in<R: Rng + ?Sized>(
+        &self,
+        feats: &[f32],
+        n: usize,
+        out: &mut [f32],
+        scratch: &mut CimScratch,
+        rng: &mut R,
+    ) -> MvmStats {
+        assert_eq!(feats.len(), n * self.ins, "feature width mismatch");
+        assert_eq!(out.len(), n * self.outs, "output length mismatch");
+        scratch.codes.clear();
+        scratch
+            .codes
+            .extend(feats.iter().map(|&v| self.act_params.quantize_value(v)));
+        scratch.accs.clear();
+        scratch.accs.resize(n * self.outs, 0);
+        let mut stats = MvmStats::default();
+        self.engine.mvm_batch(
+            &scratch.codes,
+            n,
+            &mut scratch.accs,
+            &mut stats,
+            &mut scratch.mvm,
+            &mut DynRng(rng),
+        );
+        for (ni, acc) in scratch.accs.chunks_exact(self.outs).enumerate() {
             for (o, &a) in acc.iter().enumerate() {
-                *out.at_mut(&[ni, o]) = self.dequant.value(o, a, &self.act_params) + self.bias[o];
+                out[ni * self.outs + o] = self.dequant.value(o, a, &self.act_params) + self.bias[o];
             }
         }
-        (out, stats)
+        stats
     }
 }
 

@@ -58,14 +58,40 @@ impl Conv2dGeometry {
 /// Panics if `x` is not rank-4 or its channel count mismatches `geom`.
 pub fn im2col(x: &Tensor, geom: &Conv2dGeometry) -> Tensor {
     assert_eq!(x.ndim(), 4, "im2col expects (N, C, H, W)");
-    let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
-    assert_eq!(c, geom.in_channels, "channel mismatch");
+    let (n, h, w) = (x.shape()[0], x.shape()[2], x.shape()[3]);
+    assert_eq!(x.shape()[1], geom.in_channels, "channel mismatch");
+    let mut out = Vec::new();
+    let (rows, cols) = im2col_into(x.data(), n, h, w, geom, &mut out);
+    Tensor::from_vec(out, &[rows, cols]).expect("im2col shape is consistent")
+}
+
+/// Allocation-reusing form of [`im2col`]: lowers a raw row-major
+/// `(N, C, H, W)` buffer into `out` (resized and zeroed in place, so a
+/// warmed buffer is never reallocated) and returns the `(rows, cols)`
+/// dimensions of the patch matrix. [`im2col`] is the allocating wrapper.
+///
+/// # Panics
+///
+/// Panics if `x.len() != n * in_channels * h * w`.
+pub fn im2col_into(
+    x: &[f32],
+    n: usize,
+    h: usize,
+    w: usize,
+    geom: &Conv2dGeometry,
+    out: &mut Vec<f32>,
+) -> (usize, usize) {
+    let c = geom.in_channels;
+    assert_eq!(x.len(), n * c * h * w, "input buffer length mismatch");
     let (oh, ow) = geom.output_hw(h, w);
     let k = geom.kernel;
     let cols = n * oh * ow;
     let rows = geom.patch_len();
-    let mut out = vec![0.0f32; rows * cols];
-    let xd = x.data();
+    // Padded positions rely on a fully zeroed buffer; clear-then-resize
+    // zeroes every element while keeping the allocation.
+    out.clear();
+    out.resize(rows * cols, 0.0);
+    let xd = x;
     for ni in 0..n {
         for ci in 0..c {
             let x_base = (ni * c + ci) * h * w;
@@ -92,7 +118,7 @@ pub fn im2col(x: &Tensor, geom: &Conv2dGeometry) -> Tensor {
             }
         }
     }
-    Tensor::from_vec(out, &[rows, cols]).expect("im2col shape is consistent")
+    (rows, cols)
 }
 
 /// Adjoint of [`im2col`]: scatters a `(C*k*k, N*OH*OW)` patch-gradient matrix

@@ -103,6 +103,14 @@ impl Value {
         }
     }
 
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Renders with 2-space indentation and a trailing newline.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -1,0 +1,152 @@
+//! Arena-executor parity suite: the zero-allocation arena interpreter
+//! must be **bit-identical** — logits, `MvmStats`, and the full
+//! `ExecutionReport` — to the clone-based oracle
+//! (`ExecPlan::execute_cloned`), serially and through the tile-parallel
+//! scheduler, across random zoo graphs, worker counts 1/2/8 and all
+//! three mapping strategies.
+//!
+//! This is the acceptance gate of the arena-runtime refactor: running on
+//! pre-materialized slot buffers instead of per-op tensor clones — and
+//! batching the MVM kernel one block at a time instead of one window at
+//! a time — is required to be *memory management*, never *arithmetic*.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use yoloc::core::compiler::{CompileOptions, CompiledNetwork};
+use yoloc::core::engine::WorkerPool;
+use yoloc::core::mapping::MappingStrategy;
+use yoloc::models::zoo;
+use yoloc::tensor::Tensor;
+
+const WORKER_SWEEP: [usize; 3] = [1, 2, 8];
+
+fn strategies() -> [MappingStrategy; 3] {
+    [
+        MappingStrategy::Naive,
+        MappingStrategy::Packed,
+        MappingStrategy::Sharded { chips: 3 },
+    ]
+}
+
+/// Compiles `desc` once with the full pipeline and checks that the
+/// clone-based oracle, the arena interpreter (both the pooled `infer`
+/// path and an explicit reused arena), the batched engine and the tiled
+/// scheduler all agree bit for bit on the same plan.
+fn assert_arena_parity(desc: &yoloc::models::NetworkDesc, seed: u64, strategy: MappingStrategy) {
+    let mut opts = CompileOptions::paper_default();
+    opts.mapping = strategy;
+    let net = CompiledNetwork::compile_random(desc, seed, opts)
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", desc.name));
+
+    let (c, h, w) = net.input_shape();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00A1_2E7A);
+    let x = Tensor::rand_uniform(&[1, c, h, w], 0.0, 1.0, &mut rng);
+
+    // The clone-based oracle on the *same* plan.
+    let (logits_oracle, report_oracle) = net.plan().execute_cloned(&x, &mut rng);
+    // The arena path behind the default `infer`.
+    let (logits_arena, report_arena) = net.infer(&x, &mut rng);
+    assert_eq!(
+        logits_oracle.data(),
+        logits_arena.data(),
+        "{}: arena execution changed the logits",
+        desc.name
+    );
+    assert_eq!(
+        report_oracle, report_arena,
+        "{}: arena execution changed the report",
+        desc.name
+    );
+
+    // An explicitly reused arena: repeated inference through the same
+    // buffers must stay bit-stable call after call.
+    let mut arena = net.take_arena();
+    for call in 0..3 {
+        let (y, r) = net.infer_in(&x, &mut rng, &mut arena);
+        assert_eq!(
+            logits_oracle.data(),
+            y.data(),
+            "{}: reused arena diverged on call {call}",
+            desc.name
+        );
+        assert_eq!(
+            &report_oracle, r,
+            "{}: reused arena report diverged on call {call}",
+            desc.name
+        );
+    }
+    net.give_arena(arena);
+
+    // Tiled scheduler on the arena-planned network.
+    for workers in WORKER_SWEEP {
+        let (logits_tiled, report_tiled) =
+            WorkerPool::with(workers, |pool| net.infer_tiled(&x, seed, pool));
+        assert_eq!(
+            logits_oracle.data(),
+            logits_tiled.data(),
+            "{}: tiled logits diverged at {workers} workers",
+            desc.name
+        );
+        assert_eq!(
+            report_oracle, report_tiled,
+            "{}: tiled report diverged at {workers} workers",
+            desc.name
+        );
+    }
+
+    // Batched execution recycles arenas across samples; a 3-sample batch
+    // of the same input must reduce to 3x the single-sample stats.
+    let mut batch_data = Vec::new();
+    for _ in 0..3 {
+        batch_data.extend_from_slice(x.data());
+    }
+    let xb = Tensor::from_vec(batch_data, &[3, c, h, w]).unwrap();
+    let (logits_batch, report_batch) = WorkerPool::with(2, |pool| net.infer_batch(&xb, seed, pool));
+    for s in 0..3 {
+        let n = logits_oracle.data().len();
+        assert_eq!(
+            logits_oracle.data(),
+            &logits_batch.data()[s * n..(s + 1) * n],
+            "{}: batched sample {s} diverged",
+            desc.name
+        );
+    }
+    assert_eq!(
+        report_oracle.rom.analog_evaluations * 3,
+        report_batch.rom.analog_evaluations,
+        "{}: batched stats lost samples",
+        desc.name
+    );
+}
+
+#[test]
+fn named_zoo_networks_hold_arena_parity_across_all_strategies() {
+    // Fixed representative graphs: feed-forward (VGG), residual with
+    // projections (ResNet), passthrough detection head (YOLO).
+    let nets = [
+        zoo::scaled(&zoo::vgg8(3), 16, (16, 16)),
+        zoo::scaled(&zoo::resnet18(3), 16, (32, 32)),
+        zoo::scaled(&zoo::yolo_v2(4, 2), 32, (64, 64)),
+    ];
+    for desc in &nets {
+        for strategy in strategies() {
+            assert_arena_parity(desc, 23, strategy);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_random_zoo_graphs_hold_arena_parity(seed in 0u64..100_000) {
+        // Random shape-consistent graphs (convs, activations, pooling,
+        // plain and projected residuals, linear heads); the mapping
+        // strategy rotates with the seed so the sweep covers all three.
+        let desc = zoo::random_zoo(seed);
+        let strategy = strategies()[(seed % 3) as usize];
+        assert_arena_parity(&desc, seed, strategy);
+    }
+}
