@@ -19,6 +19,9 @@ echo "== tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "== build release bench binaries (repro_all launches its siblings)"
+cargo build --release -p yoloc-bench --bins
+
 echo "== workspace unit tests and doctests"
 cargo test -q --workspace
 
@@ -28,10 +31,16 @@ YOLOC_SMOKE=1 cargo test -q --test scheduler_parity
 echo "== arena-executor parity suite (YOLOC_SMOKE=1)"
 YOLOC_SMOKE=1 cargo test -q --test arena_parity
 
+echo "== plan round-trip + cache-hit parity suite (YOLOC_SMOKE=1)"
+YOLOC_SMOKE=1 cargo test -q --test plan_roundtrip
+
 echo "== zero-allocation steady-state gate"
 cargo test -q -p yoloc-bench --test alloc_steady_state
 
-echo "== validate committed BENCH_engine.json (schema v4 gates)"
+echo "== plan-cache cold/warm gate (zero warm recompiles, by counter)"
+YOLOC_SMOKE=1 cargo run --release -q -p yoloc-bench --bin bench_plan_cache -- --smoke
+
+echo "== validate committed BENCH_engine.json (schema v5 gates incl. plan_cache)"
 cargo run --release -q -p yoloc-bench --bin bench_engine -- --check-schema BENCH_engine.json
 
 echo "== run every bench binary on tiny configs (repro_all --smoke)"

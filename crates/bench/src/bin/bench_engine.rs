@@ -31,7 +31,17 @@
 //! per-inference median (carried forward from the previous
 //! `BENCH_engine.json` at generation time).
 //!
-//! Emits `BENCH_engine.json` (schema `yoloc-bench-engine/4`, documented
+//! Schema v5 adds the `plan_cache` block: per zoo network, the wall time
+//! of a cold deploy (full compile + serialized-plan store) vs a warm
+//! deploy served from the content-addressed on-disk plan cache
+//! ([`yoloc_core::compiler::cache`]), with the recompilation count of
+//! each measured via the process-wide compile counter
+//! ([`yoloc_core::compiler::compile_count`]) — the acceptance gate is
+//! `compiles_warm == 0` by counter, not wall clock. The standalone
+//! `bench_plan_cache` binary regenerates just this block and patches it
+//! into the committed report without re-running the full harness.
+//!
+//! Emits `BENCH_engine.json` (schema `yoloc-bench-engine/5`, documented
 //! in `README.md`); under `--smoke`/`YOLOC_SMOKE=1` the workload shrinks
 //! and the report goes to `target/BENCH_engine.smoke.json` so the
 //! committed baseline is not clobbered by tiny-config numbers.
@@ -41,9 +51,10 @@
 //! parser and checks the schema version, the required fields, and the
 //! acceptance properties (modeled intra-sample speedup > 1.5x at 4
 //! lanes; planned arena strictly below per-op allocation; zero
-//! steady-state allocations; and — for committed full runs — >= 1.5x
-//! single-thread throughput over the v3 baseline), exiting non-zero on
-//! any violation — the CI gate for the baseline.
+//! steady-state allocations; for committed full runs >= 1.5x
+//! single-thread throughput over the v3 baseline; and zero warm-deploy
+//! recompiles in the `plan_cache` block), exiting non-zero on any
+//! violation — the CI gate for the baseline.
 
 use std::time::Instant;
 
@@ -59,7 +70,7 @@ use yoloc_core::pipeline::CimDeployedModel;
 use yoloc_core::strategies::{pretrain_base, TrainConfig};
 use yoloc_core::tiny_models::Family;
 use yoloc_data::classification::TransferSuite;
-use yoloc_models::{zoo, NetworkDesc};
+use yoloc_models::NetworkDesc;
 use yoloc_tensor::Tensor;
 
 const SEED: u64 = 2022;
@@ -105,7 +116,7 @@ impl Measured {
     fn json(&self) -> Json {
         let mut fields = vec![("path", Json::str(self.label))];
         if let Some(w) = self.workers {
-            fields.push(("workers", Json::Num(w as f64)));
+            fields.push(("workers", to_json(&w)));
         }
         fields.push(("seconds", Json::Num(self.seconds)));
         fields.push(("samples_per_sec", Json::Num(self.samples_per_sec())));
@@ -218,7 +229,7 @@ fn measure_model(
 
     let json = Json::obj([
         ("model", Json::str(name)),
-        ("samples", Json::Num(batch as f64)),
+        ("samples", to_json(&batch)),
         ("serial", serial.json()),
         ("serial_fast_path", serial_fast.json()),
         (
@@ -418,17 +429,11 @@ fn measure_zoo_network(
     ]);
     let json = Json::obj([
         ("model", Json::str(desc.name.clone())),
-        ("params", Json::Num(params as f64)),
-        ("macs", Json::Num(macs as f64)),
-        ("samples", Json::Num(batch as f64)),
-        (
-            "subarrays_naive",
-            Json::Num(net.mapping.subarrays_naive as f64),
-        ),
-        (
-            "subarrays_packed",
-            Json::Num(net.mapping.subarrays_packed as f64),
-        ),
+        ("params", to_json(&params)),
+        ("macs", to_json(&macs)),
+        ("samples", to_json(&batch)),
+        ("subarrays_naive", to_json(&net.mapping.subarrays_naive)),
+        ("subarrays_packed", to_json(&net.mapping.subarrays_packed)),
         (
             "utilization_packed",
             Json::Num(net.mapping.utilization_packed),
@@ -441,21 +446,15 @@ fn measure_zoo_network(
                     .map(|p| {
                         Json::obj([
                             ("pass", Json::str(p.pass)),
-                            ("ops_before", Json::Num(p.ops_before as f64)),
-                            ("ops_after", Json::Num(p.ops_after as f64)),
+                            ("ops_before", to_json(&p.ops_before)),
+                            ("ops_after", to_json(&p.ops_after)),
                         ])
                     })
                     .collect(),
             ),
         ),
-        (
-            "peak_arena_bytes",
-            Json::Num(one_report.peak_arena_bytes as f64),
-        ),
-        (
-            "naive_arena_bytes",
-            Json::Num(one_report.naive_arena_bytes as f64),
-        ),
+        ("peak_arena_bytes", to_json(&one_report.peak_arena_bytes)),
+        ("naive_arena_bytes", to_json(&one_report.naive_arena_bytes)),
         (
             "per_op_latency_ns",
             Json::Arr(
@@ -479,11 +478,11 @@ fn measure_zoo_network(
         ("energy_breakdown_uj_per_batch", to_json(&report.energy)),
         (
             "dram_traffic_bits_per_batch",
-            Json::Num(report.dram_traffic_bits as f64),
+            to_json(&report.dram_traffic_bits),
         ),
         (
             "noc_traffic_bits_per_batch",
-            Json::Num(report.noc_traffic_bits as f64),
+            to_json(&report.noc_traffic_bits),
         ),
     ]);
     let row = vec![
@@ -512,7 +511,7 @@ fn measure_zoo_network(
     (json, row)
 }
 
-/// Validates an existing `BENCH_engine.json` against the v4 schema and
+/// Validates an existing `BENCH_engine.json` against the v5 schema and
 /// the acceptance properties; returns every violation found.
 fn schema_violations(doc: &Json) -> Vec<String> {
     let mut errs = Vec::new();
@@ -529,8 +528,8 @@ fn schema_violations(doc: &Json) -> Vec<String> {
         }
     };
     check(
-        doc.get("schema").and_then(Json::as_str) == Some("yoloc-bench-engine/4"),
-        "schema must be \"yoloc-bench-engine/4\"",
+        doc.get("schema").and_then(Json::as_str) == Some("yoloc-bench-engine/5"),
+        "schema must be \"yoloc-bench-engine/5\"",
     );
     for key in ["host_parallelism", "batch", "reps", "workloads"] {
         check(
@@ -568,8 +567,10 @@ fn schema_violations(doc: &Json) -> Vec<String> {
                 .is_some_and(|a| !a.is_empty()),
             "per_op_latency_ns must be a non-empty array",
         );
-        let peak = entry.get("peak_arena_bytes").and_then(Json::as_num);
-        let naive = entry.get("naive_arena_bytes").and_then(Json::as_num);
+        // Byte counts are read back exactly (`as_u64`), not through a
+        // lossy f64 — see the shim's integer-preserving JSON variants.
+        let peak = entry.get("peak_arena_bytes").and_then(Json::as_u64);
+        let naive = entry.get("naive_arena_bytes").and_then(Json::as_u64);
         check(peak.is_some(), "missing peak_arena_bytes");
         check(naive.is_some(), "missing naive_arena_bytes");
         if let (Some(p), Some(n)) = (peak, naive) {
@@ -627,6 +628,60 @@ fn schema_violations(doc: &Json) -> Vec<String> {
             }
         }
     }
+    // v5 gates: the content-addressed plan cache must serve every warm
+    // deploy without recompiling (counted, not timed) and the cached
+    // plan must execute bit-identically to the cold compile.
+    let plan_cache = doc.get("plan_cache").and_then(Json::as_arr);
+    if plan_cache.is_none_or(|a| a.is_empty()) {
+        errs.push("plan_cache block must be a non-empty array".to_string());
+    }
+    for entry in plan_cache.unwrap_or(&[]) {
+        let model = entry
+            .get("model")
+            .and_then(Json::as_str)
+            .unwrap_or("<unnamed>")
+            .to_string();
+        let mut check = |cond: bool, msg: &str| {
+            if !cond {
+                errs.push(format!("plan_cache[{model}]: {msg}"));
+            }
+        };
+        check(
+            entry
+                .get("cold_compile_s")
+                .and_then(Json::as_num)
+                .is_some_and(|v| v > 0.0),
+            "cold_compile_s must be positive",
+        );
+        check(
+            entry
+                .get("warm_lookup_s")
+                .and_then(Json::as_num)
+                .is_some_and(|v| v > 0.0),
+            "warm_lookup_s must be positive",
+        );
+        // Compile counters are exact integers; `as_u64` reads them back
+        // without the 2^53 f64 precision cliff.
+        check(
+            entry
+                .get("compiles_cold")
+                .and_then(Json::as_u64)
+                .is_some_and(|c| c >= 1),
+            "compiles_cold must be >= 1 (a cold deploy compiles)",
+        );
+        let warm = entry.get("compiles_warm").and_then(Json::as_u64);
+        check(warm.is_some(), "missing compiles_warm");
+        if let Some(w) = warm {
+            check(
+                w == 0,
+                &format!("warm deploy recompiled ({w} compiles, need 0)"),
+            );
+        }
+        check(
+            entry.get("bit_identical").and_then(Json::as_bool) == Some(true),
+            "cached plan must execute bit-identically to the cold compile",
+        );
+    }
     errs
 }
 
@@ -637,7 +692,7 @@ fn check_schema(path: &str) -> ! {
     let errs = schema_violations(&doc);
     if errs.is_empty() {
         println!(
-            "{path}: schema yoloc-bench-engine/4 OK ({} bytes)",
+            "{path}: schema yoloc-bench-engine/5 OK ({} bytes)",
             text.len()
         );
         std::process::exit(0);
@@ -683,20 +738,7 @@ fn main() {
     // Part 2: graph-compiled zoo architectures, smallest to largest — the
     // per-network scaling table. Scaled to an executable footprint (the
     // full-size graphs are identical in topology; see zoo::scaled).
-    let zoo_nets = if smoke() {
-        vec![
-            zoo::scaled(&zoo::vgg8(4), 16, (16, 16)),
-            zoo::scaled(&zoo::tiny_yolo(4, 2), 32, (32, 32)),
-        ]
-    } else {
-        vec![
-            zoo::scaled(&zoo::vgg8(10), 16, (16, 16)),
-            zoo::scaled(&zoo::resnet18(10), 16, (32, 32)),
-            zoo::scaled(&zoo::tiny_yolo(4, 2), 16, (64, 64)),
-            zoo::scaled(&zoo::darknet19(8), 16, (64, 64)),
-            zoo::scaled(&zoo::yolo_v2(4, 2), 32, (64, 64)),
-        ]
-    };
+    let zoo_nets = yoloc_bench::plan_cache::zoo_nets();
     // Full runs compare the arena runtime against the previously
     // committed baseline's serial per-inference medians; smoke configs
     // have no comparable baseline entry and skip the ratio.
@@ -733,16 +775,32 @@ fn main() {
         &zoo_rows,
     );
 
+    // v5: cold vs warm deploys through the content-addressed plan cache
+    // (recompiles counted, warm gated to zero, bit-identical execution).
+    let cache_entries = yoloc_bench::plan_cache::measure_plan_cache(&zoo_nets, SEED + 7);
+    print_table(
+        "Content-addressed plan cache (cold compile vs warm disk deploy)",
+        &[
+            "Network",
+            "Cold compile (ms)",
+            "Warm deploy (ms)",
+            "Speedup",
+            "Compiles (cold/warm)",
+            "Bit-identical",
+        ],
+        &yoloc_bench::plan_cache::plan_cache_rows(&cache_entries),
+    );
+
     let doc = Json::obj([
-        ("schema", Json::str("yoloc-bench-engine/4")),
-        ("host_parallelism", Json::Num(host as f64)),
+        ("schema", Json::str("yoloc-bench-engine/5")),
+        ("host_parallelism", to_json(&host)),
         ("smoke", Json::Bool(smoke())),
         (
             "baseline_bootstrap",
             Json::Bool(!smoke() && baselines.is_empty()),
         ),
-        ("batch", Json::Num(batch() as f64)),
-        ("reps", Json::Num(reps() as f64)),
+        ("batch", to_json(&batch())),
+        ("reps", to_json(&reps())),
         (
             "worker_sweep",
             Json::Arr(
@@ -754,6 +812,10 @@ fn main() {
         ),
         ("workloads", Json::Arr(workloads)),
         ("zoo", Json::Arr(zoo_json)),
+        (
+            "plan_cache",
+            yoloc_bench::plan_cache::plan_cache_json(&cache_entries),
+        ),
     ]);
     let path = if smoke() {
         "target/BENCH_engine.smoke.json"
@@ -768,7 +830,7 @@ fn main() {
         violations.is_empty(),
         "generated report violates its own schema (written to {path} anyway): {violations:?}"
     );
-    println!("\nwrote {path} (schema yoloc-bench-engine/4, see README.md)");
+    println!("\nwrote {path} (schema yoloc-bench-engine/5, see README.md)");
     println!(
         "note: 'serial' is the pre-engine baseline (one thread, cell-accurate \
          analog path); the batched rows add the popcount fast path and the \

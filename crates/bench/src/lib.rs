@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc_track;
+pub mod plan_cache;
 pub mod report;
 
 pub use yoloc_core::engine::WorkerPool;

@@ -63,9 +63,13 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_numbers_render_null() {
-        assert_eq!(Json::Num(f64::NAN).render(), "null\n");
-        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+    fn non_finite_numbers_render_tagged() {
+        // A NaN latency or divide-by-zero speedup must stay visible in a
+        // rendered report (and decodable through `as_num`), not silently
+        // degrade to `null`.
+        assert_eq!(Json::Num(f64::NAN).render(), "{\"$f64\": \"NaN\"}\n");
+        let back = Json::parse(&Json::Num(f64::INFINITY).render()).unwrap();
+        assert_eq!(back.as_num(), Some(f64::INFINITY));
     }
 
     #[test]

@@ -21,11 +21,12 @@
 //! layer between them without touching quantization or dequantization.
 
 use rand::RngCore;
+use serde::{Deserialize, Serialize};
 
 use crate::macro_model::{matmul_into, reference_mvm, MacroParams, MvmStats, RomMvm};
 
 /// Which MVM implementation a layer is deployed on (see the module docs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BackendKind {
     /// Cell-accurate analog reference path (models noise).
     Analog,

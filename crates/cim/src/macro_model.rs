@@ -20,7 +20,7 @@ use crate::cells::CellKind;
 use yoloc_quant::bitplane::{signed_bitplanes, signed_plane_weight, unsigned_chunks};
 
 /// Circuit-level parameters of a CiM macro.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MacroParams {
     /// Bit-cell implementation.
     pub cell: CellKind,

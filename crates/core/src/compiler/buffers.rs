@@ -21,7 +21,7 @@
 //! assignments document the layout a fixed-address arena would use).
 
 /// A planned activation arena: one slot per concurrently-live output.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct BufferPlan {
     /// Arena slot holding each op's output.
     pub slot_of_op: Vec<usize>,

@@ -111,17 +111,21 @@
 
 pub mod arena;
 pub mod buffers;
+pub mod cache;
 pub mod passes;
 pub mod schedule;
+pub mod serial;
 
 pub use arena::ExecArena;
 pub use buffers::BufferPlan;
 pub use passes::{PassKind, PassPipeline, PassReport};
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::engine::{sample_stream_seed, WorkerPool};
 use crate::mapping::{map_network_with, MappingStrategy, NetworkMapping};
@@ -136,7 +140,7 @@ use yoloc_tensor::ops::conv2d_reference;
 use yoloc_tensor::{Layer, Tensor};
 
 /// Which memory domain a CiM layer's weights live in (Fig. 9's split).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum MemDomain {
     /// Mask-programmed ROM-CiM (frozen trunk weights).
     Rom,
@@ -145,7 +149,7 @@ pub enum MemDomain {
 }
 
 /// The memory hierarchy an [`ExecPlan`] threads its live traffic through.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MemoryParams {
     /// On-chip activation cache (Fig. 9 "cache").
     pub buffer: SramBuffer,
@@ -284,7 +288,7 @@ impl ExecutionReport {
 }
 
 /// Where a residual / passthrough op reads its second operand from.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub(crate) enum OpSource {
     /// The network input.
     Input,
@@ -295,7 +299,7 @@ pub(crate) enum OpSource {
 /// A digital op folded into the tail of a CiM op by the epilogue-fusion
 /// pass: it runs on the op's output before the result round-trips the
 /// cache, so the intermediate map never moves through the hierarchy.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub(crate) enum EpilogueOp {
     /// Elementwise activation.
     Act(ActKind),
@@ -306,6 +310,7 @@ pub(crate) enum EpilogueOp {
 }
 
 /// One executable operation of a compiled plan.
+#[derive(Serialize, Deserialize)]
 #[allow(clippy::large_enum_variant)] // few ops, long-lived, boxed engines inside
 pub(crate) enum PlanOp {
     /// A CiM-mapped convolution (plus any fused epilogue).
@@ -545,6 +550,17 @@ pub(crate) fn passthrough_concat(src: &Tensor, cur: &Tensor, extra_ch: usize) ->
         }
     }
     out
+}
+
+/// Monotone count of full plan compilations in this process
+/// ([`CompiledNetwork::compile`] entries, cache hits excluded) — the
+/// counter the plan-cache CI gate asserts on: a warm deploy of an
+/// already-cached network must leave it unchanged.
+static COMPILES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of full compilations performed by this process so far.
+pub fn compile_count() -> u64 {
+    COMPILES.load(Ordering::Relaxed)
 }
 
 /// An executable plan: ops in execution order plus the memory hierarchy
@@ -1270,7 +1286,7 @@ impl NetworkWeights {
 
 /// Compile-time configuration: macro parameters, default and per-layer
 /// backend selection, mapping strategy, and the memory hierarchy.
-#[derive(Clone)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct CompileOptions {
     /// ROM-CiM macro for trunk layers.
     pub rom: MacroParams,
@@ -1348,6 +1364,7 @@ impl CompiledNetwork {
         calibration: &Tensor,
         opts: CompileOptions,
     ) -> Result<Self, NetworkError> {
+        COMPILES.fetch_add(1, Ordering::Relaxed);
         assert_eq!(calibration.ndim(), 4, "calibration must be (N, C, H, W)");
         assert_eq!(
             &calibration.shape()[1..],

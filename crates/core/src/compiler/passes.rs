@@ -40,6 +40,42 @@ pub struct PassReport {
     pub detail: String,
 }
 
+/// The pass name is an interned `&'static str`, so serialization is
+/// hand-written: `to_json` emits the fields in declaration order and
+/// `from_value` re-interns the name against the closed pass set (an
+/// unknown name is a clear error, which doubles as format validation
+/// for on-disk plans).
+impl serde::Serialize for PassReport {
+    fn to_json(&self) -> serde::json::Value {
+        serde::json::Value::obj([
+            ("pass", self.pass.to_json()),
+            ("ops_before", self.ops_before.to_json()),
+            ("ops_after", self.ops_after.to_json()),
+            ("detail", self.detail.to_json()),
+        ])
+    }
+}
+
+impl serde::Deserialize for PassReport {
+    fn from_value(v: &serde::json::Value) -> Result<Self, String> {
+        let name: String = crate::qconv::json_field(v, "pass")?;
+        let pass = [
+            EpilogueFusion.name(),
+            DeadOpElimination.name(),
+            BufferLiveness.name(),
+        ]
+        .into_iter()
+        .find(|n| *n == name)
+        .ok_or_else(|| format!("unknown pass {name:?}"))?;
+        Ok(PassReport {
+            pass,
+            ops_before: crate::qconv::json_field(v, "ops_before")?,
+            ops_after: crate::qconv::json_field(v, "ops_after")?,
+            detail: crate::qconv::json_field(v, "detail")?,
+        })
+    }
+}
+
 /// A rewrite over the [`ExecPlan`] IR.
 pub(crate) trait Pass {
     /// Stable pass name.
@@ -50,7 +86,7 @@ pub(crate) trait Pass {
 
 /// The named passes the pipeline can run (a closed, `Copy` set so
 /// `CompileOptions` remains a plain value type).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum PassKind {
     /// Fold digital act/pool/residual epilogues into CiM ops.
     EpilogueFusion,
@@ -71,7 +107,7 @@ impl PassKind {
 }
 
 /// An ordered list of passes to run over a freshly lowered plan.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct PassPipeline {
     kinds: Vec<PassKind>,
 }

@@ -43,9 +43,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::compiler::cache::PlanCache;
 use crate::compiler::schedule::{TaskGraph, TaskKind};
-use crate::compiler::{ExecPlan, ExecutionReport, PerOpExec, PlanOp};
+use crate::compiler::{
+    CompileOptions, CompiledNetwork, ExecPlan, ExecutionReport, PerOpExec, PlanOp,
+};
 use yoloc_cim::macro_model::MvmStats;
+use yoloc_models::{NetworkDesc, NetworkError};
 use yoloc_tensor::Tensor;
 
 /// Derives the deterministic RNG stream seed for sample `index` of a
@@ -558,6 +562,67 @@ impl<'p> Scheduler<'p> {
             .clone();
         let report = plan.finalize(x, &output, &per_op);
         (output, report)
+    }
+}
+
+/// Cache-aware deploy front end for multi-model serving: every deploy
+/// routes through a shared [`PlanCache`], so re-deploying a network this
+/// process (or any earlier process that populated the cache directory)
+/// already compiled costs a plan-document read instead of a full
+/// compile — the warm path performs zero recompilation, asserted via
+/// [`crate::compiler::compile_count`] in the round-trip suite and the
+/// bench schema gate.
+///
+/// # Examples
+///
+/// ```
+/// use yoloc_core::compiler::{cache::PlanCache, CompileOptions};
+/// use yoloc_core::engine::ModelServer;
+/// use yoloc_models::zoo;
+///
+/// let server = ModelServer::with_cache(PlanCache::in_memory());
+/// let desc = zoo::scaled(&zoo::vgg8(3), 16, (16, 16));
+/// let _cold = server.deploy(&desc, 7, CompileOptions::paper_default())?;
+/// let _warm = server.deploy(&desc, 7, CompileOptions::paper_default())?;
+/// assert_eq!(server.cache().hits(), 1);
+/// # Ok::<(), yoloc_models::NetworkError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ModelServer {
+    cache: PlanCache,
+}
+
+impl ModelServer {
+    /// A server over the default on-disk cache location (see
+    /// [`PlanCache::new`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A server over an explicit cache (in-memory or custom directory).
+    pub fn with_cache(cache: PlanCache) -> Self {
+        ModelServer { cache }
+    }
+
+    /// The underlying cache (hit/miss counters for reporting).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Deploys `desc` with deterministic random weights through the
+    /// cache: hits rebuild the stored plan bit-identically, misses
+    /// compile and populate the cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetworkError`] if the description is inconsistent.
+    pub fn deploy(
+        &self,
+        desc: &NetworkDesc,
+        seed: u64,
+        opts: CompileOptions,
+    ) -> Result<CompiledNetwork, NetworkError> {
+        self.cache.compile_random(desc, seed, opts)
     }
 }
 

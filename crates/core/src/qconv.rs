@@ -21,6 +21,9 @@ use yoloc_quant::{calibrate_affine, PerChannelQuant, QuantParams};
 use yoloc_tensor::ops::{im2col, im2col_into, Conv2dGeometry};
 use yoloc_tensor::Tensor;
 
+use serde::json::Value as Json;
+use serde::{Deserialize, Serialize};
+
 /// Reusable staging for one CiM layer execution: the im2col patch matrix,
 /// the quantized activation codes of the tile in flight, the integer MVM
 /// accumulators, and the backend's bit-plane staging.
@@ -80,6 +83,78 @@ impl Dequant {
     }
 }
 
+/// Everything needed to re-program an MVM backend deterministically:
+/// the compile-time backend choice, macro parameters and quantized
+/// weight codes. Retained by compiled layers so a plan can be serialized
+/// and rebuilt bit-identically (the backends themselves own un-walkable
+/// state like the analog array, so layers re-run [`program_backend`] on
+/// deserialization instead of persisting the engine).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct ProgramSpec {
+    kind: BackendKind,
+    params: MacroParams,
+    outs: usize,
+    ins: usize,
+    codes: Vec<i32>,
+}
+
+impl ProgramSpec {
+    fn program(&self) -> Box<dyn MvmBackend> {
+        program_backend(self.kind, self.params, &self.codes, self.outs, self.ins)
+    }
+}
+
+/// Object field lookup + deserialize with field context in errors
+/// (missing fields route through `Deserialize::from_missing`, so
+/// `Option` fields default). Shared by the hand-written layer impls here
+/// and the plan serializer in `compiler::serial`.
+pub(crate) fn json_field<T: Deserialize>(v: &Json, name: &str) -> Result<T, String> {
+    match v.get(name) {
+        Some(x) => T::from_value(x).map_err(|e| format!("{name}: {e}")),
+        None => T::from_missing(name),
+    }
+}
+
+/// `QuantParams` lives in `yoloc-quant`, which has no serde dependency
+/// (and the orphan rule forbids implementing the shim traits for it
+/// here), so the field mapping is spelled out.
+fn quant_params_to_json(p: &QuantParams) -> Json {
+    Json::obj([
+        ("scale", p.scale.to_json()),
+        ("zero_point", p.zero_point.to_json()),
+        ("bits", p.bits.to_json()),
+        ("symmetric", p.symmetric.to_json()),
+    ])
+}
+
+fn quant_params_from(v: &Json) -> Result<QuantParams, String> {
+    Ok(QuantParams {
+        scale: json_field(v, "scale")?,
+        zero_point: json_field(v, "zero_point")?,
+        bits: json_field(v, "bits")?,
+        symmetric: json_field(v, "symmetric")?,
+    })
+}
+
+/// Same story for `Conv2dGeometry` (`yoloc-tensor` has no serde dep).
+fn geom_to_json(g: &Conv2dGeometry) -> Json {
+    Json::obj([
+        ("in_channels", g.in_channels.to_json()),
+        ("kernel", g.kernel.to_json()),
+        ("stride", g.stride.to_json()),
+        ("padding", g.padding.to_json()),
+    ])
+}
+
+fn geom_from(v: &Json) -> Result<Conv2dGeometry, String> {
+    Ok(Conv2dGeometry {
+        in_channels: json_field(v, "in_channels")?,
+        kernel: json_field(v, "kernel")?,
+        stride: json_field(v, "stride")?,
+        padding: json_field(v, "padding")?,
+    })
+}
+
 /// A convolution compiled onto an MVM backend.
 pub struct CimConv2d {
     engine: Box<dyn MvmBackend>,
@@ -91,6 +166,8 @@ pub struct CimConv2d {
     /// Target tile count for [`CimConv2d::tile_ranges`] (1 = the whole
     /// position range as a single tile, the legacy serial walk).
     par_tiles: usize,
+    /// Compile-time programming record, kept for plan serialization.
+    program: ProgramSpec,
 }
 
 impl CimConv2d {
@@ -141,7 +218,14 @@ impl CimConv2d {
         let patch = c * k * k;
         let pc = PerChannelQuant::quantize(weight, params.weight_bits);
         let dequant = Dequant::from_quant(&pc, oc, patch);
-        let engine = program_backend(kind, params, &pc.values, oc, patch);
+        let program = ProgramSpec {
+            kind,
+            params,
+            outs: oc,
+            ins: patch,
+            codes: pc.values,
+        };
+        let engine = program.program();
         let act_params = calibrate_affine(calibration, params.act_bits);
         CimConv2d {
             engine,
@@ -155,6 +239,7 @@ impl CimConv2d {
             },
             out_channels: oc,
             par_tiles: 1,
+            program,
         }
     }
 
@@ -433,6 +518,8 @@ pub struct CimLinear {
     pub act_params: QuantParams,
     outs: usize,
     ins: usize,
+    /// Compile-time programming record, kept for plan serialization.
+    program: ProgramSpec,
 }
 
 impl CimLinear {
@@ -476,13 +563,21 @@ impl CimLinear {
             }
             None => vec![0.0; outs],
         };
+        let program = ProgramSpec {
+            kind,
+            params,
+            outs,
+            ins,
+            codes: pc.values,
+        };
         CimLinear {
-            engine: program_backend(kind, params, &pc.values, outs, ins),
+            engine: program.program(),
             dequant,
             bias,
             act_params: calibrate_affine(calibration, params.act_bits),
             outs,
             ins,
+            program,
         }
     }
 
@@ -565,6 +660,87 @@ impl CimLinear {
             }
         }
         stats
+    }
+}
+
+/// Serialization of a compiled conv layer: the programming record plus
+/// the digital dequantization state. The engine is rebuilt from the
+/// record on deserialization (`row_sums` and `channel_scales` are stored
+/// rather than recomputed so the digital path is byte-for-byte the
+/// compile-time state). Runtime [`CimConv2d::set_fast_path`] toggles are
+/// *not* captured — a deserialized layer starts on its backend's default
+/// path, exactly like a freshly compiled one.
+impl Serialize for CimConv2d {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", self.program.to_json()),
+            ("channel_scales", self.dequant.channel_scales.to_json()),
+            ("row_sums", self.dequant.row_sums.to_json()),
+            ("act_params", quant_params_to_json(&self.act_params)),
+            ("geom", geom_to_json(&self.geom)),
+            ("out_channels", self.out_channels.to_json()),
+            ("par_tiles", self.par_tiles.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for CimConv2d {
+    fn from_value(v: &Json) -> Result<Self, String> {
+        let program: ProgramSpec = json_field(v, "program")?;
+        let engine = program.program();
+        Ok(CimConv2d {
+            engine,
+            dequant: Dequant {
+                channel_scales: json_field(v, "channel_scales")?,
+                row_sums: json_field(v, "row_sums")?,
+            },
+            act_params: quant_params_from(
+                v.get("act_params").ok_or("missing field \"act_params\"")?,
+            )
+            .map_err(|e| format!("act_params: {e}"))?,
+            geom: geom_from(v.get("geom").ok_or("missing field \"geom\"")?)
+                .map_err(|e| format!("geom: {e}"))?,
+            out_channels: json_field(v, "out_channels")?,
+            par_tiles: json_field(v, "par_tiles")?,
+            program,
+        })
+    }
+}
+
+/// See the [`CimConv2d`] serialization notes; identical contract.
+impl Serialize for CimLinear {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("program", self.program.to_json()),
+            ("channel_scales", self.dequant.channel_scales.to_json()),
+            ("row_sums", self.dequant.row_sums.to_json()),
+            ("bias", self.bias.to_json()),
+            ("act_params", quant_params_to_json(&self.act_params)),
+            ("outs", self.outs.to_json()),
+            ("ins", self.ins.to_json()),
+        ])
+    }
+}
+
+impl Deserialize for CimLinear {
+    fn from_value(v: &Json) -> Result<Self, String> {
+        let program: ProgramSpec = json_field(v, "program")?;
+        let engine = program.program();
+        Ok(CimLinear {
+            engine,
+            dequant: Dequant {
+                channel_scales: json_field(v, "channel_scales")?,
+                row_sums: json_field(v, "row_sums")?,
+            },
+            bias: json_field(v, "bias")?,
+            act_params: quant_params_from(
+                v.get("act_params").ok_or("missing field \"act_params\"")?,
+            )
+            .map_err(|e| format!("act_params: {e}"))?,
+            outs: json_field(v, "outs")?,
+            ins: json_field(v, "ins")?,
+            program,
+        })
     }
 }
 

@@ -2,28 +2,83 @@
 //!
 //! This is the shim's stand-in for `serde_json::Value`: object fields keep
 //! insertion order so rendered documents are stable byte-for-byte for
-//! identical inputs — what keeps committed benchmark baselines diffable.
-//! [`crate::Serialize::to_json`] (hand-written or `#[derive(Serialize)]`)
-//! produces these values; [`Value::render`] emits pretty-printed JSON.
+//! identical inputs — what keeps committed benchmark baselines diffable
+//! and makes [`Value::render_compact`] a sound content-hash input for the
+//! plan cache. [`crate::Serialize::to_json`] (hand-written or
+//! `#[derive(Serialize)]`) produces these values; [`Value::render`] emits
+//! pretty-printed JSON; [`Value::parse`] is its exact dual.
+//!
+//! Numbers are stored in three variants so round trips are lossless:
+//! [`Value::UInt`]/[`Value::Int`] hold integer tokens exactly (no 2^53
+//! truncation), and [`Value::Num`] holds everything with a fraction or
+//! exponent, rendered with shortest-round-trip (`{:?}`) formatting.
+//! Cross-variant numeric equality (`Num(16.0) == Int(16)`) keeps value
+//! trees comparable regardless of which side of a round trip they came
+//! from. Non-finite floats are not representable in JSON; the renderer
+//! emits a tagged object `{"$f64": "NaN" | "inf" | "-inf"}` that
+//! [`Value::as_num`] decodes, instead of silently degrading to `null`.
 
 use std::fmt::Write as _;
 
 /// A JSON value. Object fields keep insertion order so rendered documents
 /// are stable byte-for-byte for identical inputs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A finite number (rendered via `f64`; NaN/inf render as `null`).
+    /// A number with a fraction or exponent (or out of integer range),
+    /// rendered with shortest-round-trip formatting. Non-finite values
+    /// render as the tagged object `{"$f64": ...}`.
     Num(f64),
+    /// A non-negative integer token, held exactly (u64 range).
+    UInt(u64),
+    /// A negative integer token, held exactly (i64 range).
+    Int(i64),
     /// A string.
     Str(String),
     /// An array.
     Arr(Vec<Value>),
     /// An object with ordered fields.
     Obj(Vec<(String, Value)>),
+}
+
+/// Structural equality with cross-variant numeric comparison: integer
+/// variants equal a `Num` exactly when the float is integral and the
+/// exact cast matches (so `Num(16.0) == Int(16)` but
+/// `Num(9007199254740993.0) != UInt(9007199254740993)` — the float
+/// literal actually holds 2^53, not 2^53+1).
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Arr(a), Arr(b)) => a == b,
+            (Obj(a), Obj(b)) => a == b,
+            (Num(a), Num(b)) => a == b,
+            (UInt(a), UInt(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (UInt(u), Int(i)) | (Int(i), UInt(u)) => *i >= 0 && *i as u64 == *u,
+            (Num(f), UInt(u)) | (UInt(u), Num(f)) => {
+                // Exclusive upper bound: 2^64 as f64 rounds to itself and
+                // would saturate the cast.
+                f.fract() == 0.0
+                    && *f >= 0.0
+                    && *f < 18_446_744_073_709_551_616.0
+                    && *f as u64 == *u
+            }
+            (Num(f), Int(i)) | (Int(i), Num(f)) => {
+                f.fract() == 0.0
+                    && *f >= -9_223_372_036_854_775_808.0
+                    && *f < 9_223_372_036_854_775_808.0
+                    && *f as i64 == *i
+            }
+            _ => false,
+        }
+    }
 }
 
 impl Value {
@@ -49,16 +104,19 @@ impl Value {
     }
 
     /// Parses a JSON document into a value tree (object field order is
-    /// preserved, numbers parse as `f64` — the dual of [`Value::render`],
-    /// which round-trips everything this module emits). Duplicate object
-    /// keys are kept as-is, last-reader-wins through [`Value::get`].
+    /// preserved; integer tokens parse exactly into [`Value::UInt`] /
+    /// [`Value::Int`], everything else into [`Value::Num`] — the dual of
+    /// [`Value::render`], which round-trips everything this module
+    /// emits). Duplicate object keys are kept as-is, last-reader-wins
+    /// through [`Value::get`].
     ///
     /// # Errors
     ///
     /// Returns a message describing the first syntax error (with byte
-    /// offset) on malformed input, including trailing garbage and
-    /// nesting deeper than 128 levels (the recursive-descent parser
-    /// bounds its stack instead of overflowing on adversarial input).
+    /// offset) on malformed input, including trailing garbage, lone
+    /// UTF-16 surrogates in `\u` escapes, and nesting deeper than 128
+    /// levels (the recursive-descent parser bounds its stack instead of
+    /// overflowing on adversarial input).
     pub fn parse(text: &str) -> Result<Value, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
@@ -87,10 +145,53 @@ impl Value {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload as `f64` (integer variants coerce; values
+    /// above 2^53 may lose precision — use [`Value::as_u64`] /
+    /// [`Value::as_i64`] for exact counts). Also decodes the tagged
+    /// non-finite object `{"$f64": "NaN" | "inf" | "-inf"}`.
     pub fn as_num(&self) -> Option<f64> {
         match self {
             Value::Num(v) => Some(*v),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            Value::Obj(fields) if fields.len() == 1 && fields[0].0 == "$f64" => {
+                match fields[0].1.as_str() {
+                    Some("NaN") => Some(f64::NAN),
+                    Some("inf") => Some(f64::INFINITY),
+                    Some("-inf") => Some(f64::NEG_INFINITY),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// The exact unsigned-integer payload: [`Value::UInt`] directly,
+    /// non-negative [`Value::Int`], or an integral in-range [`Value::Num`]
+    /// (exact by IEEE-754 — integral doubles below 2^53 cast losslessly).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::Num(f) if f.fract() == 0.0 && *f >= 0.0 && *f < 18_446_744_073_709_551_616.0 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The exact signed-integer payload (see [`Value::as_u64`]).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            Value::Num(f)
+                if f.fract() == 0.0
+                    && *f >= -9_223_372_036_854_775_808.0
+                    && *f < 9_223_372_036_854_775_808.0 =>
+            {
+                Some(*f as i64)
+            }
             _ => None,
         }
     }
@@ -119,6 +220,38 @@ impl Value {
         out
     }
 
+    /// Renders on a single line with no whitespace — the canonical form
+    /// the plan cache hashes (identical trees render identical bytes).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_num(out: &mut String, v: f64) {
+        if v.is_finite() {
+            // Integral values below 2^53 render without a fraction (and
+            // parse back into an exact integer variant); -0.0 keeps its
+            // sign through the float path.
+            if v.fract() == 0.0
+                && v.abs() < 9_007_199_254_740_992.0
+                && !(v == 0.0 && v.is_sign_negative())
+            {
+                let _ = write!(out, "{}", v as i64);
+            } else {
+                // `{:?}` is shortest-round-trip: the decimal it prints
+                // parses back to the identical f64 bits.
+                let _ = write!(out, "{v:?}");
+            }
+        } else if v.is_nan() {
+            out.push_str("{\"$f64\": \"NaN\"}");
+        } else if v > 0.0 {
+            out.push_str("{\"$f64\": \"inf\"}");
+        } else {
+            out.push_str("{\"$f64\": \"-inf\"}");
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent + 1);
         let close_pad = "  ".repeat(indent);
@@ -127,17 +260,12 @@ impl Value {
             Value::Bool(b) => {
                 let _ = write!(out, "{b}");
             }
-            Value::Num(v) => {
-                if v.is_finite() {
-                    // Integral values render without a fraction.
-                    if v.fract() == 0.0 && v.abs() < 1e15 {
-                        let _ = write!(out, "{}", *v as i64);
-                    } else {
-                        let _ = write!(out, "{v}");
-                    }
-                } else {
-                    out.push_str("null");
-                }
+            Value::Num(v) => Self::write_num(out, *v),
+            Value::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
             }
             Value::Str(s) => write_escaped(out, s),
             Value::Arr(items) => {
@@ -168,6 +296,45 @@ impl Value {
                     out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
                 }
                 out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(v) => Self::write_num(out, *v),
+            Value::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
                 out.push('}');
             }
         }
@@ -271,9 +438,28 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    // Pure integer tokens parse exactly (no round trip through f64, which
+    // corrupts counts above 2^53); fraction/exponent tokens — and integer
+    // tokens overflowing 64 bits — fall back to f64.
+    if !text.bytes().any(|b| matches!(b, b'.' | b'e' | b'E')) {
+        if text.starts_with('-') {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        } else if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+    }
     text.parse::<f64>()
         .map(Value::Num)
         .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+/// Reads the 4 hex digits of a `\uXXXX` escape starting at `at`.
+fn read_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+        .map_err(|e| e.to_string())
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
@@ -298,18 +484,39 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(
-                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                            16,
-                        )
-                        .map_err(|e| e.to_string())?;
-                        // Surrogates fall back to the replacement char:
-                        // the renderer never emits them.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let code = read_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        if (0xD800..0xDC00).contains(&code) {
+                            // A high surrogate must pair with an
+                            // immediately following \uXXXX low surrogate
+                            // (UTF-16 encoding of an astral-plane char).
+                            if bytes.get(*pos + 1) != Some(&b'\\')
+                                || bytes.get(*pos + 2) != Some(&b'u')
+                            {
+                                return Err(format!(
+                                    "lone high surrogate \\u{code:04x} at byte {}",
+                                    *pos - 4
+                                ));
+                            }
+                            let lo = read_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(format!(
+                                    "high surrogate \\u{code:04x} followed by \
+                                     non-low-surrogate \\u{lo:04x} at byte {}",
+                                    *pos - 4
+                                ));
+                            }
+                            *pos += 6;
+                            let scalar = 0x10000 + ((code - 0xD800) << 10) + (lo - 0xDC00);
+                            out.push(char::from_u32(scalar).expect("paired surrogate is valid"));
+                        } else if (0xDC00..0xE000).contains(&code) {
+                            return Err(format!(
+                                "lone low surrogate \\u{code:04x} at byte {}",
+                                *pos - 4
+                            ));
+                        } else {
+                            out.push(char::from_u32(code).expect("non-surrogate BMP scalar"));
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {}", *pos)),
                 }
@@ -367,6 +574,8 @@ mod tests {
         ]);
         let back = Value::parse(&doc.render()).expect("round trip");
         assert_eq!(doc, back);
+        let back = Value::parse(&doc.render_compact()).expect("compact round trip");
+        assert_eq!(doc, back);
     }
 
     #[test]
@@ -407,5 +616,139 @@ mod tests {
         assert_eq!(v.as_str(), Some("café \"quoted\" \\ done"));
         let v = Value::parse("\"emoji ✓ passthrough\"").unwrap();
         assert_eq!(v.as_str(), Some("emoji ✓ passthrough"));
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_and_lone_surrogates_error() {
+        // U+1F600 😀 is the surrogate pair D83D DE00 in UTF-16.
+        let v = Value::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // Pair embedded mid-string, and uppercase hex.
+        let v = Value::parse(r#""a\uD83D\uDE00b""#).unwrap();
+        assert_eq!(v.as_str(), Some("a😀b"));
+        // Raw astral chars pass through unescaped too.
+        let v = Value::parse("\"😀\"").unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // Lone high, lone low, and high followed by a non-surrogate all
+        // produce clear errors instead of U+FFFD corruption.
+        let err = Value::parse(r#""\ud83d""#).expect_err("lone high");
+        assert!(err.contains("lone high surrogate"), "{err}");
+        let err = Value::parse(r#""\ude00""#).expect_err("lone low");
+        assert!(err.contains("lone low surrogate"), "{err}");
+        let err = Value::parse(r#""\ud83d\u0041""#).expect_err("bad pair");
+        assert!(err.contains("non-low-surrogate"), "{err}");
+        let err = Value::parse(r#""\ud83dxx""#).expect_err("unpaired");
+        assert!(err.contains("lone high surrogate"), "{err}");
+    }
+
+    #[test]
+    fn integers_round_trip_exactly_beyond_2_53() {
+        for &u in &[0u64, 1, 2_u64.pow(53) + 1, u64::MAX] {
+            let back = Value::parse(&Value::UInt(u).render()).unwrap();
+            assert_eq!(back.as_u64(), Some(u), "u64 {u}");
+        }
+        for &i in &[-1i64, i64::MIN, -(2_i64.pow(53) + 1)] {
+            let back = Value::parse(&Value::Int(i).render()).unwrap();
+            assert_eq!(back.as_i64(), Some(i), "i64 {i}");
+        }
+        // The token text is preserved, not routed through f64.
+        assert_eq!(
+            Value::parse("9007199254740993").unwrap(),
+            Value::UInt(9_007_199_254_740_993)
+        );
+        assert_ne!(
+            Value::parse("9007199254740993").unwrap(),
+            Value::Num(9_007_199_254_740_992.0)
+        );
+    }
+
+    #[test]
+    fn numeric_equality_crosses_variants() {
+        assert_eq!(Value::Num(16.0), Value::Int(16));
+        assert_eq!(Value::Num(16.0), Value::UInt(16));
+        assert_eq!(Value::Int(16), Value::UInt(16));
+        assert_ne!(Value::Int(-1), Value::UInt(u64::MAX));
+        assert_ne!(Value::Num(16.5), Value::Int(16));
+        // 2^53+1 is not representable as f64: the nearest double (2^53)
+        // must not compare equal to the exact integer.
+        assert_ne!(
+            Value::Num(9_007_199_254_740_992.0),
+            Value::UInt(9_007_199_254_740_993)
+        );
+        assert_eq!(
+            Value::Num(9_007_199_254_740_992.0),
+            Value::UInt(9_007_199_254_740_992)
+        );
+    }
+
+    #[test]
+    fn floats_render_shortest_round_trip() {
+        // 0.1 has no exact decimal expansion; default `{}` formatting is
+        // already shortest for it, but values like 1e-300 or f64::MIN
+        // need `{:?}` to stay exact. Check bit-exactness through a full
+        // render→parse cycle.
+        for &v in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324,
+            1e300,
+            -2.5e-10,
+            9_007_199_254_740_992.0,
+            -0.0,
+            0.0,
+            1.5,
+        ] {
+            let back = Value::parse(&Value::Num(v).render()).unwrap();
+            let got = back.as_num().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits(), "{v:?} -> {got:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_render_tagged_not_null() {
+        for (v, tag) in [
+            (f64::NAN, "NaN"),
+            (f64::INFINITY, "inf"),
+            (f64::NEG_INFINITY, "-inf"),
+        ] {
+            let rendered = Value::Num(v).render();
+            assert!(rendered.contains("$f64"), "{rendered}");
+            let back = Value::parse(&rendered).unwrap();
+            assert_eq!(back.get("$f64").and_then(Value::as_str), Some(tag));
+            let decoded = back.as_num().unwrap();
+            assert_eq!(decoded.is_nan(), v.is_nan());
+            if !v.is_nan() {
+                assert_eq!(decoded.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_float_bit_patterns_round_trip() {
+        // Property test over raw bit patterns (SplitMix64 — the shim has
+        // no proptest dependency): every f64, including subnormals and
+        // extreme exponents, must survive render→parse bit-exactly; NaNs
+        // must stay NaN through the tagged encoding.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..512 {
+            let v = f64::from_bits(next());
+            let back = Value::parse(&Value::Num(v).render()).expect("parses");
+            let got = back.as_num().expect("numeric");
+            if v.is_nan() {
+                assert!(got.is_nan());
+            } else {
+                assert_eq!(got.to_bits(), v.to_bits(), "{v:?} -> {got:?}");
+            }
+        }
     }
 }

@@ -1,14 +1,21 @@
-//! Offline stand-in for `serde`: a working `to_json` serialization core.
+//! Offline stand-in for `serde`: a working serialization *and*
+//! deserialization core.
 //!
 //! The build environment has no crates.io access, so the workspace vendors
-//! the slice of serde it actually uses. Unlike the original marker-only
-//! shim, [`Serialize`] is now a *real* trait: `to_json` produces an
-//! ordered [`json::Value`] tree, `#[derive(Serialize)]`
-//! (see `shims/serde_derive`) generates field-by-field implementations for
-//! structs and enums, and `yoloc-bench` renders reports from the tree.
-//! [`Deserialize`] remains a marker (nothing in the workspace parses JSON
-//! yet). Swapping to upstream `serde`/`serde_json` is a manifest change
-//! plus replacing `to_json` call sites with `serde_json::to_value`.
+//! the slice of serde it actually uses. [`Serialize`] is a real trait:
+//! `to_json` produces an ordered [`json::Value`] tree and
+//! `#[derive(Serialize)]` (see `shims/serde_derive`) generates
+//! field-by-field implementations for structs and enums. [`Deserialize`]
+//! is its dual: `from_value` rebuilds a value from the tree
+//! (`#[derive(Deserialize)]` mirrors the serialize derive), which is what
+//! lets compiled execution plans round-trip through the on-disk plan
+//! cache. Swapping to upstream `serde`/`serde_json` is a manifest change
+//! plus replacing `to_json`/`from_value` call sites with
+//! `serde_json::to_value`/`from_value`.
+//!
+//! Integer types serialize into the exact [`json::Value::UInt`] /
+//! [`json::Value::Int`] variants (no silent f64 truncation above 2^53)
+//! and deserialize with range checks; floats use [`json::Value::Num`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,20 +31,96 @@ pub trait Serialize {
     fn to_json(&self) -> json::Value;
 }
 
-/// Marker trait mirroring `serde::Deserialize` (no parsing in the shim).
-pub trait Deserialize<'de> {}
+/// Deserialization from the shim's [`json::Value`] tree (the role
+/// upstream serde's `Deserialize` + `serde_json::from_value` play
+/// together). Errors are plain strings naming the offending field.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first shape or range mismatch.
+    fn from_value(v: &json::Value) -> Result<Self, String>;
 
-macro_rules! impl_serialize_num {
+    /// Called by derived struct impls when a field is absent; overridden
+    /// by `Option<T>` to default to `None` (upstream's
+    /// `#[serde(default)]`-for-options behavior, which the shim's
+    /// serializer relies on since `None` fields serialize to `null`).
+    fn from_missing(field: &str) -> Result<Self, String> {
+        Err(format!("missing field {field:?}"))
+    }
+}
+
+macro_rules! impl_serde_uint {
     ($($t:ty),* $(,)?) => {$(
         impl Serialize for $t {
             fn to_json(&self) -> json::Value {
-                json::Value::Num(*self as f64)
+                json::Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, String> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| format!("expected unsigned integer, found {v:?}"))?;
+                <$t>::try_from(u).map_err(|_| {
+                    format!("{u} out of range for {}", stringify!($t))
+                })
             }
         }
     )*};
 }
 
-impl_serialize_num!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+macro_rules! impl_serde_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> json::Value {
+                json::Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &json::Value) -> Result<Self, String> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| format!("expected integer, found {v:?}"))?;
+                <$t>::try_from(i).map_err(|_| {
+                    format!("{i} out of range for {}", stringify!($t))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> json::Value {
+        json::Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        v.as_num()
+            .ok_or_else(|| format!("expected number, found {v:?}"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> json::Value {
+        // f32 -> f64 widening is exact, so f32 round trips losslessly.
+        json::Value::Num(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        v.as_num()
+            .map(|n| n as f32)
+            .ok_or_else(|| format!("expected number, found {v:?}"))
+    }
+}
 
 impl Serialize for bool {
     fn to_json(&self) -> json::Value {
@@ -45,9 +128,24 @@ impl Serialize for bool {
     }
 }
 
+impl Deserialize for bool {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        v.as_bool()
+            .ok_or_else(|| format!("expected bool, found {v:?}"))
+    }
+}
+
 impl Serialize for String {
     fn to_json(&self) -> json::Value {
         json::Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected string, found {v:?}"))
     }
 }
 
@@ -63,6 +161,18 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> json::Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_json(&self) -> json::Value {
         match self {
@@ -72,9 +182,35 @@ impl<T: Serialize> Serialize for Option<T> {
     }
 }
 
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        match v {
+            json::Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, String> {
+        Ok(None)
+    }
+}
+
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_json(&self) -> json::Value {
         json::Value::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        let items = v
+            .as_arr()
+            .ok_or_else(|| format!("expected array, found {v:?}"))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_value(item).map_err(|e| format!("[{i}]: {e}")))
+            .collect()
     }
 }
 
@@ -90,21 +226,46 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
-macro_rules! impl_serialize_tuple {
-    ($(($($n:tt $t:ident),+)),* $(,)?) => {$(
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &json::Value) -> Result<Self, String> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| format!("expected array of {N} items, found {got}"))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($len:literal: $($n:tt $t:ident),+)),* $(,)?) => {$(
         impl<$($t: Serialize),+> Serialize for ($($t,)+) {
             fn to_json(&self) -> json::Value {
                 json::Value::Arr(vec![$(self.$n.to_json()),+])
             }
         }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &json::Value) -> Result<Self, String> {
+                let items = v
+                    .as_arr()
+                    .ok_or_else(|| format!("expected array, found {v:?}"))?;
+                if items.len() != $len {
+                    return Err(format!(
+                        "expected {}-tuple, found {} items", $len, items.len()
+                    ));
+                }
+                Ok(($(
+                    $t::from_value(&items[$n]).map_err(|e| format!("[{}]: {e}", $n))?,
+                )+))
+            }
+        }
     )*};
 }
 
-impl_serialize_tuple!(
-    (0 A),
-    (0 A, 1 B),
-    (0 A, 1 B, 2 C),
-    (0 A, 1 B, 2 C, 3 D),
+impl_serde_tuple!(
+    (1: 0 A),
+    (2: 0 A, 1 B),
+    (3: 0 A, 1 B, 2 C),
+    (4: 0 A, 1 B, 2 C, 3 D),
 );
 
 #[cfg(test)]
@@ -114,13 +275,15 @@ mod tests {
 
     #[test]
     fn primitives_serialize() {
-        assert_eq!(3u64.to_json(), Value::Num(3.0));
+        assert_eq!(3u64.to_json(), Value::UInt(3));
+        assert_eq!((-3i32).to_json(), Value::Int(-3));
+        assert_eq!(2.5f64.to_json(), Value::Num(2.5));
         assert_eq!(true.to_json(), Value::Bool(true));
         assert_eq!("x".to_json(), Value::Str("x".into()));
         assert_eq!(Option::<u8>::None.to_json(), Value::Null);
         assert_eq!(
             (1usize, 2usize, 3usize).to_json(),
-            Value::Arr(vec![Value::Num(1.0), Value::Num(2.0), Value::Num(3.0)])
+            Value::Arr(vec![Value::UInt(1), Value::UInt(2), Value::UInt(3)])
         );
     }
 
@@ -128,7 +291,43 @@ mod tests {
     fn vec_serializes_to_array() {
         assert_eq!(
             vec![1u8, 2].to_json(),
-            Value::Arr(vec![Value::Num(1.0), Value::Num(2.0)])
+            Value::Arr(vec![Value::UInt(1), Value::UInt(2)])
         );
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&u64::MAX.to_json()), Ok(u64::MAX));
+        assert_eq!(i64::from_value(&i64::MIN.to_json()), Ok(i64::MIN));
+        assert_eq!(usize::from_value(&7usize.to_json()), Ok(7));
+        assert_eq!(f32::from_value(&1.25f32.to_json()), Ok(1.25));
+        assert_eq!(f64::from_value(&0.1f64.to_json()), Ok(0.1));
+        assert_eq!(bool::from_value(&Value::Bool(false)), Ok(false));
+        assert_eq!(String::from_value(&Value::str("hi")), Ok("hi".into()));
+        assert_eq!(
+            Vec::<u32>::from_value(&vec![1u32, 2, 3].to_json()),
+            Ok(vec![1, 2, 3])
+        );
+        assert_eq!(
+            <(String, u8)>::from_value(&("a".to_string(), 9u8).to_json()),
+            Ok(("a".to_string(), 9))
+        );
+        assert_eq!(<[u8; 3]>::from_value(&[1u8, 2, 3].to_json()), Ok([1, 2, 3]));
+        assert_eq!(Option::<u8>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::from_value(&Value::UInt(4)), Ok(Some(4)));
+        assert_eq!(Option::<u8>::from_missing("x"), Ok(None));
+    }
+
+    #[test]
+    fn deserialize_reports_range_and_shape_errors() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert!(u8::from_missing("count").unwrap_err().contains("count"));
+        assert!(<[u8; 2]>::from_value(&vec![1u8].to_json()).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+        // Index context survives nested failures.
+        let err =
+            Vec::<u8>::from_value(&Value::Arr(vec![Value::UInt(1), Value::Null])).unwrap_err();
+        assert!(err.contains("[1]"), "{err}");
     }
 }

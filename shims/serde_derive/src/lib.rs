@@ -11,8 +11,14 @@
 //! * enum tuple variants of one field → `{"Variant": value}`;
 //! * enum struct variants → `{"Variant": {fields...}}`.
 //!
+//! `Deserialize` mirrors the same shapes in reverse: a generated
+//! `serde::Deserialize::from_value` rebuilds the item from the value
+//! tree, with field/variant names in every error message. Missing struct
+//! fields route through `Deserialize::from_missing` so `Option` fields
+//! default to `None` (their serialized form is `null`-or-absent).
+//!
 //! Generic items are not supported (nothing in the workspace derives on
-//! one). `Deserialize` remains a no-op marker derive.
+//! one).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,10 +36,18 @@ pub fn derive_serialize(item: TokenStream) -> TokenStream {
     }
 }
 
-/// Expands to nothing; accepted anywhere upstream serde's derive is.
+/// Generates `impl serde::Deserialize` with a field-by-field
+/// `from_value` (the exact dual of the generated `to_json`).
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    match parse_item(item) {
+        Ok(parsed) => generate_deserialize(&parsed)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
 }
 
 /// What a variant carries.
@@ -222,6 +236,106 @@ fn generate(item: &Item) -> String {
                      }}\n\
                  }}",
                 arms.join(",\n")
+            )
+        }
+    }
+}
+
+/// One `field: <from_value>` struct-literal entry: present fields
+/// deserialize with field context in errors, absent fields route through
+/// `from_missing` (which `Option` overrides to default to `None`).
+fn field_entry(ty_name: &str, field: &str, access: &str) -> String {
+    format!(
+        "{field}: match {access}.get({field:?}) {{\n\
+             Some(x) => ::serde::Deserialize::from_value(x)\n\
+                 .map_err(|e| format!(\"{ty_name}.{field}: {{e}}\"))?,\n\
+             None => ::serde::Deserialize::from_missing({field:?})\n\
+                 .map_err(|e| format!(\"{ty_name}: {{e}}\"))?,\n\
+         }}"
+    )
+}
+
+fn struct_literal(ty_name: &str, path: &str, fields: &[String], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| field_entry(ty_name, f, access))
+        .collect();
+    format!("{path} {{ {} }}", entries.join(", "))
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = struct_literal(name, name, fields, "v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::json::Value)\n\
+                         -> ::core::result::Result<Self, ::std::string::String> {{\n\
+                         if !matches!(v, ::serde::json::Value::Obj(_)) {{\n\
+                             return Err(format!(\"{name}: expected object, found {{v:?}}\"));\n\
+                         }}\n\
+                         Ok({body})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            // Unit variants arrive as the bare variant-name string;
+            // tuple/struct variants as a single-key object.
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, b)| matches!(b, VariantBody::Unit))
+                .map(|(vname, _)| format!("{vname:?} => Ok({name}::{vname})"))
+                .collect();
+            let keyed_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, vbody)| match vbody {
+                    VariantBody::Unit => None,
+                    VariantBody::Tuple => Some(format!(
+                        "{vname:?} => Ok({name}::{vname}(\n\
+                             ::serde::Deserialize::from_value(_inner)\n\
+                                 .map_err(|e| format!(\"{name}::{vname}: {{e}}\"))?,\n\
+                         ))"
+                    )),
+                    VariantBody::Struct(fields) => {
+                        let lit = struct_literal(
+                            &format!("{name}::{vname}"),
+                            &format!("{name}::{vname}"),
+                            fields,
+                            "_inner",
+                        );
+                        Some(format!("{vname:?} => Ok({lit})"))
+                    }
+                })
+                .collect();
+            let unit_match = format!(
+                "match s.as_str() {{ {}{}other => Err(format!(\n\
+                     \"{name}: unknown variant {{other:?}}\")) }}",
+                unit_arms.join(", "),
+                if unit_arms.is_empty() { "" } else { ", " }
+            );
+            let keyed_match = format!(
+                "match _k.as_str() {{ {}{}other => Err(format!(\n\
+                     \"{name}: unknown variant {{other:?}}\")) }}",
+                keyed_arms.join(", "),
+                if keyed_arms.is_empty() { "" } else { ", " }
+            );
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::json::Value)\n\
+                         -> ::core::result::Result<Self, ::std::string::String> {{\n\
+                         match v {{\n\
+                             ::serde::json::Value::Str(s) => {unit_match},\n\
+                             ::serde::json::Value::Obj(fields) if fields.len() == 1 => {{\n\
+                                 let (_k, _inner) = &fields[0];\n\
+                                 {keyed_match}\n\
+                             }}\n\
+                             other => Err(format!(\n\
+                                 \"{name}: expected variant string or single-key object, \\\n\
+                                  found {{other:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
             )
         }
     }

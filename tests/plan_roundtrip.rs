@@ -1,0 +1,181 @@
+//! Plan round-trip suite: a deserialized execution plan must be
+//! **bit-identical** — logits, `MvmStats`, and the full
+//! `ExecutionReport` — to the freshly compiled network it was serialized
+//! from, across random zoo graphs and all three mapping strategies; and
+//! a warm deploy through the content-addressed [`PlanCache`] must be
+//! served without recompiling and execute identically to the cold one.
+//!
+//! This is the acceptance gate of the plan-serialization work: the
+//! `yoloc-plan/1` document captures *all* value state the executors read
+//! (quantized weight codes, dequantization tables, placement, buffer
+//! plan, memory hierarchy), so rebuilding from bytes is required to be
+//! *I/O*, never *arithmetic*.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use yoloc::core::compiler::cache::PlanCache;
+use yoloc::core::compiler::{CompileOptions, CompiledNetwork};
+use yoloc::core::mapping::MappingStrategy;
+use yoloc::models::zoo;
+use yoloc::tensor::Tensor;
+
+fn strategies() -> [MappingStrategy; 3] {
+    [
+        MappingStrategy::Naive,
+        MappingStrategy::Packed,
+        MappingStrategy::Sharded { chips: 3 },
+    ]
+}
+
+/// Runs one inference on `net` under a deterministic RNG and input.
+fn run(net: &CompiledNetwork, seed: u64) -> (Vec<f32>, yoloc::core::compiler::ExecutionReport) {
+    let (c, h, w) = net.input_shape();
+    let mut in_rng = StdRng::seed_from_u64(seed ^ 0x0D5E_11A7);
+    let x = Tensor::rand_uniform(&[1, c, h, w], 0.0, 1.0, &mut in_rng);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00C4_C8ED);
+    let (y, r) = net.infer(&x, &mut rng);
+    (y.data().to_vec(), r.clone())
+}
+
+/// Compiles `desc`, pushes the plan through serialize → deserialize, and
+/// checks the rebuilt network is indistinguishable from the original:
+/// same metadata, bit-identical execution, and a byte-stable document.
+fn assert_plan_roundtrip(desc: &yoloc::models::NetworkDesc, seed: u64, strategy: MappingStrategy) {
+    let mut opts = CompileOptions::paper_default();
+    opts.mapping = strategy;
+    let net = CompiledNetwork::compile_random(desc, seed, opts)
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", desc.name));
+
+    let text = net.serialize_plan();
+    let back = CompiledNetwork::deserialize_plan(&text)
+        .unwrap_or_else(|e| panic!("{}: deserialize failed: {e}", desc.name));
+
+    assert_eq!(net.name, back.name, "{}: name diverged", desc.name);
+    assert_eq!(net.mapping, back.mapping, "{}: mapping diverged", desc.name);
+    assert_eq!(
+        net.pass_reports, back.pass_reports,
+        "{}: pass reports diverged",
+        desc.name
+    );
+    assert_eq!(
+        net.input_shape(),
+        back.input_shape(),
+        "{}: input shape diverged",
+        desc.name
+    );
+
+    let (y_fresh, r_fresh) = run(&net, seed);
+    let (y_back, r_back) = run(&back, seed);
+    assert_eq!(
+        y_fresh, y_back,
+        "{}: logits diverged after round trip",
+        desc.name
+    );
+    assert_eq!(
+        r_fresh, r_back,
+        "{}: execution report diverged after round trip",
+        desc.name
+    );
+
+    // serialize(deserialize(s)) == s: the document is byte-stable, which
+    // is what makes the content-addressed cache store idempotent.
+    assert_eq!(
+        text,
+        back.serialize_plan(),
+        "{}: re-serialized document diverged",
+        desc.name
+    );
+}
+
+/// Deploys `desc` twice through one on-disk cache plus once through a
+/// fresh cache on the same directory (a process restart): the warm
+/// deploys must be served without falling through to the compiler and
+/// execute bit-identically to the cold one.
+fn assert_cache_hit_parity(desc: &yoloc::models::NetworkDesc, seed: u64, dir: &std::path::Path) {
+    let opts = CompileOptions::paper_default;
+    let cache = PlanCache::at(dir);
+    let cold = cache
+        .compile_random(desc, seed, opts())
+        .unwrap_or_else(|e| panic!("{}: cold deploy failed: {e}", desc.name));
+    assert_eq!(
+        (cache.hits(), cache.misses()),
+        (0, 1),
+        "{}: cold deploy must miss",
+        desc.name
+    );
+
+    let warm = cache
+        .compile_random(desc, seed, opts())
+        .unwrap_or_else(|e| panic!("{}: warm deploy failed: {e}", desc.name));
+    assert_eq!(
+        (cache.hits(), cache.misses()),
+        (1, 1),
+        "{}: warm deploy fell through to the compiler",
+        desc.name
+    );
+
+    let restarted = PlanCache::at(dir);
+    let from_disk = restarted
+        .compile_random(desc, seed, opts())
+        .unwrap_or_else(|e| panic!("{}: disk deploy failed: {e}", desc.name));
+    assert_eq!(
+        (restarted.hits(), restarted.misses()),
+        (1, 0),
+        "{}: restarted deploy recompiled instead of reading the store",
+        desc.name
+    );
+
+    let (y_cold, r_cold) = run(&cold, seed);
+    for (label, net) in [("warm", &warm), ("disk", &from_disk)] {
+        let (y, r) = run(net, seed);
+        assert_eq!(y_cold, y, "{}: {label} hit logits diverged", desc.name);
+        assert_eq!(r_cold, r, "{}: {label} hit report diverged", desc.name);
+    }
+}
+
+#[test]
+fn named_zoo_networks_round_trip_across_all_strategies() {
+    // Fixed representative graphs: feed-forward (VGG), residual with
+    // projections (ResNet), passthrough detection head (YOLO).
+    let nets = [
+        zoo::scaled(&zoo::vgg8(3), 16, (16, 16)),
+        zoo::scaled(&zoo::resnet18(3), 16, (32, 32)),
+        zoo::scaled(&zoo::yolo_v2(4, 2), 32, (64, 64)),
+    ];
+    for desc in &nets {
+        for strategy in strategies() {
+            assert_plan_roundtrip(desc, 23, strategy);
+        }
+    }
+}
+
+#[test]
+fn cache_hits_equal_cache_misses_bit_for_bit() {
+    let dir =
+        std::env::temp_dir().join(format!("yoloc-plan-roundtrip-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let nets = [
+        zoo::scaled(&zoo::vgg8(3), 16, (16, 16)),
+        zoo::scaled(&zoo::resnet18(3), 16, (32, 32)),
+    ];
+    for desc in &nets {
+        assert_cache_hit_parity(desc, 23, &dir);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop_random_zoo_graphs_round_trip(seed in 0u64..100_000) {
+        // Random shape-consistent graphs (convs, activations, pooling,
+        // plain and projected residuals, linear heads); the mapping
+        // strategy rotates with the seed so the sweep covers all three.
+        let desc = zoo::random_zoo(seed);
+        let strategy = strategies()[(seed % 3) as usize];
+        assert_plan_roundtrip(&desc, seed, strategy);
+    }
+}
