@@ -34,14 +34,26 @@ YOLOC_SMOKE=1 cargo test -q --test arena_parity
 echo "== plan round-trip + cache-hit parity suite (YOLOC_SMOKE=1)"
 YOLOC_SMOKE=1 cargo test -q --test plan_roundtrip
 
+echo "== serving simulation suite (byte-stability + invariants, YOLOC_SMOKE=1)"
+YOLOC_SMOKE=1 cargo test -q --test serve_sim
+
+echo "== serving parity suite (broker == direct inference, YOLOC_SMOKE=1)"
+YOLOC_SMOKE=1 cargo test -q --test serve_parity
+
 echo "== zero-allocation steady-state gate"
 cargo test -q -p yoloc-bench --test alloc_steady_state
 
 echo "== plan-cache cold/warm gate (zero warm recompiles, by counter)"
 YOLOC_SMOKE=1 cargo run --release -q -p yoloc-bench --bin bench_plan_cache -- --smoke
 
+echo "== serving bench smoke + self schema gate"
+cargo run --release -q -p yoloc-bench --bin bench_serve -- --smoke --check-schema
+
 echo "== validate committed BENCH_engine.json (schema v5 gates incl. plan_cache)"
 cargo run --release -q -p yoloc-bench --bin bench_engine -- --check-schema BENCH_engine.json
+
+echo "== validate committed BENCH_serve.json (schema yoloc-bench-serve/1 gates)"
+cargo run --release -q -p yoloc-bench --bin bench_serve -- --check-schema BENCH_serve.json
 
 echo "== run every bench binary on tiny configs (repro_all --smoke)"
 cargo run --release -q -p yoloc-bench --bin repro_all -- --smoke

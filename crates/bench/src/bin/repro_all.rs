@@ -36,6 +36,7 @@ const HEAVY: &[&str] = &[
     "fig12_detection",
     "accuracy_on_cim",
     "bench_engine",
+    "bench_serve",
 ];
 
 fn run(bin: &str, smoke: bool) -> bool {

@@ -16,6 +16,7 @@ pub mod mapping;
 pub mod pipeline;
 pub mod qconv;
 pub mod rebranch;
+pub mod serve;
 pub mod strategies;
 pub mod system;
 pub mod tiny_models;

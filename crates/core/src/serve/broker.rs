@@ -1,0 +1,489 @@
+//! The continuous-batching request broker.
+//!
+//! [`Broker`] owns the serving loop over N deployed models (tenants):
+//! bounded admission queues with a shed-oldest or reject-new overflow
+//! policy, dynamic batch windows that close on **size or time**, a
+//! single simulated execution engine shared round-robin across tenants,
+//! and per-request deadline tracking. It is a discrete-event simulator
+//! driven by a [`ServeClock`] — virtual in tests
+//! (deterministic, host-independent), monotonic for real-time replays.
+//!
+//! Execution is real, time is modeled: every batch runs its requests
+//! through [`CompiledNetwork::infer_in`] on recycled arenas from the
+//! plan's pool (fanned across a [`WorkerPool`], order-preserving), and
+//! the engine-busy interval charged to the clock is the batch launch
+//! overhead plus the sum of the executed requests' *modeled* chip
+//! latencies. Results are therefore bit-identical to a direct
+//! `infer_in` on the same plan — the serving layer is pure scheduling,
+//! pinned by `tests/serve_parity.rs` — while the timeline is a pure
+//! function of the trace and the model latencies, pinned by
+//! `tests/serve_sim.rs`.
+//!
+//! Determinism contract:
+//!
+//! * every RNG stream is derived from a seed via
+//!   [`sample_stream_seed`] (inputs from `Arrival::input_seed`, noise
+//!   streams from `(infer_seed, request id)`) — never from ambient
+//!   entropy, worker scheduling, or batch composition;
+//! * identical `(deployments, trace, config)` produce identical
+//!   outcomes and a byte-identical rendered [`ServeReport`] at every
+//!   worker count.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::compiler::{CompiledNetwork, ExecutionReport};
+use crate::engine::{sample_stream_seed, WorkerPool};
+use yoloc_tensor::Tensor;
+
+use super::clock::ServeClock;
+use super::loadgen::Arrival;
+use super::report::{Disposition, RequestOutcome, ServeReport, NO_BATCH};
+
+/// What to do with a new request when its tenant's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Refuse the new request (the queue keeps its oldest work).
+    RejectNew,
+    /// Drop the oldest queued request to make room (freshest-first
+    /// under overload — the right policy for deadline-bound traffic).
+    ShedOldest,
+}
+
+/// Per-tenant serving configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantConfig {
+    /// Admission queue bound (requests). The queue never exceeds it.
+    pub queue_cap: usize,
+    /// Overflow policy when a request arrives at a full queue.
+    pub admission: AdmissionPolicy,
+    /// Batch window size bound: a forming batch closes the moment it
+    /// holds this many requests.
+    pub max_batch: usize,
+    /// Batch window time bound, ns: a forming batch closes when its
+    /// oldest request has waited this long, full or not.
+    pub window_ns: u64,
+}
+
+impl TenantConfig {
+    /// A sane default: queue of 64, shed-oldest, batches of up to 8
+    /// closing after 1 ms.
+    pub fn default_serving() -> Self {
+        TenantConfig {
+            queue_cap: 64,
+            admission: AdmissionPolicy::ShedOldest,
+            max_batch: 8,
+            window_ns: 1_000_000,
+        }
+    }
+}
+
+/// Broker-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BrokerConfig {
+    /// Base seed of the per-request inference RNG streams
+    /// (`sample_stream_seed(infer_seed, id)` — the parity suite derives
+    /// the identical stream for its direct executions).
+    pub infer_seed: u64,
+    /// Fixed modeled launch cost charged per batch, ns. This is what
+    /// makes batching *win*: it amortizes across the batch.
+    pub batch_overhead_ns: u64,
+    /// Capture per-request logits + execution reports in the output
+    /// (the parity suite's hook; benches leave it off).
+    pub capture: bool,
+}
+
+impl BrokerConfig {
+    /// Defaults: seed 0, 20 µs launch overhead, no capture.
+    pub fn default_serving() -> Self {
+        BrokerConfig {
+            infer_seed: 0,
+            batch_overhead_ns: 20_000,
+            capture: false,
+        }
+    }
+}
+
+/// Captured execution result of one request (only with
+/// [`BrokerConfig::capture`]).
+#[derive(Debug, Clone)]
+pub struct Capture {
+    /// Trace-wide request id.
+    pub id: u64,
+    /// The request's logits.
+    pub logits: Vec<f32>,
+    /// The request's full execution report.
+    pub exec: ExecutionReport,
+}
+
+/// Everything one [`Broker::run`] produces.
+#[derive(Debug, Clone)]
+pub struct ServeOutput {
+    /// One outcome per offered request, in event (recording) order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// The aggregated report.
+    pub report: ServeReport,
+    /// Captured per-request results (empty unless capturing).
+    pub captures: Vec<Capture>,
+}
+
+/// A request sitting in an admission queue.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    id: u64,
+    arrival_ns: u64,
+    enqueue_ns: u64,
+    deadline_ns: u64,
+    input_seed: u64,
+}
+
+/// One deployed model plus its live serving state.
+struct Tenant<'m> {
+    name: String,
+    net: &'m CompiledNetwork,
+    cfg: TenantConfig,
+    queue: VecDeque<Queued>,
+    max_depth: u64,
+    batches: u64,
+}
+
+impl Tenant<'_> {
+    /// Whether a batch can launch now: the window closed on size or on
+    /// time.
+    fn ready(&self, now: u64) -> bool {
+        match self.queue.front() {
+            None => false,
+            Some(front) => {
+                self.queue.len() >= self.cfg.max_batch
+                    || now >= front.enqueue_ns.saturating_add(self.cfg.window_ns)
+            }
+        }
+    }
+
+    /// The future instant at which the forming batch's time window
+    /// closes (`None` when the queue is empty; launch-on-size needs no
+    /// timer, [`Tenant::ready`] sees it immediately).
+    fn window_trigger(&self) -> Option<u64> {
+        self.queue
+            .front()
+            .map(|front| front.enqueue_ns.saturating_add(self.cfg.window_ns))
+    }
+}
+
+/// A launched batch in flight on the simulated engine.
+struct InFlight {
+    model: usize,
+    batch_id: u64,
+    start_ns: u64,
+    done_ns: u64,
+    requests: Vec<Queued>,
+    captures: Vec<Capture>,
+}
+
+/// The continuous-batching broker (see the [module docs](self)).
+///
+/// The broker borrows its deployed models (`'m`), so compile them — or
+/// deploy them warm through
+/// [`ModelServer`](crate::engine::ModelServer) — first, then open the
+/// worker pool and run:
+///
+/// # Examples
+///
+/// ```
+/// use yoloc_core::compiler::{CompileOptions, CompiledNetwork};
+/// use yoloc_core::engine::WorkerPool;
+/// use yoloc_core::serve::{
+///     ArrivalPattern, Broker, BrokerConfig, LoadGen, TenantConfig, TrafficSpec, VirtualClock,
+/// };
+/// use yoloc_models::zoo;
+///
+/// let desc = zoo::scaled(&zoo::vgg8(3), 16, (16, 16));
+/// let net = CompiledNetwork::compile_random(&desc, 7, CompileOptions::paper_default())?;
+/// let trace = LoadGen::new(11).trace(
+///     &[TrafficSpec {
+///         model: 0,
+///         pattern: ArrivalPattern::Poisson { rate_rps: 5_000.0 },
+///         deadline_ns: Some(10_000_000),
+///     }],
+///     2_000_000, // 2 ms of simulated traffic
+/// );
+/// let out = WorkerPool::with(2, |pool| {
+///     let mut broker = Broker::new(VirtualClock::new(), BrokerConfig::default_serving());
+///     broker.deploy("vgg", &net, TenantConfig::default_serving());
+///     broker.run(&trace, pool)
+/// });
+/// assert_eq!(out.report.offered, trace.len() as u64);
+/// assert_eq!(
+///     out.report.completed + out.report.shed + out.report.rejected,
+///     out.report.offered
+/// );
+/// # Ok::<(), yoloc_models::NetworkError>(())
+/// ```
+pub struct Broker<'m, C: ServeClock> {
+    clock: C,
+    cfg: BrokerConfig,
+    tenants: Vec<Tenant<'m>>,
+    next_batch_id: u64,
+    rr_cursor: usize,
+}
+
+impl<'m, C: ServeClock> Broker<'m, C> {
+    /// A broker with no deployments yet.
+    pub fn new(clock: C, cfg: BrokerConfig) -> Self {
+        Broker {
+            clock,
+            cfg,
+            tenants: Vec::new(),
+            next_batch_id: 0,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Registers a deployed model as the next tenant, returning its
+    /// index (the `model` field traffic specs target).
+    pub fn deploy(&mut self, name: &str, net: &'m CompiledNetwork, cfg: TenantConfig) -> usize {
+        assert!(cfg.queue_cap > 0, "queue capacity must be positive");
+        assert!(cfg.max_batch > 0, "batch size bound must be positive");
+        self.tenants.push(Tenant {
+            name: name.to_string(),
+            net,
+            cfg,
+            queue: VecDeque::new(),
+            max_depth: 0,
+            batches: 0,
+        });
+        self.tenants.len() - 1
+    }
+
+    /// Deployed model names, in tenant order.
+    pub fn model_names(&self) -> Vec<String> {
+        self.tenants.iter().map(|t| t.name.clone()).collect()
+    }
+
+    /// Runs the serving loop over `trace` (sorted by arrival time) to
+    /// completion: every offered request is admitted, shed or rejected,
+    /// and every admitted request executes. Returns the per-request
+    /// outcomes, the aggregated [`ServeReport`], and (when capturing)
+    /// per-request logits + execution reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is unsorted or targets an unknown model.
+    pub fn run<'env>(&mut self, trace: &[Arrival], pool: &WorkerPool<'env>) -> ServeOutput
+    where
+        'm: 'env,
+    {
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns),
+            "trace must be sorted by arrival time"
+        );
+        assert!(
+            trace.iter().all(|a| a.model < self.tenants.len()),
+            "trace targets an undeployed model"
+        );
+        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(trace.len());
+        let mut captures: Vec<Capture> = Vec::new();
+        let mut in_flight: Option<InFlight> = None;
+        let mut next_arr = 0usize;
+        loop {
+            let now = self.clock.now_ns();
+            // 1. Admit every arrival that is due.
+            while next_arr < trace.len() && trace[next_arr].arrival_ns <= now {
+                self.admit(&trace[next_arr], now, &mut outcomes);
+                next_arr += 1;
+            }
+            // 2. Retire a finished batch.
+            if in_flight.as_ref().is_some_and(|f| now >= f.done_ns) {
+                let f = in_flight.take().expect("in-flight batch");
+                for q in &f.requests {
+                    outcomes.push(RequestOutcome {
+                        id: q.id,
+                        model: f.model,
+                        arrival_ns: q.arrival_ns,
+                        enqueue_ns: q.enqueue_ns,
+                        start_ns: f.start_ns,
+                        finish_ns: f.done_ns,
+                        batch_id: f.batch_id,
+                        batch_size: f.requests.len(),
+                        deadline_ns: q.deadline_ns,
+                        disposition: Disposition::Completed,
+                    });
+                }
+                captures.extend(f.captures);
+            }
+            // 3. Launch the next ready tenant (round-robin) onto the
+            //    idle engine.
+            if in_flight.is_none() {
+                if let Some(m) = self.pick_ready(now) {
+                    in_flight = Some(self.launch(m, now, pool));
+                }
+            }
+            // 4. Advance to the next event: arrival, batch completion,
+            //    or (engine idle) the earliest window expiry.
+            let mut next_event: Option<u64> = None;
+            let mut fold = |t: u64| {
+                next_event = Some(next_event.map_or(t, |cur: u64| cur.min(t)));
+            };
+            if next_arr < trace.len() {
+                fold(trace[next_arr].arrival_ns);
+            }
+            match &in_flight {
+                Some(f) => fold(f.done_ns),
+                None => {
+                    for t in &self.tenants {
+                        if let Some(trigger) = t.window_trigger() {
+                            fold(trigger);
+                        }
+                    }
+                }
+            }
+            match next_event {
+                // No arrivals left, engine idle, queues empty: drained.
+                None => break,
+                Some(t) => self.clock.advance_to(t),
+            }
+        }
+        let names = self.model_names();
+        let max_depths: Vec<u64> = self.tenants.iter().map(|t| t.max_depth).collect();
+        let batches: Vec<u64> = self.tenants.iter().map(|t| t.batches).collect();
+        let report = ServeReport::build(
+            self.cfg.infer_seed,
+            &names,
+            &outcomes,
+            &max_depths,
+            &batches,
+        );
+        ServeOutput {
+            outcomes,
+            report,
+            captures,
+        }
+    }
+
+    /// Admits one arrival into its tenant's queue, applying the
+    /// overflow policy when the queue is at its bound.
+    fn admit(&mut self, a: &Arrival, now: u64, outcomes: &mut Vec<RequestOutcome>) {
+        let t = &mut self.tenants[a.model];
+        let refused = |id: u64, arrival: &Arrival, q: Option<&Queued>, d: Disposition| {
+            // Shed outcomes describe the *old* queued request; rejected
+            // outcomes describe the refused arrival itself.
+            let (arr, enq, dl) = match q {
+                Some(q) => (q.arrival_ns, q.enqueue_ns, q.deadline_ns),
+                None => (arrival.arrival_ns, now, arrival.deadline_ns),
+            };
+            RequestOutcome {
+                id,
+                model: arrival.model,
+                arrival_ns: arr,
+                enqueue_ns: enq,
+                start_ns: 0,
+                finish_ns: now,
+                batch_id: NO_BATCH,
+                batch_size: 0,
+                deadline_ns: dl,
+                disposition: d,
+            }
+        };
+        if t.queue.len() >= t.cfg.queue_cap {
+            match t.cfg.admission {
+                AdmissionPolicy::RejectNew => {
+                    outcomes.push(refused(a.id, a, None, Disposition::Rejected));
+                    return;
+                }
+                AdmissionPolicy::ShedOldest => {
+                    let old = t.queue.pop_front().expect("full queue has a front");
+                    outcomes.push(refused(old.id, a, Some(&old), Disposition::Shed));
+                }
+            }
+        }
+        t.queue.push_back(Queued {
+            id: a.id,
+            arrival_ns: a.arrival_ns,
+            enqueue_ns: now,
+            deadline_ns: a.deadline_ns,
+            input_seed: a.input_seed,
+        });
+        t.max_depth = t.max_depth.max(t.queue.len() as u64);
+    }
+
+    /// Round-robin pick of the next tenant with a closed batch window.
+    fn pick_ready(&mut self, now: u64) -> Option<usize> {
+        let n = self.tenants.len();
+        for i in 0..n {
+            let m = (self.rr_cursor + i) % n;
+            if self.tenants[m].ready(now) {
+                self.rr_cursor = (m + 1) % n;
+                return Some(m);
+            }
+        }
+        None
+    }
+
+    /// Closes tenant `m`'s batch window, executes the batch across the
+    /// pool, and charges the modeled engine-busy interval.
+    fn launch<'env>(&mut self, m: usize, now: u64, pool: &WorkerPool<'env>) -> InFlight
+    where
+        'm: 'env,
+    {
+        let capture = self.cfg.capture;
+        let infer_seed = self.cfg.infer_seed;
+        let batch_id = self.next_batch_id;
+        self.next_batch_id += 1;
+        let (requests, net) = {
+            let t = &mut self.tenants[m];
+            let k = t.queue.len().min(t.cfg.max_batch);
+            t.batches += 1;
+            (t.queue.drain(..k).collect::<Vec<_>>(), t.net)
+        };
+        let (c, h, w) = net.input_shape();
+        // One job per request: per-request RNG stream + recycled arena,
+        // exactly the batched engine's discipline — which is why the
+        // result cannot depend on batch composition or worker count.
+        let jobs: Vec<_> = requests
+            .iter()
+            .map(|q| {
+                let x = Tensor::rand_uniform(
+                    &[1, c, h, w],
+                    0.0,
+                    1.0,
+                    &mut StdRng::seed_from_u64(q.input_seed),
+                );
+                let id = q.id;
+                move || {
+                    let mut rng =
+                        StdRng::seed_from_u64(sample_stream_seed(infer_seed, id as usize));
+                    let mut arena = net.take_arena();
+                    net.infer_in(&x, &mut rng, &mut arena);
+                    arena
+                }
+            })
+            .collect();
+        let arenas = pool.run(jobs);
+        let mut service_ns = self.cfg.batch_overhead_ns;
+        let mut caps = Vec::new();
+        for (q, arena) in requests.iter().zip(arenas) {
+            // The modeled chip latency of this request is the engine
+            // time it occupies; floats only feed the u64 timeline
+            // through one deterministic rounding.
+            service_ns += arena.report().latency_ns.max(0.0).round() as u64;
+            if capture {
+                caps.push(Capture {
+                    id: q.id,
+                    logits: arena.output().data().to_vec(),
+                    exec: arena.report().clone(),
+                });
+            }
+            net.give_arena(arena);
+        }
+        InFlight {
+            model: m,
+            batch_id,
+            start_ns: now,
+            done_ns: now + service_ns.max(1),
+            requests,
+            captures: caps,
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The serving layer's clock abstraction.
+//!
+//! The [`crate::serve::Broker`] is a discrete-event simulator: it never
+//! reads ambient time, it asks a [`ServeClock`] and *advances* it to the
+//! next event. Two implementations cover the two use cases:
+//!
+//! * [`VirtualClock`] — a plain counter. Advancing is free, so a whole
+//!   serving scenario (millions of simulated nanoseconds) runs as fast
+//!   as the inferences inside it, and identical seeds produce identical
+//!   timelines on any host. Every simulation test runs on this clock.
+//! * [`MonotonicClock`] — wall time from [`std::time::Instant`].
+//!   Advancing sleeps until the target instant, turning the same broker
+//!   loop into a real-time replay for latency benchmarking.
+//!
+//! Both clocks start at 0 ns when constructed; every timestamp in a
+//! [`crate::serve::ServeReport`] is relative to that origin.
+
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond clock the broker's event loop drives.
+pub trait ServeClock {
+    /// Current time, nanoseconds since the clock was created.
+    fn now_ns(&self) -> u64;
+
+    /// Advances the clock to `t_ns` (no-op when `t_ns` is in the past —
+    /// the clock never moves backwards).
+    fn advance_to(&mut self, t_ns: u64);
+}
+
+/// A virtual clock: time is a number, advancing is assignment.
+///
+/// # Examples
+///
+/// ```
+/// use yoloc_core::serve::{ServeClock, VirtualClock};
+///
+/// let mut clock = VirtualClock::new();
+/// clock.advance_to(1_500);
+/// clock.advance_to(900); // never backwards
+/// assert_eq!(clock.now_ns(), 1_500);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct VirtualClock {
+    now: u64,
+}
+
+impl VirtualClock {
+    /// A virtual clock at t = 0.
+    pub fn new() -> Self {
+        VirtualClock::default()
+    }
+}
+
+impl ServeClock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.now
+    }
+
+    fn advance_to(&mut self, t_ns: u64) {
+        self.now = self.now.max(t_ns);
+    }
+}
+
+/// A wall clock: `now_ns` is elapsed real time, `advance_to` sleeps.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    start: Instant,
+}
+
+impl MonotonicClock {
+    /// A wall clock whose origin is the moment of this call.
+    pub fn new() -> Self {
+        MonotonicClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeClock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn advance_to(&mut self, t_ns: u64) {
+        let now = self.now_ns();
+        if t_ns > now {
+            std::thread::sleep(Duration::from_nanos(t_ns - now));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_monotonic() {
+        let mut c = VirtualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.advance_to(10);
+        c.advance_to(5);
+        assert_eq!(c.now_ns(), 10);
+    }
+
+    #[test]
+    fn monotonic_clock_reaches_target() {
+        let mut c = MonotonicClock::new();
+        c.advance_to(2_000_000); // 2 ms
+        assert!(c.now_ns() >= 2_000_000);
+    }
+}

@@ -1,0 +1,297 @@
+//! Seeded open-loop load generation for the serving simulator.
+//!
+//! [`LoadGen`] turns a list of per-model [`TrafficSpec`]s into one
+//! merged, time-sorted arrival trace. Every random draw comes from the
+//! workspace's seeded rand shim through a per-spec
+//! [`crate::engine::sample_stream_seed`] stream — the generator never
+//! touches ambient entropy, so the same `(seed, specs, duration)` triple
+//! produces the identical byte-for-byte trace on any host. That
+//! property is what makes the serving reports regenerable and the
+//! simulation suite's byte-stability gate possible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::engine::sample_stream_seed;
+
+/// Deadline sentinel: the request has no deadline.
+pub const NO_DEADLINE: u64 = u64::MAX;
+
+/// The arrival process of one traffic stream.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalPattern {
+    /// Memoryless arrivals at `rate_rps` requests per (simulated)
+    /// second: exponential inter-arrival gaps.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_rps: f64,
+    },
+    /// `burst` requests land together every `period_ns`, at a seeded
+    /// jitter offset inside the first eighth of the period — the
+    /// queue-filling pattern that exercises admission control.
+    Bursty {
+        /// Distance between bursts, ns.
+        period_ns: u64,
+        /// Requests per burst.
+        burst: usize,
+    },
+    /// Poisson arrivals whose rate ramps linearly from `start_rps` to
+    /// `end_rps` across the trace duration (a warm-up / flash-crowd
+    /// profile).
+    Ramp {
+        /// Rate at t = 0, requests per second.
+        start_rps: f64,
+        /// Rate at t = duration, requests per second.
+        end_rps: f64,
+    },
+}
+
+/// One tenant's traffic: which deployed model it targets, its arrival
+/// process, and the per-request latency deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficSpec {
+    /// Index of the target model in the broker's deployment order.
+    pub model: usize,
+    /// Arrival process.
+    pub pattern: ArrivalPattern,
+    /// Relative deadline (ns after arrival), `None` for best-effort.
+    pub deadline_ns: Option<u64>,
+}
+
+/// One request of an arrival trace, in broker-ready form.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// Trace-wide request id (position in the merged, time-sorted
+    /// trace) — the key every outcome and capture refers back to.
+    pub id: u64,
+    /// Target model index.
+    pub model: usize,
+    /// Arrival time, ns since trace start.
+    pub arrival_ns: u64,
+    /// Absolute deadline, ns since trace start ([`NO_DEADLINE`] for
+    /// best-effort requests).
+    pub deadline_ns: u64,
+    /// Seed of the request's input tensor (the broker materializes the
+    /// input as `Tensor::rand_uniform` under exactly this seed, and the
+    /// parity suite re-materializes it the same way).
+    pub input_seed: u64,
+}
+
+/// The seeded open-loop load generator.
+///
+/// # Examples
+///
+/// ```
+/// use yoloc_core::serve::{ArrivalPattern, LoadGen, TrafficSpec};
+///
+/// let gen = LoadGen::new(7);
+/// let spec = TrafficSpec {
+///     model: 0,
+///     pattern: ArrivalPattern::Poisson { rate_rps: 1e6 },
+///     deadline_ns: Some(50_000),
+/// };
+/// let trace = gen.trace(&[spec], 1_000_000); // 1 ms of traffic
+/// assert!(!trace.is_empty());
+/// // Same seed, same trace — the generator owns all its entropy.
+/// let again = LoadGen::new(7).trace(&[spec], 1_000_000);
+/// assert_eq!(trace.len(), again.len());
+/// assert!(trace.iter().zip(&again).all(|(a, b)| a.arrival_ns == b.arrival_ns));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGen {
+    seed: u64,
+}
+
+impl LoadGen {
+    /// A generator whose every draw derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        LoadGen { seed }
+    }
+
+    /// Generates the merged arrival trace of `specs` over
+    /// `[0, duration_ns)`, sorted by arrival time (ties break by spec
+    /// order, then emission order) with trace-wide ids assigned in
+    /// sorted order.
+    ///
+    /// Each spec draws from its own `sample_stream_seed(seed, spec)`
+    /// stream, so adding or editing one spec never perturbs the
+    /// arrivals of another.
+    pub fn trace(&self, specs: &[TrafficSpec], duration_ns: u64) -> Vec<Arrival> {
+        // (arrival, spec index, per-spec sequence) — the sort key that
+        // makes the merge deterministic even for identical timestamps.
+        let mut raw: Vec<(u64, usize, usize, u64)> = Vec::new();
+        for (si, spec) in specs.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(sample_stream_seed(self.seed, si));
+            let deadline = spec.deadline_ns.unwrap_or(NO_DEADLINE);
+            let mut seq = 0usize;
+            let mut push = |t: u64, seq: &mut usize| {
+                raw.push((t, si, *seq, deadline));
+                *seq += 1;
+            };
+            match spec.pattern {
+                ArrivalPattern::Poisson { rate_rps } => {
+                    assert!(rate_rps > 0.0, "Poisson rate must be positive");
+                    let mut t = 0.0f64;
+                    loop {
+                        t += exp_gap_ns(rate_rps, &mut rng);
+                        if t >= duration_ns as f64 {
+                            break;
+                        }
+                        push(t as u64, &mut seq);
+                    }
+                }
+                ArrivalPattern::Bursty { period_ns, burst } => {
+                    assert!(period_ns > 0, "burst period must be positive");
+                    let mut t = 0u64;
+                    while t < duration_ns {
+                        let jitter = rng.gen_range(0..(period_ns / 8).max(1));
+                        let at = t + jitter;
+                        if at >= duration_ns {
+                            break;
+                        }
+                        for _ in 0..burst {
+                            push(at, &mut seq);
+                        }
+                        t += period_ns;
+                    }
+                }
+                ArrivalPattern::Ramp { start_rps, end_rps } => {
+                    assert!(
+                        start_rps >= 0.0 && end_rps >= 0.0,
+                        "ramp rates must be non-negative"
+                    );
+                    let mut t = 0.0f64;
+                    loop {
+                        let frac = t / duration_ns as f64;
+                        let rate = (start_rps + (end_rps - start_rps) * frac).max(1e-3);
+                        t += exp_gap_ns(rate, &mut rng);
+                        if t >= duration_ns as f64 {
+                            break;
+                        }
+                        push(t as u64, &mut seq);
+                    }
+                }
+            }
+        }
+        raw.sort_by_key(|&(t, si, seq, _)| (t, si, seq));
+        raw.into_iter()
+            .enumerate()
+            .map(|(id, (arrival_ns, si, _, deadline))| Arrival {
+                id: id as u64,
+                model: specs[si].model,
+                arrival_ns,
+                deadline_ns: if deadline == NO_DEADLINE {
+                    NO_DEADLINE
+                } else {
+                    arrival_ns.saturating_add(deadline)
+                },
+                input_seed: sample_stream_seed(self.seed ^ 0x5E57_1217_AB1E_0001, id),
+            })
+            .collect()
+    }
+}
+
+/// One exponential inter-arrival gap at `rate_rps`, in nanoseconds.
+fn exp_gap_ns(rate_rps: f64, rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    // -ln(1-u) / rate seconds; u < 1 so the log argument is positive.
+    (-(1.0 - u).ln()) / rate_rps * 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_sorted_with_dense_ids() {
+        let gen = LoadGen::new(11);
+        let specs = [
+            TrafficSpec {
+                model: 0,
+                pattern: ArrivalPattern::Poisson { rate_rps: 2e6 },
+                deadline_ns: Some(10_000),
+            },
+            TrafficSpec {
+                model: 1,
+                pattern: ArrivalPattern::Bursty {
+                    period_ns: 100_000,
+                    burst: 4,
+                },
+                deadline_ns: None,
+            },
+            TrafficSpec {
+                model: 0,
+                pattern: ArrivalPattern::Ramp {
+                    start_rps: 0.0,
+                    end_rps: 3e6,
+                },
+                deadline_ns: Some(20_000),
+            },
+        ];
+        let trace = gen.trace(&specs, 1_000_000);
+        assert!(!trace.is_empty());
+        for (i, a) in trace.iter().enumerate() {
+            assert_eq!(a.id, i as u64, "ids are the sorted positions");
+            assert!(a.arrival_ns < 1_000_000, "arrivals stay inside the horizon");
+            if i > 0 {
+                assert!(trace[i - 1].arrival_ns <= a.arrival_ns, "sorted by time");
+            }
+        }
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_respected() {
+        let gen = LoadGen::new(3);
+        let spec = TrafficSpec {
+            model: 0,
+            pattern: ArrivalPattern::Poisson { rate_rps: 1e6 },
+            deadline_ns: None,
+        };
+        // 1e6 rps over 10 ms => ~10_000 arrivals.
+        let n = gen.trace(&[spec], 10_000_000).len() as f64;
+        assert!((8_000.0..12_000.0).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn per_spec_streams_are_independent() {
+        let gen = LoadGen::new(5);
+        let poisson = TrafficSpec {
+            model: 0,
+            pattern: ArrivalPattern::Poisson { rate_rps: 1e6 },
+            deadline_ns: None,
+        };
+        let burst = TrafficSpec {
+            model: 1,
+            pattern: ArrivalPattern::Bursty {
+                period_ns: 50_000,
+                burst: 3,
+            },
+            deadline_ns: None,
+        };
+        let alone: Vec<u64> = gen
+            .trace(&[poisson], 500_000)
+            .iter()
+            .map(|a| a.arrival_ns)
+            .collect();
+        let merged: Vec<u64> = gen
+            .trace(&[poisson, burst], 500_000)
+            .iter()
+            .filter(|a| a.model == 0)
+            .map(|a| a.arrival_ns)
+            .collect();
+        assert_eq!(alone, merged, "adding a spec must not perturb stream 0");
+    }
+
+    #[test]
+    fn deadlines_are_absolute() {
+        let gen = LoadGen::new(9);
+        let spec = TrafficSpec {
+            model: 0,
+            pattern: ArrivalPattern::Poisson { rate_rps: 1e6 },
+            deadline_ns: Some(7_500),
+        };
+        for a in gen.trace(&[spec], 200_000) {
+            assert_eq!(a.deadline_ns, a.arrival_ns + 7_500);
+        }
+    }
+}

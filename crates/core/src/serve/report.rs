@@ -1,0 +1,351 @@
+//! Request outcomes and the aggregated [`ServeReport`].
+//!
+//! Every request the broker ever sees ends as exactly one
+//! [`RequestOutcome`] — completed, shed, or rejected — so the report's
+//! accounting identity `offered == completed + shed + rejected` holds by
+//! construction and is re-checked by the simulation suite. The report
+//! aggregates outcomes per model into latency percentiles, a log₂
+//! latency histogram, sustained QPS and batching/queue statistics, and
+//! serializes to the shim's JSON tree: all counters ride exact integer
+//! variants and all derived floats are pure functions of them, so the
+//! rendered document is **byte-stable** for identical simulations.
+
+use serde::json::Value as Json;
+use serde::Serialize;
+
+use super::loadgen::NO_DEADLINE;
+
+/// Batch-id sentinel for requests that never reached a batch.
+pub const NO_BATCH: u64 = u64::MAX;
+
+/// What finally happened to a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Executed and returned a result.
+    Completed,
+    /// Dropped from a full queue by the shed-oldest admission policy.
+    Shed,
+    /// Refused at admission by the reject-new policy.
+    Rejected,
+}
+
+impl Disposition {
+    /// Stable lowercase name used in serialized reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Disposition::Completed => "completed",
+            Disposition::Shed => "shed",
+            Disposition::Rejected => "rejected",
+        }
+    }
+}
+
+/// The full per-request audit record the broker emits.
+#[derive(Debug, Clone)]
+pub struct RequestOutcome {
+    /// Trace-wide request id.
+    pub id: u64,
+    /// Target model index (deployment order).
+    pub model: usize,
+    /// Arrival time from the trace, ns.
+    pub arrival_ns: u64,
+    /// Time the request entered its model's admission queue, ns (equals
+    /// the shed/reject time for requests that never made it).
+    pub enqueue_ns: u64,
+    /// Batch launch time, ns (0 for shed/rejected requests).
+    pub start_ns: u64,
+    /// Completion time (or shed/reject time), ns.
+    pub finish_ns: u64,
+    /// Id of the batch that executed the request ([`NO_BATCH`] for
+    /// shed/rejected requests).
+    pub batch_id: u64,
+    /// Size of that batch (0 for shed/rejected requests).
+    pub batch_size: usize,
+    /// Absolute deadline, ns ([`NO_DEADLINE`] for best-effort).
+    pub deadline_ns: u64,
+    /// Final disposition.
+    pub disposition: Disposition,
+}
+
+impl RequestOutcome {
+    /// Whether the request completed within its deadline (best-effort
+    /// requests always hit; shed/rejected requests never do).
+    pub fn deadline_hit(&self) -> bool {
+        self.disposition == Disposition::Completed
+            && (self.deadline_ns == NO_DEADLINE || self.finish_ns <= self.deadline_ns)
+    }
+
+    /// End-to-end latency (arrival to completion), ns; `None` unless
+    /// the request completed.
+    pub fn latency_ns(&self) -> Option<u64> {
+        (self.disposition == Disposition::Completed)
+            .then(|| self.finish_ns.saturating_sub(self.arrival_ns))
+    }
+}
+
+/// Aggregated serving statistics of one deployed model (one tenant).
+#[derive(Debug, Clone)]
+pub struct ModelServeStats {
+    /// Model name (deployment name).
+    pub name: String,
+    /// Requests the trace offered to this model.
+    pub offered: u64,
+    /// Requests that executed and returned a result.
+    pub completed: u64,
+    /// Requests dropped by shed-oldest admission.
+    pub shed: u64,
+    /// Requests refused by reject-new admission.
+    pub rejected: u64,
+    /// Completed requests that met their deadline.
+    pub deadline_hits: u64,
+    /// Completed requests that missed their deadline.
+    pub deadline_misses: u64,
+    /// Batches launched for this model.
+    pub batches: u64,
+    /// Largest batch launched.
+    pub max_batch: u64,
+    /// Deepest the admission queue ever got (bounded by the queue cap).
+    pub max_queue_depth: u64,
+    /// Latency percentiles over completed requests (nearest-rank), ns.
+    pub p50_ns: u64,
+    /// 95th percentile latency, ns.
+    pub p95_ns: u64,
+    /// 99th percentile latency, ns.
+    pub p99_ns: u64,
+    /// Worst-case latency, ns.
+    pub max_ns: u64,
+    /// Completed requests per simulated second, over the trace horizon.
+    pub sustained_qps: f64,
+    /// Log₂ latency histogram: `(upper_bound_ns, count)` per non-empty
+    /// bucket, bucket `k` covering `[2^(k-1), 2^k)`.
+    pub latency_hist: Vec<(u64, u64)>,
+}
+
+impl ModelServeStats {
+    fn json(&self) -> Json {
+        Json::obj([
+            ("model", Json::str(self.name.clone())),
+            ("offered", self.offered.to_json()),
+            ("completed", self.completed.to_json()),
+            ("shed", self.shed.to_json()),
+            ("rejected", self.rejected.to_json()),
+            ("deadline_hits", self.deadline_hits.to_json()),
+            ("deadline_misses", self.deadline_misses.to_json()),
+            ("batches", self.batches.to_json()),
+            ("max_batch", self.max_batch.to_json()),
+            ("max_queue_depth", self.max_queue_depth.to_json()),
+            (
+                "mean_batch",
+                Json::Num(if self.batches == 0 {
+                    0.0
+                } else {
+                    self.completed as f64 / self.batches as f64
+                }),
+            ),
+            ("p50_ns", self.p50_ns.to_json()),
+            ("p95_ns", self.p95_ns.to_json()),
+            ("p99_ns", self.p99_ns.to_json()),
+            ("max_ns", self.max_ns.to_json()),
+            ("sustained_qps", Json::Num(self.sustained_qps)),
+            (
+                "latency_hist",
+                Json::Arr(
+                    self.latency_hist
+                        .iter()
+                        .map(|&(le, n)| {
+                            Json::obj([("le_ns", le.to_json()), ("count", n.to_json())])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// The aggregated result of one serving simulation.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// The simulation seed (load generator + per-request streams).
+    pub seed: u64,
+    /// Simulated horizon: the last event's timestamp, ns.
+    pub horizon_ns: u64,
+    /// Total requests offered across all models.
+    pub offered: u64,
+    /// Total completed.
+    pub completed: u64,
+    /// Total shed.
+    pub shed: u64,
+    /// Total rejected.
+    pub rejected: u64,
+    /// Per-model statistics, in deployment order.
+    pub models: Vec<ModelServeStats>,
+}
+
+impl ServeReport {
+    /// Aggregates `outcomes` into per-model statistics. `names` is the
+    /// deployment-order model name list; `max_depths`/`batches` are the
+    /// broker's per-tenant high-water marks and batch counters.
+    pub fn build(
+        seed: u64,
+        names: &[String],
+        outcomes: &[RequestOutcome],
+        max_depths: &[u64],
+        batches: &[u64],
+    ) -> Self {
+        assert_eq!(names.len(), max_depths.len());
+        assert_eq!(names.len(), batches.len());
+        let horizon_ns = outcomes.iter().map(|o| o.finish_ns).max().unwrap_or(0);
+        let mut models = Vec::with_capacity(names.len());
+        for (m, name) in names.iter().enumerate() {
+            let mine = || outcomes.iter().filter(move |o| o.model == m);
+            let count = |d: Disposition| mine().filter(|o| o.disposition == d).count() as u64;
+            let completed = count(Disposition::Completed);
+            let mut latencies: Vec<u64> = mine().filter_map(RequestOutcome::latency_ns).collect();
+            latencies.sort_unstable();
+            let pct = |q: f64| -> u64 {
+                if latencies.is_empty() {
+                    return 0;
+                }
+                // Nearest-rank: smallest latency covering fraction q.
+                let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+                latencies[rank - 1]
+            };
+            let mut hist = std::collections::BTreeMap::<u64, u64>::new();
+            for &l in &latencies {
+                let bucket = if l == 0 {
+                    0
+                } else {
+                    64 - u64::from(l.leading_zeros())
+                };
+                *hist.entry(bucket).or_default() += 1;
+            }
+            models.push(ModelServeStats {
+                name: name.clone(),
+                offered: mine().count() as u64,
+                completed,
+                shed: count(Disposition::Shed),
+                rejected: count(Disposition::Rejected),
+                deadline_hits: mine().filter(|o| o.deadline_hit()).count() as u64,
+                deadline_misses: mine()
+                    .filter(|o| o.disposition == Disposition::Completed && !o.deadline_hit())
+                    .count() as u64,
+                batches: batches[m],
+                max_batch: mine().map(|o| o.batch_size as u64).max().unwrap_or(0),
+                max_queue_depth: max_depths[m],
+                p50_ns: pct(0.50),
+                p95_ns: pct(0.95),
+                p99_ns: pct(0.99),
+                max_ns: latencies.last().copied().unwrap_or(0),
+                sustained_qps: if horizon_ns == 0 {
+                    0.0
+                } else {
+                    completed as f64 * 1e9 / horizon_ns as f64
+                },
+                latency_hist: hist
+                    .into_iter()
+                    .map(|(bucket, n)| (if bucket == 0 { 0 } else { 1u64 << bucket }, n))
+                    .collect(),
+            });
+        }
+        ServeReport {
+            seed,
+            horizon_ns,
+            offered: outcomes.len() as u64,
+            completed: models.iter().map(|s| s.completed).sum(),
+            shed: models.iter().map(|s| s.shed).sum(),
+            rejected: models.iter().map(|s| s.rejected).sum(),
+            models,
+        }
+    }
+
+    /// Serializes the report to the shim's JSON tree (exact integers,
+    /// insertion-ordered fields — byte-stable for identical inputs).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("seed", self.seed.to_json()),
+            ("horizon_ns", self.horizon_ns.to_json()),
+            ("offered", self.offered.to_json()),
+            ("completed", self.completed.to_json()),
+            ("shed", self.shed.to_json()),
+            ("rejected", self.rejected.to_json()),
+            (
+                "models",
+                Json::Arr(self.models.iter().map(ModelServeStats::json).collect()),
+            ),
+        ])
+    }
+
+    /// The rendered JSON document (see [`ServeReport::to_json`]).
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, model: usize, finish: u64, d: Disposition) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            model,
+            arrival_ns: id * 10,
+            enqueue_ns: id * 10,
+            start_ns: finish.saturating_sub(5),
+            finish_ns: finish,
+            batch_id: if d == Disposition::Completed {
+                0
+            } else {
+                NO_BATCH
+            },
+            batch_size: if d == Disposition::Completed { 1 } else { 0 },
+            deadline_ns: NO_DEADLINE,
+            disposition: d,
+        }
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        let outcomes = vec![
+            outcome(0, 0, 100, Disposition::Completed),
+            outcome(1, 0, 40, Disposition::Shed),
+            outcome(2, 1, 60, Disposition::Rejected),
+            outcome(3, 1, 200, Disposition::Completed),
+        ];
+        let names = vec!["a".to_string(), "b".to_string()];
+        let r = ServeReport::build(7, &names, &outcomes, &[2, 1], &[1, 1]);
+        assert_eq!(r.offered, 4);
+        assert_eq!(r.completed + r.shed + r.rejected, r.offered);
+        for m in &r.models {
+            assert_eq!(m.completed + m.shed + m.rejected, m.offered);
+        }
+        assert_eq!(r.horizon_ns, 200);
+        assert!(r.models[0].sustained_qps > 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let outcomes: Vec<RequestOutcome> = (0..100)
+            .map(|i| RequestOutcome {
+                arrival_ns: 0,
+                finish_ns: (i + 1) * 10, // latencies 10, 20, ..., 1000
+                ..outcome(i, 0, 0, Disposition::Completed)
+            })
+            .collect();
+        let r = ServeReport::build(0, &["m".to_string()], &outcomes, &[1], &[100]);
+        assert_eq!(r.models[0].p50_ns, 500);
+        assert_eq!(r.models[0].p95_ns, 950);
+        assert_eq!(r.models[0].p99_ns, 990);
+        assert_eq!(r.models[0].max_ns, 1000);
+        let total: u64 = r.models[0].latency_hist.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 100, "histogram covers every completed request");
+    }
+
+    #[test]
+    fn render_is_stable_across_calls() {
+        let outcomes = vec![outcome(0, 0, 123, Disposition::Completed)];
+        let r = ServeReport::build(9, &["m".to_string()], &outcomes, &[1], &[1]);
+        assert_eq!(r.render(), r.render());
+        assert!(r.render().contains("\"sustained_qps\""));
+    }
+}

@@ -14,31 +14,20 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use yoloc::core::compiler::{CompileOptions, CompiledNetwork};
 use yoloc::core::engine::WorkerPool;
 use yoloc::core::mapping::MappingStrategy;
 use yoloc::models::zoo;
 use yoloc::tensor::Tensor;
 
-const WORKER_SWEEP: [usize; 3] = [1, 2, 8];
-
-fn strategies() -> [MappingStrategy; 3] {
-    [
-        MappingStrategy::Naive,
-        MappingStrategy::Packed,
-        MappingStrategy::Sharded { chips: 3 },
-    ]
-}
+mod common;
+use common::zoo::{compile, named_zoo_nets, strategies, WORKER_SWEEP};
 
 /// Compiles `desc` once with the full pipeline and checks that the
 /// clone-based oracle, the arena interpreter (both the pooled `infer`
 /// path and an explicit reused arena), the batched engine and the tiled
 /// scheduler all agree bit for bit on the same plan.
 fn assert_arena_parity(desc: &yoloc::models::NetworkDesc, seed: u64, strategy: MappingStrategy) {
-    let mut opts = CompileOptions::paper_default();
-    opts.mapping = strategy;
-    let net = CompiledNetwork::compile_random(desc, seed, opts)
-        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", desc.name));
+    let net = compile(desc, seed, strategy);
 
     let (c, h, w) = net.input_shape();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x00A1_2E7A);
@@ -123,14 +112,7 @@ fn assert_arena_parity(desc: &yoloc::models::NetworkDesc, seed: u64, strategy: M
 
 #[test]
 fn named_zoo_networks_hold_arena_parity_across_all_strategies() {
-    // Fixed representative graphs: feed-forward (VGG), residual with
-    // projections (ResNet), passthrough detection head (YOLO).
-    let nets = [
-        zoo::scaled(&zoo::vgg8(3), 16, (16, 16)),
-        zoo::scaled(&zoo::resnet18(3), 16, (32, 32)),
-        zoo::scaled(&zoo::yolo_v2(4, 2), 32, (64, 64)),
-    ];
-    for desc in &nets {
+    for desc in &named_zoo_nets() {
         for strategy in strategies() {
             assert_arena_parity(desc, 23, strategy);
         }

@@ -1,4 +1,6 @@
-//! Shared budget switch for the training-heavy integration suites.
+//! Shared helpers for the integration suites: the training-budget
+//! switch below, plus the zoo-compile helpers of the parity suites in
+//! [`zoo`].
 //!
 //! The default tier-1 run (`cargo test -q`) uses reduced training budgets
 //! so the whole suite finishes in well under a minute; setting
@@ -10,8 +12,11 @@
 //! YOLOC_FULL_TRAIN=1 cargo test -q
 //! ```
 
+pub mod zoo;
+
 /// Whether the full training budgets were requested via the
 /// `YOLOC_FULL_TRAIN=1` environment variable.
+#[allow(dead_code)]
 pub fn full_train() -> bool {
     std::env::var("YOLOC_FULL_TRAIN")
         .map(|v| v == "1")
@@ -20,6 +25,7 @@ pub fn full_train() -> bool {
 
 /// Picks the `full` value under `YOLOC_FULL_TRAIN=1` and the reduced
 /// `smoke` value otherwise.
+#[allow(dead_code)]
 pub fn budget<T>(full: T, smoke: T) -> T {
     if full_train() {
         full

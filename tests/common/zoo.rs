@@ -1,0 +1,44 @@
+//! Shared zoo-compile helpers for the parity-style suites
+//! (`arena_parity`, `scheduler_parity`, `plan_roundtrip`,
+//! `serve_parity`): one copy of the mapping-strategy sweep, the fixed
+//! representative graphs, and the compile-or-panic boilerplate.
+//!
+//! Each suite only links the helpers it calls, so everything here is
+//! `allow(dead_code)` to survive `clippy -D warnings` in every binary.
+#![allow(dead_code)]
+
+use yoloc::core::compiler::{CompileOptions, CompiledNetwork};
+use yoloc::core::mapping::MappingStrategy;
+use yoloc::models::{zoo, NetworkDesc};
+
+/// Worker counts the parity suites sweep the pool across.
+pub const WORKER_SWEEP: [usize; 3] = [1, 2, 8];
+
+/// All three mapping strategies, in sweep order.
+pub fn strategies() -> [MappingStrategy; 3] {
+    [
+        MappingStrategy::Naive,
+        MappingStrategy::Packed,
+        MappingStrategy::Sharded { chips: 3 },
+    ]
+}
+
+/// The fixed representative graphs every parity suite pins:
+/// feed-forward (VGG), residual with projections (ResNet), passthrough
+/// detection head (YOLO).
+pub fn named_zoo_nets() -> [NetworkDesc; 3] {
+    [
+        zoo::scaled(&zoo::vgg8(3), 16, (16, 16)),
+        zoo::scaled(&zoo::resnet18(3), 16, (32, 32)),
+        zoo::scaled(&zoo::yolo_v2(4, 2), 32, (64, 64)),
+    ]
+}
+
+/// Compiles `desc` with the paper-default pipeline under `strategy`,
+/// panicking with the network's name on failure.
+pub fn compile(desc: &NetworkDesc, seed: u64, strategy: MappingStrategy) -> CompiledNetwork {
+    let mut opts = CompileOptions::paper_default();
+    opts.mapping = strategy;
+    CompiledNetwork::compile_random(desc, seed, opts)
+        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", desc.name))
+}

@@ -21,13 +21,8 @@ use yoloc::core::mapping::MappingStrategy;
 use yoloc::models::zoo;
 use yoloc::tensor::Tensor;
 
-fn strategies() -> [MappingStrategy; 3] {
-    [
-        MappingStrategy::Naive,
-        MappingStrategy::Packed,
-        MappingStrategy::Sharded { chips: 3 },
-    ]
-}
+mod common;
+use common::zoo::{compile, named_zoo_nets, strategies};
 
 /// Runs one inference on `net` under a deterministic RNG and input.
 fn run(net: &CompiledNetwork, seed: u64) -> (Vec<f32>, yoloc::core::compiler::ExecutionReport) {
@@ -43,10 +38,7 @@ fn run(net: &CompiledNetwork, seed: u64) -> (Vec<f32>, yoloc::core::compiler::Ex
 /// checks the rebuilt network is indistinguishable from the original:
 /// same metadata, bit-identical execution, and a byte-stable document.
 fn assert_plan_roundtrip(desc: &yoloc::models::NetworkDesc, seed: u64, strategy: MappingStrategy) {
-    let mut opts = CompileOptions::paper_default();
-    opts.mapping = strategy;
-    let net = CompiledNetwork::compile_random(desc, seed, opts)
-        .unwrap_or_else(|e| panic!("{}: compile failed: {e}", desc.name));
+    let net = compile(desc, seed, strategy);
 
     let text = net.serialize_plan();
     let back = CompiledNetwork::deserialize_plan(&text)
@@ -137,14 +129,7 @@ fn assert_cache_hit_parity(desc: &yoloc::models::NetworkDesc, seed: u64, dir: &s
 
 #[test]
 fn named_zoo_networks_round_trip_across_all_strategies() {
-    // Fixed representative graphs: feed-forward (VGG), residual with
-    // projections (ResNet), passthrough detection head (YOLO).
-    let nets = [
-        zoo::scaled(&zoo::vgg8(3), 16, (16, 16)),
-        zoo::scaled(&zoo::resnet18(3), 16, (32, 32)),
-        zoo::scaled(&zoo::yolo_v2(4, 2), 32, (64, 64)),
-    ];
-    for desc in &nets {
+    for desc in &named_zoo_nets() {
         for strategy in strategies() {
             assert_plan_roundtrip(desc, 23, strategy);
         }

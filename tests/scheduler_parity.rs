@@ -20,15 +20,8 @@ use yoloc::core::mapping::MappingStrategy;
 use yoloc::models::zoo;
 use yoloc::tensor::Tensor;
 
-const WORKER_SWEEP: [usize; 3] = [1, 2, 8];
-
-fn strategies() -> [MappingStrategy; 3] {
-    [
-        MappingStrategy::Naive,
-        MappingStrategy::Packed,
-        MappingStrategy::Sharded { chips: 3 },
-    ]
-}
+mod common;
+use common::zoo::{named_zoo_nets, strategies, WORKER_SWEEP};
 
 /// Compiles `desc` twice — legacy oracle (no passes) and fully optimized —
 /// and checks that serial-legacy, serial-fused and tiled-fused execution
@@ -95,14 +88,7 @@ fn assert_parity(desc: &yoloc::models::NetworkDesc, seed: u64, strategy: Mapping
 
 #[test]
 fn named_zoo_networks_hold_parity_across_all_strategies() {
-    // Fixed representative graphs: feed-forward (VGG), residual with
-    // projections (ResNet), passthrough detection head (YOLO).
-    let nets = [
-        zoo::scaled(&zoo::vgg8(3), 16, (16, 16)),
-        zoo::scaled(&zoo::resnet18(3), 16, (32, 32)),
-        zoo::scaled(&zoo::yolo_v2(4, 2), 32, (64, 64)),
-    ];
-    for desc in &nets {
+    for desc in &named_zoo_nets() {
         for strategy in strategies() {
             assert_parity(desc, 41, strategy);
         }

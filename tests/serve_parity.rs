@@ -1,0 +1,156 @@
+//! Serving-path parity suite: every request routed through the
+//! continuous-batching [`Broker`] must produce logits and `MvmStats` —
+//! in fact the full `ExecutionReport` — **bit-identical** to a direct
+//! `CompiledNetwork::infer_in` on the same plan, across batch windows
+//! 1/4/16, worker counts 1/2/8 and all three mapping strategies.
+//!
+//! This is the acceptance gate of the serving layer: admission queues,
+//! batch windows, backpressure and round-robin tenancy are required to
+//! be *scheduling*, never *arithmetic* — the brokered result may not
+//! depend on which batch a request landed in or how many workers
+//! executed it. The oracle reconstructs each request exactly as the
+//! broker does: input from `Arrival::input_seed`, noise from
+//! `sample_stream_seed(infer_seed, id)`.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use yoloc::core::engine::{sample_stream_seed, WorkerPool};
+use yoloc::core::serve::{
+    ArrivalPattern, Broker, BrokerConfig, LoadGen, TenantConfig, TrafficSpec, VirtualClock,
+};
+use yoloc::tensor::Tensor;
+
+mod common;
+use common::zoo::{named_zoo_nets, strategies, WORKER_SWEEP};
+
+/// Whether CI asked for the reduced sweep (`YOLOC_SMOKE=1`).
+fn smoke() -> bool {
+    std::env::var_os("YOLOC_SMOKE").is_some_and(|v| v != "0")
+}
+
+const BATCH_SWEEP: [usize; 3] = [1, 4, 16];
+const INFER_SEED: u64 = 0xB40C_CA57;
+
+#[test]
+fn brokered_requests_match_direct_inference_bit_for_bit() {
+    // Smoke keeps one net and trims the sweep corners; the full run
+    // covers all three graphs x 3 batch windows x 3 worker counts x 3
+    // strategies.
+    let nets = named_zoo_nets();
+    let nets: &[_] = if smoke() { &nets[..1] } else { &nets[..] };
+    let batches: &[usize] = if smoke() {
+        &BATCH_SWEEP[..2]
+    } else {
+        &BATCH_SWEEP[..]
+    };
+    let worker_sweep: &[usize] = if smoke() {
+        &WORKER_SWEEP[..2]
+    } else {
+        &WORKER_SWEEP[..]
+    };
+    for desc in nets {
+        for strategy in strategies() {
+            let net = common::zoo::compile(desc, 23, strategy);
+            // The oracle runs each request directly, reconstructing the
+            // broker's exact input tensor and noise stream from the
+            // trace — then memoizes by id for the cross-config sweep.
+            let (c, h, w) = net.input_shape();
+            let mut oracle: HashMap<u64, (Vec<f32>, yoloc::core::compiler::ExecutionReport)> =
+                HashMap::new();
+            let trace = LoadGen::new(17).trace(
+                &[TrafficSpec {
+                    model: 0,
+                    pattern: ArrivalPattern::Poisson {
+                        rate_rps: 200_000.0,
+                    },
+                    deadline_ns: Some(5_000_000),
+                }],
+                if smoke() { 100_000 } else { 250_000 },
+            );
+            assert!(
+                trace.len() >= 8,
+                "{}: trace too small to exercise batching",
+                desc.name
+            );
+            let mut arena = net.take_arena();
+            for a in &trace {
+                let x = Tensor::rand_uniform(
+                    &[1, c, h, w],
+                    0.0,
+                    1.0,
+                    &mut StdRng::seed_from_u64(a.input_seed),
+                );
+                let mut rng = StdRng::seed_from_u64(sample_stream_seed(INFER_SEED, a.id as usize));
+                let (y, r) = net.infer_in(&x, &mut rng, &mut arena);
+                oracle.insert(a.id, (y.data().to_vec(), r.clone()));
+            }
+            net.give_arena(arena);
+
+            for &max_batch in batches {
+                for &workers in worker_sweep {
+                    let out = WorkerPool::with(workers, |pool| {
+                        let mut broker = Broker::new(
+                            VirtualClock::new(),
+                            BrokerConfig {
+                                infer_seed: INFER_SEED,
+                                batch_overhead_ns: 20_000,
+                                capture: true,
+                            },
+                        );
+                        broker.deploy(
+                            &desc.name,
+                            &net,
+                            TenantConfig {
+                                // Roomy queue: every request must complete
+                                // so every capture has an oracle entry.
+                                queue_cap: trace.len().max(1),
+                                admission: yoloc::core::serve::AdmissionPolicy::RejectNew,
+                                max_batch,
+                                window_ns: 40_000,
+                            },
+                        );
+                        broker.run(&trace, pool)
+                    });
+                    assert_eq!(
+                        out.report.completed,
+                        trace.len() as u64,
+                        "{}: broker dropped requests (batch {max_batch}, {workers} workers)",
+                        desc.name
+                    );
+                    assert_eq!(
+                        out.captures.len(),
+                        trace.len(),
+                        "{}: capture count diverged",
+                        desc.name
+                    );
+                    for cap in &out.captures {
+                        let (logits, report) = &oracle[&cap.id];
+                        assert_eq!(
+                            logits, &cap.logits,
+                            "{}: request {} logits diverged from direct inference \
+                             (batch {max_batch}, {workers} workers, {strategy:?})",
+                            desc.name, cap.id
+                        );
+                        assert_eq!(
+                            (report.rom, report.sram),
+                            (cap.exec.rom, cap.exec.sram),
+                            "{}: request {} MvmStats diverged (batch {max_batch}, \
+                             {workers} workers, {strategy:?})",
+                            desc.name,
+                            cap.id
+                        );
+                        assert_eq!(
+                            report, &cap.exec,
+                            "{}: request {} execution report diverged (batch {max_batch}, \
+                             {workers} workers, {strategy:?})",
+                            desc.name, cap.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
