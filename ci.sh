@@ -31,6 +31,16 @@ YOLOC_SMOKE=1 cargo test -q --test scheduler_parity
 echo "== arena-executor parity suite (YOLOC_SMOKE=1)"
 YOLOC_SMOKE=1 cargo test -q --test arena_parity
 
+echo "== kernel-parity suites under forced scalar tier (YOLOC_KERNEL=scalar)"
+YOLOC_KERNEL=scalar cargo test -q -p yoloc-cim
+YOLOC_KERNEL=scalar YOLOC_SMOKE=1 cargo test -q --test arena_parity
+
+echo "== kernel-parity suites under forced AVX2 tier (YOLOC_KERNEL=avx2)"
+# On hosts without AVX2 the dispatch downgrades to scalar with a note
+# (see kernel_override_is_honored_across_the_arena_suite).
+YOLOC_KERNEL=avx2 cargo test -q -p yoloc-cim
+YOLOC_KERNEL=avx2 YOLOC_SMOKE=1 cargo test -q --test arena_parity
+
 echo "== plan round-trip + cache-hit parity suite (YOLOC_SMOKE=1)"
 YOLOC_SMOKE=1 cargo test -q --test plan_roundtrip
 
@@ -49,10 +59,14 @@ YOLOC_SMOKE=1 cargo run --release -q -p yoloc-bench --bin bench_plan_cache -- --
 echo "== serving bench smoke + self schema gate"
 cargo run --release -q -p yoloc-bench --bin bench_serve -- --smoke --check-schema
 
-echo "== validate committed BENCH_engine.json (schema v5 gates incl. plan_cache)"
-cargo run --release -q -p yoloc-bench --bin bench_engine -- --check-schema BENCH_engine.json
+echo "== kernel-tier smoke gate (bit-identical tiers, speedup >= 1.0)"
+cargo run --release -q -p yoloc-bench --bin bench_kernels -- --smoke
 
-echo "== validate committed BENCH_serve.json (schema yoloc-bench-serve/1 gates)"
+echo "== validate committed BENCH_engine.json (schema v6 gates incl. plan_cache + kernel_tier)"
+cargo run --release -q -p yoloc-bench --bin bench_engine -- --check-schema BENCH_engine.json
+cargo run --release -q -p yoloc-bench --bin bench_kernels -- --check-schema BENCH_engine.json
+
+echo "== validate committed BENCH_serve.json (schema yoloc-bench-serve/2 gates)"
 cargo run --release -q -p yoloc-bench --bin bench_serve -- --check-schema BENCH_serve.json
 
 echo "== run every bench binary on tiny configs (repro_all --smoke)"

@@ -41,7 +41,16 @@
 //! `bench_plan_cache` binary regenerates just this block and patches it
 //! into the committed report without re-running the full harness.
 //!
-//! Emits `BENCH_engine.json` (schema `yoloc-bench-engine/5`, documented
+//! Schema v6 adds the `kernel_tier` block: per unique lowered im2col
+//! shape across the zoo, `mvm_batch` timed under the forced scalar
+//! kernel tier vs the runtime-dispatched tier (AVX2 where the host has
+//! it), bit-identity asserted between the two, and the MVM-weighted
+//! aggregate `speedup_vs_scalar` plus the selected ISA recorded. The
+//! measurement lives in [`yoloc_bench::kernel_tier`]; the standalone
+//! `bench_kernels` binary regenerates just this block and patches it
+//! into the committed report.
+//!
+//! Emits `BENCH_engine.json` (schema `yoloc-bench-engine/6`, documented
 //! in `README.md`); under `--smoke`/`YOLOC_SMOKE=1` the workload shrinks
 //! and the report goes to `target/BENCH_engine.smoke.json` so the
 //! committed baseline is not clobbered by tiny-config numbers.
@@ -52,9 +61,11 @@
 //! acceptance properties (modeled intra-sample speedup > 1.5x at 4
 //! lanes; planned arena strictly below per-op allocation; zero
 //! steady-state allocations; for committed full runs >= 1.5x
-//! single-thread throughput over the v3 baseline; and zero warm-deploy
-//! recompiles in the `plan_cache` block), exiting non-zero on any
-//! violation — the CI gate for the baseline.
+//! single-thread throughput over the v3 baseline; zero warm-deploy
+//! recompiles in the `plan_cache` block; and the `kernel_tier` gates —
+//! bit-identical tiers, speedup >= 1.0 always and >= 2.0 for committed
+//! AVX2 runs), exiting non-zero on any violation — the CI gate for the
+//! baseline.
 
 use std::time::Instant;
 
@@ -511,7 +522,7 @@ fn measure_zoo_network(
     (json, row)
 }
 
-/// Validates an existing `BENCH_engine.json` against the v5 schema and
+/// Validates an existing `BENCH_engine.json` against the v6 schema and
 /// the acceptance properties; returns every violation found.
 fn schema_violations(doc: &Json) -> Vec<String> {
     let mut errs = Vec::new();
@@ -528,8 +539,8 @@ fn schema_violations(doc: &Json) -> Vec<String> {
         }
     };
     check(
-        doc.get("schema").and_then(Json::as_str) == Some("yoloc-bench-engine/5"),
-        "schema must be \"yoloc-bench-engine/5\"",
+        doc.get("schema").and_then(Json::as_str) == Some("yoloc-bench-engine/6"),
+        "schema must be \"yoloc-bench-engine/6\"",
     );
     for key in ["host_parallelism", "batch", "reps", "workloads"] {
         check(
@@ -682,6 +693,10 @@ fn schema_violations(doc: &Json) -> Vec<String> {
             "cached plan must execute bit-identically to the cold compile",
         );
     }
+    // v6 gates: the dispatched kernel tier must be bit-identical to the
+    // scalar reference and at least break even (>= 2x on committed AVX2
+    // runs) — shared with the standalone `bench_kernels` patcher.
+    errs.extend(yoloc_bench::kernel_tier::kernel_tier_violations(doc));
     errs
 }
 
@@ -692,7 +707,7 @@ fn check_schema(path: &str) -> ! {
     let errs = schema_violations(&doc);
     if errs.is_empty() {
         println!(
-            "{path}: schema yoloc-bench-engine/5 OK ({} bytes)",
+            "{path}: schema yoloc-bench-engine/6 OK ({} bytes)",
             text.len()
         );
         std::process::exit(0);
@@ -791,8 +806,30 @@ fn main() {
         &yoloc_bench::plan_cache::plan_cache_rows(&cache_entries),
     );
 
+    // v6: the kernel-tier block — scalar vs dispatched `mvm_batch` on
+    // the zoo's lowered shapes, bit-identity asserted, speedup gated.
+    let kernel_tier = yoloc_bench::kernel_tier::measure_kernel_tier(&zoo_nets, SEED + 13);
+    print_table(
+        "Kernel tiers on the zoo's lowered MVM shapes (scalar vs dispatched)",
+        &[
+            "Shape (outs x ins)",
+            "MVMs/pass",
+            "Scalar (ns/mvm)",
+            "Dispatched (ns/mvm)",
+            "Speedup",
+            "Bit-identical",
+        ],
+        &kernel_tier.rows(),
+    );
+    println!(
+        "selected kernel tier: {} (avx2 detected: {}), MVM-weighted speedup {}",
+        kernel_tier.selected.label(),
+        kernel_tier.avx2_detected,
+        fmt_x(kernel_tier.speedup_vs_scalar)
+    );
+
     let doc = Json::obj([
-        ("schema", Json::str("yoloc-bench-engine/5")),
+        ("schema", Json::str("yoloc-bench-engine/6")),
         ("host_parallelism", to_json(&host)),
         ("smoke", Json::Bool(smoke())),
         (
@@ -816,6 +853,7 @@ fn main() {
             "plan_cache",
             yoloc_bench::plan_cache::plan_cache_json(&cache_entries),
         ),
+        ("kernel_tier", kernel_tier.json()),
     ]);
     let path = if smoke() {
         "target/BENCH_engine.smoke.json"
@@ -830,7 +868,7 @@ fn main() {
         violations.is_empty(),
         "generated report violates its own schema (written to {path} anyway): {violations:?}"
     );
-    println!("\nwrote {path} (schema yoloc-bench-engine/5, see README.md)");
+    println!("\nwrote {path} (schema yoloc-bench-engine/6, see README.md)");
     println!(
         "note: 'serial' is the pre-engine baseline (one thread, cell-accurate \
          analog path); the batched rows add the popcount fast path and the \

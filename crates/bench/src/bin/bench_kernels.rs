@@ -1,0 +1,142 @@
+//! Kernel-tier benchmark and `BENCH_engine.json` patcher.
+//!
+//! Measures the tier-2 kernel work (runtime-dispatched SIMD +
+//! cache-blocked bit-plane MVM in `yoloc-cim`) on the lowered im2col
+//! shapes of the zoo networks the engine harness runs: per unique
+//! `(outs, ins)` shape, `mvm_batch` is timed under the forced scalar
+//! tier and under the runtime-dispatched tier (asserting bit-identical
+//! values and `MvmStats` between the two), and the MVM-weighted
+//! aggregate `speedup_vs_scalar` plus the selected ISA are recorded as
+//! the schema-v6 `kernel_tier` block. The measurement lives in
+//! [`yoloc_bench::kernel_tier`] and is shared with `bench_engine`.
+//!
+//! Like `bench_plan_cache`, the full run **patches** the block into an
+//! existing `BENCH_engine.json` (schema bumped to `yoloc-bench-engine/6`,
+//! every other field preserved byte-for-byte) so the committed baseline
+//! can pick up fresh kernel numbers without re-running the whole engine
+//! harness. Under `--smoke`/`YOLOC_SMOKE=1` the committed report is left
+//! untouched and the block goes to `target/BENCH_kernels.smoke.json`.
+//!
+//! `--check-schema [PATH]` validates the `kernel_tier` block of an
+//! existing report instead of measuring: selected tier in
+//! {scalar, avx2}, all tiers bit-identical, aggregate speedup >= 1.0
+//! always and >= 2.0 for committed full runs that selected AVX2 — the
+//! CI gate for the tier-2 kernel acceptance criterion.
+//!
+//! Usage: `bench_kernels [--smoke | --check-schema] [PATH]` (default
+//! path `BENCH_engine.json`).
+
+use yoloc_bench::kernel_tier::{kernel_tier_violations, measure_kernel_tier};
+use yoloc_bench::plan_cache::zoo_nets;
+use yoloc_bench::report::Json;
+use yoloc_bench::{fmt_x, print_table, smoke};
+
+const SEED: u64 = 2022;
+
+/// Sets `key` in a JSON object, replacing an existing entry in place
+/// (preserving its position) or appending a new one.
+fn set_field(doc: &mut Json, key: &str, value: Json) {
+    let Json::Obj(fields) = doc else {
+        panic!("report root must be a JSON object");
+    };
+    match fields.iter_mut().find(|(k, _)| k == key) {
+        Some((_, v)) => *v = value,
+        None => fields.push((key.to_string(), value)),
+    }
+}
+
+/// `--check-schema` mode: validate the committed baseline's block.
+fn check_schema(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"));
+    let errs = kernel_tier_violations(&doc);
+    if errs.is_empty() {
+        let s = doc
+            .get("kernel_tier")
+            .and_then(|k| k.get("speedup_vs_scalar"))
+            .and_then(Json::as_num)
+            .unwrap_or(f64::NAN);
+        println!("{path}: kernel_tier OK (speedup_vs_scalar {s:.2}x)");
+        std::process::exit(0);
+    }
+    eprintln!("{path}: {} kernel_tier violation(s):", errs.len());
+    for e in &errs {
+        eprintln!("  - {e}");
+    }
+    std::process::exit(1);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--check-schema") {
+        let path = std::env::args()
+            .skip_while(|a| a != "--check-schema")
+            .nth(1)
+            .unwrap_or_else(|| "BENCH_engine.json".to_string());
+        check_schema(&path);
+    }
+    if std::env::args().any(|a| a == "--smoke") {
+        // Let the library's smoke() see the flag-driven mode too.
+        std::env::set_var("YOLOC_SMOKE", "1");
+    }
+    let path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+
+    let tier = measure_kernel_tier(&zoo_nets(), SEED + 13);
+    print_table(
+        "Kernel tiers on the zoo's lowered MVM shapes (scalar vs dispatched)",
+        &[
+            "Shape (outs x ins)",
+            "MVMs/pass",
+            "Scalar (ns/mvm)",
+            "Dispatched (ns/mvm)",
+            "Speedup",
+            "Bit-identical",
+        ],
+        &tier.rows(),
+    );
+    println!(
+        "\nselected tier: {} (avx2 detected: {}), MVM-weighted speedup {}",
+        tier.selected.label(),
+        tier.avx2_detected,
+        fmt_x(tier.speedup_vs_scalar)
+    );
+    if let Some(e) = &tier.end_to_end {
+        println!(
+            "end-to-end (informational, {}): scalar {:.2} ms vs dispatched {:.2} ms = {} \
+             (bounded by the non-MVM share of an inference)",
+            e.model,
+            e.scalar_s * 1e3,
+            e.dispatched_s * 1e3,
+            fmt_x(e.scalar_s / e.dispatched_s)
+        );
+    }
+    let block = tier.json();
+
+    if smoke() {
+        // Smoke runs measure tiny configurations; never patch the
+        // committed baseline with them.
+        let out = "target/BENCH_kernels.smoke.json";
+        let doc = Json::obj([("smoke", Json::Bool(true)), ("kernel_tier", block)]);
+        std::fs::write(out, doc.render()).expect("write smoke kernel report");
+        let errs = kernel_tier_violations(&doc);
+        assert!(errs.is_empty(), "smoke kernel_tier gates failed: {errs:?}");
+        println!("\nwrote {out} (smoke mode: committed baseline untouched)");
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run bench_engine first)"));
+    let mut doc = Json::parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"));
+    set_field(&mut doc, "schema", Json::str("yoloc-bench-engine/6"));
+    set_field(&mut doc, "kernel_tier", block);
+    let errs = kernel_tier_violations(&doc);
+    std::fs::write(&path, doc.render()).expect("write patched engine report");
+    assert!(
+        errs.is_empty(),
+        "kernel_tier gates failed (block written to {path} anyway): {errs:?}"
+    );
+    println!("\npatched {path}: schema yoloc-bench-engine/6, kernel_tier block refreshed");
+    println!("validate with: bench_engine --check-schema {path}");
+}

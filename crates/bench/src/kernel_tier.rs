@@ -1,0 +1,460 @@
+//! Kernel-tier speedup measurement shared by `bench_engine` and
+//! `bench_kernels` (schema v6 `kernel_tier` block).
+//!
+//! The tier-2 kernel work (runtime-dispatched SIMD + cache-blocked
+//! bit-plane MVM in `yoloc-cim`) is required to be *speed*, never
+//! *arithmetic*: every tier is pinned bit-identical to the scalar
+//! reference by the cim parity suites. This module measures what the
+//! dispatch actually buys on the workload that matters — the im2col
+//! shapes of the zoo networks the engine harness runs — and renders the
+//! result as the `kernel_tier` report block the CI schema gate checks.
+//!
+//! Per unique lowered shape `(outs, ins)` across the zoo (weighted by
+//! how many matrix-vector products per inference the zoo performs at
+//! that shape), the harness programs one `RomMvm` at the paper design
+//! point with seeded random codes and times `mvm_batch` under the forced
+//! scalar tier and under the runtime-dispatched tier, asserting the two
+//! agree bit-for-bit in values **and** `MvmStats` on the way. The
+//! headline `speedup_vs_scalar` is the MVM-weighted aggregate
+//! `sum(w_i * scalar_i) / sum(w_i * dispatched_i)` — the ratio of total
+//! kernel time a full zoo pass would spend in each tier. When dispatch
+//! selects the scalar tier (no AVX2 host), the speedup is 1.0 *by
+//! construction*, not by timing a path against itself.
+//!
+//! An informational `end_to_end` sub-block records the whole-inference
+//! effect on one zoo network (`infer_in` under `YOLOC_KERNEL=scalar` vs
+//! the dispatched default, logits checked bit-identical); it is
+//! deliberately not gated — the MVM kernel is only part of an inference
+//! (im2col, quantize and epilogues bound the end-to-end ratio well below
+//! the kernel-level speedup; Amdahl's law, not a regression).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::report::Json;
+use yoloc_cim::backend::MvmScratch;
+use yoloc_cim::{avx2_available, KernelDispatch, KernelKind, MacroParams, MvmBackend, RomMvm};
+use yoloc_models::NetworkDesc;
+
+/// One unique lowered matrix shape measured under both kernel tiers.
+pub struct ShapeMeasure {
+    /// Output neurons of the lowered matrix.
+    pub outs: usize,
+    /// Dot-product depth of the lowered matrix.
+    pub ins: usize,
+    /// Matrix-vector products per full zoo pass at this shape (the
+    /// weight in the aggregate speedup).
+    pub mvms: u64,
+    /// Scalar-tier nanoseconds per matrix-vector product.
+    pub scalar_ns_per_mvm: f64,
+    /// Dispatched-tier nanoseconds per matrix-vector product.
+    pub dispatched_ns_per_mvm: f64,
+    /// Whether the two tiers agreed bit-for-bit (values and `MvmStats`).
+    pub bit_identical: bool,
+}
+
+impl ShapeMeasure {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns_per_mvm / self.dispatched_ns_per_mvm
+    }
+}
+
+/// The measured `kernel_tier` block.
+pub struct KernelTier {
+    /// Tier the runtime dispatch selected (`Auto` resolution).
+    pub selected: KernelKind,
+    /// Whether the host reports AVX2.
+    pub avx2_detected: bool,
+    /// MVM-weighted aggregate kernel speedup over the forced scalar tier.
+    pub speedup_vs_scalar: f64,
+    /// Per-shape measurements, heaviest shape first.
+    pub shapes: Vec<ShapeMeasure>,
+    /// Informational whole-inference comparison (one zoo network).
+    pub end_to_end: Option<EndToEnd>,
+}
+
+/// Informational whole-inference scalar-vs-dispatched comparison.
+pub struct EndToEnd {
+    /// Zoo network measured.
+    pub model: String,
+    /// Per-inference wall seconds, engine compiled under
+    /// `YOLOC_KERNEL=scalar`.
+    pub scalar_s: f64,
+    /// Per-inference wall seconds under the dispatched default.
+    pub dispatched_s: f64,
+    /// Whether the two compiles produced bit-identical logits.
+    pub bit_identical: bool,
+}
+
+/// Collects the unique lowered `(outs, ins)` shapes across `descs`,
+/// summing per-inference MVM counts as weights; heaviest first.
+pub fn zoo_shapes(descs: &[NetworkDesc]) -> Vec<(usize, usize, u64)> {
+    let mut shapes: Vec<(usize, usize, u64)> = Vec::new();
+    for desc in descs {
+        let reports = desc.analyze().expect("zoo description must analyze");
+        for lowered in reports.iter().filter_map(|r| r.lowered) {
+            match shapes
+                .iter_mut()
+                .find(|(o, i, _)| *o == lowered.outs && *i == lowered.ins)
+            {
+                Some((_, _, w)) => *w += lowered.mvms,
+                None => shapes.push((lowered.outs, lowered.ins, lowered.mvms)),
+            }
+        }
+    }
+    shapes.sort_by_key(|&(outs, ins, mvms)| std::cmp::Reverse(mvms * (outs * ins) as u64));
+    shapes
+}
+
+/// One timed sample: `calls` consecutive `mvm_batch` invocations,
+/// returning seconds per invocation.
+fn sample_batch(
+    engine: &RomMvm,
+    acts: &[i32],
+    n: usize,
+    out: &mut [i64],
+    scratch: &mut MvmScratch,
+    calls: usize,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(0); // untouched by noiseless paths
+    let mut stats = yoloc_cim::MvmStats::default();
+    let t0 = Instant::now();
+    for _ in 0..calls {
+        engine.mvm_batch(acts, n, out, &mut stats, scratch, &mut rng);
+        std::hint::black_box(out[0]);
+    }
+    t0.elapsed().as_secs_f64() / calls as f64
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Measures one shape under the forced scalar tier and the dispatched
+/// tier, checking bit-identity of values and stats between the two.
+fn measure_shape(
+    outs: usize,
+    ins: usize,
+    mvms: u64,
+    seed: u64,
+    selected: KernelKind,
+) -> ShapeMeasure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let codes: Vec<i32> = (0..outs * ins).map(|_| rng.gen_range(-128..=127)).collect();
+    // Batch like the arena runtime: one block per layer window (all
+    // output positions of a tile at once), capped so one timed call
+    // stays cheap on the largest shapes.
+    let n = (mvms as usize).clamp(1, 256);
+    let acts: Vec<i32> = (0..n * ins).map(|_| rng.gen_range(0..=255)).collect();
+    let mut engine = RomMvm::program(MacroParams::rom_paper(), &codes, outs, ins);
+    let mut out = vec![0i64; n * outs];
+    let mut scratch = MvmScratch::new();
+    let mut dummy = StdRng::seed_from_u64(0);
+
+    // Bit-identity first: golden scalar result vs the dispatched tier.
+    engine.set_kernel(KernelKind::Scalar);
+    let mut golden = vec![0i64; n * outs];
+    let mut golden_stats = yoloc_cim::MvmStats::default();
+    engine.mvm_batch(
+        &acts,
+        n,
+        &mut golden,
+        &mut golden_stats,
+        &mut scratch,
+        &mut dummy,
+    );
+    engine.set_kernel(selected);
+    let mut stats = yoloc_cim::MvmStats::default();
+    engine.mvm_batch(&acts, n, &mut out, &mut stats, &mut scratch, &mut dummy);
+    let bit_identical = out == golden && stats == golden_stats;
+
+    // Calibrate the inner repeat count off one scalar call so every
+    // timed sample spans at least ~200us of work.
+    engine.set_kernel(KernelKind::Scalar);
+    let t0 = Instant::now();
+    engine.mvm_batch(&acts, n, &mut out, &mut stats, &mut scratch, &mut dummy);
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let calls = ((200e-6 / once).ceil() as usize).clamp(1, 20_000);
+    let reps = crate::smoke_or(3, 7);
+
+    // Interleave the two tiers' samples: measuring one tier's reps
+    // back-to-back before the other's reads host warm-up drift (the
+    // first-measured tier is systematically favored), not the tier
+    // difference.
+    let (scalar_s, dispatched_s) = if selected == KernelKind::Scalar {
+        let s = median(
+            &mut (0..reps)
+                .map(|_| sample_batch(&engine, &acts, n, &mut out, &mut scratch, calls))
+                .collect::<Vec<_>>(),
+        );
+        (s, s) // dispatch picked the reference tier: 1.0 by construction
+    } else {
+        let mut times_s = Vec::with_capacity(reps);
+        let mut times_d = Vec::with_capacity(reps);
+        engine.set_kernel(selected); // warm the dispatched tier too
+        engine.mvm_batch(&acts, n, &mut out, &mut stats, &mut scratch, &mut dummy);
+        for _ in 0..reps {
+            engine.set_kernel(KernelKind::Scalar);
+            times_s.push(sample_batch(
+                &engine,
+                &acts,
+                n,
+                &mut out,
+                &mut scratch,
+                calls,
+            ));
+            engine.set_kernel(selected);
+            times_d.push(sample_batch(
+                &engine,
+                &acts,
+                n,
+                &mut out,
+                &mut scratch,
+                calls,
+            ));
+        }
+        (median(&mut times_s), median(&mut times_d))
+    };
+    ShapeMeasure {
+        outs,
+        ins,
+        mvms,
+        scalar_ns_per_mvm: scalar_s * 1e9 / n as f64,
+        dispatched_ns_per_mvm: dispatched_s * 1e9 / n as f64,
+        bit_identical,
+    }
+}
+
+/// Informational end-to-end comparison on one zoo network: two compiles
+/// of the same plan, one forced scalar via the `YOLOC_KERNEL` override,
+/// one under the dispatched default; logits must match bit-for-bit.
+///
+/// Touches the process environment, so call it before any worker pool
+/// or test harness threads are running (the bench binaries are
+/// single-threaded at this point).
+pub fn measure_end_to_end(desc: &NetworkDesc, seed: u64) -> EndToEnd {
+    use yoloc_core::compiler::{CompileOptions, CompiledNetwork};
+    use yoloc_tensor::Tensor;
+    let reps = crate::smoke_or(5, 9);
+    let saved = std::env::var("YOLOC_KERNEL").ok();
+    let compile_tier = |tier: Option<&str>| {
+        match tier {
+            Some(t) => std::env::set_var("YOLOC_KERNEL", t),
+            None => match &saved {
+                Some(v) => std::env::set_var("YOLOC_KERNEL", v),
+                None => std::env::remove_var("YOLOC_KERNEL"),
+            },
+        }
+        CompiledNetwork::compile_random(desc, seed, CompileOptions::paper_default())
+            .expect("zoo description must compile")
+    };
+    // Compile both tiers up front, warm both, then interleave the timed
+    // reps — back-to-back measurement of one tier then the other reads
+    // mostly host warm-up drift, not the tier difference.
+    let net_s = compile_tier(Some("scalar"));
+    let net_d = compile_tier(None);
+    let (c, h, w) = net_s.input_shape();
+    let mut rng = StdRng::seed_from_u64(seed + 3);
+    let x = Tensor::rand_uniform(&[1, c, h, w], 0.0, 1.0, &mut rng);
+    let mut arena_s = net_s.take_arena();
+    let mut arena_d = net_d.take_arena();
+    let mut exec_rng = StdRng::seed_from_u64(seed + 5);
+    let scalar_logits = net_s
+        .infer_in(&x, &mut exec_rng, &mut arena_s)
+        .0
+        .data()
+        .to_vec();
+    let dispatched_logits = net_d
+        .infer_in(&x, &mut exec_rng, &mut arena_d)
+        .0
+        .data()
+        .to_vec();
+    let mut times_s = Vec::with_capacity(reps);
+    let mut times_d = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (y, r) = net_s.infer_in(&x, &mut exec_rng, &mut arena_s);
+        std::hint::black_box((y.data()[0], r.latency_ns));
+        times_s.push(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        let (y, r) = net_d.infer_in(&x, &mut exec_rng, &mut arena_d);
+        std::hint::black_box((y.data()[0], r.latency_ns));
+        times_d.push(t1.elapsed().as_secs_f64());
+    }
+    net_s.give_arena(arena_s);
+    net_d.give_arena(arena_d);
+    times_s.sort_by(f64::total_cmp);
+    times_d.sort_by(f64::total_cmp);
+    EndToEnd {
+        model: desc.name.clone(),
+        scalar_s: times_s[times_s.len() / 2],
+        dispatched_s: times_d[times_d.len() / 2],
+        bit_identical: scalar_logits == dispatched_logits,
+    }
+}
+
+/// Measures the full `kernel_tier` block over the zoo networks.
+pub fn measure_kernel_tier(descs: &[NetworkDesc], seed: u64) -> KernelTier {
+    // Honor a `YOLOC_KERNEL` override so every sub-measurement (shape
+    // timings and the end-to-end compile) reports the same dispatch the
+    // engines actually ran; unset, this is the `auto` host resolution.
+    let selected = KernelDispatch::from_env().resolve();
+    let shapes_in = zoo_shapes(descs);
+    println!(
+        "[kernel-tier] {} unique lowered shapes, dispatch selected {}",
+        shapes_in.len(),
+        selected.label()
+    );
+    let mut shapes = Vec::new();
+    for (i, &(outs, ins, mvms)) in shapes_in.iter().enumerate() {
+        println!("[kernel-tier] shape {outs}x{ins} (weight {mvms} mvms) ...");
+        shapes.push(measure_shape(outs, ins, mvms, seed + i as u64, selected));
+    }
+    let weighted =
+        |f: fn(&ShapeMeasure) -> f64| -> f64 { shapes.iter().map(|s| s.mvms as f64 * f(s)).sum() };
+    let speedup_vs_scalar = if selected == KernelKind::Scalar {
+        1.0
+    } else {
+        weighted(|s| s.scalar_ns_per_mvm) / weighted(|s| s.dispatched_ns_per_mvm)
+    };
+    let end_to_end = descs.last().map(|d| {
+        println!(
+            "[kernel-tier] end-to-end scalar vs {} on {} ...",
+            selected.label(),
+            d.name
+        );
+        measure_end_to_end(d, seed + 101)
+    });
+    KernelTier {
+        selected,
+        avx2_detected: avx2_available(),
+        speedup_vs_scalar,
+        shapes,
+        end_to_end,
+    }
+}
+
+impl KernelTier {
+    /// Serializes the block for the v6 report.
+    pub fn json(&self) -> Json {
+        let mut fields = vec![
+            ("selected", Json::str(self.selected.label())),
+            ("avx2_detected", Json::Bool(self.avx2_detected)),
+            ("speedup_vs_scalar", Json::Num(self.speedup_vs_scalar)),
+            (
+                "bit_identical",
+                Json::Bool(self.shapes.iter().all(|s| s.bit_identical)),
+            ),
+            (
+                "shapes",
+                Json::Arr(
+                    self.shapes
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("outs", Json::Num(s.outs as f64)),
+                                ("ins", Json::Num(s.ins as f64)),
+                                ("mvms", Json::Num(s.mvms as f64)),
+                                ("scalar_ns_per_mvm", Json::Num(s.scalar_ns_per_mvm)),
+                                ("dispatched_ns_per_mvm", Json::Num(s.dispatched_ns_per_mvm)),
+                                ("speedup", Json::Num(s.speedup())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(e) = &self.end_to_end {
+            fields.push((
+                "end_to_end",
+                Json::obj([
+                    ("model", Json::str(e.model.clone())),
+                    ("scalar_s", Json::Num(e.scalar_s)),
+                    ("dispatched_s", Json::Num(e.dispatched_s)),
+                    ("ratio", Json::Num(e.scalar_s / e.dispatched_s)),
+                    ("bit_identical", Json::Bool(e.bit_identical)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
+    }
+
+    /// Table rows (`shape | weight | scalar | dispatched | speedup |
+    /// identical`) for [`crate::print_table`].
+    pub fn rows(&self) -> Vec<Vec<String>> {
+        self.shapes
+            .iter()
+            .map(|s| {
+                vec![
+                    format!("{}x{}", s.outs, s.ins),
+                    format!("{}", s.mvms),
+                    format!("{:.0}", s.scalar_ns_per_mvm),
+                    format!("{:.0}", s.dispatched_ns_per_mvm),
+                    crate::fmt_x(s.speedup()),
+                    if s.bit_identical { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect()
+    }
+}
+
+/// Validates the `kernel_tier` block of a v6 report; returns every
+/// violation found. Gates: block present with a selected tier in
+/// {scalar, avx2}, all tiers bit-identical, aggregate speedup >= 1.0
+/// always, and >= 2.0 for committed full runs that selected AVX2 (smoke
+/// configs measure tiny shapes and only gate the >= 1.0 floor).
+pub fn kernel_tier_violations(doc: &Json) -> Vec<String> {
+    let mut errs = Vec::new();
+    let smoke_doc = doc.get("smoke").and_then(Json::as_bool).unwrap_or(false);
+    let mut check = |cond: bool, msg: &str| {
+        if !cond {
+            errs.push(format!("kernel_tier: {msg}"));
+        }
+    };
+    let Some(kt) = doc.get("kernel_tier") else {
+        return vec!["missing kernel_tier block".to_string()];
+    };
+    let selected = kt.get("selected").and_then(Json::as_str);
+    check(
+        matches!(selected, Some("scalar") | Some("avx2")),
+        "selected must be \"scalar\" or \"avx2\"",
+    );
+    check(
+        kt.get("avx2_detected").and_then(Json::as_bool).is_some(),
+        "missing avx2_detected",
+    );
+    check(
+        kt.get("bit_identical").and_then(Json::as_bool) == Some(true),
+        "kernel tiers must agree bit-for-bit on every measured shape",
+    );
+    check(
+        kt.get("shapes")
+            .and_then(Json::as_arr)
+            .is_some_and(|a| !a.is_empty()),
+        "shapes must be a non-empty array",
+    );
+    let speedup = kt.get("speedup_vs_scalar").and_then(Json::as_num);
+    check(speedup.is_some(), "missing speedup_vs_scalar");
+    if let Some(s) = speedup {
+        check(
+            s >= 1.0,
+            &format!("dispatched kernel is slower than scalar ({s:.2}x, need >= 1.0)"),
+        );
+        if !smoke_doc && selected == Some("avx2") {
+            check(
+                s >= 2.0,
+                &format!("AVX2 tier speedup is {s:.2}x on the zoo workload, need >= 2.0"),
+            );
+        }
+    }
+    if let Some(e) = kt.get("end_to_end") {
+        check(
+            e.get("bit_identical").and_then(Json::as_bool) == Some(true),
+            "end_to_end logits must be bit-identical across tiers",
+        );
+    }
+    errs
+}

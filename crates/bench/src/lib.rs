@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc_track;
+pub mod kernel_tier;
 pub mod plan_cache;
 pub mod report;
 

@@ -23,6 +23,7 @@
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
+use crate::kernels::KernelKind;
 use crate::macro_model::{matmul_into, reference_mvm, MacroParams, MvmStats, RomMvm};
 
 /// Which MVM implementation a layer is deployed on (see the module docs).
@@ -68,12 +69,22 @@ impl<R: RngCore + ?Sized> RngCore for DynRng<'_, R> {
 /// buffers grow on first use and keep their capacity.
 #[derive(Debug, Default)]
 pub struct MvmScratch {
-    /// Per-vector pulse bit-plane masks for the current (row-tile, chunk)
-    /// step, laid out `[vector][group][plane]`.
+    /// Staged pulse bit-plane masks for the current (row-tile, chunk)
+    /// step, laid out plane-major `[group][plane][vector]` with vectors
+    /// padded to the 4-lane SIMD width, so each plane streams
+    /// contiguously across the block.
     pub(crate) plane_masks: Vec<u64>,
     /// Per-vector `(analog_evaluations, adc_conversions, wl_pulses)`
     /// counters accumulated across the whole call.
     pub(crate) counters: Vec<[u64; 3]>,
+    /// Staged lane-packed `i16` activation rows for the AVX2 `madd`
+    /// matmul tier (unused by the scalar tier).
+    pub(crate) acts16: Vec<i16>,
+    /// Per-vector discharge counts of the column mask currently being
+    /// streamed (padded to the 4-lane SIMD width).
+    pub(crate) counts: Vec<u64>,
+    /// Per-chunk nonzero-pulse bitmaps for the vectorized counter fold.
+    pub(crate) fold_bitmaps: Vec<u64>,
 }
 
 impl MvmScratch {
@@ -167,6 +178,11 @@ pub trait MvmBackend: Send + Sync {
     /// Enables or disables the popcount fast path where it exists
     /// (no-op on backends without one).
     fn set_fast_path(&mut self, _enabled: bool) {}
+
+    /// Forces a specific kernel tier on backends with dispatched batch
+    /// kernels (no-op elsewhere). Tier choice never changes results —
+    /// that is exactly what the kernel-parity suites pin.
+    fn set_kernel(&mut self, _kind: KernelKind) {}
 }
 
 impl MvmBackend for RomMvm {
@@ -223,6 +239,10 @@ impl MvmBackend for RomMvm {
 
     fn set_fast_path(&mut self, enabled: bool) {
         RomMvm::set_fast_path(self, enabled);
+    }
+
+    fn set_kernel(&mut self, kind: KernelKind) {
+        RomMvm::set_kernel(self, kind);
     }
 }
 
@@ -457,10 +477,30 @@ mod tests {
         assert_eq!(stats, stats2, "scratch reuse changed the stats");
     }
 
+    /// Runs the kernel-parity oracle under every kernel tier the host
+    /// can execute, with a skip note when AVX2 is absent (CI also runs
+    /// the whole suite under `YOLOC_KERNEL=scalar` / `=avx2`, which
+    /// steers the `program`-time default this test then overrides).
+    fn assert_batch_parity_all_kernels(
+        b: &mut Box<dyn MvmBackend>,
+        acts: &[i32],
+        n: usize,
+        seed: u64,
+    ) {
+        for kind in crate::kernels::available_kinds() {
+            b.set_kernel(kind);
+            assert_batch_matches_per_vector(b.as_ref(), acts, n, seed);
+        }
+        if !crate::kernels::avx2_available() {
+            eprintln!("note: host lacks AVX2; kernel parity covered the scalar tier only");
+        }
+    }
+
     #[test]
     fn mvm_batch_matches_per_vector_all_backends() {
         // Paper design point (identity ADC transfer), multiple row and
-        // column tiles, sparse and dense vectors.
+        // column tiles, sparse and dense vectors — under every kernel
+        // tier the host supports.
         let (outs, ins, n) = (6, 300, 7);
         let codes: Vec<i32> = (0..outs * ins)
             .map(|i| ((i * 37) % 255) as i32 - 127)
@@ -473,16 +513,17 @@ mod tests {
             BackendKind::Analog,
             BackendKind::Software,
         ] {
-            let b = program_backend(kind, params, &codes, outs, ins);
-            assert_batch_matches_per_vector(b.as_ref(), &acts, n, 9);
+            let mut b = program_backend(kind, params, &codes, outs, ins);
+            assert_batch_parity_all_kernels(&mut b, &acts, n, 9);
         }
     }
 
     #[test]
     fn mvm_batch_matches_per_vector_under_adc_quantization() {
         // Overdriven rows: the 5-bit ADC actually quantizes, so the
-        // batched kernel must take the per-group digitize path and still
-        // agree bit for bit.
+        // batched kernel must take the per-group digitize path (the
+        // popcount mask stream, on every kernel tier) and still agree
+        // bit for bit.
         let mut params = MacroParams::rom_paper();
         params.rows_per_activation = 32; // full scale 96 >> 31 levels
         let (outs, ins, n) = (5, 200, 4);
@@ -490,8 +531,46 @@ mod tests {
             .map(|i| ((i * 41) % 255) as i32 - 127)
             .collect();
         let acts: Vec<i32> = (0..n * ins).map(|i| ((i * 23) % 256) as i32).collect();
-        let b = program_backend(BackendKind::Popcount, params, &codes, outs, ins);
-        assert_batch_matches_per_vector(b.as_ref(), &acts, n, 11);
+        let mut b = program_backend(BackendKind::Popcount, params, &codes, outs, ins);
+        assert_batch_parity_all_kernels(&mut b, &acts, n, 11);
+    }
+
+    #[test]
+    fn forced_kernel_tiers_agree_with_software_reference() {
+        // End-to-end tier equivalence at the batch entry: every tier's
+        // accumulators equal the digital golden model's, and the scalar
+        // and SIMD tiers produce identical MvmStats.
+        let (outs, ins, n) = (9, 280, 6);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 53) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..n * ins).map(|i| ((i * 29) % 256) as i32).collect();
+        let params = MacroParams::rom_paper();
+        let software = program_backend(BackendKind::Software, params, &codes, outs, ins);
+        let mut golden = vec![0i64; n * outs];
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut scratch = MvmScratch::new();
+        software.mvm_batch(
+            &acts,
+            n,
+            &mut golden,
+            &mut MvmStats::default(),
+            &mut scratch,
+            &mut rng,
+        );
+        let mut rom = program_backend(BackendKind::Popcount, params, &codes, outs, ins);
+        let mut tier_stats = Vec::new();
+        for kind in crate::kernels::available_kinds() {
+            rom.set_kernel(kind);
+            let mut out = vec![0i64; n * outs];
+            let mut stats = MvmStats::default();
+            rom.mvm_batch(&acts, n, &mut out, &mut stats, &mut scratch, &mut rng);
+            assert_eq!(out, golden, "{} tier diverges from software", kind.label());
+            tier_stats.push(stats);
+        }
+        for s in &tier_stats[1..] {
+            assert_eq!(*s, tier_stats[0], "tiers disagree on MvmStats");
+        }
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! Runtime-dispatched MVM kernel tiers.
+//!
+//! The batched bit-plane kernels ([`RomMvm::mvm_batch_exact`] and
+//! [`RomMvm::mvm_batch_fast`]) execute through one of two **tiers**:
+//!
+//! * [`KernelKind::Scalar`] — portable Rust, no `unsafe`, no ISA
+//!   assumptions. This tier *is* the reference semantics: every other
+//!   tier is pinned bit-identical to it (values **and** [`MvmStats`]) by
+//!   the kernel-parity property suites.
+//! * [`KernelKind::Avx2`] — x86_64 `std::arch` intrinsics (the `avx2`
+//!   module):
+//!   a register-blocked integer matmul (`_mm256_madd_epi16` when the
+//!   8-bit design point makes it overflow-safe, `_mm256_mul_epi32`
+//!   otherwise), a vectorized event-counter fold, and the lane-packed
+//!   `AND`+popcount mask stream via the `vpshufb` nibble-LUT trick.
+//!
+//! Which tier runs is decided **once, at [`RomMvm::program`] time**, by
+//! [`KernelDispatch`]: the `YOLOC_KERNEL` environment variable
+//! (`scalar`, `avx2` or `auto`) overrides the default `auto` policy,
+//! which selects AVX2 whenever `is_x86_feature_detected!("avx2")` holds.
+//! The hot loops then match on a stored [`KernelKind`] — no per-call
+//! feature detection.
+//!
+//! All arithmetic on every tier is exact integer arithmetic, so tier
+//! choice can never change a result; the dispatch surface exists purely
+//! for speed, and CI runs the parity suites under both overrides to keep
+//! it that way.
+//!
+//! [`RomMvm::mvm_batch_exact`]: crate::macro_model::RomMvm
+//! [`RomMvm::mvm_batch_fast`]: crate::macro_model::RomMvm
+//! [`RomMvm::program`]: crate::macro_model::RomMvm::program
+//! [`MvmStats`]: crate::macro_model::MvmStats
+
+pub(crate) mod scalar;
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx2;
+
+/// The kernel tier a programmed engine executes its batched MVMs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Portable scalar tier — the bit-identical reference.
+    Scalar,
+    /// AVX2 `std::arch` tier (x86_64 with runtime-detected support).
+    Avx2,
+}
+
+impl KernelKind {
+    /// Short stable label used in reports and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelKind::Scalar => "scalar",
+            KernelKind::Avx2 => "avx2",
+        }
+    }
+}
+
+/// How to pick the [`KernelKind`] for a newly programmed engine.
+///
+/// Parsed from the `YOLOC_KERNEL` environment variable at
+/// [`RomMvm::program`] time (`scalar` | `avx2` | `auto`; unset means
+/// [`KernelDispatch::Auto`]). Forcing `avx2` on a host without AVX2
+/// resolves to the scalar tier with a one-time warning rather than
+/// aborting, so a pinned CI environment stays runnable everywhere — the
+/// parity suites detect the downgrade and skip-with-note.
+///
+/// [`RomMvm::program`]: crate::macro_model::RomMvm::program
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelDispatch {
+    /// Pick the fastest tier the host supports (the default).
+    #[default]
+    Auto,
+    /// Force the portable scalar tier.
+    Scalar,
+    /// Force the AVX2 tier (falls back to scalar, with a warning, when
+    /// the host lacks AVX2).
+    Avx2,
+}
+
+impl KernelDispatch {
+    /// Reads the dispatch policy from `YOLOC_KERNEL`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value — a typoed override must fail
+    /// loudly, not silently benchmark the wrong tier.
+    pub fn from_env() -> Self {
+        match std::env::var("YOLOC_KERNEL") {
+            Err(_) => KernelDispatch::Auto,
+            Ok(v) => match v.as_str() {
+                "auto" | "" => KernelDispatch::Auto,
+                "scalar" => KernelDispatch::Scalar,
+                "avx2" => KernelDispatch::Avx2,
+                other => panic!("unknown YOLOC_KERNEL value {other:?} (expected scalar|avx2|auto)"),
+            },
+        }
+    }
+
+    /// Resolves the policy against the host's detected features.
+    pub fn resolve(self) -> KernelKind {
+        match self {
+            KernelDispatch::Scalar => KernelKind::Scalar,
+            KernelDispatch::Auto => {
+                if avx2_available() {
+                    KernelKind::Avx2
+                } else {
+                    KernelKind::Scalar
+                }
+            }
+            KernelDispatch::Avx2 => {
+                if avx2_available() {
+                    KernelKind::Avx2
+                } else {
+                    warn_avx2_unavailable();
+                    KernelKind::Scalar
+                }
+            }
+        }
+    }
+}
+
+/// Whether the AVX2 tier can run on this host (always `false` off
+/// x86_64). Detection is cached by the standard library; calling this in
+/// a hot loop is still wrong — resolve once and store the [`KernelKind`].
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Every kernel tier the host can execute, scalar first. Parity suites
+/// iterate this so a test run covers exactly the tiers that can run.
+pub fn available_kinds() -> Vec<KernelKind> {
+    let mut kinds = vec![KernelKind::Scalar];
+    if avx2_available() {
+        kinds.push(KernelKind::Avx2);
+    }
+    kinds
+}
+
+fn warn_avx2_unavailable() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!("note: YOLOC_KERNEL=avx2 requested but AVX2 is not available; using the scalar kernel tier");
+    }
+}
+
+/// The stored weight codes of an exact-kernel engine, in every packing
+/// the matmul tiers understand: row-major `i32` (the reference layout)
+/// plus the optional lane-packed `i16` copy (`ins16`-strided, zero
+/// padded) built at `program` time when the `_mm256_madd_epi16` path is
+/// overflow-safe.
+pub(crate) struct ExactCodes<'a> {
+    /// Row-major `outs x ins` signed codes.
+    pub codes: &'a [i32],
+    /// Lane-packed `i16` codes (`outs x ins16`), empty when ineligible.
+    pub codes16: &'a [i16],
+    /// Row stride of `codes16`: `ins` rounded up to 16 lanes.
+    pub ins16: usize,
+    /// Output rows.
+    pub outs: usize,
+    /// Dot-product depth.
+    pub ins: usize,
+}
+
+/// Batched integer matmul `out[v][o] = sum_i codes[o][i] * acts[v][i]`,
+/// dispatched by tier. Every tier computes the exact integer product —
+/// bit-identical to [`scalar::matmul_into`] by construction (and by the
+/// parity suites).
+pub(crate) fn matmul_exact(
+    kind: KernelKind,
+    c: &ExactCodes<'_>,
+    acts: &[i32],
+    n: usize,
+    out: &mut [i64],
+    acts16: &mut Vec<i16>,
+) {
+    match kind {
+        KernelKind::Scalar => scalar::matmul_into(c.codes, c.outs, c.ins, acts, n, out),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => avx2::matmul_exact(c, acts, n, out, acts16),
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelKind::Avx2 => unreachable!("AVX2 tier cannot be selected off x86_64"),
+    }
+}
+
+/// Shape constants of one event-counter fold, shared by every tier.
+pub(crate) struct FoldParams<'a> {
+    /// Global `(lo, hi)` activation-row ranges of every analog group, in
+    /// row order (precomputed at `program` time; groups never span a row
+    /// tile).
+    pub group_bounds: &'a [(u32, u32)],
+    /// Activation chunk count (`ceil(act_bits / chunk_bits)`).
+    pub n_chunks: usize,
+    /// Bits per activation chunk.
+    pub chunk_bits: u8,
+    /// Column tiles every group evaluation fans across.
+    pub col_tiles: u64,
+    /// Bit lines digitized per group evaluation.
+    pub cols: u64,
+}
+
+/// The one shared event-counter fold (the satellite fix for the
+/// duplicated walks): derives each vector's
+/// `(analog_evaluations, adc_conversions, wl_pulses)` from pulse
+/// activity alone — a group evaluates for a chunk iff any of its rows
+/// carries a nonzero pulse in that chunk — and **accumulates** into
+/// `counters[v]`. Both batch kernels call this, so the SIMD tier can
+/// never drift from the statistics the scalar tier reports.
+pub(crate) fn fold_event_counters(
+    kind: KernelKind,
+    acts: &[i32],
+    ins: usize,
+    n: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+    bitmaps: &mut Vec<u64>,
+) {
+    match kind {
+        KernelKind::Scalar => scalar::fold_event_counters(acts, ins, n, p, counters),
+        #[cfg(target_arch = "x86_64")]
+        // The vectorized fold pays per-vector reduction overhead; below
+        // ~64 rows it cannot win. Both are exact, so the cutover is a
+        // pure-speed heuristic.
+        KernelKind::Avx2 if ins >= 64 && p.n_chunks <= 4 => {
+            avx2::fold_event_counters(acts, ins, n, p, counters, bitmaps);
+        }
+        #[cfg(target_arch = "x86_64")]
+        // Below the vector cutover, the tier-2 win is table-driven chunk
+        // spreading (one load+add per activation) at the paper chunking.
+        KernelKind::Avx2 if p.chunk_bits == 2 && p.n_chunks == 4 => {
+            let _ = bitmaps;
+            avx2::fold_event_counters_small(acts, ins, n, p, counters);
+        }
+        KernelKind::Avx2 => {
+            let _ = bitmaps;
+            scalar::fold_event_counters(acts, ins, n, p, counters);
+        }
+    }
+}
+
+/// Discharge counts of one stored column mask against the staged pulse
+/// bit-planes of a whole block:
+/// `counts[v] = sum_b 2^b * popcount(mask & planes[b][v])`, with the
+/// plane-major staging layout `planes[b * n_pad + v]`. Dispatched by
+/// tier; `counts.len()` is the lane-padded block size `n_pad`.
+pub(crate) fn group_counts(
+    kind: KernelKind,
+    mask: u64,
+    planes: &[u64],
+    n_planes: usize,
+    n_pad: usize,
+    counts: &mut [u64],
+) {
+    match kind {
+        KernelKind::Scalar => scalar::group_counts(mask, planes, n_planes, n_pad, counts),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => avx2::group_counts(mask, planes, n_planes, n_pad, counts),
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelKind::Avx2 => unreachable!("AVX2 tier cannot be selected off x86_64"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_resolution_is_host_consistent() {
+        assert_eq!(KernelDispatch::Scalar.resolve(), KernelKind::Scalar);
+        let auto = KernelDispatch::Auto.resolve();
+        let forced = KernelDispatch::Avx2.resolve();
+        if avx2_available() {
+            assert_eq!(auto, KernelKind::Avx2);
+            assert_eq!(forced, KernelKind::Avx2);
+        } else {
+            // Forcing AVX2 on a host without it downgrades (with a
+            // warning) instead of aborting.
+            assert_eq!(auto, KernelKind::Scalar);
+            assert_eq!(forced, KernelKind::Scalar);
+        }
+        let kinds = available_kinds();
+        assert_eq!(kinds[0], KernelKind::Scalar);
+        assert_eq!(kinds.len(), 1 + avx2_available() as usize);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(KernelKind::Scalar.label(), "scalar");
+        assert_eq!(KernelKind::Avx2.label(), "avx2");
+    }
+
+    #[test]
+    fn primitive_kernels_match_scalar_reference_on_every_tier() {
+        // Direct primitive-level parity on irregular shapes (remainders
+        // in every dimension); the macro-level parity suites cover the
+        // same tiers end to end.
+        let (outs, ins, n) = (7usize, 83usize, 5usize);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| (i as i32 * 37) % 255 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..n * ins).map(|i| (i as i32 * 13) % 256).collect();
+        let ins16 = ins.next_multiple_of(16);
+        let mut codes16 = vec![0i16; outs * ins16];
+        for o in 0..outs {
+            for i in 0..ins {
+                codes16[o * ins16 + i] = codes[o * ins + i] as i16;
+            }
+        }
+        let mut reference = vec![0i64; n * outs];
+        scalar::matmul_into(&codes, outs, ins, &acts, n, &mut reference);
+        let bounds: Vec<(u32, u32)> = (0..ins as u32)
+            .step_by(10)
+            .map(|lo| (lo, (lo + 10).min(ins as u32)))
+            .collect();
+        let fold = FoldParams {
+            group_bounds: &bounds,
+            n_chunks: 4,
+            chunk_bits: 2,
+            col_tiles: 3,
+            cols: 256,
+        };
+        let mut ref_counters = vec![[0u64; 3]; n];
+        scalar::fold_event_counters(&acts, ins, n, &fold, &mut ref_counters);
+        for kind in available_kinds() {
+            for with_i16 in [false, true] {
+                let c = ExactCodes {
+                    codes: &codes,
+                    codes16: if with_i16 { &codes16 } else { &[] },
+                    ins16: if with_i16 { ins16 } else { 0 },
+                    outs,
+                    ins,
+                };
+                let mut out = vec![0i64; n * outs];
+                let mut acts16 = Vec::new();
+                matmul_exact(kind, &c, &acts, n, &mut out, &mut acts16);
+                assert_eq!(out, reference, "{} matmul (i16={with_i16})", kind.label());
+            }
+            let mut counters = vec![[0u64; 3]; n];
+            let mut bitmaps = Vec::new();
+            fold_event_counters(kind, &acts, ins, n, &fold, &mut counters, &mut bitmaps);
+            assert_eq!(counters, ref_counters, "{} fold", kind.label());
+        }
+        // Popcount stream parity over staged planes.
+        let (n_planes, n_pad) = (2, 8);
+        let planes: Vec<u64> = (0..n_planes * n_pad)
+            .map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
+        let mask = 0x0000_03ffu64; // 10-row group mask
+        let mut ref_counts = vec![0u64; n_pad];
+        scalar::group_counts(mask, &planes, n_planes, n_pad, &mut ref_counts);
+        for kind in available_kinds() {
+            let mut counts = vec![0u64; n_pad];
+            group_counts(kind, mask, &planes, n_planes, n_pad, &mut counts);
+            assert_eq!(counts, ref_counts, "{} group_counts", kind.label());
+        }
+    }
+}

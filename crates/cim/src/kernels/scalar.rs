@@ -1,0 +1,107 @@
+//! The portable scalar kernel tier — the bit-identical reference every
+//! other tier is pinned against. No `unsafe`, no ISA assumptions.
+
+use super::FoldParams;
+
+/// The one row-major integer matmul every digital path shares:
+/// `out[v*outs + o] = sum_i codes[o*ins + i] * acts[v*ins + i]` — used by
+/// [`reference_mvm`], the software backend's batch entry and the scalar
+/// tier of [`RomMvm::mvm_batch_exact`], so the arithmetic can never
+/// diverge between them.
+///
+/// [`reference_mvm`]: crate::macro_model::reference_mvm
+/// [`RomMvm::mvm_batch_exact`]: crate::macro_model::RomMvm
+pub(crate) fn matmul_into(
+    codes: &[i32],
+    outs: usize,
+    ins: usize,
+    acts: &[i32],
+    n: usize,
+    out: &mut [i64],
+) {
+    debug_assert_eq!(codes.len(), outs * ins);
+    debug_assert_eq!(acts.len(), n * ins);
+    debug_assert_eq!(out.len(), n * outs);
+    for v in 0..n {
+        let av = &acts[v * ins..(v + 1) * ins];
+        for (o, slot) in out[v * outs..(v + 1) * outs].iter_mut().enumerate() {
+            *slot = codes[o * ins..(o + 1) * ins]
+                .iter()
+                .zip(av)
+                .map(|(&w, &a)| w as i64 * a as i64)
+                .sum();
+        }
+    }
+}
+
+/// Scalar event-counter fold: one pass over each vector's activation
+/// codes, accumulating all chunks simultaneously. A group is *active*
+/// for a chunk iff the OR of its rows has a nonzero field at that
+/// chunk's bit position — the same predicate the per-(tile, chunk)
+/// popcount walk applies, folded over the whole vector at once (legal
+/// because a silent `(tile, chunk)` step contributes zero to every
+/// counter, and the per-tile column fan-out `col_tiles` is a constant).
+pub(crate) fn fold_event_counters(
+    acts: &[i32],
+    ins: usize,
+    n: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+) {
+    debug_assert!(p.n_chunks <= 8, "chunk count exceeds the fold accumulators");
+    debug_assert_eq!(counters.len(), n);
+    debug_assert_eq!(acts.len(), n * ins);
+    let chunk_mask = (1u32 << p.chunk_bits) - 1;
+    for (v, c) in counters.iter_mut().enumerate() {
+        let av = &acts[v * ins..(v + 1) * ins];
+        let mut totals = [0u64; 8];
+        let mut actives = [0u64; 8];
+        for &(lo, hi) in p.group_bounds {
+            let mut group_or = 0u32;
+            for &a in &av[lo as usize..hi as usize] {
+                let a = a as u32;
+                group_or |= a;
+                for (ci, t) in totals[..p.n_chunks].iter_mut().enumerate() {
+                    *t += ((a >> (ci as u32 * p.chunk_bits as u32)) & chunk_mask) as u64;
+                }
+            }
+            for (ci, act) in actives[..p.n_chunks].iter_mut().enumerate() {
+                if (group_or >> (ci as u32 * p.chunk_bits as u32)) & chunk_mask != 0 {
+                    *act += 1;
+                }
+            }
+        }
+        let active: u64 = actives[..p.n_chunks].iter().sum();
+        let total: u64 = totals[..p.n_chunks].iter().sum();
+        c[0] += active * p.col_tiles;
+        c[1] += active * p.cols * p.col_tiles;
+        c[2] += total * p.col_tiles;
+    }
+}
+
+/// Scalar discharge-count stream for one stored column mask against the
+/// plane-major staged pulse bit-planes (`planes[b * n_pad + v]`).
+pub(crate) fn group_counts(
+    mask: u64,
+    planes: &[u64],
+    n_planes: usize,
+    n_pad: usize,
+    counts: &mut [u64],
+) {
+    debug_assert!(planes.len() >= n_planes * n_pad);
+    debug_assert_eq!(counts.len(), n_pad);
+    if n_planes == 0 {
+        counts.fill(0);
+        return;
+    }
+    let (first, rest) = planes[..n_planes * n_pad].split_at(n_pad);
+    for (c, &pl) in counts.iter_mut().zip(first) {
+        *c = (mask & pl).count_ones() as u64;
+    }
+    for (b, plane) in rest.chunks_exact(n_pad).enumerate() {
+        let w = 1u64 << (b + 1);
+        for (c, &pl) in counts.iter_mut().zip(plane) {
+            *c += w * (mask & pl).count_ones() as u64;
+        }
+    }
+}

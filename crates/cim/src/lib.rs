@@ -23,12 +23,17 @@
 //! assert!((spec.inference_time_ns - 8.9).abs() < 1e-9);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `kernels::avx2` module is the one place
+// allowed to opt back in (scoped `allow` + `deny(unsafe_op_in_unsafe_fn)`
+// + a safety comment on every intrinsic block). Everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analog;
 pub mod backend;
 pub mod cells;
+pub mod kernels;
 pub mod macro_model;
 pub mod rom_image;
 pub mod tcam;
@@ -37,6 +42,7 @@ pub mod technology;
 pub use analog::{AdcModel, AnalogArray, AnalogConfig};
 pub use backend::{program_backend, BackendKind, DynRng, MvmBackend, SoftwareMvm};
 pub use cells::{CellKind, RomCell};
+pub use kernels::{avx2_available, KernelDispatch, KernelKind};
 pub use macro_model::{MacroParams, MacroSpec, MvmStats, RomMvm};
 pub use rom_image::RomImage;
 pub use tcam::{TcamMacro, TcamParams};

@@ -17,7 +17,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::analog::{AdcModel, AnalogArray, AnalogConfig};
 use crate::cells::CellKind;
+use crate::kernels::{self, KernelDispatch, KernelKind};
 use yoloc_quant::bitplane::{signed_bitplanes, signed_plane_weight, unsigned_chunks};
+
+pub(crate) use crate::kernels::scalar::matmul_into;
 
 /// Circuit-level parameters of a CiM macro.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -296,9 +299,22 @@ impl MvmStats {
 /// `group_start + k` is strapped. One analog group evaluation of a column
 /// then reduces to `sum_b 2^b * popcount(mask & pulse_plane_b)` — the
 /// discharge-count arithmetic without walking individual cells.
+///
+/// Alongside the dense table (which the per-vector fast path indexes at
+/// random), the batched stream keeps a **lane-packed tile-major copy**:
+/// `nz` lists only the nonzero column masks, grouped by activation group
+/// (`nz_offsets[g]..nz_offsets[g + 1]`) and ordered `(output, bit-plane)`
+/// within a group, each entry carrying its metadata as
+/// `(o_local << 8) | plane`. The batch kernel therefore streams exactly
+/// the masks that can contribute, contiguously, one L1-resident weight
+/// tile at a time — and zero-mask columns (sparse codes) cost nothing.
 #[derive(Debug, Clone)]
 struct PopcountTile {
     masks: Vec<u64>,
+    /// `(meta, mask)` for every nonzero column mask, tile-major.
+    nz: Vec<(u32, u64)>,
+    /// `groups + 1` prefix offsets into `nz`.
+    nz_offsets: Vec<u32>,
 }
 
 /// A quantized weight matrix programmed into ROM-CiM subarrays, executing
@@ -336,6 +352,20 @@ pub struct RomMvm {
     /// reachable (noiseless macro, maskable groups, identity ADC), so
     /// configurations that can never take it pay no duplicate storage.
     codes: Vec<i32>,
+    /// Lane-packed `i16` copy of `codes` (`outs x ins16` with zero
+    /// padding), built only when the AVX2 `madd` matmul is overflow-safe
+    /// (`weight_bits <= 8`, `act_bits <= 8`, `ins <= 32768` keeps every
+    /// dot product under `i32::MAX`); empty otherwise.
+    codes16: Vec<i16>,
+    /// Row stride of `codes16` (`ins` rounded up to 16 `i16` lanes).
+    ins16: usize,
+    /// Global `(lo, hi)` activation-row range of every analog group in
+    /// row order — the precomputed walk the shared event-counter fold
+    /// uses (groups never span a row-tile boundary).
+    group_bounds: Vec<(u32, u32)>,
+    /// The kernel tier batched MVMs execute on, resolved once at
+    /// `program` time from `YOLOC_KERNEL` / feature detection.
+    kernel: KernelKind,
     fast_path_enabled: bool,
     ins: usize,
     outs: usize,
@@ -394,7 +424,31 @@ impl RomMvm {
                             }
                         }
                     }
-                    pr.push(PopcountTile { masks });
+                    // Lane-packed tile-major copy for the batch stream:
+                    // only nonzero masks, grouped by activation group.
+                    let wb = params.weight_bits as usize;
+                    let mut nz = Vec::new();
+                    let mut nz_offsets = Vec::with_capacity(groups + 1);
+                    nz_offsets.push(0u32);
+                    for g in 0..groups {
+                        for o in 0..outs_per_array {
+                            if ct * outs_per_array + o >= outs {
+                                break;
+                            }
+                            for j in 0..wb {
+                                let mask = masks[g * params.cols + o * wb + j];
+                                if mask != 0 {
+                                    nz.push((((o as u32) << 8) | j as u32, mask));
+                                }
+                            }
+                        }
+                        nz_offsets.push(u32::try_from(nz.len()).expect("nz list fits u32"));
+                    }
+                    pr.push(PopcountTile {
+                        masks,
+                        nz,
+                        nz_offsets,
+                    });
                 }
                 row.push(AnalogArray::from_bits(cfg, &bits));
             }
@@ -413,6 +467,46 @@ impl RomMvm {
                 AdcModel::Ideal => true,
                 AdcModel::Sar { bits, full_scale } => full_scale < (1u32 << bits),
             };
+        // The `_mm256_madd_epi16` tier needs a lane-packed i16 copy and
+        // an overflow proof: 8-bit signed codes x 8-bit unsigned acts
+        // over at most 32768 inputs keeps every i32 accumulator lane
+        // under 2^27, far inside range.
+        let i16_eligible =
+            exact_reachable && params.weight_bits <= 8 && params.act_bits <= 8 && ins <= 32_768;
+        let ins16 = if i16_eligible {
+            ins.next_multiple_of(16)
+        } else {
+            0
+        };
+        let codes16 = if i16_eligible {
+            let mut c16 = vec![0i16; outs * ins16];
+            for o in 0..outs {
+                for (dst, &code) in c16[o * ins16..o * ins16 + ins]
+                    .iter_mut()
+                    .zip(&codes[o * ins..(o + 1) * ins])
+                {
+                    *dst = code as i16;
+                }
+            }
+            c16
+        } else {
+            Vec::new()
+        };
+        // Precompute the global activation-group walk for the shared
+        // event-counter fold: groups are rpa-row runs that restart at
+        // every row-tile boundary.
+        assert!(ins <= u32::MAX as usize, "ins exceeds group-bound range");
+        let mut group_bounds = Vec::new();
+        for rt in 0..row_tiles {
+            let lo = rt * params.rows;
+            let hi = ((rt + 1) * params.rows).min(ins);
+            let mut g = lo;
+            while g < hi {
+                let ge = (g + rpa).min(hi);
+                group_bounds.push((g as u32, ge as u32));
+                g = ge;
+            }
+        }
         RomMvm {
             params,
             tiles,
@@ -422,10 +516,49 @@ impl RomMvm {
             } else {
                 Vec::new()
             },
+            codes16,
+            ins16,
+            group_bounds,
+            kernel: KernelDispatch::from_env().resolve(),
             fast_path_enabled: true,
             ins,
             outs,
             outs_per_array,
+        }
+    }
+
+    /// Forces the batched MVM kernels onto a specific tier, overriding
+    /// the `program`-time dispatch. Tier choice never changes results
+    /// (CI-pinned by the kernel-parity suites); this exists for those
+    /// suites and for benchmarking the tiers against each other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requested tier cannot execute on this host.
+    pub fn set_kernel(&mut self, kind: KernelKind) {
+        if kind == KernelKind::Avx2 {
+            assert!(
+                kernels::avx2_available(),
+                "AVX2 kernel tier is not available on this host"
+            );
+        }
+        self.kernel = kind;
+    }
+
+    /// The kernel tier batched MVMs currently execute on.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// The fold-shape constants shared by both batch kernels.
+    fn fold_params(&self) -> kernels::FoldParams<'_> {
+        let p = &self.params;
+        kernels::FoldParams {
+            group_bounds: &self.group_bounds,
+            n_chunks: p.act_bits.div_ceil(p.chunk_bits) as usize,
+            chunk_bits: p.chunk_bits,
+            col_tiles: self.tiles.first().map_or(0, |r| r.len()) as u64,
+            cols: p.cols as u64,
         }
     }
 
@@ -611,11 +744,12 @@ impl RomMvm {
     /// is an identity ([`RomMvm::adc_is_identity`]): the bit-serial
     /// datapath then reconstructs the exact integer product (the repo's
     /// core equivalence claim, property-tested in both directions), so
-    /// the accumulators come from a plain row-major integer matmul over
-    /// the stored weight codes — the fastest batch kernel — while the
-    /// event counters are folded from the pulse activity exactly as the
-    /// popcount walk counts them. Bit-identical to a per-vector
-    /// [`RomMvm::mvm_fast`] loop in values *and* statistics.
+    /// the accumulators come from an integer matmul over the stored
+    /// weight codes — dispatched through the selected kernel tier
+    /// ([`RomMvm::kernel`]) — while the event counters come from the
+    /// shared [`kernels::fold_event_counters`]. Bit-identical to a
+    /// per-vector [`RomMvm::mvm_fast`] loop in values *and* statistics
+    /// on every tier.
     pub(crate) fn mvm_batch_exact(
         &self,
         acts: &[i32],
@@ -629,48 +763,27 @@ impl RomMvm {
             !self.codes.is_empty() || self.outs == 0 || self.ins == 0,
             "exact kernel requires the stored code matrix"
         );
-        let p = &self.params;
-        let rpa = p.rows_per_activation;
-        let n_chunks = p.act_bits.div_ceil(p.chunk_bits) as usize;
-        let chunk_mask = (1u32 << p.chunk_bits) - 1;
-        // Exact values: the shared row-major integer matmul.
-        matmul_into(&self.codes, self.outs, self.ins, acts, n, out);
-        // Event counters: the same per-(row-tile, chunk) fold the
-        // popcount walk performs, derived from pulse activity alone.
+        // Exact values: the dispatched integer matmul.
+        let codes = kernels::ExactCodes {
+            codes: &self.codes,
+            codes16: &self.codes16,
+            ins16: self.ins16,
+            outs: self.outs,
+            ins: self.ins,
+        };
+        kernels::matmul_exact(self.kernel, &codes, acts, n, out, &mut scratch.acts16);
+        // Event counters: the one shared fold over the pulse activity.
         scratch.counters.clear();
         scratch.counters.resize(n, [0u64; 3]);
-        for (rt, tile_row) in self.tiles.iter().enumerate() {
-            let row_lo = rt * p.rows;
-            let row_hi = ((rt + 1) * p.rows).min(self.ins);
-            let col_tiles = tile_row.len() as u64;
-            for c_idx in 0..n_chunks {
-                let shift = c_idx as u8 * p.chunk_bits;
-                for (v, counters) in scratch.counters.iter_mut().enumerate() {
-                    let av = &acts[v * self.ins + row_lo..v * self.ins + row_hi];
-                    let mut total_pulses = 0u64;
-                    let mut active = 0u64;
-                    // Rows walk groups in order: count a group once at
-                    // its first nonzero pulse.
-                    let mut cur_group = usize::MAX;
-                    for (r, &a) in av.iter().enumerate() {
-                        let pulse = ((a as u32) >> shift) & chunk_mask;
-                        if pulse != 0 {
-                            total_pulses += pulse as u64;
-                            let g = r / rpa;
-                            if g != cur_group {
-                                active += 1;
-                                cur_group = g;
-                            }
-                        }
-                    }
-                    if total_pulses > 0 {
-                        counters[0] += active * col_tiles;
-                        counters[1] += active * p.cols as u64 * col_tiles;
-                        counters[2] += total_pulses * col_tiles;
-                    }
-                }
-            }
-        }
+        kernels::fold_event_counters(
+            self.kernel,
+            acts,
+            self.ins,
+            n,
+            &self.fold_params(),
+            &mut scratch.counters,
+            &mut scratch.fold_bitmaps,
+        );
         self.merge_counter_stats(&scratch.counters, stats);
     }
 
@@ -678,6 +791,7 @@ impl RomMvm {
     /// [`RomMvm::finish_stats`]) and merges them **in vector order** —
     /// the exact fold a per-vector `mvm` loop performs.
     fn merge_counter_stats(&self, counters: &[[u64; 3]], stats: &mut MvmStats) {
+        let finisher = self.stats_finisher();
         for c in counters {
             let mut s = MvmStats {
                 analog_evaluations: c[0],
@@ -685,7 +799,7 @@ impl RomMvm {
                 wl_pulses: c[2],
                 ..MvmStats::default()
             };
-            self.finish_stats(&mut s);
+            finisher.finish(&mut s);
             stats.merge(&s);
         }
     }
@@ -709,6 +823,10 @@ impl RomMvm {
     /// calls entirely, which is where most of the batched speedup on the
     /// default configuration comes from.
     ///
+    /// The `AND`+popcount inner loop and the counter fold dispatch
+    /// through the selected kernel tier ([`RomMvm::kernel`]); every tier
+    /// computes identical integers, so tier choice is invisible here.
+    ///
     /// # Panics
     ///
     /// Panics if the slice lengths mismatch or the fast path is
@@ -727,7 +845,6 @@ impl RomMvm {
             .popcount_tiles
             .as_ref()
             .expect("fast path requires popcount tables");
-        let wb = p.weight_bits as usize;
         let rpa = p.rows_per_activation;
         let n_groups = p.rows.div_ceil(rpa);
         let n_planes = p.chunk_bits as usize;
@@ -738,84 +855,85 @@ impl RomMvm {
         // branch is kept so this kernel stands alone as well.
         let adc_identity = self.adc_is_identity();
         out.fill(0);
+        // Event counters: the one shared fold over the pulse activity
+        // (pure function of the pulses, independent of the mask stream).
         scratch.counters.clear();
         scratch.counters.resize(n, [0u64; 3]);
+        kernels::fold_event_counters(
+            self.kernel,
+            acts,
+            self.ins,
+            n,
+            &self.fold_params(),
+            &mut scratch.counters,
+            &mut scratch.fold_bitmaps,
+        );
+        // Values: per (row-tile, chunk), stage the block's pulse planes
+        // **plane-major** (`[group][plane][vector]`, vectors padded to
+        // the 4-lane AVX2 width) so each staged plane is contiguous
+        // across the block, then stream the tile-major lane-packed
+        // nonzero weight masks once per block — one L1-resident weight
+        // tile against all staged activation bit-planes.
+        let n_pad = n.next_multiple_of(4);
+        let group_stride = n_planes * n_pad;
         scratch.plane_masks.clear();
-        scratch.plane_masks.resize(n * n_groups * n_planes, 0);
-        let vg = n_groups * n_planes; // per-vector mask stride
+        scratch.plane_masks.resize(n_groups * group_stride, 0);
+        scratch.counts.clear();
+        scratch.counts.resize(n_pad, 0);
         for (rt, tile_row) in popcount_tiles.iter().enumerate() {
             let row_lo = rt * p.rows;
             let row_hi = ((rt + 1) * p.rows).min(self.ins);
-            let col_tiles = tile_row.len() as u64;
             for c_idx in 0..n_chunks {
                 let shift = c_idx as u8 * p.chunk_bits;
                 let act_weight = 1i64 << shift;
-                // Stage every vector's pulse bit-planes for this step and
-                // fold its event counters (pure function of the pulses).
                 scratch.plane_masks.fill(0);
+                let mut any_pulse = false;
                 for v in 0..n {
                     let av = &acts[v * self.ins + row_lo..v * self.ins + row_hi];
-                    let planes = &mut scratch.plane_masks[v * vg..(v + 1) * vg];
-                    let mut total_pulses = 0u64;
                     for (r, &a) in av.iter().enumerate() {
                         let pulse = ((a as u32) >> shift) & chunk_mask;
                         if pulse == 0 {
                             continue;
                         }
-                        total_pulses += pulse as u64;
+                        any_pulse = true;
                         let bit = 1u64 << (r % rpa);
-                        let base = (r / rpa) * n_planes;
-                        for (b, plane) in planes[base..base + n_planes].iter_mut().enumerate() {
+                        let base = (r / rpa) * group_stride + v;
+                        for b in 0..n_planes {
                             if (pulse >> b) & 1 == 1 {
-                                *plane |= bit;
+                                scratch.plane_masks[base + b * n_pad] |= bit;
                             }
                         }
                     }
-                    if total_pulses == 0 {
-                        continue;
-                    }
-                    let active = (0..n_groups)
-                        .filter(|g| {
-                            planes[g * n_planes..(g + 1) * n_planes]
-                                .iter()
-                                .any(|&m| m != 0)
-                        })
-                        .count() as u64;
-                    let c = &mut scratch.counters[v];
-                    c[0] += active * col_tiles;
-                    c[1] += active * p.cols as u64 * col_tiles;
-                    c[2] += total_pulses * col_tiles;
                 }
-                // Stream the weight masks once for the whole block.
+                if !any_pulse {
+                    continue;
+                }
                 for (ct, tile) in tile_row.iter().enumerate() {
                     for g in 0..n_groups {
-                        let mask_row = &tile.masks[g * p.cols..(g + 1) * p.cols];
-                        for o in 0..self.outs_per_array {
-                            let out_idx = ct * self.outs_per_array + o;
-                            if out_idx >= self.outs {
-                                break;
-                            }
-                            for j in 0..wb {
-                                let col_mask = mask_row[o * wb + j];
-                                if col_mask == 0 {
+                        let planes = &scratch.plane_masks[g * group_stride..(g + 1) * group_stride];
+                        let span = tile.nz_offsets[g] as usize..tile.nz_offsets[g + 1] as usize;
+                        for &(meta, mask) in &tile.nz[span] {
+                            let out_idx = ct * self.outs_per_array + (meta >> 8) as usize;
+                            let j = (meta & 0xff) as usize;
+                            let w_plane = act_weight * signed_plane_weight(j, p.weight_bits);
+                            kernels::group_counts(
+                                self.kernel,
+                                mask,
+                                planes,
+                                n_planes,
+                                n_pad,
+                                &mut scratch.counts,
+                            );
+                            for (v, &count) in scratch.counts[..n].iter().enumerate() {
+                                if count == 0 {
                                     continue;
                                 }
-                                let w_plane = act_weight * signed_plane_weight(j, p.weight_bits);
-                                for v in 0..n {
-                                    let planes = &scratch.plane_masks[v * vg + g * n_planes..];
-                                    let count: u32 = (0..n_planes)
-                                        .map(|b| (1u32 << b) * (col_mask & planes[b]).count_ones())
-                                        .sum();
-                                    if count == 0 {
-                                        continue;
-                                    }
-                                    let readout = if adc_identity {
-                                        count as i64
-                                    } else {
-                                        adc.digitize(count as f32)
-                                    };
-                                    out[v * self.outs + out_idx] += w_plane * readout;
-                                }
+                                let readout = if adc_identity {
+                                    count as i64
+                                } else {
+                                    adc.digitize(count as f32)
+                                };
+                                out[v * self.outs + out_idx] += w_plane * readout;
                             }
                         }
                     }
@@ -888,16 +1006,63 @@ impl RomMvm {
     /// inputs takes `t_inference_ns`; column tiles run in parallel on
     /// distinct subarrays, so divide by the column-tile count.
     fn finish_stats(&self, stats: &mut MvmStats) {
+        self.stats_finisher().finish(stats);
+    }
+
+    /// Hoists the constant subexpressions of [`RomMvm::finish_stats`] —
+    /// the subarray walk, the `div_ceil` shape math and the `t_eval`
+    /// division — so the batched counter fold pays only the genuinely
+    /// per-vector arithmetic. Every precomputed value is the exact float
+    /// the unhoisted expression produced, and [`StatsFinisher::finish`]
+    /// applies the remaining operations in the original order, so the
+    /// derived fields stay bit-identical to a per-vector walk.
+    fn stats_finisher(&self) -> StatsFinisher {
         let p = &self.params;
-        stats.energy_pj = stats.adc_conversions as f64 * p.e_adc_pj
-            + stats.wl_pulses as f64 * p.e_wl_pulse_pj
-            + stats.analog_evaluations as f64 * p.cols as f64 * p.e_precharge_pj
-            + self.subarrays_used() as f64 * p.e_shift_add_pj;
         let groups_per_tile = p.rows.div_ceil(p.rows_per_activation) as f64;
         let chunk_count = p.act_bits.div_ceil(p.chunk_bits) as f64;
-        let t_eval = p.t_inference_ns / (chunk_count * groups_per_tile);
-        stats.latency_ns = stats.analog_evaluations as f64 * t_eval
-            / self.tiles.first().map_or(1.0, |r| r.len() as f64).max(1.0);
+        StatsFinisher {
+            e_adc_pj: p.e_adc_pj,
+            e_wl_pulse_pj: p.e_wl_pulse_pj,
+            cols_f: p.cols as f64,
+            e_precharge_pj: p.e_precharge_pj,
+            shift_add_term: self.subarrays_used() as f64 * p.e_shift_add_pj,
+            t_eval: p.t_inference_ns / (chunk_count * groups_per_tile),
+            tile_div: self.tiles.first().map_or(1.0, |r| r.len() as f64).max(1.0),
+        }
+    }
+}
+
+/// Precomputed constants of the stats derivation (see
+/// [`RomMvm::finish_stats`]); build once per batch, apply per vector.
+struct StatsFinisher {
+    e_adc_pj: f64,
+    e_wl_pulse_pj: f64,
+    cols_f: f64,
+    e_precharge_pj: f64,
+    /// `subarrays_used() as f64 * e_shift_add_pj`, constant per engine.
+    shift_add_term: f64,
+    /// `t_inference_ns / (chunks x groups)`, constant per engine.
+    t_eval: f64,
+    /// Column-tile parallelism divisor, constant per engine.
+    tile_div: f64,
+}
+
+impl StatsFinisher {
+    /// Fills in the derived energy and latency fields from the event
+    /// counters, identically for both execution paths.
+    ///
+    /// Energy: one `e_adc` per column conversion, `e_wl` per actual
+    /// pulse, per-evaluation bit-line precharge, and shift-&-add/control
+    /// overhead per active subarray. Latency: one analog evaluation takes
+    /// `t_inference / (chunks x groups)` — a full 8-bit MAC over `rows`
+    /// inputs takes `t_inference_ns`; column tiles run in parallel on
+    /// distinct subarrays, so divide by the column-tile count.
+    fn finish(&self, stats: &mut MvmStats) {
+        stats.energy_pj = stats.adc_conversions as f64 * self.e_adc_pj
+            + stats.wl_pulses as f64 * self.e_wl_pulse_pj
+            + stats.analog_evaluations as f64 * self.cols_f * self.e_precharge_pj
+            + self.shift_add_term;
+        stats.latency_ns = stats.analog_evaluations as f64 * self.t_eval / self.tile_div;
     }
 }
 
@@ -907,34 +1072,6 @@ pub fn reference_mvm(codes: &[i32], outs: usize, ins: usize, acts: &[i32]) -> Ve
     let mut y = vec![0i64; outs];
     matmul_into(codes, outs, ins, acts, 1, &mut y);
     y
-}
-
-/// The one row-major integer matmul every digital path shares:
-/// `out[v*outs + o] = sum_i codes[o*ins + i] * acts[v*ins + i]` — used by
-/// [`reference_mvm`], the software backend's batch entry and
-/// [`RomMvm::mvm_batch_exact`], so the arithmetic can never diverge
-/// between them.
-pub(crate) fn matmul_into(
-    codes: &[i32],
-    outs: usize,
-    ins: usize,
-    acts: &[i32],
-    n: usize,
-    out: &mut [i64],
-) {
-    debug_assert_eq!(codes.len(), outs * ins);
-    debug_assert_eq!(acts.len(), n * ins);
-    debug_assert_eq!(out.len(), n * outs);
-    for v in 0..n {
-        let av = &acts[v * ins..(v + 1) * ins];
-        for (o, slot) in out[v * outs..(v + 1) * outs].iter_mut().enumerate() {
-            *slot = codes[o * ins..(o + 1) * ins]
-                .iter()
-                .zip(av)
-                .map(|(&w, &a)| w as i64 * a as i64)
-                .sum();
-        }
-    }
 }
 
 #[cfg(test)]
@@ -1137,6 +1274,50 @@ mod tests {
             // happen when some pulse fired.
             if acts.iter().all(|&a| a == 0) {
                 prop_assert_eq!(stats.analog_evaluations, 0);
+            }
+        }
+
+        #[test]
+        fn prop_batch_kernel_tiers_match_per_vector(
+            outs in 1usize..9,
+            ins in 1usize..300,
+            n in 1usize..6,
+            seed in 0u64..10_000,
+        ) {
+            // Kernel-tier parity: every available dispatch tier (scalar
+            // and, where the host supports it, AVX2) must produce the
+            // exact per-vector reference — values AND folded stats — on
+            // both batch paths (identity-ADC exact matmul and the
+            // quantizing popcount stream, toggled by `rpa`).
+            let mut params = MacroParams::rom_paper();
+            if seed % 2 == 1 {
+                params.rows_per_activation = 32; // ADC actually quantizes
+            }
+            let mut rng = StdRng::seed_from_u64(seed);
+            let codes: Vec<i32> =
+                (0..outs * ins).map(|_| rng.gen_range(-128i32..=127)).collect();
+            let acts: Vec<i32> =
+                (0..n * ins).map(|_| rng.gen_range(0i32..=255)).collect();
+            let mut engine = RomMvm::program(params, &codes, outs, ins);
+            let mut golden = vec![0i64; n * outs];
+            let mut golden_stats = MvmStats::default();
+            for v in 0..n {
+                let (y, s) = engine.mvm(&acts[v * ins..(v + 1) * ins], &mut rng);
+                golden[v * outs..(v + 1) * outs].copy_from_slice(&y);
+                golden_stats.merge(&s);
+            }
+            let mut scratch = crate::backend::MvmScratch::new();
+            for kind in crate::kernels::available_kinds() {
+                engine.set_kernel(kind);
+                let mut out = vec![0i64; n * outs];
+                let mut stats = MvmStats::default();
+                if engine.adc_is_identity() {
+                    engine.mvm_batch_exact(&acts, n, &mut out, &mut stats, &mut scratch);
+                } else {
+                    engine.mvm_batch_fast(&acts, n, &mut out, &mut stats, &mut scratch);
+                }
+                prop_assert_eq!(&out, &golden, "values diverge on {}", kind.label());
+                prop_assert_eq!(&stats, &golden_stats, "stats diverge on {}", kind.label());
             }
         }
     }

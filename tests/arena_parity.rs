@@ -111,6 +111,36 @@ fn assert_arena_parity(desc: &yoloc::models::NetworkDesc, seed: u64, strategy: M
 }
 
 #[test]
+fn kernel_override_is_honored_across_the_arena_suite() {
+    // ci.sh re-runs this whole suite under `YOLOC_KERNEL=scalar` and
+    // `YOLOC_KERNEL=avx2`: every engine programmed by the other tests
+    // resolves its kernel tier from that override at `program` time, so
+    // the parity assertions above pin each tier end to end. This test
+    // makes the override's resolution visible and skips-with-a-note when
+    // AVX2 is requested on a host without it (the suite then still runs,
+    // on the downgraded scalar tier).
+    use yoloc::cim::{avx2_available, KernelDispatch, KernelKind};
+    let requested = std::env::var("YOLOC_KERNEL").unwrap_or_default();
+    let resolved = KernelDispatch::from_env().resolve();
+    if requested == "avx2" && !avx2_available() {
+        eprintln!(
+            "note: YOLOC_KERNEL=avx2 requested but this host lacks AVX2; \
+             arena parity suite runs on the scalar tier instead"
+        );
+        assert_eq!(resolved, KernelKind::Scalar);
+        return;
+    }
+    match requested.as_str() {
+        "scalar" => assert_eq!(resolved, KernelKind::Scalar),
+        "avx2" => assert_eq!(resolved, KernelKind::Avx2),
+        _ => {} // auto (or unset): host-dependent, both tiers valid
+    }
+    // One pinned end-to-end case under the active tier, beyond the
+    // seed-swept coverage of the other tests in this file.
+    assert_arena_parity(&named_zoo_nets()[0], 7, strategies()[0]);
+}
+
+#[test]
 fn named_zoo_networks_hold_arena_parity_across_all_strategies() {
     for desc in &named_zoo_nets() {
         for strategy in strategies() {
