@@ -41,6 +41,16 @@ echo "== kernel-parity suites under forced AVX2 tier (YOLOC_KERNEL=avx2)"
 YOLOC_KERNEL=avx2 cargo test -q -p yoloc-cim
 YOLOC_KERNEL=avx2 YOLOC_SMOKE=1 cargo test -q --test arena_parity
 
+echo "== kernel-parity suites under forced AVX-512 tier (YOLOC_KERNEL=avx512)"
+# Hosts without the required subsets (F+BW+VL+VPOPCNTDQ) downgrade to
+# AVX2 (or scalar) with a note, so this leg runs everywhere.
+YOLOC_KERNEL=avx512 cargo test -q -p yoloc-cim
+YOLOC_KERNEL=avx512 YOLOC_SMOKE=1 cargo test -q --test arena_parity
+
+echo "== remainder-lane kernel parity suite (both layouts, all tiers)"
+cargo test -q --test kernel_remainder
+YOLOC_KERNEL=avx512 cargo test -q --test kernel_remainder
+
 echo "== plan round-trip + cache-hit parity suite (YOLOC_SMOKE=1)"
 YOLOC_SMOKE=1 cargo test -q --test plan_roundtrip
 
@@ -62,7 +72,7 @@ cargo run --release -q -p yoloc-bench --bin bench_serve -- --smoke --check-schem
 echo "== kernel-tier smoke gate (bit-identical tiers, speedup >= 1.0)"
 cargo run --release -q -p yoloc-bench --bin bench_kernels -- --smoke
 
-echo "== validate committed BENCH_engine.json (schema v6 gates incl. plan_cache + kernel_tier)"
+echo "== validate committed BENCH_engine.json (schema v7 gates incl. plan_cache + kernel_tier)"
 cargo run --release -q -p yoloc-bench --bin bench_engine -- --check-schema BENCH_engine.json
 cargo run --release -q -p yoloc-bench --bin bench_kernels -- --check-schema BENCH_engine.json
 

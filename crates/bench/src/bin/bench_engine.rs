@@ -50,7 +50,7 @@
 //! `bench_kernels` binary regenerates just this block and patches it
 //! into the committed report.
 //!
-//! Emits `BENCH_engine.json` (schema `yoloc-bench-engine/6`, documented
+//! Emits `BENCH_engine.json` (schema `yoloc-bench-engine/7`, documented
 //! in `README.md`); under `--smoke`/`YOLOC_SMOKE=1` the workload shrinks
 //! and the report goes to `target/BENCH_engine.smoke.json` so the
 //! committed baseline is not clobbered by tiny-config numbers.
@@ -539,8 +539,8 @@ fn schema_violations(doc: &Json) -> Vec<String> {
         }
     };
     check(
-        doc.get("schema").and_then(Json::as_str) == Some("yoloc-bench-engine/6"),
-        "schema must be \"yoloc-bench-engine/6\"",
+        doc.get("schema").and_then(Json::as_str) == Some("yoloc-bench-engine/7"),
+        "schema must be \"yoloc-bench-engine/7\"",
     );
     for key in ["host_parallelism", "batch", "reps", "workloads"] {
         check(
@@ -707,7 +707,7 @@ fn check_schema(path: &str) -> ! {
     let errs = schema_violations(&doc);
     if errs.is_empty() {
         println!(
-            "{path}: schema yoloc-bench-engine/6 OK ({} bytes)",
+            "{path}: schema yoloc-bench-engine/7 OK ({} bytes)",
             text.len()
         );
         std::process::exit(0);
@@ -806,8 +806,9 @@ fn main() {
         &yoloc_bench::plan_cache::plan_cache_rows(&cache_entries),
     );
 
-    // v6: the kernel-tier block — scalar vs dispatched `mvm_batch` on
-    // the zoo's lowered shapes, bit-identity asserted, speedup gated.
+    // v6/v7: the kernel-tier block — scalar vs dispatched `mvm_batch`
+    // on the zoo's lowered shapes, bit-identity asserted, speedup gated;
+    // v7 adds the staging split and per-shape time shares.
     let kernel_tier = yoloc_bench::kernel_tier::measure_kernel_tier(&zoo_nets, SEED + 13);
     print_table(
         "Kernel tiers on the zoo's lowered MVM shapes (scalar vs dispatched)",
@@ -816,20 +817,24 @@ fn main() {
             "MVMs/pass",
             "Scalar (ns/mvm)",
             "Dispatched (ns/mvm)",
+            "Stage (ns/mvm)",
+            "Layout",
+            "Time share",
             "Speedup",
             "Bit-identical",
         ],
         &kernel_tier.rows(),
     );
     println!(
-        "selected kernel tier: {} (avx2 detected: {}), MVM-weighted speedup {}",
+        "selected kernel tier: {} (avx2 detected: {}, avx512 detected: {}), MVM-weighted speedup {}",
         kernel_tier.selected.label(),
         kernel_tier.avx2_detected,
+        kernel_tier.avx512_detected,
         fmt_x(kernel_tier.speedup_vs_scalar)
     );
 
     let doc = Json::obj([
-        ("schema", Json::str("yoloc-bench-engine/6")),
+        ("schema", Json::str("yoloc-bench-engine/7")),
         ("host_parallelism", to_json(&host)),
         ("smoke", Json::Bool(smoke())),
         (
@@ -868,7 +873,7 @@ fn main() {
         violations.is_empty(),
         "generated report violates its own schema (written to {path} anyway): {violations:?}"
     );
-    println!("\nwrote {path} (schema yoloc-bench-engine/6, see README.md)");
+    println!("\nwrote {path} (schema yoloc-bench-engine/7, see README.md)");
     println!(
         "note: 'serial' is the pre-engine baseline (one thread, cell-accurate \
          analog path); the batched rows add the popcount fast path and the \

@@ -1,17 +1,20 @@
 //! Kernel-tier benchmark and `BENCH_engine.json` patcher.
 //!
-//! Measures the tier-2 kernel work (runtime-dispatched SIMD +
-//! cache-blocked bit-plane MVM in `yoloc-cim`) on the lowered im2col
-//! shapes of the zoo networks the engine harness runs: per unique
-//! `(outs, ins)` shape, `mvm_batch` is timed under the forced scalar
-//! tier and under the runtime-dispatched tier (asserting bit-identical
-//! values and `MvmStats` between the two), and the MVM-weighted
-//! aggregate `speedup_vs_scalar` plus the selected ISA are recorded as
-//! the schema-v6 `kernel_tier` block. The measurement lives in
-//! [`yoloc_bench::kernel_tier`] and is shared with `bench_engine`.
+//! Measures the tier-3 kernel work (runtime-dispatched SIMD with the
+//! AVX-512 tier, batch-transposed MVM layouts and vectorized staging in
+//! `yoloc-cim`) on the lowered im2col shapes of the zoo networks the
+//! engine harness runs: per unique `(outs, ins)` shape, `mvm_batch` is
+//! timed under the forced scalar tier and under the runtime-dispatched
+//! tier (asserting bit-identical values and `MvmStats` between the
+//! two), the staging (im2col gather + quantization) cost is measured
+//! separately per shape, and the MVM-weighted aggregate
+//! `speedup_vs_scalar`, the per-shape time shares/layouts and the
+//! selected ISA are recorded as the schema-v7 `kernel_tier` block. The
+//! measurement lives in [`yoloc_bench::kernel_tier`] and is shared with
+//! `bench_engine`.
 //!
 //! Like `bench_plan_cache`, the full run **patches** the block into an
-//! existing `BENCH_engine.json` (schema bumped to `yoloc-bench-engine/6`,
+//! existing `BENCH_engine.json` (schema bumped to `yoloc-bench-engine/7`,
 //! every other field preserved byte-for-byte) so the committed baseline
 //! can pick up fresh kernel numbers without re-running the whole engine
 //! harness. Under `--smoke`/`YOLOC_SMOKE=1` the committed report is left
@@ -19,9 +22,11 @@
 //!
 //! `--check-schema [PATH]` validates the `kernel_tier` block of an
 //! existing report instead of measuring: selected tier in
-//! {scalar, avx2}, all tiers bit-identical, aggregate speedup >= 1.0
-//! always and >= 2.0 for committed full runs that selected AVX2 — the
-//! CI gate for the tier-2 kernel acceptance criterion.
+//! {scalar, avx2, avx512}, all tiers bit-identical, time shares
+//! summing to one, and for committed full runs that selected a SIMD
+//! tier a speedup of at least 2.5x on every small (`outs <= 4`)
+//! shape and at least a 3.0x MVM-weighted aggregate — the CI gate
+//! for the tier-3 kernel acceptance criterion.
 //!
 //! Usage: `bench_kernels [--smoke | --check-schema] [PATH]` (default
 //! path `BENCH_engine.json`).
@@ -91,15 +96,19 @@ fn main() {
             "MVMs/pass",
             "Scalar (ns/mvm)",
             "Dispatched (ns/mvm)",
+            "Stage (ns/mvm)",
+            "Layout",
+            "Time share",
             "Speedup",
             "Bit-identical",
         ],
         &tier.rows(),
     );
     println!(
-        "\nselected tier: {} (avx2 detected: {}), MVM-weighted speedup {}",
+        "\nselected tier: {} (avx2 detected: {}, avx512 detected: {}), MVM-weighted speedup {}",
         tier.selected.label(),
         tier.avx2_detected,
+        tier.avx512_detected,
         fmt_x(tier.speedup_vs_scalar)
     );
     if let Some(e) = &tier.end_to_end {
@@ -129,7 +138,7 @@ fn main() {
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read {path}: {e} (run bench_engine first)"));
     let mut doc = Json::parse(&text).unwrap_or_else(|e| panic!("{path} is not valid JSON: {e}"));
-    set_field(&mut doc, "schema", Json::str("yoloc-bench-engine/6"));
+    set_field(&mut doc, "schema", Json::str("yoloc-bench-engine/7"));
     set_field(&mut doc, "kernel_tier", block);
     let errs = kernel_tier_violations(&doc);
     std::fs::write(&path, doc.render()).expect("write patched engine report");
@@ -137,6 +146,6 @@ fn main() {
         errs.is_empty(),
         "kernel_tier gates failed (block written to {path} anyway): {errs:?}"
     );
-    println!("\npatched {path}: schema yoloc-bench-engine/6, kernel_tier block refreshed");
+    println!("\npatched {path}: schema yoloc-bench-engine/7, kernel_tier block refreshed");
     println!("validate with: bench_engine --check-schema {path}");
 }

@@ -23,7 +23,7 @@
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
-use crate::kernels::KernelKind;
+use crate::kernels::{KernelKind, MatmulLayout};
 use crate::macro_model::{matmul_into, reference_mvm, MacroParams, MvmStats, RomMvm};
 
 /// Which MVM implementation a layer is deployed on (see the module docs).
@@ -85,6 +85,13 @@ pub struct MvmScratch {
     pub(crate) counts: Vec<u64>,
     /// Per-chunk nonzero-pulse bitmaps for the vectorized counter fold.
     pub(crate) fold_bitmaps: Vec<u64>,
+    /// Lane-major `[ins x n_pad]` activation panel staged by the
+    /// row-major batch entry when the layout crossover picks the
+    /// transposed kernels.
+    pub(crate) acts_t: Vec<i32>,
+    /// Row-major activation staging for the reverse unpack (a
+    /// transposed caller landing on a path that wants row-major acts).
+    pub(crate) acts_rm: Vec<i32>,
 }
 
 impl MvmScratch {
@@ -141,6 +148,98 @@ pub trait MvmBackend: Send + Sync {
             out[v * outs..(v + 1) * outs].copy_from_slice(&y);
             stats.merge(&s);
         }
+    }
+
+    /// The activation layout this backend prefers for a block of
+    /// `n_vectors` — [`MatmulLayout::Transposed`] asks the caller to
+    /// stage the lane-major `[ins x n_pad]` panel
+    /// (`n_pad = transposed_pad(n_vectors)`, padding lanes zero) and
+    /// call [`MvmBackend::mvm_batch_transposed`], writing quantized
+    /// codes straight into the panel with no repack pass. Backends
+    /// without transposed kernels keep the row-major default.
+    fn batch_layout(&self, _n_vectors: usize) -> MatmulLayout {
+        MatmulLayout::RowMajor
+    }
+
+    /// Batched entry over a lane-major `[ins x n_pad]` activation panel
+    /// (`acts_t[i * n_pad + v]`): bit-identical to
+    /// [`MvmBackend::mvm_batch`] on the same values, in values *and*
+    /// stats. The default unpacks the panel and delegates; backends
+    /// with transposed kernels (the popcount fast path) override it to
+    /// consume the panel directly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    /// use yoloc_cim::backend::{program_backend, BackendKind, MvmScratch};
+    /// use yoloc_cim::kernels::transposed_pad;
+    /// use yoloc_cim::{MacroParams, MatmulLayout, MvmStats};
+    ///
+    /// // A narrow im2col-like shape: 2 outputs over 9 inputs.
+    /// let codes: Vec<i32> = (0..2 * 9).map(|i| i as i32 - 9).collect();
+    /// let mut b = program_backend(BackendKind::Popcount, MacroParams::rom_paper(), &codes, 2, 9);
+    /// let (n, ins, outs) = (8usize, 9usize, 2usize);
+    /// // The SIMD tiers ask for the transposed panel on this shape (the
+    /// // scalar reference tier always stages row-major, so pin a SIMD
+    /// // tier when the host has one)…
+    /// use yoloc_cim::kernels::available_kinds;
+    /// if let Some(&simd) = available_kinds().iter().find(|k| **k != yoloc_cim::KernelKind::Scalar) {
+    ///     b.set_kernel(simd);
+    ///     assert_eq!(b.batch_layout(n), MatmulLayout::Transposed);
+    /// }
+    /// // …and the panel entry accepts acts_t[i * n_pad + v] staged
+    /// // directly on every tier (padding lanes zero).
+    /// let n_pad = transposed_pad(n);
+    /// let mut acts_t = vec![0i32; ins * n_pad];
+    /// for v in 0..n {
+    ///     for i in 0..ins {
+    ///         acts_t[i * n_pad + v] = ((v * 7 + i * 3) % 256) as i32;
+    ///     }
+    /// }
+    /// let mut out = vec![0i64; n * outs];
+    /// let (mut stats, mut scratch) = (MvmStats::default(), MvmScratch::new());
+    /// let mut rng = StdRng::seed_from_u64(0);
+    /// b.mvm_batch_transposed(&acts_t, n, n_pad, &mut out, &mut stats, &mut scratch, &mut rng);
+    /// // Lane v of the panel is vector v: same result as per-vector mvm.
+    /// let v = 3;
+    /// let acts_v: Vec<i32> = (0..ins).map(|i| acts_t[i * n_pad + v]).collect();
+    /// assert_eq!(out[v * outs..(v + 1) * outs], b.mvm(&acts_v, &mut rng).0);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_pad < n_vectors`, `n_pad` is not a multiple of 16,
+    /// or `acts_t.len() < ins * n_pad`.
+    #[allow(clippy::too_many_arguments)]
+    fn mvm_batch_transposed(
+        &self,
+        acts_t: &[i32],
+        n_vectors: usize,
+        n_pad: usize,
+        out: &mut [i64],
+        stats: &mut MvmStats,
+        scratch: &mut MvmScratch,
+        rng: &mut dyn RngCore,
+    ) {
+        let (outs, ins) = self.dims();
+        assert!(
+            n_pad >= n_vectors && n_pad.is_multiple_of(16),
+            "panel padding"
+        );
+        assert!(acts_t.len() >= ins * n_pad, "panel activation length");
+        assert_eq!(out.len(), n_vectors * outs, "batch output length");
+        let mut acts = std::mem::take(&mut scratch.acts_rm);
+        acts.clear();
+        acts.resize(n_vectors * ins, 0);
+        for v in 0..n_vectors {
+            for i in 0..ins {
+                acts[v * ins + i] = acts_t[i * n_pad + v];
+            }
+        }
+        self.mvm_batch(&acts, n_vectors, out, stats, scratch, rng);
+        scratch.acts_rm = acts;
     }
 
     /// Tile-granular entry: the allocating thin wrapper over
@@ -218,6 +317,55 @@ impl MvmBackend for RomMvm {
                 out[v * outs..(v + 1) * outs].copy_from_slice(&y);
                 stats.merge(&s);
             }
+        }
+    }
+
+    fn batch_layout(&self, n_vectors: usize) -> MatmulLayout {
+        self.batch_layout_for(n_vectors)
+    }
+
+    fn mvm_batch_transposed(
+        &self,
+        acts_t: &[i32],
+        n_vectors: usize,
+        n_pad: usize,
+        out: &mut [i64],
+        stats: &mut MvmStats,
+        scratch: &mut MvmScratch,
+        rng: &mut dyn RngCore,
+    ) {
+        let (outs, ins) = RomMvm::dims(self);
+        assert!(
+            n_pad >= n_vectors && n_pad.is_multiple_of(16),
+            "panel padding"
+        );
+        assert!(acts_t.len() >= ins * n_pad, "panel activation length");
+        assert_eq!(out.len(), n_vectors * outs, "batch output length");
+        if self.fast_path_active() {
+            // Panel-native kernels: matmul, counter fold and pulse
+            // packing all read the lane-major panel directly.
+            if self.adc_is_identity() {
+                self.mvm_batch_exact_t(acts_t, n_vectors, n_pad, out, stats, scratch);
+            } else {
+                self.mvm_batch_fast_t(acts_t, n_vectors, n_pad, out, stats, scratch);
+            }
+        } else {
+            // The noisy reference path is inherently per-vector (each
+            // vector consumes its own RNG draws): unpack and fall back.
+            let mut acts = std::mem::take(&mut scratch.acts_rm);
+            acts.clear();
+            acts.resize(n_vectors * ins, 0);
+            for v in 0..n_vectors {
+                for i in 0..ins {
+                    acts[v * ins + i] = acts_t[i * n_pad + v];
+                }
+            }
+            for v in 0..n_vectors {
+                let (y, s) = self.mvm_analog(&acts[v * ins..(v + 1) * ins], rng);
+                out[v * outs..(v + 1) * outs].copy_from_slice(&y);
+                stats.merge(&s);
+            }
+            scratch.acts_rm = acts;
         }
     }
 
@@ -605,6 +753,143 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         b.mvm_batch(&[], 0, &mut [], &mut stats, &mut scratch, &mut rng);
         assert_eq!(stats, MvmStats::default());
+    }
+
+    /// Stages `acts` as a lane-major panel and asserts the transposed
+    /// batch entry reproduces the row-major entry bit for bit — values
+    /// and `MvmStats` — from the same RNG seed.
+    fn assert_transposed_matches_row_major(b: &dyn MvmBackend, acts: &[i32], n: usize, seed: u64) {
+        let (outs, ins) = b.dims();
+        let n_pad = crate::kernels::transposed_pad(n);
+        let mut acts_t = vec![0i32; ins * n_pad];
+        for v in 0..n {
+            for i in 0..ins {
+                acts_t[i * n_pad + v] = acts[v * ins + i];
+            }
+        }
+        let mut scratch = MvmScratch::new();
+        let mut out_t = vec![0i64; n * outs];
+        let mut stats_t = MvmStats::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        b.mvm_batch_transposed(
+            &acts_t,
+            n,
+            n_pad,
+            &mut out_t,
+            &mut stats_t,
+            &mut scratch,
+            &mut rng,
+        );
+        let mut out_rm = vec![0i64; n * outs];
+        let mut stats_rm = MvmStats::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        b.mvm_batch(acts, n, &mut out_rm, &mut stats_rm, &mut scratch, &mut rng);
+        assert_eq!(out_t, out_rm, "transposed accumulators diverge");
+        assert_eq!(stats_t, stats_rm, "transposed stats fold diverges");
+    }
+
+    #[test]
+    fn transposed_batch_matches_row_major_all_backends_and_kernels() {
+        // Both layouts, every backend, every kernel tier the host has:
+        // exact path (identity ADC), including a shape the crossover
+        // sends down the transposed SIMD path (small outs) and one it
+        // keeps row-major (wide madd shape).
+        let params = MacroParams::rom_paper();
+        for (outs, ins, n) in [(2, 9, 12), (4, 18, 33), (16, 72, 8), (1, 300, 5)] {
+            let codes: Vec<i32> = (0..outs * ins)
+                .map(|i| ((i * 37) % 255) as i32 - 127)
+                .collect();
+            let acts: Vec<i32> = (0..n * ins).map(|i| ((i * 13) % 256) as i32).collect();
+            for kind in [
+                BackendKind::Popcount,
+                BackendKind::Analog,
+                BackendKind::Software,
+            ] {
+                let mut b = program_backend(kind, params, &codes, outs, ins);
+                for k in crate::kernels::available_kinds() {
+                    b.set_kernel(k);
+                    assert_transposed_matches_row_major(b.as_ref(), &acts, n, 17);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_batch_matches_row_major_under_adc_quantization() {
+        // Overdriven rows engage the panel-native pulse packing +
+        // mask-stream path (`mvm_batch_fast_t`) rather than the exact
+        // matmul; it must still agree with the row-major stream.
+        let mut params = MacroParams::rom_paper();
+        params.rows_per_activation = 32;
+        let (outs, ins, n) = (5, 200, 9);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 41) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..n * ins).map(|i| ((i * 23) % 256) as i32).collect();
+        let mut b = program_backend(BackendKind::Popcount, params, &codes, outs, ins);
+        for k in crate::kernels::available_kinds() {
+            b.set_kernel(k);
+            assert_transposed_matches_row_major(b.as_ref(), &acts, n, 19);
+        }
+    }
+
+    #[test]
+    fn transposed_batch_noisy_macro_falls_back_per_vector() {
+        // Noise forces the per-vector analog walk: the transposed entry
+        // unpacks the panel and must consume the RNG stream exactly as
+        // the row-major entry does.
+        let mut params = MacroParams::rom_paper();
+        params.noise_sigma = 0.3;
+        let (outs, ins, n) = (3, 100, 6);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 19) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..n * ins).map(|i| ((i * 7) % 256) as i32).collect();
+        let b = program_backend(BackendKind::Popcount, params, &codes, outs, ins);
+        assert_eq!(b.backend_name(), "analog-reference");
+        assert_eq!(b.batch_layout(n), MatmulLayout::RowMajor);
+        assert_transposed_matches_row_major(b.as_ref(), &acts, n, 23);
+    }
+
+    #[test]
+    fn batch_layout_is_shape_and_path_driven() {
+        let (codes, _) = test_matrix(2, 9);
+        let mut b = program_backend(
+            BackendKind::Popcount,
+            MacroParams::rom_paper(),
+            &codes,
+            2,
+            9,
+        );
+        // The scalar reference tier keeps its fastest staging
+        // (row-major) so measured speedups stay honest; its transposed
+        // entries are exercised with explicit panels by the parity
+        // suites.
+        b.set_kernel(KernelKind::Scalar);
+        assert_eq!(b.batch_layout(64), MatmulLayout::RowMajor);
+        if let Some(&simd) = crate::kernels::available_kinds()
+            .iter()
+            .find(|k| **k != KernelKind::Scalar)
+        {
+            b.set_kernel(simd);
+            // Small-outs shape at a real batch: transposed pays off.
+            assert_eq!(b.batch_layout(64), MatmulLayout::Transposed);
+            // Single vector: panel staging cannot amortize.
+            assert_eq!(b.batch_layout(1), MatmulLayout::RowMajor);
+            // The analog reference path is per-vector by construction.
+            b.set_fast_path(false);
+            assert_eq!(b.batch_layout(64), MatmulLayout::RowMajor);
+            b.set_fast_path(true);
+        }
+        // The software backend keeps the trait default.
+        let sw = program_backend(
+            BackendKind::Software,
+            MacroParams::rom_paper(),
+            &codes,
+            2,
+            9,
+        );
+        assert_eq!(sw.batch_layout(64), MatmulLayout::RowMajor);
     }
 
     #[test]

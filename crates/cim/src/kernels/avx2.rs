@@ -1,24 +1,30 @@
 //! The AVX2 kernel tier: `std::arch` x86_64 intrinsics behind safe
 //! wrappers, pinned bit-identical to [`super::scalar`].
 //!
-//! This file is the crate's entire `unsafe` surface. Every function here
-//! is structured the same way: a safe wrapper asserts AVX2 support, then
-//! enters a `#[target_feature(enable = "avx2")]` implementation; inside,
-//! only the raw-pointer loads/stores need `unsafe` blocks (arithmetic
+//! This file and `kernels/avx512.rs` are the crate's entire `unsafe`
+//! surface. Every function here is structured the same way: a safe
+//! wrapper asserts AVX2 support, then enters a
+//! `#[target_feature(enable = "avx2")]` implementation; inside, only
+//! the raw-pointer loads/stores need `unsafe` blocks (arithmetic
 //! intrinsics are safe once the feature is statically enabled on the
 //! enclosing function), and each carries its bounds argument.
 //!
-//! Three kernels live here:
+//! The kernels:
 //!
-//! * [`matmul_exact`] — the exact-path integer matmul, cache-blocked
-//!   (8 vectors x 4 output rows per block so both the staged `i16`
-//!   activations and the code-row quad stay L1-resident), using
-//!   `_mm256_madd_epi16` on the lane-packed `i16` codes when the design
-//!   point makes 32-bit accumulation overflow-safe, and a
+//! * [`matmul_exact`] — the row-major exact-path integer matmul,
+//!   cache-blocked (8 vectors x 4 output rows per block so both the
+//!   staged `i16` activations and the code-row quad stay L1-resident),
+//!   using `_mm256_madd_epi16` on the lane-packed `i16` codes when the
+//!   design point makes 32-bit accumulation overflow-safe, and a
 //!   `_mm256_mul_epi32` 64-bit-accumulate fallback otherwise;
-//! * [`fold_event_counters`] — the event-counter fold, computing all
-//!   chunk sums 8 rows at a time and deriving group activity from
-//!   per-chunk nonzero bitmaps built with `_mm256_movemask_ps`;
+//! * [`matmul_transposed`] — the batch-transposed matmul over the
+//!   lane-major `[ins x n_pad]` panel, vectorizing across 8 vectors per
+//!   `_mm256_mullo_epi32` for the narrow shapes whose rows cannot fill
+//!   lanes;
+//! * [`fold_event_counters`] / [`fold_event_counters_t`] — the
+//!   event-counter folds in both layouts: 8 rows per step with
+//!   per-chunk nonzero bitmaps (row-major), or 8 vectors per step with
+//!   lane-resident activity counters (transposed);
 //! * [`group_counts`] — the bit-plane popcount stream: one stored column
 //!   mask `AND`ed against four vectors' staged pulse planes at once,
 //!   popcounted with the `vpshufb` nibble-LUT + `_mm256_sad_epu8` trick.
@@ -29,11 +35,14 @@
 use std::arch::x86_64::{
     __m256i, _mm256_add_epi32, _mm256_add_epi64, _mm256_add_epi8, _mm256_and_si256,
     _mm256_castsi256_ps, _mm256_cmpgt_epi32, _mm256_hadd_epi32, _mm256_loadu_si256,
-    _mm256_madd_epi16, _mm256_movemask_ps, _mm256_mul_epi32, _mm256_packs_epi32,
-    _mm256_permute4x64_epi64, _mm256_sad_epu8, _mm256_set1_epi32, _mm256_set1_epi64x,
-    _mm256_set1_epi8, _mm256_setr_epi8, _mm256_setzero_si256, _mm256_shuffle_epi8,
-    _mm256_sll_epi64, _mm256_srl_epi32, _mm256_srli_epi16, _mm256_srli_epi64, _mm256_storeu_si256,
-    _mm_cvtsi32_si128,
+    _mm256_madd_epi16, _mm256_mask_i32gather_epi32, _mm256_movemask_ps, _mm256_mul_epi32,
+    _mm256_mullo_epi32, _mm256_or_si256, _mm256_packs_epi32, _mm256_permute4x64_epi64,
+    _mm256_sad_epu8, _mm256_set1_epi32, _mm256_set1_epi64x, _mm256_set1_epi8, _mm256_setr_epi8,
+    _mm256_setzero_si256, _mm256_shuffle_epi8, _mm256_sll_epi64, _mm256_srl_epi32,
+    _mm256_srli_epi16, _mm256_srli_epi32, _mm256_srli_epi64, _mm256_storeu_si256, _mm256_sub_epi32,
+    _mm_cvtsi32_si128, _mm_loadu_si128, _mm_mask_i32gather_epi32, _mm_setzero_si128,
+    _mm_storeu_si128, _mm_unpackhi_epi32, _mm_unpackhi_epi64, _mm_unpacklo_epi32,
+    _mm_unpacklo_epi64,
 };
 
 use super::{scalar, ExactCodes, FoldParams};
@@ -163,6 +172,240 @@ fn matmul_i16(c: &ExactCodes<'_>, acts: &[i32], n: usize, out: &mut [i64], acts1
             o += 1;
         }
         vb += V_BLOCK;
+    }
+}
+
+/// AVX2 tier of the row-major -> lane-major panel repack: one
+/// `vpgatherdd` gather pulls 8 vectors' codes for an activation index
+/// (stride-`ins` offsets) instead of 8 strided scalar moves. The tail
+/// block gathers under a lane mask (AVX2 gathers take the mask as a
+/// sign-bit vector), so no address past `acts[n * ins - 1]` is formed;
+/// dead lanes are refreshed to zero, a valid code under the
+/// stale-padding contract. Same panel contents as
+/// [`scalar::repack_transposed`] on every live lane.
+pub(crate) fn repack_transposed(
+    acts: &[i32],
+    ins: usize,
+    n: usize,
+    n_pad: usize,
+    acts_t: &mut [i32],
+) {
+    assert_avx2();
+    debug_assert!(acts.len() >= n * ins);
+    debug_assert!(n_pad >= n);
+    debug_assert_eq!(n_pad % 8, 0, "transposed panels pad to 8+ lanes");
+    debug_assert!(acts_t.len() >= ins * n_pad);
+    debug_assert!(
+        ins.saturating_mul(8) < i32::MAX as usize,
+        "gather offsets fit i32"
+    );
+    // SAFETY: AVX2 support asserted above.
+    unsafe { repack_transposed_impl(acts, ins, n, n_pad, acts_t) }
+}
+
+#[target_feature(enable = "avx2")]
+fn repack_transposed_impl(acts: &[i32], ins: usize, n: usize, n_pad: usize, acts_t: &mut [i32]) {
+    // Sliding-window lane-mask table: a load at offset `8 - live` yields
+    // `live` all-ones lanes followed by zeros.
+    const LANE_MASKS: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
+    let mut offs = [0i32; 8];
+    for (k, o) in offs.iter_mut().enumerate() {
+        *o = (k * ins) as i32;
+    }
+    let mut vb = 0;
+    while vb + 4 < n {
+        let live = (n - vb).min(8);
+        // SAFETY: `offs` is exactly 32 bytes; 8 - live + 8 <= 16 keeps
+        // the mask window inside LANE_MASKS.
+        let (offs_v, mask) = unsafe {
+            (
+                _mm256_loadu_si256(offs.as_ptr().cast()),
+                _mm256_loadu_si256(LANE_MASKS.as_ptr().add(8 - live).cast()),
+            )
+        };
+        let zero = _mm256_setzero_si256();
+        for i in 0..ins {
+            // SAFETY: lane k of the gather reads acts[(vb + k) * ins + i];
+            // the sign-bit mask keeps k < live, so every accessed element
+            // is below n * ins. Masked-off lanes are not accessed.
+            let g = unsafe {
+                _mm256_mask_i32gather_epi32::<4>(
+                    zero,
+                    acts.as_ptr().add(vb * ins + i),
+                    offs_v,
+                    mask,
+                )
+            };
+            // SAFETY: i * n_pad + vb + 8 <= (i + 1) * n_pad since vb and
+            // n_pad are multiples of 8 and vb < n <= n_pad.
+            unsafe { _mm256_storeu_si256(acts_t.as_mut_ptr().add(i * n_pad + vb).cast(), g) };
+        }
+        vb += 8;
+    }
+    if vb < n {
+        // At most 4 live lanes left: a 128-bit gather costs less than a
+        // 256-bit one and the untouched upper lanes may stay stale.
+        let live = n - vb;
+        if live == 4 {
+            // Exactly four live rows: an in-register 4x4 unpack
+            // transpose per column quad beats gathers ~3x (unpacks are
+            // single-uop shuffles; a gather pays per lane).
+            let mut c = 0;
+            while c + 4 <= ins {
+                // SAFETY: rows vb..vb+4 < n and columns c..c+4 <= ins
+                // keep each 16-byte load inside `acts`.
+                let (a0, a1, a2, a3) = unsafe {
+                    (
+                        _mm_loadu_si128(acts.as_ptr().add(vb * ins + c).cast()),
+                        _mm_loadu_si128(acts.as_ptr().add((vb + 1) * ins + c).cast()),
+                        _mm_loadu_si128(acts.as_ptr().add((vb + 2) * ins + c).cast()),
+                        _mm_loadu_si128(acts.as_ptr().add((vb + 3) * ins + c).cast()),
+                    )
+                };
+                let t0 = _mm_unpacklo_epi32(a0, a1);
+                let t1 = _mm_unpackhi_epi32(a0, a1);
+                let t2 = _mm_unpacklo_epi32(a2, a3);
+                let t3 = _mm_unpackhi_epi32(a2, a3);
+                let cols = [
+                    _mm_unpacklo_epi64(t0, t2),
+                    _mm_unpackhi_epi64(t0, t2),
+                    _mm_unpacklo_epi64(t1, t3),
+                    _mm_unpackhi_epi64(t1, t3),
+                ];
+                for (dc, col) in cols.into_iter().enumerate() {
+                    // SAFETY: panel row c+dc holds n_pad >= vb + 4 lanes
+                    // (vb is a multiple of 8, n_pad >= n = vb + 4 and a
+                    // multiple of 8).
+                    unsafe {
+                        _mm_storeu_si128(
+                            acts_t.as_mut_ptr().add((c + dc) * n_pad + vb).cast(),
+                            col,
+                        );
+                    }
+                }
+                c += 4;
+            }
+            // Ragged columns (at most three): plain strided moves.
+            for i in c..ins {
+                for v in 0..4 {
+                    acts_t[i * n_pad + vb + v] = acts[(vb + v) * ins + i];
+                }
+            }
+            return;
+        }
+        // SAFETY: `offs[..4]` is exactly 16 bytes; 8 - live + 4 <= 16
+        // keeps the mask window inside LANE_MASKS.
+        let (offs_v, mask) = unsafe {
+            (
+                _mm_loadu_si128(offs.as_ptr().cast()),
+                _mm_loadu_si128(LANE_MASKS.as_ptr().add(8 - live).cast()),
+            )
+        };
+        let zero = _mm_setzero_si128();
+        for i in 0..ins {
+            // SAFETY: lane k < live reads acts[(vb + k) * ins + i],
+            // below n * ins; masked-off lanes are not accessed.
+            let g = unsafe {
+                _mm_mask_i32gather_epi32::<4>(zero, acts.as_ptr().add(vb * ins + i), offs_v, mask)
+            };
+            // SAFETY: i * n_pad + vb + 4 <= (i + 1) * n_pad since vb is
+            // a multiple of 8, n_pad a multiple of 8, and vb < n <= n_pad.
+            unsafe { _mm_storeu_si128(acts_t.as_mut_ptr().add(i * n_pad + vb).cast(), g) };
+        }
+    }
+}
+
+/// AVX2 tier of the batch-transposed matmul: activations arrive as a
+/// lane-major `[ins x n_pad]` panel, so each 32-byte load carries 8
+/// *vectors'* codes for one activation index and the multiply-add runs
+/// across the batch — full lanes even for the 9-deep im2col shapes the
+/// row-major path cannot fill. Accumulation is `i32`
+/// (`_mm256_mullo_epi32`), exact under the same `codes16` eligibility
+/// proof the madd path uses (`|code| <= 128`, acts fit 8 unsigned bits,
+/// `ins <= 32768` → partial sums < 2^31). Bit-identical to
+/// [`scalar::matmul_transposed`].
+pub(crate) fn matmul_transposed(
+    c: &ExactCodes<'_>,
+    acts_t: &[i32],
+    n: usize,
+    n_pad: usize,
+    out: &mut [i64],
+) {
+    assert_avx2();
+    assert!(
+        !c.codes16.is_empty(),
+        "transposed AVX2 path requires the i16-eligibility overflow proof"
+    );
+    debug_assert_eq!(n_pad % 8, 0, "transposed panels pad to 8+ lanes");
+    debug_assert!(n_pad >= n);
+    debug_assert!(acts_t.len() >= c.ins * n_pad);
+    debug_assert_eq!(out.len(), n * c.outs);
+    // SAFETY: AVX2 support asserted above.
+    unsafe { matmul_transposed_impl(c.codes, c.outs, c.ins, acts_t, n, n_pad, out) }
+}
+
+#[target_feature(enable = "avx2")]
+fn matmul_transposed_impl(
+    codes: &[i32],
+    outs: usize,
+    ins: usize,
+    acts_t: &[i32],
+    n: usize,
+    n_pad: usize,
+    out: &mut [i64],
+) {
+    let mut vb = 0;
+    while vb < n {
+        let lanes_live = (n - vb).min(8);
+        let mut o = 0;
+        // Output quads share every panel load across four broadcast
+        // code scalars, amortizing the load to one per 4 x 8 MACs.
+        while o + 4 <= outs {
+            let mut acc = [_mm256_setzero_si256(); 4];
+            for i in 0..ins {
+                // SAFETY: vb + 8 <= n_pad (vb < n <= n_pad, both
+                // multiples of 8) keeps the 32-byte load inside the
+                // panel row; unaligned load.
+                let a = unsafe {
+                    _mm256_loadu_si256(acts_t.as_ptr().add(i * n_pad + vb) as *const __m256i)
+                };
+                for (k, ak) in acc.iter_mut().enumerate() {
+                    let w = _mm256_set1_epi32(codes[(o + k) * ins + i]);
+                    *ak = _mm256_add_epi32(*ak, _mm256_mullo_epi32(a, w));
+                }
+            }
+            for (k, ak) in acc.iter().enumerate() {
+                scatter_widened(*ak, &mut out[vb * outs..], outs, o + k, lanes_live);
+            }
+            o += 4;
+        }
+        while o < outs {
+            let mut acc = _mm256_setzero_si256();
+            for i in 0..ins {
+                // SAFETY: as above.
+                let a = unsafe {
+                    _mm256_loadu_si256(acts_t.as_ptr().add(i * n_pad + vb) as *const __m256i)
+                };
+                let w = _mm256_set1_epi32(codes[o * ins + i]);
+                acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(a, w));
+            }
+            scatter_widened(acc, &mut out[vb * outs..], outs, o, lanes_live);
+            o += 1;
+        }
+        vb += 8;
+    }
+}
+
+/// Writes the 8 `i32` lanes of one transposed accumulator to their
+/// row-major output slots, widening to `i64` (exact: per-lane sums are
+/// bounded below `i32::MAX` by the eligibility proof).
+#[target_feature(enable = "avx2")]
+fn scatter_widened(acc: __m256i, out: &mut [i64], outs: usize, o: usize, lanes_live: usize) {
+    let mut lanes = [0i32; 8];
+    // SAFETY: `lanes` is exactly 32 bytes; unaligned store.
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc) };
+    for (v, &x) in lanes[..lanes_live].iter().enumerate() {
+        out[v * outs + o] = x as i64;
     }
 }
 
@@ -411,6 +654,179 @@ fn fold_impl(
         c[0] += active * p.col_tiles;
         c[1] += active * p.cols * p.col_tiles;
         c[2] += total * p.col_tiles;
+    }
+}
+
+/// AVX2 tier of the batch-transposed event-counter fold: walks the
+/// `[ins x n_pad]` panel group-major, keeping per-chunk pulse totals
+/// and active-group counts for 8 vectors at once in `i32` lanes (the
+/// dispatcher bounds `ins * max_pulse` below `i32::MAX`). The group
+/// activity predicate is the vectorized OR-then-compare of the scalar
+/// walk, so the fold is bit-identical to
+/// [`scalar::fold_event_counters_t`].
+pub(crate) fn fold_event_counters_t(
+    acts_t: &[i32],
+    ins: usize,
+    n: usize,
+    n_pad: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+) {
+    assert_avx2();
+    debug_assert!(p.n_chunks <= 4, "vector fold handles at most 4 chunks");
+    debug_assert_eq!(n_pad % 8, 0, "transposed panels pad to 8+ lanes");
+    debug_assert!(n_pad >= n);
+    debug_assert!(acts_t.len() >= ins * n_pad);
+    debug_assert_eq!(counters.len(), n);
+    // SAFETY: AVX2 support asserted above.
+    unsafe { fold_t_impl(acts_t, ins, n, n_pad, p, counters) }
+}
+
+#[target_feature(enable = "avx2")]
+fn fold_t_impl(
+    acts_t: &[i32],
+    _ins: usize,
+    n: usize,
+    n_pad: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+) {
+    if p.chunk_bits == 2 && p.n_chunks == 4 {
+        return fold_t_design_point(acts_t, n, n_pad, p, counters);
+    }
+    let chunk_mask = (1u32 << p.chunk_bits) - 1;
+    let mask_v = _mm256_set1_epi32(chunk_mask as i32);
+    let zero = _mm256_setzero_si256();
+    let mut shifts = [_mm_cvtsi32_si128(0); 4];
+    for (ci, s) in shifts[..p.n_chunks].iter_mut().enumerate() {
+        *s = _mm_cvtsi32_si128((ci as u32 * p.chunk_bits as u32) as i32);
+    }
+    let mut vb = 0;
+    while vb < n {
+        let lanes_live = (n - vb).min(8);
+        let mut tot_acc = [zero; 4];
+        let mut act_acc = [zero; 4];
+        for &(lo, hi) in p.group_bounds {
+            let mut group_or = zero;
+            for i in lo as usize..hi as usize {
+                // SAFETY: vb + 8 <= n_pad (vb < n <= n_pad, both
+                // multiples of 8) keeps the 32-byte load inside the
+                // panel row; unaligned load.
+                let a = unsafe {
+                    _mm256_loadu_si256(acts_t.as_ptr().add(i * n_pad + vb) as *const __m256i)
+                };
+                group_or = _mm256_or_si256(group_or, a);
+                for (acc, &shift) in tot_acc[..p.n_chunks].iter_mut().zip(&shifts) {
+                    let pulses = _mm256_and_si256(_mm256_srl_epi32(a, shift), mask_v);
+                    *acc = _mm256_add_epi32(*acc, pulses);
+                }
+            }
+            for (acc, &shift) in act_acc[..p.n_chunks].iter_mut().zip(&shifts) {
+                let field = _mm256_and_si256(_mm256_srl_epi32(group_or, shift), mask_v);
+                // cmpgt yields -1 per active lane; subtracting counts.
+                *acc = _mm256_sub_epi32(*acc, _mm256_cmpgt_epi32(field, zero));
+            }
+        }
+        // Fold the per-chunk accumulators in-register before the lane
+        // extraction (the caller's eligibility gate bounds the summed
+        // totals below `i32::MAX`): one store per quantity, and the
+        // scalar tail is three multiply-adds per vector.
+        let mut tot = zero;
+        let mut act = zero;
+        for ci in 0..p.n_chunks {
+            tot = _mm256_add_epi32(tot, tot_acc[ci]);
+            act = _mm256_add_epi32(act, act_acc[ci]);
+        }
+        let mut tot_lanes = [0i32; 8];
+        let mut act_lanes = [0i32; 8];
+        // SAFETY: each destination is exactly 32 bytes; unaligned
+        // stores.
+        unsafe {
+            _mm256_storeu_si256(tot_lanes.as_mut_ptr() as *mut __m256i, tot);
+            _mm256_storeu_si256(act_lanes.as_mut_ptr() as *mut __m256i, act);
+        }
+        for (v, c) in counters[vb..vb + lanes_live].iter_mut().enumerate() {
+            let active = act_lanes[v] as u64;
+            let total = tot_lanes[v] as u64;
+            c[0] += active * p.col_tiles;
+            c[1] += active * p.cols * p.col_tiles;
+            c[2] += total * p.col_tiles;
+        }
+        vb += 8;
+    }
+}
+
+/// Design-point specialization of the transposed fold (`chunk_bits = 2`,
+/// `n_chunks = 4`, i.e. 8-bit codes split into four 2-bit pulse fields):
+/// the per-chunk extract/add cascade collapses into a sideways field sum
+/// with immediate shifts — `(a & 0x33) + ((a >> 2) & 0x33)` pairs the
+/// fields into two nibbles, one more fold adds the nibbles — feeding a
+/// single pulse-total accumulator. Reads exactly bits 0..8 of each code,
+/// the same bits the generic chunk walk extracts, so it stays
+/// bit-identical for any input.
+#[target_feature(enable = "avx2")]
+fn fold_t_design_point(
+    acts_t: &[i32],
+    n: usize,
+    n_pad: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+) {
+    let pair_mask = _mm256_set1_epi32(0x33);
+    let nib_mask = _mm256_set1_epi32(0x0F);
+    let chunk_mask = _mm256_set1_epi32(0x3);
+    let zero = _mm256_setzero_si256();
+    let mut vb = 0;
+    while vb < n {
+        let lanes_live = (n - vb).min(8);
+        let mut tot = zero;
+        let mut act = zero;
+        for &(lo, hi) in p.group_bounds {
+            let mut group_or = zero;
+            for i in lo as usize..hi as usize {
+                // SAFETY: vb + 8 <= n_pad (vb < n <= n_pad, both
+                // multiples of 8) keeps the 32-byte load inside the
+                // panel row; unaligned load.
+                let a = unsafe {
+                    _mm256_loadu_si256(acts_t.as_ptr().add(i * n_pad + vb) as *const __m256i)
+                };
+                group_or = _mm256_or_si256(group_or, a);
+                let pairs = _mm256_add_epi32(
+                    _mm256_and_si256(a, pair_mask),
+                    _mm256_and_si256(_mm256_srli_epi32::<2>(a), pair_mask),
+                );
+                // `pairs` is at most 0x66 per lane, so the high shift
+                // needs no mask.
+                let pulses = _mm256_add_epi32(
+                    _mm256_and_si256(pairs, nib_mask),
+                    _mm256_srli_epi32::<4>(pairs),
+                );
+                tot = _mm256_add_epi32(tot, pulses);
+            }
+            let mut fields = group_or;
+            for _ in 0..4 {
+                let field = _mm256_and_si256(fields, chunk_mask);
+                // cmpgt yields -1 per active lane; subtracting counts.
+                act = _mm256_sub_epi32(act, _mm256_cmpgt_epi32(field, zero));
+                fields = _mm256_srli_epi32::<2>(fields);
+            }
+        }
+        let mut tot_lanes = [0i32; 8];
+        let mut act_lanes = [0i32; 8];
+        // SAFETY: each destination is exactly 32 bytes; unaligned
+        // stores.
+        unsafe {
+            _mm256_storeu_si256(tot_lanes.as_mut_ptr() as *mut __m256i, tot);
+            _mm256_storeu_si256(act_lanes.as_mut_ptr() as *mut __m256i, act);
+        }
+        for (v, c) in counters[vb..vb + lanes_live].iter_mut().enumerate() {
+            let active = act_lanes[v] as u64;
+            let total = tot_lanes[v] as u64;
+            c[0] += active * p.col_tiles;
+            c[1] += active * p.cols * p.col_tiles;
+            c[2] += total * p.col_tiles;
+        }
+        vb += 8;
     }
 }
 

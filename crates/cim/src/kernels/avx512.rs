@@ -1,0 +1,672 @@
+//! The AVX-512 kernel tier: 512-bit `std::arch` intrinsics behind safe
+//! wrappers, pinned bit-identical to [`super::scalar`].
+//!
+//! Together with `kernels/avx2.rs` this file is the crate's entire
+//! `unsafe` surface, under the same discipline: a safe wrapper asserts
+//! the required feature subsets (F + BW + VL + VPOPCNTDQ, see
+//! [`super::avx512_available`]), then enters a `#[target_feature]`
+//! implementation where only raw-pointer loads/stores need `unsafe`
+//! blocks, each carrying its bounds argument.
+//!
+//! What the extra width buys over the AVX2 tier:
+//!
+//! * [`matmul_exact`] — 32-lane `_mm512_madd_epi16` matmuls over the
+//!   lane-packed `i16` codes (two AVX2 registers of work per op), with
+//!   a `_mm512_maskz_loadu_epi16` half-register tail since code rows
+//!   are padded to 16, not 32, lanes;
+//! * [`matmul_transposed`] — the batch-transposed matmul eating 16
+//!   vectors per `_mm512_mullo_epi32`;
+//! * [`fold_event_counters`] / [`fold_event_counters_t`] — 16-row /
+//!   16-vector event-counter folds; group-activity bitmaps come
+//!   straight from `_mm512_cmpgt_epi32_mask` mask registers instead of
+//!   the AVX2 `movemask` float-cast dance;
+//! * [`group_counts`] — the bit-plane popcount stream with native
+//!   `vpopcntq` (`_mm512_popcnt_epi64`), replacing the `vpshufb`
+//!   nibble-LUT + `_mm256_sad_epu8` emulation, 8 staged vectors per
+//!   step.
+//!
+//! Shapes outside a kernel's profitable range delegate to the AVX2 or
+//! scalar implementations — any host that can select this tier can run
+//! both (AVX-512 implies AVX2).
+
+#![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::arch::x86_64::{
+    __m512i, _mm256_storeu_si256, _mm512_add_epi32, _mm512_add_epi64, _mm512_and_si512,
+    _mm512_cmpgt_epi32_mask, _mm512_cvtepi32_epi16, _mm512_loadu_epi16, _mm512_loadu_epi32,
+    _mm512_loadu_epi64, _mm512_madd_epi16, _mm512_mask_i32gather_epi32, _mm512_maskz_loadu_epi16,
+    _mm512_maskz_set1_epi32, _mm512_mullo_epi32, _mm512_or_si512, _mm512_popcnt_epi64,
+    _mm512_set1_epi32, _mm512_set1_epi64, _mm512_setzero_si512, _mm512_sll_epi64, _mm512_srl_epi32,
+    _mm512_srli_epi32, _mm512_storeu_epi32, _mm512_storeu_epi64, _mm_cvtsi32_si128,
+};
+
+use super::{avx2, scalar, ExactCodes, FoldParams};
+
+/// Vectors staged per cache block of the blocked matmul (matches the
+/// AVX2 tier: the staged `i16` rows plus a 4-row code quad stay
+/// L1-resident).
+const V_BLOCK: usize = 8;
+
+fn assert_avx512() {
+    assert!(
+        super::avx512_available(),
+        "AVX-512 kernel invoked on a host without the required subsets"
+    );
+}
+
+/// AVX-512 tier of the exact-path batched matmul. Bit-identical to
+/// [`scalar::matmul_into`]; the 32-lane madd path requires the same
+/// `i16`-eligibility overflow proof as the AVX2 tier and shapes
+/// without it (or too small to amortize staging) delegate down.
+pub(crate) fn matmul_exact(
+    c: &ExactCodes<'_>,
+    acts: &[i32],
+    n: usize,
+    out: &mut [i64],
+    acts16: &mut Vec<i16>,
+) {
+    assert_avx512();
+    debug_assert_eq!(acts.len(), n * c.ins);
+    debug_assert_eq!(out.len(), n * c.outs);
+    if c.outs == 1 && c.ins < 8 {
+        scalar::matmul_into(c.codes, c.outs, c.ins, acts, n, out);
+    } else if !c.codes16.is_empty() {
+        // SAFETY: AVX-512 support asserted above.
+        unsafe { matmul_i16(c, acts, n, out, acts16) }
+    } else {
+        // No overflow proof: the AVX2 tier's `_mm256_mul_epi32`
+        // 64-bit-accumulate fallback is already memory-bound; reuse it.
+        avx2::matmul_exact(c, acts, n, out, acts16);
+    }
+}
+
+/// `_mm512_madd_epi16` matmul over the lane-packed `i16` codes: 32
+/// multiply-accumulates per op. Code rows are padded to 16 lanes, so a
+/// half-register masked load finishes rows where `ins16 % 32 == 16`.
+#[target_feature(enable = "avx512f,avx512bw")]
+fn matmul_i16(c: &ExactCodes<'_>, acts: &[i32], n: usize, out: &mut [i64], acts16: &mut Vec<i16>) {
+    let (ins, ins16, outs) = (c.ins, c.ins16, c.outs);
+    debug_assert_eq!(c.codes16.len(), outs * ins16);
+    // Stage the block's activations as zero-padded i16 rows (16 lanes
+    // narrowed per `_mm512_cvtepi32_epi16`). `clear` first so shorter
+    // rows cannot leak stale nonzero padding.
+    acts16.clear();
+    acts16.resize(n * ins16, 0);
+    for v in 0..n {
+        let av = &acts[v * ins..(v + 1) * ins];
+        let dst = &mut acts16[v * ins16..v * ins16 + ins];
+        let mut i = 0;
+        while i + 16 <= ins {
+            // SAFETY: i + 16 <= ins bounds the 64-byte load; the
+            // narrowed 32-byte store lands in dst[i..i + 16].
+            unsafe {
+                let a = _mm512_loadu_epi32(av.as_ptr().add(i));
+                let packed = _mm512_cvtepi32_epi16(a);
+                _mm256_storeu_si256(dst.as_mut_ptr().add(i) as *mut _, packed);
+            }
+            i += 16;
+        }
+        for (d, &a) in dst[i..].iter_mut().zip(&av[i..]) {
+            *d = a as i16;
+        }
+    }
+    let mut vb = 0;
+    while vb < n {
+        let vb_end = (vb + V_BLOCK).min(n);
+        let mut o = 0;
+        while o + 4 <= outs {
+            for v in vb..vb_end {
+                let av = &acts16[v * ins16..(v + 1) * ins16];
+                let mut acc = [_mm512_setzero_si512(); 4];
+                let mut i = 0;
+                while i + 32 <= ins16 {
+                    // SAFETY: i + 32 <= ins16 bounds all five 64-byte
+                    // loads (code rows o..o+4 share the stride).
+                    unsafe {
+                        let a = _mm512_loadu_epi16(av.as_ptr().add(i));
+                        for (k, ak) in acc.iter_mut().enumerate() {
+                            let w = _mm512_loadu_epi16(c.codes16.as_ptr().add((o + k) * ins16 + i));
+                            *ak = _mm512_add_epi32(*ak, _mm512_madd_epi16(a, w));
+                        }
+                    }
+                    i += 32;
+                }
+                if i < ins16 {
+                    // Exactly 16 lanes remain (ins16 is a multiple of
+                    // 16); masked loads zero the upper half, which
+                    // contributes nothing to the madd.
+                    // SAFETY: the low 16 enabled lanes read
+                    // av[i..i + 16] / the matching code row lanes, all
+                    // in bounds.
+                    unsafe {
+                        let a = _mm512_maskz_loadu_epi16(0xffff, av.as_ptr().add(i));
+                        for (k, ak) in acc.iter_mut().enumerate() {
+                            let w = _mm512_maskz_loadu_epi16(
+                                0xffff,
+                                c.codes16.as_ptr().add((o + k) * ins16 + i),
+                            );
+                            *ak = _mm512_add_epi32(*ak, _mm512_madd_epi16(a, w));
+                        }
+                    }
+                }
+                for (k, ak) in acc.iter().enumerate() {
+                    out[v * outs + o + k] = hsum_epi32(*ak);
+                }
+            }
+            o += 4;
+        }
+        while o < outs {
+            for v in vb..vb_end {
+                let av = &acts16[v * ins16..(v + 1) * ins16];
+                let mut acc = _mm512_setzero_si512();
+                let mut i = 0;
+                while i + 32 <= ins16 {
+                    // SAFETY: i + 32 <= ins16 as above.
+                    unsafe {
+                        let a = _mm512_loadu_epi16(av.as_ptr().add(i));
+                        let w = _mm512_loadu_epi16(c.codes16.as_ptr().add(o * ins16 + i));
+                        acc = _mm512_add_epi32(acc, _mm512_madd_epi16(a, w));
+                    }
+                    i += 32;
+                }
+                if i < ins16 {
+                    // SAFETY: low 16 lanes in bounds as above.
+                    unsafe {
+                        let a = _mm512_maskz_loadu_epi16(0xffff, av.as_ptr().add(i));
+                        let w =
+                            _mm512_maskz_loadu_epi16(0xffff, c.codes16.as_ptr().add(o * ins16 + i));
+                        acc = _mm512_add_epi32(acc, _mm512_madd_epi16(a, w));
+                    }
+                }
+                out[v * outs + o] = hsum_epi32(acc);
+            }
+            o += 1;
+        }
+        vb += V_BLOCK;
+    }
+}
+
+/// Sums the sixteen `i32` lanes into an `i64`. Per-lane (and any
+/// partial) sums are bounded far below `i32::MAX` by the `codes16`
+/// eligibility proof, so widening only here is exact.
+#[target_feature(enable = "avx512f")]
+fn hsum_epi32(v: __m512i) -> i64 {
+    let mut lanes = [0i32; 16];
+    // SAFETY: `lanes` is exactly 64 bytes; unaligned store.
+    unsafe { _mm512_storeu_epi32(lanes.as_mut_ptr(), v) };
+    lanes.iter().map(|&x| x as i64).sum()
+}
+
+/// AVX-512 tier of the row-major -> lane-major panel repack: one
+/// `vpgatherdps`-class gather pulls 16 vectors' codes for an activation
+/// index in a single instruction (stride-`ins` offsets), replacing the
+/// `16 * ins` strided scalar moves per block that dominate the panel
+/// pipeline at small `n`. The tail block uses a masked gather, so no
+/// address past `acts[n * ins - 1]` is ever formed; its dead lanes are
+/// refreshed to zero (a valid activation code, per the stale-padding
+/// contract of the panel kernels). Same panel contents as
+/// [`scalar::repack_transposed`] on every live lane.
+pub(crate) fn repack_transposed(
+    acts: &[i32],
+    ins: usize,
+    n: usize,
+    n_pad: usize,
+    acts_t: &mut [i32],
+) {
+    assert_avx512();
+    debug_assert!(acts.len() >= n * ins);
+    debug_assert!(n_pad >= n);
+    debug_assert_eq!(n_pad % 16, 0, "transposed panels pad to 16 lanes");
+    debug_assert!(acts_t.len() >= ins * n_pad);
+    debug_assert!(
+        ins.saturating_mul(16) < i32::MAX as usize,
+        "gather offsets fit i32"
+    );
+    if n <= 8 {
+        // Half-block batches: 256-bit gathers cost roughly half a
+        // 512-bit one and the extra padding lanes may stay stale.
+        return avx2::repack_transposed(acts, ins, n, n_pad, acts_t);
+    }
+    // SAFETY: AVX-512 support asserted above.
+    unsafe { repack_transposed_impl(acts, ins, n, n_pad, acts_t) }
+}
+
+#[target_feature(enable = "avx512f")]
+fn repack_transposed_impl(acts: &[i32], ins: usize, n: usize, n_pad: usize, acts_t: &mut [i32]) {
+    let mut offs = [0i32; 16];
+    for (k, o) in offs.iter_mut().enumerate() {
+        *o = (k * ins) as i32;
+    }
+    // SAFETY: `offs` is exactly 64 bytes.
+    let offs = unsafe { _mm512_loadu_epi32(offs.as_ptr()) };
+    let zero = _mm512_setzero_si512();
+    let mut vb = 0;
+    while vb < n {
+        let live = (n - vb).min(16);
+        let mask = if live == 16 {
+            !0u16
+        } else {
+            (1u16 << live) - 1
+        };
+        for i in 0..ins {
+            // SAFETY: lane k of the gather reads acts[(vb + k) * ins + i];
+            // the mask keeps k < live, so every accessed element is below
+            // n * ins. Masked-off lanes are architecturally not accessed.
+            let g = unsafe {
+                _mm512_mask_i32gather_epi32::<4>(zero, mask, offs, acts.as_ptr().add(vb * ins + i))
+            };
+            // SAFETY: i * n_pad + vb + 16 <= (i + 1) * n_pad since vb and
+            // n_pad are multiples of 16 and vb < n <= n_pad.
+            unsafe { _mm512_storeu_epi32(acts_t.as_mut_ptr().add(i * n_pad + vb), g) };
+        }
+        vb += 16;
+    }
+}
+
+/// AVX-512 tier of the batch-transposed matmul: one 64-byte panel load
+/// carries 16 vectors' codes for an activation index, shared across a
+/// quad of broadcast code scalars. `i32` lane accumulation is exact
+/// under the `codes16` eligibility proof. Bit-identical to
+/// [`scalar::matmul_transposed`].
+pub(crate) fn matmul_transposed(
+    c: &ExactCodes<'_>,
+    acts_t: &[i32],
+    n: usize,
+    n_pad: usize,
+    out: &mut [i64],
+) {
+    assert_avx512();
+    assert!(
+        !c.codes16.is_empty(),
+        "transposed AVX-512 path requires the i16-eligibility overflow proof"
+    );
+    debug_assert_eq!(n_pad % 16, 0, "transposed panels pad to 16 lanes");
+    debug_assert!(n_pad >= n);
+    debug_assert!(acts_t.len() >= c.ins * n_pad);
+    debug_assert_eq!(out.len(), n * c.outs);
+    if n <= 8 {
+        // Half-block batches run at AVX2 width: same op count, better
+        // per-op throughput, and `i32` lane accumulation stays exact
+        // under the identical eligibility proof.
+        return avx2::matmul_transposed(c, acts_t, n, n_pad, out);
+    }
+    // SAFETY: AVX-512 support asserted above.
+    unsafe { matmul_transposed_impl(c.codes, c.outs, c.ins, acts_t, n, n_pad, out) }
+}
+
+#[target_feature(enable = "avx512f")]
+fn matmul_transposed_impl(
+    codes: &[i32],
+    outs: usize,
+    ins: usize,
+    acts_t: &[i32],
+    n: usize,
+    n_pad: usize,
+    out: &mut [i64],
+) {
+    let mut vb = 0;
+    while vb < n {
+        let lanes_live = (n - vb).min(16);
+        let mut o = 0;
+        while o + 4 <= outs {
+            let mut acc = [_mm512_setzero_si512(); 4];
+            for i in 0..ins {
+                // SAFETY: vb + 16 <= n_pad (vb < n <= n_pad, both
+                // multiples of 16) keeps the 64-byte load inside the
+                // panel row.
+                let a = unsafe { _mm512_loadu_epi32(acts_t.as_ptr().add(i * n_pad + vb)) };
+                for (k, ak) in acc.iter_mut().enumerate() {
+                    let w = _mm512_set1_epi32(codes[(o + k) * ins + i]);
+                    *ak = _mm512_add_epi32(*ak, _mm512_mullo_epi32(a, w));
+                }
+            }
+            for (k, ak) in acc.iter().enumerate() {
+                scatter_widened(*ak, &mut out[vb * outs..], outs, o + k, lanes_live);
+            }
+            o += 4;
+        }
+        while o < outs {
+            let mut acc = _mm512_setzero_si512();
+            for i in 0..ins {
+                // SAFETY: as above.
+                let a = unsafe { _mm512_loadu_epi32(acts_t.as_ptr().add(i * n_pad + vb)) };
+                let w = _mm512_set1_epi32(codes[o * ins + i]);
+                acc = _mm512_add_epi32(acc, _mm512_mullo_epi32(a, w));
+            }
+            scatter_widened(acc, &mut out[vb * outs..], outs, o, lanes_live);
+            o += 1;
+        }
+        vb += 16;
+    }
+}
+
+/// Writes the 16 `i32` lanes of one transposed accumulator to their
+/// row-major output slots, widening to `i64` (exact by the eligibility
+/// proof).
+#[target_feature(enable = "avx512f")]
+fn scatter_widened(acc: __m512i, out: &mut [i64], outs: usize, o: usize, lanes_live: usize) {
+    let mut lanes = [0i32; 16];
+    // SAFETY: `lanes` is exactly 64 bytes; unaligned store.
+    unsafe { _mm512_storeu_epi32(lanes.as_mut_ptr(), acc) };
+    for (v, &x) in lanes[..lanes_live].iter().enumerate() {
+        out[v * outs + o] = x as i64;
+    }
+}
+
+/// AVX-512 tier of the row-major event-counter fold: chunk sums
+/// accumulate 16 rows per step and per-chunk nonzero bitmaps come
+/// straight from `_mm512_cmpgt_epi32_mask` mask registers. Accumulates
+/// into `counters` exactly like [`scalar::fold_event_counters`].
+pub(crate) fn fold_event_counters(
+    acts: &[i32],
+    ins: usize,
+    n: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+    bitmaps: &mut Vec<u64>,
+) {
+    assert_avx512();
+    debug_assert!(p.n_chunks <= 4, "vector fold handles at most 4 chunks");
+    // SAFETY: AVX-512 support asserted above.
+    unsafe { fold_impl(acts, ins, n, p, counters, bitmaps) }
+}
+
+#[target_feature(enable = "avx512f")]
+fn fold_impl(
+    acts: &[i32],
+    ins: usize,
+    n: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+    bitmaps: &mut Vec<u64>,
+) {
+    debug_assert_eq!(counters.len(), n);
+    debug_assert_eq!(acts.len(), n * ins);
+    let chunk_mask = (1u32 << p.chunk_bits) - 1;
+    let n_words = ins.div_ceil(64).max(1);
+    bitmaps.clear();
+    bitmaps.resize(p.n_chunks * n_words, 0);
+    let mask_v = _mm512_set1_epi32(chunk_mask as i32);
+    let zero = _mm512_setzero_si512();
+    for (v, c) in counters.iter_mut().enumerate() {
+        let av = &acts[v * ins..(v + 1) * ins];
+        bitmaps.fill(0);
+        let mut sum_acc = [zero; 4];
+        let mut i = 0;
+        while i + 16 <= ins {
+            // SAFETY: i + 16 <= ins == av.len(); unaligned 64-byte load.
+            let a = unsafe { _mm512_loadu_epi32(av.as_ptr().add(i)) };
+            for (ci, acc) in sum_acc[..p.n_chunks].iter_mut().enumerate() {
+                let shift = _mm_cvtsi32_si128((ci as u32 * p.chunk_bits as u32) as i32);
+                let pulses = _mm512_and_si512(_mm512_srl_epi32(a, shift), mask_v);
+                *acc = _mm512_add_epi32(*acc, pulses);
+                // Validated activation codes are non-negative, so
+                // greater-than-zero is a nonzero test; the mask
+                // register *is* the 16-bit activity bitmap.
+                let m = _mm512_cmpgt_epi32_mask(pulses, zero) as u64;
+                // i is 16-aligned, so the fresh bits stay in one word.
+                bitmaps[ci * n_words + i / 64] |= m << (i % 64);
+            }
+            i += 16;
+        }
+        let mut sums = [0u64; 4];
+        for (ci, s) in sums[..p.n_chunks].iter_mut().enumerate() {
+            let mut lanes = [0i32; 16];
+            // SAFETY: `lanes` is exactly 64 bytes; unaligned store.
+            unsafe { _mm512_storeu_epi32(lanes.as_mut_ptr(), sum_acc[ci]) };
+            *s = lanes.iter().map(|&x| x as u64).sum();
+        }
+        for (j, &a) in av.iter().enumerate().skip(i) {
+            let a = a as u32;
+            for (ci, s) in sums[..p.n_chunks].iter_mut().enumerate() {
+                let pulse = (a >> (ci as u32 * p.chunk_bits as u32)) & chunk_mask;
+                if pulse != 0 {
+                    *s += pulse as u64;
+                    bitmaps[ci * n_words + j / 64] |= 1u64 << (j % 64);
+                }
+            }
+        }
+        let mut total = 0u64;
+        let mut active = 0u64;
+        for ci in 0..p.n_chunks {
+            total += sums[ci];
+            let bm = &bitmaps[ci * n_words..(ci + 1) * n_words];
+            for &(lo, hi) in p.group_bounds {
+                let (mut j, hi) = (lo as usize, hi as usize);
+                let mut any = 0u64;
+                while j < hi {
+                    let span = (hi - j).min(64 - j % 64);
+                    let m = if span == 64 {
+                        !0u64
+                    } else {
+                        ((1u64 << span) - 1) << (j % 64)
+                    };
+                    any |= bm[j / 64] & m;
+                    j += span;
+                }
+                active += (any != 0) as u64;
+            }
+        }
+        c[0] += active * p.col_tiles;
+        c[1] += active * p.cols * p.col_tiles;
+        c[2] += total * p.col_tiles;
+    }
+}
+
+/// AVX-512 tier of the batch-transposed event-counter fold: per-chunk
+/// pulse totals and active-group counts for 16 vectors at once, the
+/// activity increment applied through a `_mm512_maskz_set1_epi32` of
+/// the compare mask. Bit-identical to
+/// [`scalar::fold_event_counters_t`].
+pub(crate) fn fold_event_counters_t(
+    acts_t: &[i32],
+    ins: usize,
+    n: usize,
+    n_pad: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+) {
+    assert_avx512();
+    debug_assert!(p.n_chunks <= 4, "vector fold handles at most 4 chunks");
+    debug_assert_eq!(n_pad % 16, 0, "transposed panels pad to 16 lanes");
+    debug_assert!(n_pad >= n);
+    debug_assert!(acts_t.len() >= ins * n_pad);
+    debug_assert_eq!(counters.len(), n);
+    if n <= 8 {
+        // A batch this small fills at most half a 512-bit block; the
+        // AVX2 walk does the same op count at better per-op throughput.
+        return avx2::fold_event_counters_t(acts_t, ins, n, n_pad, p, counters);
+    }
+    // SAFETY: AVX-512 support asserted above.
+    unsafe { fold_t_impl(acts_t, ins, n, n_pad, p, counters) }
+}
+
+#[target_feature(enable = "avx512f")]
+fn fold_t_impl(
+    acts_t: &[i32],
+    _ins: usize,
+    n: usize,
+    n_pad: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+) {
+    if p.chunk_bits == 2 && p.n_chunks == 4 {
+        return fold_t_design_point(acts_t, n, n_pad, p, counters);
+    }
+    let chunk_mask = (1u32 << p.chunk_bits) - 1;
+    let mask_v = _mm512_set1_epi32(chunk_mask as i32);
+    let zero = _mm512_setzero_si512();
+    let mut shifts = [_mm_cvtsi32_si128(0); 4];
+    for (ci, s) in shifts[..p.n_chunks].iter_mut().enumerate() {
+        *s = _mm_cvtsi32_si128((ci as u32 * p.chunk_bits as u32) as i32);
+    }
+    let mut vb = 0;
+    while vb < n {
+        let lanes_live = (n - vb).min(16);
+        let mut tot_acc = [zero; 4];
+        let mut act_acc = [zero; 4];
+        for &(lo, hi) in p.group_bounds {
+            let mut group_or = zero;
+            for i in lo as usize..hi as usize {
+                // SAFETY: vb + 16 <= n_pad (vb < n <= n_pad, both
+                // multiples of 16) keeps the 64-byte load inside the
+                // panel row.
+                let a = unsafe { _mm512_loadu_epi32(acts_t.as_ptr().add(i * n_pad + vb)) };
+                group_or = _mm512_or_si512(group_or, a);
+                for (acc, &shift) in tot_acc[..p.n_chunks].iter_mut().zip(&shifts) {
+                    let pulses = _mm512_and_si512(_mm512_srl_epi32(a, shift), mask_v);
+                    *acc = _mm512_add_epi32(*acc, pulses);
+                }
+            }
+            for (acc, &shift) in act_acc[..p.n_chunks].iter_mut().zip(&shifts) {
+                let field = _mm512_and_si512(_mm512_srl_epi32(group_or, shift), mask_v);
+                let m = _mm512_cmpgt_epi32_mask(field, zero);
+                *acc = _mm512_add_epi32(*acc, _mm512_maskz_set1_epi32(m, 1));
+            }
+        }
+        // Fold the per-chunk accumulators in-register before the lane
+        // extraction (the caller's eligibility gate bounds the summed
+        // totals below `i32::MAX`): one store per quantity, and the
+        // scalar tail is three multiply-adds per vector.
+        let mut tot = zero;
+        let mut act = zero;
+        for ci in 0..p.n_chunks {
+            tot = _mm512_add_epi32(tot, tot_acc[ci]);
+            act = _mm512_add_epi32(act, act_acc[ci]);
+        }
+        let mut tot_lanes = [0i32; 16];
+        let mut act_lanes = [0i32; 16];
+        // SAFETY: each destination is exactly 64 bytes; unaligned
+        // stores.
+        unsafe {
+            _mm512_storeu_epi32(tot_lanes.as_mut_ptr(), tot);
+            _mm512_storeu_epi32(act_lanes.as_mut_ptr(), act);
+        }
+        for (v, c) in counters[vb..vb + lanes_live].iter_mut().enumerate() {
+            let active = act_lanes[v] as u64;
+            let total = tot_lanes[v] as u64;
+            c[0] += active * p.col_tiles;
+            c[1] += active * p.cols * p.col_tiles;
+            c[2] += total * p.col_tiles;
+        }
+        vb += 16;
+    }
+}
+
+/// Design-point specialization of the transposed fold (`chunk_bits = 2`,
+/// `n_chunks = 4`, i.e. 8-bit codes split into four 2-bit pulse fields):
+/// the per-chunk extract/add cascade collapses into a sideways field sum
+/// with immediate shifts — `(a & 0x33) + ((a >> 2) & 0x33)` pairs the
+/// fields into two nibbles, one more fold adds the nibbles — feeding a
+/// single pulse-total accumulator. Reads exactly bits 0..8 of each code,
+/// the same bits the generic chunk walk extracts, so it stays
+/// bit-identical for any input.
+#[target_feature(enable = "avx512f")]
+fn fold_t_design_point(
+    acts_t: &[i32],
+    n: usize,
+    n_pad: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+) {
+    let pair_mask = _mm512_set1_epi32(0x33);
+    let nib_mask = _mm512_set1_epi32(0x0F);
+    let chunk_mask = _mm512_set1_epi32(0x3);
+    let zero = _mm512_setzero_si512();
+    let mut vb = 0;
+    while vb < n {
+        let lanes_live = (n - vb).min(16);
+        let mut tot = zero;
+        let mut act = zero;
+        for &(lo, hi) in p.group_bounds {
+            let mut group_or = zero;
+            for i in lo as usize..hi as usize {
+                // SAFETY: vb + 16 <= n_pad (vb < n <= n_pad, both
+                // multiples of 16) keeps the 64-byte load inside the
+                // panel row.
+                let a = unsafe { _mm512_loadu_epi32(acts_t.as_ptr().add(i * n_pad + vb)) };
+                group_or = _mm512_or_si512(group_or, a);
+                let pairs = _mm512_add_epi32(
+                    _mm512_and_si512(a, pair_mask),
+                    _mm512_and_si512(_mm512_srli_epi32::<2>(a), pair_mask),
+                );
+                // `pairs` is at most 0x66 per lane, so the high shift
+                // needs no mask.
+                let pulses = _mm512_add_epi32(
+                    _mm512_and_si512(pairs, nib_mask),
+                    _mm512_srli_epi32::<4>(pairs),
+                );
+                tot = _mm512_add_epi32(tot, pulses);
+            }
+            let mut fields = group_or;
+            for _ in 0..4 {
+                let field = _mm512_and_si512(fields, chunk_mask);
+                let m = _mm512_cmpgt_epi32_mask(field, zero);
+                act = _mm512_add_epi32(act, _mm512_maskz_set1_epi32(m, 1));
+                fields = _mm512_srli_epi32::<2>(fields);
+            }
+        }
+        let mut tot_lanes = [0i32; 16];
+        let mut act_lanes = [0i32; 16];
+        // SAFETY: each destination is exactly 64 bytes; unaligned
+        // stores.
+        unsafe {
+            _mm512_storeu_epi32(tot_lanes.as_mut_ptr(), tot);
+            _mm512_storeu_epi32(act_lanes.as_mut_ptr(), act);
+        }
+        for (v, c) in counters[vb..vb + lanes_live].iter_mut().enumerate() {
+            let active = act_lanes[v] as u64;
+            let total = tot_lanes[v] as u64;
+            c[0] += active * p.col_tiles;
+            c[1] += active * p.cols * p.col_tiles;
+            c[2] += total * p.col_tiles;
+        }
+        vb += 16;
+    }
+}
+
+/// AVX-512 tier of the bit-plane popcount stream: the column mask is
+/// broadcast and `AND`ed against eight vectors' staged planes per step
+/// and popcounted with native `vpopcntq`, the nibble-LUT emulation
+/// gone. Plane significance is applied with a single variable shift
+/// while still vectorized.
+pub(crate) fn group_counts(
+    mask: u64,
+    planes: &[u64],
+    n_planes: usize,
+    n_pad: usize,
+    counts: &mut [u64],
+) {
+    assert_avx512();
+    debug_assert_eq!(n_pad % 8, 0, "staging layout must pad to 8 lanes");
+    debug_assert!(planes.len() >= n_planes * n_pad);
+    debug_assert_eq!(counts.len(), n_pad);
+    // SAFETY: AVX-512 support asserted above.
+    unsafe { group_counts_impl(mask, planes, n_planes, n_pad, counts) }
+}
+
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+fn group_counts_impl(mask: u64, planes: &[u64], n_planes: usize, n_pad: usize, counts: &mut [u64]) {
+    if n_planes == 0 {
+        counts.fill(0);
+        return;
+    }
+    let mask_v = _mm512_set1_epi64(mask as i64);
+    let mut v = 0;
+    while v < n_pad {
+        let mut acc = _mm512_setzero_si512();
+        for b in 0..n_planes {
+            // SAFETY: v + 8 <= n_pad and b < n_planes keep the 64-byte
+            // load inside `planes[..n_planes * n_pad]` (checked by the
+            // wrapper); unaligned load.
+            let pl =
+                unsafe { _mm512_loadu_epi64(planes.as_ptr().add(b * n_pad + v) as *const i64) };
+            let pops = _mm512_popcnt_epi64(_mm512_and_si512(pl, mask_v));
+            acc = _mm512_add_epi64(acc, _mm512_sll_epi64(pops, _mm_cvtsi32_si128(b as i32)));
+        }
+        // SAFETY: v + 8 <= n_pad == counts.len(); unaligned store.
+        unsafe { _mm512_storeu_epi64(counts.as_mut_ptr().add(v) as *mut i64, acc) };
+        v += 8;
+    }
+}

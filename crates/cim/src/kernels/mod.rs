@@ -1,7 +1,7 @@
 //! Runtime-dispatched MVM kernel tiers.
 //!
 //! The batched bit-plane kernels ([`RomMvm::mvm_batch_exact`] and
-//! [`RomMvm::mvm_batch_fast`]) execute through one of two **tiers**:
+//! [`RomMvm::mvm_batch_fast`]) execute through one of three **tiers**:
 //!
 //! * [`KernelKind::Scalar`] — portable Rust, no `unsafe`, no ISA
 //!   assumptions. This tier *is* the reference semantics: every other
@@ -13,18 +13,33 @@
 //!   8-bit design point makes it overflow-safe, `_mm256_mul_epi32`
 //!   otherwise), a vectorized event-counter fold, and the lane-packed
 //!   `AND`+popcount mask stream via the `vpshufb` nibble-LUT trick.
+//! * [`KernelKind::Avx512`] — the 512-bit tier (the `avx512` module):
+//!   32-lane `_mm512_madd_epi16` matmuls, a native `vpopcntq`
+//!   (`_mm512_popcnt_epi64`) mask stream replacing the nibble LUT, and a
+//!   16-lane event-counter fold with mask-register activity bitmaps.
+//!
+//! Orthogonal to the tier, each batch executes in one of two activation
+//! **layouts** ([`MatmulLayout`], chosen per shape by [`choose_layout`]):
+//! the row-major layout vectorizes each vector's dot products across
+//! `ins`, while the *batch-transposed* layout stages the block as a
+//! lane-major `[ins x n_pad]` panel and vectorizes **across vectors** —
+//! 8 (AVX2) or 16 (AVX-512) activations per SIMD op — which is what
+//! rescues the zoo's narrow im2col shapes (`1x9`, `2x9`, `4x18`) whose
+//! 9-wide rows cannot fill lanes in the row-major layout. The scalar
+//! tier implements both layouts too, so the parity oracle covers every
+//! (tier, layout) cell.
 //!
 //! Which tier runs is decided **once, at [`RomMvm::program`] time**, by
 //! [`KernelDispatch`]: the `YOLOC_KERNEL` environment variable
-//! (`scalar`, `avx2` or `auto`) overrides the default `auto` policy,
-//! which selects AVX2 whenever `is_x86_feature_detected!("avx2")` holds.
-//! The hot loops then match on a stored [`KernelKind`] — no per-call
-//! feature detection.
+//! (`scalar`, `avx2`, `avx512` or `auto`) overrides the default `auto`
+//! policy, which selects the widest tier the host supports. The hot
+//! loops then match on a stored [`KernelKind`] — no per-call feature
+//! detection.
 //!
-//! All arithmetic on every tier is exact integer arithmetic, so tier
-//! choice can never change a result; the dispatch surface exists purely
-//! for speed, and CI runs the parity suites under both overrides to keep
-//! it that way.
+//! All arithmetic on every tier is exact integer arithmetic, so tier and
+//! layout choice can never change a result; the dispatch surface exists
+//! purely for speed, and CI runs the parity suites under every override
+//! to keep it that way.
 //!
 //! [`RomMvm::mvm_batch_exact`]: crate::macro_model::RomMvm
 //! [`RomMvm::mvm_batch_fast`]: crate::macro_model::RomMvm
@@ -36,6 +51,9 @@ pub(crate) mod scalar;
 #[cfg(target_arch = "x86_64")]
 pub(crate) mod avx2;
 
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx512;
+
 /// The kernel tier a programmed engine executes its batched MVMs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelKind {
@@ -43,6 +61,9 @@ pub enum KernelKind {
     Scalar,
     /// AVX2 `std::arch` tier (x86_64 with runtime-detected support).
     Avx2,
+    /// AVX-512 `std::arch` tier (x86_64 with runtime-detected
+    /// F+BW+VL+VPOPCNTDQ support).
+    Avx512,
 }
 
 impl KernelKind {
@@ -51,6 +72,20 @@ impl KernelKind {
         match self {
             KernelKind::Scalar => "scalar",
             KernelKind::Avx2 => "avx2",
+            KernelKind::Avx512 => "avx512",
+        }
+    }
+
+    /// Lane padding of the plane-major pulse staging buffer this tier's
+    /// popcount stream consumes: the quantizing fast path rounds the
+    /// block size up to this multiple so `group_counts` never needs a
+    /// remainder loop.
+    pub(crate) fn plane_pad(self) -> usize {
+        match self {
+            // The AVX2 nibble-LUT stream eats 4 x u64 per step; the
+            // AVX-512 `vpopcntq` stream eats 8.
+            KernelKind::Scalar | KernelKind::Avx2 => 4,
+            KernelKind::Avx512 => 8,
         }
     }
 }
@@ -58,11 +93,12 @@ impl KernelKind {
 /// How to pick the [`KernelKind`] for a newly programmed engine.
 ///
 /// Parsed from the `YOLOC_KERNEL` environment variable at
-/// [`RomMvm::program`] time (`scalar` | `avx2` | `auto`; unset means
-/// [`KernelDispatch::Auto`]). Forcing `avx2` on a host without AVX2
-/// resolves to the scalar tier with a one-time warning rather than
-/// aborting, so a pinned CI environment stays runnable everywhere — the
-/// parity suites detect the downgrade and skip-with-note.
+/// [`RomMvm::program`] time (`scalar` | `avx2` | `avx512` | `auto`;
+/// unset means [`KernelDispatch::Auto`]). Forcing a tier on a host
+/// without it resolves to the widest available tier with a one-time
+/// warning rather than aborting, so a pinned CI environment stays
+/// runnable everywhere — the parity suites detect the downgrade and
+/// skip-with-note.
 ///
 /// [`RomMvm::program`]: crate::macro_model::RomMvm::program
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -75,6 +111,9 @@ pub enum KernelDispatch {
     /// Force the AVX2 tier (falls back to scalar, with a warning, when
     /// the host lacks AVX2).
     Avx2,
+    /// Force the AVX-512 tier (falls back to AVX2 — or scalar — with a
+    /// warning, when the host lacks the required AVX-512 subsets).
+    Avx512,
 }
 
 impl KernelDispatch {
@@ -87,12 +126,17 @@ impl KernelDispatch {
     pub fn from_env() -> Self {
         match std::env::var("YOLOC_KERNEL") {
             Err(_) => KernelDispatch::Auto,
-            Ok(v) => match v.as_str() {
-                "auto" | "" => KernelDispatch::Auto,
-                "scalar" => KernelDispatch::Scalar,
-                "avx2" => KernelDispatch::Avx2,
-                other => panic!("unknown YOLOC_KERNEL value {other:?} (expected scalar|avx2|auto)"),
-            },
+            Ok(v) => {
+                match v.as_str() {
+                    "auto" | "" => KernelDispatch::Auto,
+                    "scalar" => KernelDispatch::Scalar,
+                    "avx2" => KernelDispatch::Avx2,
+                    "avx512" => KernelDispatch::Avx512,
+                    other => {
+                        panic!("unknown YOLOC_KERNEL value {other:?} (expected scalar|avx2|avx512|auto)")
+                    }
+                }
+            }
         }
     }
 
@@ -101,7 +145,9 @@ impl KernelDispatch {
         match self {
             KernelDispatch::Scalar => KernelKind::Scalar,
             KernelDispatch::Auto => {
-                if avx2_available() {
+                if avx512_available() {
+                    KernelKind::Avx512
+                } else if avx2_available() {
                     KernelKind::Avx2
                 } else {
                     KernelKind::Scalar
@@ -111,7 +157,18 @@ impl KernelDispatch {
                 if avx2_available() {
                     KernelKind::Avx2
                 } else {
-                    warn_avx2_unavailable();
+                    warn_forced_unavailable("avx2", "scalar");
+                    KernelKind::Scalar
+                }
+            }
+            KernelDispatch::Avx512 => {
+                if avx512_available() {
+                    KernelKind::Avx512
+                } else if avx2_available() {
+                    warn_forced_unavailable("avx512", "avx2");
+                    KernelKind::Avx2
+                } else {
+                    warn_forced_unavailable("avx512", "scalar");
                     KernelKind::Scalar
                 }
             }
@@ -133,6 +190,25 @@ pub fn avx2_available() -> bool {
     }
 }
 
+/// Whether the AVX-512 tier can run on this host (always `false` off
+/// x86_64). Requires the F, BW and VL subsets (madd matmuls, masked
+/// `i16` loads, 256-bit mixes) plus VPOPCNTDQ for the `vpopcntq` mask
+/// stream. Resolve once and store the [`KernelKind`]; do not call this
+/// in a hot loop.
+pub fn avx512_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512bw")
+            && std::arch::is_x86_feature_detected!("avx512vl")
+            && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
 /// Every kernel tier the host can execute, scalar first. Parity suites
 /// iterate this so a test run covers exactly the tiers that can run.
 pub fn available_kinds() -> Vec<KernelKind> {
@@ -140,15 +216,126 @@ pub fn available_kinds() -> Vec<KernelKind> {
     if avx2_available() {
         kinds.push(KernelKind::Avx2);
     }
+    if avx512_available() {
+        kinds.push(KernelKind::Avx512);
+    }
     kinds
 }
 
-fn warn_avx2_unavailable() {
+fn warn_forced_unavailable(requested: &str, fallback: &str) {
     use std::sync::atomic::{AtomicBool, Ordering};
     static WARNED: AtomicBool = AtomicBool::new(false);
     if !WARNED.swap(true, Ordering::Relaxed) {
-        eprintln!("note: YOLOC_KERNEL=avx2 requested but AVX2 is not available; using the scalar kernel tier");
+        eprintln!(
+            "note: YOLOC_KERNEL={requested} requested but the ISA tier is not available; \
+             using the {fallback} kernel tier"
+        );
     }
+}
+
+/// Which activation layout a batched MVM executes in.
+///
+/// Row-major is the staging layout callers have always produced
+/// (`acts[v * ins + i]`); the batch-transposed layout stages the block
+/// as a lane-major `[ins x n_pad]` panel (`acts_t[i * n_pad + v]`,
+/// `n_pad = `[`transposed_pad`]`(n)`, padding lanes zero) so the SIMD
+/// tiers vectorize across *vectors* instead of across `ins`. Both
+/// layouts are exact integer paths over the same values, so the choice
+/// can never change a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatmulLayout {
+    /// `acts[v * ins + i]` — one contiguous activation row per vector.
+    RowMajor,
+    /// `acts_t[i * n_pad + v]` — one contiguous *lane row* per
+    /// activation index, padded to [`transposed_pad`] vectors.
+    Transposed,
+}
+
+/// Lane padding of a transposed activation panel: block size `n`
+/// rounded up to 16 `i32` lanes (one AVX-512 register; two AVX2
+/// registers; the scalar tier ignores padding). Padding lanes are never
+/// read back but must stay within the activation code range — zero, or
+/// stale codes left over from an earlier staging pass.
+pub fn transposed_pad(n: usize) -> usize {
+    n.next_multiple_of(16).max(16)
+}
+
+/// The shape-driven row-major vs batch-transposed crossover for the
+/// SIMD tiers (the scalar reference tier always dispatches row-major —
+/// its fastest staging — and its transposed entries are exercised as
+/// parity oracles with explicit panels).
+///
+/// The transposed path wins whenever the event-counter fold — whose
+/// cost scales with `ins` per vector and vectorizes across lanes only
+/// in the panel layout — is a visible share of the row-major time:
+/// everything up to `outs <= 16`, and `outs == 32` while `ins` stays
+/// moderate. At larger `outs` the row-major `madd` matmul dominates
+/// the call and already fills lanes across `ins`, and the repack toll
+/// (one strided pass over `ins` codes per vector) outweighs the fold
+/// win. The transposed path requires the `i16`-eligibility overflow
+/// proof (`has_i16`), which also bounds its `i32` lane accumulators,
+/// and a batch of at least 4 so the 16-lane panel is not mostly
+/// padding.
+pub fn choose_layout(outs: usize, ins: usize, n: usize, has_i16: bool) -> MatmulLayout {
+    let fold_bound = outs <= 16 || (outs <= 32 && ins <= 144);
+    if has_i16 && n >= 4 && fold_bound {
+        MatmulLayout::Transposed
+    } else {
+        MatmulLayout::RowMajor
+    }
+}
+
+/// Weight codes lane-packed to `i16` for the madd matmul tiers: row
+/// stride rounded up to 16 lanes, tail lanes zero. Built once at
+/// `program` time by [`pack_codes16`] (and by the parity suites — this
+/// type is the single owner of the packing rule). An empty packing
+/// (`is_empty`) means the shape failed the overflow proof and the `i16`
+/// path must not run.
+#[must_use = "packing codes16 is pointless unless the packed view is stored"]
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PackedCodes16 {
+    data: Vec<i16>,
+    ins16: usize,
+}
+
+impl PackedCodes16 {
+    /// The no-packing sentinel for shapes outside the overflow proof.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Lane-packed codes, `outs x ins16` row-major; empty if ineligible.
+    pub fn data(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Row stride of the packing (0 when empty).
+    pub fn stride(&self) -> usize {
+        self.ins16
+    }
+
+    /// Whether this is the no-packing sentinel.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Packs row-major `i32` codes into the lane-major `i16` layout every
+/// madd tier consumes. Caller is responsible for the overflow proof
+/// (`weight_bits <= 8 && act_bits <= 8 && ins <= 32768`); values are
+/// asserted to fit `i16` in debug builds.
+pub(crate) fn pack_codes16(codes: &[i32], outs: usize, ins: usize) -> PackedCodes16 {
+    assert_eq!(codes.len(), outs * ins, "row-major codes shape mismatch");
+    let ins16 = ins.next_multiple_of(16);
+    let mut data = vec![0i16; outs * ins16];
+    for o in 0..outs {
+        for i in 0..ins {
+            let c = codes[o * ins + i];
+            debug_assert!(i32::from(c as i16) == c, "code {c} exceeds i16");
+            data[o * ins16 + i] = c as i16;
+        }
+    }
+    PackedCodes16 { data, ins16 }
 }
 
 /// The stored weight codes of an exact-kernel engine, in every packing
@@ -185,8 +372,66 @@ pub(crate) fn matmul_exact(
         KernelKind::Scalar => scalar::matmul_into(c.codes, c.outs, c.ins, acts, n, out),
         #[cfg(target_arch = "x86_64")]
         KernelKind::Avx2 => avx2::matmul_exact(c, acts, n, out, acts16),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx512 => avx512::matmul_exact(c, acts, n, out, acts16),
         #[cfg(not(target_arch = "x86_64"))]
-        KernelKind::Avx2 => unreachable!("AVX2 tier cannot be selected off x86_64"),
+        _ => unreachable!("SIMD tiers cannot be selected off x86_64"),
+    }
+}
+
+/// Batch-transposed integer matmul over a lane-major `[ins x n_pad]`
+/// activation panel: `out[v][o] = sum_i codes[o][i] * acts_t[i][v]`.
+/// Dispatched by tier; exact on every tier. The SIMD paths require the
+/// `i16`-eligibility proof (their lane accumulators are `i32`), so the
+/// dispatcher falls back to the scalar reference when `codes16` is
+/// empty.
+pub(crate) fn matmul_exact_t(
+    kind: KernelKind,
+    c: &ExactCodes<'_>,
+    acts_t: &[i32],
+    n: usize,
+    n_pad: usize,
+    out: &mut [i64],
+) {
+    match kind {
+        KernelKind::Scalar => {
+            scalar::matmul_transposed(c.codes, c.outs, c.ins, acts_t, n, n_pad, out)
+        }
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 if !c.codes16.is_empty() => {
+            avx2::matmul_transposed(c, acts_t, n, n_pad, out)
+        }
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx512 if !c.codes16.is_empty() => {
+            avx512::matmul_transposed(c, acts_t, n, n_pad, out);
+        }
+        _ => scalar::matmul_transposed(c.codes, c.outs, c.ins, acts_t, n, n_pad, out),
+    }
+}
+
+/// Repacks a row-major activation block into the lane-major
+/// `[ins x n_pad]` panel the transposed kernels consume:
+/// `acts_t[i*n_pad + v] = acts[v*ins + i]`. Dispatched by tier — the
+/// SIMD tiers turn the strided transpose into hardware gathers, which
+/// is where the panel pipeline spends its time at small `n`. Every tier
+/// writes identical live lanes; padding lanes may be left stale or
+/// zeroed (both within the code range the panel kernels tolerate).
+pub(crate) fn repack_transposed(
+    kind: KernelKind,
+    acts: &[i32],
+    ins: usize,
+    n: usize,
+    n_pad: usize,
+    acts_t: &mut [i32],
+) {
+    match kind {
+        KernelKind::Scalar => scalar::repack_transposed(acts, ins, n, n_pad, acts_t),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 => avx2::repack_transposed(acts, ins, n, n_pad, acts_t),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx512 => avx512::repack_transposed(acts, ins, n, n_pad, acts_t),
+        #[allow(unreachable_patterns)]
+        _ => scalar::repack_transposed(acts, ins, n, n_pad, acts_t),
     }
 }
 
@@ -232,16 +477,56 @@ pub(crate) fn fold_event_counters(
             avx2::fold_event_counters(acts, ins, n, p, counters, bitmaps);
         }
         #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx512 if ins >= 64 && p.n_chunks <= 4 => {
+            avx512::fold_event_counters(acts, ins, n, p, counters, bitmaps);
+        }
+        #[cfg(target_arch = "x86_64")]
         // Below the vector cutover, the tier-2 win is table-driven chunk
-        // spreading (one load+add per activation) at the paper chunking.
-        KernelKind::Avx2 if p.chunk_bits == 2 && p.n_chunks == 4 => {
+        // spreading (one load+add per activation) at the paper chunking —
+        // pure safe Rust, shared by both SIMD tiers.
+        KernelKind::Avx2 | KernelKind::Avx512 if p.chunk_bits == 2 && p.n_chunks == 4 => {
             let _ = bitmaps;
             avx2::fold_event_counters_small(acts, ins, n, p, counters);
         }
-        KernelKind::Avx2 => {
+        #[allow(unreachable_patterns)]
+        _ => {
             let _ = bitmaps;
             scalar::fold_event_counters(acts, ins, n, p, counters);
         }
+    }
+}
+
+/// Batch-transposed event-counter fold: same statistics as
+/// [`fold_event_counters`], derived from a lane-major `[ins x n_pad]`
+/// panel instead of row-major activations. Counter arithmetic is pure
+/// integer accumulation, so the transposed walk is bit-identical to the
+/// row-major one by construction (and pinned by the parity suites).
+pub(crate) fn fold_event_counters_t(
+    kind: KernelKind,
+    acts_t: &[i32],
+    ins: usize,
+    n: usize,
+    n_pad: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+) {
+    // The vectorized transposed folds keep per-chunk pulse totals in
+    // i32 lanes; bound the worst-case per-lane sum so they stay exact.
+    #[cfg(target_arch = "x86_64")]
+    let lanes_exact = p.n_chunks <= 4
+        && (ins as u64) * (((1u64 << p.chunk_bits) - 1) * p.n_chunks as u64) < i32::MAX as u64;
+    match kind {
+        KernelKind::Scalar => scalar::fold_event_counters_t(acts_t, ins, n, n_pad, p, counters),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2 if lanes_exact => {
+            avx2::fold_event_counters_t(acts_t, ins, n, n_pad, p, counters);
+        }
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx512 if lanes_exact => {
+            avx512::fold_event_counters_t(acts_t, ins, n, n_pad, p, counters);
+        }
+        #[allow(unreachable_patterns)]
+        _ => scalar::fold_event_counters_t(acts_t, ins, n, n_pad, p, counters),
     }
 }
 
@@ -262,8 +547,10 @@ pub(crate) fn group_counts(
         KernelKind::Scalar => scalar::group_counts(mask, planes, n_planes, n_pad, counts),
         #[cfg(target_arch = "x86_64")]
         KernelKind::Avx2 => avx2::group_counts(mask, planes, n_planes, n_pad, counts),
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx512 => avx512::group_counts(mask, planes, n_planes, n_pad, counts),
         #[cfg(not(target_arch = "x86_64"))]
-        KernelKind::Avx2 => unreachable!("AVX2 tier cannot be selected off x86_64"),
+        _ => unreachable!("SIMD tiers cannot be selected off x86_64"),
     }
 }
 
@@ -275,25 +562,61 @@ mod tests {
     fn dispatch_resolution_is_host_consistent() {
         assert_eq!(KernelDispatch::Scalar.resolve(), KernelKind::Scalar);
         let auto = KernelDispatch::Auto.resolve();
-        let forced = KernelDispatch::Avx2.resolve();
-        if avx2_available() {
+        let forced2 = KernelDispatch::Avx2.resolve();
+        let forced512 = KernelDispatch::Avx512.resolve();
+        if avx512_available() {
+            assert_eq!(auto, KernelKind::Avx512);
+            assert_eq!(forced512, KernelKind::Avx512);
+            assert_eq!(forced2, KernelKind::Avx2);
+        } else if avx2_available() {
+            // Forcing a tier on a host without it downgrades to the
+            // widest available tier (with a warning) instead of
+            // aborting.
             assert_eq!(auto, KernelKind::Avx2);
-            assert_eq!(forced, KernelKind::Avx2);
+            assert_eq!(forced2, KernelKind::Avx2);
+            assert_eq!(forced512, KernelKind::Avx2);
         } else {
-            // Forcing AVX2 on a host without it downgrades (with a
-            // warning) instead of aborting.
             assert_eq!(auto, KernelKind::Scalar);
-            assert_eq!(forced, KernelKind::Scalar);
+            assert_eq!(forced2, KernelKind::Scalar);
+            assert_eq!(forced512, KernelKind::Scalar);
         }
         let kinds = available_kinds();
         assert_eq!(kinds[0], KernelKind::Scalar);
-        assert_eq!(kinds.len(), 1 + avx2_available() as usize);
+        assert_eq!(
+            kinds.len(),
+            1 + avx2_available() as usize + avx512_available() as usize
+        );
     }
 
     #[test]
     fn labels_are_stable() {
         assert_eq!(KernelKind::Scalar.label(), "scalar");
         assert_eq!(KernelKind::Avx2.label(), "avx2");
+        assert_eq!(KernelKind::Avx512.label(), "avx512");
+    }
+
+    #[test]
+    fn layout_crossover_is_shape_driven() {
+        // Fold-bound shapes with real batch depth go transposed: narrow
+        // im2col shapes, every mid shape up to 16 outputs, and 32
+        // outputs while ins stays moderate…
+        assert_eq!(choose_layout(1, 9, 256, true), MatmulLayout::Transposed);
+        assert_eq!(choose_layout(4, 18, 256, true), MatmulLayout::Transposed);
+        assert_eq!(choose_layout(1, 64, 8, true), MatmulLayout::Transposed);
+        assert_eq!(choose_layout(16, 72, 256, true), MatmulLayout::Transposed);
+        assert_eq!(choose_layout(32, 144, 256, true), MatmulLayout::Transposed);
+        // …matmul-bound shapes stay row-major (madd across ins already
+        // fills lanes, and the repack toll scales with ins), as do
+        // degenerate batches and non-i16 shapes.
+        assert_eq!(choose_layout(32, 288, 256, true), MatmulLayout::RowMajor);
+        assert_eq!(choose_layout(64, 288, 16, true), MatmulLayout::RowMajor);
+        assert_eq!(choose_layout(1, 9, 1, true), MatmulLayout::RowMajor);
+        assert_eq!(choose_layout(4, 18, 2, true), MatmulLayout::RowMajor);
+        assert_eq!(choose_layout(1, 9, 256, false), MatmulLayout::RowMajor);
+        // Panel padding covers one AVX-512 register even for tiny n.
+        assert_eq!(transposed_pad(1), 16);
+        assert_eq!(transposed_pad(16), 16);
+        assert_eq!(transposed_pad(17), 32);
     }
 
     #[test]
@@ -306,11 +629,15 @@ mod tests {
             .map(|i| (i as i32 * 37) % 255 - 127)
             .collect();
         let acts: Vec<i32> = (0..n * ins).map(|i| (i as i32 * 13) % 256).collect();
-        let ins16 = ins.next_multiple_of(16);
-        let mut codes16 = vec![0i16; outs * ins16];
-        for o in 0..outs {
+        let packed = pack_codes16(&codes, outs, ins);
+        let (codes16, ins16) = (packed.data(), packed.stride());
+        assert_eq!(ins16, ins.next_multiple_of(16));
+        // The transposed panel carries the same values lane-major.
+        let n_pad = transposed_pad(n);
+        let mut acts_t = vec![0i32; ins * n_pad];
+        for v in 0..n {
             for i in 0..ins {
-                codes16[o * ins16 + i] = codes[o * ins + i] as i16;
+                acts_t[i * n_pad + v] = acts[v * ins + i];
             }
         }
         let mut reference = vec![0i64; n * outs];
@@ -332,7 +659,7 @@ mod tests {
             for with_i16 in [false, true] {
                 let c = ExactCodes {
                     codes: &codes,
-                    codes16: if with_i16 { &codes16 } else { &[] },
+                    codes16: if with_i16 { codes16 } else { &[] },
                     ins16: if with_i16 { ins16 } else { 0 },
                     outs,
                     ins,
@@ -341,24 +668,42 @@ mod tests {
                 let mut acts16 = Vec::new();
                 matmul_exact(kind, &c, &acts, n, &mut out, &mut acts16);
                 assert_eq!(out, reference, "{} matmul (i16={with_i16})", kind.label());
+                out.fill(0);
+                matmul_exact_t(kind, &c, &acts_t, n, n_pad, &mut out);
+                assert_eq!(
+                    out,
+                    reference,
+                    "{} transposed matmul (i16={with_i16})",
+                    kind.label()
+                );
             }
             let mut counters = vec![[0u64; 3]; n];
             let mut bitmaps = Vec::new();
             fold_event_counters(kind, &acts, ins, n, &fold, &mut counters, &mut bitmaps);
             assert_eq!(counters, ref_counters, "{} fold", kind.label());
+            counters.iter_mut().for_each(|c| *c = [0; 3]);
+            fold_event_counters_t(kind, &acts_t, ins, n, n_pad, &fold, &mut counters);
+            assert_eq!(counters, ref_counters, "{} transposed fold", kind.label());
         }
-        // Popcount stream parity over staged planes.
-        let (n_planes, n_pad) = (2, 8);
-        let planes: Vec<u64> = (0..n_planes * n_pad)
-            .map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
-            .collect();
-        let mask = 0x0000_03ffu64; // 10-row group mask
-        let mut ref_counts = vec![0u64; n_pad];
-        scalar::group_counts(mask, &planes, n_planes, n_pad, &mut ref_counts);
-        for kind in available_kinds() {
-            let mut counts = vec![0u64; n_pad];
-            group_counts(kind, mask, &planes, n_planes, n_pad, &mut counts);
-            assert_eq!(counts, ref_counts, "{} group_counts", kind.label());
+        // Popcount stream parity over staged planes, at both staging
+        // paddings (4 for scalar/AVX2, 8 for the AVX-512 vpopcntq
+        // stream).
+        for plane_pad in [4usize, 8] {
+            let (n_planes, n_pad) = (2, 2 * plane_pad);
+            let planes: Vec<u64> = (0..n_planes * n_pad)
+                .map(|i| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .collect();
+            let mask = 0x0000_03ffu64; // 10-row group mask
+            let mut ref_counts = vec![0u64; n_pad];
+            scalar::group_counts(mask, &planes, n_planes, n_pad, &mut ref_counts);
+            for kind in available_kinds() {
+                if n_pad % kind.plane_pad() != 0 {
+                    continue;
+                }
+                let mut counts = vec![0u64; n_pad];
+                group_counts(kind, mask, &planes, n_planes, n_pad, &mut counts);
+                assert_eq!(counts, ref_counts, "{} group_counts", kind.label());
+            }
         }
     }
 }

@@ -34,6 +34,66 @@ pub(crate) fn matmul_into(
     }
 }
 
+/// The batch-transposed reference matmul over a lane-major
+/// `[ins x n_pad]` panel: `out[v*outs + o] = sum_i codes[o*ins + i] *
+/// acts_t[i*n_pad + v]`. Same arithmetic as [`matmul_into`] in a
+/// different traversal order (each addend is an exact `i64` product, so
+/// ordering cannot change the sum) — this entry keeps the scalar tier
+/// the parity oracle for the transposed SIMD paths.
+pub(crate) fn matmul_transposed(
+    codes: &[i32],
+    outs: usize,
+    ins: usize,
+    acts_t: &[i32],
+    n: usize,
+    n_pad: usize,
+    out: &mut [i64],
+) {
+    debug_assert_eq!(codes.len(), outs * ins);
+    debug_assert!(n_pad >= n);
+    debug_assert!(acts_t.len() >= ins * n_pad);
+    debug_assert_eq!(out.len(), n * outs);
+    out.fill(0);
+    for (o, row) in codes.chunks_exact(ins).enumerate() {
+        for (i, &w) in row.iter().enumerate() {
+            let lane = &acts_t[i * n_pad..i * n_pad + n];
+            for (v, &a) in lane.iter().enumerate() {
+                out[v * outs + o] += w as i64 * a as i64;
+            }
+        }
+    }
+}
+
+/// Scalar reference for the row-major -> lane-major panel repack:
+/// `acts_t[i*n_pad + v] = acts[v*ins + i]` for every live vector.
+/// Blocked over vectors so the activation rows of a block stay
+/// cache-resident while each panel lane receives a contiguous burst of
+/// writes. Padding lanes (`v >= n`) are left untouched — the panel
+/// kernels never read them back.
+pub(crate) fn repack_transposed(
+    acts: &[i32],
+    ins: usize,
+    n: usize,
+    n_pad: usize,
+    acts_t: &mut [i32],
+) {
+    debug_assert!(acts.len() >= n * ins);
+    debug_assert!(n_pad >= n);
+    debug_assert!(acts_t.len() >= ins * n_pad);
+    const REPACK_BLOCK: usize = 64;
+    let mut v0 = 0;
+    while v0 < n {
+        let v1 = (v0 + REPACK_BLOCK).min(n);
+        for i in 0..ins {
+            let lane = &mut acts_t[i * n_pad + v0..i * n_pad + v1];
+            for (dv, slot) in lane.iter_mut().enumerate() {
+                *slot = acts[(v0 + dv) * ins + i];
+            }
+        }
+        v0 = v1;
+    }
+}
+
 /// Scalar event-counter fold: one pass over each vector's activation
 /// codes, accumulating all chunks simultaneously. A group is *active*
 /// for a chunk iff the OR of its rows has a nonzero field at that
@@ -60,6 +120,52 @@ pub(crate) fn fold_event_counters(
             let mut group_or = 0u32;
             for &a in &av[lo as usize..hi as usize] {
                 let a = a as u32;
+                group_or |= a;
+                for (ci, t) in totals[..p.n_chunks].iter_mut().enumerate() {
+                    *t += ((a >> (ci as u32 * p.chunk_bits as u32)) & chunk_mask) as u64;
+                }
+            }
+            for (ci, act) in actives[..p.n_chunks].iter_mut().enumerate() {
+                if (group_or >> (ci as u32 * p.chunk_bits as u32)) & chunk_mask != 0 {
+                    *act += 1;
+                }
+            }
+        }
+        let active: u64 = actives[..p.n_chunks].iter().sum();
+        let total: u64 = totals[..p.n_chunks].iter().sum();
+        c[0] += active * p.col_tiles;
+        c[1] += active * p.cols * p.col_tiles;
+        c[2] += total * p.col_tiles;
+    }
+}
+
+/// Batch-transposed scalar event-counter fold: identical statistics to
+/// [`fold_event_counters`], derived from the lane-major `[ins x n_pad]`
+/// panel. Pure integer accumulation in a different traversal order, so
+/// it is bit-identical to the row-major fold by construction.
+pub(crate) fn fold_event_counters_t(
+    acts_t: &[i32],
+    ins: usize,
+    n: usize,
+    n_pad: usize,
+    p: &FoldParams<'_>,
+    counters: &mut [[u64; 3]],
+) {
+    debug_assert!(p.n_chunks <= 8, "chunk count exceeds the fold accumulators");
+    debug_assert_eq!(counters.len(), n);
+    debug_assert!(n_pad >= n);
+    debug_assert!(acts_t.len() >= ins * n_pad);
+    let chunk_mask = (1u32 << p.chunk_bits) - 1;
+    // Per-vector strided walk with stack accumulators: slower than the
+    // SIMD lane walk but allocation-free (this entry runs inside the
+    // zero-alloc arena steady state as the reference and the fallback).
+    for (v, c) in counters.iter_mut().enumerate() {
+        let mut totals = [0u64; 8];
+        let mut actives = [0u64; 8];
+        for &(lo, hi) in p.group_bounds {
+            let mut group_or = 0u32;
+            for i in lo as usize..hi as usize {
+                let a = acts_t[i * n_pad + v] as u32;
                 group_or |= a;
                 for (ci, t) in totals[..p.n_chunks].iter_mut().enumerate() {
                     *t += ((a >> (ci as u32 * p.chunk_bits as u32)) & chunk_mask) as u64;

@@ -23,10 +23,10 @@
 //! assert!((spec.inference_time_ns - 8.9).abs() < 1e-9);
 //! ```
 
-// `deny`, not `forbid`: the `kernels::avx2` module is the one place
-// allowed to opt back in (scoped `allow` + `deny(unsafe_op_in_unsafe_fn)`
-// + a safety comment on every intrinsic block). Everything else stays
-// unsafe-free.
+// `deny`, not `forbid`: the `kernels::avx2` and `kernels::avx512`
+// modules are the only places allowed to opt back in (scoped `allow` +
+// `deny(unsafe_op_in_unsafe_fn)` + a safety comment on every intrinsic
+// block). Everything else stays unsafe-free.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -42,7 +42,10 @@ pub mod technology;
 pub use analog::{AdcModel, AnalogArray, AnalogConfig};
 pub use backend::{program_backend, BackendKind, DynRng, MvmBackend, SoftwareMvm};
 pub use cells::{CellKind, RomCell};
-pub use kernels::{avx2_available, KernelDispatch, KernelKind};
+pub use kernels::{
+    avx2_available, avx512_available, choose_layout, transposed_pad, KernelDispatch, KernelKind,
+    MatmulLayout,
+};
 pub use macro_model::{MacroParams, MacroSpec, MvmStats, RomMvm};
 pub use rom_image::RomImage;
 pub use tcam::{TcamMacro, TcamParams};

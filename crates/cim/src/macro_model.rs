@@ -352,13 +352,12 @@ pub struct RomMvm {
     /// reachable (noiseless macro, maskable groups, identity ADC), so
     /// configurations that can never take it pay no duplicate storage.
     codes: Vec<i32>,
-    /// Lane-packed `i16` copy of `codes` (`outs x ins16` with zero
-    /// padding), built only when the AVX2 `madd` matmul is overflow-safe
-    /// (`weight_bits <= 8`, `act_bits <= 8`, `ins <= 32768` keeps every
-    /// dot product under `i32::MAX`); empty otherwise.
-    codes16: Vec<i16>,
-    /// Row stride of `codes16` (`ins` rounded up to 16 `i16` lanes).
-    ins16: usize,
+    /// Lane-packed `i16` copy of `codes` (see
+    /// [`kernels::pack_codes16`]), built only when the SIMD `madd` /
+    /// transposed matmuls are overflow-safe (`weight_bits <= 8`,
+    /// `act_bits <= 8`, `ins <= 32768` keeps every `i32` accumulator
+    /// lane in range); the empty sentinel otherwise.
+    codes16: kernels::PackedCodes16,
     /// Global `(lo, hi)` activation-row range of every analog group in
     /// row order — the precomputed walk the shared event-counter fold
     /// uses (groups never span a row-tile boundary).
@@ -367,6 +366,13 @@ pub struct RomMvm {
     /// `program` time from `YOLOC_KERNEL` / feature detection.
     kernel: KernelKind,
     fast_path_enabled: bool,
+    /// Cached stats-derivation constants (see [`StatsFinisher`]): every
+    /// input is fixed at `program` time, so the batch entries read this
+    /// instead of rebuilding the constants per call.
+    finisher: StatsFinisher,
+    /// Cached [`RomMvm::adc_is_identity`] answer — a pure function of
+    /// `params`, queried on every batch entry and layout choice.
+    adc_identity: bool,
     ins: usize,
     outs: usize,
     outs_per_array: usize,
@@ -467,30 +473,16 @@ impl RomMvm {
                 AdcModel::Ideal => true,
                 AdcModel::Sar { bits, full_scale } => full_scale < (1u32 << bits),
             };
-        // The `_mm256_madd_epi16` tier needs a lane-packed i16 copy and
-        // an overflow proof: 8-bit signed codes x 8-bit unsigned acts
-        // over at most 32768 inputs keeps every i32 accumulator lane
-        // under 2^27, far inside range.
+        // The SIMD `madd` and transposed tiers need a lane-packed i16
+        // copy and an overflow proof: 8-bit signed codes x 8-bit
+        // unsigned acts over at most 32768 inputs keeps every i32
+        // accumulator lane in range.
         let i16_eligible =
             exact_reachable && params.weight_bits <= 8 && params.act_bits <= 8 && ins <= 32_768;
-        let ins16 = if i16_eligible {
-            ins.next_multiple_of(16)
-        } else {
-            0
-        };
         let codes16 = if i16_eligible {
-            let mut c16 = vec![0i16; outs * ins16];
-            for o in 0..outs {
-                for (dst, &code) in c16[o * ins16..o * ins16 + ins]
-                    .iter_mut()
-                    .zip(&codes[o * ins..(o + 1) * ins])
-                {
-                    *dst = code as i16;
-                }
-            }
-            c16
+            kernels::pack_codes16(codes, outs, ins)
         } else {
-            Vec::new()
+            kernels::PackedCodes16::empty()
         };
         // Precompute the global activation-group walk for the shared
         // event-counter fold: groups are rpa-row runs that restart at
@@ -507,7 +499,7 @@ impl RomMvm {
                 g = ge;
             }
         }
-        RomMvm {
+        let mut this = RomMvm {
             params,
             tiles,
             popcount_tiles,
@@ -517,14 +509,20 @@ impl RomMvm {
                 Vec::new()
             },
             codes16,
-            ins16,
             group_bounds,
             kernel: KernelDispatch::from_env().resolve(),
             fast_path_enabled: true,
+            finisher: StatsFinisher::default(),
+            adc_identity: match cfg.adc {
+                AdcModel::Ideal => true,
+                AdcModel::Sar { bits, full_scale } => full_scale < (1u32 << bits),
+            },
             ins,
             outs,
             outs_per_array,
-        }
+        };
+        this.finisher = this.stats_finisher();
+        this
     }
 
     /// Forces the batched MVM kernels onto a specific tier, overriding
@@ -536,11 +534,16 @@ impl RomMvm {
     ///
     /// Panics if the requested tier cannot execute on this host.
     pub fn set_kernel(&mut self, kind: KernelKind) {
-        if kind == KernelKind::Avx2 {
-            assert!(
+        match kind {
+            KernelKind::Scalar => {}
+            KernelKind::Avx2 => assert!(
                 kernels::avx2_available(),
                 "AVX2 kernel tier is not available on this host"
-            );
+            ),
+            KernelKind::Avx512 => assert!(
+                kernels::avx512_available(),
+                "AVX-512 kernel tier is not available on this host"
+            ),
         }
         self.kernel = kind;
     }
@@ -721,9 +724,12 @@ impl RomMvm {
     /// `unsigned_chunks`, checked once per batch so the batched kernels
     /// can never silently compute on sign-extended garbage.
     fn validate_act_codes(&self, acts: &[i32]) {
-        let hi = 1i64 << self.params.act_bits;
+        // Reduced as an unsigned max so the scan auto-vectorizes: a
+        // negative code casts to a huge `u32` and trips the same bound.
+        let hi = 1u64 << self.params.act_bits;
+        let worst = acts.iter().fold(0u32, |m, &a| m.max(a as u32));
         assert!(
-            acts.iter().all(|&a| a >= 0 && (a as i64) < hi),
+            u64::from(worst) < hi,
             "activation code outside unsigned {}-bit range",
             self.params.act_bits
         );
@@ -732,12 +738,10 @@ impl RomMvm {
     /// Whether the configured ADC transfer is an identity on every
     /// reachable discharge count (LSB = 1 count, counts never exceed the
     /// full scale) — true at the paper design point, where 10 rows per
-    /// activation x 3 pulses fit the 31-level 5-bit ADC.
+    /// activation x 3 pulses fit the 31-level 5-bit ADC. A pure function
+    /// of `params`, computed once at `program` time.
     pub(crate) fn adc_is_identity(&self) -> bool {
-        match self.params.analog_config().adc {
-            AdcModel::Ideal => true,
-            AdcModel::Sar { bits, full_scale } => full_scale < (1u32 << bits),
-        }
+        self.adc_identity
     }
 
     /// Executes a block of `n` activation vectors when the ADC transfer
@@ -763,26 +767,152 @@ impl RomMvm {
             !self.codes.is_empty() || self.outs == 0 || self.ins == 0,
             "exact kernel requires the stored code matrix"
         );
-        // Exact values: the dispatched integer matmul.
-        let codes = kernels::ExactCodes {
-            codes: &self.codes,
-            codes16: &self.codes16,
-            ins16: self.ins16,
-            outs: self.outs,
-            ins: self.ins,
-        };
-        kernels::matmul_exact(self.kernel, &codes, acts, n, out, &mut scratch.acts16);
-        // Event counters: the one shared fold over the pulse activity.
+        // Exact values: the dispatched integer matmul, in whichever
+        // layout the shape crossover prefers. A row-major caller still
+        // reaches the transposed kernels through a one-time repack of
+        // the block (cheap next to the O(outs * ins * n) matmul for the
+        // narrow shapes the crossover selects).
         scratch.counters.clear();
         scratch.counters.resize(n, [0u64; 3]);
-        kernels::fold_event_counters(
+        match self.batch_layout_for(n) {
+            kernels::MatmulLayout::RowMajor => {
+                kernels::matmul_exact(
+                    self.kernel,
+                    &self.exact_codes(),
+                    acts,
+                    n,
+                    out,
+                    &mut scratch.acts16,
+                );
+                kernels::fold_event_counters(
+                    self.kernel,
+                    acts,
+                    self.ins,
+                    n,
+                    &self.fold_params(),
+                    &mut scratch.counters,
+                    &mut scratch.fold_bitmaps,
+                );
+            }
+            kernels::MatmulLayout::Transposed => {
+                // Repack once, then run the whole panel pipeline —
+                // matmul *and* fold — so the repack is the only layout
+                // cost a row-major caller pays. The repack itself is
+                // tier-dispatched (hardware gathers on the SIMD tiers).
+                // The panel is grown but never re-zeroed: padding lanes
+                // carry stale codes from earlier calls, which the panel
+                // kernels tolerate (lane arithmetic is independent and
+                // padded lanes are never extracted; stale codes obey
+                // the same magnitude bound as live ones).
+                let n_pad = kernels::transposed_pad(n);
+                let need = self.ins * n_pad;
+                if scratch.acts_t.len() < need {
+                    scratch.acts_t.resize(need, 0);
+                }
+                kernels::repack_transposed(
+                    self.kernel,
+                    acts,
+                    self.ins,
+                    n,
+                    n_pad,
+                    &mut scratch.acts_t,
+                );
+                kernels::matmul_exact_t(
+                    self.kernel,
+                    &self.exact_codes(),
+                    &scratch.acts_t,
+                    n,
+                    n_pad,
+                    out,
+                );
+                kernels::fold_event_counters_t(
+                    self.kernel,
+                    &scratch.acts_t,
+                    self.ins,
+                    n,
+                    n_pad,
+                    &self.fold_params(),
+                    &mut scratch.counters,
+                );
+            }
+        }
+        self.merge_counter_stats(&scratch.counters, stats);
+    }
+
+    /// The stored codes in every packing the matmul tiers understand.
+    fn exact_codes(&self) -> kernels::ExactCodes<'_> {
+        kernels::ExactCodes {
+            codes: &self.codes,
+            codes16: self.codes16.data(),
+            ins16: self.codes16.stride(),
+            outs: self.outs,
+            ins: self.ins,
+        }
+    }
+
+    /// The activation layout the batched kernels prefer for a block of
+    /// `n` vectors (see [`kernels::choose_layout`]); the noisy per-vector
+    /// reference path has no batched kernel and always stages row-major.
+    ///
+    /// The scalar tier also stays row-major: the panel layout only pays
+    /// off when lanes vectorize, and letting the reference tier take its
+    /// slower transposed walk would quietly inflate every measured
+    /// speedup. Scalar's transposed entries remain first-class parity
+    /// oracles — the remainder suites drive them with explicit panels.
+    pub(crate) fn batch_layout_for(&self, n: usize) -> kernels::MatmulLayout {
+        if !self.fast_path_active() || self.kernel == kernels::KernelKind::Scalar {
+            return kernels::MatmulLayout::RowMajor;
+        }
+        if self.adc_is_identity() {
+            kernels::choose_layout(self.outs, self.ins, n, !self.codes16.is_empty())
+        } else if n >= 4 {
+            // The quantizing popcount stream packs pulse bit-planes
+            // across vectors; the panel layout feeds that packing with
+            // contiguous reads, so it wins whenever lanes fill at all.
+            kernels::MatmulLayout::Transposed
+        } else {
+            kernels::MatmulLayout::RowMajor
+        }
+    }
+
+    /// [`RomMvm::mvm_batch_exact`] over a lane-major `[ins x n_pad]`
+    /// activation panel (`acts_t[i * n_pad + v]`; padding lanes are
+    /// never read back but must stay within the activation code range,
+    /// e.g. zero or stale codes from an earlier staging pass) —
+    /// the layout [`RomMvm::batch_layout_for`] asks callers to stage
+    /// when the crossover picks the transposed kernels, eliminating the
+    /// quantize-then-repack double pass. Bit-identical to the row-major
+    /// entry on every tier.
+    pub(crate) fn mvm_batch_exact_t(
+        &self,
+        acts_t: &[i32],
+        n: usize,
+        n_pad: usize,
+        out: &mut [i64],
+        stats: &mut MvmStats,
+        scratch: &mut crate::backend::MvmScratch,
+    ) {
+        self.validate_act_codes(acts_t);
+        assert!(
+            !self.codes.is_empty() || self.outs == 0 || self.ins == 0,
+            "exact kernel requires the stored code matrix"
+        );
+        assert!(
+            n_pad >= n && n_pad.is_multiple_of(16),
+            "panel padding mismatch"
+        );
+        assert!(acts_t.len() >= self.ins * n_pad, "panel shape mismatch");
+        kernels::matmul_exact_t(self.kernel, &self.exact_codes(), acts_t, n, n_pad, out);
+        scratch.counters.clear();
+        scratch.counters.resize(n, [0u64; 3]);
+        kernels::fold_event_counters_t(
             self.kernel,
-            acts,
+            acts_t,
             self.ins,
             n,
+            n_pad,
             &self.fold_params(),
             &mut scratch.counters,
-            &mut scratch.fold_bitmaps,
         );
         self.merge_counter_stats(&scratch.counters, stats);
     }
@@ -791,7 +921,7 @@ impl RomMvm {
     /// [`RomMvm::finish_stats`]) and merges them **in vector order** —
     /// the exact fold a per-vector `mvm` loop performs.
     fn merge_counter_stats(&self, counters: &[[u64; 3]], stats: &mut MvmStats) {
-        let finisher = self.stats_finisher();
+        let finisher = &self.finisher;
         for c in counters {
             let mut s = MvmStats {
                 analog_evaluations: c[0],
@@ -870,11 +1000,12 @@ impl RomMvm {
         );
         // Values: per (row-tile, chunk), stage the block's pulse planes
         // **plane-major** (`[group][plane][vector]`, vectors padded to
-        // the 4-lane AVX2 width) so each staged plane is contiguous
-        // across the block, then stream the tile-major lane-packed
-        // nonzero weight masks once per block — one L1-resident weight
-        // tile against all staged activation bit-planes.
-        let n_pad = n.next_multiple_of(4);
+        // the tier's popcount lane width) so each staged plane is
+        // contiguous across the block, then stream the tile-major
+        // lane-packed nonzero weight masks once per block — one
+        // L1-resident weight tile against all staged activation
+        // bit-planes.
+        let n_pad = n.next_multiple_of(self.kernel.plane_pad());
         let group_stride = n_planes * n_pad;
         scratch.plane_masks.clear();
         scratch.plane_masks.resize(n_groups * group_stride, 0);
@@ -908,36 +1039,163 @@ impl RomMvm {
                 if !any_pulse {
                     continue;
                 }
-                for (ct, tile) in tile_row.iter().enumerate() {
-                    for g in 0..n_groups {
-                        let planes = &scratch.plane_masks[g * group_stride..(g + 1) * group_stride];
-                        let span = tile.nz_offsets[g] as usize..tile.nz_offsets[g + 1] as usize;
-                        for &(meta, mask) in &tile.nz[span] {
-                            let out_idx = ct * self.outs_per_array + (meta >> 8) as usize;
-                            let j = (meta & 0xff) as usize;
-                            let w_plane = act_weight * signed_plane_weight(j, p.weight_bits);
-                            kernels::group_counts(
-                                self.kernel,
-                                mask,
-                                planes,
-                                n_planes,
-                                n_pad,
-                                &mut scratch.counts,
-                            );
-                            for (v, &count) in scratch.counts[..n].iter().enumerate() {
-                                if count == 0 {
-                                    continue;
-                                }
-                                let readout = if adc_identity {
-                                    count as i64
-                                } else {
-                                    adc.digitize(count as f32)
-                                };
-                                out[v * self.outs + out_idx] += w_plane * readout;
+                self.stream_tile_masks(
+                    tile_row,
+                    n,
+                    n_pad,
+                    act_weight,
+                    adc_identity,
+                    adc,
+                    &scratch.plane_masks,
+                    &mut scratch.counts,
+                    out,
+                );
+            }
+        }
+        let counters = std::mem::take(&mut scratch.counters);
+        self.merge_counter_stats(&counters, stats);
+        scratch.counters = counters;
+    }
+
+    /// Streams one row tile's lane-packed nonzero weight masks against
+    /// the staged pulse bit-planes — the shared inner loop of both fast
+    /// batch entries (`AND`+popcount via [`kernels::group_counts`], then
+    /// ADC transfer and signed-plane accumulation).
+    #[allow(clippy::too_many_arguments)]
+    fn stream_tile_masks(
+        &self,
+        tile_row: &[PopcountTile],
+        n: usize,
+        n_pad: usize,
+        act_weight: i64,
+        adc_identity: bool,
+        adc: AdcModel,
+        plane_masks: &[u64],
+        counts: &mut [u64],
+        out: &mut [i64],
+    ) {
+        let p = &self.params;
+        let n_planes = p.chunk_bits as usize;
+        let n_groups = p.rows.div_ceil(p.rows_per_activation);
+        let group_stride = n_planes * n_pad;
+        for (ct, tile) in tile_row.iter().enumerate() {
+            for g in 0..n_groups {
+                let planes = &plane_masks[g * group_stride..(g + 1) * group_stride];
+                let span = tile.nz_offsets[g] as usize..tile.nz_offsets[g + 1] as usize;
+                for &(meta, mask) in &tile.nz[span] {
+                    let out_idx = ct * self.outs_per_array + (meta >> 8) as usize;
+                    let j = (meta & 0xff) as usize;
+                    let w_plane = act_weight * signed_plane_weight(j, p.weight_bits);
+                    kernels::group_counts(self.kernel, mask, planes, n_planes, n_pad, counts);
+                    for (v, &count) in counts[..n].iter().enumerate() {
+                        if count == 0 {
+                            continue;
+                        }
+                        let readout = if adc_identity {
+                            count as i64
+                        } else {
+                            adc.digitize(count as f32)
+                        };
+                        out[v * self.outs + out_idx] += w_plane * readout;
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`RomMvm::mvm_batch_fast`] over a lane-major `[ins x n_pad_t]`
+    /// activation panel. The pulse bit-plane packing becomes
+    /// `rows_per_activation`-aware: the wordline bit and group base are
+    /// hoisted per activation row (one `1 << (r % rpa)` per row instead
+    /// of per `(v, row)` pair) and each panel row is read as one
+    /// contiguous lane run, so the pack is a linear sweep of the panel.
+    /// Values, ADC transfer and statistics are bit-identical to the
+    /// row-major entry (same integers in a different traversal order).
+    pub(crate) fn mvm_batch_fast_t(
+        &self,
+        acts_t: &[i32],
+        n: usize,
+        n_pad_t: usize,
+        out: &mut [i64],
+        stats: &mut MvmStats,
+        scratch: &mut crate::backend::MvmScratch,
+    ) {
+        self.validate_act_codes(acts_t);
+        let p = &self.params;
+        let popcount_tiles = self
+            .popcount_tiles
+            .as_ref()
+            .expect("fast path requires popcount tables");
+        assert!(
+            n_pad_t >= n && n_pad_t.is_multiple_of(16),
+            "panel padding mismatch"
+        );
+        assert!(acts_t.len() >= self.ins * n_pad_t, "panel shape mismatch");
+        let rpa = p.rows_per_activation;
+        let n_groups = p.rows.div_ceil(rpa);
+        let n_planes = p.chunk_bits as usize;
+        let n_chunks = p.act_bits.div_ceil(p.chunk_bits) as usize;
+        let chunk_mask = (1u32 << p.chunk_bits) - 1;
+        let adc = p.analog_config().adc;
+        let adc_identity = self.adc_is_identity();
+        out.fill(0);
+        scratch.counters.clear();
+        scratch.counters.resize(n, [0u64; 3]);
+        kernels::fold_event_counters_t(
+            self.kernel,
+            acts_t,
+            self.ins,
+            n,
+            n_pad_t,
+            &self.fold_params(),
+            &mut scratch.counters,
+        );
+        let n_pad = n.next_multiple_of(self.kernel.plane_pad());
+        let group_stride = n_planes * n_pad;
+        scratch.plane_masks.clear();
+        scratch.plane_masks.resize(n_groups * group_stride, 0);
+        scratch.counts.clear();
+        scratch.counts.resize(n_pad, 0);
+        for (rt, tile_row) in popcount_tiles.iter().enumerate() {
+            let row_lo = rt * p.rows;
+            let row_hi = ((rt + 1) * p.rows).min(self.ins);
+            for c_idx in 0..n_chunks {
+                let shift = c_idx as u8 * p.chunk_bits;
+                let act_weight = 1i64 << shift;
+                scratch.plane_masks.fill(0);
+                let mut any_pulse = false;
+                for r in row_lo..row_hi {
+                    let local = r - row_lo;
+                    let bit = 1u64 << (local % rpa);
+                    let base = (local / rpa) * group_stride;
+                    let lane = &acts_t[r * n_pad_t..r * n_pad_t + n];
+                    for (v, &a) in lane.iter().enumerate() {
+                        let pulse = ((a as u32) >> shift) & chunk_mask;
+                        if pulse == 0 {
+                            continue;
+                        }
+                        any_pulse = true;
+                        for b in 0..n_planes {
+                            if (pulse >> b) & 1 == 1 {
+                                scratch.plane_masks[base + b * n_pad + v] |= bit;
                             }
                         }
                     }
                 }
+                if !any_pulse {
+                    continue;
+                }
+                self.stream_tile_masks(
+                    tile_row,
+                    n,
+                    n_pad,
+                    act_weight,
+                    adc_identity,
+                    adc,
+                    &scratch.plane_masks,
+                    &mut scratch.counts,
+                    out,
+                );
             }
         }
         let counters = std::mem::take(&mut scratch.counters);
@@ -1006,16 +1264,18 @@ impl RomMvm {
     /// inputs takes `t_inference_ns`; column tiles run in parallel on
     /// distinct subarrays, so divide by the column-tile count.
     fn finish_stats(&self, stats: &mut MvmStats) {
-        self.stats_finisher().finish(stats);
+        self.finisher.finish(stats);
     }
 
     /// Hoists the constant subexpressions of [`RomMvm::finish_stats`] —
     /// the subarray walk, the `div_ceil` shape math and the `t_eval`
-    /// division — so the batched counter fold pays only the genuinely
+    /// division — so the per-vector fold pays only the genuinely
     /// per-vector arithmetic. Every precomputed value is the exact float
     /// the unhoisted expression produced, and [`StatsFinisher::finish`]
     /// applies the remaining operations in the original order, so the
-    /// derived fields stay bit-identical to a per-vector walk.
+    /// derived fields stay bit-identical to a per-vector walk. Built
+    /// once at `program` time and cached as [`RomMvm::finisher`] (every
+    /// input is fixed after programming).
     fn stats_finisher(&self) -> StatsFinisher {
         let p = &self.params;
         let groups_per_tile = p.rows.div_ceil(p.rows_per_activation) as f64;
@@ -1033,7 +1293,9 @@ impl RomMvm {
 }
 
 /// Precomputed constants of the stats derivation (see
-/// [`RomMvm::finish_stats`]); build once per batch, apply per vector.
+/// [`RomMvm::finish_stats`]); built once at `program` time, applied per
+/// vector.
+#[derive(Clone, Copy, Default)]
 struct StatsFinisher {
     e_adc_pj: f64,
     e_wl_pulse_pj: f64,

@@ -125,6 +125,13 @@ pub struct ExecArena {
     /// ReBranch intermediates: compress, residual-conv, decompress.
     rb: [Buf; 3],
     /// Shared CiM kernel staging (im2col, codes, accumulators, planes).
+    /// The codes buffer holds vector-major rows or the lane-major
+    /// transposed panel, whichever layout the op's backend selects per
+    /// batch ([`MvmBackend::batch_layout`]); both stage in place and
+    /// retain capacity, so layout switches between ops never allocate
+    /// once warm.
+    ///
+    /// [`MvmBackend::batch_layout`]: yoloc_cim::MvmBackend::batch_layout
     pub(crate) cim: CimScratch,
     /// Reused per-op measurement records.
     per_op: Vec<PerOpExec>,

@@ -16,6 +16,7 @@
 use rand::Rng;
 
 use yoloc_cim::backend::{program_backend, BackendKind, DynRng, MvmBackend, MvmScratch};
+use yoloc_cim::kernels::{transposed_pad, MatmulLayout};
 use yoloc_cim::macro_model::{MacroParams, MvmStats};
 use yoloc_quant::{calibrate_affine, PerChannelQuant, QuantParams};
 use yoloc_tensor::ops::{im2col, im2col_into, Conv2dGeometry};
@@ -362,6 +363,14 @@ impl CimConv2d {
     /// matrix into `scratch.codes` and batches them through the backend
     /// into `scratch.accs`, merging the tile's statistics (folded from
     /// zero in vector order) into `stats`.
+    ///
+    /// The staging layout follows the backend's
+    /// [`MvmBackend::batch_layout`] choice. The transposed panel is the
+    /// natural fit for the patch-major im2col matrix: each activation
+    /// row `r` quantizes the *contiguous* slice `cols[r*positions +
+    /// lo..hi]` straight into its panel lane — one pass, no
+    /// quantize-then-repack, and no strided gather (which is what the
+    /// vector-major staging below pays per position).
     #[allow(clippy::too_many_arguments)] // one tile's full dataflow, all borrowed
     fn run_tile<R: Rng + ?Sized>(
         &self,
@@ -375,24 +384,49 @@ impl CimConv2d {
     ) {
         let patch = self.geom.patch_len();
         let count = hi - lo;
-        scratch.codes.clear();
-        for pos in lo..hi {
-            for r in 0..patch {
-                scratch
-                    .codes
-                    .push(self.act_params.quantize_value(cols[r * positions + pos]));
-            }
-        }
         scratch.accs.clear();
         scratch.accs.resize(count * self.out_channels, 0);
-        self.engine.mvm_batch(
-            &scratch.codes,
-            count,
-            &mut scratch.accs,
-            stats,
-            &mut scratch.mvm,
-            &mut DynRng(rng),
-        );
+        match self.engine.batch_layout(count) {
+            MatmulLayout::Transposed => {
+                let n_pad = transposed_pad(count);
+                scratch.codes.clear();
+                scratch.codes.resize(patch * n_pad, 0);
+                for r in 0..patch {
+                    let src = &cols[r * positions + lo..r * positions + hi];
+                    let lane = &mut scratch.codes[r * n_pad..r * n_pad + count];
+                    for (c, &v) in lane.iter_mut().zip(src) {
+                        *c = self.act_params.quantize_value(v);
+                    }
+                }
+                self.engine.mvm_batch_transposed(
+                    &scratch.codes,
+                    count,
+                    n_pad,
+                    &mut scratch.accs,
+                    stats,
+                    &mut scratch.mvm,
+                    &mut DynRng(rng),
+                );
+            }
+            MatmulLayout::RowMajor => {
+                scratch.codes.clear();
+                for pos in lo..hi {
+                    for r in 0..patch {
+                        scratch
+                            .codes
+                            .push(self.act_params.quantize_value(cols[r * positions + pos]));
+                    }
+                }
+                self.engine.mvm_batch(
+                    &scratch.codes,
+                    count,
+                    &mut scratch.accs,
+                    stats,
+                    &mut scratch.mvm,
+                    &mut DynRng(rng),
+                );
+            }
+        }
     }
 
     /// Arena forward: runs the convolution on a raw row-major
@@ -639,21 +673,47 @@ impl CimLinear {
     ) -> MvmStats {
         assert_eq!(feats.len(), n * self.ins, "feature width mismatch");
         assert_eq!(out.len(), n * self.outs, "output length mismatch");
-        scratch.codes.clear();
-        scratch
-            .codes
-            .extend(feats.iter().map(|&v| self.act_params.quantize_value(v)));
         scratch.accs.clear();
         scratch.accs.resize(n * self.outs, 0);
         let mut stats = MvmStats::default();
-        self.engine.mvm_batch(
-            &scratch.codes,
-            n,
-            &mut scratch.accs,
-            &mut stats,
-            &mut scratch.mvm,
-            &mut DynRng(rng),
-        );
+        match self.engine.batch_layout(n) {
+            MatmulLayout::Transposed => {
+                // Features arrive sample-major, so quantize straight into
+                // the panel's strided lanes — still a single pass, no
+                // quantize-then-repack.
+                let n_pad = transposed_pad(n);
+                scratch.codes.clear();
+                scratch.codes.resize(self.ins * n_pad, 0);
+                for (v, row) in feats.chunks_exact(self.ins).enumerate() {
+                    for (i, &f) in row.iter().enumerate() {
+                        scratch.codes[i * n_pad + v] = self.act_params.quantize_value(f);
+                    }
+                }
+                self.engine.mvm_batch_transposed(
+                    &scratch.codes,
+                    n,
+                    n_pad,
+                    &mut scratch.accs,
+                    &mut stats,
+                    &mut scratch.mvm,
+                    &mut DynRng(rng),
+                );
+            }
+            MatmulLayout::RowMajor => {
+                scratch.codes.clear();
+                scratch
+                    .codes
+                    .extend(feats.iter().map(|&v| self.act_params.quantize_value(v)));
+                self.engine.mvm_batch(
+                    &scratch.codes,
+                    n,
+                    &mut scratch.accs,
+                    &mut stats,
+                    &mut scratch.mvm,
+                    &mut DynRng(rng),
+                );
+            }
+        }
         for (ni, acc) in scratch.accs.chunks_exact(self.outs).enumerate() {
             for (o, &a) in acc.iter().enumerate() {
                 out[ni * self.outs + o] = self.dequant.value(o, a, &self.act_params) + self.bias[o];
