@@ -54,6 +54,16 @@ YOLOC_KERNEL=avx512 cargo test -q --test kernel_remainder
 echo "== plan round-trip + cache-hit parity suite (YOLOC_SMOKE=1)"
 YOLOC_SMOKE=1 cargo test -q --test plan_roundtrip
 
+echo "== plan-cache corruption hardening suite"
+cargo test -q --test plan_cache_corruption
+
+echo "== fault-injection parity suite (zero-fault identity, oracle consistency)"
+cargo test -q --test fault_parity
+YOLOC_KERNEL=avx512 cargo test -q --test fault_parity
+
+echo "== chaos serving suite (canary detect -> quarantine -> repair -> recover)"
+cargo test -q --test chaos_sim
+
 echo "== serving simulation suite (byte-stability + invariants, YOLOC_SMOKE=1)"
 YOLOC_SMOKE=1 cargo test -q --test serve_sim
 
@@ -78,6 +88,12 @@ cargo run --release -q -p yoloc-bench --bin bench_kernels -- --check-schema BENC
 
 echo "== validate committed BENCH_serve.json (schema yoloc-bench-serve/2 gates)"
 cargo run --release -q -p yoloc-bench --bin bench_serve -- --check-schema BENCH_serve.json
+
+echo "== fault bench smoke + self schema gate"
+cargo run --release -q -p yoloc-bench --bin bench_faults -- --smoke --check-schema
+
+echo "== validate committed BENCH_faults.json (schema yoloc-bench-faults/1 gates)"
+cargo run --release -q -p yoloc-bench --bin bench_faults -- --check-schema BENCH_faults.json
 
 echo "== run every bench binary on tiny configs (repro_all --smoke)"
 cargo run --release -q -p yoloc-bench --bin repro_all -- --smoke

@@ -400,6 +400,7 @@ fn main() {
                 infer_seed: INFER_SEED,
                 batch_overhead_ns: 20_000,
                 capture: false,
+                health: None,
             },
         );
         for (i, d) in deploys.iter().enumerate() {

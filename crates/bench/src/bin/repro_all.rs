@@ -37,6 +37,7 @@ const HEAVY: &[&str] = &[
     "accuracy_on_cim",
     "bench_engine",
     "bench_serve",
+    "bench_faults",
 ];
 
 fn run(bin: &str, smoke: bool) -> bool {

@@ -11,6 +11,7 @@
 use rand::Rng;
 
 use crate::cells::RomCell;
+use crate::faults::{AdcFault, ColumnFaults};
 
 /// ADC transfer model for bit-line sensing.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,6 +123,9 @@ pub struct AnalogArray {
     config: AnalogConfig,
     /// Row-major cell matrix, `rows x cols`.
     cells: Vec<RomCell>,
+    /// Per-column ADC transfer faults (`len == cols` when installed,
+    /// empty on a healthy array — the default).
+    col_faults: ColumnFaults,
 }
 
 impl AnalogArray {
@@ -139,7 +143,27 @@ impl AnalogArray {
         AnalogArray {
             config,
             cells: bits.iter().map(|&b| RomCell::new(b)).collect(),
+            col_faults: Vec::new(),
         }
+    }
+
+    /// Installs per-column ADC transfer faults (see [`AdcFault`]); an
+    /// empty table restores the healthy transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is neither empty nor one entry per column.
+    pub fn set_column_faults(&mut self, faults: ColumnFaults) {
+        assert!(
+            faults.is_empty() || faults.len() == self.config.cols,
+            "one fault slot per column"
+        );
+        self.col_faults = faults;
+    }
+
+    /// The installed ADC transfer fault of `col`, if any.
+    pub fn column_fault(&self, col: usize) -> Option<AdcFault> {
+        self.col_faults.get(col).copied().flatten()
     }
 
     /// The array configuration.
@@ -193,7 +217,14 @@ impl AnalogArray {
                 } else {
                     count as f32
                 };
-                *total += cfg.adc.digitize(noisy);
+                // A broken column-shared ADC corrupts the sensed count
+                // before digitization (identical transform on every
+                // execution path — see `crate::faults`).
+                let sensed = match self.col_faults.get(col) {
+                    Some(&Some(f)) => f.apply_analog(noisy),
+                    _ => noisy,
+                };
+                *total += cfg.adc.digitize(sensed);
             }
         }
         (totals, evaluations)

@@ -23,6 +23,7 @@
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{FabricGeometry, FaultContext};
 use crate::kernels::{KernelKind, MatmulLayout};
 use crate::macro_model::{matmul_into, reference_mvm, MacroParams, MvmStats, RomMvm};
 
@@ -495,6 +496,56 @@ pub fn program_backend(
             Box::new(engine)
         }
         BackendKind::Software => Box::new(SoftwareMvm::program(codes, outs, ins)),
+    }
+}
+
+/// Programs a weight matrix onto the requested backend **through a
+/// fault plan** (see [`crate::faults`] and
+/// [`RomMvm::program_with_faults`]).
+///
+/// A fault-free context delegates to [`program_backend`], so the
+/// resulting engine is bit-identical to the pristine path. The
+/// software reference models the *code-visible* faults (stuck-at bits
+/// and dead subarrays, which rewrite the effective weight codes) but
+/// has no analog periphery: ADC transfer faults and link slowdowns
+/// exist only on the hardware backends.
+///
+/// # Panics
+///
+/// Panics on the same conditions as [`RomMvm::program_with_faults`].
+pub fn program_backend_faulted(
+    kind: BackendKind,
+    params: MacroParams,
+    codes: &[i32],
+    outs: usize,
+    ins: usize,
+    ctx: &FaultContext,
+) -> Box<dyn MvmBackend> {
+    if ctx.plan.is_none() && ctx.link_slowdown == 1.0 {
+        return program_backend(kind, params, codes, outs, ins);
+    }
+    match kind {
+        BackendKind::Popcount => {
+            Box::new(RomMvm::program_with_faults(params, codes, outs, ins, ctx))
+        }
+        BackendKind::Analog => {
+            let mut engine = RomMvm::program_with_faults(params, codes, outs, ins, ctx);
+            engine.set_fast_path(false);
+            Box::new(engine)
+        }
+        BackendKind::Software => {
+            let geom = FabricGeometry::from_params(&params);
+            let opa = geom.outs_per_array();
+            let tiles = ins.div_ceil(params.rows) * outs.div_ceil(opa);
+            let ids: Vec<u64> = if ctx.phys_ids.is_empty() {
+                (0..tiles as u64).collect()
+            } else {
+                ctx.phys_ids.to_vec()
+            };
+            let mut eff = codes.to_vec();
+            ctx.plan.apply_code_faults(&mut eff, outs, ins, &geom, &ids);
+            Box::new(SoftwareMvm::program(&eff, outs, ins))
+        }
     }
 }
 

@@ -589,6 +589,66 @@ mod tests {
     }
 
     #[test]
+    fn forced_isa_downgrade_notes_instead_of_panicking() {
+        // Re-run this test binary with each SIMD tier pinned via
+        // `YOLOC_KERNEL`. On a host without the ISA the probe must
+        // downgrade with a one-time note and still produce correct
+        // results — a pinned CI environment stays runnable everywhere.
+        let exe = std::env::current_exe().expect("test binary path");
+        for forced in ["avx2", "avx512"] {
+            let out = std::process::Command::new(&exe)
+                .args([
+                    "--exact",
+                    "kernels::tests::forced_isa_probe_helper",
+                    "--include-ignored",
+                    "--nocapture",
+                ])
+                .env("YOLOC_KERNEL", forced)
+                .output()
+                .expect("spawn probe");
+            assert!(
+                out.status.success(),
+                "YOLOC_KERNEL={forced} probe failed:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let missing = match forced {
+                "avx2" => !avx2_available(),
+                _ => !avx512_available(),
+            };
+            if missing {
+                let err = String::from_utf8_lossy(&out.stderr);
+                assert!(
+                    err.contains("not available"),
+                    "downgrade note missing from stderr:\n{err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[ignore = "helper: re-invoked by forced_isa_downgrade_notes_instead_of_panicking"]
+    fn forced_isa_probe_helper() {
+        use crate::macro_model::{MacroParams, RomMvm};
+        use rand::{rngs::StdRng, SeedableRng};
+        // Resolving a forced-but-unavailable tier must downgrade, never
+        // panic, and the downgraded engine must still match the
+        // cell-accurate analog reference.
+        let kind = KernelDispatch::from_env().resolve();
+        assert!(available_kinds().contains(&kind));
+        let params = MacroParams::rom_paper();
+        let (outs, ins) = (4, 96);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 29) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 11) % 256) as i32).collect();
+        let engine = RomMvm::program(params, &codes, outs, ins);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (y, _) = engine.mvm(&acts, &mut rng);
+        let (y_ref, _) = engine.mvm_analog(&acts, &mut rng);
+        assert_eq!(y, y_ref);
+    }
+
+    #[test]
     fn labels_are_stable() {
         assert_eq!(KernelKind::Scalar.label(), "scalar");
         assert_eq!(KernelKind::Avx2.label(), "avx2");

@@ -33,6 +33,7 @@
 pub mod analog;
 pub mod backend;
 pub mod cells;
+pub mod faults;
 pub mod kernels;
 pub mod macro_model;
 pub mod rom_image;
@@ -40,8 +41,11 @@ pub mod tcam;
 pub mod technology;
 
 pub use analog::{AdcModel, AnalogArray, AnalogConfig};
-pub use backend::{program_backend, BackendKind, DynRng, MvmBackend, SoftwareMvm};
+pub use backend::{
+    program_backend, program_backend_faulted, BackendKind, DynRng, MvmBackend, SoftwareMvm,
+};
 pub use cells::{CellKind, RomCell};
+pub use faults::{AdcFault, FabricGeometry, FaultContext, FaultPlan, FaultSpec, StuckKind};
 pub use kernels::{
     avx2_available, avx512_available, choose_layout, transposed_pad, KernelDispatch, KernelKind,
     MatmulLayout,

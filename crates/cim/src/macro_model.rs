@@ -17,6 +17,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::analog::{AdcModel, AnalogArray, AnalogConfig};
 use crate::cells::CellKind;
+use crate::faults::{self, AdcFault, ColumnFaults, FaultContext};
 use crate::kernels::{self, KernelDispatch, KernelKind};
 use yoloc_quant::bitplane::{signed_bitplanes, signed_plane_weight, unsigned_chunks};
 
@@ -371,8 +372,13 @@ pub struct RomMvm {
     /// instead of rebuilding the constants per call.
     finisher: StatsFinisher,
     /// Cached [`RomMvm::adc_is_identity`] answer — a pure function of
-    /// `params`, queried on every batch entry and layout choice.
+    /// `params` on a healthy macro (forced `false` when ADC faults are
+    /// installed), queried on every batch entry and layout choice.
     adc_identity: bool,
+    /// Per-tile ADC column fault tables, parallel to `tiles`; `None`
+    /// on a healthy engine (see
+    /// [`RomMvm::program_with_faults`]).
+    adc_faults: Option<Vec<Vec<ColumnFaults>>>,
     ins: usize,
     outs: usize,
     outs_per_array: usize,
@@ -517,12 +523,128 @@ impl RomMvm {
                 AdcModel::Ideal => true,
                 AdcModel::Sar { bits, full_scale } => full_scale < (1u32 << bits),
             },
+            adc_faults: None,
             ins,
             outs,
             outs_per_array,
         };
         this.finisher = this.stats_finisher();
         this
+    }
+
+    /// Programs a weight matrix onto a *faulty* fabric (see
+    /// [`crate::faults`]): the effective weight codes are rewritten for
+    /// stuck-at cells and dead subarrays, per-column ADC transfer
+    /// faults are installed on every execution path, and degraded
+    /// chiplet links scale the evaluation latency.
+    ///
+    /// Guarantees:
+    ///
+    /// * a fault-free context (`plan.is_none()` and unit slowdown)
+    ///   delegates to [`RomMvm::program`] — the engine is structurally
+    ///   identical, bit for bit, in values and statistics;
+    /// * the same [`FaultContext`] always builds the same faulty
+    ///   engine, and every kernel tier and execution path computes
+    ///   identical results on it (the tier-parity suites run under
+    ///   faults);
+    /// * stuck/dead/ADC faults never change [`MvmStats`] (event
+    ///   counters are pure functions of the activations); only
+    ///   `link_slowdown` perturbs latency, deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` mismatches `(outs, ins)`, a non-empty
+    /// `ctx.phys_ids` does not cover the tile grid, or
+    /// `ctx.link_slowdown <= 0`.
+    pub fn program_with_faults(
+        params: MacroParams,
+        codes: &[i32],
+        outs: usize,
+        ins: usize,
+        ctx: &FaultContext,
+    ) -> Self {
+        assert!(ctx.link_slowdown > 0.0, "link slowdown must be positive");
+        if ctx.plan.is_none() && ctx.link_slowdown == 1.0 {
+            return Self::program(params, codes, outs, ins);
+        }
+        let geom = faults::FabricGeometry::from_params(&params);
+        let opa = geom.outs_per_array();
+        let row_tiles = ins.div_ceil(params.rows);
+        let col_tiles = outs.div_ceil(opa);
+        let ids: Vec<u64> = if ctx.phys_ids.is_empty() {
+            (0..(row_tiles * col_tiles) as u64).collect()
+        } else {
+            assert_eq!(
+                ctx.phys_ids.len(),
+                row_tiles * col_tiles,
+                "one physical subarray id per tile"
+            );
+            ctx.phys_ids.to_vec()
+        };
+        // Stuck-at and dead-subarray faults become *effective code*
+        // mutations: every path (analog, popcount, exact matmul, all
+        // SIMD tiers) then computes on identical faulty weights with
+        // no kernel changes at all.
+        let mut eff = codes.to_vec();
+        ctx.plan.apply_code_faults(&mut eff, outs, ins, &geom, &ids);
+        let mut this = Self::program(params, &eff, outs, ins);
+        // ADC transfer faults: per-column tables applied to the sensed
+        // discharge count before digitization, on every path.
+        let full_scale = params.rows_per_activation as u32 * ((1u32 << params.chunk_bits) - 1);
+        let cols_per_adc = params.cols / params.adcs_per_subarray.max(1);
+        let mut any_adc_fault = false;
+        let mut tables: Vec<Vec<ColumnFaults>> = Vec::with_capacity(row_tiles);
+        for rt in 0..row_tiles {
+            let mut table_row = Vec::with_capacity(col_tiles);
+            for ct in 0..col_tiles {
+                let phys = ids[rt * col_tiles + ct];
+                let mut table: ColumnFaults = vec![None; params.cols];
+                // A dead subarray already contributes nothing; its ADC
+                // state is unobservable.
+                if !ctx.plan.subarray_dead(phys) {
+                    for adc in 0..params.adcs_per_subarray {
+                        if let Some(f) = ctx.plan.adc_fault(phys, adc as u64, full_scale) {
+                            any_adc_fault = true;
+                            for slot in table.iter_mut().skip(adc * cols_per_adc).take(cols_per_adc)
+                            {
+                                *slot = Some(f);
+                            }
+                        }
+                    }
+                }
+                table_row.push(table);
+            }
+            tables.push(table_row);
+        }
+        if any_adc_fault {
+            // A faulted ADC breaks the identity-transfer shortcut:
+            // every batch entry must stream counts through the
+            // per-column transfer, so the exact-matmul caches are
+            // dropped and dispatch falls to the popcount mask stream.
+            this.adc_identity = false;
+            this.codes = Vec::new();
+            this.codes16 = kernels::PackedCodes16::empty();
+            for (rt, row) in this.tiles.iter_mut().enumerate() {
+                for (ct, array) in row.iter_mut().enumerate() {
+                    array.set_column_faults(tables[rt][ct].clone());
+                }
+            }
+            this.adc_faults = Some(tables);
+        }
+        if ctx.link_slowdown != 1.0 {
+            // A degraded chiplet link stretches every evaluation the
+            // engine serializes over it.
+            this.finisher.t_eval *= ctx.link_slowdown;
+        }
+        this
+    }
+
+    /// The installed ADC column fault of tile `(row_tile, col_tile)`
+    /// at `col`, if any (primarily for tests and diagnostics).
+    pub fn adc_fault_at(&self, row_tile: usize, col_tile: usize, col: usize) -> Option<AdcFault> {
+        self.adc_faults
+            .as_ref()
+            .and_then(|af| af[row_tile][col_tile].get(col).copied().flatten())
     }
 
     /// Forces the batched MVM kernels onto a specific tier, overriding
@@ -691,6 +813,7 @@ impl RomMvm {
                     stats.analog_evaluations += evals as u64;
                     stats.adc_conversions += (evals * p.cols) as u64;
                     stats.wl_pulses += total_pulses;
+                    let tile_faults = self.adc_faults.as_ref().map(|af| &af[rt][ct]);
                     for o in 0..self.outs_per_array {
                         let out_idx = ct * self.outs_per_array + o;
                         if out_idx >= self.outs {
@@ -698,6 +821,7 @@ impl RomMvm {
                         }
                         for j in 0..wb {
                             let col = o * wb + j;
+                            let col_fault = tile_faults.and_then(|t| t[col]);
                             let mut col_total = 0i64;
                             for &g in &active {
                                 let col_mask = tile.masks[g * p.cols + col];
@@ -706,7 +830,11 @@ impl RomMvm {
                                     .enumerate()
                                     .map(|(b, &m)| (1u32 << b) * (col_mask & m).count_ones())
                                     .sum();
-                                col_total += adc.digitize(count as f32);
+                                let sensed = match col_fault {
+                                    Some(f) => f.apply_count(u64::from(count)) as u32,
+                                    None => count,
+                                };
+                                col_total += adc.digitize(sensed as f32);
                             }
                             out[out_idx] +=
                                 act_weight * signed_plane_weight(j, p.weight_bits) * col_total;
@@ -1040,6 +1168,7 @@ impl RomMvm {
                     continue;
                 }
                 self.stream_tile_masks(
+                    rt,
                     tile_row,
                     n,
                     n_pad,
@@ -1064,6 +1193,7 @@ impl RomMvm {
     #[allow(clippy::too_many_arguments)]
     fn stream_tile_masks(
         &self,
+        rt: usize,
         tile_row: &[PopcountTile],
         n: usize,
         n_pad: usize,
@@ -1075,26 +1205,36 @@ impl RomMvm {
         out: &mut [i64],
     ) {
         let p = &self.params;
+        let wb = p.weight_bits as usize;
         let n_planes = p.chunk_bits as usize;
         let n_groups = p.rows.div_ceil(p.rows_per_activation);
         let group_stride = n_planes * n_pad;
         for (ct, tile) in tile_row.iter().enumerate() {
+            let tile_faults = self.adc_faults.as_ref().map(|af| &af[rt][ct]);
             for g in 0..n_groups {
                 let planes = &plane_masks[g * group_stride..(g + 1) * group_stride];
                 let span = tile.nz_offsets[g] as usize..tile.nz_offsets[g + 1] as usize;
                 for &(meta, mask) in &tile.nz[span] {
-                    let out_idx = ct * self.outs_per_array + (meta >> 8) as usize;
+                    let o = (meta >> 8) as usize;
+                    let out_idx = ct * self.outs_per_array + o;
                     let j = (meta & 0xff) as usize;
+                    let col_fault = tile_faults.and_then(|t| t[o * wb + j]);
                     let w_plane = act_weight * signed_plane_weight(j, p.weight_bits);
                     kernels::group_counts(self.kernel, mask, planes, n_planes, n_pad, counts);
                     for (v, &count) in counts[..n].iter().enumerate() {
                         if count == 0 {
                             continue;
                         }
+                        // Both fault transforms fix zero, so the
+                        // silent-column skip above stays exact.
+                        let sensed = match col_fault {
+                            Some(f) => f.apply_count(count),
+                            None => count,
+                        };
                         let readout = if adc_identity {
-                            count as i64
+                            sensed as i64
                         } else {
-                            adc.digitize(count as f32)
+                            adc.digitize(sensed as f32)
                         };
                         out[v * self.outs + out_idx] += w_plane * readout;
                     }
@@ -1186,6 +1326,7 @@ impl RomMvm {
                     continue;
                 }
                 self.stream_tile_masks(
+                    rt,
                     tile_row,
                     n,
                     n_pad,
@@ -1659,6 +1800,121 @@ mod tests {
         // the same generator differs with overwhelming probability.
         let (y_c, _) = engine.mvm(&acts, &mut rng_a);
         assert_ne!(y_a, y_c, "noise stream should advance the RNG");
+    }
+
+    #[test]
+    fn faulted_program_with_empty_plan_is_identical() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let params = MacroParams::rom_paper();
+        let (outs, ins) = (6, 300);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 37) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 13) % 256) as i32).collect();
+        let clean = RomMvm::program(params, &codes, outs, ins);
+        let plan = FaultPlan::new(FaultSpec::none());
+        let faulted =
+            RomMvm::program_with_faults(params, &codes, outs, ins, &FaultContext::bare(&plan));
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        let (ya, sa) = clean.mvm(&acts, &mut rng_a);
+        let (yb, sb) = faulted.mvm(&acts, &mut rng_b);
+        assert_eq!(ya, yb);
+        assert_eq!(sa, sb);
+        assert!(faulted.adc_is_identity());
+        assert!(!faulted.codes.is_empty());
+    }
+
+    #[test]
+    fn stuck_and_dead_faults_keep_paths_in_lockstep() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let params = MacroParams::rom_paper();
+        let (outs, ins) = (6, 300); // multiple row and column tiles
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 41) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 23) % 256) as i32).collect();
+        let spec = FaultSpec {
+            stuck_rate: 0.02,
+            dead_subarray_rate: 0.25,
+            ..FaultSpec::uniform(42, 0.0)
+        };
+        let plan = FaultPlan::new(spec);
+        let engine =
+            RomMvm::program_with_faults(params, &codes, outs, ins, &FaultContext::bare(&plan));
+        let clean = RomMvm::program(params, &codes, outs, ins);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (y_fault, s_fault) = engine.mvm(&acts, &mut rng);
+        let (y_clean, s_clean) = clean.mvm(&acts, &mut rng);
+        assert_ne!(y_fault, y_clean, "faults must be observable");
+        assert_eq!(s_fault, s_clean, "code faults never change the stats");
+        // Fast path and cell-accurate analog reference stay bit-identical
+        // under faults.
+        let (y_analog, s_analog) = engine.mvm_analog(&acts, &mut rng);
+        assert_eq!(y_fault, y_analog);
+        assert_eq!(s_fault, s_analog);
+        // Determinism: reprogramming under the same plan reproduces the
+        // exact faulty engine.
+        let twin =
+            RomMvm::program_with_faults(params, &codes, outs, ins, &FaultContext::bare(&plan));
+        assert_eq!(twin.mvm(&acts, &mut rng).0, y_fault);
+    }
+
+    #[test]
+    fn adc_faults_break_identity_and_keep_paths_in_lockstep() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let params = MacroParams::rom_paper();
+        let (outs, ins) = (5, 200);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 19) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 7) % 256) as i32).collect();
+        let spec = FaultSpec {
+            adc_fault_rate: 0.5,
+            ..FaultSpec::uniform(7, 0.0)
+        };
+        let plan = FaultPlan::new(spec);
+        let engine =
+            RomMvm::program_with_faults(params, &codes, outs, ins, &FaultContext::bare(&plan));
+        assert!(
+            !engine.adc_is_identity(),
+            "an ADC fault must break the identity-transfer shortcut"
+        );
+        assert!(engine.codes.is_empty(), "exact-matmul cache dropped");
+        let clean = RomMvm::program(params, &codes, outs, ins);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (y_fault, s_fault) = engine.mvm(&acts, &mut rng);
+        let (y_clean, s_clean) = clean.mvm(&acts, &mut rng);
+        assert_ne!(y_fault, y_clean, "a 50% ADC fault rate must corrupt");
+        assert_eq!(s_fault, s_clean, "ADC faults never change the stats");
+        let (y_analog, s_analog) = engine.mvm_analog(&acts, &mut rng);
+        assert_eq!(y_fault, y_analog);
+        assert_eq!(s_fault, s_analog);
+    }
+
+    #[test]
+    fn link_slowdown_scales_latency_only() {
+        use crate::faults::{FaultPlan, FaultSpec};
+        let params = MacroParams::rom_paper();
+        let (outs, ins) = (4, 128);
+        let codes: Vec<i32> = (0..outs * ins)
+            .map(|i| ((i * 3) % 255) as i32 - 127)
+            .collect();
+        let acts: Vec<i32> = (0..ins).map(|i| ((i * 5) % 256) as i32).collect();
+        let plan = FaultPlan::new(FaultSpec::none());
+        let ctx = FaultContext {
+            plan: &plan,
+            phys_ids: &[],
+            link_slowdown: 4.0,
+        };
+        let slow = RomMvm::program_with_faults(params, &codes, outs, ins, &ctx);
+        let clean = RomMvm::program(params, &codes, outs, ins);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (y_slow, s_slow) = slow.mvm(&acts, &mut rng);
+        let (y_clean, s_clean) = clean.mvm(&acts, &mut rng);
+        assert_eq!(y_slow, y_clean, "link faults never change values");
+        assert_eq!(s_slow.energy_pj, s_clean.energy_pj);
+        assert_eq!(s_slow.latency_ns, s_clean.latency_ns * 4.0);
     }
 
     #[test]

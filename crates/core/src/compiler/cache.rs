@@ -152,6 +152,28 @@ impl PlanCache {
             .map(|d| d.join(format!("{key:016x}.json")))
     }
 
+    /// Frames a plan document for disk: a 16-hex-digit FNV-1a checksum
+    /// line followed by the document. JSON parses most single-bit flips
+    /// just fine (a digit in a weight code, a letter in a name), so
+    /// schema validation alone cannot tell "corrupt" from "stale" — the
+    /// checksum makes any byte damage, including truncation, a clean
+    /// miss instead of a silently wrong deployment.
+    fn encode_entry(text: &str) -> String {
+        format!("{:016x}\n{text}", fnv1a(text.as_bytes()))
+    }
+
+    /// Validates and strips the checksum frame; `None` on any damage
+    /// (missing header, bad hex, checksum mismatch — which also covers
+    /// files from the pre-checksum cache format, invalidating them).
+    fn decode_entry(raw: &str) -> Option<&str> {
+        let (head, body) = raw.split_once('\n')?;
+        if head.len() != 16 {
+            return None;
+        }
+        let sum = u64::from_str_radix(head, 16).ok()?;
+        (sum == fnv1a(body.as_bytes())).then_some(body)
+    }
+
     /// Deploys `desc` through the cache: a hit deserializes the stored
     /// plan (zero recompilation — bit-identical execution to a fresh
     /// compile, gated by the round-trip suite); a miss compiles via
@@ -176,11 +198,16 @@ impl PlanCache {
             }
         }
         if let Some(path) = self.entry_path(key) {
-            if let Ok(text) = fs::read_to_string(&path) {
-                if let Ok(net) = CompiledNetwork::deserialize_plan(&text) {
-                    self.mem.lock().expect("plan cache lock").insert(key, text);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(net);
+            if let Ok(raw) = fs::read_to_string(&path) {
+                if let Some(text) = Self::decode_entry(&raw) {
+                    if let Ok(net) = CompiledNetwork::deserialize_plan(text) {
+                        self.mem
+                            .lock()
+                            .expect("plan cache lock")
+                            .insert(key, text.to_string());
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(net);
+                    }
                 }
             }
         }
@@ -191,7 +218,7 @@ impl PlanCache {
             // Best-effort: an unwritable cache directory must never fail
             // a deploy (the plan is already compiled in hand).
             let _ = path.parent().map(fs::create_dir_all);
-            let _ = fs::write(&path, &text);
+            let _ = fs::write(&path, Self::encode_entry(&text));
         }
         self.mem.lock().expect("plan cache lock").insert(key, text);
         Ok(net)

@@ -128,10 +128,14 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{sample_stream_seed, WorkerPool};
-use crate::mapping::{map_network_with, MappingStrategy, NetworkMapping};
-use crate::qconv::{CimConv2d, CimLinear};
+use crate::mapping::{
+    assign_subarrays, map_network_with, remap_placements, FaultMap, MapFaultError, MappingStrategy,
+    NetworkMapping,
+};
+use crate::qconv::{CimConv2d, CimLinear, LayerFaults};
 use crate::system::EnergyBreakdown;
 use yoloc_cim::backend::BackendKind;
+use yoloc_cim::faults::{FaultPlan, FaultSpec};
 use yoloc_cim::macro_model::{MacroParams, MvmStats};
 use yoloc_memory::{ChipletLink, DramModel, MeshNoc, SramBuffer};
 use yoloc_models::{ActKind, LayerSpec, NetworkDesc, NetworkError, Shape};
@@ -694,6 +698,33 @@ impl ExecPlan {
             shard.chip_of.len(),
             "plan CiM ops must align 1:1 with the mapping placements"
         );
+    }
+
+    /// Moves the `cim_idx`-th CiM op (placement order) onto new
+    /// physical subarrays and re-programs its engine — the repair path.
+    /// Returns `false` when the op cannot be re-homed (out of range, or
+    /// a ReBranch group, which is compiled outside the placement walk).
+    pub(crate) fn reprogram_cim_ids(&mut self, cim_idx: usize, phys_ids: &[u64]) -> bool {
+        let mut k = 0usize;
+        for op in &mut self.ops {
+            if !op.is_cim() {
+                continue;
+            }
+            if k == cim_idx {
+                match op {
+                    PlanOp::Conv { conv, .. } => conv.set_fault_ids(phys_ids),
+                    PlanOp::Linear { linear, .. } => linear.set_fault_ids(phys_ids),
+                    PlanOp::ResidualAdd {
+                        projection: Some(p),
+                        ..
+                    } => p.0.set_fault_ids(phys_ids),
+                    _ => return false,
+                }
+                return true;
+            }
+            k += 1;
+        }
+        false
     }
 
     /// Sets every CiM conv's tile hint (the fan-out the scheduler
@@ -1284,9 +1315,35 @@ impl NetworkWeights {
     }
 }
 
+/// Fabric-level fault-injection configuration: seeded fault rates plus
+/// the physical subarray id space placements are assigned from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seeded fault rates (see [`yoloc_cim::FaultSpec`]).
+    pub spec: FaultSpec,
+    /// Total physical subarrays in the fabric. `0` means "just enough":
+    /// the compiler sizes the fabric to the network's naive subarray
+    /// demand plus dead-subarray slack plus the spare pool.
+    pub total_subarrays: u64,
+    /// Subarrays reserved as hot spares at the top of the id space.
+    pub spare_subarrays: u64,
+}
+
+impl FaultConfig {
+    /// A fabric sized to the network (`total_subarrays = 0`) with
+    /// `spare` hot spares and the given fault spec.
+    pub fn sized(spec: FaultSpec, spare: u64) -> Self {
+        FaultConfig {
+            spec,
+            total_subarrays: 0,
+            spare_subarrays: spare,
+        }
+    }
+}
+
 /// Compile-time configuration: macro parameters, default and per-layer
 /// backend selection, mapping strategy, and the memory hierarchy.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone, Deserialize)]
 pub struct CompileOptions {
     /// ROM-CiM macro for trunk layers.
     pub rom: MacroParams,
@@ -1305,6 +1362,32 @@ pub struct CompileOptions {
     /// activation arena; [`PassPipeline::none`] compiles the legacy
     /// unfused plan the parity tests use as their oracle.
     pub passes: PassPipeline,
+    /// Fault-injection configuration. `None` (the default) compiles the
+    /// pristine fabric and serializes exactly as before, so zero-fault
+    /// plan-cache keys are unchanged.
+    pub faults: Option<FaultConfig>,
+}
+
+/// Hand-written so `faults: None` is *omitted* from the rendering
+/// instead of emitted as `null` — the content-addressed plan-cache key
+/// hashes this document, and pre-fault cache entries must keep their
+/// keys. The derived [`Deserialize`] treats the missing field as `None`.
+impl Serialize for CompileOptions {
+    fn to_json(&self) -> serde::json::Value {
+        let mut fields = vec![
+            ("rom", self.rom.to_json()),
+            ("sram", self.sram.to_json()),
+            ("backend", self.backend.to_json()),
+            ("backend_overrides", self.backend_overrides.to_json()),
+            ("mapping", self.mapping.to_json()),
+            ("memory", self.memory.to_json()),
+            ("passes", self.passes.to_json()),
+        ];
+        if let Some(f) = &self.faults {
+            fields.push(("faults", f.to_json()));
+        }
+        serde::json::Value::obj(fields)
+    }
 }
 
 impl CompileOptions {
@@ -1319,6 +1402,7 @@ impl CompileOptions {
             mapping: MappingStrategy::Packed,
             memory: MemoryParams::paper_default(),
             passes: PassPipeline::paper_default(),
+            faults: None,
         }
     }
 
@@ -1343,6 +1427,11 @@ pub struct CompiledNetwork {
     pub pass_reports: Vec<PassReport>,
     strategy: MappingStrategy,
     input: Shape,
+    /// Fabric fault map this deployment was placed against (`None` on
+    /// pristine compiles and on every `yoloc-plan/1` document).
+    pub fault_map: Option<FaultMap>,
+    /// The fault configuration the deployment compiled under.
+    pub fault_config: Option<FaultConfig>,
 }
 
 impl CompiledNetwork {
@@ -1372,7 +1461,67 @@ impl CompiledNetwork {
             "calibration shape must match the network input"
         );
         let reports = desc.analyze()?;
-        let mapping = map_network_with(desc, &opts.rom, opts.mapping)?;
+        let mut mapping = map_network_with(desc, &opts.rom, opts.mapping)?;
+        // Fault-aware placement: derive the dead-subarray set from the
+        // seeded fault plan, then assign physical subarray ids skipping
+        // dead ones (spares stay reserved at the top of the id space).
+        let fault_state = match &opts.faults {
+            None => None,
+            Some(cfg) => {
+                let fplan = FaultPlan::new(cfg.spec);
+                let naive: u64 = mapping
+                    .placements
+                    .iter()
+                    .map(|p| p.naive_subarrays() as u64)
+                    .sum();
+                let mut total = if cfg.total_subarrays == 0 {
+                    naive + cfg.spare_subarrays
+                } else {
+                    cfg.total_subarrays
+                };
+                let mut grow_rounds = 0;
+                let fm = loop {
+                    let mut fm = FaultMap::healthy(total, cfg.spare_subarrays);
+                    for id in fplan.dead_subarrays(total) {
+                        fm.mark_dead(id);
+                    }
+                    match assign_subarrays(&mut mapping, &fm) {
+                        Ok(()) => break fm,
+                        // Auto-sized fabrics grow past dead subarrays
+                        // (bounded: a near-total death rate must not
+                        // spin forever).
+                        Err(MapFaultError::OutOfSubarrays { needed, available })
+                            if cfg.total_subarrays == 0 && grow_rounds < 64 =>
+                        {
+                            total += (needed - available).max(1);
+                            grow_rounds += 1;
+                        }
+                        Err(e) => {
+                            return Err(NetworkError {
+                                msg: format!("fault-aware placement failed: {e}"),
+                            })
+                        }
+                    }
+                };
+                Some((fplan, fm))
+            }
+        };
+        // Per-layer fault record: the layer's assigned physical ids plus
+        // the link slowdown of its chiplet (chip 0 when unsharded).
+        let layer_fault_record = |cim_idx: usize, mapping: &NetworkMapping| {
+            let (fplan, _) = fault_state.as_ref()?;
+            let p = &mapping.placements[cim_idx];
+            let chip = mapping.shard.as_ref().map_or(0, |s| s.chip_of[cim_idx]) as u64;
+            Some(LayerFaults {
+                spec: *fplan.spec(),
+                phys_ids: p
+                    .subarray_ids
+                    .clone()
+                    .expect("faulted compile assigns subarray ids"),
+                link_slowdown: fplan.slowdown_for_links(&[chip]),
+            })
+        };
+        let mut cim_idx = 0usize;
         let last_cim = desc.layers.iter().rposition(|l| l.is_cim_layer());
         let cal_n = calibration.shape()[0].max(1);
         let mut plan = ExecPlan::new(opts.memory.clone());
@@ -1396,14 +1545,16 @@ impl CompiledNetwork {
                     } else {
                         (MemDomain::Rom, opts.rom)
                     };
-                    let conv = CimConv2d::compile_on(
+                    let conv = CimConv2d::compile_on_with(
                         opts.backend_for(name),
                         w,
                         *stride,
                         *padding,
                         &[&h],
                         params,
+                        layer_fault_record(cim_idx, &mapping),
                     );
+                    cim_idx += 1;
                     h = conv2d_reference(&h, w, None, *stride, *padding);
                     last_op = Some(plan.push(
                         PlanOp::Conv {
@@ -1424,8 +1575,15 @@ impl CompiledNetwork {
                         (MemDomain::Rom, opts.rom)
                     };
                     let bias = weights.biases[idx].as_deref();
-                    let linear =
-                        CimLinear::compile_on(opts.backend_for(name), w, bias, &[&feats], params);
+                    let linear = CimLinear::compile_on_with(
+                        opts.backend_for(name),
+                        w,
+                        bias,
+                        &[&feats],
+                        params,
+                        layer_fault_record(cim_idx, &mapping),
+                    );
+                    cim_idx += 1;
                     h = linear_reference(&feats, w, bias);
                     last_op = Some(plan.push(
                         PlanOp::Linear {
@@ -1500,14 +1658,16 @@ impl CompiledNetwork {
                         None => None,
                         Some(p) => {
                             let w = weights.projections[idx].as_ref().expect("checked above");
-                            let conv = CimConv2d::compile_on(
+                            let conv = CimConv2d::compile_on_with(
                                 opts.backend_for(&p.name),
                                 w,
                                 p.stride,
                                 0,
                                 &[&src_float],
                                 opts.rom,
+                                layer_fault_record(cim_idx, &mapping),
                             );
+                            cim_idx += 1;
                             Some(Box::new((conv, MemDomain::Rom)))
                         }
                     };
@@ -1546,6 +1706,8 @@ impl CompiledNetwork {
             pass_reports,
             strategy: opts.mapping,
             input: desc.input,
+            fault_map: fault_state.map(|(_, fm)| fm),
+            fault_config: opts.faults,
         })
     }
 
@@ -1571,6 +1733,40 @@ impl CompiledNetwork {
     /// The network input shape `(C, H, W)`.
     pub fn input_shape(&self) -> Shape {
         self.input
+    }
+
+    /// Repairs the deployment after subarrays die in the field: marks
+    /// `newly_dead` in the fault map, re-homes only the placements whose
+    /// subarrays were hit onto spares ([`remap_placements`]), and
+    /// re-programs exactly those layers' engines. Returns the indices of
+    /// the repaired placements (empty when nothing was hit).
+    ///
+    /// # Errors
+    ///
+    /// [`MapFaultError::OutOfSpares`] when the spare pool cannot cover
+    /// the dead slots — the deployment keeps executing with the faulty
+    /// placements in that case (the caller decides whether to keep
+    /// serving degraded or to take the model out of rotation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a deployment compiled without
+    /// [`CompileOptions::faults`] (there is no fault map to repair).
+    pub fn remap_faults(&mut self, newly_dead: &[u64]) -> Result<Vec<usize>, MapFaultError> {
+        let fm = self
+            .fault_map
+            .as_mut()
+            .expect("remap_faults requires a fault-aware compile");
+        let affected = remap_placements(&mut self.mapping, fm, newly_dead)?;
+        for &idx in &affected {
+            let ids = self.mapping.placements[idx]
+                .subarray_ids
+                .clone()
+                .expect("fault-aware placements carry ids");
+            let ok = self.plan.reprogram_cim_ids(idx, &ids);
+            debug_assert!(ok, "placement {idx} has no matching CiM op");
+        }
+        Ok(affected)
     }
 
     /// Subarrays consumed under the compile-time [`MappingStrategy`].

@@ -5,7 +5,7 @@
 //! value state: plan ops with their quantized weight codes and
 //! dequantization tables, the memory hierarchy, placement, and the
 //! buffer plan. This module persists exactly that state as a
-//! `yoloc-plan/1` JSON document and rebuilds it so that a deserialized
+//! `yoloc-plan/2` JSON document and rebuilds it so that a deserialized
 //! network executes **bit-identically** to the fresh compile (logits,
 //! `MvmStats`, the full `ExecutionReport` — the `plan_roundtrip`
 //! integration suite is the gate). The MVM backends themselves are
@@ -38,8 +38,16 @@ use super::arena::ExecArena;
 use super::{CompiledNetwork, ExecPlan};
 use crate::qconv::json_field;
 
-/// Schema tag of serialized plan documents.
-pub const PLAN_SCHEMA: &str = "yoloc-plan/1";
+/// Schema tag of serialized plan documents. `/2` adds the fabric fault
+/// map and per-layer fault records; `/1` documents (no fault fields)
+/// still deserialize — see [`PLAN_SCHEMA_V1`].
+pub const PLAN_SCHEMA: &str = "yoloc-plan/2";
+
+/// The pre-fault schema tag, accepted on read for backward
+/// compatibility: every fault-carrying field is an `Option` that
+/// defaults to `None` when missing, so a `/1` document rebuilds the
+/// identical pristine deployment it always did.
+pub const PLAN_SCHEMA_V1: &str = "yoloc-plan/1";
 
 fn plan_to_json(plan: &ExecPlan) -> Json {
     Json::obj([
@@ -89,7 +97,7 @@ fn plan_from_json(v: &Json) -> Result<ExecPlan, String> {
 }
 
 impl CompiledNetwork {
-    /// Serializes the network into a `yoloc-plan/1` value tree (the
+    /// Serializes the network into a `yoloc-plan/2` value tree (the
     /// content format of the plan cache).
     pub fn to_plan_json(&self) -> Json {
         Json::obj([
@@ -99,6 +107,8 @@ impl CompiledNetwork {
             ("strategy", self.strategy.to_json()),
             ("mapping", self.mapping.to_json()),
             ("pass_reports", self.pass_reports.to_json()),
+            ("fault_map", self.fault_map.to_json()),
+            ("fault_config", self.fault_config.to_json()),
             ("plan", plan_to_json(&self.plan)),
         ])
     }
@@ -114,9 +124,9 @@ impl CompiledNetwork {
     /// invalidation signal.
     pub fn from_plan_json(v: &Json) -> Result<Self, String> {
         let schema: String = json_field(v, "schema")?;
-        if schema != PLAN_SCHEMA {
+        if schema != PLAN_SCHEMA && schema != PLAN_SCHEMA_V1 {
             return Err(format!(
-                "unsupported plan schema {schema:?} (expected {PLAN_SCHEMA:?})"
+                "unsupported plan schema {schema:?} (expected {PLAN_SCHEMA:?} or {PLAN_SCHEMA_V1:?})"
             ));
         }
         let plan = plan_from_json(v.get("plan").ok_or("missing field \"plan\"")?)
@@ -133,6 +143,8 @@ impl CompiledNetwork {
             pass_reports: json_field(v, "pass_reports")?,
             strategy: json_field(v, "strategy")?,
             input: json_field(v, "input")?,
+            fault_map: json_field(v, "fault_map")?,
+            fault_config: json_field(v, "fault_config")?,
         })
     }
 
@@ -195,7 +207,7 @@ mod tests {
         let net = CompiledNetwork::compile_random(&desc, 11, CompileOptions::paper_default())
             .expect("compiles");
         let text = net.serialize_plan();
-        let bad = text.replace("yoloc-plan/1", "yoloc-plan/0");
+        let bad = text.replace("yoloc-plan/2", "yoloc-plan/0");
         let err = match CompiledNetwork::deserialize_plan(&bad) {
             Ok(_) => panic!("wrong schema must be rejected"),
             Err(e) => e,
@@ -203,5 +215,30 @@ mod tests {
         assert!(err.contains("unsupported plan schema"), "{err}");
         assert!(CompiledNetwork::deserialize_plan("{}").is_err());
         assert!(CompiledNetwork::deserialize_plan("not json").is_err());
+    }
+
+    #[test]
+    fn v1_documents_still_deserialize() {
+        // A pristine compile carries no fault state, so re-tagging its
+        // document as `yoloc-plan/1` models exactly what a pre-fault
+        // cache entry looks like: same fields minus the fault ones.
+        let desc = zoo::scaled(&zoo::vgg8(3), 16, (16, 16));
+        let net = CompiledNetwork::compile_random(&desc, 11, CompileOptions::paper_default())
+            .expect("compiles");
+        let v1 = net.serialize_plan().replace("yoloc-plan/2", "yoloc-plan/1");
+        let back = CompiledNetwork::deserialize_plan(&v1).expect("v1 documents must read");
+        assert!(back.fault_map.is_none());
+        assert!(back.fault_config.is_none());
+        let (c, h, w) = net.input_shape();
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::rand_uniform(&[1, c, h, w], 0.0, 1.0, &mut rng);
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        let (ya, ra) = net.infer(&x, &mut rng_a);
+        let (yb, rb) = back.infer(&x, &mut rng_b);
+        assert_eq!(ya.data(), yb.data());
+        assert_eq!(ra, rb);
+        // Re-serializing writes the current schema.
+        assert!(back.serialize_plan().contains("yoloc-plan/2"));
     }
 }

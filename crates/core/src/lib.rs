@@ -23,14 +23,16 @@ pub mod tiny_models;
 pub mod training_cost;
 
 pub use compiler::{
-    software_forward, CompileOptions, CompiledNetwork, ExecPlan, ExecutionReport, MemDomain,
-    MemoryParams, NetworkWeights,
+    software_forward, CompileOptions, CompiledNetwork, ExecPlan, ExecutionReport, FaultConfig,
+    MemDomain, MemoryParams, NetworkWeights,
 };
 pub use detector::{
     eval_map, pretrain_detector, train_detector, DetectionSuite, DetectorStrategy, TinyYoloDetector,
 };
 pub use engine::{sample_stream_seed, WorkerPool};
-pub use mapping::{map_network, LayerPlacement, MappingStrategy, NetworkMapping};
+pub use mapping::{
+    map_network, FaultMap, LayerPlacement, MapFaultError, MappingStrategy, NetworkMapping,
+};
 pub use rebranch::{ReBranchConv, ReBranchRatios};
 pub use strategies::{evaluate_strategy, pretrain_base, Strategy, StrategyResult, TrainConfig};
 pub use system::{

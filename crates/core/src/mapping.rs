@@ -52,6 +52,12 @@ pub struct LayerPlacement {
     pub col_tiles: usize,
     /// Weight bits stored.
     pub used_bits: u64,
+    /// Physical subarray ids backing this placement, in row-major tile
+    /// order (`rt * col_tiles + ct`), assigned by [`assign_subarrays`]
+    /// when the deployment carries a [`FaultMap`]. `None` on mappings
+    /// produced without fault awareness — and on every `yoloc-plan/1`
+    /// plan read back from disk, which is why this is an `Option`.
+    pub subarray_ids: Option<Vec<u64>>,
 }
 
 impl LayerPlacement {
@@ -148,6 +154,191 @@ impl NetworkMapping {
             },
         }
     }
+}
+
+/// Fabric-level subarray health: which physical subarrays are dead, how
+/// many exist, and how many are held back as hot spares.
+///
+/// The id space is `[0, total)`; the top `spare` ids are reserved for
+/// repair and never handed out by the initial [`assign_subarrays`] pass.
+/// `dead` is kept sorted so membership tests are a binary search and
+/// serialization is canonical (byte-stable across runs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMap {
+    /// Dead physical subarray ids, sorted ascending, deduplicated.
+    pub dead: Vec<u64>,
+    /// Total physical subarrays in the fabric.
+    pub total: u64,
+    /// Subarrays reserved as spares at the top of the id space.
+    pub spare: u64,
+}
+
+impl FaultMap {
+    /// A fully healthy fabric of `total` subarrays with `spare` of them
+    /// reserved for repair.
+    pub fn healthy(total: u64, spare: u64) -> Self {
+        FaultMap {
+            dead: Vec::new(),
+            total,
+            spare: spare.min(total),
+        }
+    }
+
+    /// Whether subarray `id` is marked dead.
+    pub fn is_dead(&self, id: u64) -> bool {
+        self.dead.binary_search(&id).is_ok()
+    }
+
+    /// Marks `id` dead; returns `true` when it was previously healthy.
+    pub fn mark_dead(&mut self, id: u64) -> bool {
+        match self.dead.binary_search(&id) {
+            Ok(_) => false,
+            Err(at) => {
+                self.dead.insert(at, id);
+                true
+            }
+        }
+    }
+
+    /// Ids available to the initial placement pass (`total - spare`).
+    pub fn usable(&self) -> u64 {
+        self.total - self.spare
+    }
+
+    /// Live (non-dead) subarrays across the whole fabric.
+    pub fn live_count(&self) -> u64 {
+        self.total - self.dead.len() as u64
+    }
+}
+
+/// Why fault-aware placement or repair failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapFaultError {
+    /// The live, non-spare region cannot hold every placement.
+    OutOfSubarrays {
+        /// Subarrays the network needs (naive/exclusive tiling).
+        needed: u64,
+        /// Live subarrays available outside the spare pool.
+        available: u64,
+    },
+    /// A repair ran out of live spare subarrays.
+    OutOfSpares,
+}
+
+impl std::fmt::Display for MapFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapFaultError::OutOfSubarrays { needed, available } => write!(
+                f,
+                "network needs {needed} subarrays but only {available} live \
+                 non-spare subarrays exist"
+            ),
+            MapFaultError::OutOfSpares => write!(f, "spare subarray pool exhausted during repair"),
+        }
+    }
+}
+
+impl std::error::Error for MapFaultError {}
+
+/// Assigns physical subarray ids to every placement: a single cursor
+/// walks the usable region `[0, faults.usable())` in order, skipping
+/// dead subarrays, and each placement takes its naive (exclusive) tile
+/// count in row-major tile order (`rt * col_tiles + ct` — the order the
+/// fault-aware programmer expects its `phys_ids` in).
+///
+/// Placement is exclusive even under [`MappingStrategy::Packed`]: packing
+/// changes the *area accounting*, but attributing each layer's tiles to
+/// distinct physical ids keeps "which layers does this dead subarray
+/// hit" well-defined and conservative.
+///
+/// The walk is a pure function of the placement list and the fault map,
+/// so the same inputs always yield the same ids.
+///
+/// # Errors
+///
+/// [`MapFaultError::OutOfSubarrays`] when the live non-spare region is
+/// too small; placements are left untouched in that case.
+pub fn assign_subarrays(
+    mapping: &mut NetworkMapping,
+    faults: &FaultMap,
+) -> Result<(), MapFaultError> {
+    let needed: u64 = mapping
+        .placements
+        .iter()
+        .map(|p| p.naive_subarrays() as u64)
+        .sum();
+    let dead_in_usable = faults.dead.iter().filter(|&&d| d < faults.usable()).count() as u64;
+    let available = faults.usable() - dead_in_usable;
+    if needed > available {
+        return Err(MapFaultError::OutOfSubarrays { needed, available });
+    }
+    let mut cursor = 0u64;
+    for p in &mut mapping.placements {
+        let mut ids = Vec::with_capacity(p.naive_subarrays());
+        while ids.len() < p.naive_subarrays() {
+            if !faults.is_dead(cursor) {
+                ids.push(cursor);
+            }
+            cursor += 1;
+        }
+        p.subarray_ids = Some(ids);
+    }
+    Ok(())
+}
+
+/// Repairs a mapping after subarrays die in the field: marks `newly_dead`
+/// in `faults`, then rewrites only the placements whose assigned ids were
+/// hit, pulling replacements from the spare pool (top of the id space,
+/// lowest free spare first). Untouched placements keep their ids — a
+/// repair recompiles only the layers it returns.
+///
+/// Returns the indices (into `mapping.placements`) of the placements
+/// whose id lists changed, sorted ascending.
+///
+/// # Errors
+///
+/// [`MapFaultError::OutOfSpares`] when the live spare pool cannot cover
+/// every hit slot. `faults` still records the new deaths in that case,
+/// but no placement is modified.
+pub fn remap_placements(
+    mapping: &mut NetworkMapping,
+    faults: &mut FaultMap,
+    newly_dead: &[u64],
+) -> Result<Vec<usize>, MapFaultError> {
+    for &id in newly_dead {
+        faults.mark_dead(id);
+    }
+    // Spares already consumed by earlier repairs stay off the free list.
+    let mut in_use: Vec<u64> = mapping
+        .placements
+        .iter()
+        .filter_map(|p| p.subarray_ids.as_ref())
+        .flatten()
+        .copied()
+        .collect();
+    in_use.sort_unstable();
+    let mut free_spares = (faults.usable()..faults.total)
+        .filter(|&s| !faults.is_dead(s) && in_use.binary_search(&s).is_err());
+    let mut affected = Vec::new();
+    let mut repaired: Vec<(usize, Vec<u64>)> = Vec::new();
+    for (idx, p) in mapping.placements.iter().enumerate() {
+        let Some(ids) = &p.subarray_ids else { continue };
+        if !ids.iter().any(|&id| faults.is_dead(id)) {
+            continue;
+        }
+        let mut next = ids.clone();
+        for slot in &mut next {
+            if faults.is_dead(*slot) {
+                *slot = free_spares.next().ok_or(MapFaultError::OutOfSpares)?;
+            }
+        }
+        repaired.push((idx, next));
+        affected.push(idx);
+    }
+    for (idx, ids) in repaired {
+        mapping.placements[idx].subarray_ids = Some(ids);
+    }
+    Ok(affected)
 }
 
 /// A partial-tile rectangle (rows x cols of cells) awaiting packing.
@@ -326,6 +517,7 @@ pub fn map_network_with(
             row_tiles,
             col_tiles,
             used_bits: (m.ins * m.outs * wb) as u64,
+            subarray_ids: None,
         });
         // Decompose into full tiles + partial rectangles for packing.
         let (full, mut parts) = tile_decomposition(m.ins, m.outs, params);
@@ -562,6 +754,118 @@ mod tests {
         assert_eq!(s.subarrays_total, m.subarrays_packed);
         assert_eq!(s.boundary_crossings, 0);
         assert!(s.chip_of.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn assignment_skips_dead_subarrays_deterministically() {
+        let params = MacroParams::rom_paper();
+        let net = zoo::vgg8(10);
+        let mut m = map_network(&net, &params).unwrap();
+        let total = (m.subarrays_naive as u64) * 2;
+        let mut faults = FaultMap::healthy(total, total / 4);
+        faults.mark_dead(0);
+        faults.mark_dead(3);
+        assign_subarrays(&mut m, &faults).unwrap();
+        let mut seen = Vec::new();
+        for p in &m.placements {
+            let ids = p.subarray_ids.as_ref().expect("ids assigned");
+            assert_eq!(ids.len(), p.naive_subarrays());
+            for &id in ids {
+                assert!(!faults.is_dead(id), "assigned a dead subarray {id}");
+                assert!(id < faults.usable(), "spilled into the spare pool");
+                seen.push(id);
+            }
+        }
+        let n = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), n, "exclusive placement never shares ids");
+        assert!(!seen.contains(&0) && !seen.contains(&3));
+        // Same inputs, same ids.
+        let mut twin = map_network(&net, &params).unwrap();
+        assign_subarrays(&mut twin, &faults).unwrap();
+        assert_eq!(twin, m);
+    }
+
+    #[test]
+    fn assignment_fails_cleanly_when_fabric_too_small() {
+        let net = zoo::vgg8(10);
+        let mut m = map_network(&net, &MacroParams::rom_paper()).unwrap();
+        let needed = m.subarrays_naive as u64;
+        let faults = FaultMap::healthy(needed, 1); // spare eats one slot
+        let err = assign_subarrays(&mut m, &faults).unwrap_err();
+        assert_eq!(
+            err,
+            MapFaultError::OutOfSubarrays {
+                needed,
+                available: needed - 1
+            }
+        );
+        assert!(m.placements.iter().all(|p| p.subarray_ids.is_none()));
+    }
+
+    #[test]
+    fn remap_touches_only_hit_placements_and_draws_spares() {
+        let params = MacroParams::rom_paper();
+        let net = zoo::vgg8(10);
+        let mut m = map_network(&net, &params).unwrap();
+        let total = (m.subarrays_naive as u64) + 8;
+        let mut faults = FaultMap::healthy(total, 8);
+        assign_subarrays(&mut m, &faults).unwrap();
+        let before = m.clone();
+        // Kill one subarray belonging to placement 1.
+        let victim = before.placements[1].subarray_ids.as_ref().unwrap()[0];
+        let affected = remap_placements(&mut m, &mut faults, &[victim]).unwrap();
+        assert_eq!(affected, vec![1]);
+        assert!(faults.is_dead(victim));
+        for (i, (p, old)) in m.placements.iter().zip(&before.placements).enumerate() {
+            if i == 1 {
+                let ids = p.subarray_ids.as_ref().unwrap();
+                assert!(!ids.contains(&victim));
+                // The replacement comes from the spare region.
+                let spare_used = ids.iter().any(|&id| id >= faults.usable());
+                assert!(spare_used, "repair must draw from the spare pool");
+            } else {
+                assert_eq!(p, old, "unaffected placement {i} was rewritten");
+            }
+        }
+        // A second failure on the same placement draws the next spare.
+        let victim2 = m.placements[1].subarray_ids.as_ref().unwrap()[1];
+        let affected2 = remap_placements(&mut m, &mut faults, &[victim2]).unwrap();
+        assert_eq!(affected2, vec![1]);
+        let ids = m.placements[1].subarray_ids.as_ref().unwrap();
+        let spares: Vec<u64> = ids
+            .iter()
+            .copied()
+            .filter(|&i| i >= faults.usable())
+            .collect();
+        assert_eq!(spares.len(), 2);
+        assert_ne!(spares[0], spares[1]);
+    }
+
+    #[test]
+    fn remap_exhausting_spares_errors_without_partial_rewrites() {
+        let params = MacroParams::rom_paper();
+        let net = zoo::vgg8(10);
+        let mut m = map_network(&net, &params).unwrap();
+        let total = (m.subarrays_naive as u64) + 1;
+        let mut faults = FaultMap::healthy(total, 1);
+        assign_subarrays(&mut m, &faults).unwrap();
+        let before = m.clone();
+        let ids: Vec<u64> = before.placements[0]
+            .subarray_ids
+            .as_ref()
+            .unwrap()
+            .iter()
+            .copied()
+            .take(2)
+            .collect();
+        assert!(ids.len() >= 2, "need two victims for this test");
+        let err = remap_placements(&mut m, &mut faults, &ids).unwrap_err();
+        assert_eq!(err, MapFaultError::OutOfSpares);
+        // Deaths are recorded, but no placement was half-repaired.
+        assert!(ids.iter().all(|&i| faults.is_dead(i)));
+        assert_eq!(m.placements, before.placements);
     }
 
     #[test]

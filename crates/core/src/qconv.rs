@@ -15,7 +15,10 @@
 
 use rand::Rng;
 
-use yoloc_cim::backend::{program_backend, BackendKind, DynRng, MvmBackend, MvmScratch};
+use yoloc_cim::backend::{
+    program_backend, program_backend_faulted, BackendKind, DynRng, MvmBackend, MvmScratch,
+};
+use yoloc_cim::faults::{FaultContext, FaultPlan, FaultSpec};
 use yoloc_cim::kernels::{transposed_pad, MatmulLayout};
 use yoloc_cim::macro_model::{MacroParams, MvmStats};
 use yoloc_quant::{calibrate_affine, PerChannelQuant, QuantParams};
@@ -97,11 +100,50 @@ pub(crate) struct ProgramSpec {
     outs: usize,
     ins: usize,
     codes: Vec<i32>,
+    /// Fault-injection context the layer was programmed under. `None`
+    /// compiles the pristine path — and is what every `yoloc-plan/1`
+    /// document reads back as, which keeps the field backward
+    /// compatible.
+    faults: Option<LayerFaults>,
+}
+
+/// Per-layer fault record retained for re-programming: the fabric-wide
+/// seeded fault spec plus this layer's physical subarray ids and the
+/// chiplet-link slowdown it executes under. Re-running the programmer
+/// with the same record reproduces the exact faulty engine, so faulted
+/// plans serialize and rebuild bit-identically like pristine ones.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct LayerFaults {
+    /// Seeded fabric-wide fault rates.
+    pub spec: FaultSpec,
+    /// Physical subarray ids in row-major tile order
+    /// (`row_tile * col_tiles + col_tile`).
+    pub phys_ids: Vec<u64>,
+    /// Evaluation-latency multiplier from degraded links (1.0 = none).
+    pub link_slowdown: f64,
 }
 
 impl ProgramSpec {
     fn program(&self) -> Box<dyn MvmBackend> {
-        program_backend(self.kind, self.params, &self.codes, self.outs, self.ins)
+        match &self.faults {
+            None => program_backend(self.kind, self.params, &self.codes, self.outs, self.ins),
+            Some(lf) => {
+                let plan = FaultPlan::new(lf.spec);
+                let ctx = FaultContext {
+                    plan: &plan,
+                    phys_ids: &lf.phys_ids,
+                    link_slowdown: lf.link_slowdown,
+                };
+                program_backend_faulted(
+                    self.kind,
+                    self.params,
+                    &self.codes,
+                    self.outs,
+                    self.ins,
+                    &ctx,
+                )
+            }
+        }
     }
 }
 
@@ -214,6 +256,21 @@ impl CimConv2d {
         calibration: &[&Tensor],
         params: MacroParams,
     ) -> Self {
+        Self::compile_on_with(kind, weight, stride, padding, calibration, params, None)
+    }
+
+    /// [`CimConv2d::compile_on`] with an optional fault-injection
+    /// record (the graph compiler's entry when the deployment carries a
+    /// fault map).
+    pub(crate) fn compile_on_with(
+        kind: BackendKind,
+        weight: &Tensor,
+        stride: usize,
+        padding: usize,
+        calibration: &[&Tensor],
+        params: MacroParams,
+        faults: Option<LayerFaults>,
+    ) -> Self {
         assert_eq!(weight.ndim(), 4, "weight must be (OC, C, k, k)");
         let (oc, c, k) = (weight.shape()[0], weight.shape()[1], weight.shape()[2]);
         let patch = c * k * k;
@@ -225,6 +282,7 @@ impl CimConv2d {
             outs: oc,
             ins: patch,
             codes: pc.values,
+            faults,
         };
         let engine = program.program();
         let act_params = calibrate_affine(calibration, params.act_bits);
@@ -296,6 +354,16 @@ impl CimConv2d {
     /// analog reference path.
     pub fn set_fast_path(&mut self, enabled: bool) {
         self.engine.set_fast_path(enabled);
+    }
+
+    /// Moves a fault-aware layer onto new physical subarrays and
+    /// re-programs its engine (the repair path after a subarray dies).
+    /// No-op on layers compiled without a fault record.
+    pub(crate) fn set_fault_ids(&mut self, phys_ids: &[u64]) {
+        if let Some(lf) = &mut self.program.faults {
+            lf.phys_ids = phys_ids.to_vec();
+            self.engine = self.program.program();
+        }
     }
 
     /// Lowers `x` (`(N, C, H, W)`) to its im2col activation matrix — the
@@ -586,6 +654,20 @@ impl CimLinear {
         calibration: &[&Tensor],
         params: MacroParams,
     ) -> Self {
+        Self::compile_on_with(kind, weight, bias, calibration, params, None)
+    }
+
+    /// [`CimLinear::compile_on`] with an optional fault-injection
+    /// record (the graph compiler's entry when the deployment carries a
+    /// fault map).
+    pub(crate) fn compile_on_with(
+        kind: BackendKind,
+        weight: &Tensor,
+        bias: Option<&[f32]>,
+        calibration: &[&Tensor],
+        params: MacroParams,
+        faults: Option<LayerFaults>,
+    ) -> Self {
         assert_eq!(weight.ndim(), 2, "weight must be (outs, ins)");
         let (outs, ins) = (weight.shape()[0], weight.shape()[1]);
         let pc = PerChannelQuant::quantize(weight, params.weight_bits);
@@ -603,6 +685,7 @@ impl CimLinear {
             outs,
             ins,
             codes: pc.values,
+            faults,
         };
         CimLinear {
             engine: program.program(),
@@ -633,6 +716,16 @@ impl CimLinear {
     /// Enables or disables the backend's popcount fast path.
     pub fn set_fast_path(&mut self, enabled: bool) {
         self.engine.set_fast_path(enabled);
+    }
+
+    /// Moves a fault-aware layer onto new physical subarrays and
+    /// re-programs its engine (the repair path after a subarray dies).
+    /// No-op on layers compiled without a fault record.
+    pub(crate) fn set_fault_ids(&mut self, phys_ids: &[u64]) {
+        if let Some(lf) = &mut self.program.faults {
+            lf.phys_ids = phys_ids.to_vec();
+            self.engine = self.program.program();
+        }
     }
 
     /// Runs the layer on `feats` (`(N, ins)`) through the backend's

@@ -12,11 +12,14 @@
 //! * [`broker`] — [`Broker`], the continuous-batching loop: bounded
 //!   admission queues with shed-oldest / reject-new backpressure,
 //!   batch windows closing on size or time, round-robin fairness
-//!   across tenants, per-request deadlines.
+//!   across tenants, per-request deadlines — and, with a
+//!   [`HealthConfig`], golden-probe canaries, quarantine + modeled
+//!   repair, bounded retry, and deterministic fault injection
+//!   ([`Broker::inject_fault`]).
 //! * [`report`] — [`RequestOutcome`] per request and the aggregated
 //!   [`ServeReport`] (p50/p95/p99 latency, sustained QPS, latency
 //!   histograms, accounting identities), renderable as the
-//!   `yoloc-bench-serve/1` JSON the `bench_serve` bin emits.
+//!   `yoloc-bench-serve/2` JSON the `bench_serve` bin emits.
 //!
 //! Everything is seeded through
 //! [`sample_stream_seed`](crate::engine::sample_stream_seed)-derived
@@ -30,7 +33,10 @@ pub mod clock;
 pub mod loadgen;
 pub mod report;
 
-pub use broker::{AdmissionPolicy, Broker, BrokerConfig, Capture, ServeOutput, TenantConfig};
+pub use broker::{
+    AdmissionPolicy, Broker, BrokerConfig, Capture, HealthConfig, ServeOutput, TenantConfig,
+    TenantHealthStats,
+};
 pub use clock::{MonotonicClock, ServeClock, VirtualClock};
 pub use loadgen::{Arrival, ArrivalPattern, LoadGen, TrafficSpec, NO_DEADLINE};
 pub use report::{Disposition, ModelServeStats, RequestOutcome, ServeReport, NO_BATCH};

@@ -1,9 +1,16 @@
 //! Request outcomes and the aggregated [`ServeReport`].
 //!
 //! Every request the broker ever sees ends as exactly one
-//! [`RequestOutcome`] — completed, shed, or rejected — so the report's
-//! accounting identity `offered == completed + shed + rejected` holds by
-//! construction and is re-checked by the simulation suite. The report
+//! [`RequestOutcome`] — completed, shed, rejected, or timed out — so
+//! the report's accounting identity
+//! `offered == completed + shed + rejected + timed_out` holds by
+//! construction and is re-checked by the simulation suite. Timed-out is
+//! distinct from the admission-time dispositions: it marks a request
+//! the broker *accepted* but could not complete in time — its deadline
+//! expired while queued, or its retry budget ran out after a failed
+//! health canary voided its batch (see [`super::broker`]). Retries are
+//! audited per request ([`RequestOutcome::retries`]) and summed per
+//! model. The report
 //! aggregates outcomes per model into latency percentiles, a log₂
 //! latency histogram, sustained QPS and batching/queue statistics, and
 //! serializes to the shim's JSON tree: all counters ride exact integer
@@ -27,6 +34,12 @@ pub enum Disposition {
     Shed,
     /// Refused at admission by the reject-new policy.
     Rejected,
+    /// Accepted but never completed: the deadline expired before the
+    /// request reached an engine, or a failed health canary voided its
+    /// execution and the retry budget ran out. Distinct from
+    /// [`Disposition::Shed`]/[`Disposition::Rejected`], which refuse at
+    /// admission time.
+    TimedOut,
 }
 
 impl Disposition {
@@ -36,6 +49,7 @@ impl Disposition {
             Disposition::Completed => "completed",
             Disposition::Shed => "shed",
             Disposition::Rejected => "rejected",
+            Disposition::TimedOut => "timed_out",
         }
     }
 }
@@ -63,6 +77,9 @@ pub struct RequestOutcome {
     pub batch_size: usize,
     /// Absolute deadline, ns ([`NO_DEADLINE`] for best-effort).
     pub deadline_ns: u64,
+    /// Times the request was re-queued for execution after a failed
+    /// health canary voided a batch it ran in (0 on the happy path).
+    pub retries: u32,
     /// Final disposition.
     pub disposition: Disposition,
 }
@@ -96,6 +113,12 @@ pub struct ModelServeStats {
     pub shed: u64,
     /// Requests refused by reject-new admission.
     pub rejected: u64,
+    /// Accepted requests that expired in queue or exhausted their retry
+    /// budget after failed canaries.
+    pub timed_out: u64,
+    /// Total re-executions across this model's requests (canary-voided
+    /// batches re-queued for retry).
+    pub retried: u64,
     /// Completed requests that met their deadline.
     pub deadline_hits: u64,
     /// Completed requests that missed their deadline.
@@ -129,6 +152,8 @@ impl ModelServeStats {
             ("completed", self.completed.to_json()),
             ("shed", self.shed.to_json()),
             ("rejected", self.rejected.to_json()),
+            ("timed_out", self.timed_out.to_json()),
+            ("retried", self.retried.to_json()),
             ("deadline_hits", self.deadline_hits.to_json()),
             ("deadline_misses", self.deadline_misses.to_json()),
             ("batches", self.batches.to_json()),
@@ -177,6 +202,10 @@ pub struct ServeReport {
     pub shed: u64,
     /// Total rejected.
     pub rejected: u64,
+    /// Total timed out (accepted, never completed).
+    pub timed_out: u64,
+    /// Total re-executions after canary-voided batches.
+    pub retried: u64,
     /// Per-model statistics, in deployment order.
     pub models: Vec<ModelServeStats>,
 }
@@ -225,6 +254,8 @@ impl ServeReport {
                 completed,
                 shed: count(Disposition::Shed),
                 rejected: count(Disposition::Rejected),
+                timed_out: count(Disposition::TimedOut),
+                retried: mine().map(|o| u64::from(o.retries)).sum(),
                 deadline_hits: mine().filter(|o| o.deadline_hit()).count() as u64,
                 deadline_misses: mine()
                     .filter(|o| o.disposition == Disposition::Completed && !o.deadline_hit())
@@ -254,6 +285,8 @@ impl ServeReport {
             completed: models.iter().map(|s| s.completed).sum(),
             shed: models.iter().map(|s| s.shed).sum(),
             rejected: models.iter().map(|s| s.rejected).sum(),
+            timed_out: models.iter().map(|s| s.timed_out).sum(),
+            retried: models.iter().map(|s| s.retried).sum(),
             models,
         }
     }
@@ -268,6 +301,8 @@ impl ServeReport {
             ("completed", self.completed.to_json()),
             ("shed", self.shed.to_json()),
             ("rejected", self.rejected.to_json()),
+            ("timed_out", self.timed_out.to_json()),
+            ("retried", self.retried.to_json()),
             (
                 "models",
                 Json::Arr(self.models.iter().map(ModelServeStats::json).collect()),
@@ -300,6 +335,7 @@ mod tests {
             },
             batch_size: if d == Disposition::Completed { 1 } else { 0 },
             deadline_ns: NO_DEADLINE,
+            retries: 0,
             disposition: d,
         }
     }
@@ -311,14 +347,25 @@ mod tests {
             outcome(1, 0, 40, Disposition::Shed),
             outcome(2, 1, 60, Disposition::Rejected),
             outcome(3, 1, 200, Disposition::Completed),
+            RequestOutcome {
+                retries: 2,
+                ..outcome(4, 0, 90, Disposition::TimedOut)
+            },
         ];
         let names = vec!["a".to_string(), "b".to_string()];
         let r = ServeReport::build(7, &names, &outcomes, &[2, 1], &[1, 1]);
-        assert_eq!(r.offered, 4);
-        assert_eq!(r.completed + r.shed + r.rejected, r.offered);
+        assert_eq!(r.offered, 5);
+        assert_eq!(r.completed + r.shed + r.rejected + r.timed_out, r.offered);
         for m in &r.models {
-            assert_eq!(m.completed + m.shed + m.rejected, m.offered);
+            assert_eq!(m.completed + m.shed + m.rejected + m.timed_out, m.offered);
         }
+        assert_eq!(r.timed_out, 1);
+        assert_eq!(r.retried, 2);
+        assert_eq!(r.models[0].retried, 2);
+        // A timed-out request neither hits its deadline nor reports a
+        // latency — only completions feed the percentile pool.
+        assert!(!outcomes[4].deadline_hit());
+        assert_eq!(outcomes[4].latency_ns(), None);
         assert_eq!(r.horizon_ns, 200);
         assert!(r.models[0].sustained_qps > 0.0);
     }

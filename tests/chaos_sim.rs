@@ -1,0 +1,280 @@
+//! Chaos simulation suite: deterministic fault injection against the
+//! serving layer, end to end.
+//!
+//! The scenario compiles one pristine deployment plus a *faulty twin*
+//! (the same description compiled with a lively `FaultConfig`, so its
+//! inferences are genuinely corrupt), then injects the twin into a
+//! health-monitored [`Broker`] mid-trace. The suite pins the full
+//! degradation story:
+//!
+//! * the golden-probe canary **detects** the corruption (no later than
+//!   its period allows) and the tenant quarantines;
+//! * every execution voided by the failing canary is retried or timed
+//!   out — **no silently-corrupt response is ever released** (every
+//!   released capture is bit-identical to direct inference on the
+//!   pristine deployment);
+//! * after the modeled repair the tenant **recovers**: dispatch
+//!   returns to the healthy deployment and completions resume;
+//! * the whole timeline is **byte-stable**: same seeds, same rendered
+//!   `ServeReport` and same health telemetry at any worker count;
+//! * the accounting identity
+//!   `offered == completed + shed + rejected + timed_out` closes.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use yoloc::cim::FaultSpec;
+use yoloc::core::compiler::{CompileOptions, CompiledNetwork, FaultConfig};
+use yoloc::core::engine::{sample_stream_seed, WorkerPool};
+use yoloc::core::serve::{
+    AdmissionPolicy, ArrivalPattern, Broker, BrokerConfig, Disposition, HealthConfig, LoadGen,
+    ServeOutput, TenantConfig, TrafficSpec, VirtualClock,
+};
+use yoloc::models::zoo;
+use yoloc::tensor::Tensor;
+
+const INFER_SEED: u64 = 0xFA17_CA57;
+const CHAOS_AT_NS: u64 = 600_000;
+const HORIZON_NS: u64 = 2_000_000;
+const REPAIR_NS: u64 = 1_000_000;
+
+fn nets() -> (CompiledNetwork, CompiledNetwork) {
+    let desc = zoo::scaled(&zoo::vgg8(3), 16, (16, 16));
+    let pristine = CompiledNetwork::compile_random(&desc, 23, CompileOptions::paper_default())
+        .expect("pristine compile");
+    let mut opts = CompileOptions::paper_default();
+    opts.faults = Some(FaultConfig::sized(
+        FaultSpec {
+            stuck_rate: 0.02,
+            dead_subarray_rate: 0.10,
+            adc_fault_rate: 0.05,
+            ..FaultSpec::uniform(5, 0.0)
+        },
+        4,
+    ));
+    let faulty = CompiledNetwork::compile_random(&desc, 23, opts).expect("faulty twin compile");
+    (pristine, faulty)
+}
+
+fn health() -> HealthConfig {
+    HealthConfig {
+        canary_period_ns: 100_000,
+        canary_seed: 0xCA_11A2,
+        max_retries: 3,
+        repair_ns: REPAIR_NS,
+    }
+}
+
+fn trace(deadline_ns: Option<u64>) -> Vec<yoloc::core::serve::Arrival> {
+    LoadGen::new(29).trace(
+        &[TrafficSpec {
+            model: 0,
+            pattern: ArrivalPattern::Poisson {
+                rate_rps: 100_000.0,
+            },
+            deadline_ns,
+        }],
+        HORIZON_NS,
+    )
+}
+
+fn run_chaos(
+    pristine: &CompiledNetwork,
+    faulty: &CompiledNetwork,
+    trace: &[yoloc::core::serve::Arrival],
+    workers: usize,
+    capture: bool,
+) -> ServeOutput {
+    WorkerPool::with(workers, |pool| {
+        let mut broker = Broker::new(
+            VirtualClock::new(),
+            BrokerConfig {
+                infer_seed: INFER_SEED,
+                batch_overhead_ns: 20_000,
+                capture,
+                health: Some(health()),
+            },
+        );
+        broker.deploy(
+            "vgg",
+            pristine,
+            TenantConfig {
+                queue_cap: trace.len().max(1),
+                admission: AdmissionPolicy::RejectNew,
+                max_batch: 8,
+                window_ns: 40_000,
+            },
+        );
+        broker.inject_fault(0, CHAOS_AT_NS, faulty);
+        broker.run(trace, pool)
+    })
+}
+
+fn assert_identity(out: &ServeOutput, offered: u64) {
+    let r = &out.report;
+    assert_eq!(r.offered, offered);
+    assert_eq!(
+        r.completed + r.shed + r.rejected + r.timed_out,
+        r.offered,
+        "accounting identity broke"
+    );
+    for m in &r.models {
+        assert_eq!(m.completed + m.shed + m.rejected + m.timed_out, m.offered);
+    }
+}
+
+#[test]
+fn canary_detects_quarantines_and_recovers() {
+    let (pristine, faulty) = nets();
+    // Sanity: the twin is genuinely corrupt on an arbitrary input.
+    let (c, h, w) = pristine.input_shape();
+    let x = Tensor::rand_uniform(&[1, c, h, w], 0.0, 1.0, &mut StdRng::seed_from_u64(1));
+    let (y_p, _) = pristine.infer(&x, &mut StdRng::seed_from_u64(2));
+    let (y_f, _) = faulty.infer(&x, &mut StdRng::seed_from_u64(2));
+    assert_ne!(y_p.data(), y_f.data(), "faulty twin must corrupt outputs");
+
+    let trace = trace(None);
+    let out = run_chaos(&pristine, &faulty, &trace, 2, true);
+    assert_identity(&out, trace.len() as u64);
+
+    let hs = &out.health[0];
+    assert!(hs.probes > 0, "canaries must have run");
+    let detect = *hs
+        .failures_at_ns
+        .first()
+        .expect("the canary must detect the injected fault");
+    assert!(
+        detect >= CHAOS_AT_NS,
+        "detection ({detect} ns) cannot precede the fault ({CHAOS_AT_NS} ns)"
+    );
+    let repair = *hs
+        .repairs_at_ns
+        .first()
+        .expect("the quarantine must lapse into a repair");
+    assert!(
+        repair >= detect + REPAIR_NS,
+        "repair ({repair} ns) must cover the modeled remap window"
+    );
+    assert!(hs.quarantined_ns >= REPAIR_NS);
+
+    // Voided executions were retried, and with no deadlines and a
+    // roomy queue every request eventually completes on the repaired
+    // deployment: full recovery, nothing lost.
+    assert!(out.report.retried > 0, "the failed canary must void work");
+    assert_eq!(out.report.timed_out, 0);
+    assert_eq!(out.report.completed, trace.len() as u64);
+
+    // Completions resume *after* the repair — recovery is observable.
+    assert!(
+        out.outcomes
+            .iter()
+            .any(|o| o.disposition == Disposition::Completed && o.start_ns >= repair),
+        "post-repair completions must exist"
+    );
+
+    // The no-silent-corruption gate: every released capture matches
+    // direct inference on the PRISTINE deployment bit-for-bit, even
+    // though some of these requests first executed on the faulty twin.
+    let mut oracle: HashMap<u64, Vec<f32>> = HashMap::new();
+    let mut arena = pristine.take_arena();
+    for a in &trace {
+        let x = Tensor::rand_uniform(
+            &[1, c, h, w],
+            0.0,
+            1.0,
+            &mut StdRng::seed_from_u64(a.input_seed),
+        );
+        let mut rng = StdRng::seed_from_u64(sample_stream_seed(INFER_SEED, a.id as usize));
+        let (y, _) = pristine.infer_in(&x, &mut rng, &mut arena);
+        oracle.insert(a.id, y.data().to_vec());
+    }
+    pristine.give_arena(arena);
+    assert_eq!(out.captures.len(), trace.len());
+    for cap in &out.captures {
+        assert_eq!(
+            &oracle[&cap.id], &cap.logits,
+            "request {}: a corrupt result was released",
+            cap.id
+        );
+    }
+}
+
+#[test]
+fn chaos_timeline_is_byte_stable() {
+    let (pristine, faulty) = nets();
+    let trace = trace(None);
+    let first = run_chaos(&pristine, &faulty, &trace, 1, false);
+    for workers in [1usize, 4] {
+        let again = run_chaos(&pristine, &faulty, &trace, workers, false);
+        assert_eq!(
+            first.report.render(),
+            again.report.render(),
+            "rendered report diverged at {workers} workers"
+        );
+        assert_eq!(first.health[0].probes, again.health[0].probes);
+        assert_eq!(
+            first.health[0].failures_at_ns,
+            again.health[0].failures_at_ns
+        );
+        assert_eq!(first.health[0].repairs_at_ns, again.health[0].repairs_at_ns);
+    }
+}
+
+#[test]
+fn deadlines_expire_in_quarantine_as_timeouts_not_corruption() {
+    let (pristine, faulty) = nets();
+    // Deadlines shorter than the repair window: requests queued during
+    // quarantine must time out (never execute corrupt, never hang).
+    let trace = trace(Some(400_000));
+    let out = run_chaos(&pristine, &faulty, &trace, 2, false);
+    assert_identity(&out, trace.len() as u64);
+    assert!(
+        out.report.timed_out > 0,
+        "quarantine + tight deadlines must time requests out"
+    );
+    assert!(out.report.completed > 0, "service must still make progress");
+    for o in &out.outcomes {
+        if o.disposition == Disposition::TimedOut {
+            assert_eq!(o.batch_id, yoloc::core::serve::NO_BATCH);
+            assert!(o.latency_ns().is_none());
+        }
+    }
+}
+
+#[test]
+fn healthy_run_never_trips_the_canary() {
+    let (pristine, _) = nets();
+    let trace = trace(None);
+    let out = WorkerPool::with(2, |pool| {
+        let mut broker = Broker::new(
+            VirtualClock::new(),
+            BrokerConfig {
+                infer_seed: INFER_SEED,
+                batch_overhead_ns: 20_000,
+                capture: false,
+                health: Some(health()),
+            },
+        );
+        broker.deploy(
+            "vgg",
+            &pristine,
+            TenantConfig {
+                queue_cap: trace.len().max(1),
+                admission: AdmissionPolicy::RejectNew,
+                max_batch: 8,
+                window_ns: 40_000,
+            },
+        );
+        broker.run(&trace, pool)
+    });
+    assert_identity(&out, trace.len() as u64);
+    let hs = &out.health[0];
+    assert!(hs.probes > 0, "canaries still run on healthy fabrics");
+    assert!(hs.failures_at_ns.is_empty(), "no failure without a fault");
+    assert_eq!(hs.quarantined_ns, 0);
+    assert_eq!(out.report.timed_out, 0);
+    assert_eq!(out.report.retried, 0);
+    assert_eq!(out.report.completed, trace.len() as u64);
+}

@@ -98,6 +98,7 @@ fn brokered_requests_match_direct_inference_bit_for_bit() {
                                 infer_seed: INFER_SEED,
                                 batch_overhead_ns: 20_000,
                                 capture: true,
+                                health: None,
                             },
                         );
                         broker.deploy(

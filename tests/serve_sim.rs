@@ -102,6 +102,7 @@ fn run_scenario(s: &Scenario, workers: usize) -> ServeOutput {
                 infer_seed: 0x5E12_F00D,
                 batch_overhead_ns: 20_000,
                 capture: false,
+                health: None,
             },
         );
         broker.deploy(
@@ -131,13 +132,13 @@ fn run_scenario(s: &Scenario, workers: usize) -> ServeOutput {
 /// Checks every serving invariant over one run's outcomes.
 fn assert_invariants(s: &Scenario, out: &ServeOutput) {
     let r = &out.report;
-    // Accounting: every offered request is completed, shed or rejected
-    // — globally and per model.
+    // Accounting: every offered request is completed, shed, rejected
+    // or timed out — globally and per model.
     assert_eq!(r.offered, s.trace.len() as u64);
-    assert_eq!(r.completed + r.shed + r.rejected, r.offered);
+    assert_eq!(r.completed + r.shed + r.rejected + r.timed_out, r.offered);
     for m in &r.models {
         assert_eq!(
-            m.completed + m.shed + m.rejected,
+            m.completed + m.shed + m.rejected + m.timed_out,
             m.offered,
             "{}: per-model accounting broke",
             m.name
